@@ -1,0 +1,51 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one paper table/figure (or an ablation) at
+a reduced Monte-Carlo budget, checks the paper's qualitative shape,
+and attaches the regenerated series to the pytest-benchmark record via
+``extra_info`` so ``--benchmark-json`` archives the numbers.
+
+``REPRO_BENCH_RUNS`` scales the per-point run count (default 25; the
+paper used 500 — the shapes are stable well below that, see
+EXPERIMENTS.md for a 200-run regeneration).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.experiments.figures import run_figure
+from repro.experiments.harness import SweepResult
+
+#: Monte-Carlo runs per sweep point in benchmarks.
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "25"))
+
+_CACHE: Dict[str, SweepResult] = {}
+
+
+def figure_result(figure: str) -> SweepResult:
+    """Run (or reuse) the sweep behind a figure.
+
+    fig7/fig8 pairs share one simulation set exactly as in the paper,
+    so the cache also prevents double work across benchmark files.
+    """
+    alias = {"fig8a": "fig7a", "fig8b": "fig7b"}.get(figure, figure)
+    if alias not in _CACHE:
+        _CACHE[alias] = run_figure(alias, runs=BENCH_RUNS)
+    return _CACHE[alias]
+
+
+def series_info(result: SweepResult, metric: str) -> Dict[str, list]:
+    """The per-protocol curves, JSON-ready for extra_info."""
+    return {
+        protocol: result.series(protocol, metric)
+        for protocol in result.config.protocols
+    }
+
+
+@pytest.fixture
+def bench_runs() -> int:
+    return BENCH_RUNS

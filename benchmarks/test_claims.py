@@ -1,0 +1,42 @@
+"""Benchmark: check every quantitative claim of Section 4.2 at once.
+
+The claim checker encodes the paper's comparative statements (C1-C9,
+see ``repro.experiments.claims``); this benchmark regenerates all four
+figure sweeps and reports which claims hold.  C5 (PIM-SM delay beats
+PIM-SS on the ISP topology) is RP-placement-dependent and documented
+as a divergence in EXPERIMENTS.md — every other claim must hold.
+"""
+
+from benchmarks.conftest import figure_result
+from repro.experiments.claims import check_claims
+
+#: The RP-sensitive claim we document instead of asserting.
+EXPECTED_DIVERGENCES = {"C5"}
+
+
+def test_paper_claims(benchmark):
+    def run_all():
+        results = {
+            "fig7a": figure_result("fig7a"),
+            "fig7b": figure_result("fig7b"),
+        }
+        results["fig8a"] = results["fig7a"]
+        results["fig8b"] = results["fig7b"]
+        return check_claims(results)
+
+    checks = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert len(checks) == 9
+    benchmark.extra_info["claims"] = {
+        check.claim_id: {
+            "statement": check.statement,
+            "paper": check.paper_value,
+            "measured": check.measured_value,
+            "holds": check.holds,
+        }
+        for check in checks
+    }
+    failures = [check.claim_id for check in checks
+                if not check.holds and
+                check.claim_id not in EXPECTED_DIVERGENCES]
+    assert not failures, f"claims diverged beyond the documented set: " \
+                         f"{failures}"

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the substrates (classic pytest-benchmark style:
+many rounds, statistical timing) — the knobs that bound how large a
+Monte-Carlo budget the figure sweeps can afford."""
+
+from repro.core.static_driver import StaticHbh
+from repro.netsim.engine import Simulator
+from repro.routing.dijkstra import shortest_paths_from
+from repro.routing.tables import UnicastRouting
+from repro.topology.isp import isp_topology
+from repro.topology.random_graphs import random_topology_50
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule+execute 10k chained events."""
+
+    def run():
+        simulator = Simulator()
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                simulator.schedule(1.0, tick)
+
+        simulator.schedule(1.0, tick)
+        simulator.run()
+        return simulator.events_executed
+
+    events = benchmark(run)
+    assert events == 10_000
+
+
+def test_dijkstra_random50(benchmark):
+    """One single-source shortest-path computation on the paper's
+    50-node topology."""
+    topology = random_topology_50(seed=3)
+
+    distance, _ = benchmark(shortest_paths_from, topology, 0)
+    assert len(distance) == 50
+
+
+def test_full_routing_tables_isp(benchmark):
+    """All 36 nodes' forwarding tables on the ISP topology."""
+    topology = isp_topology(seed=3)
+
+    def run():
+        routing = UnicastRouting(topology)
+        for node in topology.nodes:
+            routing.table(node)
+        return routing
+
+    benchmark(run)
+
+
+def test_hbh_converge_isp_8_receivers(benchmark):
+    """One converged HBH tree, the unit of every Monte-Carlo run."""
+    topology = isp_topology(seed=3)
+    routing = UnicastRouting(topology)
+    receivers = [20, 22, 25, 27, 29, 31, 33, 35]
+
+    def run():
+        driver = StaticHbh(topology, 18, routing=routing)
+        for receiver in receivers:
+            driver.add_receiver(receiver)
+            driver.converge(max_rounds=80)
+        return driver.distribute_data()
+
+    distribution = benchmark(run)
+    assert distribution.complete

@@ -1,0 +1,79 @@
+"""Control-plane overhead benchmarks (not a paper figure, but the
+natural systems question about a three-message protocol): how many
+rule-level message events HBH and REUNITE process per converged join,
+and how the packet-level simulator scales on the ISP topology."""
+
+import os
+import zlib
+
+from repro._rand import derive_rng, make_rng, sample_receivers
+from repro.core import HbhChannel
+from repro.core.static_driver import StaticHbh
+from repro.core.tables import ProtocolTiming
+from repro.netsim.network import Network
+from repro.protocols.reunite.static_driver import StaticReunite
+from repro.routing.tables import UnicastRouting
+from repro.topology.isp import (
+    ISP_SOURCE_NODE,
+    isp_receiver_candidates,
+    isp_topology,
+)
+
+RUNS = max(5, int(os.environ.get("REPRO_BENCH_RUNS", "25")) // 3)
+GROUP_SIZE = 10
+
+
+def _control_messages(driver_cls):
+    total = 0.0
+    for run in range(RUNS):
+        rng = make_rng(zlib.crc32(f"overhead/{run}".encode()))
+        topology = isp_topology(seed=derive_rng(rng, "topo"))
+        receivers = sample_receivers(
+            isp_receiver_candidates(topology), GROUP_SIZE,
+            derive_rng(rng, "recv"),
+        )
+        driver = driver_cls(topology, ISP_SOURCE_NODE,
+                            routing=UnicastRouting(topology))
+        for receiver in sorted(receivers):
+            driver.add_receiver(receiver)
+            driver.converge(max_rounds=80)
+        total += driver.messages_processed / RUNS
+    return total
+
+
+def test_hbh_control_overhead(benchmark):
+    messages = benchmark.pedantic(_control_messages, args=(StaticHbh,),
+                                  rounds=1, iterations=1)
+    benchmark.extra_info["mean_messages_to_converge"] = round(messages, 1)
+    assert messages > 0
+
+
+def test_reunite_control_overhead(benchmark):
+    messages = benchmark.pedantic(_control_messages,
+                                  args=(StaticReunite,),
+                                  rounds=1, iterations=1)
+    benchmark.extra_info["mean_messages_to_converge"] = round(messages, 1)
+    assert messages > 0
+
+
+def test_event_simulator_throughput(benchmark):
+    """Packet-level events per second while an ISP-topology channel
+    with 10 receivers runs steady-state soft-state refreshes."""
+    timing = ProtocolTiming(join_period=50.0, tree_period=50.0,
+                            t1=130.0, t2=260.0)
+
+    def run_simulation():
+        topology = isp_topology(seed=77)
+        network = Network(topology)
+        channel = HbhChannel(network, source_node=ISP_SOURCE_NODE,
+                             timing=timing)
+        rng = make_rng(99)
+        for receiver in sorted(sample_receivers(
+                isp_receiver_candidates(topology), GROUP_SIZE, rng)):
+            channel.join(receiver)
+        channel.converge(periods=40)
+        assert channel.measure_data().complete
+        return network.simulator.events_executed
+
+    events = benchmark(run_simulation)
+    benchmark.extra_info["events_executed"] = events

@@ -1,0 +1,103 @@
+"""Benchmark for the paper's stability comparison (Fig. 4): table churn
+and survivor re-routes after member departures, HBH vs REUNITE, Monte
+Carlo over the ISP topology."""
+
+import os
+import zlib
+
+from repro._rand import derive_rng, make_rng, sample_receivers
+from repro.core.static_driver import StaticHbh
+from repro.metrics.stability import (
+    TableSnapshot,
+    diff_snapshots,
+    paths_from_distribution,
+)
+from repro.protocols.reunite.static_driver import StaticReunite
+from repro.routing.tables import UnicastRouting
+from repro.topology.isp import (
+    ISP_SOURCE_NODE,
+    isp_receiver_candidates,
+    isp_topology,
+)
+
+RUNS = max(8, int(os.environ.get("REPRO_BENCH_RUNS", "25")))
+GROUP_SIZE = 8
+
+
+def _hbh_snapshot(driver):
+    entries = set()
+    for entry in driver.source_mft:
+        entries.add((driver.source, "src", entry.address))
+    for node, state in driver.states.items():
+        if state.mct is not None:
+            entries.add((node, "mct", state.mct.entry.address))
+        if state.mft is not None:
+            for entry in state.mft:
+                entries.add((node, "mft", entry.address))
+    return TableSnapshot(frozenset(entries),
+                         paths_from_distribution(driver.distribute_data()))
+
+
+def _reunite_snapshot(driver):
+    entries = set()
+
+    def emit(node, state):
+        if state.mct is not None:
+            for entry in state.mct:
+                entries.add((node, "mct", entry.address))
+        if state.mft is not None:
+            if state.mft.dst is not None:
+                entries.add((node, "dst", state.mft.dst.address))
+            for entry in state.mft.receivers():
+                entries.add((node, "mft", entry.address))
+
+    emit(driver.source, driver.source_state)
+    for node, state in driver.states.items():
+        emit(node, state)
+    return TableSnapshot(frozenset(entries),
+                         paths_from_distribution(driver.distribute_data()))
+
+
+def _departure_churn():
+    """Mean (entry changes, survivor reroutes) per departure event."""
+    totals = {"hbh": [0.0, 0.0], "reunite": [0.0, 0.0]}
+    for run in range(RUNS):
+        rng = make_rng(zlib.crc32(f"stability/{run}".encode()))
+        topology = isp_topology(seed=derive_rng(rng, "topo"))
+        receivers = sorted(sample_receivers(
+            isp_receiver_candidates(topology), GROUP_SIZE,
+            derive_rng(rng, "recv"),
+        ))
+        leaver = receivers[run % GROUP_SIZE]
+        routing = UnicastRouting(topology)
+        for name, driver_cls, snapshot in (
+                ("hbh", StaticHbh, _hbh_snapshot),
+                ("reunite", StaticReunite, _reunite_snapshot)):
+            driver = driver_cls(topology, ISP_SOURCE_NODE, routing=routing)
+            for receiver in receivers:
+                driver.add_receiver(receiver)
+                driver.converge(max_rounds=80)
+            before = snapshot(driver)
+            driver.remove_receiver(leaver)
+            for _ in range(12):
+                driver.run_round()
+            after = snapshot(driver)
+            report = diff_snapshots(before, after,
+                                    ignore_receivers=frozenset({leaver}))
+            totals[name][0] += report.entry_changes / RUNS
+            totals[name][1] += report.reroute_count / RUNS
+    return totals
+
+
+def test_departure_stability(benchmark):
+    totals = benchmark.pedantic(_departure_churn, rounds=1, iterations=1)
+    benchmark.extra_info["mean_entry_changes"] = {
+        name: round(values[0], 3) for name, values in totals.items()
+    }
+    benchmark.extra_info["mean_survivor_reroutes"] = {
+        name: round(values[1], 3) for name, values in totals.items()
+    }
+    # The paper's Fig. 4 claim: HBH never re-routes survivors; REUNITE
+    # does whenever the departed receiver anchored a branch.
+    assert totals["hbh"][1] == 0.0
+    assert totals["reunite"][1] >= totals["hbh"][1]

@@ -1,0 +1,81 @@
+"""Benchmark: multicast state footprint, recursive unicast vs classic.
+
+Quantifies the Section 2.1 motivation: under recursive unicast, only
+branching routers keep data-plane (MFT) state; non-branching on-tree
+routers keep a control-plane MCT entry; a classic protocol installs
+forwarding state at *every* on-tree router.  Monte Carlo over the ISP
+topology at the paper's group sizes.
+"""
+
+import os
+import zlib
+
+from repro._rand import derive_rng, make_rng, sample_receivers
+from repro.core.static_driver import StaticHbh
+from repro.metrics.state_size import (
+    classic_state_census,
+    hbh_state_census,
+    reunite_state_census,
+)
+from repro.protocols.pim.trees import ReverseSpt
+from repro.protocols.reunite.static_driver import StaticReunite
+from repro.routing.tables import UnicastRouting
+from repro.topology.isp import (
+    ISP_SOURCE_NODE,
+    isp_receiver_candidates,
+    isp_topology,
+)
+
+RUNS = max(8, int(os.environ.get("REPRO_BENCH_RUNS", "25")) // 2)
+GROUP_SIZES = (4, 8, 16)
+
+
+def _census_sweep():
+    rows = {}
+    for group_size in GROUP_SIZES:
+        sums = {"hbh_fwd_routers": 0.0, "reunite_fwd_routers": 0.0,
+                "classic_fwd_routers": 0.0, "hbh_fwd_entries": 0.0,
+                "hbh_ctl_entries": 0.0}
+        for run in range(RUNS):
+            rng = make_rng(zlib.crc32(f"state/{group_size}/{run}".encode()))
+            topology = isp_topology(seed=derive_rng(rng, "topo"))
+            receivers = sorted(sample_receivers(
+                isp_receiver_candidates(topology), group_size,
+                derive_rng(rng, "recv"),
+            ))
+            routing = UnicastRouting(topology)
+
+            hbh = StaticHbh(topology, ISP_SOURCE_NODE, routing=routing)
+            reunite = StaticReunite(topology, ISP_SOURCE_NODE,
+                                    routing=routing)
+            for receiver in receivers:
+                hbh.add_receiver(receiver)
+                hbh.converge(max_rounds=80)
+                reunite.add_receiver(receiver)
+                reunite.converge(max_rounds=80)
+            tree = ReverseSpt(topology, root=ISP_SOURCE_NODE,
+                              routing=routing)
+            for receiver in receivers:
+                tree.graft(receiver)
+
+            h = hbh_state_census(hbh)
+            r = reunite_state_census(reunite)
+            c = classic_state_census(tree)
+            sums["hbh_fwd_routers"] += h.forwarding_routers / RUNS
+            sums["reunite_fwd_routers"] += r.forwarding_routers / RUNS
+            sums["classic_fwd_routers"] += c.forwarding_routers / RUNS
+            sums["hbh_fwd_entries"] += h.total_forwarding / RUNS
+            sums["hbh_ctl_entries"] += h.total_control / RUNS
+        rows[group_size] = {key: round(value, 2)
+                            for key, value in sums.items()}
+    return rows
+
+
+def test_state_footprint(benchmark):
+    rows = benchmark.pedantic(_census_sweep, rounds=1, iterations=1)
+    benchmark.extra_info["census"] = rows
+    for group_size, row in rows.items():
+        # The recursive-unicast saving: fewer forwarding routers than
+        # the classic model at every group size.
+        assert row["hbh_fwd_routers"] < row["classic_fwd_routers"]
+        assert row["reunite_fwd_routers"] < row["classic_fwd_routers"]

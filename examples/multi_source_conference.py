@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""M-to-N conferencing with source-specific channels.
+
+EXPRESS (and HBH after it) "restricts the multicast conversation to
+1 to N ... and still covering most of the current multicast
+applications" (Section 1).  The classic counter-question is M-to-N
+conferencing; the channel answer is: M channels, one per speaker, each
+participant subscribed to everyone else's.  This example runs a
+4-speaker conference on the ISP topology and shows that the aggregate
+cost stays proportional to what M independent optimal source trees
+cost — no shared-tree machinery needed.
+
+Run:  python examples/multi_source_conference.py
+"""
+
+from repro import HbhChannel, Network, isp_topology
+from repro.core.tables import ProtocolTiming
+from repro.metrics.tree_shape import tree_shape
+
+TIMING = ProtocolTiming(join_period=50.0, tree_period=50.0,
+                        t1=130.0, t2=260.0)
+#: Conference participants (hosts on the ISP topology).
+PARTICIPANTS = (18, 23, 28, 33)
+
+
+def main() -> None:
+    network = Network(isp_topology(seed=4))
+
+    print(f"conference of {len(PARTICIPANTS)} participants: "
+          f"{list(PARTICIPANTS)}")
+    print("one source-specific channel per speaker; everyone joins "
+          "everyone else's:\n")
+
+    channels = {}
+    for speaker in PARTICIPANTS:
+        channel = HbhChannel(network, source_node=speaker, timing=TIMING)
+        for listener in PARTICIPANTS:
+            if listener != speaker:
+                channel.join(listener)
+        channels[speaker] = channel
+
+    # One shared simulator drives all four channels' soft state.
+    next(iter(channels.values())).converge(periods=20)
+
+    total_copies = 0
+    for speaker, channel in channels.items():
+        distribution = channel.measure_data(settle_periods=2.0)
+        assert distribution.complete, (speaker, distribution.missing)
+        shape = tree_shape(distribution)
+        listeners = sorted(distribution.delays)
+        total_copies += distribution.copies
+        print(f"speaker {speaker} ({channel.channel}):")
+        print(f"    listeners {listeners}, copies "
+              f"{distribution.copies}, branch points "
+              f"{shape.branching_nodes}, worst delay "
+              f"{max(distribution.delays.values()):.0f}")
+
+    print(f"\naggregate data-plane cost: {total_copies} copies per "
+          f"all-speak round")
+    print("each channel is an independent shortest-path tree — adding a")
+    print("speaker adds one channel, never reshapes the others (the")
+    print("address-allocation-free composition the channel model buys).")
+
+
+if __name__ == "__main__":
+    main()

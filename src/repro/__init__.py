@@ -1,0 +1,54 @@
+"""repro — a reproduction of "Hop By Hop Multicast Routing Protocol"
+(Costa, Fdida & Duarte, SIGCOMM 2001).
+
+The package implements HBH itself (:mod:`repro.core`), the protocols
+the paper compares against — REUNITE, PIM-SM shared trees and PIM-SS
+source trees (:mod:`repro.protocols`) — a discrete-event network
+simulator (:mod:`repro.netsim`), the unicast routing and topology
+substrates (:mod:`repro.routing`, :mod:`repro.topology`), metrics
+(:mod:`repro.metrics`) and the experiment harness that regenerates
+every evaluation figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import Network, HbhChannel, isp_topology
+
+    network = Network(isp_topology(seed=1))
+    channel = HbhChannel(network, source_node=18)
+    channel.join(25)
+    channel.join(31)
+    channel.converge(periods=10)
+    print(channel.measure_data().delays)
+"""
+
+from repro.addressing import Address, AddressAllocator, Channel, GroupAddress
+from repro.core import HbhChannel, StaticHbh
+from repro.errors import ReproError
+from repro.metrics import DataDistribution, average_delay, tree_cost_copies
+from repro.netsim import Network, Simulator
+from repro.protocols.base import build_protocol
+from repro.routing import UnicastRouting, measure_route_asymmetry
+from repro.topology import isp_topology, random_topology_50
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Address",
+    "AddressAllocator",
+    "Channel",
+    "GroupAddress",
+    "HbhChannel",
+    "StaticHbh",
+    "ReproError",
+    "DataDistribution",
+    "average_delay",
+    "tree_cost_copies",
+    "Network",
+    "Simulator",
+    "build_protocol",
+    "UnicastRouting",
+    "measure_route_asymmetry",
+    "isp_topology",
+    "random_topology_50",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Seeded randomness helpers.
+
+Every stochastic component of the library takes either a seed or a
+``random.Random`` instance so that experiments are reproducible run to
+run.  These helpers normalise the two forms and derive independent
+sub-streams for the different random choices inside one experiment
+(costs vs. receiver sampling), so that changing one sweep dimension does
+not perturb the other.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+SeedLike = Union[int, random.Random, None]
+
+
+def make_rng(seed: SeedLike = None) -> random.Random:
+    """Return a ``random.Random`` for ``seed``.
+
+    ``None`` produces a fresh nondeterministically-seeded generator, an
+    ``int`` a deterministic one, and an existing ``Random`` is returned
+    unchanged (shared state, deliberate).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def derive_rng(rng: random.Random, label: str, index: Optional[int] = None) -> random.Random:
+    """Derive an independent sub-generator from ``rng``.
+
+    The sub-stream is keyed by ``label`` (and optionally ``index``) plus
+    fresh bits drawn from ``rng``, so repeated calls with the same label
+    yield different but reproducible streams.
+    """
+    base = rng.getrandbits(64)
+    key = (base, label, index)
+    return random.Random(hash(key))
+
+
+def sample_receivers(
+    candidates: list,
+    count: int,
+    rng: random.Random,
+) -> list:
+    """Uniformly sample ``count`` distinct receivers from ``candidates``.
+
+    Matches the paper's workload: "a variable number of randomly chosen
+    receivers join the channel" (Section 4.1).
+    """
+    if count > len(candidates):
+        raise ValueError(
+            f"cannot sample {count} receivers from {len(candidates)} candidates"
+        )
+    return rng.sample(candidates, count)

@@ -1,0 +1,51 @@
+"""HBH — the Hop-By-Hop multicast routing protocol (the paper's contribution).
+
+The package splits the protocol into:
+
+- :mod:`messages` — the three control messages (``join``, ``tree``,
+  ``fusion``) of Section 3.1;
+- :mod:`tables` — the Multicast Control Table (MCT) and Multicast
+  Forwarding Table (MFT) with the t1/t2 soft-state, *stale* and
+  *marked* entry semantics;
+- :mod:`rules` — the message-processing rules of Appendix A (Fig. 9) as
+  pure functions over table state, shared verbatim by both execution
+  drivers;
+- :mod:`router`, :mod:`source`, :mod:`receiver` — event-driven agents
+  for the packet-level simulator;
+- :mod:`forwarding` — the recursive-unicast data plane;
+- :mod:`protocol` — the high-level facade (build a channel, join
+  receivers, converge, measure).
+"""
+
+from repro.core.messages import FusionMessage, JoinMessage, TreeMessage
+from repro.core.tables import (
+    Mct,
+    MctEntry,
+    Mft,
+    MftEntry,
+    ProtocolTiming,
+    ROUND_TIMING,
+)
+from repro.core.protocol import HbhChannel, ensure_hbh_routers
+from repro.core.receiver import HbhReceiverAgent
+from repro.core.router import HbhRouterAgent
+from repro.core.source import HbhSourceAgent
+from repro.core.static_driver import StaticHbh
+
+__all__ = [
+    "HbhChannel",
+    "HbhReceiverAgent",
+    "HbhRouterAgent",
+    "HbhSourceAgent",
+    "ensure_hbh_routers",
+    "JoinMessage",
+    "TreeMessage",
+    "FusionMessage",
+    "Mct",
+    "MctEntry",
+    "Mft",
+    "MftEntry",
+    "ProtocolTiming",
+    "ROUND_TIMING",
+    "StaticHbh",
+]

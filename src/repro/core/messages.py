@@ -1,0 +1,80 @@
+"""HBH control messages (Section 3.1).
+
+- ``join(S, r)``: periodically unicast by each receiver toward the
+  source; refreshes the MFT entry at the router where the receiver
+  joined.  A branching router joins the channel itself at the next
+  upstream branching router by sending ``join(S, B)``.
+- ``tree(S, R)``: periodically multicast by the source down the current
+  tree; refreshes the rest of the tree structure and discovers
+  branching points.
+- ``fusion(S, R1..Rn)``: sent upstream by (potential) branching routers
+  that see tree messages for several targets; re-points the upstream
+  node at the branching router.
+
+Addresses are generic hashables so the same messages serve both the
+packet-level simulator (real ``Address`` objects) and the round-based
+static driver (topology node ids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+Addr = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class JoinMessage:
+    """``join(S, joiner)`` — travels upstream toward the source.
+
+    ``initial`` marks a receiver's very first join, which is *never*
+    intercepted: "the first join issued by a receiver is never
+    intercepted, reaching the source" (Section 3.1).  This is how HBH
+    guarantees the source learns the true shortest-path target before
+    the tree decides where the receiver attaches.
+    """
+
+    channel: Hashable
+    joiner: Addr
+    initial: bool = False
+
+    def __str__(self) -> str:
+        tag = "join*" if self.initial else "join"
+        return f"{tag}({self.channel}, {self.joiner})"
+
+
+@dataclass(frozen=True, slots=True)
+class TreeMessage:
+    """``tree(S, target)`` — travels downstream from the source (or a
+    branching node) toward ``target`` along forward unicast routes,
+    installing and refreshing MCT/MFT state at every HBH router it
+    crosses.
+    """
+
+    channel: Hashable
+    target: Addr
+
+    def __str__(self) -> str:
+        return f"tree({self.channel}, {self.target})"
+
+
+@dataclass(frozen=True, slots=True)
+class FusionMessage:
+    """``fusion(S, R1..Rn)`` from ``sender`` — travels upstream toward
+    the source until intercepted by the node whose MFT holds the listed
+    receivers; that node marks them and adopts ``sender`` as the next
+    branching node (Appendix A, fusion rules 1-4).
+    """
+
+    channel: Hashable
+    receivers: Tuple[Addr, ...]
+    sender: Addr
+
+    def __post_init__(self) -> None:
+        if not self.receivers:
+            raise ValueError("fusion message must list at least one receiver")
+
+    def __str__(self) -> str:
+        listed = ", ".join(str(r) for r in self.receivers)
+        return f"fusion({self.channel}, [{listed}]) from {self.sender}"

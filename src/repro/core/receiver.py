@@ -1,0 +1,118 @@
+"""Event-driven HBH receiver agent.
+
+A receiver joins a channel by sending a ``join(S, r)`` toward the
+source — the first one flagged *initial* so it is never intercepted
+(Section 3.1) — and then refreshing it every join period.  Leaving is
+silent: the receiver "simply stops sending join messages" and its state
+upstream ages out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.addressing import Channel
+from repro.core.messages import JoinMessage, TreeMessage
+from repro.core.tables import ProtocolTiming
+from repro.errors import ChannelError
+from repro.netsim.node import Agent
+from repro.netsim.packet import DataPayload, Packet
+
+
+@dataclass(frozen=True, slots=True)
+class Delivery:
+    """One data packet received: which, when, and how late."""
+
+    stream_id: int
+    sequence: int
+    received_at: float
+    delay: float
+
+
+class HbhReceiverAgent(Agent):
+    """A channel subscriber on a host (or router) node."""
+
+    def __init__(self, channel: Channel,
+                 timing: Optional[ProtocolTiming] = None) -> None:
+        super().__init__()
+        self.channel = channel
+        self.timing = timing or ProtocolTiming()
+        self.joined = False
+        self.deliveries: List[Delivery] = []
+        self._seen: set = set()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def join(self) -> None:
+        """Subscribe: emit the initial (uninterceptable) join and start
+        the periodic refresh cycle."""
+        if self.joined:
+            raise ChannelError(
+                f"receiver {self.node.node_id} already joined {self.channel}"
+            )
+        self.joined = True
+        self._send_join(initial=True)
+        self._schedule_refresh()
+
+    def leave(self) -> None:
+        """Unsubscribe by going silent (soft state decays upstream)."""
+        if not self.joined:
+            raise ChannelError(
+                f"receiver {self.node.node_id} is not joined to {self.channel}"
+            )
+        self.joined = False
+
+    def _send_join(self, initial: bool = False) -> None:
+        self.node.emit(Packet(
+            src=self.node.address,
+            dst=self.channel.source,
+            payload=JoinMessage(self.channel, self.node.address,
+                                initial=initial),
+        ))
+
+    def _schedule_refresh(self) -> None:
+        self.node.network.simulator.schedule(
+            self.timing.join_period, self._refresh
+        )
+
+    def _refresh(self) -> None:
+        if not self.joined:
+            return  # silent: the refresh chain stops with membership
+        self._send_join()
+        self._schedule_refresh()
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def deliver(self, packet: Packet) -> bool:
+        payload = packet.payload
+        if isinstance(payload, DataPayload) and payload.channel == self.channel:
+            if not self.joined:
+                # Stray data for an unsubscribed receiver (decaying
+                # branch, or this agent was replaced): not ours.
+                return False
+            now = self.node.network.simulator.now
+            key = (payload.stream_id, payload.sequence)
+            if key not in self._seen:  # first copy wins; duplicates dropped
+                self._seen.add(key)
+                self.deliveries.append(Delivery(
+                    stream_id=payload.stream_id,
+                    sequence=payload.sequence,
+                    received_at=now,
+                    delay=now - payload.sent_at,
+                ))
+            return True
+        if isinstance(payload, TreeMessage) and payload.channel == self.channel:
+            return True  # tree message reached its target: consumed here
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def last_delay(self) -> Optional[float]:
+        """Delay of the most recent delivery, if any."""
+        if not self.deliveries:
+            return None
+        return self.deliveries[-1].delay

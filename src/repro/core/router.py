@@ -1,0 +1,188 @@
+"""Event-driven HBH router agent.
+
+Wraps the pure Appendix-A rules (:mod:`repro.core.rules`) for the
+packet-level simulator: the agent intercepts join/tree/fusion packets
+crossing its node, mutates the per-channel MCT/MFT state, and turns the
+rules' actions into packets.  Data packets addressed to this node are
+consumed and re-emitted once per data-eligible MFT entry — the
+recursive-unicast data plane.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.addressing import Channel
+from repro.core.messages import FusionMessage, JoinMessage, TreeMessage
+from repro.core.rules import (
+    Action,
+    Consume,
+    Forward,
+    OriginateFusion,
+    OriginateJoin,
+    OriginateTree,
+    process_fusion,
+    process_join,
+    process_tree,
+)
+from repro.core.tables import HbhChannelState, ProtocolTiming
+from repro.errors import ProtocolError
+from repro.netsim.node import Agent
+from repro.netsim.packet import DataPayload, Packet, PacketKind
+
+NodeId = Hashable
+
+
+class HbhRouterAgent(Agent):
+    """The HBH protocol engine running on one multicast-capable router."""
+
+    def __init__(self, timing: Optional[ProtocolTiming] = None) -> None:
+        super().__init__()
+        self.timing = timing or ProtocolTiming()
+        self.states: Dict[Channel, HbhChannelState] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the periodic soft-state housekeeping scan."""
+        self._schedule_housekeeping()
+
+    def _schedule_housekeeping(self) -> None:
+        self.node.network.simulator.schedule(
+            self.timing.tree_period, self._housekeeping
+        )
+
+    def _housekeeping(self) -> None:
+        now = self.node.network.simulator.now
+        emptied = []
+        for channel, state in self.states.items():
+            removed = state.expire(now, self.timing)
+            if removed:
+                self._trace("expire", f"{channel}: destroyed {removed}")
+            if not state.in_tree:
+                emptied.append(channel)
+        for channel in emptied:
+            del self.states[channel]
+        self._schedule_housekeeping()
+
+    # ------------------------------------------------------------------
+    # Packet processing
+    # ------------------------------------------------------------------
+    def intercept(self, packet: Packet, arrived_from: Optional[NodeId]) -> bool:
+        payload = packet.payload
+        now = self.node.network.simulator.now
+        if isinstance(payload, JoinMessage):
+            state = self._state(payload.channel)
+            actions = process_join(
+                state, payload, self.node.address, now, self.timing
+            )
+            return self._apply(payload.channel, actions, packet)
+        if isinstance(payload, TreeMessage):
+            state = self._state(payload.channel)
+            actions = process_tree(
+                state, payload, self.node.address, now, self.timing,
+                arrived_from=arrived_from,
+            )
+            return self._apply(payload.channel, actions, packet)
+        if isinstance(payload, FusionMessage):
+            state = self._state(payload.channel)
+            actions = process_fusion(state, payload, now,
+                                     arrived_from=arrived_from)
+            consumed = self._apply(payload.channel, actions, packet)
+            if not consumed:
+                return self._relay_fusion_upstream(state, packet,
+                                                   arrived_from)
+            return consumed
+        if isinstance(payload, DataPayload) and packet.dst == self.node.address:
+            return self._branch_data(packet, payload, now)
+        return False
+
+    def _relay_fusion_upstream(self, state: HbhChannelState, packet: Packet,
+                               arrived_from) -> bool:
+        """Relay a non-intercepted fusion up the *tree*: out of the
+        upstream interface learned from tree-message arrivals.  This is
+        what lets a fusion find the data-plane parent even when the
+        unicast reverse route toward the source would miss it.  Off the
+        tree (or if the hop would bounce straight back), fall through
+        to plain unicast forwarding toward the source."""
+        upstream = state.upstream
+        if upstream is None or upstream == arrived_from:
+            return False
+        if upstream not in self.node.links:
+            return False  # stale upstream hint: unicast fallback
+        self.node.send_via(upstream, packet)
+        return True
+
+    def _branch_data(self, packet: Packet, payload: DataPayload,
+                     now: float) -> bool:
+        """Recursive-unicast branching: consume data addressed to this
+        node and emit one modified copy per data-eligible MFT entry."""
+        state = self.states.get(payload.channel)
+        if state is None or state.mft is None:
+            return False  # not a branching node: let a local receiver claim it
+        for target in state.mft.data_targets(now, self.timing):
+            if target == self.node.address:
+                continue
+            self.node.emit(packet.readdressed(target))
+        self._trace("branch-data", f"{payload.channel} -> {len(state.mft)} entries")
+        return True
+
+    # ------------------------------------------------------------------
+    # Action execution
+    # ------------------------------------------------------------------
+    def _apply(self, channel: Channel, actions: List[Action],
+               packet: Packet) -> bool:
+        consumed = False
+        for action in actions:
+            if isinstance(action, Forward):
+                continue  # node.receive falls through to unicast forwarding
+            if isinstance(action, Consume):
+                consumed = True
+            elif isinstance(action, OriginateJoin):
+                self.node.emit(Packet(
+                    src=self.node.address,
+                    dst=channel.source,
+                    payload=JoinMessage(channel, action.joiner),
+                ))
+            elif isinstance(action, OriginateTree):
+                if action.target == self.node.address:
+                    continue
+                self.node.emit(Packet(
+                    src=self.node.address,
+                    dst=action.target,
+                    payload=TreeMessage(channel, action.target),
+                ))
+            elif isinstance(action, OriginateFusion):
+                fusion_packet = Packet(
+                    src=self.node.address,
+                    dst=channel.source,
+                    payload=FusionMessage(
+                        channel, action.receivers, sender=self.node.address
+                    ),
+                )
+                upstream = self.states[channel].upstream
+                if upstream is not None and upstream in self.node.links:
+                    # Fusions climb the tree, not the unicast route.
+                    self.node.send_via(upstream, fusion_packet)
+                else:
+                    self.node.emit(fusion_packet)
+            else:  # pragma: no cover - exhaustive
+                raise ProtocolError(f"unknown action {action!r}")
+        return consumed
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _state(self, channel: Channel) -> HbhChannelState:
+        state = self.states.get(channel)
+        if state is None:
+            state = HbhChannelState()
+            self.states[channel] = state
+        return state
+
+    def _trace(self, event: str, detail: str) -> None:
+        network = self.node.network
+        network.trace.record(
+            network.simulator.now, self.node.node_id, event, detail
+        )

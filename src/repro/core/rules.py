@@ -1,0 +1,275 @@
+"""The HBH message-processing rules of Appendix A (paper Fig. 9).
+
+Each function takes the router's per-channel state and one message and
+returns a list of :class:`Action` values describing what the router
+does — forward the message, intercept it, originate a join/tree/fusion.
+The functions are *pure* with respect to I/O (they mutate only the
+passed-in table state), so the event-driven agents and the round-based
+static driver execute byte-for-byte identical protocol logic.
+
+Rule numbering in comments follows the paper's Fig. 9 captions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Tuple, Union
+
+from repro.core.messages import FusionMessage, JoinMessage, TreeMessage
+from repro.core.tables import (
+    HbhChannelState,
+    Mct,
+    Mft,
+    ProtocolTiming,
+)
+
+Addr = Hashable
+
+
+# ----------------------------------------------------------------------
+# Actions a rule can request from its driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class Forward:
+    """Keep forwarding the current message toward its destination."""
+
+
+@dataclass(frozen=True, slots=True)
+class Consume:
+    """Drop the current message (it was intercepted or is spent)."""
+
+
+@dataclass(frozen=True, slots=True)
+class OriginateJoin:
+    """Send ``join(S, joiner)`` upstream toward the source."""
+
+    joiner: Addr
+
+
+@dataclass(frozen=True, slots=True)
+class OriginateTree:
+    """Send ``tree(S, target)`` downstream from this router."""
+
+    target: Addr
+
+
+@dataclass(frozen=True, slots=True)
+class OriginateFusion:
+    """Send ``fusion(S, receivers)`` upstream toward the source."""
+
+    receivers: Tuple[Addr, ...]
+
+
+Action = Union[Forward, Consume, OriginateJoin, OriginateTree, OriginateFusion]
+
+
+def _fusion_payload(mft: Mft) -> Tuple[Addr, ...]:
+    """What a branching node lists in its fusion messages: "all the
+    nodes that B maintains in its MFT - the nodes for which B is
+    branching node" (Appendix A)."""
+    return tuple(mft.addresses())
+
+
+# ----------------------------------------------------------------------
+# Join processing (Fig. 9(a))
+# ----------------------------------------------------------------------
+def process_join(
+    state: HbhChannelState,
+    message: JoinMessage,
+    self_addr: Addr,
+    now: float,
+    timing: ProtocolTiming,
+) -> List[Action]:
+    """Handle ``join(S, R)`` at transit router B.
+
+    (1) B has no MFT -> forward unchanged.
+    (2) R not in B's MFT -> forward unchanged.
+    (3) R in B's MFT -> intercept: refresh R's entry and send
+        ``join(S, B)`` upstream (B is a branching node of the channel
+        and joins the group itself at the next upstream branching node).
+
+    A receiver's *first* join is never intercepted (Section 3.1), so it
+    is forwarded before any table lookup.
+    """
+    if message.initial:
+        return [Forward()]
+    mft = state.mft
+    if mft is None:  # rule 1
+        return [Forward()]
+    entry = mft.get(message.joiner)
+    if entry is None:  # rule 2
+        return [Forward()]
+    # rule 3
+    entry.refresh_by_join(now)
+    return [Consume(), OriginateJoin(joiner=self_addr)]
+
+
+def process_join_at_source(
+    mft: Mft,
+    message: JoinMessage,
+    now: float,
+) -> List[Action]:
+    """Handle ``join(S, R)`` arriving at the source itself.
+
+    The source maintains the MFT of its direct children: a new joiner
+    is added fresh, an existing one refreshed.  (Fig. 5: "r1 joins the
+    multicast channel at S"; Fig. 2-discussion: join refreshes the r1
+    entry in S's MFT.)
+    """
+    entry = mft.get(message.joiner)
+    if entry is None:
+        mft.add(message.joiner, now)
+    else:
+        entry.refresh_by_join(now)
+    return [Consume()]
+
+
+# ----------------------------------------------------------------------
+# Tree processing (Fig. 9(c))
+# ----------------------------------------------------------------------
+def process_tree(
+    state: HbhChannelState,
+    message: TreeMessage,
+    self_addr: Addr,
+    now: float,
+    timing: ProtocolTiming,
+    arrived_from: Addr = None,
+) -> List[Action]:
+    """Handle ``tree(S, R)`` at router B.
+
+    (1) addressed to B (B branching) -> discard; send ``tree(S, X)``
+        for every non-stale X in the MFT.
+    (2) B branching, R new -> add R to the MFT, fusion upstream.
+    (3) B branching, R already in MFT -> refresh R, fusion upstream.
+    (4) B not in the tree -> create ``MCT = {R}``.
+    (5,6) B has an MCT containing R -> refresh it.
+    (7) B's MCT is stale -> R replaces the previous entry.
+    (8) B's MCT is fresh with a different R' -> B becomes a branching
+        node: create ``MFT = {R', R}``, destroy the MCT, fusion
+        upstream.
+
+    In cases 2-8 the message also keeps travelling toward R ("a tree
+    message received by router B is treated and forwarded").
+
+    Tree messages always arrive from the router's current parent on the
+    distribution tree, so ``arrived_from`` is recorded as the channel's
+    upstream interface (consumed by the fusion interception check).
+    """
+    if arrived_from is not None:
+        state.upstream = arrived_from
+    mft = state.mft
+    if mft is not None:
+        if message.target == self_addr:  # rule 1
+            actions: List[Action] = [Consume()]
+            actions.extend(
+                OriginateTree(target=x)
+                for x in mft.tree_targets(now, timing)
+            )
+            return actions
+        entry = mft.get(message.target)
+        if entry is None:  # rule 2
+            mft.add(message.target, now)
+        else:  # rule 3
+            entry.refresh_by_tree(now)
+        return [Forward(), OriginateFusion(receivers=_fusion_payload(mft))]
+
+    if message.target == self_addr:
+        # A tree message for this node but no MFT here: nothing to
+        # regenerate (a receiver agent, if any, consumes it upstack).
+        return [Consume()]
+
+    mct = state.mct
+    if mct is None:  # rule 4
+        state.mct = Mct(message.target, now)
+        return [Forward()]
+    if mct.entry.address == message.target:  # rules 5, 6
+        mct.refresh(now)
+        return [Forward()]
+    if mct.is_stale(now, timing):  # rule 7
+        mct.replace(message.target, now)
+        return [Forward()]
+    # rule 8: second live target through a non-branching router -> branch.
+    previous = mct.entry.address
+    state.mct = None
+    mft = Mft()
+    # Preserve the original entry's freshness; the new target is fresh.
+    mft.add(previous, mct.entry.refreshed_at)
+    mft.add(message.target, now)
+    state.mft = mft
+    return [Forward(), OriginateFusion(receivers=_fusion_payload(mft))]
+
+
+# ----------------------------------------------------------------------
+# Fusion processing (Fig. 9(b))
+# ----------------------------------------------------------------------
+def process_fusion(
+    state: HbhChannelState,
+    message: FusionMessage,
+    now: float,
+    arrived_from: Addr = None,
+) -> List[Action]:
+    """Handle ``fusion(S, R1..Rn)`` from ``Bp`` at transit router B.
+
+    (1) none of the listed receivers is in B's MFT -> forward upstream;
+    (2) otherwise the fusion is "addressed to" B: mark the listed
+        entries (tree forwarding only, no data);
+    (3) add Bp with its t1 expired (data forwarding only, no tree
+        messages) if absent;
+    (4) if Bp is already present, refresh t2 only, keeping a stale Bp
+        stale (a join-refreshed fresh Bp entry stays fresh).
+
+    A fusion arriving through B's *upstream* interface (where B's own
+    tree messages come from) was produced by an ancestor whose reverse
+    unicast route to S happens to traverse B — B relays it untouched.
+    Without this check a parent and child sharing receivers would adopt
+    each other under asymmetric routing and the data plane would loop.
+    """
+    mft = state.mft
+    if mft is None:
+        return [Forward()]  # rule 1 (non-branching routers relay fusions)
+    if arrived_from is not None and arrived_from == state.upstream:
+        return [Forward()]  # ancestor's fusion in transit: not ours
+    listed = [mft.get(r) for r in message.receivers]
+    present = [entry for entry in listed if entry is not None]
+    if not present:
+        return [Forward()]  # rule 1
+    for entry in present:  # rule 2
+        entry.mark(now)
+    sender_entry = mft.get(message.sender)
+    if sender_entry is None:  # rule 3
+        mft.add(message.sender, now, forced_stale=True)
+    elif sender_entry.forced_stale:  # rule 4
+        sender_entry.keep_alive_stale(now)
+    else:
+        # Bp is fresh (its joins reach us): just keep t2 alive.
+        sender_entry.refreshed_at = now
+    return [Consume()]
+
+
+def process_fusion_at_source(
+    mft: Mft,
+    message: FusionMessage,
+    now: float,
+) -> List[Action]:
+    """Handle a fusion that reached the source.
+
+    Same marking/adoption logic as at a branching router (Fig. 5:
+    "the reception of the fusion causes S to mark the r1 and r3 entries
+    in its MFT and to add H1 to it"), except the source never forwards
+    fusions further — it consumes them even when no listed receiver is
+    present (a transient: the receivers' entries already expired).
+    """
+    listed = [mft.get(r) for r in message.receivers]
+    present = [entry for entry in listed if entry is not None]
+    if not present:
+        return [Consume()]
+    for entry in present:
+        entry.mark(now)
+    sender_entry = mft.get(message.sender)
+    if sender_entry is None:
+        mft.add(message.sender, now, forced_stale=True)
+    elif sender_entry.forced_stale:
+        sender_entry.keep_alive_stale(now)
+    else:
+        sender_entry.refreshed_at = now
+    return [Consume()]

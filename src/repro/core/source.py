@@ -1,0 +1,105 @@
+"""Event-driven HBH source agent.
+
+The source of a channel ``<S, G>`` keeps the MFT of its direct children
+(receivers that joined at S, plus fusion-adopted branching nodes),
+consumes joins and fusions addressed to it, and periodically multicasts
+``tree`` messages for its non-stale entries (Section 3.1).
+
+``send_data`` injects data packets: one unicast copy per data-eligible
+MFT entry — the root of the recursive-unicast distribution.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Optional
+
+from repro.addressing import Channel, GroupAddress
+from repro.core.messages import FusionMessage, JoinMessage, TreeMessage
+from repro.core.rules import process_fusion_at_source, process_join_at_source
+from repro.core.tables import Mft, ProtocolTiming
+from repro.netsim.node import Agent
+from repro.netsim.packet import DataPayload, Packet, PacketKind
+
+NodeId = Hashable
+
+
+class HbhSourceAgent(Agent):
+    """The source endpoint of one HBH channel."""
+
+    def __init__(self, group: GroupAddress,
+                 timing: Optional[ProtocolTiming] = None) -> None:
+        super().__init__()
+        self.group = group
+        self.timing = timing or ProtocolTiming()
+        self.mft = Mft()
+        self.channel: Optional[Channel] = None
+        self._sequence = itertools.count()
+        self.data_packets_sent = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attached(self, node) -> None:
+        super().attached(node)
+        self.channel = Channel(source=node.address, group=self.group)
+
+    def start(self) -> None:
+        """Begin periodic tree emission."""
+        self._schedule_tree_round()
+
+    def _schedule_tree_round(self) -> None:
+        self.node.network.simulator.schedule(
+            self.timing.tree_period, self._tree_round
+        )
+
+    def _tree_round(self) -> None:
+        now = self.node.network.simulator.now
+        self.mft.expire(now, self.timing)
+        for target in self.mft.tree_targets(now, self.timing):
+            self.node.emit(Packet(
+                src=self.node.address,
+                dst=target,
+                payload=TreeMessage(self.channel, target),
+            ))
+        self._schedule_tree_round()
+
+    # ------------------------------------------------------------------
+    # Control-plane input
+    # ------------------------------------------------------------------
+    def intercept(self, packet: Packet, arrived_from) -> bool:
+        if packet.dst != self.node.address:
+            return False
+        payload = packet.payload
+        now = self.node.network.simulator.now
+        if isinstance(payload, JoinMessage) and payload.channel == self.channel:
+            process_join_at_source(self.mft, payload, now)
+            return True
+        if isinstance(payload, FusionMessage) and payload.channel == self.channel:
+            process_fusion_at_source(self.mft, payload, now)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def send_data(self, stream_id: int = 0) -> int:
+        """Send one data packet to the channel; returns the number of
+        unicast copies emitted at the root."""
+        now = self.node.network.simulator.now
+        payload = DataPayload(
+            channel=self.channel,
+            stream_id=stream_id,
+            sequence=next(self._sequence),
+            sent_at=now,
+        )
+        targets = self.mft.data_targets(now, self.timing)
+        for target in targets:
+            self.node.emit(Packet(
+                src=self.node.address,
+                dst=target,
+                payload=payload,
+                kind=PacketKind.DATA,
+            ))
+        self.data_packets_sent += 1
+        return len(targets)

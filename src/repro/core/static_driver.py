@@ -1,0 +1,407 @@
+"""Round-based ("static") HBH driver.
+
+The Monte-Carlo sweeps of Section 4 need thousands of converged trees;
+running the full packet-level simulator for each would dominate wall
+clock without changing the outcome (the paper's scenarios have static
+membership).  This driver executes the *same* Appendix-A rules
+(:mod:`repro.core.rules`) synchronously, one protocol period per round:
+
+1. every receiver emits its periodic ``join`` (walked hop-by-hop along
+   its unicast route toward the source, applying the join rules);
+2. the source emits ``tree`` messages for its non-stale MFT entries;
+   tree messages walk forward unicast routes, applying the tree rules,
+   cascading regenerated trees and ``fusion`` messages to a fixpoint
+   within the round;
+3. soft state ages: entries missing refreshes go stale (t1) and are
+   destroyed (t2), with one round = one refresh period.
+
+``converge()`` repeats rounds until the table state stops changing.
+``distribute_data()`` then injects one data packet and records every
+link crossing and receiver delay — the measurement the paper's figures
+are built from.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Hashable, List, Optional, Set, Tuple, Union
+
+from repro.core.messages import FusionMessage, JoinMessage, TreeMessage
+from repro.core.rules import (
+    Consume,
+    Forward,
+    OriginateFusion,
+    OriginateJoin,
+    OriginateTree,
+    process_fusion,
+    process_fusion_at_source,
+    process_join,
+    process_join_at_source,
+    process_tree,
+)
+from repro.core.tables import HbhChannelState, Mft, ProtocolTiming, ROUND_TIMING
+from repro.errors import ChannelError, ProtocolError
+from repro.metrics.distribution import DataDistribution
+from repro.routing.tables import UnicastRouting
+from repro.topology.model import NodeKind, Topology
+
+NodeId = Hashable
+
+#: Safety valve for in-round message cascades.
+_MAX_CASCADE = 100_000
+
+
+class StaticHbh:
+    """One HBH channel driven round-by-round to convergence.
+
+    Node ids double as protocol addresses (the static driver never
+    leaves the topology layer).  Only multicast-capable *routers* apply
+    the HBH rules; hosts and unicast-only routers simply relay, which
+    is exactly the transparent-unicast-cloud property of the protocol.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        source: NodeId,
+        routing: Optional[UnicastRouting] = None,
+        timing: ProtocolTiming = ROUND_TIMING,
+    ) -> None:
+        topology.kind(source)  # validates node existence
+        self.topology = topology
+        self.routing = routing or UnicastRouting(topology)
+        self.source = source
+        self.timing = timing
+        self.channel = ("hbh", source)
+        self.source_mft = Mft()
+        self.states: Dict[NodeId, HbhChannelState] = {}
+        self.receivers: Set[NodeId] = set()
+        self.round_no = 0
+        #: Count of rule-level events, exposed for overhead analysis.
+        self.messages_processed = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_receiver(self, receiver: NodeId) -> None:
+        """Join ``receiver`` to the channel.
+
+        The receiver's first join is sent immediately and — per
+        Section 3.1 — travels uninterceptable to the source.
+        """
+        self.topology.kind(receiver)
+        if receiver == self.source:
+            raise ChannelError("the source cannot join its own channel")
+        if receiver in self.receivers:
+            raise ChannelError(f"receiver {receiver} already joined")
+        self.receivers.add(receiver)
+        join = JoinMessage(self.channel, receiver, initial=True)
+        self._walk_join(receiver, join)
+
+    def remove_receiver(self, receiver: NodeId) -> None:
+        """Leave the channel: the receiver just stops sending joins
+        (Section 2.1); its state ages out over subsequent rounds."""
+        try:
+            self.receivers.remove(receiver)
+        except KeyError:
+            raise ChannelError(f"receiver {receiver} is not joined") from None
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Virtual time: the current round number."""
+        return float(self.round_no)
+
+    def run_round(self) -> None:
+        """One protocol period: joins, tree/fusion cascade, aging."""
+        self.round_no += 1
+        for receiver in sorted(self.receivers):
+            self._walk_join(receiver, JoinMessage(self.channel, receiver))
+        self._tree_phase()
+        self._expire()
+
+    def converge(self, max_rounds: int = 40, settle_rounds: int = 2) -> int:
+        """Run rounds until the tree is stable; returns rounds executed.
+
+        Stability = the structural snapshot unchanged for
+        ``settle_rounds`` consecutive rounds.  Raises
+        :class:`ProtocolError` if ``max_rounds`` pass without
+        convergence (a rule bug, not a tuning matter).
+        """
+        stable = 0
+        previous = self._snapshot()
+        for executed in range(1, max_rounds + 1):
+            self.run_round()
+            current = self._snapshot()
+            if current == previous:
+                stable += 1
+                if stable >= settle_rounds:
+                    return executed
+            else:
+                stable = 0
+                previous = current
+        raise ProtocolError(
+            f"HBH did not converge within {max_rounds} rounds "
+            f"({len(self.receivers)} receivers on {self.topology.name!r})"
+        )
+
+    def _snapshot(self) -> Tuple:
+        """A hashable structural view of all channel state."""
+        now, timing = self.now, self.timing
+        items: List[Tuple] = []
+        for node in sorted(self.states):
+            state = self.states[node]
+            if state.mct is not None:
+                items.append((node, "mct", state.mct.entry.address,
+                              state.mct.is_stale(now, timing)))
+            if state.mft is not None:
+                for entry in state.mft:
+                    items.append((node, "mft", entry.address,
+                                  entry.is_marked(now, timing),
+                                  entry.is_stale(now, timing)))
+        for entry in self.source_mft:
+            items.append((self.source, "src", entry.address,
+                          entry.is_marked(now, timing),
+                          entry.is_stale(now, timing)))
+        return tuple(items)
+
+    def _expire(self) -> None:
+        now, timing = self.now, self.timing
+        self.source_mft.expire(now, timing)
+        emptied = []
+        for node, state in self.states.items():
+            state.expire(now, timing)
+            if not state.in_tree:
+                emptied.append(node)
+        for node in emptied:
+            del self.states[node]
+
+    # ------------------------------------------------------------------
+    # Message walks (hop-by-hop over unicast routes)
+    # ------------------------------------------------------------------
+    def _state_at(self, node: NodeId) -> HbhChannelState:
+        state = self.states.get(node)
+        if state is None:
+            state = HbhChannelState()
+            self.states[node] = state
+        return state
+
+    def _applies_rules(self, node: NodeId) -> bool:
+        """HBH rules run at multicast-capable transit routers only."""
+        return (
+            node != self.source
+            and self.topology.kind(node) is NodeKind.ROUTER
+            and self.topology.is_multicast_capable(node)
+        )
+
+    def _walk_join(self, origin: NodeId, message: JoinMessage) -> None:
+        """Walk a join from ``origin`` toward the source, applying the
+        join rules at every HBH router until interception or arrival."""
+        self.messages_processed += 1
+        current = origin
+        while current != self.source:
+            current = self.routing.next_hop(current, self.source)
+            if current == self.source:
+                process_join_at_source(self.source_mft, message, self.now)
+                return
+            if not self._applies_rules(current):
+                continue
+            actions = process_join(
+                self._state_at(current), message, current, self.now, self.timing
+            )
+            consumed = False
+            for action in actions:
+                if isinstance(action, Consume):
+                    consumed = True
+                elif isinstance(action, OriginateJoin):
+                    self._walk_join(
+                        current, JoinMessage(self.channel, action.joiner)
+                    )
+                elif not isinstance(action, Forward):  # pragma: no cover
+                    raise ProtocolError(f"unexpected join action {action!r}")
+            if consumed:
+                return
+
+    def _tree_phase(self) -> None:
+        """The source's periodic tree emission plus the full in-round
+        cascade of regenerated tree and fusion messages."""
+        queue: Deque[Tuple[NodeId, Union[TreeMessage, FusionMessage]]] = deque()
+        for target in self.source_mft.tree_targets(self.now, self.timing):
+            queue.append((self.source, TreeMessage(self.channel, target)))
+        steps = 0
+        while queue:
+            steps += 1
+            if steps > _MAX_CASCADE:  # pragma: no cover - safety valve
+                raise ProtocolError("tree/fusion cascade did not terminate")
+            origin, message = queue.popleft()
+            if isinstance(message, TreeMessage):
+                self._walk_tree(origin, message, queue)
+            else:
+                self._walk_fusion(origin, message, queue)
+
+    def _walk_tree(
+        self,
+        origin: NodeId,
+        message: TreeMessage,
+        queue: Deque,
+    ) -> None:
+        """Walk ``tree(S, target)`` from ``origin`` toward its target,
+        applying the tree rules at every HBH router on the way."""
+        self.messages_processed += 1
+        target_node = message.target
+        current = origin
+        while current != target_node:
+            previous = current
+            current = self.routing.next_hop(current, target_node)
+            if current == target_node and not self._applies_rules(current):
+                # Arrived at a host/receiver (or the source): consumed.
+                return
+            if not self._applies_rules(current):
+                continue
+            actions = process_tree(
+                self._state_at(current), message, current, self.now,
+                self.timing, arrived_from=previous,
+            )
+            consumed = False
+            for action in actions:
+                if isinstance(action, Consume):
+                    consumed = True
+                elif isinstance(action, OriginateTree):
+                    if action.target != current:
+                        queue.append(
+                            (current, TreeMessage(self.channel, action.target))
+                        )
+                elif isinstance(action, OriginateFusion):
+                    queue.append(
+                        (
+                            current,
+                            FusionMessage(
+                                self.channel, action.receivers, sender=current
+                            ),
+                        )
+                    )
+                elif not isinstance(action, Forward):  # pragma: no cover
+                    raise ProtocolError(f"unexpected tree action {action!r}")
+            if consumed:
+                return
+
+    def _fusion_next_hop(self, node: NodeId,
+                         visited: Set[NodeId]) -> NodeId:
+        """Where a fusion leaves ``node``: up the *tree* (the upstream
+        interface learned from tree-message arrivals) when known — this
+        is what makes the fusion find the data-plane parent even when
+        the unicast reverse route toward S misses it — otherwise (off
+        tree, unicast-only stretch, or a would-be loop) plain unicast
+        toward the source."""
+        state = self.states.get(node)
+        if (
+            state is not None
+            and state.upstream is not None
+            and state.upstream not in visited
+            and self._applies_rules(node)
+        ):
+            return state.upstream
+        return self.routing.next_hop(node, self.source)
+
+    def _walk_fusion(
+        self,
+        origin: NodeId,
+        message: FusionMessage,
+        queue: Deque,
+    ) -> None:
+        """Walk a fusion from ``origin`` upstream toward the source
+        (tree-path first, unicast fallback), applying the fusion rules
+        until interception."""
+        self.messages_processed += 1
+        current = origin
+        visited: Set[NodeId] = {origin}
+        while current != self.source:
+            previous = current
+            current = self._fusion_next_hop(current, visited)
+            visited.add(current)
+            if current == self.source:
+                process_fusion_at_source(self.source_mft, message, self.now)
+                return
+            if not self._applies_rules(current):
+                continue
+            actions = process_fusion(
+                self._state_at(current), message, self.now,
+                arrived_from=previous,
+            )
+            if any(isinstance(action, Consume) for action in actions):
+                return
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def distribute_data(self) -> DataDistribution:
+        """Inject one data packet at the source and record its journey.
+
+        The source addresses one copy to every data-eligible MFT entry
+        (stale entries included, marked ones skipped); each branching
+        node consumes copies addressed to itself and re-emits per its
+        own MFT — the recursive-unicast data plane of Section 2.2.
+        """
+        distribution = DataDistribution(expected=set(self.receivers))
+        expanded: Set[NodeId] = set()
+        for target in self.source_mft.data_targets(self.now, self.timing):
+            self._walk_data(self.source, target, 0.0, distribution, expanded)
+        return distribution
+
+    def _walk_data(
+        self,
+        origin: NodeId,
+        target: NodeId,
+        elapsed: float,
+        distribution: DataDistribution,
+        expanded: Set[NodeId],
+    ) -> None:
+        current = origin
+        while current != target:
+            nxt = self.routing.next_hop(current, target)
+            cost = self.topology.cost(current, nxt)
+            distribution.record_hop(current, nxt, cost)
+            elapsed += cost
+            current = nxt
+        if current in self.receivers:
+            distribution.record_delivery(current, elapsed)
+        if current in expanded:
+            # A transient table cycle would re-copy forever; a real
+            # packet would loop until its TTL died.  The first-visit
+            # expansion already served this subtree.
+            return
+        expanded.add(current)
+        state = self.states.get(current)
+        if state is not None and state.mft is not None:
+            for address in state.mft.data_targets(self.now, self.timing):
+                if address == current:
+                    continue  # a self-entry is the local delivery above
+                self._walk_data(
+                    current, address, elapsed, distribution, expanded
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def branching_nodes(self) -> List[NodeId]:
+        """Routers currently holding an MFT (the tree's branch points)."""
+        return sorted(
+            node for node, state in self.states.items() if state.is_branching
+        )
+
+    def tree_nodes(self) -> List[NodeId]:
+        """All routers holding any state for the channel."""
+        return sorted(node for node, state in self.states.items()
+                      if state.in_tree)
+
+    def describe(self) -> str:
+        """Human-readable dump of the converged tree (examples/tests)."""
+        lines = [f"HBH channel {self.channel}, round {self.round_no}"]
+        lines.append(f"  source {self.source}: {self.source_mft!r}")
+        for node in sorted(self.states):
+            state = self.states[node]
+            table = state.mft if state.mft is not None else state.mct
+            lines.append(f"  node {node}: {table!r}")
+        return "\n".join(lines)

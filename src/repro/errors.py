@@ -1,0 +1,49 @@
+"""Exception hierarchy for the HBH reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the substrate (simulator, routing, topology) from
+protocol-level misconfiguration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class AddressError(ReproError, ValueError):
+    """An address string or address component is malformed."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed (disconnected, unknown node, bad cost...)."""
+
+
+class RoutingError(ReproError):
+    """Unicast routing failure (no route, unknown destination...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven into an invalid state."""
+
+
+class ScheduleInPastError(SimulationError):
+    """An event was scheduled before the current virtual time."""
+
+
+class ProtocolError(ReproError):
+    """A multicast protocol agent received an impossible message/state."""
+
+
+class ChannelError(ProtocolError):
+    """Operation on an unknown or misconfigured multicast channel."""
+
+
+class MembershipError(ProtocolError):
+    """IGMP-level membership operation failed (unknown host, double join...)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment sweep was configured inconsistently."""

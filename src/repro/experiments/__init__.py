@@ -1,0 +1,39 @@
+"""Experiment harness: regenerate every figure of the paper's evaluation.
+
+- :mod:`config` — sweep configuration (topology, group sizes, runs);
+- :mod:`harness` — one Monte-Carlo run and the sweep loop;
+- :mod:`figures` — fig7a/fig7b/fig8a/fig8b runners matching Section 4;
+- :mod:`claims` — checks the paper's quantitative claims against a
+  sweep result;
+- :mod:`report` — ASCII tables/plots and CSV export;
+- ``python -m repro.experiments`` — the command-line entry point.
+"""
+
+from repro.experiments.config import SweepConfig, FIGURE_CONFIGS
+from repro.experiments.harness import (
+    SweepResult,
+    SweepPoint,
+    run_single,
+    run_sweep,
+)
+from repro.experiments.figures import run_figure
+from repro.experiments.claims import ClaimCheck, check_claims
+from repro.experiments.report import render_table, render_ascii_plot, to_csv
+from repro.experiments.storage import load_result, save_result
+
+__all__ = [
+    "load_result",
+    "save_result",
+    "SweepConfig",
+    "FIGURE_CONFIGS",
+    "SweepResult",
+    "SweepPoint",
+    "run_single",
+    "run_sweep",
+    "run_figure",
+    "ClaimCheck",
+    "check_claims",
+    "render_table",
+    "render_ascii_plot",
+    "to_csv",
+]

@@ -1,0 +1,173 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Examples::
+
+    python -m repro.experiments fig7a --runs 100
+    python -m repro.experiments fig8b --runs 50 --csv fig8b.csv
+    python -m repro.experiments all --runs 100
+    python -m repro.experiments claims --runs 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.experiments.claims import check_claims
+from repro.experiments.figures import FIGURE_METRICS, run_figure
+from repro.experiments.harness import SweepResult
+from repro.experiments.report import (
+    render_ascii_plot,
+    render_ci_table,
+    render_table,
+    to_csv,
+)
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def progress(group_size: int, _protocol: str, done: int, total: int):
+        if done == total or done % max(1, total // 4) == 0:
+            print(f"  n={group_size}: {done}/{total} runs", file=sys.stderr)
+
+    return progress
+
+
+def _report(result: SweepResult, figure: str, csv_path: str = "") -> None:
+    metric = FIGURE_METRICS[figure]
+    print(render_table(result, metric))
+    print()
+    print(render_ci_table(result, metric))
+    print()
+    print(render_ascii_plot(result, metric))
+    print(f"\nelapsed: {result.elapsed_seconds:.1f}s")
+    if csv_path:
+        with open(csv_path, "w") as handle:
+            handle.write(to_csv(result))
+        print(f"wrote {csv_path}")
+
+
+def _run_ablations(runs: int) -> int:
+    from repro.experiments.ablations import (
+        asymmetry_sweep,
+        connectivity_sweep,
+        rp_placement_sweep,
+        unicast_cloud_sweep,
+    )
+
+    print(f"== abl-asym: cost spread vs HBH/REUNITE ({runs} runs) ==")
+    print(f"{'spread':>8} {'protocol':>9} {'copies':>8} {'delay':>8}")
+    for point in asymmetry_sweep(runs=runs):
+        print(f"{point.parameter:>8.2f} {point.protocol:>9} "
+              f"{point.mean_cost_copies:>8.2f} {point.mean_delay:>8.2f}")
+
+    print(f"\n== abl-unicast: unicast-only fraction vs HBH ({runs} runs) ==")
+    print(f"{'fraction':>8} {'copies':>8} {'delay':>8}")
+    for point in unicast_cloud_sweep(runs=runs):
+        print(f"{point.parameter:>8.2f} {point.mean_cost_copies:>8.2f} "
+              f"{point.mean_delay:>8.2f}")
+
+    print(f"\n== abl-rp: PIM-SM RP placement ({runs} runs) ==")
+    print(f"{'strategy':>14} {'copies':>8} {'delay':>8}")
+    for strategy, (cost, delay) in rp_placement_sweep(runs=runs).items():
+        print(f"{strategy:>14} {cost:>8.2f} {delay:>8.2f}")
+
+    print(f"\n== abl-conn: Waxman density vs HBH/REUNITE "
+          f"({max(4, runs // 2)} runs) ==")
+    print(f"{'alpha':>8} {'protocol':>9} {'copies':>8} {'delay':>8}")
+    for point in connectivity_sweep(runs=max(4, runs // 2)):
+        print(f"{point.parameter:>8.2f} {point.protocol:>9} "
+              f"{point.mean_cost_copies:>8.2f} {point.mean_delay:>8.2f}")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hbh-experiments",
+        description="Regenerate the evaluation figures of the HBH paper "
+                    "(SIGCOMM 2001).",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(FIGURE_METRICS) + ["all", "claims", "ablations"],
+        help="figure to regenerate, 'all' for every figure, 'claims' to "
+             "check the paper's quantitative claims, or 'ablations' for "
+             "the asymmetry/unicast-cloud/RP/connectivity sweeps",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=None,
+        help="Monte-Carlo runs per point (default: the paper's 500; "
+             "ablations default to 50)",
+    )
+    parser.add_argument(
+        "--protocols", default="",
+        help="comma-separated protocol list overriding the paper's four "
+             "curves (e.g. add the mospf reference: "
+             "pim-sm,pim-ss,reunite,hbh,mospf)",
+    )
+    parser.add_argument("--csv", default="", help="also write CSV here")
+    parser.add_argument("--save", default="",
+                        help="archive the sweep result as JSON here")
+    parser.add_argument("--load", default="",
+                        help="render a previously archived sweep instead "
+                             "of re-simulating")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    args = parser.parse_args(argv)
+
+    progress = _progress_printer(args.quiet)
+    if args.target == "ablations":
+        return _run_ablations(args.runs or 50)
+    if args.target in FIGURE_METRICS:
+        from dataclasses import replace
+
+        from repro.experiments.figures import figure_config
+        from repro.experiments.harness import run_sweep
+        from repro.experiments.storage import load_result, save_result
+
+        if args.load:
+            result = load_result(args.load)
+        else:
+            config = figure_config(args.target, runs=args.runs)
+            if args.protocols:
+                config = replace(
+                    config,
+                    protocols=tuple(p.strip()
+                                    for p in args.protocols.split(",")),
+                )
+            result = run_sweep(config, progress=progress)
+        if args.save:
+            save_result(result, args.save)
+            print(f"archived sweep to {args.save}", file=sys.stderr)
+        _report(result, args.target, args.csv)
+        return 0
+
+    # 'all' and 'claims' need every sweep; fig8 reuses fig7 data.
+    results: Dict[str, SweepResult] = {}
+    for figure in ("fig7a", "fig7b"):
+        print(f"== running sweep for {figure} ==", file=sys.stderr)
+        results[figure] = run_figure(figure, runs=args.runs,
+                                     progress=progress)
+    results["fig8a"] = results["fig7a"]
+    results["fig8b"] = results["fig7b"]
+
+    if args.target == "all":
+        for figure in ("fig7a", "fig7b", "fig8a", "fig8b"):
+            print(f"\n===== {figure} =====")
+            _report(results[figure], figure)
+    checks = check_claims(results)
+    print("\n===== paper claims =====")
+    failures = 0
+    for check in checks:
+        print(check)
+        if not check.holds:
+            failures += 1
+    print(f"\n{len(checks) - failures}/{len(checks)} claims hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,292 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+Beyond the paper's own figures, these sweeps isolate *why* the results
+look the way they do:
+
+- :func:`asymmetry_sweep` (abl-asym): scale the cost spread from
+  symmetric to fully independent per direction; HBH's advantage over
+  REUNITE should vanish at spread 0 (the paper: the differences are
+  caused by "the pathological cases due to asymmetric unicast routes");
+- :func:`unicast_cloud_sweep` (abl-unicast): fraction of unicast-only
+  routers vs tree cost — the incremental-deployment story;
+- :func:`rp_placement_sweep` (abl-rp): PIM-SM's cost/delay under
+  different RP placements, quantifying how much the undocumented RP
+  choice moves the shared-tree curves;
+- :func:`connectivity_sweep` (abl-conn): Waxman density vs the
+  HBH-over-REUNITE advantage ("the advantage of HBH grows with larger
+  and more connected networks").
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro._rand import derive_rng, make_rng, sample_receivers
+from repro.errors import ExperimentError
+from repro.metrics.delay import average_delay
+from repro.metrics.distribution import DataDistribution
+from repro.protocols.base import build_protocol
+from repro.routing.tables import UnicastRouting
+from repro.topology.costs import assign_spread_costs
+from repro.topology.hosts import attach_one_host_per_router
+from repro.topology.isp import (
+    ISP_SOURCE_NODE,
+    isp_receiver_candidates,
+    isp_topology,
+)
+from repro.topology.random_graphs import waxman_topology
+
+MAX_ROUNDS = 80
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One parameter setting's mean metrics for one protocol."""
+
+    parameter: float
+    protocol: str
+    mean_cost_copies: float
+    mean_delay: float
+
+
+def _seed(tag: str, index: int) -> int:
+    return zlib.crc32(f"{tag}/{index}".encode())
+
+
+def _measure(protocol_name: str, topology, source, receivers,
+             routing=None, **kwargs) -> DataDistribution:
+    instance = build_protocol(protocol_name, topology, source,
+                              routing=routing, **kwargs)
+    for receiver in sorted(receivers):
+        instance.add_receiver(receiver)
+        instance.converge(max_rounds=MAX_ROUNDS)
+    distribution = instance.distribute_data()
+    if not distribution.complete:
+        raise ExperimentError(
+            f"{protocol_name} missed {sorted(distribution.missing)}"
+        )
+    return distribution
+
+
+def asymmetry_sweep(
+    spreads: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    group_size: int = 10,
+    runs: int = 50,
+    protocols: Sequence[str] = ("reunite", "hbh"),
+) -> List[AblationPoint]:
+    """HBH vs REUNITE as routing asymmetry scales from none to full."""
+    points: List[AblationPoint] = []
+    for spread in spreads:
+        sums: Dict[str, List[float]] = {p: [0.0, 0.0] for p in protocols}
+        for run in range(runs):
+            rng = make_rng(_seed(f"abl-asym/{spread}", run))
+            topology = isp_topology(seed=derive_rng(rng, "topo"),
+                                    randomize_costs=False)
+            assign_spread_costs(topology, spread=spread,
+                                seed=derive_rng(rng, "costs"))
+            receivers = sample_receivers(
+                isp_receiver_candidates(topology), group_size,
+                derive_rng(rng, "recv"),
+            )
+            routing = UnicastRouting(topology)
+            for protocol in protocols:
+                distribution = _measure(protocol, topology,
+                                        ISP_SOURCE_NODE, receivers,
+                                        routing=routing)
+                sums[protocol][0] += distribution.copies / runs
+                sums[protocol][1] += average_delay(distribution) / runs
+        for protocol in protocols:
+            points.append(AblationPoint(spread, protocol,
+                                        sums[protocol][0],
+                                        sums[protocol][1]))
+    return points
+
+
+def unicast_cloud_sweep(
+    fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    group_size: int = 8,
+    runs: int = 50,
+) -> List[AblationPoint]:
+    """HBH tree cost as routers turn unicast-only (deployment story).
+
+    Paired design: every fraction sees the *same* topologies, costs
+    and receiver sets per run — only the disabled-router set grows
+    (nested prefixes of one shuffled router list), so the cost curve
+    isolates the capability effect and delays stay comparable.
+    """
+    points: List[AblationPoint] = []
+    sums = {fraction: [0.0, 0.0] for fraction in fractions}
+    for run in range(runs):
+        rng = make_rng(_seed("abl-unicast", run))
+        base = isp_topology(seed=derive_rng(rng, "topo"))
+        receivers = sample_receivers(
+            isp_receiver_candidates(base), group_size,
+            derive_rng(rng, "recv"),
+        )
+        shuffle = list(base.routers)
+        derive_rng(rng, "disable").shuffle(shuffle)
+        for fraction in fractions:
+            topology = base.copy()
+            for router in shuffle[:round(fraction * len(shuffle))]:
+                topology.set_multicast_capable(router, False)
+            distribution = _measure("hbh", topology, ISP_SOURCE_NODE,
+                                    receivers)
+            sums[fraction][0] += distribution.copies / runs
+            sums[fraction][1] += average_delay(distribution) / runs
+    for fraction in fractions:
+        points.append(AblationPoint(fraction, "hbh",
+                                    sums[fraction][0], sums[fraction][1]))
+    return points
+
+
+def rp_placement_sweep(
+    strategies: Sequence[str] = ("median", "eccentricity", "random",
+                                 "first"),
+    group_size: int = 12,
+    runs: int = 50,
+) -> Dict[str, Tuple[float, float]]:
+    """PIM-SM (cost, delay) under each RP placement strategy."""
+    results: Dict[str, Tuple[float, float]] = {}
+    for strategy in strategies:
+        cost_sum, delay_sum = 0.0, 0.0
+        for run in range(runs):
+            rng = make_rng(_seed(f"abl-rp/{strategy}", run))
+            topology = isp_topology(seed=derive_rng(rng, "topo"))
+            receivers = sample_receivers(
+                isp_receiver_candidates(topology), group_size,
+                derive_rng(rng, "recv"),
+            )
+            distribution = _measure(
+                "pim-sm", topology, ISP_SOURCE_NODE, receivers,
+                rp_strategy=strategy, rp_seed=run,
+            )
+            cost_sum += distribution.copies / runs
+            delay_sum += average_delay(distribution) / runs
+        results[strategy] = (cost_sum, delay_sum)
+    return results
+
+
+@dataclass(frozen=True)
+class TimerPoint:
+    """Convergence behaviour for one t1/t2 setting (event driver)."""
+
+    t1_periods: float
+    t2_periods: float
+    mean_convergence_periods: float
+    mean_control_packets: float
+    departure_cleanup_periods: float
+
+
+def timer_sweep(
+    settings: Sequence[Tuple[float, float]] = ((1.5, 3.0), (2.5, 5.0),
+                                               (4.0, 8.0)),
+    group_size: int = 6,
+    runs: int = 10,
+    period: float = 50.0,
+) -> List[TimerPoint]:
+    """Soft-state timer sensitivity on the packet-level simulator.
+
+    For each (t1, t2) in refresh periods: how many periods until the
+    tree first delivers to everyone, how much control traffic that
+    took, and how long after the last receiver leaves until all state
+    is gone (t2 governs cleanup; t1 governs stale-entry windows).
+    """
+    from repro.core.protocol import HbhChannel
+    from repro.core.tables import ProtocolTiming
+    from repro.netsim.network import Network
+    from repro.netsim.packet import PacketKind
+
+    points: List[TimerPoint] = []
+    for t1_periods, t2_periods in settings:
+        timing = ProtocolTiming(
+            join_period=period, tree_period=period,
+            t1=t1_periods * period, t2=t2_periods * period,
+        )
+        convergence_sum = 0.0
+        control_sum = 0.0
+        cleanup_sum = 0.0
+        for run in range(runs):
+            rng = make_rng(_seed(f"abl-timers/{t1_periods}", run))
+            topology = isp_topology(seed=derive_rng(rng, "topo"))
+            receivers = sorted(sample_receivers(
+                isp_receiver_candidates(topology), group_size,
+                derive_rng(rng, "recv"),
+            ))
+            network = Network(topology)
+            channel = HbhChannel(network, source_node=ISP_SOURCE_NODE,
+                                 timing=timing)
+            for receiver in receivers:
+                channel.join(receiver)
+            # Probe each period until the tree first serves everyone.
+            converged_at = None
+            for elapsed in range(1, 41):
+                channel.converge(periods=1.0)
+                if channel.measure_data(settle_periods=1.0).complete:
+                    converged_at = elapsed
+                    break
+            if converged_at is None:
+                raise ExperimentError(
+                    f"no convergence within 40 periods at t1="
+                    f"{t1_periods} periods"
+                )
+            convergence_sum += converged_at / runs
+            control_sum += (
+                network.counters.tally(PacketKind.CONTROL).copies / runs
+            )
+            # Everyone leaves; measure periods until all state decays.
+            for receiver in receivers:
+                channel.leave(receiver)
+            for elapsed in range(1, 61):
+                channel.converge(periods=1.0)
+                if len(channel.source.mft) == 0:
+                    cleanup_sum += elapsed / runs
+                    break
+            else:
+                raise ExperimentError("state never decayed")
+        points.append(TimerPoint(
+            t1_periods=t1_periods,
+            t2_periods=t2_periods,
+            mean_convergence_periods=convergence_sum,
+            mean_control_packets=control_sum,
+            departure_cleanup_periods=cleanup_sum,
+        ))
+    return points
+
+
+def connectivity_sweep(
+    alphas: Sequence[float] = (0.3, 0.45, 0.6, 0.8),
+    num_nodes: int = 30,
+    group_size: int = 10,
+    runs: int = 30,
+) -> List[AblationPoint]:
+    """HBH-vs-REUNITE delay advantage as Waxman density grows.
+
+    Returns reunite and hbh points per alpha; the paper predicts the
+    relative advantage grows with connectivity.
+    """
+    points: List[AblationPoint] = []
+    for alpha in alphas:
+        sums = {"reunite": [0.0, 0.0], "hbh": [0.0, 0.0]}
+        for run in range(runs):
+            rng = make_rng(_seed(f"abl-conn/{alpha}", run))
+            topology = waxman_topology(num_nodes, alpha=alpha,
+                                       seed=derive_rng(rng, "topo"))
+            hosts = attach_one_host_per_router(
+                topology, seed=derive_rng(rng, "hosts")
+            )
+            source = hosts[0]
+            receivers = sample_receivers(hosts[1:], group_size,
+                                         derive_rng(rng, "recv"))
+            routing = UnicastRouting(topology)
+            for protocol in ("reunite", "hbh"):
+                distribution = _measure(protocol, topology, source,
+                                        receivers, routing=routing)
+                sums[protocol][0] += distribution.copies / runs
+                sums[protocol][1] += average_delay(distribution) / runs
+        for protocol in ("reunite", "hbh"):
+            points.append(AblationPoint(alpha, protocol,
+                                        sums[protocol][0],
+                                        sums[protocol][1]))
+    return points

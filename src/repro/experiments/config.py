@@ -1,0 +1,114 @@
+"""Sweep configuration for the paper's experiments (Section 4.1).
+
+The paper's workload: one channel, the source fixed (node 18 on the
+ISP topology), a variable number of receivers sampled uniformly from
+the potential-receiver hosts, per-direction link costs redrawn from
+U[1, 10] every run, 500 runs per group size, averages plotted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro._rand import SeedLike, derive_rng, make_rng
+from repro.errors import ExperimentError
+from repro.topology.hosts import attach_one_host_per_router
+from repro.topology.isp import (
+    ISP_SOURCE_NODE,
+    isp_receiver_candidates,
+    isp_topology,
+)
+from repro.topology.model import Topology
+from repro.topology.random_graphs import random_topology_50
+
+#: The four curves of every figure, in the paper's legend order.
+DEFAULT_PROTOCOLS = ("pim-sm", "pim-ss", "reunite", "hbh")
+
+
+@dataclass(frozen=True)
+class TopologySetup:
+    """A built topology plus its source node and receiver candidates."""
+
+    topology: Topology
+    source: int
+    candidates: List[int]
+
+
+def make_isp_setup(seed: SeedLike) -> TopologySetup:
+    """The ISP topology of Fig. 6 with node 18 as the source."""
+    topology = isp_topology(seed=seed)
+    return TopologySetup(
+        topology=topology,
+        source=ISP_SOURCE_NODE,
+        candidates=isp_receiver_candidates(topology),
+    )
+
+
+def make_random50_setup(seed: SeedLike) -> TopologySetup:
+    """The 50-node random topology (connectivity 8.6), one potential
+    receiver host per router, the host on router 0 as the source."""
+    rng = make_rng(seed)
+    topology = random_topology_50(seed=rng)
+    hosts = attach_one_host_per_router(topology, seed=derive_rng(rng, "hosts"))
+    return TopologySetup(
+        topology=topology, source=hosts[0], candidates=hosts[1:]
+    )
+
+
+TOPOLOGY_FACTORIES: Dict[str, Callable[[SeedLike], TopologySetup]] = {
+    "isp": make_isp_setup,
+    "random50": make_random50_setup,
+}
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One figure-style sweep: group sizes x protocols x runs."""
+
+    name: str
+    topology: str = "isp"
+    group_sizes: Tuple[int, ...] = (2, 4, 6, 8, 10, 12, 14, 16)
+    protocols: Tuple[str, ...] = DEFAULT_PROTOCOLS
+    runs: int = 500
+    seed: int = 2001  # SIGCOMM 2001
+    #: Resample the topology (and its costs) each run, as the paper does.
+    resample_topology: bool = True
+    #: Extra keyword arguments per protocol (e.g. RP strategy).
+    protocol_kwargs: Dict[str, dict] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGY_FACTORIES:
+            known = ", ".join(sorted(TOPOLOGY_FACTORIES))
+            raise ExperimentError(
+                f"unknown topology {self.topology!r} (known: {known})"
+            )
+        if self.runs < 1:
+            raise ExperimentError("runs must be >= 1")
+        if not self.group_sizes:
+            raise ExperimentError("group_sizes must not be empty")
+        if min(self.group_sizes) < 1:
+            raise ExperimentError("group sizes must be >= 1")
+
+    def with_runs(self, runs: int) -> "SweepConfig":
+        """A copy with a different run count (benchmarks use small ones)."""
+        return replace(self, runs=runs)
+
+    def build_topology(self, seed: SeedLike) -> TopologySetup:
+        """Build this sweep's topology with per-run randomness."""
+        return TOPOLOGY_FACTORIES[self.topology](seed)
+
+
+#: The sweeps behind the paper's four evaluation figures.  Fig. 7 and
+#: Fig. 8 come from the same simulations (cost and delay of the same
+#: trees), so fig8a/fig8b alias the fig7 sweeps.
+FIGURE_CONFIGS: Dict[str, SweepConfig] = {
+    "fig7a": SweepConfig(name="fig7a", topology="isp",
+                         group_sizes=(2, 4, 6, 8, 10, 12, 14, 16)),
+    "fig7b": SweepConfig(name="fig7b", topology="random50",
+                         group_sizes=(5, 10, 15, 20, 25, 30, 35, 40, 45)),
+    "fig8a": SweepConfig(name="fig8a", topology="isp",
+                         group_sizes=(2, 4, 6, 8, 10, 12, 14, 16)),
+    "fig8b": SweepConfig(name="fig8b", topology="random50",
+                         group_sizes=(5, 10, 15, 20, 25, 30, 35, 40, 45)),
+}

@@ -1,0 +1,48 @@
+"""Figure runners: one entry point per paper figure.
+
+``run_figure("fig7a", runs=...)`` executes the sweep behind the figure
+and returns the :class:`~repro.experiments.harness.SweepResult`; the
+metric that figure plots is in :data:`FIGURE_METRICS`.  Figs. 7 and 8
+come from the same trees, so the fig8 runners reuse the fig7 sweeps
+and differ only in which metric they report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ExperimentError
+from repro.experiments.config import FIGURE_CONFIGS, SweepConfig
+from repro.experiments.harness import ProgressHook, SweepResult, run_sweep
+
+#: What each paper figure plots.
+FIGURE_METRICS: Dict[str, str] = {
+    "fig7a": "cost_copies",
+    "fig7b": "cost_copies",
+    "fig8a": "delay",
+    "fig8b": "delay",
+}
+
+
+def figure_config(figure: str, runs: Optional[int] = None) -> SweepConfig:
+    """The sweep configuration behind a figure id."""
+    try:
+        config = FIGURE_CONFIGS[figure]
+    except KeyError:
+        known = ", ".join(sorted(FIGURE_CONFIGS))
+        raise ExperimentError(
+            f"unknown figure {figure!r} (known: {known})"
+        ) from None
+    if runs is not None:
+        config = config.with_runs(runs)
+    return config
+
+
+def run_figure(figure: str, runs: Optional[int] = None,
+               progress: Optional[ProgressHook] = None) -> SweepResult:
+    """Run the sweep that regenerates ``figure``.
+
+    ``runs`` overrides the paper's 500 runs per point (which take a
+    while); the shape is stable from ~100 runs.
+    """
+    return run_sweep(figure_config(figure, runs), progress=progress)

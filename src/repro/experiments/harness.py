@@ -1,0 +1,167 @@
+"""The Monte-Carlo harness behind Figs. 7 and 8.
+
+One *run* = one topology cost draw + one receiver sample, measured
+under every protocol (paired comparison: all four protocols see the
+identical network and group, which only reduces Monte-Carlo variance
+relative to the paper's independent runs).  Receivers join one at a
+time with the control plane converging in between, the way NS scripts
+schedule join events at distinct instants.
+
+A *sweep* repeats that for every group size and aggregates into
+:class:`SweepResult` — the data behind one figure.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro._rand import derive_rng, make_rng, sample_receivers
+from repro.errors import ExperimentError
+from repro.metrics.distribution import DataDistribution
+from repro.metrics.summary import MetricSummary, summarize
+from repro.experiments.config import SweepConfig
+from repro.protocols.base import build_protocol
+from repro.routing.tables import UnicastRouting
+
+#: Convergence budget per join; generous, failures raise loudly.
+MAX_ROUNDS_PER_JOIN = 80
+
+
+def run_single(
+    config: SweepConfig,
+    group_size: int,
+    run_index: int,
+) -> Dict[str, DataDistribution]:
+    """One Monte-Carlo run: build, join, converge, measure.
+
+    Returns one distribution per protocol, all over the same network
+    and receiver set.
+    """
+    # Stable across processes (unlike hash(), which is salted for str).
+    run_seed = zlib.crc32(
+        f"{config.seed}/{config.name}/{group_size}/{run_index}".encode()
+    )
+    rng = make_rng(run_seed)
+    setup = config.build_topology(derive_rng(rng, "topology"))
+    if group_size > len(setup.candidates):
+        raise ExperimentError(
+            f"group size {group_size} exceeds the {len(setup.candidates)} "
+            f"receiver candidates of topology {config.topology!r}"
+        )
+    receivers = sorted(sample_receivers(
+        setup.candidates, group_size, derive_rng(rng, "receivers")
+    ))
+    routing = UnicastRouting(setup.topology)
+    distributions: Dict[str, DataDistribution] = {}
+    for protocol_name in config.protocols:
+        kwargs = dict(config.protocol_kwargs.get(protocol_name, {}))
+        instance = build_protocol(
+            protocol_name, setup.topology, setup.source,
+            routing=routing, **kwargs
+        )
+        for receiver in receivers:
+            instance.add_receiver(receiver)
+            instance.converge(max_rounds=MAX_ROUNDS_PER_JOIN)
+        distribution = instance.distribute_data()
+        if not distribution.complete:
+            raise ExperimentError(
+                f"{protocol_name} failed to deliver to "
+                f"{sorted(distribution.missing)} "
+                f"(topology={config.topology}, n={group_size}, "
+                f"run={run_index})"
+            )
+        distributions[protocol_name] = distribution
+    return distributions
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (group size, protocol) cell of a figure."""
+
+    group_size: int
+    protocol: str
+    summary: MetricSummary
+
+
+@dataclass
+class SweepResult:
+    """All cells of one figure, plus provenance."""
+
+    config: SweepConfig
+    points: List[SweepPoint] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def summary(self, group_size: int, protocol: str) -> MetricSummary:
+        """The cell for (group_size, protocol)."""
+        for point in self.points:
+            if point.group_size == group_size and point.protocol == protocol:
+                return point.summary
+        raise ExperimentError(
+            f"no sweep point for n={group_size}, protocol={protocol!r}"
+        )
+
+    def series(self, protocol: str, metric: str = "cost_copies"
+               ) -> List[Tuple[int, float]]:
+        """One curve: [(group size, mean metric)] for a protocol.
+
+        ``metric`` is one of ``cost_copies``, ``cost_weighted``,
+        ``delay``.
+        """
+        curve = []
+        for point in self.points:
+            if point.protocol == protocol:
+                stat = getattr(point.summary, metric)
+                curve.append((point.group_size, stat.mean))
+        if not curve:
+            raise ExperimentError(f"no points for protocol {protocol!r}")
+        return sorted(curve)
+
+    def mean_advantage(self, better: str, worse: str,
+                       metric: str = "delay") -> float:
+        """Average relative advantage of ``better`` over ``worse``
+        across group sizes — how the paper quotes "14% in average"."""
+        gains = []
+        for (n_b, v_b), (n_w, v_w) in zip(self.series(better, metric),
+                                          self.series(worse, metric)):
+            assert n_b == n_w
+            if v_w > 0:
+                gains.append((v_w - v_b) / v_w)
+        if not gains:
+            raise ExperimentError("no comparable points")
+        return sum(gains) / len(gains)
+
+
+ProgressHook = Callable[[int, str, int, int], None]
+
+
+def run_sweep(config: SweepConfig,
+              progress: Optional[ProgressHook] = None) -> SweepResult:
+    """Run the full sweep for one figure.
+
+    ``progress(group_size, protocol, run_index, total_runs)`` is called
+    once per completed run per group size (protocol is "*" there since
+    runs measure all protocols together).
+    """
+    started = time.monotonic()
+    result = SweepResult(config=config)
+    for group_size in config.group_sizes:
+        batches: Dict[str, List[DataDistribution]] = {
+            name: [] for name in config.protocols
+        }
+        for run_index in range(config.runs):
+            distributions = run_single(config, group_size, run_index)
+            for name, distribution in distributions.items():
+                batches[name].append(distribution)
+            if progress is not None:
+                progress(group_size, "*", run_index + 1, config.runs)
+        for name in config.protocols:
+            result.points.append(SweepPoint(
+                group_size=group_size,
+                protocol=name,
+                summary=summarize(batches[name]),
+            ))
+    result.elapsed_seconds = time.monotonic() - started
+    return result

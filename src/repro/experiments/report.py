@@ -1,0 +1,129 @@
+"""Rendering sweep results: tables, ASCII plots, CSV.
+
+The paper's figures are line plots of mean metric vs. group size with
+one curve per protocol; :func:`render_ascii_plot` draws the terminal
+equivalent so ``python -m repro.experiments fig7a`` shows the shape
+directly, and :func:`to_csv` exports the exact numbers for external
+plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import SweepResult
+
+#: Metric key -> (table header, figure description).
+METRIC_LABELS = {
+    "cost_copies": ("copies", "tree cost (packet copies)"),
+    "cost_weighted": ("weighted", "tree cost (cost-weighted copies)"),
+    "delay": ("delay", "average receiver delay (time units)"),
+}
+
+_PLOT_GLYPHS = "ox+*#@%&"
+
+
+def render_table(result: SweepResult, metric: str = "cost_copies") -> str:
+    """A fixed-width table: rows = group sizes, columns = protocols."""
+    if metric not in METRIC_LABELS:
+        raise ExperimentError(f"unknown metric {metric!r}")
+    protocols = list(result.config.protocols)
+    lines = []
+    title = (
+        f"{result.config.name}: {METRIC_LABELS[metric][1]} on "
+        f"{result.config.topology} ({result.config.runs} runs/point)"
+    )
+    lines.append(title)
+    header = "receivers" + "".join(f"{p:>12s}" for p in protocols)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for group_size in result.config.group_sizes:
+        row = f"{group_size:9d}"
+        for protocol in protocols:
+            stat = getattr(result.summary(group_size, protocol), metric)
+            row += f"{stat.mean:12.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_ci_table(result: SweepResult, metric: str = "delay") -> str:
+    """Like :func:`render_table` but with 95% CI half-widths."""
+    if metric not in METRIC_LABELS:
+        raise ExperimentError(f"unknown metric {metric!r}")
+    protocols = list(result.config.protocols)
+    lines = [f"{result.config.name}: {METRIC_LABELS[metric][1]} (mean +/- 95% CI)"]
+    header = "receivers" + "".join(f"{p:>11s}      " for p in protocols)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for group_size in result.config.group_sizes:
+        row = f"{group_size:9d}"
+        for protocol in protocols:
+            stat = getattr(result.summary(group_size, protocol), metric)
+            row += f"{stat.mean:9.2f}+-{stat.ci95:5.2f} "
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_ascii_plot(result: SweepResult, metric: str = "cost_copies",
+                      width: int = 64, height: int = 20) -> str:
+    """A terminal line plot with one glyph per protocol."""
+    protocols = list(result.config.protocols)
+    series = {p: result.series(p, metric) for p in protocols}
+    xs = sorted({x for curve in series.values() for x, _ in curve})
+    ys = [y for curve in series.values() for _, y in curve]
+    if not ys:
+        raise ExperimentError("nothing to plot")
+    y_low, y_high = min(ys), max(ys)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = min(xs), max(xs)
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float):
+        col = int((x - x_low) / (x_high - x_low or 1) * (width - 1))
+        row = int((y_high - y) / (y_high - y_low) * (height - 1))
+        return row, col
+
+    for index, protocol in enumerate(protocols):
+        glyph = _PLOT_GLYPHS[index % len(_PLOT_GLYPHS)]
+        for x, y in series[protocol]:
+            row, col = cell(x, y)
+            grid[row][col] = glyph
+    lines = [
+        f"{result.config.name}: {METRIC_LABELS[metric][1]}",
+        f"y: {y_low:.1f} .. {y_high:.1f}   x: {x_low} .. {x_high} receivers",
+    ]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    legend = "   ".join(
+        f"{_PLOT_GLYPHS[i % len(_PLOT_GLYPHS)]}={p}"
+        for i, p in enumerate(protocols)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def to_csv(result: SweepResult,
+           metrics: Optional[Sequence[str]] = None) -> str:
+    """CSV export: one row per (group size, protocol)."""
+    metrics = list(metrics or METRIC_LABELS)
+    out = io.StringIO()
+    header = ["figure", "topology", "group_size", "protocol"]
+    for metric in metrics:
+        header += [f"{metric}_mean", f"{metric}_stddev", f"{metric}_ci95"]
+    out.write(",".join(header) + "\n")
+    for point in result.points:
+        row = [
+            result.config.name,
+            result.config.topology,
+            str(point.group_size),
+            point.protocol,
+        ]
+        for metric in metrics:
+            stat = getattr(point.summary, metric)
+            row += [f"{stat.mean:.4f}", f"{stat.stddev:.4f}",
+                    f"{stat.ci95:.4f}"]
+        out.write(",".join(row) + "\n")
+    return out.getvalue()

@@ -1,0 +1,103 @@
+"""Sweep-result archival: save/load results as JSON.
+
+Regenerating Fig. 7(b) at the paper's budget takes tens of minutes;
+archiving the sweep lets EXPERIMENTS.md numbers be re-rendered,
+re-checked against the claims, or diffed across code versions without
+re-simulating.  The format captures the full per-point statistics plus
+the configuration that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ExperimentError
+from repro.experiments.config import SweepConfig
+from repro.experiments.harness import SweepPoint, SweepResult
+from repro.metrics.summary import MetricSummary, Stat
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: SweepResult) -> dict:
+    """Serialize a sweep result (JSON-compatible)."""
+    config = result.config
+    return {
+        "format": _FORMAT_VERSION,
+        "config": {
+            "name": config.name,
+            "topology": config.topology,
+            "group_sizes": list(config.group_sizes),
+            "protocols": list(config.protocols),
+            "runs": config.runs,
+            "seed": config.seed,
+        },
+        "elapsed_seconds": result.elapsed_seconds,
+        "points": [
+            {
+                "group_size": point.group_size,
+                "protocol": point.protocol,
+                "metrics": {
+                    name: {
+                        "mean": stat.mean,
+                        "stddev": stat.stddev,
+                        "ci95": stat.ci95,
+                        "n": stat.n,
+                    }
+                    for name, stat in (
+                        ("cost_copies", point.summary.cost_copies),
+                        ("cost_weighted", point.summary.cost_weighted),
+                        ("delay", point.summary.delay),
+                    )
+                },
+            }
+            for point in result.points
+        ],
+    }
+
+
+def result_from_dict(data: dict) -> SweepResult:
+    """Rebuild a sweep result from :func:`result_to_dict` output."""
+    if data.get("format") != _FORMAT_VERSION:
+        raise ExperimentError(
+            f"unsupported result format: {data.get('format')!r}"
+        )
+    raw = data["config"]
+    config = SweepConfig(
+        name=raw["name"],
+        topology=raw["topology"],
+        group_sizes=tuple(raw["group_sizes"]),
+        protocols=tuple(raw["protocols"]),
+        runs=raw["runs"],
+        seed=raw["seed"],
+    )
+    result = SweepResult(config=config,
+                         elapsed_seconds=data.get("elapsed_seconds", 0.0))
+    for raw_point in data["points"]:
+        metrics = {
+            name: Stat(mean=stat["mean"], stddev=stat["stddev"],
+                       ci95=stat["ci95"], n=stat["n"])
+            for name, stat in raw_point["metrics"].items()
+        }
+        result.points.append(SweepPoint(
+            group_size=raw_point["group_size"],
+            protocol=raw_point["protocol"],
+            summary=MetricSummary(
+                cost_copies=metrics["cost_copies"],
+                cost_weighted=metrics["cost_weighted"],
+                delay=metrics["delay"],
+            ),
+        ))
+    return result
+
+
+def save_result(result: SweepResult, path: Union[str, Path]) -> None:
+    """Write a sweep result to a JSON file."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: Union[str, Path]) -> SweepResult:
+    """Read a sweep result from a JSON file."""
+    return result_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,27 @@
+"""Minimal IGMPv3-style source-specific group membership.
+
+The paper's edge model: receivers attach to border routers through
+IGMP (Section 4.1), and HBH "can support IP Multicast clouds as leaves
+of the distribution tree" (Section 3).  This package implements that
+edge: hosts report ``<S, G>`` membership to their designated router,
+which aggregates them and joins/leaves the HBH channel on their behalf
+(one HBH receiver per router regardless of how many local hosts
+listen, which is exactly the aggregation the paper notes it does *not*
+count in tree cost).
+"""
+
+from repro.igmp.membership import (
+    IgmpHostAgent,
+    IgmpRouterAgent,
+    MembershipReport,
+    MembershipQuery,
+    ReportType,
+)
+
+__all__ = [
+    "IgmpHostAgent",
+    "IgmpRouterAgent",
+    "MembershipReport",
+    "MembershipQuery",
+    "ReportType",
+]

@@ -1,0 +1,205 @@
+"""IGMPv3-style SSM membership between hosts and their designated router.
+
+Protocol shape (a faithful miniature of IGMPv3 INCLUDE-mode SSM):
+
+- a host joining channel ``<S, G>`` sends an unsolicited
+  ``MembershipReport(JOIN)`` to its attachment router and re-reports
+  on every general query;
+- the router runs the querier: periodic ``MembershipQuery`` to each
+  attached host; membership state times out after ``robustness``
+  missed reports (soft state, like everything else in this codebase);
+- a host leaving sends ``MembershipReport(LEAVE)`` (IGMPv3
+  BLOCK_OLD_SOURCES) and stops answering queries — either signal
+  removes it;
+- the router invokes ``on_first_member`` when a channel gains its
+  first local listener and ``on_last_member`` when it loses the last,
+  which is where the HBH receiver proxy hooks in.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional, Set
+
+from repro.addressing import Channel
+from repro.errors import MembershipError
+from repro.netsim.node import Agent
+from repro.netsim.packet import Packet
+
+NodeId = Hashable
+
+
+class ReportType(enum.Enum):
+    """What a membership report announces."""
+
+    JOIN = "join"      # IGMPv3 ALLOW_NEW_SOURCES for <S, G>
+    LEAVE = "leave"    # IGMPv3 BLOCK_OLD_SOURCES for <S, G>
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipReport:
+    """Host -> router: (un)subscribe to a source-specific channel."""
+
+    channel: Channel
+    report_type: ReportType
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipQuery:
+    """Router -> host: general query; members re-report everything."""
+
+    serial: int
+
+
+class IgmpHostAgent(Agent):
+    """The host side: joins/leaves channels, answers queries."""
+
+    def __init__(self, query_response: bool = True) -> None:
+        super().__init__()
+        self.memberships: Set[Channel] = set()
+        self.query_response = query_response
+        self.reports_sent = 0
+
+    def _router(self) -> NodeId:
+        return self.node.network.topology.attachment_router(self.node.node_id)
+
+    def _report(self, channel: Channel, report_type: ReportType) -> None:
+        router = self._router()
+        self.node.send_via(router, Packet(
+            src=self.node.address,
+            dst=self.node.network.address_of(router),
+            payload=MembershipReport(channel, report_type),
+        ))
+        self.reports_sent += 1
+
+    def join_channel(self, channel: Channel) -> None:
+        """Subscribe to ``<S, G>`` (unsolicited report, then re-report
+        on queries)."""
+        if channel in self.memberships:
+            raise MembershipError(
+                f"host {self.node.node_id} already subscribes to {channel}"
+            )
+        self.memberships.add(channel)
+        self._report(channel, ReportType.JOIN)
+
+    def leave_channel(self, channel: Channel) -> None:
+        """Unsubscribe (explicit leave report)."""
+        try:
+            self.memberships.remove(channel)
+        except KeyError:
+            raise MembershipError(
+                f"host {self.node.node_id} does not subscribe to {channel}"
+            ) from None
+        self._report(channel, ReportType.LEAVE)
+
+    def deliver(self, packet: Packet) -> bool:
+        if isinstance(packet.payload, MembershipQuery):
+            if self.query_response:
+                for channel in sorted(self.memberships,
+                                      key=lambda c: (c.source, c.group)):
+                    self._report(channel, ReportType.JOIN)
+            return True
+        return False
+
+
+class IgmpRouterAgent(Agent):
+    """The designated-router side: querier + membership database."""
+
+    def __init__(
+        self,
+        query_interval: float = 100.0,
+        robustness: int = 2,
+        on_first_member: Optional[Callable[[Channel], None]] = None,
+        on_last_member: Optional[Callable[[Channel], None]] = None,
+    ) -> None:
+        super().__init__()
+        if robustness < 1:
+            raise MembershipError("robustness must be >= 1")
+        self.query_interval = query_interval
+        self.robustness = robustness
+        self.on_first_member = on_first_member
+        self.on_last_member = on_last_member
+        #: channel -> {host node id -> last report time}
+        self.members: Dict[Channel, Dict[NodeId, float]] = {}
+        self._serial = 0
+
+    # ------------------------------------------------------------------
+    # Querier
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._schedule_query()
+
+    def _schedule_query(self) -> None:
+        self.node.network.simulator.schedule(
+            self.query_interval, self._query_round
+        )
+
+    def _attached_hosts(self):
+        topology = self.node.network.topology
+        for neighbor in topology.neighbors(self.node.node_id):
+            from repro.topology.model import NodeKind
+
+            if topology.kind(neighbor) is NodeKind.HOST:
+                yield neighbor
+
+    def _query_round(self) -> None:
+        self._serial += 1
+        for host in self._attached_hosts():
+            self.node.send_via(host, Packet(
+                src=self.node.address,
+                dst=self.node.network.address_of(host),
+                payload=MembershipQuery(self._serial),
+            ))
+        self._expire()
+        self._schedule_query()
+
+    def _expire(self) -> None:
+        now = self.node.network.simulator.now
+        horizon = self.robustness * self.query_interval
+        for channel in list(self.members):
+            hosts = self.members[channel]
+            for host, last_seen in list(hosts.items()):
+                if now - last_seen > horizon:
+                    del hosts[host]
+            if not hosts:
+                del self.members[channel]
+                if self.on_last_member is not None:
+                    self.on_last_member(channel)
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def deliver(self, packet: Packet) -> bool:
+        payload = packet.payload
+        if not isinstance(payload, MembershipReport):
+            return False
+        host = self.node.network.node_of(packet.src).node_id
+        now = self.node.network.simulator.now
+        channel = payload.channel
+        if payload.report_type is ReportType.JOIN:
+            hosts = self.members.setdefault(channel, {})
+            first = not hosts
+            hosts[host] = now
+            if first and self.on_first_member is not None:
+                self.on_first_member(channel)
+        else:
+            hosts = self.members.get(channel)
+            if hosts is not None and host in hosts:
+                del hosts[host]
+                if not hosts:
+                    del self.members[channel]
+                    if self.on_last_member is not None:
+                        self.on_last_member(channel)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def has_members(self, channel: Channel) -> bool:
+        """Whether any local host listens to ``channel``."""
+        return bool(self.members.get(channel))
+
+    def member_hosts(self, channel: Channel):
+        """Sorted host ids subscribed to ``channel``."""
+        return sorted(self.members.get(channel, ()))

@@ -1,0 +1,47 @@
+"""Metrics: tree cost, receiver delay, stability, asymmetry.
+
+The paper's two headline metrics (Section 4):
+
+- **tree cost** — the number of copies of one data packet transmitted
+  over network links (Section 4.2.1), optionally weighted by link cost;
+- **receiver delay** — the delay ("time units" = summed directed link
+  costs) from the source to each receiver along the actual data path,
+  averaged over the group (Section 4.2.2).
+
+Both are computed from a :class:`~repro.metrics.distribution.DataDistribution`,
+the record of one data packet's journey through a converged tree.
+"""
+
+from repro.metrics.distribution import DataDistribution
+from repro.metrics.tree_cost import tree_cost_copies, tree_cost_weighted
+from repro.metrics.delay import average_delay, delay_per_receiver, max_delay
+from repro.metrics.stability import StabilityReport, TableSnapshot, diff_snapshots
+from repro.metrics.state_size import (
+    StateCensus,
+    classic_state_census,
+    hbh_state_census,
+    reunite_state_census,
+)
+from repro.metrics.summary import MetricSummary, summarize
+from repro.metrics.tree_shape import TreeShape, path_stretch, tree_shape
+
+__all__ = [
+    "StateCensus",
+    "classic_state_census",
+    "hbh_state_census",
+    "reunite_state_census",
+    "TreeShape",
+    "path_stretch",
+    "tree_shape",
+    "DataDistribution",
+    "tree_cost_copies",
+    "tree_cost_weighted",
+    "average_delay",
+    "delay_per_receiver",
+    "max_delay",
+    "StabilityReport",
+    "TableSnapshot",
+    "diff_snapshots",
+    "MetricSummary",
+    "summarize",
+]

@@ -1,0 +1,45 @@
+"""Receiver delay (paper Section 4.2.2, Fig. 8).
+
+Delay is measured in the paper's "time units": the sum of directed link
+costs along the *actual data path* from the source to each receiver.
+The figure plots the average over all receivers of the group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.errors import ExperimentError
+from repro.metrics.distribution import DataDistribution
+
+NodeId = Hashable
+
+
+def delay_per_receiver(distribution: DataDistribution) -> Dict[NodeId, float]:
+    """Arrival delay for each receiver that got the packet."""
+    return dict(distribution.delays)
+
+
+def average_delay(distribution: DataDistribution,
+                  require_complete: bool = True) -> float:
+    """Mean delay over the receivers — the paper's Fig. 8 metric.
+
+    With ``require_complete`` (default) a distribution that missed an
+    expected receiver raises instead of silently averaging over fewer
+    receivers (a protocol bug should not flatter the delay curve).
+    """
+    if require_complete and distribution.missing:
+        raise ExperimentError(
+            f"distribution is incomplete: missing {sorted(distribution.missing)}"
+        )
+    if not distribution.delays:
+        raise ExperimentError("no receivers were delivered to")
+    return sum(distribution.delays.values()) / len(distribution.delays)
+
+
+def max_delay(distribution: DataDistribution) -> float:
+    """Worst-case receiver delay (not in the paper; useful for QoS
+    discussions the paper motivates)."""
+    if not distribution.delays:
+        raise ExperimentError("no receivers were delivered to")
+    return max(distribution.delays.values())

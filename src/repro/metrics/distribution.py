@@ -1,0 +1,87 @@
+"""The record of one data packet's distribution through a multicast tree.
+
+Every protocol driver (HBH, REUNITE, PIM-SM, PIM-SS — static or
+event-driven) produces a :class:`DataDistribution` describing how one
+packet reached the group: each directed link crossing, the arrival
+delay at every receiver, and which receivers were actually reached.
+The metric functions (:mod:`repro.metrics.tree_cost`,
+:mod:`repro.metrics.delay`) are pure functions over this record, so all
+protocols are measured by identical code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Set, Tuple
+
+NodeId = Hashable
+DirectedLink = Tuple[NodeId, NodeId]
+
+
+@dataclass
+class DataDistribution:
+    """How one data packet propagated through the network."""
+
+    #: Directed link crossings in emission order (one element per copy
+    #: per link — duplicates appear multiple times, that is the point).
+    transmissions: List[DirectedLink] = field(default_factory=list)
+    #: Cost of each transmission, aligned with :attr:`transmissions`.
+    transmission_costs: List[float] = field(default_factory=list)
+    #: Arrival delay at each receiver that got the packet.
+    delays: Dict[NodeId, float] = field(default_factory=dict)
+    #: Receivers that should have gotten the packet (set by the driver).
+    expected: Set[NodeId] = field(default_factory=set)
+
+    def record_hop(self, src: NodeId, dst: NodeId, cost: float) -> None:
+        """Record one packet copy crossing the directed link src->dst."""
+        self.transmissions.append((src, dst))
+        self.transmission_costs.append(cost)
+
+    def record_delivery(self, receiver: NodeId, delay: float) -> None:
+        """Record the packet reaching ``receiver`` after ``delay``.
+
+        If several copies arrive (a protocol pathology), the earliest
+        arrival wins — a real receiver keeps the first copy.
+        """
+        previous = self.delays.get(receiver)
+        if previous is None or delay < previous:
+            self.delays[receiver] = delay
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def copies(self) -> int:
+        """Total packet copies transmitted (the paper's tree cost)."""
+        return len(self.transmissions)
+
+    @property
+    def weighted_cost(self) -> float:
+        """Copies weighted by directed link cost."""
+        return sum(self.transmission_costs)
+
+    def copies_per_link(self) -> Counter:
+        """How many copies crossed each directed link."""
+        return Counter(self.transmissions)
+
+    def duplicated_links(self) -> List[DirectedLink]:
+        """Directed links that carried more than one copy — the
+        REUNITE pathology of paper Fig. 3."""
+        return [link for link, n in self.copies_per_link().items() if n > 1]
+
+    @property
+    def delivered(self) -> Set[NodeId]:
+        """Receivers that got the packet."""
+        return set(self.delays)
+
+    @property
+    def missing(self) -> Set[NodeId]:
+        """Expected receivers that never got the packet (a protocol bug
+        or an intentionally injected failure)."""
+        return self.expected - self.delivered
+
+    @property
+    def complete(self) -> bool:
+        """Whether every expected receiver was reached."""
+        return not self.missing

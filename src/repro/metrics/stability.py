@@ -1,0 +1,98 @@
+"""Tree stability under membership changes (paper Fig. 4).
+
+"The tree management scheme of HBH minimizes the impact of member
+departures in the tree structure" — HBH localises the change at the
+branching node nearest the departed receiver, while REUNITE's
+reconfiguration can re-route *other* receivers (Fig. 2) and churn
+state along the whole old branch.
+
+A :class:`TableSnapshot` captures every (node, entry) pair of a
+converged tree plus each receiver's data path;
+:func:`diff_snapshots` counts entry changes and re-routed receivers
+between two snapshots — the quantities compared in Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Tuple
+
+NodeId = Hashable
+EntryKey = Tuple[NodeId, str, Hashable]
+
+
+@dataclass(frozen=True)
+class TableSnapshot:
+    """Structural snapshot of a protocol instance's tree state."""
+
+    #: (node, table-kind, entry-address) triples.
+    entries: FrozenSet[EntryKey]
+    #: Receiver -> data path (node sequence) at snapshot time.
+    paths: Dict[NodeId, Tuple[NodeId, ...]]
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """What changed between two snapshots of one protocol instance."""
+
+    entries_added: int
+    entries_removed: int
+    rerouted_receivers: List[NodeId]
+
+    @property
+    def entry_changes(self) -> int:
+        """Total table churn (added + removed entries)."""
+        return self.entries_added + self.entries_removed
+
+    @property
+    def reroute_count(self) -> int:
+        """Receivers whose data path changed — zero for HBH by design
+        ("tree reconfiguration in REUNITE may cause route changes to
+        the remaining receivers ... this is avoided in HBH")."""
+        return len(self.rerouted_receivers)
+
+
+def diff_snapshots(before: TableSnapshot, after: TableSnapshot,
+                   ignore_receivers: FrozenSet[NodeId] = frozenset()
+                   ) -> StabilityReport:
+    """Compare two snapshots, ignoring receivers that intentionally
+    left between them (their paths are expected to disappear)."""
+    added = after.entries - before.entries
+    removed = before.entries - after.entries
+    rerouted = []
+    for receiver, old_path in before.paths.items():
+        if receiver in ignore_receivers:
+            continue
+        new_path = after.paths.get(receiver)
+        if new_path is not None and new_path != old_path:
+            rerouted.append(receiver)
+    return StabilityReport(
+        entries_added=len(added),
+        entries_removed=len(removed),
+        rerouted_receivers=sorted(rerouted),
+    )
+
+
+def paths_from_distribution(distribution) -> Dict[NodeId, Tuple[NodeId, ...]]:
+    """Reconstruct each receiver's data path from a distribution record.
+
+    Walks the recorded transmissions backward from each receiver's
+    final hop.  Where several copies reached a node, the first recorded
+    (earliest) hop wins, matching delivery semantics.
+    """
+    incoming: Dict[NodeId, NodeId] = {}
+    for src, dst in distribution.transmissions:
+        incoming.setdefault(dst, src)
+    paths: Dict[NodeId, Tuple[NodeId, ...]] = {}
+    for receiver in distribution.delays:
+        path = [receiver]
+        node = receiver
+        seen = {receiver}
+        while node in incoming:
+            node = incoming[node]
+            if node in seen:  # pragma: no cover - defensive
+                break
+            seen.add(node)
+            path.append(node)
+        paths[receiver] = tuple(reversed(path))
+    return paths

@@ -1,0 +1,102 @@
+"""Multicast state analysis — the motivation REUNITE/HBH inherit.
+
+Section 2.1: "in typical multicast trees, the majority of routers
+simply forward packets from one incoming interface to one outgoing
+interface ... Nevertheless, all multicast protocols keep per group
+information in all routers of the multicast tree.  Therefore the idea
+is to separate multicast routing information in two tables: a
+Multicast Control Table (MCT) that is stored in the control plane and
+a Multicast Forwarding Table (MFT) installed in the data plane."
+
+:func:`hbh_state_census` / :func:`reunite_state_census` count, per
+router, how many *forwarding-plane* (MFT) and *control-plane-only*
+(MCT) entries a converged tree installs; :func:`classic_state_census`
+computes what a classic protocol (every on-tree router keeps
+forwarding state — the PIM model) would install for the same tree.
+The recursive-unicast saving is the gap between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable
+
+from repro.core.static_driver import StaticHbh
+from repro.protocols.pim.trees import ReverseSpt
+from repro.protocols.reunite.static_driver import StaticReunite
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class StateCensus:
+    """Forwarding vs control state installed by one converged tree."""
+
+    #: router -> number of data-plane (MFT) entries.
+    forwarding_entries: Dict[NodeId, int]
+    #: router -> number of control-plane-only (MCT) entries.
+    control_entries: Dict[NodeId, int]
+
+    @property
+    def total_forwarding(self) -> int:
+        """Data-plane entries summed over all routers."""
+        return sum(self.forwarding_entries.values())
+
+    @property
+    def total_control(self) -> int:
+        """Control-plane-only entries summed over all routers."""
+        return sum(self.control_entries.values())
+
+    @property
+    def forwarding_routers(self) -> int:
+        """Routers holding any data-plane state (branching nodes)."""
+        return sum(1 for count in self.forwarding_entries.values()
+                   if count > 0)
+
+    @property
+    def on_tree_routers(self) -> int:
+        """Routers holding any state at all."""
+        nodes = set(self.forwarding_entries) | set(self.control_entries)
+        return sum(
+            1 for node in nodes
+            if self.forwarding_entries.get(node, 0)
+            or self.control_entries.get(node, 0)
+        )
+
+
+def hbh_state_census(driver: StaticHbh) -> StateCensus:
+    """State installed by a converged HBH channel (source excluded —
+    the source keeps its MFT by definition in every protocol)."""
+    forwarding: Dict[NodeId, int] = {}
+    control: Dict[NodeId, int] = {}
+    for node, state in driver.states.items():
+        if state.mft is not None:
+            forwarding[node] = len(state.mft)
+        if state.mct is not None:
+            control[node] = 1
+    return StateCensus(forwarding, control)
+
+
+def reunite_state_census(driver: StaticReunite) -> StateCensus:
+    """State installed by a converged REUNITE conversation."""
+    forwarding: Dict[NodeId, int] = {}
+    control: Dict[NodeId, int] = {}
+    for node, state in driver.states.items():
+        if state.mft is not None:
+            entries = len(state.mft.receivers())
+            if state.mft.dst is not None:
+                entries += 1
+            forwarding[node] = entries
+        if state.mct is not None:
+            control[node] = len(state.mct)
+    return StateCensus(forwarding, control)
+
+
+def classic_state_census(tree: ReverseSpt) -> StateCensus:
+    """What a classic protocol installs for the same group: one
+    forwarding entry per (on-tree router, outgoing interface) — every
+    router of the tree keeps data-plane state, branching or not."""
+    forwarding: Dict[NodeId, int] = {}
+    for parent, _child in tree.tree_links():
+        forwarding[parent] = forwarding.get(parent, 0) + 1
+    return StateCensus(forwarding, {})

@@ -1,0 +1,74 @@
+"""Aggregation of per-run metrics into the numbers the paper plots.
+
+Each Monte-Carlo run yields one :class:`~repro.metrics.distribution.
+DataDistribution` per protocol; :func:`summarize` reduces a batch of
+them to mean/stddev/confidence-interval statistics for tree cost and
+delay — the quantities on the Fig. 7 and Fig. 8 axes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import ExperimentError
+from repro.metrics.delay import average_delay
+from repro.metrics.distribution import DataDistribution
+from repro.metrics.tree_cost import tree_cost_copies, tree_cost_weighted
+
+
+@dataclass(frozen=True, slots=True)
+class Stat:
+    """Mean, standard deviation and 95% CI half-width of one series."""
+
+    mean: float
+    stddev: float
+    ci95: float
+    n: int
+
+
+def _stat(values: Sequence[float]) -> Stat:
+    n = len(values)
+    if n == 0:
+        raise ExperimentError("cannot summarize an empty series")
+    mean = sum(values) / n
+    if n == 1:
+        return Stat(mean=mean, stddev=0.0, ci95=0.0, n=1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stddev = math.sqrt(variance)
+    ci95 = 1.96 * stddev / math.sqrt(n)
+    return Stat(mean=mean, stddev=stddev, ci95=ci95, n=n)
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSummary:
+    """Aggregated tree-cost and delay statistics for one protocol at
+    one sweep point (one group size)."""
+
+    cost_copies: Stat
+    cost_weighted: Stat
+    delay: Stat
+
+    def as_row(self) -> List[float]:
+        """[mean copies, mean weighted cost, mean delay] — table row."""
+        return [self.cost_copies.mean, self.cost_weighted.mean,
+                self.delay.mean]
+
+
+def summarize(distributions: Iterable[DataDistribution],
+              require_complete: bool = True) -> MetricSummary:
+    """Reduce one batch of per-run distributions to summary statistics."""
+    copies: List[float] = []
+    weighted: List[float] = []
+    delays: List[float] = []
+    for distribution in distributions:
+        copies.append(float(tree_cost_copies(distribution)))
+        weighted.append(tree_cost_weighted(distribution))
+        delays.append(average_delay(distribution,
+                                    require_complete=require_complete))
+    return MetricSummary(
+        cost_copies=_stat(copies),
+        cost_weighted=_stat(weighted),
+        delay=_stat(delays),
+    )

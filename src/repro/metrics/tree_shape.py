@@ -1,0 +1,97 @@
+"""Tree-structure analytics: the shape behind the cost/delay numbers.
+
+REUNITE's founding observation — "in typical multicast trees, the
+majority of routers simply forward packets from one incoming interface
+to one outgoing interface, in other words, the minority of routers are
+branching nodes" (Section 2.1) — is a statement about tree *shape*.
+This module derives the relevant shape statistics from a
+:class:`~repro.metrics.distribution.DataDistribution`:
+
+- branching-degree distribution (how many routers split into k copies);
+- the branching-node fraction (the paper's "minority" claim, measured);
+- path stretch per receiver (actual delay / shortest-path delay) — the
+  quality measure behind the Fig. 8 averages.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.errors import ExperimentError
+from repro.metrics.distribution import DataDistribution
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class TreeShape:
+    """Shape statistics of one data distribution."""
+
+    #: node -> number of outgoing copies it emitted.
+    out_degree: Dict[NodeId, int]
+    #: number of distinct nodes that transmitted at least one copy.
+    transmitting_nodes: int
+    #: nodes emitting >= 2 copies (true branch points).
+    branching_nodes: int
+    #: longest hop count from the root to any receiver.
+    max_hops: int
+
+    @property
+    def branching_fraction(self) -> float:
+        """Fraction of transmitting nodes that actually branch — the
+        measured version of the paper's "minority of routers are
+        branching nodes"."""
+        if self.transmitting_nodes == 0:
+            return 0.0
+        return self.branching_nodes / self.transmitting_nodes
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """out-degree -> how many nodes have it."""
+        return dict(Counter(self.out_degree.values()))
+
+
+def tree_shape(distribution: DataDistribution,
+               root: Optional[NodeId] = None) -> TreeShape:
+    """Derive shape statistics from one packet's distribution record."""
+    out_degree: Counter = Counter()
+    incoming: Dict[NodeId, NodeId] = {}
+    for src, dst in distribution.transmissions:
+        out_degree[src] += 1
+        incoming.setdefault(dst, src)
+    max_hops = 0
+    for receiver in distribution.delays:
+        hops = 0
+        node = receiver
+        seen = set()
+        while node in incoming and node not in seen:
+            seen.add(node)
+            node = incoming[node]
+            hops += 1
+        max_hops = max(max_hops, hops)
+    return TreeShape(
+        out_degree=dict(out_degree),
+        transmitting_nodes=len(out_degree),
+        branching_nodes=sum(1 for degree in out_degree.values()
+                            if degree >= 2),
+        max_hops=max_hops,
+    )
+
+
+def path_stretch(distribution: DataDistribution,
+                 routing, source: NodeId) -> Dict[NodeId, float]:
+    """Per-receiver stretch: actual delay / forward-shortest delay.
+
+    1.0 means the receiver sits on its shortest path (HBH's guarantee);
+    REUNITE's Fig. 2 pathology shows up as stretch > 1.
+    """
+    stretch: Dict[NodeId, float] = {}
+    for receiver, delay in distribution.delays.items():
+        optimal = routing.distance(source, receiver)
+        if optimal <= 0:
+            raise ExperimentError(
+                f"receiver {receiver} is co-located with the source"
+            )
+        stretch[receiver] = delay / optimal
+    return stretch

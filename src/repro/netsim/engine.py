@@ -1,0 +1,160 @@
+"""Virtual-time discrete-event engine.
+
+A :class:`Simulator` owns a priority queue of timestamped events and
+executes them in order.  Determinism rules:
+
+- events at equal times run in scheduling (FIFO) order, via a
+  monotonically increasing sequence number;
+- cancelled events stay in the heap but are skipped (lazy deletion),
+  so cancellation is O(1).
+
+The engine knows nothing about networks; links, nodes and protocol
+agents are layered on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import ScheduleInPastError, SimulationError
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires."""
+
+    __slots__ = ("time", "_seq", "_callback", "_args")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        self.time = time
+        self._seq = seq
+        self._callback: Optional[Callable[..., None]] = callback
+        self._args = args
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._callback = None
+        self._args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called (or the event already ran)."""
+        return self._callback is None
+
+    def _fire(self) -> None:
+        callback = self._callback
+        if callback is None:
+            return
+        args = self._args
+        # Mark consumed before running so re-entrant cancels are no-ops.
+        self._callback = None
+        self._args = ()
+        callback(*args)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self._seq) < (other.time, other._seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time}, {state})"
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(5.0, callback, arg1)
+        sim.run(until=1000.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` from now."""
+        if delay < 0:
+            raise ScheduleInPastError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ScheduleInPastError(
+                f"cannot schedule at {time}, now is {self._now}"
+            )
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Execute events until the queue drains, ``until`` is passed, or
+        ``max_events`` have run.  Returns the number of events executed
+        by this call.  Virtual time advances to ``until`` (if given)
+        even when the queue drains earlier.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue and not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = head.time
+                head._fire()
+                executed += 1
+                self.events_executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.  Returns False when idle."""
+        return self.run(max_events=1) == 1
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the earliest pending event, if any."""
+        for event in sorted(self._queue):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self._now}, pending={self.pending})"

@@ -1,0 +1,123 @@
+"""Simulated point-to-point links.
+
+A :class:`Link` joins two nodes and carries packets with a
+per-direction delay equal to the directed link cost — the paper's
+"time units" model, where the routing metric and the propagation delay
+are the same number drawn from U[1, 10].
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Hashable, Optional
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.netsim.node import Node
+
+NodeId = Hashable
+
+
+class Link:
+    """A bidirectional link with independent per-direction delays.
+
+    A link can be taken down (:attr:`up` = False): packets handed to a
+    down link are lost silently, exactly like a fiber cut — the
+    soft-state protocols above are expected to notice through missing
+    refreshes, not through link-layer signalling.
+    """
+
+    def __init__(self, simulator: Simulator, a: "Node", b: "Node",
+                 delay_ab: float, delay_ba: float,
+                 on_transmit: Callable[["Link", NodeId, NodeId, Packet], None]
+                 ) -> None:
+        if delay_ab <= 0 or delay_ba <= 0:
+            raise SimulationError(
+                f"link {a.node_id}-{b.node_id} has non-positive delay"
+            )
+        self._simulator = simulator
+        self._ends = {a.node_id: a, b.node_id: b}
+        self._delays = {
+            (a.node_id, b.node_id): delay_ab,
+            (b.node_id, a.node_id): delay_ba,
+        }
+        self._on_transmit = on_transmit
+        self.up = True
+        self.packets_lost = 0
+        #: Probability each transmission is lost (0.0 = reliable).
+        #: Set together with :attr:`loss_rng` (a seeded ``random.Random``)
+        #: via :meth:`set_loss` for reproducible lossy-link experiments.
+        self.loss_rate = 0.0
+        self.loss_rng = None
+        #: Optional capacity (size units per time unit) per direction.
+        #: ``None`` (default) = infinite: packets only see propagation
+        #: delay, the paper's pure-delay model.  With a bandwidth set,
+        #: each direction is a FIFO transmitter: a packet serializes
+        #: for size/bandwidth and queues behind earlier ones.
+        self.bandwidth: Optional[float] = None
+        self._busy_until = {key: 0.0 for key in self._delays}
+
+    def set_bandwidth(self, bandwidth: Optional[float]) -> None:
+        """Configure the link's capacity (both directions)."""
+        if bandwidth is not None and bandwidth <= 0:
+            raise SimulationError(
+                f"bandwidth must be positive, got {bandwidth}"
+            )
+        self.bandwidth = bandwidth
+
+    def set_loss(self, rate: float, rng) -> None:
+        """Make the link lossy: each transmission drops with
+        probability ``rate``, decided by the seeded ``rng``."""
+        if not 0.0 <= rate < 1.0:
+            raise SimulationError(f"loss rate out of range: {rate}")
+        self.loss_rate = rate
+        self.loss_rng = rng
+
+    def endpoints(self) -> tuple:
+        """The two endpoint node ids (sorted for stable display)."""
+        return tuple(sorted(self._ends))
+
+    def delay(self, src: NodeId, dst: NodeId) -> float:
+        """Propagation delay from ``src`` to ``dst`` over this link."""
+        try:
+            return self._delays[(src, dst)]
+        except KeyError:
+            raise SimulationError(
+                f"nodes {src}->{dst} not on link {self.endpoints()}"
+            ) from None
+
+    def transmit(self, src: NodeId, packet: Packet) -> None:
+        """Send ``packet`` from the ``src`` end; it arrives at the other
+        end after the directed delay.  Expired-TTL packets are dropped
+        silently (counted by the transmit hook before the drop check so
+        the attempt is visible to diagnostics).
+        """
+        (dst,) = [end for end in self._ends if end != src]
+        if not self.up:
+            self.packets_lost += 1
+            return
+        if self.loss_rate > 0.0 and self.loss_rng.random() < self.loss_rate:
+            self.packets_lost += 1
+            return
+        self._on_transmit(self, src, dst, packet)
+        aged = packet.aged()
+        if aged.expired:
+            return
+        receiver = self._ends[dst]
+        total_delay = self.delay(src, dst)
+        if self.bandwidth is not None:
+            # FIFO transmitter: serialize after earlier packets finish.
+            now = self._simulator.now
+            start = max(now, self._busy_until[(src, dst)])
+            finish = start + packet.size / self.bandwidth
+            self._busy_until[(src, dst)] = finish
+            total_delay = (finish - now) + self.delay(src, dst)
+        self._simulator.schedule(
+            total_delay, receiver.receive, aged, src
+        )
+
+    def __repr__(self) -> str:
+        a, b = self.endpoints()
+        return f"Link({a}<->{b}, {self._delays[(a, b)]}/{self._delays[(b, a)]})"

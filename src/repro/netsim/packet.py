@@ -1,0 +1,103 @@
+"""Unicast datagrams.
+
+Everything that crosses a link is a :class:`Packet` with a unicast
+destination address — the defining property of the recursive-unicast
+approach (Section 2.2).  Control messages (join/tree/fusion and their
+REUNITE/PIM analogues) ride as the packet payload; data packets carry a
+:class:`DataPayload` naming the channel so branching routers know which
+MFT to consult.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Optional
+
+from repro.addressing import Address
+
+_packet_ids = itertools.count(1)
+
+#: Hop budget: generous but finite, so forwarding bugs surface as
+#: dropped packets instead of infinite loops.
+DEFAULT_TTL = 255
+
+
+class PacketKind(enum.Enum):
+    """Whether a packet is protocol control traffic or channel data.
+
+    Tree cost only counts *data* copies; the split keeps control
+    overhead measurable separately.
+    """
+
+    CONTROL = "control"
+    DATA = "data"
+
+
+@dataclass(frozen=True, slots=True)
+class DataPayload:
+    """Payload of a multicast data packet.
+
+    ``channel`` identifies the conversation (an HBH ``Channel`` or a
+    REUNITE ``ReuniteChannel``); ``stream_id``/``sequence`` identify the
+    packet for delivery bookkeeping; ``encapsulated`` marks PIM-SM
+    register traffic (source -> RP unicast encapsulation).
+    """
+
+    channel: Any
+    stream_id: int = 0
+    sequence: int = 0
+    encapsulated: bool = False
+    #: Virtual send time at the source — receivers compute their delay
+    #: as ``now - sent_at``.
+    sent_at: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """A unicast datagram.
+
+    Immutable: rewriting the destination address (what a branching
+    router does) yields a *new* packet via :meth:`readdressed`, keeping
+    the copy semantics of the paper explicit in the code.
+    """
+
+    src: Address
+    dst: Address
+    payload: Any
+    kind: PacketKind = PacketKind.CONTROL
+    ttl: int = DEFAULT_TTL
+    #: Packet size in abstract units; only meaningful on links with a
+    #: configured bandwidth (serialization time = size / bandwidth).
+    size: float = 1.0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def readdressed(self, dst: Address, src: Optional[Address] = None) -> "Packet":
+        """A modified copy with a new destination (and fresh uid).
+
+        This is the branching-node operation: "creating packet copies
+        with modified destination address" (Section 2.2).
+        """
+        return replace(
+            self,
+            dst=dst,
+            src=src if src is not None else self.src,
+            uid=next(_packet_ids),
+            ttl=DEFAULT_TTL,
+        )
+
+    def aged(self) -> "Packet":
+        """A copy with the TTL decremented (same uid: same packet, older)."""
+        return replace(self, ttl=self.ttl - 1)
+
+    @property
+    def expired(self) -> bool:
+        """Whether the hop budget is exhausted."""
+        return self.ttl <= 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(#{self.uid} {self.kind.value} {self.src}->{self.dst} "
+            f"{type(self.payload).__name__})"
+        )

@@ -1,0 +1,76 @@
+"""Transmission counters.
+
+Tree cost in the paper is "the number of copies of the same packet that
+are transmitted in the network links" — i.e. a per-link transmission
+count, *not* a tree-link count, because recursive unicast can put
+several copies of one packet on one link (Section 4.2.1).
+
+:class:`LinkCounters` tallies every transmission per directed link,
+split into control and data, in both unweighted (copy count) and
+cost-weighted (copies x link cost) forms.  Experiments reset the
+counters, inject one data packet, and read the tally.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+from repro.netsim.packet import PacketKind
+
+NodeId = Hashable
+DirectedLink = Tuple[NodeId, NodeId]
+
+
+@dataclass(frozen=True, slots=True)
+class TransmissionTally:
+    """Aggregate view of one traffic class (control or data)."""
+
+    copies: int
+    weighted_cost: float
+    links_used: int
+    max_copies_on_link: int
+
+
+class LinkCounters:
+    """Per-directed-link transmission counters."""
+
+    def __init__(self) -> None:
+        self._copies: Dict[PacketKind, Dict[DirectedLink, int]] = {
+            kind: defaultdict(int) for kind in PacketKind
+        }
+        self._weighted: Dict[PacketKind, float] = {kind: 0.0 for kind in PacketKind}
+
+    def record(self, src: NodeId, dst: NodeId, cost: float,
+               kind: PacketKind) -> None:
+        """Record one packet copy crossing the directed link src->dst."""
+        self._copies[kind][(src, dst)] += 1
+        self._weighted[kind] += cost
+
+    def tally(self, kind: PacketKind) -> TransmissionTally:
+        """Aggregate statistics for one traffic class."""
+        per_link = self._copies[kind]
+        return TransmissionTally(
+            copies=sum(per_link.values()),
+            weighted_cost=self._weighted[kind],
+            links_used=len(per_link),
+            max_copies_on_link=max(per_link.values(), default=0),
+        )
+
+    def copies_on(self, src: NodeId, dst: NodeId,
+                  kind: PacketKind = PacketKind.DATA) -> int:
+        """Copies of ``kind`` traffic that crossed the directed link."""
+        return self._copies[kind].get((src, dst), 0)
+
+    def per_link(self, kind: PacketKind = PacketKind.DATA
+                 ) -> Dict[DirectedLink, int]:
+        """Copy counts keyed by directed link (a plain dict snapshot)."""
+        return dict(self._copies[kind])
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. between control convergence and the
+        data-plane measurement)."""
+        for kind in PacketKind:
+            self._copies[kind].clear()
+            self._weighted[kind] = 0.0

@@ -1,0 +1,123 @@
+"""Timers and the paper's t1/t2 soft-state discipline.
+
+Both REUNITE and HBH associate two timers with every table entry
+(Section 3.1): when ``t1`` expires the entry becomes **stale**, and when
+``t2`` expires the entry is **destroyed**.  A refresh (join or tree
+message, depending on the entry) restarts both.  HBH additionally keeps
+some entries *deliberately* stale — a fusion-installed next-branching-
+node entry has "its t1 timer kept expired" so it forwards data but
+produces no downstream tree messages.
+
+:class:`Timer` is a restartable one-shot timer; :class:`SoftStateEntryTimers`
+bundles the t1/t2 pair with exactly those semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.netsim.engine import EventHandle, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    ``start()`` (re)arms the timer; if it fires, ``callback`` runs once.
+    ``expired`` reports whether the timer has fired since last armed.
+    """
+
+    def __init__(self, simulator: Simulator, duration: float,
+                 callback: Optional[Callable[[], None]] = None) -> None:
+        if duration <= 0:
+            raise SimulationError(f"timer duration must be positive: {duration}")
+        self._simulator = simulator
+        self.duration = duration
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+        self._expired = False
+
+    def start(self) -> None:
+        """(Re)arm the timer for a full duration from now."""
+        self.cancel()
+        self._expired = False
+        self._handle = self._simulator.schedule(self.duration, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm without firing.  Idempotent."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def expire_now(self) -> None:
+        """Force the timer into the expired state without running the
+        callback — HBH's "t1 timer is kept expired" rule for
+        fusion-installed entries.
+        """
+        self.cancel()
+        self._expired = True
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is armed and has not fired."""
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def expired(self) -> bool:
+        """Whether the timer fired (or was force-expired) since last armed."""
+        return self._expired
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._expired = True
+        if self._callback is not None:
+            self._callback()
+
+
+class SoftStateEntryTimers:
+    """The t1/t2 pair attached to an MCT or MFT entry.
+
+    - t1 expiry => entry *stale* (queried via :attr:`stale`);
+    - t2 expiry => ``on_destroy`` runs (the owner removes the entry).
+
+    ``refresh()`` restarts both timers (the effect of a join or tree
+    message refreshing the entry).  ``make_stale()`` force-expires t1
+    while keeping t2 alive, and ``keep_alive_stale()`` refreshes t2 only
+    — the two halves of HBH's fusion rules 3 and 4.
+    """
+
+    def __init__(self, simulator: Simulator, t1_duration: float,
+                 t2_duration: float,
+                 on_destroy: Optional[Callable[[], None]] = None) -> None:
+        if t2_duration <= t1_duration:
+            raise SimulationError(
+                f"t2 ({t2_duration}) must exceed t1 ({t1_duration})"
+            )
+        self.t1 = Timer(simulator, t1_duration)
+        self.t2 = Timer(simulator, t2_duration, callback=on_destroy)
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Full refresh: restart both timers (entry becomes fresh)."""
+        self.t1.start()
+        self.t2.start()
+
+    def make_stale(self) -> None:
+        """Expire t1 immediately; keep t2 running (entry stays, stale)."""
+        self.t1.expire_now()
+        self.t2.start()
+
+    def keep_alive_stale(self) -> None:
+        """Refresh t2 but keep t1 expired (HBH fusion rule 4)."""
+        self.t1.expire_now()
+        self.t2.start()
+
+    def cancel(self) -> None:
+        """Disarm both timers (entry removed by other means)."""
+        self.t1.cancel()
+        self.t2.cancel()
+
+    @property
+    def stale(self) -> bool:
+        """Whether t1 has expired (and the entry not yet destroyed)."""
+        return self.t1.expired

@@ -1,0 +1,71 @@
+"""Structured simulation tracing.
+
+A :class:`Trace` is an append-only log of (time, node, event, detail)
+records.  Integration tests assert on it ("R3 intercepted join(S, r2)"),
+and the examples print it to narrate protocol behaviour.  Disabled by
+default in Monte-Carlo runs for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator, List, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    node: Hashable
+    event: str
+    detail: str = ""
+    subject: Any = None
+
+    def __str__(self) -> str:
+        suffix = f" {self.detail}" if self.detail else ""
+        return f"[{self.time:10.2f}] node {self.node}: {self.event}{suffix}"
+
+
+class Trace:
+    """Collects :class:`TraceRecord` objects while enabled."""
+
+    def __init__(self, enabled: bool = True,
+                 printer: Optional[Callable[[str], None]] = None) -> None:
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self._printer = printer
+
+    def record(self, time: float, node: Hashable, event: str,
+               detail: str = "", subject: Any = None) -> None:
+        """Append a record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        entry = TraceRecord(time, node, event, detail, subject)
+        self.records.append(entry)
+        if self._printer is not None:
+            self._printer(str(entry))
+
+    def matching(self, event: Optional[str] = None,
+                 node: Optional[Hashable] = None) -> Iterator[TraceRecord]:
+        """Records filtered by event name and/or node."""
+        for entry in self.records:
+            if event is not None and entry.event != event:
+                continue
+            if node is not None and entry.node != node:
+                continue
+            yield entry
+
+    def count(self, event: str, node: Optional[Hashable] = None) -> int:
+        """How many records match."""
+        return sum(1 for _ in self.matching(event, node))
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)

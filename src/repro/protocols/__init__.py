@@ -1,0 +1,27 @@
+"""Baseline multicast protocols the paper compares HBH against.
+
+- :mod:`repro.protocols.reunite` — REUNITE (Stoica et al., INFOCOM
+  2000), the other recursive-unicast protocol, as described in paper
+  Section 2;
+- :mod:`repro.protocols.pim` — the NS-style centralized PIM baselines:
+  PIM-SM shared trees (RP-rooted reverse SPT with source-to-RP unicast
+  encapsulation) and PIM-SS source trees (reverse SPT, the structure of
+  PIM-SSM).
+
+All protocols implement the :class:`repro.protocols.base.MulticastProtocol`
+driver interface, so the experiment harness treats them uniformly.
+"""
+
+from repro.protocols.base import (
+    MulticastProtocol,
+    PROTOCOL_REGISTRY,
+    build_protocol,
+    register_protocol,
+)
+
+__all__ = [
+    "MulticastProtocol",
+    "PROTOCOL_REGISTRY",
+    "build_protocol",
+    "register_protocol",
+]

@@ -1,0 +1,123 @@
+"""The driver interface every multicast protocol implements.
+
+A protocol driver owns one multicast conversation rooted at a source
+node: receivers join/leave, the control plane converges, and
+``distribute_data`` measures how one data packet spreads — producing the
+:class:`~repro.metrics.distribution.DataDistribution` all metrics are
+computed from.
+
+A registry maps protocol names ("hbh", "reunite", "pim-sm", "pim-ss")
+to factories so experiments can be configured by name, matching the
+four curves of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Hashable, List, Optional, Set
+
+from repro.errors import ExperimentError
+from repro.metrics.distribution import DataDistribution
+from repro.routing.tables import UnicastRouting
+from repro.topology.model import Topology
+
+NodeId = Hashable
+
+
+class MulticastProtocol(abc.ABC):
+    """One multicast conversation under one routing protocol."""
+
+    #: Registry name, set by subclasses ("hbh", "reunite", ...).
+    name: str = "abstract"
+
+    def __init__(self, topology: Topology, source: NodeId,
+                 routing: Optional[UnicastRouting] = None) -> None:
+        topology.kind(source)
+        self.topology = topology
+        self.routing = routing or UnicastRouting(topology)
+        self.source = source
+        self.receivers: Set[NodeId] = set()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def add_receiver(self, receiver: NodeId) -> None:
+        """Join ``receiver`` to the conversation."""
+
+    @abc.abstractmethod
+    def remove_receiver(self, receiver: NodeId) -> None:
+        """Remove ``receiver`` from the conversation."""
+
+    def add_receivers(self, receivers) -> None:
+        """Join several receivers (deterministic sorted order)."""
+        for receiver in sorted(receivers):
+            self.add_receiver(receiver)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def converge(self, max_rounds: int = 40) -> int:
+        """Drive the control plane to a stable tree; returns the number
+        of rounds/periods it took (0 for computed trees like PIM)."""
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def distribute_data(self) -> DataDistribution:
+        """Send one data packet through the converged tree and record
+        every link crossing and receiver delay."""
+
+    # ------------------------------------------------------------------
+    # Introspection (optional, default empty)
+    # ------------------------------------------------------------------
+    def branching_nodes(self) -> List[NodeId]:
+        """Nodes that duplicate data packets (empty if not applicable)."""
+        return []
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(source={self.source}, "
+            f"receivers={len(self.receivers)})"
+        )
+
+
+ProtocolFactory = Callable[..., MulticastProtocol]
+
+PROTOCOL_REGISTRY: Dict[str, ProtocolFactory] = {}
+
+
+def register_protocol(name: str) -> Callable[[ProtocolFactory], ProtocolFactory]:
+    """Class decorator registering a protocol under ``name``."""
+
+    def decorator(factory: ProtocolFactory) -> ProtocolFactory:
+        if name in PROTOCOL_REGISTRY:
+            raise ExperimentError(f"protocol {name!r} already registered")
+        PROTOCOL_REGISTRY[name] = factory
+        factory.name = name
+        return factory
+
+    return decorator
+
+
+def build_protocol(name: str, topology: Topology, source: NodeId,
+                   routing: Optional[UnicastRouting] = None,
+                   **kwargs) -> MulticastProtocol:
+    """Instantiate a registered protocol by name."""
+    # Importing the implementations registers them; deferred to avoid
+    # circular imports at package-load time.
+    import repro.protocols.reunite.protocol  # noqa: F401
+    import repro.protocols.pim.protocol  # noqa: F401
+    import repro.protocols.hbh_adapter  # noqa: F401
+    import repro.protocols.mospf  # noqa: F401
+
+    try:
+        factory = PROTOCOL_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOL_REGISTRY))
+        raise ExperimentError(
+            f"unknown protocol {name!r} (known: {known})"
+        ) from None
+    return factory(topology, source, routing=routing, **kwargs)

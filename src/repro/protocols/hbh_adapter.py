@@ -1,0 +1,46 @@
+"""Registry adapter exposing the HBH static driver through the common
+:class:`~repro.protocols.base.MulticastProtocol` interface, so the
+experiment harness can build all four of the paper's protocols by name.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro.core.static_driver import StaticHbh
+from repro.core.tables import ProtocolTiming, ROUND_TIMING
+from repro.metrics.distribution import DataDistribution
+from repro.protocols.base import MulticastProtocol, register_protocol
+from repro.routing.tables import UnicastRouting
+from repro.topology.model import Topology
+
+NodeId = Hashable
+
+
+@register_protocol("hbh")
+class HbhProtocol(MulticastProtocol):
+    """HBH (the paper's contribution), round-driven to convergence."""
+
+    def __init__(self, topology: Topology, source: NodeId,
+                 routing: Optional[UnicastRouting] = None,
+                 timing: ProtocolTiming = ROUND_TIMING) -> None:
+        super().__init__(topology, source, routing)
+        self.driver = StaticHbh(topology, source, routing=self.routing,
+                                timing=timing)
+
+    def add_receiver(self, receiver: NodeId) -> None:
+        self.driver.add_receiver(receiver)
+        self.receivers.add(receiver)
+
+    def remove_receiver(self, receiver: NodeId) -> None:
+        self.driver.remove_receiver(receiver)
+        self.receivers.discard(receiver)
+
+    def converge(self, max_rounds: int = 40) -> int:
+        return self.driver.converge(max_rounds=max_rounds)
+
+    def distribute_data(self) -> DataDistribution:
+        return self.driver.distribute_data()
+
+    def branching_nodes(self) -> List[NodeId]:
+        return self.driver.branching_nodes()

@@ -1,0 +1,30 @@
+"""Centralized PIM baselines, as used in the paper's NS simulations.
+
+The paper (Section 4.2): "NS's implementation is centralized and the
+change from the shared tree to the source tree is realized through an
+explicit command ... Therefore, PIM-SM in our simulations refers to a
+protocol that constructs exclusively shared trees, whereas PIM-SS is a
+protocol that only constructs source trees.  The tree structure of
+PIM-SS is the same as that of PIM-SSM, i.e., a reverse SPT."
+
+- :class:`~repro.protocols.pim.protocol.PimSsProtocol` ("pim-ss"):
+  the reverse shortest-path tree rooted at the source (RPF: each node's
+  upstream is its unicast next hop toward S).
+- :class:`~repro.protocols.pim.protocol.PimSmProtocol` ("pim-sm"):
+  a reverse SPT rooted at a rendez-vous point; the source unicasts
+  (encapsulates) data to the RP along its *forward* shortest path,
+  which is why delay S->RP is minimised (the paper's explanation for
+  PIM-SM beating PIM-SS on the ISP topology, Section 4.2.2).
+"""
+
+from repro.protocols.pim.rp import select_rp, RP_STRATEGIES
+from repro.protocols.pim.trees import ReverseSpt
+from repro.protocols.pim.protocol import PimSmProtocol, PimSsProtocol
+
+__all__ = [
+    "select_rp",
+    "RP_STRATEGIES",
+    "ReverseSpt",
+    "PimSmProtocol",
+    "PimSsProtocol",
+]

@@ -1,0 +1,107 @@
+"""PIM-SS and PIM-SM under the common protocol interface."""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro._rand import SeedLike
+from repro.metrics.distribution import DataDistribution
+from repro.protocols.base import MulticastProtocol, register_protocol
+from repro.protocols.pim.rp import select_rp
+from repro.protocols.pim.trees import ReverseSpt
+from repro.routing.tables import UnicastRouting
+from repro.topology.model import Topology
+
+NodeId = Hashable
+
+
+@register_protocol("pim-ss")
+class PimSsProtocol(MulticastProtocol):
+    """Source-specific reverse SPT (the PIM-SSM tree structure)."""
+
+    def __init__(self, topology: Topology, source: NodeId,
+                 routing: Optional[UnicastRouting] = None) -> None:
+        super().__init__(topology, source, routing)
+        self.tree = ReverseSpt(topology, source, routing=self.routing)
+
+    def add_receiver(self, receiver: NodeId) -> None:
+        self.tree.graft(receiver)
+        self.receivers.add(receiver)
+
+    def remove_receiver(self, receiver: NodeId) -> None:
+        self.tree.prune(receiver)
+        self.receivers.discard(receiver)
+
+    def converge(self, max_rounds: int = 40) -> int:
+        """Centralized construction: the tree is already in place."""
+        return 0
+
+    def distribute_data(self) -> DataDistribution:
+        distribution = DataDistribution(expected=set(self.receivers))
+        self.tree.distribute(distribution)
+        return distribution
+
+    def branching_nodes(self) -> List[NodeId]:
+        return sorted(
+            node for node, kids in self.tree.children().items()
+            if len(kids) > 1
+        )
+
+
+@register_protocol("pim-sm")
+class PimSmProtocol(MulticastProtocol):
+    """Shared reverse SPT rooted at a rendez-vous point.
+
+    Data is unicast-encapsulated from the source to the RP along the
+    source's *forward* shortest path (register tunnelling), then
+    distributed down the shared tree.  The encapsulated leg's copies
+    are counted in the tree cost, and its (minimised) delay is part of
+    every receiver's delay — reproducing both "unexpected" Fig. 8(a)
+    effects the paper discusses.
+    """
+
+    def __init__(self, topology: Topology, source: NodeId,
+                 routing: Optional[UnicastRouting] = None,
+                 rp: Optional[NodeId] = None,
+                 rp_strategy: str = "median",
+                 rp_seed: SeedLike = None) -> None:
+        super().__init__(topology, source, routing)
+        if rp is None:
+            rp = select_rp(topology, self.routing, strategy=rp_strategy,
+                           seed=rp_seed)
+        self.rp = rp
+        self.tree = ReverseSpt(topology, rp, routing=self.routing)
+
+    def add_receiver(self, receiver: NodeId) -> None:
+        self.tree.graft(receiver)
+        self.receivers.add(receiver)
+
+    def remove_receiver(self, receiver: NodeId) -> None:
+        self.tree.prune(receiver)
+        self.receivers.discard(receiver)
+
+    def converge(self, max_rounds: int = 40) -> int:
+        """Centralized construction: the tree is already in place."""
+        return 0
+
+    def distribute_data(self) -> DataDistribution:
+        distribution = DataDistribution(expected=set(self.receivers))
+        if not self.receivers:
+            return distribution
+        register_delay = 0.0
+        if self.source != self.rp:
+            # Register leg: unicast encapsulation along the forward
+            # shortest path source -> RP (delay-optimal by construction).
+            path = self.routing.path(self.source, self.rp)
+            for a, b in zip(path, path[1:]):
+                cost = self.topology.cost(a, b)
+                distribution.record_hop(a, b, cost)
+                register_delay += cost
+        self.tree.distribute(distribution, base_delay=register_delay)
+        return distribution
+
+    def branching_nodes(self) -> List[NodeId]:
+        return sorted(
+            node for node, kids in self.tree.children().items()
+            if len(kids) > 1
+        )

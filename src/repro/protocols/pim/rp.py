@@ -1,0 +1,95 @@
+"""Rendez-vous point selection for PIM-SM shared trees.
+
+The paper does not state how NS's centralized implementation placed the
+RP; the shared-tree results depend on it, so this module offers several
+strategies and the ``abl-rp`` ablation sweeps them:
+
+- ``median`` (default): the router minimising the sum of directed
+  distances to and from every router — a balanced "core" placement;
+- ``eccentricity``: the router minimising its worst-case distance;
+- ``random``: uniform over routers (seeded);
+- ``first``: the lowest-numbered router (a degenerate but reproducible
+  choice).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional
+
+from repro._rand import SeedLike, make_rng
+from repro.errors import ExperimentError
+from repro.routing.tables import UnicastRouting
+from repro.topology.model import Topology
+
+NodeId = Hashable
+
+
+def _median_rp(topology: Topology, routing: UnicastRouting,
+               seed: SeedLike) -> NodeId:
+    best_node = None
+    best_total = float("inf")
+    for candidate in topology.routers:
+        total = 0.0
+        for other in topology.routers:
+            if other == candidate:
+                continue
+            total += routing.distance(candidate, other)
+            total += routing.distance(other, candidate)
+        if total < best_total:
+            best_total = total
+            best_node = candidate
+    return best_node
+
+
+def _eccentricity_rp(topology: Topology, routing: UnicastRouting,
+                     seed: SeedLike) -> NodeId:
+    best_node = None
+    best_worst = float("inf")
+    for candidate in topology.routers:
+        worst = max(
+            max(routing.distance(candidate, other),
+                routing.distance(other, candidate))
+            for other in topology.routers if other != candidate
+        )
+        if worst < best_worst:
+            best_worst = worst
+            best_node = candidate
+    return best_node
+
+
+def _random_rp(topology: Topology, routing: UnicastRouting,
+               seed: SeedLike) -> NodeId:
+    return make_rng(seed).choice(topology.routers)
+
+
+def _first_rp(topology: Topology, routing: UnicastRouting,
+              seed: SeedLike) -> NodeId:
+    return topology.routers[0]
+
+
+RP_STRATEGIES: Dict[str, Callable] = {
+    "median": _median_rp,
+    "eccentricity": _eccentricity_rp,
+    "random": _random_rp,
+    "first": _first_rp,
+}
+
+
+def select_rp(
+    topology: Topology,
+    routing: Optional[UnicastRouting] = None,
+    strategy: str = "median",
+    seed: SeedLike = None,
+) -> NodeId:
+    """Pick the rendez-vous point router for a PIM-SM shared tree."""
+    if not topology.routers:
+        raise ExperimentError("topology has no routers to pick an RP from")
+    try:
+        chooser = RP_STRATEGIES[strategy]
+    except KeyError:
+        known = ", ".join(sorted(RP_STRATEGIES))
+        raise ExperimentError(
+            f"unknown RP strategy {strategy!r} (known: {known})"
+        ) from None
+    routing = routing or UnicastRouting(topology)
+    return chooser(topology, routing, seed)

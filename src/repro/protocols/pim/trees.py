@@ -1,0 +1,130 @@
+"""Reverse shortest-path tree construction (the RPF structure).
+
+Both PIM baselines are built from the same object: a :class:`ReverseSpt`
+rooted at some node ``root`` (the source for PIM-SS, the RP for
+PIM-SM).  Each joined receiver grafts the *reverse* of its unicast path
+toward the root — i.e. every on-tree node's upstream neighbor is its
+unicast next hop toward the root, which is exactly the RPF check.  Data
+flows root->leaves, traversing each tree link once (the RPF guarantee
+the paper cites: "at the maximum one copy of the same packet is
+transmitted at each link").
+
+Note the asymmetry consequence measured in Fig. 8: the data-flow
+direction of each link is the *opposite* of the direction used to
+select it, so with asymmetric costs the root->receiver delay is not
+minimised ("the PIM-SS tree is a reverse SPT and not a SPT").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.metrics.distribution import DataDistribution
+from repro.routing.tables import UnicastRouting
+from repro.topology.model import Topology
+
+NodeId = Hashable
+
+
+class ReverseSpt:
+    """A reverse SPT rooted at ``root`` over the joined receivers."""
+
+    def __init__(self, topology: Topology, root: NodeId,
+                 routing: Optional[UnicastRouting] = None) -> None:
+        topology.kind(root)
+        self.topology = topology
+        self.routing = routing or UnicastRouting(topology)
+        self.root = root
+        #: node -> upstream neighbor toward the root (RPF parent).
+        self._parent: Dict[NodeId, NodeId] = {}
+        self.receivers: Set[NodeId] = set()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def graft(self, receiver: NodeId) -> None:
+        """Join ``receiver``: install RPF state along its unicast path
+        to the root (stopping at the first on-tree node)."""
+        self.topology.kind(receiver)
+        if receiver == self.root:
+            raise ProtocolError("the root cannot graft onto its own tree")
+        self.receivers.add(receiver)
+        node = receiver
+        while node != self.root and node not in self._parent:
+            parent = self.routing.next_hop(node, self.root)
+            self._parent[node] = parent
+            node = parent
+
+    def prune(self, receiver: NodeId) -> None:
+        """Leave: drop the receiver, then trim branches that no longer
+        lead to any receiver (PIM prune propagation)."""
+        self.receivers.discard(receiver)
+        needed: Set[NodeId] = set()
+        for live in self.receivers:
+            node = live
+            while node != self.root:
+                if node in needed:
+                    break
+                needed.add(node)
+                node = self._parent[node]
+        for node in list(self._parent):
+            if node not in needed:
+                del self._parent[node]
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def tree_links(self) -> List[Tuple[NodeId, NodeId]]:
+        """Directed data-plane links (parent -> child), sorted."""
+        return sorted((parent, child) for child, parent in self._parent.items())
+
+    def children(self) -> Dict[NodeId, List[NodeId]]:
+        """parent -> sorted children map."""
+        result: Dict[NodeId, List[NodeId]] = {}
+        for child, parent in self._parent.items():
+            result.setdefault(parent, []).append(child)
+        for siblings in result.values():
+            siblings.sort()
+        return result
+
+    def on_tree(self, node: NodeId) -> bool:
+        """Whether ``node`` is on the tree (root included)."""
+        return node == self.root or node in self._parent
+
+    def depth_costs(self) -> Dict[NodeId, float]:
+        """Data-flow delay from the root to every on-tree node.
+
+        Uses the parent->child directed link costs (the direction data
+        actually flows), which differ from the costs that selected the
+        paths — the reverse-SPT delay penalty.
+        """
+        delays: Dict[NodeId, float] = {self.root: 0.0}
+        children = self.children()
+        frontier = [self.root]
+        while frontier:
+            node = frontier.pop()
+            for child in children.get(node, ()):  # deterministic order
+                delays[child] = delays[node] + self.topology.cost(node, child)
+                frontier.append(child)
+        return delays
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def distribute(self, distribution: DataDistribution,
+                   base_delay: float = 0.0) -> None:
+        """Record one packet flooding root->leaves into ``distribution``.
+
+        ``base_delay`` offsets arrivals (PIM-SM adds the source->RP
+        encapsulation delay).  Every tree link carries exactly one copy.
+        """
+        delays = self.depth_costs()
+        for parent, child in self.tree_links():
+            distribution.record_hop(parent, child,
+                                    self.topology.cost(parent, child))
+        for receiver in self.receivers:
+            delay = delays.get(receiver)
+            if delay is None:  # pragma: no cover - graft guarantees this
+                raise ProtocolError(f"receiver {receiver} fell off the tree")
+            distribution.record_delivery(receiver, base_delay + delay)

@@ -1,0 +1,58 @@
+"""REUNITE — REcursive UNIcast TrEes (Stoica, Ng & Zhang, INFOCOM 2000).
+
+The baseline HBH improves on, implemented as the paper describes it in
+Section 2 (and "according to [21]", as the authors did for their own
+simulations):
+
+- a conversation is ``<S, P>`` (source address + port), no class-D
+  addresses;
+- non-branching routers keep control-plane-only ``MCT`` entries,
+  branching routers keep an ``MFT`` with a special ``dst`` entry (the
+  first receiver below them);
+- joins travel toward the source and are intercepted by the first
+  router already in the tree, which may *promote* itself to a
+  branching node (paper Fig. 2);
+- data is addressed to ``MFT<S>.dst``; a branching router forwards the
+  original toward dst and emits one modified copy per other receiver;
+- departures propagate *marked* tree messages that let downstream
+  receivers re-join upstream while data keeps flowing (Fig. 2(b-d)).
+
+Under asymmetric unicast routing this construction yields non-shortest
+branches (Fig. 2) and duplicate copies on shared links (Fig. 3) — the
+pathologies the evaluation quantifies.
+"""
+
+from repro.protocols.reunite.messages import ReuniteJoin, ReuniteTree
+from repro.protocols.reunite.tables import (
+    ReuniteMct,
+    ReuniteMft,
+    ReuniteEntry,
+    ReuniteState,
+)
+from repro.protocols.reunite.static_driver import StaticReunite
+from repro.protocols.reunite.protocol import ReuniteProtocol
+from repro.protocols.reunite.agents import (
+    ReuniteReceiverAgent,
+    ReuniteRouterAgent,
+    ReuniteSourceAgent,
+)
+from repro.protocols.reunite.session import (
+    ReuniteSession,
+    ensure_reunite_routers,
+)
+
+__all__ = [
+    "ReuniteReceiverAgent",
+    "ReuniteRouterAgent",
+    "ReuniteSourceAgent",
+    "ReuniteSession",
+    "ensure_reunite_routers",
+    "ReuniteJoin",
+    "ReuniteTree",
+    "ReuniteMct",
+    "ReuniteMft",
+    "ReuniteEntry",
+    "ReuniteState",
+    "StaticReunite",
+    "ReuniteProtocol",
+]

@@ -1,0 +1,263 @@
+"""Event-driven REUNITE agents for the packet-level simulator.
+
+Mirrors the HBH event stack (:mod:`repro.core.router` et al.) on the
+REUNITE rules, so the baseline can be studied under real soft-state
+timing too: periodic joins from receivers, periodic tree messages from
+the source (marked when the dst entry is stale), interception and
+promotion at routers, and the dst-addressed recursive-unicast data
+plane of paper Fig. 1(b).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, List, Optional
+
+from repro.addressing import ReuniteChannel
+from repro.core.rules import Consume, Forward
+from repro.core.tables import ProtocolTiming
+from repro.errors import ChannelError, ProtocolError
+from repro.netsim.node import Agent
+from repro.netsim.packet import DataPayload, Packet, PacketKind
+from repro.protocols.reunite.messages import ReuniteJoin, ReuniteTree
+from repro.protocols.reunite.rules import (
+    RegenerateTree,
+    process_join,
+    process_join_at_source,
+    process_tree,
+)
+from repro.protocols.reunite.tables import ReuniteState
+
+NodeId = Hashable
+
+
+class ReuniteRouterAgent(Agent):
+    """The REUNITE engine on one multicast-capable router."""
+
+    def __init__(self, timing: Optional[ProtocolTiming] = None) -> None:
+        super().__init__()
+        self.timing = timing or ProtocolTiming()
+        self.states: Dict[ReuniteChannel, ReuniteState] = {}
+
+    def start(self) -> None:
+        self._schedule_housekeeping()
+
+    def _schedule_housekeeping(self) -> None:
+        self.node.network.simulator.schedule(
+            self.timing.tree_period, self._housekeeping
+        )
+
+    def _housekeeping(self) -> None:
+        now = self.node.network.simulator.now
+        emptied = [
+            channel for channel, state in self.states.items()
+            if (state.expire(now, self.timing) or True) and not state.in_tree
+        ]
+        for channel in emptied:
+            del self.states[channel]
+        self._schedule_housekeeping()
+
+    def intercept(self, packet: Packet, arrived_from) -> bool:
+        payload = packet.payload
+        now = self.node.network.simulator.now
+        if isinstance(payload, ReuniteJoin):
+            actions = process_join(self._state(payload.channel), payload,
+                                   now, self.timing)
+            return self._apply(payload.channel, actions)
+        if isinstance(payload, ReuniteTree):
+            actions = process_tree(self._state(payload.channel), payload,
+                                   now, self.timing)
+            return self._apply(payload.channel, actions)
+        if isinstance(payload, DataPayload) and isinstance(
+                payload.channel, ReuniteChannel):
+            return self._branch_data(packet, payload, now)
+        return False
+
+    def _branch_data(self, packet: Packet, payload: DataPayload,
+                     now: float) -> bool:
+        """Duplicate data addressed to this node's dst as it passes
+        through: one modified copy per live receiver.  The original is
+        NOT consumed — it keeps travelling toward dst."""
+        state = self.states.get(payload.channel)
+        if state is None or state.mft is None or state.mft.dst is None:
+            return False
+        if packet.dst != state.mft.dst.address:
+            return False
+        for entry in state.mft.live_receivers(now, self.timing):
+            self.node.emit(packet.readdressed(entry.address))
+        return False  # original continues toward dst
+
+    def _apply(self, channel: ReuniteChannel, actions: List) -> bool:
+        consumed = False
+        for action in actions:
+            if isinstance(action, Forward):
+                continue
+            if isinstance(action, Consume):
+                consumed = True
+            elif isinstance(action, RegenerateTree):
+                if action.target == self.node.address:
+                    continue
+                self.node.emit(Packet(
+                    src=self.node.address,
+                    dst=action.target,
+                    payload=ReuniteTree(channel, action.target,
+                                        marked=action.marked),
+                ))
+            else:  # pragma: no cover - exhaustive
+                raise ProtocolError(f"unknown action {action!r}")
+        return consumed
+
+    def _state(self, channel: ReuniteChannel) -> ReuniteState:
+        state = self.states.get(channel)
+        if state is None:
+            state = ReuniteState()
+            self.states[channel] = state
+        return state
+
+
+class ReuniteSourceAgent(Agent):
+    """The source endpoint of one REUNITE conversation."""
+
+    def __init__(self, port: int = 5000,
+                 timing: Optional[ProtocolTiming] = None) -> None:
+        super().__init__()
+        self.port = port
+        self.timing = timing or ProtocolTiming()
+        self.state = ReuniteState()
+        self.channel: Optional[ReuniteChannel] = None
+        self._sequence = itertools.count()
+
+    def attached(self, node) -> None:
+        super().attached(node)
+        self.channel = ReuniteChannel(node.address, self.port)
+
+    def start(self) -> None:
+        self._schedule_tree_round()
+
+    def _schedule_tree_round(self) -> None:
+        self.node.network.simulator.schedule(
+            self.timing.tree_period, self._tree_round
+        )
+
+    def _tree_round(self) -> None:
+        now = self.node.network.simulator.now
+        self.state.expire(now, self.timing)
+        mft = self.state.mft
+        if mft is not None and mft.dst is None:
+            mft.promote_receiver_to_dst(now, self.timing)
+            if mft.empty:
+                self.state.mft = None
+                mft = None
+        if mft is not None:
+            if mft.dst is not None:
+                self.node.emit(Packet(
+                    src=self.node.address,
+                    dst=mft.dst.address,
+                    payload=ReuniteTree(
+                        self.channel, mft.dst.address,
+                        marked=mft.dst.is_stale(now, self.timing),
+                    ),
+                ))
+            for entry in mft.fresh_receivers(now, self.timing):
+                self.node.emit(Packet(
+                    src=self.node.address,
+                    dst=entry.address,
+                    payload=ReuniteTree(self.channel, entry.address),
+                ))
+        self._schedule_tree_round()
+
+    def intercept(self, packet: Packet, arrived_from) -> bool:
+        if packet.dst != self.node.address:
+            return False
+        payload = packet.payload
+        if isinstance(payload, ReuniteJoin) and \
+                payload.channel == self.channel:
+            now = self.node.network.simulator.now
+            process_join_at_source(self.state, payload, now, self.timing)
+            return True
+        return False
+
+    def send_data(self, stream_id: int = 0) -> int:
+        """One data packet: the original to dst plus one copy per
+        receiver in the source's own MFT."""
+        now = self.node.network.simulator.now
+        mft = self.state.mft
+        if mft is None:
+            return 0
+        payload = DataPayload(channel=self.channel, stream_id=stream_id,
+                              sequence=next(self._sequence), sent_at=now)
+        emitted = 0
+        if mft.dst is not None:
+            self.node.emit(Packet(src=self.node.address,
+                                  dst=mft.dst.address, payload=payload,
+                                  kind=PacketKind.DATA))
+            emitted += 1
+        for entry in mft.live_receivers(now, self.timing):
+            self.node.emit(Packet(src=self.node.address,
+                                  dst=entry.address, payload=payload,
+                                  kind=PacketKind.DATA))
+            emitted += 1
+        return emitted
+
+
+class ReuniteReceiverAgent(Agent):
+    """A REUNITE subscriber on a host node."""
+
+    def __init__(self, channel: ReuniteChannel,
+                 timing: Optional[ProtocolTiming] = None) -> None:
+        super().__init__()
+        self.channel = channel
+        self.timing = timing or ProtocolTiming()
+        self.joined = False
+        self.deliveries: List[float] = []
+        self._seen = set()
+
+    def join(self) -> None:
+        """Subscribe: initial join establishes the attachment."""
+        if self.joined:
+            raise ChannelError(f"{self.node.node_id} already joined")
+        self.joined = True
+        self._send_join(initial=True)
+        self._schedule_refresh()
+
+    def leave(self) -> None:
+        """Unsubscribe by going silent."""
+        if not self.joined:
+            raise ChannelError(f"{self.node.node_id} is not joined")
+        self.joined = False
+
+    def _send_join(self, initial: bool = False) -> None:
+        self.node.emit(Packet(
+            src=self.node.address,
+            dst=self.channel.source,
+            payload=ReuniteJoin(self.channel, self.node.address,
+                                initial=initial),
+        ))
+
+    def _schedule_refresh(self) -> None:
+        self.node.network.simulator.schedule(
+            self.timing.join_period, self._refresh
+        )
+
+    def _refresh(self) -> None:
+        if not self.joined:
+            return
+        self._send_join()
+        self._schedule_refresh()
+
+    def deliver(self, packet: Packet) -> bool:
+        payload = packet.payload
+        if isinstance(payload, DataPayload) and \
+                payload.channel == self.channel:
+            if not self.joined:
+                return False  # stray data for an unsubscribed host
+            key = (payload.stream_id, payload.sequence)
+            if key not in self._seen:
+                self._seen.add(key)
+                now = self.node.network.simulator.now
+                self.deliveries.append(now - payload.sent_at)
+            return True
+        if isinstance(payload, ReuniteTree) and \
+                payload.channel == self.channel:
+            return True
+        return False

@@ -1,0 +1,56 @@
+"""REUNITE control messages.
+
+Two message types (paper Section 2.1): ``join`` travels upstream from
+receivers toward the source; ``tree`` messages are periodically
+multicast by the source to refresh the soft state of the tree.  A
+*marked* tree message announces that data addressed to its target will
+stop soon, triggering the departure reconfiguration of Fig. 2(b-d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+Addr = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class ReuniteJoin:
+    """``join(S, joiner)`` — refreshes the joiner's entry at the node
+    where it joined; intercepted by the first on-tree router.
+
+    ``initial`` marks the join that *establishes* the attachment: only
+    an initial join may create a new receiver entry or promote an MCT
+    node to branching (paper Fig. 2: "r2 joined the channel at R3" on
+    its first join).  Periodic joins refresh existing state and
+    otherwise travel on — if they could re-attach a receiver at every
+    newly-promoted node they cross, attachments would migrate
+    endlessly under asymmetric routing and orphan the source's dst
+    chain (a livelock we observed; a working implementation must pin
+    the attachment).  After an attachment decays, the receiver's joins
+    reach the source again and re-attach there (Fig. 2(c)).
+    """
+
+    channel: Hashable
+    joiner: Addr
+    initial: bool = False
+
+    def __str__(self) -> str:
+        tag = "join*" if self.initial else "join"
+        return f"{tag}({self.channel}, {self.joiner})"
+
+
+@dataclass(frozen=True, slots=True)
+class ReuniteTree:
+    """``tree(S, target)`` — refreshes MCT entries and ``MFT.dst``
+    entries down the tree; ``marked`` signals impending removal of the
+    target's branch."""
+
+    channel: Hashable
+    target: Addr
+    marked: bool = False
+
+    def __str__(self) -> str:
+        tag = "tree!" if self.marked else "tree"
+        return f"{tag}({self.channel}, {self.target})"

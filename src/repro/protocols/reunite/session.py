@@ -1,0 +1,113 @@
+"""High-level facade for an event-driven REUNITE conversation,
+mirroring :class:`repro.core.protocol.HbhChannel`."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.addressing import ReuniteChannel
+from repro.core.tables import ProtocolTiming
+from repro.errors import ChannelError
+from repro.metrics.distribution import DataDistribution
+from repro.netsim.network import Network
+from repro.netsim.packet import PacketKind
+from repro.protocols.reunite.agents import (
+    ReuniteReceiverAgent,
+    ReuniteRouterAgent,
+    ReuniteSourceAgent,
+)
+
+NodeId = Hashable
+
+
+def ensure_reunite_routers(network: Network,
+                           timing: Optional[ProtocolTiming] = None) -> int:
+    """Attach a :class:`ReuniteRouterAgent` to every multicast-capable
+    router that lacks one; returns how many were added."""
+    added = 0
+    for node in network.nodes:
+        if node.is_host or not node.multicast_capable:
+            continue
+        if any(isinstance(agent, ReuniteRouterAgent)
+               for agent in node.agents):
+            continue
+        node.attach_agent(ReuniteRouterAgent(timing=timing))
+        added += 1
+    return added
+
+
+class ReuniteSession:
+    """One REUNITE conversation ``<S, P>`` on a live network."""
+
+    def __init__(self, network: Network, source_node: NodeId,
+                 port: int = 5000,
+                 timing: Optional[ProtocolTiming] = None) -> None:
+        self.network = network
+        self.timing = timing or ProtocolTiming()
+        ensure_reunite_routers(network, timing=self.timing)
+        self.source_node = source_node
+        self.source = ReuniteSourceAgent(port=port, timing=self.timing)
+        network.attach(source_node, self.source)
+        self.receivers: Dict[NodeId, ReuniteReceiverAgent] = {}
+        self._former: Dict[NodeId, ReuniteReceiverAgent] = {}
+        self._started = False
+
+    @property
+    def channel(self) -> ReuniteChannel:
+        return self.source.channel
+
+    def join(self, receiver_node: NodeId) -> ReuniteReceiverAgent:
+        """Subscribe ``receiver_node`` to the conversation."""
+        if receiver_node == self.source_node:
+            raise ChannelError("the source cannot join its own conversation")
+        if receiver_node in self.receivers:
+            raise ChannelError(f"{receiver_node} already joined")
+        agent = self._former.pop(receiver_node, None)
+        if agent is None:
+            agent = ReuniteReceiverAgent(self.channel, timing=self.timing)
+            self.network.attach(receiver_node, agent)
+        self.receivers[receiver_node] = agent
+        self._ensure_started()
+        agent.join()
+        return agent
+
+    def leave(self, receiver_node: NodeId) -> None:
+        """Unsubscribe ``receiver_node`` (agent reused on re-join)."""
+        try:
+            agent = self.receivers.pop(receiver_node)
+        except KeyError:
+            raise ChannelError(f"{receiver_node} is not joined") from None
+        agent.leave()
+        self._former[receiver_node] = agent
+
+    def _ensure_started(self) -> None:
+        if not self._started:
+            self.network.start()
+            self._started = True
+
+    def converge(self, periods: float = 10.0) -> None:
+        """Run the simulation for ``periods`` tree periods."""
+        self._ensure_started()
+        simulator = self.network.simulator
+        simulator.run(until=simulator.now + periods * self.timing.tree_period)
+
+    def measure_data(self, settle_periods: float = 1.0) -> DataDistribution:
+        """Send one data packet and record its distribution."""
+        self.network.counters.reset()
+        baseline = {node: len(agent.deliveries)
+                    for node, agent in self.receivers.items()}
+        self.source.send_data()
+        simulator = self.network.simulator
+        simulator.run(
+            until=simulator.now + settle_periods * self.timing.tree_period
+        )
+        distribution = DataDistribution(expected=set(self.receivers))
+        for (src, dst), count in self.network.counters.per_link(
+                PacketKind.DATA).items():
+            cost = self.network.topology.cost(src, dst)
+            for _ in range(count):
+                distribution.record_hop(src, dst, cost)
+        for node, agent in self.receivers.items():
+            if len(agent.deliveries) > baseline[node]:
+                distribution.record_delivery(node, agent.deliveries[-1])
+        return distribution

@@ -1,0 +1,331 @@
+"""Round-based REUNITE driver (mirror of the HBH static driver).
+
+One round = one protocol period: every receiver's periodic join walks
+toward the source under the interception rules; the source then emits
+its periodic tree messages (marked for a stale dst), which branching
+nodes regenerate per fresh receiver; finally soft state ages.  The
+asymmetric-routing pathologies of paper Figs. 2-3 emerge naturally from
+these rules — nothing is special-cased.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.rules import Consume, Forward
+from repro.core.tables import ProtocolTiming, ROUND_TIMING
+from repro.errors import ChannelError, ProtocolError
+from repro.metrics.distribution import DataDistribution
+from repro.protocols.reunite.messages import ReuniteJoin, ReuniteTree
+from repro.protocols.reunite.rules import (
+    RegenerateTree,
+    process_join,
+    process_join_at_source,
+    process_tree,
+)
+from repro.protocols.reunite.tables import ReuniteState
+from repro.routing.tables import UnicastRouting
+from repro.topology.model import NodeKind, Topology
+
+NodeId = Hashable
+
+_MAX_CASCADE = 100_000
+
+
+class StaticReunite:
+    """One REUNITE conversation driven round-by-round to convergence."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        source: NodeId,
+        routing: Optional[UnicastRouting] = None,
+        timing: ProtocolTiming = ROUND_TIMING,
+    ) -> None:
+        topology.kind(source)
+        self.topology = topology
+        self.routing = routing or UnicastRouting(topology)
+        self.source = source
+        self.timing = timing
+        self.channel = ("reunite", source)
+        self.source_state = ReuniteState()
+        self.states: Dict[NodeId, ReuniteState] = {}
+        self.receivers: Set[NodeId] = set()
+        self.round_no = 0
+        self.messages_processed = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_receiver(self, receiver: NodeId) -> None:
+        """Join: the receiver's join is walked immediately and may be
+        intercepted anywhere in the existing tree (unlike HBH, REUNITE
+        has no first-join exemption — the root of the Fig. 2 problem)."""
+        self.topology.kind(receiver)
+        if receiver == self.source:
+            raise ChannelError("the source cannot join its own conversation")
+        if receiver in self.receivers:
+            raise ChannelError(f"receiver {receiver} already joined")
+        self.receivers.add(receiver)
+        self._walk_join(receiver,
+                        ReuniteJoin(self.channel, receiver, initial=True))
+
+    def remove_receiver(self, receiver: NodeId) -> None:
+        """Leave: go silent; upstream state decays and marked tree
+        messages reconfigure the branch (Fig. 2(b-d))."""
+        try:
+            self.receivers.remove(receiver)
+        except KeyError:
+            raise ChannelError(f"receiver {receiver} is not joined") from None
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Virtual time: the current round number."""
+        return float(self.round_no)
+
+    def run_round(self) -> None:
+        """One protocol period: joins, tree cascade, aging."""
+        self.round_no += 1
+        for receiver in sorted(self.receivers):
+            self._walk_join(receiver, ReuniteJoin(self.channel, receiver))
+        self._tree_phase()
+        self._expire()
+
+    def converge(self, max_rounds: int = 40, settle_rounds: int = 2) -> int:
+        """Run rounds until the structural snapshot stabilises."""
+        stable = 0
+        previous = self._snapshot()
+        for executed in range(1, max_rounds + 1):
+            self.run_round()
+            current = self._snapshot()
+            if current == previous:
+                stable += 1
+                if stable >= settle_rounds:
+                    return executed
+            else:
+                stable = 0
+                previous = current
+        raise ProtocolError(
+            f"REUNITE did not converge within {max_rounds} rounds "
+            f"({len(self.receivers)} receivers on {self.topology.name!r})"
+        )
+
+    def _snapshot(self) -> Tuple:
+        now, timing = self.now, self.timing
+        items: List[Tuple] = []
+
+        def emit(node: NodeId, state: ReuniteState) -> None:
+            if state.mct is not None:
+                for entry in state.mct:
+                    items.append((node, "mct", entry.address,
+                                  entry.is_stale(now, timing)))
+            if state.mft is not None:
+                dst = state.mft.dst
+                items.append((
+                    node, "dst",
+                    dst.address if dst is not None else None,
+                    state.mft.is_stale(now, timing),
+                ))
+                for entry in state.mft.receivers():
+                    items.append((node, "mft", entry.address,
+                                  entry.is_stale(now, timing)))
+
+        emit(self.source, self.source_state)
+        for node in sorted(self.states):
+            emit(node, self.states[node])
+        return tuple(items)
+
+    def _expire(self) -> None:
+        now, timing = self.now, self.timing
+        self.source_state.expire(now, timing)
+        source_mft = self.source_state.mft
+        if source_mft is not None and source_mft.dst is None:
+            # Fig. 2(d): the source re-anchors data on the oldest fresh
+            # receiver once the old dst entry dies.
+            source_mft.promote_receiver_to_dst(now, timing)
+            if source_mft.empty:
+                self.source_state.mft = None
+        emptied = []
+        for node, state in self.states.items():
+            state.expire(now, timing)
+            if not state.in_tree:
+                emptied.append(node)
+        for node in emptied:
+            del self.states[node]
+
+    # ------------------------------------------------------------------
+    # Message walks
+    # ------------------------------------------------------------------
+    def _state_at(self, node: NodeId) -> ReuniteState:
+        state = self.states.get(node)
+        if state is None:
+            state = ReuniteState()
+            self.states[node] = state
+        return state
+
+    def _applies_rules(self, node: NodeId) -> bool:
+        return (
+            node != self.source
+            and self.topology.kind(node) is NodeKind.ROUTER
+            and self.topology.is_multicast_capable(node)
+        )
+
+    def _walk_join(self, origin: NodeId, message: ReuniteJoin) -> None:
+        self.messages_processed += 1
+        current = origin
+        while current != self.source:
+            current = self.routing.next_hop(current, self.source)
+            if current == self.source:
+                process_join_at_source(
+                    self.source_state, message, self.now, self.timing
+                )
+                return
+            if not self._applies_rules(current):
+                continue
+            actions = process_join(
+                self._state_at(current), message, self.now, self.timing
+            )
+            if any(isinstance(action, Consume) for action in actions):
+                return
+
+    def _tree_phase(self) -> None:
+        queue: Deque[Tuple[NodeId, ReuniteTree]] = deque()
+        # A node regenerates tree(S, rj) once per period in the real
+        # protocol; dedupe per round so pathological mutual-dst state
+        # (possible under asymmetric routing) cannot make the cascade
+        # unbounded — the loop then resolves through soft state.
+        emitted: Set[Tuple[NodeId, NodeId, bool]] = set()
+
+        def enqueue(origin: NodeId, message: ReuniteTree) -> None:
+            key = (origin, message.target, message.marked)
+            if key not in emitted:
+                emitted.add(key)
+                queue.append((origin, message))
+
+        mft = self.source_state.mft
+        if mft is None:
+            return
+        now, timing = self.now, self.timing
+        if mft.dst is not None:
+            enqueue(
+                self.source,
+                ReuniteTree(self.channel, mft.dst.address,
+                            marked=mft.dst.is_stale(now, timing)),
+            )
+        for entry in mft.fresh_receivers(now, timing):
+            enqueue(self.source, ReuniteTree(self.channel, entry.address))
+        steps = 0
+        while queue:
+            steps += 1
+            if steps > _MAX_CASCADE:  # pragma: no cover - safety valve
+                raise ProtocolError("REUNITE tree cascade did not terminate")
+            origin, message = queue.popleft()
+            self._walk_tree(origin, message, queue, enqueue)
+
+    def _walk_tree(self, origin: NodeId, message: ReuniteTree,
+                   queue: Deque, enqueue) -> None:
+        self.messages_processed += 1
+        target_node = message.target
+        current = origin
+        while current != target_node:
+            current = self.routing.next_hop(current, target_node)
+            if current == target_node:
+                return  # consumed by the receiver (or its leaf node)
+            if not self._applies_rules(current):
+                continue
+            actions = process_tree(
+                self._state_at(current), message, self.now, self.timing
+            )
+            consumed = False
+            for action in actions:
+                if isinstance(action, Consume):
+                    consumed = True
+                elif isinstance(action, RegenerateTree):
+                    if action.target != current:
+                        enqueue(
+                            current,
+                            ReuniteTree(self.channel, action.target,
+                                        marked=action.marked),
+                        )
+                elif not isinstance(action, Forward):  # pragma: no cover
+                    raise ProtocolError(f"unexpected tree action {action!r}")
+            if consumed:
+                return
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def distribute_data(self) -> DataDistribution:
+        """One data packet: the source addresses the original to
+        ``MFT.dst`` and one modified copy to every other receiver in
+        its MFT; each branching node below does the same when the
+        original (addressed to *its* dst) passes through."""
+        distribution = DataDistribution(expected=set(self.receivers))
+        mft = self.source_state.mft
+        if mft is None:
+            return distribution
+        now, timing = self.now, self.timing
+        expanded: Set[Tuple[NodeId, NodeId]] = set()
+        if mft.dst is not None:
+            self._walk_data(self.source, mft.dst.address, 0.0, distribution,
+                            expanded)
+        for entry in mft.live_receivers(now, timing):
+            self._walk_data(self.source, entry.address, 0.0, distribution,
+                            expanded)
+        return distribution
+
+    def _walk_data(self, origin: NodeId, target: NodeId, elapsed: float,
+                   distribution: DataDistribution,
+                   expanded: Set[Tuple[NodeId, NodeId]]) -> None:
+        now, timing = self.now, self.timing
+        current = origin
+        while current != target:
+            nxt = self.routing.next_hop(current, target)
+            cost = self.topology.cost(current, nxt)
+            distribution.record_hop(current, nxt, cost)
+            elapsed += cost
+            current = nxt
+            if current == target:
+                break
+            state = self.states.get(current)
+            if state is None or state.mft is None:
+                continue
+            mft = state.mft
+            if mft.dst is not None and mft.dst.address == target:
+                # The original passes its branching node: one modified
+                # copy per live receiver (the original continues).  A
+                # (node, target) pair duplicates once per packet — a
+                # pathological mutual-dst loop would otherwise recurse
+                # forever where a real packet just dies by TTL.
+                if (current, target) in expanded:
+                    continue
+                expanded.add((current, target))
+                for entry in mft.live_receivers(now, timing):
+                    self._walk_data(current, entry.address, elapsed,
+                                    distribution, expanded)
+        if current in self.receivers:
+            distribution.record_delivery(current, elapsed)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def branching_nodes(self) -> List[NodeId]:
+        """Routers currently holding an MFT."""
+        return sorted(
+            node for node, state in self.states.items() if state.is_branching
+        )
+
+    def describe(self) -> str:
+        """Human-readable dump of the converged tree."""
+        lines = [f"REUNITE conversation {self.channel}, round {self.round_no}"]
+        mft = self.source_state.mft
+        lines.append(f"  source {self.source}: {mft!r}")
+        for node in sorted(self.states):
+            state = self.states[node]
+            table = state.mft if state.mft is not None else state.mct
+            lines.append(f"  node {node}: {table!r}")
+        return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Route analysis utilities: asymmetry measurement, path helpers.
+
+Paxson's measurements (cited in Section 2.3) found about half of
+Internet routes asymmetric at city granularity and ~30% at AS
+granularity.  :func:`measure_route_asymmetry` computes the analogous
+statistic for a simulated topology: the fraction of node pairs whose
+forward and reverse unicast routes differ (as node sequences), plus how
+far their costs diverge.  The ``abl-asym`` ablation sweeps cost spread
+against this statistic and against HBH's advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence
+
+from repro.routing.tables import UnicastRouting
+from repro.topology.model import Topology
+
+NodeId = Hashable
+
+
+def reverse_path(path: Sequence[NodeId]) -> List[NodeId]:
+    """The node sequence of ``path`` reversed (B->A order for an A->B path)."""
+    return list(reversed(path))
+
+
+def path_cost(topology: Topology, path: Sequence[NodeId]) -> float:
+    """Sum of directed link costs along ``path`` in traversal order."""
+    return sum(
+        topology.cost(a, b) for a, b in zip(path, path[1:])
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class RouteAsymmetryStats:
+    """Summary of routing asymmetry over all ordered node pairs."""
+
+    pairs_examined: int
+    asymmetric_pairs: int
+    mean_cost_ratio: float
+    max_cost_ratio: float
+
+    @property
+    def asymmetric_fraction(self) -> float:
+        """Fraction of pairs whose forward and reverse routes differ."""
+        if self.pairs_examined == 0:
+            return 0.0
+        return self.asymmetric_pairs / self.pairs_examined
+
+
+def measure_route_asymmetry(
+    topology: Topology,
+    routing: Optional[UnicastRouting] = None,
+    nodes: Optional[Sequence[NodeId]] = None,
+) -> RouteAsymmetryStats:
+    """Measure route asymmetry over unordered node pairs.
+
+    A pair (A, B) counts as asymmetric when the unicast path A->B is not
+    the reverse of the path B->A.  The cost ratio of a pair is
+    ``max(cost) / min(cost)`` of the two directed path costs (1.0 when
+    delays match even if node sequences differ).
+    """
+    routing = routing or UnicastRouting(topology)
+    nodes = list(nodes) if nodes is not None else topology.nodes
+    pairs = 0
+    asymmetric = 0
+    ratios: List[float] = []
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            forward = routing.path(a, b)
+            backward = routing.path(b, a)
+            pairs += 1
+            if forward != reverse_path(backward):
+                asymmetric += 1
+            cost_fwd = routing.distance(a, b)
+            cost_bwd = routing.distance(b, a)
+            low, high = sorted((cost_fwd, cost_bwd))
+            ratios.append(high / low if low > 0 else 1.0)
+    mean_ratio = sum(ratios) / len(ratios) if ratios else 1.0
+    max_ratio = max(ratios, default=1.0)
+    return RouteAsymmetryStats(
+        pairs_examined=pairs,
+        asymmetric_pairs=asymmetric,
+        mean_cost_ratio=mean_ratio,
+        max_cost_ratio=max_ratio,
+    )

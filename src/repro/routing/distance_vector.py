@@ -1,0 +1,255 @@
+"""A distributed distance-vector unicast routing protocol.
+
+The paper's multicast protocols all ride "the unicast infrastructure";
+the library normally computes that infrastructure centrally (Dijkstra,
+:mod:`repro.routing.tables`).  This module provides the distributed
+alternative: a RIP-style distance-vector protocol running as node
+agents on the event simulator — periodic advertisements, triggered
+updates, split horizon with poisoned reverse, and route timeout — so
+routing itself converges *inside* the simulation and reacts to link
+failures like the real IGP under a multicast deployment would.
+
+On a static topology the learned tables provably converge to the same
+next hops as Dijkstra (asymmetric per-direction costs included, since
+each router advertises the cost of reaching destinations and the
+recipient adds its *own* outgoing link cost).  :class:`DvRouting`
+adapts the learned state to the :class:`~repro.routing.tables.
+UnicastRouting` interface, so a network can be switched from oracle
+routing to learned routing with one assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.netsim.node import Agent
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard (typing only)
+    from repro.netsim.network import Network
+
+NodeId = Hashable
+
+#: RIP's infinity: routes at or beyond this metric are unreachable.
+INFINITY_METRIC = 1e11
+
+
+@dataclass(frozen=True, slots=True)
+class DistanceVectorAdvertisement:
+    """One periodic/triggered advertisement: destination -> metric.
+
+    Metrics are the advertiser's current costs; poisoned-reverse
+    entries carry :data:`INFINITY_METRIC`.
+    """
+
+    origin: NodeId
+    metrics: Tuple[Tuple[NodeId, float], ...]
+
+
+@dataclass
+class DvRoute:
+    """One learned route."""
+
+    metric: float
+    next_hop: Optional[NodeId]  # None for the self-route
+    learned_at: float
+
+
+class DistanceVectorAgent(Agent):
+    """The distance-vector process on one node.
+
+    ``advertise_period`` paces periodic full advertisements;
+    ``route_timeout`` ages out routes whose advertising neighbor went
+    silent (e.g. behind a failed link).  Triggered updates propagate
+    changes immediately, so convergence takes O(diameter) periods at
+    worst and usually much less.
+    """
+
+    def __init__(self, advertise_period: float = 100.0,
+                 route_timeout: float = 350.0) -> None:
+        super().__init__()
+        if route_timeout <= advertise_period:
+            raise RoutingError(
+                "route_timeout must exceed the advertise period"
+            )
+        self.advertise_period = advertise_period
+        self.route_timeout = route_timeout
+        self.routes: Dict[NodeId, DvRoute] = {}
+        self.advertisements_sent = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.routes[self.node.node_id] = DvRoute(0.0, None, 0.0)
+        self._advertise()
+        self._schedule_round()
+
+    def _schedule_round(self) -> None:
+        self.node.network.simulator.schedule(
+            self.advertise_period, self._round
+        )
+
+    def _round(self) -> None:
+        self._expire_routes()
+        self._advertise()
+        self._schedule_round()
+
+    def _expire_routes(self) -> None:
+        now = self.node.network.simulator.now
+        changed = False
+        for destination, route in list(self.routes.items()):
+            if route.next_hop is None:
+                continue
+            if now - route.learned_at > self.route_timeout:
+                del self.routes[destination]
+                changed = True
+        if changed:
+            self._advertise()
+
+    # ------------------------------------------------------------------
+    # Advertising
+    # ------------------------------------------------------------------
+    def _advertise(self) -> None:
+        """Send the current vector to every neighbor, with poisoned
+        reverse: routes learned *via* a neighbor are advertised back to
+        it as unreachable, killing two-node count-to-infinity loops."""
+        for neighbor in sorted(self.node.links):
+            metrics = []
+            for destination, route in self.routes.items():
+                if route.next_hop == neighbor:
+                    metrics.append((destination, INFINITY_METRIC))
+                else:
+                    metrics.append((destination, route.metric))
+            packet = Packet(
+                src=self.node.address,
+                dst=self.node.network.address_of(neighbor),
+                payload=DistanceVectorAdvertisement(
+                    origin=self.node.node_id, metrics=tuple(metrics)
+                ),
+            )
+            self.node.send_via(neighbor, packet)
+            self.advertisements_sent += 1
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def deliver(self, packet: Packet) -> bool:
+        payload = packet.payload
+        if not isinstance(payload, DistanceVectorAdvertisement):
+            return False
+        neighbor = payload.origin
+        link = self.node.links.get(neighbor)
+        if link is None:  # pragma: no cover - adjacency is static
+            return True
+        outgoing_cost = link.delay(self.node.node_id, neighbor)
+        now = self.node.network.simulator.now
+        changed = False
+        for destination, advertised in payload.metrics:
+            if destination == self.node.node_id:
+                continue
+            candidate = min(outgoing_cost + advertised, INFINITY_METRIC)
+            current = self.routes.get(destination)
+            if current is not None and current.next_hop == neighbor:
+                # Routes via the advertiser always track its metric
+                # (worse news included) and refresh the timeout.
+                if candidate >= INFINITY_METRIC:
+                    del self.routes[destination]
+                    changed = True
+                else:
+                    if candidate != current.metric:
+                        changed = True
+                    self.routes[destination] = DvRoute(candidate, neighbor,
+                                                       now)
+            elif candidate < INFINITY_METRIC and (
+                    current is None or candidate < current.metric or (
+                        candidate == current.metric
+                        and current.next_hop is not None
+                        and neighbor < current.next_hop)):
+                # Better (or deterministically tie-broken) route.
+                self.routes[destination] = DvRoute(candidate, neighbor, now)
+                changed = True
+        if changed:
+            self._advertise()  # triggered update
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def next_hop(self, destination: NodeId) -> NodeId:
+        """The learned next hop toward ``destination``."""
+        route = self.routes.get(destination)
+        if route is None or route.next_hop is None:
+            raise RoutingError(
+                f"{self.node.node_id}: no learned route to {destination}"
+            )
+        return route.next_hop
+
+    def metric(self, destination: NodeId) -> float:
+        """The learned path metric toward ``destination``."""
+        route = self.routes.get(destination)
+        if route is None:
+            raise RoutingError(
+                f"{self.node.node_id}: no learned route to {destination}"
+            )
+        return route.metric
+
+
+def deploy_distance_vector(network: "Network",
+                           advertise_period: float = 100.0,
+                           route_timeout: float = 350.0
+                           ) -> Dict[NodeId, DistanceVectorAgent]:
+    """Attach a DV agent to every node; returns them by node id."""
+    agents = {}
+    for node in network.nodes:
+        agent = DistanceVectorAgent(advertise_period=advertise_period,
+                                    route_timeout=route_timeout)
+        node.attach_agent(agent)
+        agents[node.node_id] = agent
+    return agents
+
+
+class DvRouting:
+    """Adapter exposing learned DV state through the oracle-routing
+    interface (``next_hop``/``path``/``distance``), so protocol agents
+    and the Network forward over *learned* routes transparently::
+
+        agents = deploy_distance_vector(network)
+        network.start(); network.run(until=converged)
+        network.routing = DvRouting(network, agents)
+    """
+
+    def __init__(self, network: "Network",
+                 agents: Dict[NodeId, DistanceVectorAgent]) -> None:
+        self.network = network
+        self.topology = network.topology
+        self._agents = agents
+
+    def next_hop(self, node: NodeId, destination: NodeId) -> NodeId:
+        return self._agents[node].next_hop(destination)
+
+    def distance(self, origin: NodeId, destination: NodeId) -> float:
+        if origin == destination:
+            return 0.0
+        return self._agents[origin].metric(destination)
+
+    def path(self, origin: NodeId, destination: NodeId) -> List[NodeId]:
+        if origin == destination:
+            return [origin]
+        path = [origin]
+        node = origin
+        guard = len(self.topology.nodes) + 1
+        while node != destination:
+            node = self.next_hop(node, destination)
+            path.append(node)
+            guard -= 1
+            if guard == 0:
+                raise RoutingError(
+                    f"learned-route loop between {origin} and {destination}"
+                )
+        return path
+
+    def invalidate(self) -> None:
+        """No-op: learned state updates itself through advertisements."""

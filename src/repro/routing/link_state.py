@@ -1,0 +1,265 @@
+"""A distributed link-state unicast routing protocol (OSPF-style).
+
+The second learned-routing substrate (next to
+:mod:`repro.routing.distance_vector`), and the one the paper's SPT
+discussion implies: MOSPF computes its multicast trees from exactly
+this kind of link-state database.
+
+Mechanics, faithfully miniaturised:
+
+- every router periodically originates a Link-State Advertisement
+  describing its *up* adjacent links with their outgoing costs (local
+  interface state is locally observable, so a dead link vanishes from
+  the next origination — no separate hello protocol needed at this
+  fidelity);
+- LSAs carry sequence numbers and are flooded: a router receiving a
+  newer LSA stores it and re-floods to every other neighbor; older or
+  duplicate LSAs are dropped (the classic flooding termination
+  argument);
+- LSAs age out of the database (``max_age``) so a partitioned or dead
+  router's state disappears;
+- each router runs Dijkstra over its own database on demand (cached,
+  invalidated whenever the database changes).
+
+:class:`LsRouting` adapts the learned state to the oracle-routing
+interface, like :class:`~repro.routing.distance_vector.DvRouting`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.netsim.node import Agent
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard (typing only)
+    from repro.netsim.network import Network
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class LinkStateAdvertisement:
+    """One router's view of its own adjacencies."""
+
+    origin: NodeId
+    sequence: int
+    #: (neighbor, cost origin->neighbor) for every *up* adjacent link.
+    links: Tuple[Tuple[NodeId, float], ...]
+
+
+@dataclass
+class LsdbEntry:
+    """One stored LSA with its arrival time (for aging)."""
+
+    advertisement: LinkStateAdvertisement
+    stored_at: float
+
+
+class LinkStateAgent(Agent):
+    """The link-state process on one node."""
+
+    def __init__(self, origination_period: float = 100.0,
+                 max_age: float = 350.0) -> None:
+        super().__init__()
+        if max_age <= origination_period:
+            raise RoutingError(
+                "max_age must exceed the origination period"
+            )
+        self.origination_period = origination_period
+        self.max_age = max_age
+        self.lsdb: Dict[NodeId, LsdbEntry] = {}
+        self._sequence = 0
+        self.lsas_flooded = 0
+        self._spt_cache: Optional[Tuple[Dict, Dict]] = None
+
+    # ------------------------------------------------------------------
+    # Origination & flooding
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._originate()
+        self._schedule_round()
+
+    def _schedule_round(self) -> None:
+        self.node.network.simulator.schedule(
+            self.origination_period, self._round
+        )
+
+    def _round(self) -> None:
+        self._age_database()
+        self._originate()
+        self._schedule_round()
+
+    def _originate(self) -> None:
+        self._sequence += 1
+        links = tuple(
+            (neighbor, link.delay(self.node.node_id, neighbor))
+            for neighbor, link in sorted(self.node.links.items())
+            if link.up
+        )
+        lsa = LinkStateAdvertisement(self.node.node_id, self._sequence,
+                                     links)
+        self._store(lsa)
+        self._flood(lsa, arrived_from=None)
+
+    def _flood(self, lsa: LinkStateAdvertisement,
+               arrived_from: Optional[NodeId]) -> None:
+        for neighbor, link in sorted(self.node.links.items()):
+            if neighbor == arrived_from or not link.up:
+                continue
+            self.node.send_via(neighbor, Packet(
+                src=self.node.address,
+                dst=self.node.network.address_of(neighbor),
+                payload=lsa,
+            ))
+            self.lsas_flooded += 1
+
+    def _store(self, lsa: LinkStateAdvertisement) -> None:
+        now = self.node.network.simulator.now
+        self.lsdb[lsa.origin] = LsdbEntry(lsa, now)
+        self._spt_cache = None
+
+    def _age_database(self) -> None:
+        now = self.node.network.simulator.now
+        for origin, entry in list(self.lsdb.items()):
+            if origin == self.node.node_id:
+                continue
+            if now - entry.stored_at > self.max_age:
+                del self.lsdb[origin]
+                self._spt_cache = None
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def deliver(self, packet: Packet) -> bool:
+        lsa = packet.payload
+        if not isinstance(lsa, LinkStateAdvertisement):
+            return False
+        current = self.lsdb.get(lsa.origin)
+        if current is not None and \
+                lsa.sequence <= current.advertisement.sequence:
+            # Refresh the age on a same-sequence duplicate so periodic
+            # re-floods keep remote state alive; never regress.
+            if lsa.sequence == current.advertisement.sequence:
+                current.stored_at = self.node.network.simulator.now
+            return True
+        self._store(lsa)
+        sender = self.node.network.node_of(packet.src).node_id
+        self._flood(lsa, arrived_from=sender)
+        return True
+
+    # ------------------------------------------------------------------
+    # Route computation
+    # ------------------------------------------------------------------
+    def _shortest_paths(self) -> Tuple[Dict, Dict]:
+        if self._spt_cache is not None:
+            return self._spt_cache
+        origin = self.node.node_id
+        distance: Dict[NodeId, float] = {origin: 0.0}
+        predecessor: Dict[NodeId, Optional[NodeId]] = {origin: None}
+        frontier: List[Tuple[float, int, NodeId]] = [(0.0, 0, origin)]
+        tiebreak = 0
+        settled = set()
+        while frontier:
+            dist, _, node = heapq.heappop(frontier)
+            if node in settled:
+                continue
+            settled.add(node)
+            entry = self.lsdb.get(node)
+            if entry is None:
+                continue
+            for neighbor, cost in entry.advertisement.links:
+                if neighbor in settled:
+                    continue
+                candidate = dist + cost
+                best = distance.get(neighbor)
+                if best is None or candidate < best:
+                    distance[neighbor] = candidate
+                    predecessor[neighbor] = node
+                    tiebreak += 1
+                    heapq.heappush(frontier, (candidate, tiebreak, neighbor))
+                elif candidate == best and (
+                        predecessor[neighbor] is None
+                        or node < predecessor[neighbor]):
+                    predecessor[neighbor] = node
+        self._spt_cache = (distance, predecessor)
+        return self._spt_cache
+
+    def next_hop(self, destination: NodeId) -> NodeId:
+        """The computed next hop toward ``destination``."""
+        distance, predecessor = self._shortest_paths()
+        if destination not in distance or destination == self.node.node_id:
+            raise RoutingError(
+                f"{self.node.node_id}: no link-state route to {destination}"
+            )
+        hop = destination
+        while predecessor[hop] != self.node.node_id:
+            hop = predecessor[hop]
+            if hop is None:  # pragma: no cover - connected LSDB
+                raise RoutingError("broken predecessor chain")
+        return hop
+
+    def metric(self, destination: NodeId) -> float:
+        """The computed path cost toward ``destination``."""
+        distance, _ = self._shortest_paths()
+        try:
+            return distance[destination]
+        except KeyError:
+            raise RoutingError(
+                f"{self.node.node_id}: no link-state route to {destination}"
+            ) from None
+
+
+def deploy_link_state(network: "Network",
+                      origination_period: float = 100.0,
+                      max_age: float = 350.0
+                      ) -> Dict[NodeId, LinkStateAgent]:
+    """Attach a link-state agent to every node; returns them by id."""
+    agents = {}
+    for node in network.nodes:
+        agent = LinkStateAgent(origination_period=origination_period,
+                               max_age=max_age)
+        node.attach_agent(agent)
+        agents[node.node_id] = agent
+    return agents
+
+
+class LsRouting:
+    """Adapter exposing link-state routes through the oracle interface."""
+
+    def __init__(self, network: "Network",
+                 agents: Dict[NodeId, LinkStateAgent]) -> None:
+        self.network = network
+        self.topology = network.topology
+        self._agents = agents
+
+    def next_hop(self, node: NodeId, destination: NodeId) -> NodeId:
+        return self._agents[node].next_hop(destination)
+
+    def distance(self, origin: NodeId, destination: NodeId) -> float:
+        if origin == destination:
+            return 0.0
+        return self._agents[origin].metric(destination)
+
+    def path(self, origin: NodeId, destination: NodeId) -> List[NodeId]:
+        if origin == destination:
+            return [origin]
+        path = [origin]
+        node = origin
+        guard = len(self.topology.nodes) + 1
+        while node != destination:
+            node = self.next_hop(node, destination)
+            path.append(node)
+            guard -= 1
+            if guard == 0:
+                raise RoutingError(
+                    f"link-state route loop between {origin} and "
+                    f"{destination}"
+                )
+        return path
+
+    def invalidate(self) -> None:
+        """No-op: flooding keeps the databases current."""

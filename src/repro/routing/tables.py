@@ -1,0 +1,135 @@
+"""Per-node forwarding tables and the network-wide routing view.
+
+:class:`UnicastRouting` computes and caches the shortest-path trees of
+every node lazily; :class:`RoutingTable` is one node's view (the
+longest-lived object the protocol agents touch on every packet).
+
+The split mirrors reality: a router only ever consults *its own* table
+(``next_hop``), while the experiment harness uses the global view for
+path and delay calculations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.errors import RoutingError
+from repro.routing.dijkstra import shortest_paths_from
+from repro.topology.model import Topology
+
+NodeId = Hashable
+
+
+class RoutingTable:
+    """One node's unicast forwarding table (destination -> next hop)."""
+
+    def __init__(self, node: NodeId, next_hops: Dict[NodeId, NodeId],
+                 distances: Dict[NodeId, float]) -> None:
+        self.node = node
+        self._next_hops = next_hops
+        self._distances = distances
+
+    def next_hop(self, destination: NodeId) -> NodeId:
+        """The neighbor to which traffic for ``destination`` is forwarded.
+
+        Raises :class:`RoutingError` for the node itself or unreachable
+        destinations.
+        """
+        if destination == self.node:
+            raise RoutingError(f"{self.node}: no next hop to self")
+        try:
+            return self._next_hops[destination]
+        except KeyError:
+            raise RoutingError(
+                f"{self.node}: no route to {destination}"
+            ) from None
+
+    def distance(self, destination: NodeId) -> float:
+        """Total directed cost from this node to ``destination``."""
+        try:
+            return self._distances[destination]
+        except KeyError:
+            raise RoutingError(
+                f"{self.node}: no route to {destination}"
+            ) from None
+
+    def destinations(self) -> List[NodeId]:
+        """All reachable destinations (excluding the node itself), sorted."""
+        return sorted(d for d in self._next_hops)
+
+    def __repr__(self) -> str:
+        return f"RoutingTable(node={self.node}, routes={len(self._next_hops)})"
+
+
+class UnicastRouting:
+    """Shortest-path unicast routing for a whole topology.
+
+    Tables are computed on demand (one Dijkstra per *origin* node) and
+    cached; ``invalidate()`` drops the cache after cost changes.  All
+    route queries in the library flow through this class so that HBH,
+    REUNITE and the PIM baselines see the exact same unicast substrate,
+    as the paper assumes.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        topology.validate()
+        self.topology = topology
+        self._tables: Dict[NodeId, RoutingTable] = {}
+
+    def table(self, node: NodeId) -> RoutingTable:
+        """The forwarding table of ``node`` (computed lazily)."""
+        cached = self._tables.get(node)
+        if cached is not None:
+            return cached
+        distance, predecessor = shortest_paths_from(self.topology, node)
+        next_hops: Dict[NodeId, NodeId] = {}
+        for destination in distance:
+            if destination == node:
+                continue
+            # Walk predecessors back until the hop adjacent to `node`.
+            hop = destination
+            while predecessor[hop] != node:
+                hop = predecessor[hop]
+                if hop is None:  # pragma: no cover - connected topology
+                    raise RoutingError(
+                        f"broken predecessor chain {node} -> {destination}"
+                    )
+            next_hops[destination] = hop
+        table = RoutingTable(node, next_hops, distance)
+        self._tables[node] = table
+        return table
+
+    def next_hop(self, node: NodeId, destination: NodeId) -> NodeId:
+        """Next hop at ``node`` for traffic toward ``destination``."""
+        return self.table(node).next_hop(destination)
+
+    def path(self, origin: NodeId, destination: NodeId) -> List[NodeId]:
+        """The full unicast path ``[origin, ..., destination]``.
+
+        This is the *forward* path — with asymmetric costs it generally
+        differs from ``path(destination, origin)`` reversed.
+        """
+        if origin == destination:
+            return [origin]
+        path = [origin]
+        node = origin
+        guard = len(self.topology.nodes) + 1
+        while node != destination:
+            node = self.next_hop(node, destination)
+            path.append(node)
+            guard -= 1
+            if guard == 0:  # pragma: no cover - tables are loop-free
+                raise RoutingError(
+                    f"forwarding loop between {origin} and {destination}"
+                )
+        return path
+
+    def distance(self, origin: NodeId, destination: NodeId) -> float:
+        """Directed shortest-path cost from ``origin`` to ``destination``."""
+        if origin == destination:
+            return 0.0
+        return self.table(origin).distance(destination)
+
+    def invalidate(self) -> None:
+        """Drop cached tables (call after mutating link costs)."""
+        self._tables.clear()

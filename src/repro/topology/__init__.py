@@ -1,0 +1,42 @@
+"""Network topologies used in the paper's evaluation (Section 4.1).
+
+Two topologies drive the Monte-Carlo experiments:
+
+- :func:`repro.topology.isp.isp_topology` — the 18-router ISP backbone of
+  paper Fig. 6, with 18 receiver hosts (nodes 18-35) and node 18 fixed as
+  the source;
+- :func:`repro.topology.random_graphs.random_topology_50` — the 50-node
+  random topology with average connectivity 8.6.
+
+Both get independent per-direction integer link costs drawn uniformly
+from [1, 10], which is what creates the unicast routing *asymmetry* the
+paper studies.
+"""
+
+from repro.topology.model import LinkSpec, NodeKind, Topology
+from repro.topology.costs import (
+    assign_uniform_costs,
+    assign_symmetric_costs,
+    assign_spread_costs,
+)
+from repro.topology.isp import isp_topology, ISP_LINKS, ISP_NUM_ROUTERS
+from repro.topology.random_graphs import (
+    random_topology,
+    random_topology_50,
+    waxman_topology,
+)
+
+__all__ = [
+    "Topology",
+    "LinkSpec",
+    "NodeKind",
+    "assign_uniform_costs",
+    "assign_symmetric_costs",
+    "assign_spread_costs",
+    "isp_topology",
+    "ISP_LINKS",
+    "ISP_NUM_ROUTERS",
+    "random_topology",
+    "random_topology_50",
+    "waxman_topology",
+]

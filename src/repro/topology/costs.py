@@ -1,0 +1,89 @@
+"""Link-cost assignment models.
+
+The paper assigns each link ``n1-n2`` two costs ``c(n1, n2)`` and
+``c(n2, n1)``, each an integer drawn uniformly from [1, 10]
+(Section 4.1).  Because the two directions are drawn independently,
+unicast routes become asymmetric — the property whose consequences the
+whole evaluation measures.
+
+:func:`assign_symmetric_costs` and :func:`assign_spread_costs` support
+the asymmetry ablation: the former removes asymmetry entirely, the
+latter scales how far the two directions of one link may diverge.
+"""
+
+from __future__ import annotations
+
+from repro._rand import SeedLike, make_rng
+from repro.errors import TopologyError
+from repro.topology.model import Topology
+
+#: The paper's cost range (inclusive).
+DEFAULT_COST_RANGE = (1, 10)
+
+
+def assign_uniform_costs(
+    topology: Topology,
+    seed: SeedLike = None,
+    low: int = DEFAULT_COST_RANGE[0],
+    high: int = DEFAULT_COST_RANGE[1],
+) -> Topology:
+    """Draw each directed link cost independently from U{low..high}.
+
+    Mutates and returns ``topology``.  This is the paper's exact model.
+    """
+    if low < 1 or high < low:
+        raise TopologyError(f"bad cost range [{low}, {high}]")
+    rng = make_rng(seed)
+    for a, b in topology.undirected_edges():
+        topology.set_cost(a, b, rng.randint(low, high))
+        topology.set_cost(b, a, rng.randint(low, high))
+    return topology
+
+
+def assign_symmetric_costs(
+    topology: Topology,
+    seed: SeedLike = None,
+    low: int = DEFAULT_COST_RANGE[0],
+    high: int = DEFAULT_COST_RANGE[1],
+) -> Topology:
+    """Draw one cost per link, used in both directions (no asymmetry).
+
+    Ablation baseline: with symmetric costs, forward and reverse
+    shortest paths coincide and HBH's advantage over REUNITE should
+    collapse to (almost) nothing.
+    """
+    if low < 1 or high < low:
+        raise TopologyError(f"bad cost range [{low}, {high}]")
+    rng = make_rng(seed)
+    for a, b in topology.undirected_edges():
+        cost = rng.randint(low, high)
+        topology.set_cost(a, b, cost)
+        topology.set_cost(b, a, cost)
+    return topology
+
+
+def assign_spread_costs(
+    topology: Topology,
+    spread: float,
+    seed: SeedLike = None,
+    base_low: int = DEFAULT_COST_RANGE[0],
+    base_high: int = DEFAULT_COST_RANGE[1],
+) -> Topology:
+    """Interpolate between symmetric (spread=0) and independent (spread=1).
+
+    Each link gets a symmetric base cost ``c``; each direction then gets
+    an independent uniform draw ``d`` from the full range, and the final
+    directed cost is ``round((1-spread)*c + spread*d)``, clamped to at
+    least 1.  ``spread`` controls the degree of routing asymmetry for
+    the ``abl-asym`` ablation.
+    """
+    if not 0.0 <= spread <= 1.0:
+        raise TopologyError(f"spread must be in [0, 1], got {spread}")
+    rng = make_rng(seed)
+    for a, b in topology.undirected_edges():
+        base = rng.randint(base_low, base_high)
+        for u, v in ((a, b), (b, a)):
+            independent = rng.randint(base_low, base_high)
+            cost = round((1.0 - spread) * base + spread * independent)
+            topology.set_cost(u, v, max(1, cost))
+    return topology

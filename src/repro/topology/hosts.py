@@ -1,0 +1,45 @@
+"""Receiver-host attachment helpers.
+
+The paper's workload model: "we suppose that only one receiver is
+connected to each node in the topology" (Section 4.1).  For the ISP
+topology the hosts are part of the published figure (nodes 18-35); for
+the 50-node random topology this module attaches one potential receiver
+host per router, ids continuing after the router ids.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro._rand import SeedLike, make_rng
+from repro.topology.model import Topology
+
+
+def attach_one_host_per_router(
+    topology: Topology,
+    seed: SeedLike = None,
+    low: int = 1,
+    high: int = 10,
+) -> List[int]:
+    """Attach one host to every router; returns the new host ids.
+
+    Host ``max_id + 1 + i`` is attached to the i-th router (sorted
+    order), so for a 50-router topology the hosts are 50-99 — mirroring
+    the ISP convention where host ``18 + i`` sits on router ``i``.
+    Access-link costs are drawn per direction from U{low..high}, like
+    every other link.
+    """
+    rng = make_rng(seed)
+    routers = topology.routers
+    next_id = max(topology.nodes) + 1
+    hosts = []
+    for offset, router in enumerate(routers):
+        host = next_id + offset
+        topology.add_host(
+            host,
+            attached_to=router,
+            cost_up=rng.randint(low, high),
+            cost_down=rng.randint(low, high),
+        )
+        hosts.append(host)
+    return hosts

@@ -1,0 +1,79 @@
+"""Topology (de)serialization.
+
+Topologies round-trip through a small JSON document so experiment
+configurations can be archived next to their results, and so users can
+feed their own measured topologies to the harness.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import TopologyError
+from repro.topology.model import NodeKind, Topology
+
+_FORMAT_VERSION = 1
+
+
+def topology_to_dict(topology: Topology) -> Dict[str, Any]:
+    """Serialize a topology to a plain dict (JSON-compatible)."""
+    hosts = {}
+    for host in topology.hosts:
+        router = topology.attachment_router(host)
+        hosts[str(host)] = {
+            "attached_to": router,
+            "cost_up": topology.cost(host, router),
+            "cost_down": topology.cost(router, host),
+        }
+    links = []
+    for a, b in topology.undirected_edges():
+        if topology.kind(a) is NodeKind.HOST or topology.kind(b) is NodeKind.HOST:
+            continue  # host attachments are serialized under "hosts"
+        links.append(
+            {"a": a, "b": b,
+             "cost_ab": topology.cost(a, b), "cost_ba": topology.cost(b, a)}
+        )
+    return {
+        "format": _FORMAT_VERSION,
+        "name": topology.name,
+        "routers": [
+            {"id": r, "multicast_capable": topology.is_multicast_capable(r)}
+            for r in topology.routers
+        ],
+        "hosts": hosts,
+        "links": links,
+    }
+
+
+def topology_from_dict(data: Dict[str, Any]) -> Topology:
+    """Rebuild a topology from :func:`topology_to_dict` output."""
+    if data.get("format") != _FORMAT_VERSION:
+        raise TopologyError(f"unsupported topology format: {data.get('format')!r}")
+    topology = Topology(name=data.get("name", "topology"))
+    for router in data["routers"]:
+        topology.add_router(
+            router["id"], multicast_capable=router.get("multicast_capable", True)
+        )
+    for link in data["links"]:
+        topology.add_link(link["a"], link["b"], link["cost_ab"], link["cost_ba"])
+    for host_id, host in data.get("hosts", {}).items():
+        topology.add_host(
+            int(host_id),
+            attached_to=host["attached_to"],
+            cost_up=host.get("cost_up", 1.0),
+            cost_down=host.get("cost_down", 1.0),
+        )
+    topology.validate()
+    return topology
+
+
+def save_topology(topology: Topology, path: Union[str, Path]) -> None:
+    """Write a topology to a JSON file."""
+    Path(path).write_text(json.dumps(topology_to_dict(topology), indent=2))
+
+
+def load_topology(path: Union[str, Path]) -> Topology:
+    """Read a topology from a JSON file written by :func:`save_topology`."""
+    return topology_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,146 @@
+"""Random topology generators.
+
+The paper's second evaluation topology is "a random-generated topology
+with 50 nodes and higher connectivity (8.6 versus 3.3)" (Section 4.1).
+:func:`random_topology_50` reproduces that model exactly: 50 router
+nodes, 215 links (average degree 2*215/50 = 8.6), connected, receivers
+co-located with routers.
+
+:func:`waxman_topology` provides the classic Waxman model for the
+connectivity ablation (``abl-conn``): the paper concludes that "the
+advantage of HBH grows with larger and more connected networks", which
+the ablation sweeps directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro._rand import SeedLike, derive_rng, make_rng
+from repro.errors import TopologyError
+from repro.topology.costs import assign_uniform_costs
+from repro.topology.model import Topology
+
+#: Parameters of the paper's random topology.
+RANDOM50_NODES = 50
+RANDOM50_AVG_DEGREE = 8.6
+RANDOM50_LINKS = round(RANDOM50_NODES * RANDOM50_AVG_DEGREE / 2)  # 215
+
+_MAX_ATTEMPTS = 200
+
+
+def random_topology(
+    num_nodes: int,
+    num_links: int,
+    seed: SeedLike = None,
+    name: str = "random",
+    randomize_costs: bool = True,
+) -> Topology:
+    """A connected G(n, m) random router topology.
+
+    Regenerates (with fresh randomness) until connected, so the returned
+    topology is always usable; raises :class:`TopologyError` if ``m`` is
+    too small for connectivity or after an implausible number of
+    failures.
+    """
+    if num_links < num_nodes - 1:
+        raise TopologyError(
+            f"{num_links} links cannot connect {num_nodes} nodes"
+        )
+    max_links = num_nodes * (num_nodes - 1) // 2
+    if num_links > max_links:
+        raise TopologyError(
+            f"{num_links} links exceed the {max_links} possible on "
+            f"{num_nodes} nodes"
+        )
+    rng = make_rng(seed)
+    for _ in range(_MAX_ATTEMPTS):
+        graph = nx.gnm_random_graph(num_nodes, num_links, seed=rng.getrandbits(32))
+        if nx.is_connected(graph):
+            topology = Topology.from_links(sorted(graph.edges()), name=name)
+            if randomize_costs:
+                assign_uniform_costs(topology, seed=derive_rng(rng, "costs"))
+            topology.validate()
+            return topology
+    raise TopologyError(
+        f"could not generate a connected G({num_nodes}, {num_links}) "
+        f"in {_MAX_ATTEMPTS} attempts"
+    )
+
+
+def random_topology_50(seed: SeedLike = None, randomize_costs: bool = True) -> Topology:
+    """The paper's 50-node random topology (average connectivity 8.6)."""
+    return random_topology(
+        RANDOM50_NODES,
+        RANDOM50_LINKS,
+        seed=seed,
+        name="random50",
+        randomize_costs=randomize_costs,
+    )
+
+
+def waxman_topology(
+    num_nodes: int,
+    alpha: float = 0.4,
+    beta: float = 0.4,
+    seed: SeedLike = None,
+    name: str = "waxman",
+    randomize_costs: bool = True,
+) -> Topology:
+    """A connected Waxman random topology.
+
+    Nodes are placed uniformly in the unit square and each pair is
+    linked with probability ``alpha * exp(-d / (beta * L))`` where ``d``
+    is their Euclidean distance and ``L`` the maximum distance.  Used by
+    the connectivity ablation; ``alpha`` scales the average degree.
+    """
+    if num_nodes < 2:
+        raise TopologyError("Waxman topology needs at least 2 nodes")
+    if not (0 < alpha <= 1 and 0 < beta <= 1):
+        raise TopologyError(f"Waxman parameters out of range: {alpha}, {beta}")
+    rng = make_rng(seed)
+    for _ in range(_MAX_ATTEMPTS):
+        positions = {
+            node: (rng.random(), rng.random()) for node in range(num_nodes)
+        }
+        scale = beta * math.sqrt(2.0)
+        edges = []
+        for a in range(num_nodes):
+            for b in range(a + 1, num_nodes):
+                ax, ay = positions[a]
+                bx, by = positions[b]
+                distance = math.hypot(ax - bx, ay - by)
+                if rng.random() < alpha * math.exp(-distance / scale):
+                    edges.append((a, b))
+        graph = nx.Graph(edges)
+        graph.add_nodes_from(range(num_nodes))
+        if nx.is_connected(graph):
+            topology = Topology.from_links(edges, name=name)
+            if randomize_costs:
+                assign_uniform_costs(topology, seed=derive_rng(rng, "costs"))
+            topology.validate()
+            return topology
+    raise TopologyError(
+        f"could not generate a connected Waxman({num_nodes}, {alpha}, {beta}) "
+        f"in {_MAX_ATTEMPTS} attempts"
+    )
+
+
+def line_topology(num_nodes: int, name: str = "line") -> Topology:
+    """A chain of routers 0-1-...-n-1 with unit costs (testing helper)."""
+    if num_nodes < 2:
+        raise TopologyError("line topology needs at least 2 nodes")
+    return Topology.from_links(
+        [(i, i + 1) for i in range(num_nodes - 1)], name=name
+    )
+
+
+def star_topology(num_leaves: int, name: str = "star") -> Topology:
+    """A hub (node 0) with ``num_leaves`` spokes, unit costs (testing helper)."""
+    if num_leaves < 1:
+        raise TopologyError("star topology needs at least 1 leaf")
+    return Topology.from_links(
+        [(0, leaf) for leaf in range(1, num_leaves + 1)], name=name
+    )

@@ -1,0 +1,119 @@
+"""Shared fixtures: the paper's scenario topologies and common setups.
+
+``fig2_topology`` realises the exact asymmetric routes of paper
+Section 2.3 / Fig. 2 (and Fig. 5, which replays the same scenario
+under HBH):
+
+    r1 -> R2 -> R1 -> S     S -> R1 -> R3 -> r1
+    r2 -> R3 -> R1 -> S     S -> R4 -> r2
+    r3 -> R3 -> R1 -> S     S -> R1 -> R3 -> r3
+
+Node numbering: S=0, R1=1, R2=2, R3=3, R4=4, r1=11, r2=12, r3=13.
+
+``fig3_topology`` realises the duplicate-copies scenario of Fig. 3:
+both receivers' joins travel to S over routes that avoid R6, while
+both forward paths share the link R1->R6.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing.tables import UnicastRouting
+from repro.topology.isp import isp_topology
+from repro.topology.model import Topology
+
+
+@pytest.fixture
+def fig2_topology() -> Topology:
+    topology = Topology(name="fig2")
+    for node in (0, 1, 2, 3, 4, 11, 12, 13):
+        topology.add_router(node)
+    topology.add_link(0, 1, 1, 1)
+    topology.add_link(0, 4, 1, 10)
+    topology.add_link(1, 2, 5, 1)
+    topology.add_link(1, 3, 1, 1)
+    topology.add_link(2, 11, 5, 1)
+    topology.add_link(3, 11, 1, 5)
+    topology.add_link(3, 12, 2, 1)
+    topology.add_link(4, 12, 1, 10)
+    topology.add_link(3, 13, 1, 1)
+    return topology
+
+
+@pytest.fixture
+def fig2_routing(fig2_topology) -> UnicastRouting:
+    routing = UnicastRouting(fig2_topology)
+    # The scenario's routes, asserted so cost edits can't silently
+    # invalidate every test built on them.
+    assert routing.path(11, 0) == [11, 2, 1, 0]
+    assert routing.path(0, 11) == [0, 1, 3, 11]
+    assert routing.path(12, 0) == [12, 3, 1, 0]
+    assert routing.path(0, 12) == [0, 4, 12]
+    assert routing.path(13, 0) == [13, 3, 1, 0]
+    assert routing.path(0, 13) == [0, 1, 3, 13]
+    return routing
+
+
+@pytest.fixture
+def fig3_topology() -> Topology:
+    # S=0, R1=1, R2=2, R3=3, R4=4, R5=5, R6=6, r1=11, r2=12.
+    # Forward paths S->r1 and S->r2 share S->R1->R6; joins travel
+    # r1 -> R4 -> R2 -> R1 -> S and r2 -> R5 -> R3 -> R1 -> S, so R6
+    # never sees a join and is not identified as a branching node by
+    # REUNITE.
+    topology = Topology(name="fig3")
+    for node in (0, 1, 2, 3, 4, 5, 6, 11, 12):
+        topology.add_router(node)
+    topology.add_link(0, 1, 1, 1)
+    topology.add_link(1, 2, 8, 1)    # cheap upstream, dear downstream
+    topology.add_link(1, 3, 8, 1)
+    topology.add_link(1, 6, 1, 8)    # cheap downstream, dear upstream
+    topology.add_link(2, 4, 8, 1)
+    topology.add_link(3, 5, 8, 1)
+    topology.add_link(6, 4, 1, 8)
+    topology.add_link(6, 5, 1, 8)
+    topology.add_link(4, 11, 1, 1)
+    topology.add_link(5, 12, 1, 1)
+    return topology
+
+
+@pytest.fixture
+def fig3_routing(fig3_topology) -> UnicastRouting:
+    routing = UnicastRouting(fig3_topology)
+    assert routing.path(0, 11) == [0, 1, 6, 4, 11]
+    assert routing.path(0, 12) == [0, 1, 6, 5, 12]
+    assert routing.path(11, 0) == [11, 4, 2, 1, 0]
+    assert routing.path(12, 0) == [12, 5, 3, 1, 0]
+    return routing
+
+
+@pytest.fixture
+def symmetric_tree_topology() -> Topology:
+    """The symmetric example tree of paper Fig. 1/Fig. 4.
+
+    S=0; routers H1=1, H3=3, H4=4, H5=5, H7=7; receivers r1=11,
+    r2=12, r3=13 under H4; r4=14, r5=15, r6=16 under H7; r8=18 under
+    H5.  All costs 1 and symmetric.
+    """
+    topology = Topology(name="fig1")
+    for node in (0, 1, 3, 4, 5, 7, 11, 12, 13, 14, 15, 16, 18):
+        topology.add_router(node)
+    for a, b in [(0, 1), (1, 3), (1, 5), (3, 4), (5, 7), (5, 18),
+                 (4, 11), (4, 12), (4, 13), (7, 14), (7, 15), (7, 16)]:
+        topology.add_link(a, b)
+    return topology
+
+
+@pytest.fixture
+def isp(request) -> Topology:
+    """A seeded ISP topology (seed fixed for reproducibility)."""
+    return isp_topology(seed=42)
+
+
+@pytest.fixture
+def line5() -> Topology:
+    """Routers 0-1-2-3-4 in a chain, unit costs."""
+    from repro.topology.random_graphs import line_topology
+
+    return line_topology(5)

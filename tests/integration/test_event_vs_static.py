@@ -1,0 +1,62 @@
+"""Cross-driver equivalence: the packet-level simulator and the
+round-based static driver run the same Appendix-A rules, so a converged
+channel must produce identical data paths under both.
+"""
+
+import random
+
+import pytest
+
+from repro.core import HbhChannel, StaticHbh
+from repro.core.tables import ProtocolTiming
+from repro.netsim.network import Network
+from repro.routing.tables import UnicastRouting
+from repro.topology.isp import isp_receiver_candidates, isp_topology
+
+FAST = ProtocolTiming(join_period=50.0, tree_period=50.0, t1=130.0,
+                      t2=260.0)
+
+
+def event_driven_delays(topology, source, receivers):
+    network = Network(topology)
+    channel = HbhChannel(network, source_node=source, timing=FAST)
+    for receiver in receivers:
+        channel.join(receiver)
+        channel.converge(periods=6)
+    channel.converge(periods=10)
+    distribution = channel.measure_data(settle_periods=2.0)
+    return distribution
+
+
+def static_delays(topology, source, receivers):
+    driver = StaticHbh(topology, source,
+                       routing=UnicastRouting(topology))
+    for receiver in receivers:
+        driver.add_receiver(receiver)
+        driver.converge()
+    return driver.distribute_data()
+
+
+class TestFig2Scenario:
+    def test_same_delays_and_cost(self, fig2_topology):
+        receivers = [11, 12, 13]
+        event = event_driven_delays(fig2_topology, 0, receivers)
+        static = static_delays(fig2_topology, 0, receivers)
+        assert event.delays == static.delays
+        assert event.copies == static.copies
+        assert sorted(event.transmissions) == sorted(static.transmissions)
+
+
+class TestIspScenarios:
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_random_groups_agree(self, seed):
+        topology = isp_topology(seed=seed)
+        rng = random.Random(seed)
+        receivers = sorted(
+            rng.sample(isp_receiver_candidates(topology), 5)
+        )
+        event = event_driven_delays(topology, 18, receivers)
+        static = static_delays(topology, 18, receivers)
+        assert event.complete and static.complete
+        assert event.delays == static.delays
+        assert event.copies == static.copies

@@ -1,0 +1,92 @@
+"""Paper Fig. 1: recursive-unicast data distribution, HBH vs REUNITE.
+
+The symmetric example tree: S above H1; H1 branches to H4 (via H3 in
+the figure — collapsed here to the direct branch) and H5; receivers
+r1-r3 under H4, r4-r6 under H7, r8 under H5.  We verify the defining
+property of each protocol's data plane:
+
+- HBH: data arrives at each branching node addressed *to that node*;
+  the node emits one copy per MFT entry;
+- REUNITE: data is addressed to ``MFT.dst`` (a receiver); branching
+  nodes duplicate as the dst-addressed original passes through.
+
+Either way, every receiver gets exactly one copy and every tree link
+carries exactly one copy in this symmetric scenario.
+"""
+
+import pytest
+
+from repro.core.static_driver import StaticHbh
+from repro.protocols.reunite.static_driver import StaticReunite
+
+RECEIVERS = [11, 12, 13, 14, 15, 16, 18]
+
+
+def build(driver_cls, topology):
+    driver = driver_cls(topology, source=0)
+    for receiver in RECEIVERS:
+        driver.add_receiver(receiver)
+        driver.converge()
+    return driver
+
+
+class TestHbhDistribution:
+    def test_branching_nodes_are_the_figure_ones(self,
+                                                 symmetric_tree_topology):
+        driver = build(StaticHbh, symmetric_tree_topology)
+        # H1 (node 1) splits toward H4-side and H5-side; H4 (node 4)
+        # serves r1-r3; H7 (node 7) serves r4-r6; H5 (node 5) serves
+        # r8 and the H7 subtree.
+        assert set(driver.branching_nodes()) >= {1, 4, 5, 7}
+
+    def test_one_copy_per_link_and_receiver(self, symmetric_tree_topology):
+        driver = build(StaticHbh, symmetric_tree_topology)
+        distribution = driver.distribute_data()
+        assert distribution.complete
+        assert not distribution.duplicated_links()
+        # Tree spans: S-H1, H1-H3, H3-H4, H1-H5, H5-H7, H5-r8 + 6 leaf
+        # links = 12 copies for 7 receivers.
+        assert distribution.copies == 12
+
+    def test_delays_are_hop_counts(self, symmetric_tree_topology):
+        driver = build(StaticHbh, symmetric_tree_topology)
+        distribution = driver.distribute_data()
+        assert distribution.delays[11] == 4.0  # S-H1-H3-H4-r1
+        assert distribution.delays[18] == 3.0  # S-H1-H5-r8
+        assert distribution.delays[14] == 4.0  # S-H1-H5-H7-r4
+
+    def test_data_addressed_to_branching_nodes(self,
+                                               symmetric_tree_topology):
+        # The HBH-defining property (Fig. 1(a)): the source's MFT
+        # points at the next branching node, not at a receiver.
+        driver = build(StaticHbh, symmetric_tree_topology)
+        targets = driver.source_mft.data_targets(driver.now, driver.timing)
+        assert targets == [1]  # next branching node H1
+
+
+class TestReuniteDistribution:
+    def test_one_copy_per_link_and_receiver(self, symmetric_tree_topology):
+        driver = build(StaticReunite, symmetric_tree_topology)
+        distribution = driver.distribute_data()
+        assert distribution.complete
+        assert not distribution.duplicated_links()
+        assert distribution.copies == 12
+
+    def test_data_addressed_to_first_receiver(self,
+                                              symmetric_tree_topology):
+        # The REUNITE-defining property (Fig. 1(b)): the source sends
+        # data addressed to the first receiver that joined.
+        driver = build(StaticReunite, symmetric_tree_topology)
+        assert driver.source_state.mft.dst.address == RECEIVERS[0]
+
+    def test_same_tree_cost_as_hbh_under_symmetry(self,
+                                                  symmetric_tree_topology):
+        # With symmetric routes both recursive-unicast protocols build
+        # the same tree; the paper's differences only appear under
+        # asymmetry (Section 2.3).
+        hbh = build(StaticHbh, symmetric_tree_topology).distribute_data()
+        reunite = build(
+            StaticReunite, symmetric_tree_topology
+        ).distribute_data()
+        assert hbh.copies == reunite.copies
+        assert hbh.delays == reunite.delays

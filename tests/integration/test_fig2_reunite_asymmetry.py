@@ -1,0 +1,88 @@
+"""Paper Fig. 2: REUNITE fails to build an SPT under asymmetric routes,
+and repairs itself only after the other receiver departs.
+
+Scenario (Section 2.3): r1 joins at S; tree messages install MCT state
+at R1 and R3 along the forward path S->R1->R3->r1.  r2's join travels
+r2->R3->R1->S and is intercepted at R3, which promotes itself to a
+branching node with dst=r1.  Data for r2 then flows S->R1->R3->r2 —
+NOT its shortest path S->R4->r2.  When r1 leaves, marked tree messages
+dismantle the branch, r2 re-joins at the source, and finally receives
+data through its true shortest path (Fig. 2(b)-(d)).
+"""
+
+import pytest
+
+from repro.protocols.reunite.static_driver import StaticReunite
+
+S, R1, R2, R3, R4 = 0, 1, 2, 3, 4
+r1, r2 = 11, 12
+
+
+@pytest.fixture
+def converged(fig2_topology, fig2_routing):
+    driver = StaticReunite(fig2_topology, source=S, routing=fig2_routing)
+    driver.add_receiver(r1)
+    driver.converge()
+    driver.add_receiver(r2)
+    driver.converge()
+    return driver
+
+
+class TestFig2aConstruction:
+    def test_r2_joins_at_r3(self, converged):
+        state = converged.states[R3]
+        assert state.is_branching
+        assert state.mft.dst.address == r1
+        assert state.mft.get_receiver(r2) is not None
+
+    def test_mct_state_along_forward_path(self, converged):
+        assert r1 in converged.states[R1].mct
+
+    def test_r1_on_shortest_path_r2_not(self, converged):
+        distribution = converged.distribute_data()
+        assert distribution.delays[r1] == 3.0   # S->R1->R3->r1 (optimal)
+        assert distribution.delays[r2] == 4.0   # S->R1->R3->r2
+        # r2's true shortest path S->R4->r2 costs 2.
+        assert distribution.delays[r2] > converged.routing.distance(S, r2)
+
+    def test_r2_data_path_goes_through_r3(self, converged):
+        distribution = converged.distribute_data()
+        assert (R3, r2) in distribution.transmissions
+        assert (R4, r2) not in distribution.transmissions
+
+
+class TestFig2bToDReconfiguration:
+    def test_departure_reanchors_r2_at_source(self, converged):
+        converged.remove_receiver(r1)
+        for _ in range(12):
+            converged.run_round()
+        # Fig. 2(d): S's MFT has dst=r2; R3's MFT<S> is destroyed.
+        assert converged.source_state.mft.dst.address == r2
+        assert R3 not in converged.states or \
+            not converged.states[R3].is_branching
+
+    def test_r2_finally_gets_shortest_path(self, converged):
+        converged.remove_receiver(r1)
+        for _ in range(12):
+            converged.run_round()
+        distribution = converged.distribute_data()
+        assert distribution.delays == {r2: 2.0}
+        assert (R4, r2) in distribution.transmissions
+
+    def test_data_keeps_flowing_during_reconfiguration(self, converged):
+        # "data flow addressed to r1 will stop soon" — but r2 must not
+        # starve at any round of the transition.
+        converged.remove_receiver(r1)
+        for _ in range(12):
+            converged.run_round()
+            distribution = converged.distribute_data()
+            assert r2 in distribution.delivered
+
+    def test_marked_trees_destroy_mct_state(self, converged):
+        converged.remove_receiver(r1)
+        for _ in range(12):
+            converged.run_round()
+        # R1's <S, r1> MCT entry is gone (only r2 state, if any, remains).
+        state = converged.states.get(R1)
+        if state is not None and state.mct is not None:
+            assert r1 not in state.mct

@@ -1,0 +1,80 @@
+"""Paper Fig. 3: asymmetric routes make REUNITE duplicate packets on a
+shared link; HBH resolves the same scenario with a fusion message.
+
+Scenario (Section 2.3): the forward paths to both receivers share the
+link R1->R6, but the joins travel r1->R4->R2->R1->S and
+r2->R5->R3->R1->S, so R6 never sees a join.  REUNITE: r2's join is
+intercepted at R1 (which holds r1's MCT entry) and promotes it; the
+original (addressed r1) and the copy (addressed r2) then both cross
+R1->R6 — two copies of every packet on that link.  HBH: R6 sees both
+tree messages, becomes a branching node, and its fusion re-points the
+upstream node at R6, restoring one copy per link.
+"""
+
+import pytest
+
+from repro.core.static_driver import StaticHbh
+from repro.protocols.reunite.static_driver import StaticReunite
+
+S, R1, R2, R3, R4, R5, R6 = 0, 1, 2, 3, 4, 5, 6
+r1, r2 = 11, 12
+
+
+def join_all(driver):
+    for receiver in (r1, r2):
+        driver.add_receiver(receiver)
+        driver.converge()
+    return driver
+
+
+class TestReuniteDuplication:
+    def test_r1_promoted_not_r6(self, fig3_topology, fig3_routing):
+        driver = join_all(StaticReunite(fig3_topology, S,
+                                        routing=fig3_routing))
+        assert R1 in driver.branching_nodes()
+        assert R6 not in driver.branching_nodes()
+
+    def test_two_copies_on_shared_link(self, fig3_topology, fig3_routing):
+        driver = join_all(StaticReunite(fig3_topology, S,
+                                        routing=fig3_routing))
+        distribution = driver.distribute_data()
+        assert distribution.complete
+        assert distribution.copies_per_link()[(R1, R6)] == 2
+        assert (R1, R6) in distribution.duplicated_links()
+
+
+class TestHbhResolution:
+    def test_r6_becomes_the_branching_node(self, fig3_topology,
+                                           fig3_routing):
+        driver = join_all(StaticHbh(fig3_topology, S, routing=fig3_routing))
+        assert R6 in driver.branching_nodes()
+
+    def test_single_copy_per_link(self, fig3_topology, fig3_routing):
+        driver = join_all(StaticHbh(fig3_topology, S, routing=fig3_routing))
+        distribution = driver.distribute_data()
+        assert distribution.complete
+        assert distribution.copies_per_link()[(R1, R6)] == 1
+        assert not distribution.duplicated_links()
+
+    def test_source_entries_marked_by_fusion(self, fig3_topology,
+                                             fig3_routing):
+        # Appendix A: the receivers' entries upstream are *marked* (no
+        # data) while the fusion sender is adopted stale (data only):
+        # "this node will not forward data to these receivers, but to
+        # Bp instead since the receivers' entries are marked".
+        driver = join_all(StaticHbh(fig3_topology, S, routing=fig3_routing))
+        targets = driver.source_mft.data_targets(driver.now, driver.timing)
+        assert r1 not in targets
+        assert r2 not in targets
+
+    def test_hbh_beats_reunite_on_cost_same_delay(self, fig3_topology,
+                                                  fig3_routing):
+        hbh = join_all(
+            StaticHbh(fig3_topology, S, routing=fig3_routing)
+        ).distribute_data()
+        reunite = join_all(
+            StaticReunite(fig3_topology, S, routing=fig3_routing)
+        ).distribute_data()
+        assert hbh.copies < reunite.copies
+        # Both deliver over the (same) forward shortest paths here.
+        assert hbh.delays == reunite.delays

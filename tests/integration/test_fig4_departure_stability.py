@@ -1,0 +1,142 @@
+"""Paper Fig. 4: member departure shakes REUNITE's tree more than HBH's.
+
+"The tree management scheme of HBH minimizes the impact of member
+departures in the tree structure ... tree reconfiguration in REUNITE
+may cause route changes to the remaining receivers, as for r2 in the
+example of Figure 2.  This is avoided in HBH."
+
+Two scenarios:
+
+- the symmetric Fig. 4 tree, where r1 (the REUNITE dst anchor) leaves:
+  REUNITE re-addresses data along the whole old branch while HBH's
+  change stays at the branching node nearest r1;
+- the asymmetric Fig. 2 scenario, where REUNITE re-routes the
+  *remaining* receiver after a departure and HBH never does.
+"""
+
+import pytest
+
+from repro.core.static_driver import StaticHbh
+from repro.metrics.stability import (
+    TableSnapshot,
+    diff_snapshots,
+    paths_from_distribution,
+)
+from repro.protocols.reunite.static_driver import StaticReunite
+
+
+def hbh_snapshot(driver):
+    entries = set()
+    for entry in driver.source_mft:
+        entries.add((driver.source, "src", entry.address))
+    for node, state in driver.states.items():
+        if state.mct is not None:
+            entries.add((node, "mct", state.mct.entry.address))
+        if state.mft is not None:
+            for entry in state.mft:
+                entries.add((node, "mft", entry.address))
+    return TableSnapshot(
+        entries=frozenset(entries),
+        paths=paths_from_distribution(driver.distribute_data()),
+    )
+
+
+def reunite_snapshot(driver):
+    entries = set()
+
+    def emit(node, state):
+        if state.mct is not None:
+            for entry in state.mct:
+                entries.add((node, "mct", entry.address))
+        if state.mft is not None:
+            if state.mft.dst is not None:
+                entries.add((node, "dst", state.mft.dst.address))
+            for entry in state.mft.receivers():
+                entries.add((node, "mft", entry.address))
+
+    emit(driver.source, driver.source_state)
+    for node, state in driver.states.items():
+        emit(node, state)
+    return TableSnapshot(
+        entries=frozenset(entries),
+        paths=paths_from_distribution(driver.distribute_data()),
+    )
+
+
+def run_departure(driver_cls, topology, receivers, leaver, snapshot_fn,
+                  routing=None):
+    driver = driver_cls(topology, source=0, routing=routing)
+    for receiver in receivers:
+        driver.add_receiver(receiver)
+        driver.converge()
+    before = snapshot_fn(driver)
+    driver.remove_receiver(leaver)
+    for _ in range(12):
+        driver.run_round()
+    after = snapshot_fn(driver)
+    return diff_snapshots(before, after,
+                          ignore_receivers=frozenset({leaver}))
+
+
+RECEIVERS = [11, 12, 13, 14, 15, 16, 18]
+
+
+class TestSymmetricTree:
+    def test_hbh_never_reroutes_survivors(self, symmetric_tree_topology):
+        report = run_departure(StaticHbh, symmetric_tree_topology,
+                               RECEIVERS, leaver=11,
+                               snapshot_fn=hbh_snapshot)
+        assert report.reroute_count == 0
+
+    def test_hbh_stable_when_branching_node_degrades(self,
+                                                     symmetric_tree_topology):
+        # r8's departure turns H5 into a non-branching relay — the
+        # paper's worst case for HBH — still no survivor re-routes.
+        report = run_departure(StaticHbh, symmetric_tree_topology,
+                               RECEIVERS, leaver=18,
+                               snapshot_fn=hbh_snapshot)
+        assert report.reroute_count == 0
+
+    def test_reunite_survivors_not_rerouted_under_symmetry(
+            self, symmetric_tree_topology):
+        # With symmetric routes "there is no route changes for other
+        # members when a member leaves the group" — for REUNITE too.
+        report = run_departure(StaticReunite, symmetric_tree_topology,
+                               RECEIVERS, leaver=11,
+                               snapshot_fn=reunite_snapshot)
+        assert report.reroute_count == 0
+
+    def test_both_clean_up_departed_state(self, symmetric_tree_topology):
+        for driver_cls, snapshot_fn in ((StaticHbh, hbh_snapshot),
+                                        (StaticReunite, reunite_snapshot)):
+            report = run_departure(driver_cls, symmetric_tree_topology,
+                                   RECEIVERS, leaver=11,
+                                   snapshot_fn=snapshot_fn)
+            assert report.entries_removed >= 1
+
+
+class TestAsymmetricScenario:
+    def test_reunite_reroutes_r2_after_r1_leaves(self, fig2_topology,
+                                                 fig2_routing):
+        report = run_departure(StaticReunite, fig2_topology, [11, 12],
+                               leaver=11, snapshot_fn=reunite_snapshot,
+                               routing=fig2_routing)
+        assert report.rerouted_receivers == [12]
+
+    def test_hbh_does_not_reroute_r2(self, fig2_topology, fig2_routing):
+        # HBH gave r2 the shortest path from the start, so r1's
+        # departure changes nothing for it.
+        report = run_departure(StaticHbh, fig2_topology, [11, 12],
+                               leaver=11, snapshot_fn=hbh_snapshot,
+                               routing=fig2_routing)
+        assert report.reroute_count == 0
+
+    def test_hbh_entry_churn_is_no_worse(self, fig2_topology,
+                                         fig2_routing):
+        hbh = run_departure(StaticHbh, fig2_topology, [11, 12],
+                            leaver=11, snapshot_fn=hbh_snapshot,
+                            routing=fig2_routing)
+        reunite = run_departure(StaticReunite, fig2_topology, [11, 12],
+                                leaver=11, snapshot_fn=reunite_snapshot,
+                                routing=fig2_routing)
+        assert hbh.entry_changes <= reunite.entry_changes

@@ -1,0 +1,107 @@
+"""Paper Fig. 5: HBH's tree construction on the Fig. 2 scenario.
+
+The exact narrative of Section 3.1, step by step:
+
+(a) r1 joins at S; tree(S, r1) creates MCT state at H1 and H3;
+(b) r2's first join is never intercepted and reaches S; both
+    receivers sit on forward shortest paths;
+(c) r3 joins; H1 and H3 both see tree(S, r1) and tree(S, r3), become
+    branching nodes and send fusions;
+(d) converged: S forwards to H1, H1 to H3, H3 to r1 and r3 — every
+    receiver on its shortest path, one copy per link.
+"""
+
+import pytest
+
+from repro.core.static_driver import StaticHbh
+
+S, H1, H2, H3, H4 = 0, 1, 2, 3, 4
+r1, r2, r3 = 11, 12, 13
+
+
+@pytest.fixture
+def driver(fig2_topology, fig2_routing):
+    return StaticHbh(fig2_topology, source=S, routing=fig2_routing)
+
+
+class TestStepA:
+    def test_r1_joins_at_source(self, driver):
+        driver.add_receiver(r1)
+        assert r1 in driver.source_mft
+        driver.converge()
+        assert r1 in driver.states[H1].mct
+        assert r1 in driver.states[H3].mct
+
+
+class TestStepB:
+    def test_first_join_reaches_source_despite_tree_state(self, driver):
+        driver.add_receiver(r1)
+        driver.converge()
+        driver.add_receiver(r2)
+        # Not intercepted anywhere: r2 joined at S.
+        assert r2 in driver.source_mft
+        driver.converge()
+        distribution = driver.distribute_data()
+        assert distribution.delays[r1] == driver.routing.distance(S, r1)
+        assert distribution.delays[r2] == driver.routing.distance(S, r2)
+
+
+class TestStepCD:
+    @pytest.fixture
+    def converged(self, driver):
+        for receiver in (r1, r2, r3):
+            driver.add_receiver(receiver)
+            driver.converge()
+        return driver
+
+    def test_h1_and_h3_become_branching(self, converged):
+        assert H1 in converged.branching_nodes()
+        assert H3 in converged.branching_nodes()
+
+    def test_final_chain_structure(self, converged):
+        # Fig. 5(d): S -> H1 -> H3 -> {r1, r3}; r2 served via H4.
+        now, timing = converged.now, converged.timing
+        assert converged.source_mft.data_targets(now, timing) == [r2, H1]
+        h1_targets = converged.states[H1].mft.data_targets(now, timing)
+        assert h1_targets == [H3]
+        h3_targets = converged.states[H3].mft.data_targets(now, timing)
+        assert set(h3_targets) == {r1, r3}
+
+    def test_source_receiver_entries_died(self, converged):
+        # "as S receives no more join(S, r1) neither join(S, r3)
+        # messages, its corresponding MFT entries are destroyed".
+        assert r1 not in converged.source_mft
+        assert r3 not in converged.source_mft
+
+    def test_all_shortest_paths_one_copy_per_link(self, converged):
+        distribution = converged.distribute_data()
+        assert distribution.complete
+        assert not distribution.duplicated_links()
+        for receiver in (r1, r2, r3):
+            assert (distribution.delays[receiver]
+                    == converged.routing.distance(S, receiver))
+
+    def test_joins_now_intercepted_hop_by_hop(self, converged):
+        # Steady state: r1's joins are intercepted at H3 (nearest
+        # branching node holding its entry), which joins at H1, which
+        # joins at S — refreshing the whole chain.
+        converged.run_round()
+        now, timing = converged.now, converged.timing
+        assert not converged.states[H3].mft.get(r1).is_stale(now, timing)
+        assert not converged.states[H1].mft.get(H3).is_stale(now, timing)
+        assert not converged.source_mft.get(H1).is_stale(now, timing)
+
+
+class TestOrderIndependence:
+    def test_reverse_join_order_same_data_paths(self, fig2_topology,
+                                                fig2_routing):
+        forward = StaticHbh(fig2_topology, S, routing=fig2_routing)
+        for receiver in (r1, r2, r3):
+            forward.add_receiver(receiver)
+            forward.converge()
+        backward = StaticHbh(fig2_topology, S, routing=fig2_routing)
+        for receiver in (r3, r2, r1):
+            backward.add_receiver(receiver)
+            backward.converge()
+        assert (forward.distribute_data().delays
+                == backward.distribute_data().delays)

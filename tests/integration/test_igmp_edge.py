@@ -1,0 +1,103 @@
+"""IGMP edge glue: local hosts reach an HBH channel through their
+designated router (the paper's "IP Multicast clouds as leaves").
+
+The DR runs an IGMP querier plus an HBH receiver agent; the first
+local IGMP member triggers the HBH join, the last leave stops the
+refreshes.  However many hosts listen locally, the backbone sees ONE
+receiver per DR — the aggregation the paper notes it does not count.
+"""
+
+import pytest
+
+from repro.core import HbhChannel
+from repro.core.receiver import HbhReceiverAgent
+from repro.core.tables import ProtocolTiming
+from repro.igmp.membership import IgmpHostAgent, IgmpRouterAgent
+from repro.netsim.network import Network
+from repro.topology.model import Topology
+
+FAST = ProtocolTiming(join_period=50.0, tree_period=50.0, t1=130.0,
+                      t2=260.0)
+
+
+def edge_topology():
+    """Source host 10 on router 0; routers 0-1-2; two listener hosts
+    (11, 12) on router 2."""
+    topology = Topology(name="igmp-edge")
+    for router in (0, 1, 2):
+        topology.add_router(router)
+    topology.add_link(0, 1)
+    topology.add_link(1, 2)
+    topology.add_host(10, attached_to=0)
+    topology.add_host(11, attached_to=2)
+    topology.add_host(12, attached_to=2)
+    return topology
+
+
+@pytest.fixture
+def edge():
+    network = Network(edge_topology())
+    channel = HbhChannel(network, source_node=10, timing=FAST)
+
+    proxy = HbhReceiverAgent(channel.channel, timing=FAST)
+    network.attach(2, proxy)
+
+    def on_first(joined_channel):
+        if joined_channel == channel.channel:
+            proxy.join()
+
+    def on_last(left_channel):
+        if left_channel == channel.channel:
+            proxy.leave()
+
+    querier = IgmpRouterAgent(query_interval=50.0, robustness=2,
+                              on_first_member=on_first,
+                              on_last_member=on_last)
+    network.attach(2, querier)
+    hosts = {host: network.attach(host, IgmpHostAgent())
+             for host in (11, 12)}
+    network.start()
+    return network, channel, proxy, querier, hosts
+
+
+class TestEdgeAggregation:
+    def test_first_local_member_joins_the_channel(self, edge):
+        network, channel, proxy, querier, hosts = edge
+        hosts[11].join_channel(channel.channel)
+        network.run(until=600.0)
+        channel.source.send_data()
+        network.run(until=800.0)
+        assert len(proxy.deliveries) == 1
+
+    def test_second_member_adds_no_backbone_state(self, edge):
+        network, channel, proxy, querier, hosts = edge
+        hosts[11].join_channel(channel.channel)
+        network.run(until=400.0)
+        source_entries = len(channel.source.mft)
+        hosts[12].join_channel(channel.channel)
+        network.run(until=800.0)
+        assert len(channel.source.mft) == source_entries
+        assert querier.member_hosts(channel.channel) == [11, 12]
+
+    def test_last_leave_tears_down(self, edge):
+        network, channel, proxy, querier, hosts = edge
+        hosts[11].join_channel(channel.channel)
+        hosts[12].join_channel(channel.channel)
+        network.run(until=400.0)
+        hosts[11].leave_channel(channel.channel)
+        network.run(until=500.0)
+        assert proxy.joined  # one member left: still subscribed
+        hosts[12].leave_channel(channel.channel)
+        network.run(until=1400.0)
+        assert not proxy.joined
+        assert len(channel.source.mft) == 0  # soft state decayed
+
+    def test_crashed_host_times_out_via_queries(self, edge):
+        network, channel, proxy, querier, hosts = edge
+        silent = IgmpHostAgent(query_response=False)
+        network.node(11).agents.clear()
+        network.attach(11, silent)
+        silent.join_channel(channel.channel)
+        network.run(until=1400.0)
+        assert not querier.has_members(channel.channel)
+        assert not proxy.joined

@@ -1,0 +1,144 @@
+"""Failure injection: HBH self-heals around link cuts via soft state.
+
+Nothing in HBH reacts to a failure explicitly — that is the point of
+the soft-state design: when a tree link dies, data and tree messages
+on it are lost, joins take the IGP's new unicast routes, the source's
+tree messages re-install state along the new forward paths, and the
+old branch decays at t2.  These tests cut links under a running
+channel and verify delivery resumes within a bounded number of refresh
+periods.
+"""
+
+import pytest
+
+from repro.core import HbhChannel
+from repro.core.tables import ProtocolTiming
+from repro.errors import SimulationError
+from repro.netsim.network import Network
+from repro.topology.model import Topology
+
+FAST = ProtocolTiming(join_period=50.0, tree_period=50.0, t1=130.0,
+                      t2=260.0)
+
+
+def ladder_topology() -> Topology:
+    """Two disjoint paths source-side to receiver-side:
+
+        0 -- 1 -- 2
+        |         |
+        3 ------- 4        hosts: 10 on 0 (source), 12 on 2 (receiver)
+
+    The 0-1-2 path is cheap (primary); 0-3-4-2 is the backup.
+    """
+    topology = Topology(name="ladder")
+    for router in (0, 1, 2, 3, 4):
+        topology.add_router(router)
+    topology.add_link(0, 1, 1, 1)
+    topology.add_link(1, 2, 1, 1)
+    topology.add_link(0, 3, 5, 5)
+    topology.add_link(3, 4, 5, 5)
+    topology.add_link(4, 2, 5, 5)
+    topology.add_host(10, attached_to=0)
+    topology.add_host(12, attached_to=2)
+    return topology
+
+
+class TestLinkPrimitive:
+    def test_down_link_loses_packets(self):
+        network = Network(ladder_topology())
+        network.fail_link(0, 1)
+        from repro.netsim.packet import Packet
+
+        network.node(0).send_via(1, Packet(
+            src=network.address_of(0), dst=network.address_of(1),
+            payload="x",
+        ))
+        network.run()
+        assert network.node(1).unclaimed == []
+        assert network.node(0).links[1].packets_lost == 1
+
+    def test_double_fail_rejected(self):
+        network = Network(ladder_topology())
+        network.fail_link(0, 1)
+        with pytest.raises(SimulationError):
+            network.fail_link(0, 1)
+        with pytest.raises(SimulationError):
+            network.restore_link(1, 2)  # not down
+
+    def test_unknown_link_rejected(self):
+        network = Network(ladder_topology())
+        with pytest.raises(SimulationError):
+            network.fail_link(0, 2)
+
+    def test_routing_reconverges_around_cut(self):
+        network = Network(ladder_topology())
+        assert network.routing.path(0, 2) == [0, 1, 2]
+        network.fail_link(1, 2)
+        assert network.routing.path(0, 2) == [0, 3, 4, 2]
+        network.restore_link(1, 2)
+        assert network.routing.path(0, 2) == [0, 1, 2]
+        # Original costs are restored exactly.
+        assert network.topology.cost(1, 2) == 1
+
+
+class TestHbhSelfHealing:
+    def test_channel_survives_primary_path_cut(self):
+        network = Network(ladder_topology())
+        channel = HbhChannel(network, source_node=10, timing=FAST)
+        receiver = channel.join(12)
+        channel.converge(periods=6)
+        distribution = channel.measure_data()
+        assert distribution.delays == {12: 4.0}  # via 0-1-2
+
+        network.fail_link(1, 2)
+        # Soft state must re-route within a few refresh periods (t2 =
+        # ~5 periods bounds the stale-branch decay).
+        channel.converge(periods=8)
+        distribution = channel.measure_data()
+        assert distribution.complete
+        assert distribution.delays == {12: 17.0}  # via 0-3-4-2
+
+    def test_recovery_back_to_primary_after_restore(self):
+        network = Network(ladder_topology())
+        channel = HbhChannel(network, source_node=10, timing=FAST)
+        channel.join(12)
+        channel.converge(periods=6)
+        network.fail_link(1, 2)
+        channel.converge(periods=8)
+        network.restore_link(1, 2)
+        channel.converge(periods=8)
+        distribution = channel.measure_data()
+        assert distribution.delays == {12: 4.0}
+
+    def test_branching_migrates_after_cut(self):
+        # Two receivers sharing the primary path; cutting it moves the
+        # whole branch (and its branching point) to the backup side.
+        topology = ladder_topology()
+        topology.add_host(14, attached_to=4)  # second receiver, backup side
+        network = Network(topology)
+        channel = HbhChannel(network, source_node=10, timing=FAST)
+        channel.join(12)
+        channel.converge(periods=6)
+        channel.join(14)
+        channel.converge(periods=10)
+        before = channel.measure_data()
+        assert before.complete
+
+        network.fail_link(0, 1)  # kill 12's primary feed entirely
+        channel.converge(periods=10)
+        after = channel.measure_data()
+        assert after.complete
+        # 12 now reached through the ladder's backup rungs.
+        assert after.delays[12] > before.delays[12]
+
+    def test_no_stale_copies_after_recovery(self):
+        network = Network(ladder_topology())
+        channel = HbhChannel(network, source_node=10, timing=FAST)
+        channel.join(12)
+        channel.converge(periods=6)
+        network.fail_link(1, 2)
+        channel.converge(periods=12)  # old branch fully decayed
+        distribution = channel.measure_data()
+        # Exactly one copy per link of the backup path + access links.
+        assert not distribution.duplicated_links()
+        assert distribution.copies == 5

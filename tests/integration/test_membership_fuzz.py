@@ -1,0 +1,85 @@
+"""Membership fuzzing: random join/leave sequences must always leave
+the current members served and nobody else.
+
+The paper's dynamics story (Section 3.1) in adversarial form: arbitrary
+interleavings of joins and leaves, with convergence windows of random
+length in between, on both drivers.
+"""
+
+import random
+
+import pytest
+
+from repro.core import HbhChannel, StaticHbh
+from repro.core.tables import ProtocolTiming
+from repro.netsim.network import Network
+from repro.protocols.reunite.static_driver import StaticReunite
+from repro.routing.tables import UnicastRouting
+from repro.topology.isp import isp_receiver_candidates, isp_topology
+
+FAST = ProtocolTiming(join_period=50.0, tree_period=50.0, t1=130.0,
+                      t2=260.0)
+
+
+def random_script(rng, candidates, steps):
+    """A feasible random sequence of (action, host) events."""
+    members = set()
+    script = []
+    for _ in range(steps):
+        if members and (len(members) >= len(candidates)
+                        or rng.random() < 0.4):
+            host = rng.choice(sorted(members))
+            members.remove(host)
+            script.append(("leave", host))
+        else:
+            host = rng.choice([c for c in candidates if c not in members])
+            members.add(host)
+            script.append(("join", host))
+    return script, members
+
+
+class TestStaticDriverFuzz:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("driver_cls", [StaticHbh, StaticReunite])
+    def test_random_membership_scripts(self, seed, driver_cls):
+        rng = random.Random(seed)
+        topology = isp_topology(seed=seed)
+        candidates = isp_receiver_candidates(topology)
+        script, members = random_script(rng, candidates, steps=12)
+
+        driver = driver_cls(topology, 18,
+                            routing=UnicastRouting(topology))
+        for action, host in script:
+            if action == "join":
+                driver.add_receiver(host)
+            else:
+                driver.remove_receiver(host)
+            for _ in range(rng.randint(1, 4)):
+                driver.run_round()
+        # Settle fully, then the tree must serve exactly the members.
+        for _ in range(12):
+            driver.run_round()
+        distribution = driver.distribute_data()
+        assert distribution.delivered == members
+        assert set(driver.receivers) == members
+
+
+class TestEventDriverFuzz:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_membership_scripts(self, seed):
+        rng = random.Random(100 + seed)
+        topology = isp_topology(seed=seed)
+        candidates = isp_receiver_candidates(topology)
+        script, members = random_script(rng, candidates, steps=8)
+
+        network = Network(topology)
+        channel = HbhChannel(network, source_node=18, timing=FAST)
+        for action, host in script:
+            if action == "join":
+                channel.join(host)
+            else:
+                channel.leave(host)
+            channel.converge(periods=rng.uniform(1.0, 4.0))
+        channel.converge(periods=12)
+        distribution = channel.measure_data(settle_periods=2.0)
+        assert distribution.delivered == members

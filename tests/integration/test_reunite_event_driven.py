@@ -1,0 +1,84 @@
+"""Event-driven REUNITE: the baseline under real soft-state timing,
+cross-checked against its static driver."""
+
+import pytest
+
+from repro.core.tables import ProtocolTiming
+from repro.netsim.network import Network
+from repro.protocols.reunite.session import ReuniteSession
+from repro.protocols.reunite.static_driver import StaticReunite
+from repro.routing.tables import UnicastRouting
+from repro.topology.random_graphs import line_topology, star_topology
+
+FAST = ProtocolTiming(join_period=50.0, tree_period=50.0, t1=130.0,
+                      t2=260.0)
+
+
+class TestBasics:
+    def test_line_delivery(self):
+        network = Network(line_topology(4))
+        session = ReuniteSession(network, source_node=0, timing=FAST)
+        receiver = session.join(3)
+        session.converge(periods=6)
+        distribution = session.measure_data()
+        assert distribution.delays == {3: 3.0}
+        assert len(receiver.deliveries) == 1
+
+    def test_star_branches_at_hub(self):
+        network = Network(star_topology(5))
+        session = ReuniteSession(network, source_node=1, timing=FAST)
+        session.join(2)
+        session.converge(periods=5)
+        session.join(3)
+        session.converge(periods=10)
+        distribution = session.measure_data()
+        assert distribution.complete
+        # dst-addressed original + one copy: 1 (source spoke) + 2.
+        assert distribution.copies == 3
+
+    def test_leave_decays(self):
+        network = Network(line_topology(4))
+        session = ReuniteSession(network, source_node=0, timing=FAST)
+        session.join(3)
+        session.converge(periods=6)
+        session.leave(3)
+        session.converge(periods=10)
+        assert session.measure_data().copies == 0
+
+
+class TestFig2EventDriven:
+    def test_pathology_and_reconfiguration(self, fig2_topology):
+        network = Network(fig2_topology)
+        session = ReuniteSession(network, source_node=0, timing=FAST)
+        session.join(11)
+        session.converge(periods=6)
+        session.join(12)
+        session.converge(periods=10)
+        distribution = session.measure_data()
+        assert distribution.delays[11] == 3.0
+        assert distribution.delays[12] == 4.0  # the Fig. 2 inflation
+
+        session.leave(11)
+        session.converge(periods=14)
+        distribution = session.measure_data()
+        assert distribution.delays == {12: 2.0}  # re-anchored, optimal
+
+
+class TestCrossDriver:
+    def test_matches_static_driver_on_fig2(self, fig2_topology):
+        network = Network(fig2_topology)
+        session = ReuniteSession(network, source_node=0, timing=FAST)
+        for receiver in (11, 12, 13):
+            session.join(receiver)
+            session.converge(periods=8)
+        session.converge(periods=6)
+        event = session.measure_data()
+
+        static = StaticReunite(fig2_topology, 0,
+                               routing=UnicastRouting(fig2_topology))
+        for receiver in (11, 12, 13):
+            static.add_receiver(receiver)
+            static.converge()
+        expected = static.distribute_data()
+        assert event.delays == expected.delays
+        assert event.copies == expected.copies

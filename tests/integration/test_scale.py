@@ -1,0 +1,72 @@
+"""Scale tests: larger networks, multiple channels, dense groups."""
+
+import random
+
+import pytest
+
+from repro.core import HbhChannel
+from repro.core.static_driver import StaticHbh
+from repro.core.tables import ProtocolTiming
+from repro.netsim.network import Network
+from repro.routing.tables import UnicastRouting
+from repro.topology.hosts import attach_one_host_per_router
+from repro.topology.random_graphs import random_topology
+
+FAST = ProtocolTiming(join_period=50.0, tree_period=50.0, t1=130.0,
+                      t2=260.0)
+
+
+class TestDenseGroups:
+    def test_every_host_subscribed_static(self):
+        topology = random_topology(40, 120, seed=31)
+        hosts = attach_one_host_per_router(topology, seed=32)
+        driver = StaticHbh(topology, hosts[0],
+                           routing=UnicastRouting(topology))
+        for receiver in hosts[1:]:
+            driver.add_receiver(receiver)
+            driver.converge(max_rounds=100)
+        distribution = driver.distribute_data()
+        assert distribution.complete
+        assert len(distribution.delivered) == 39
+        assert not distribution.duplicated_links()
+        for receiver in hosts[1:]:
+            assert distribution.delays[receiver] == \
+                driver.routing.distance(hosts[0], receiver)
+
+
+class TestHundredNodeNetwork:
+    def test_event_driven_on_100_routers(self):
+        topology = random_topology(100, 300, seed=41)
+        hosts = attach_one_host_per_router(topology, seed=42)
+        network = Network(topology)
+        channel = HbhChannel(network, source_node=hosts[0], timing=FAST)
+        receivers = sorted(random.Random(43).sample(hosts[1:], 12))
+        for receiver in receivers:
+            channel.join(receiver)
+            channel.converge(periods=4)
+        channel.converge(periods=10)
+        distribution = channel.measure_data(settle_periods=3.0)
+        assert distribution.complete
+        assert not distribution.duplicated_links()
+
+
+class TestManyChannels:
+    def test_five_concurrent_channels(self):
+        topology = random_topology(30, 90, seed=51)
+        hosts = attach_one_host_per_router(topology, seed=52)
+        network = Network(topology)
+        rng = random.Random(53)
+        channels = []
+        for index in range(5):
+            source = hosts[index]
+            channel = HbhChannel(network, source_node=source, timing=FAST)
+            receivers = rng.sample(
+                [host for host in hosts if host != source], 5
+            )
+            for receiver in sorted(receivers):
+                channel.join(receiver)
+            channels.append(channel)
+        channels[0].converge(periods=18)  # shared simulator: runs all
+        for channel in channels:
+            distribution = channel.measure_data(settle_periods=2.0)
+            assert distribution.complete, channel.channel

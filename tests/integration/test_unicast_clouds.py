@@ -1,0 +1,100 @@
+"""Incremental deployment: HBH across unicast-only routers.
+
+"The ability to transparently support unicast routers is the main
+motivation of HBH" (Section 1).  Unicast-only routers cannot hold
+MCT/MFT state or branch packets, but they forward recursive-unicast
+data unmodified, so delivery must survive any capability pattern —
+at worst with extra copies where a branching point cannot be placed.
+"""
+
+import random
+
+import pytest
+
+from repro.core.static_driver import StaticHbh
+from repro.protocols.reunite.static_driver import StaticReunite
+from repro.routing.tables import UnicastRouting
+from repro.topology.isp import isp_receiver_candidates, isp_topology
+from repro.topology.random_graphs import star_topology
+
+
+class TestFullUnicastCloud:
+    def test_delivery_with_no_multicast_routers_at_all(self):
+        topology = isp_topology(seed=9)
+        for router in topology.routers:
+            topology.set_multicast_capable(router, False)
+        driver = StaticHbh(topology, 18)
+        receivers = [20, 25, 30]
+        for receiver in receivers:
+            driver.add_receiver(receiver)
+            driver.converge()
+        distribution = driver.distribute_data()
+        assert distribution.complete
+        # Pure unicast star from the source: delays are all optimal...
+        for receiver in receivers:
+            assert (distribution.delays[receiver]
+                    == driver.routing.distance(18, receiver))
+        # ...but there is no branching anywhere.
+        assert driver.branching_nodes() == []
+
+    def test_unicast_star_costs_more_than_multicast_tree(self):
+        unicast = isp_topology(seed=9)
+        for router in unicast.routers:
+            unicast.set_multicast_capable(router, False)
+        multicast = isp_topology(seed=9)
+        receivers = [20, 25, 30, 33]
+
+        def measure(topology):
+            driver = StaticHbh(topology, 18)
+            for receiver in receivers:
+                driver.add_receiver(receiver)
+                driver.converge()
+            return driver.distribute_data()
+
+        assert measure(unicast).copies >= measure(multicast).copies
+
+
+class TestPartialClouds:
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 0.75])
+    def test_random_unicast_fraction_still_delivers(self, fraction):
+        rng = random.Random(int(fraction * 100))
+        topology = isp_topology(seed=11)
+        disabled = rng.sample(topology.routers,
+                              int(len(topology.routers) * fraction))
+        for router in disabled:
+            topology.set_multicast_capable(router, False)
+        driver = StaticHbh(topology, 18)
+        receivers = rng.sample(isp_receiver_candidates(topology), 6)
+        for receiver in sorted(receivers):
+            driver.add_receiver(receiver)
+            driver.converge()
+        distribution = driver.distribute_data()
+        assert distribution.complete
+        # Unicast-only routers never appear as branching nodes.
+        assert not set(driver.branching_nodes()) & set(disabled)
+
+    def test_branching_migrates_around_unicast_router(self):
+        # Hub unicast-only, but a second capable router lies between
+        # the source and the hub: branching happens there... or at the
+        # source; either way both receivers are served.
+        topology = star_topology(4)
+        topology.set_multicast_capable(0, False)
+        driver = StaticHbh(topology, source=1)
+        for leaf in (2, 3):
+            driver.add_receiver(leaf)
+            driver.converge()
+        distribution = driver.distribute_data()
+        assert distribution.complete
+        assert distribution.copies_per_link()[(1, 0)] == 2
+
+
+class TestReuniteCloudSupport:
+    def test_reunite_also_survives_unicast_clouds(self):
+        topology = isp_topology(seed=13)
+        for router in (1, 3, 5, 7):
+            topology.set_multicast_capable(router, False)
+        driver = StaticReunite(topology, 18)
+        for receiver in (21, 27, 32):
+            driver.add_receiver(receiver)
+            driver.converge()
+        assert driver.distribute_data().complete

@@ -1,0 +1,63 @@
+"""Hypothesis strategies for random networks and groups."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.topology.model import Topology
+
+
+@st.composite
+def connected_topologies(draw, min_nodes=4, max_nodes=12,
+                         max_extra_links=10):
+    """A random connected all-router topology with asymmetric integer
+    costs in the paper's [1, 10] range.
+
+    Construction: a random spanning tree (every node links to a random
+    earlier node) plus a few random extra links.
+    """
+    n = draw(st.integers(min_nodes, max_nodes))
+    topology = Topology(name="hypothesis")
+    for node in range(n):
+        topology.add_router(node)
+    cost = st.integers(1, 10)
+    for node in range(1, n):
+        parent = draw(st.integers(0, node - 1))
+        topology.add_link(parent, node, draw(cost), draw(cost))
+    extra = draw(st.integers(0, max_extra_links))
+    for _ in range(extra):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b and not topology.has_link(a, b):
+            topology.add_link(a, b, draw(cost), draw(cost))
+    return topology
+
+
+@st.composite
+def topology_with_group(draw, min_nodes=4, max_nodes=12):
+    """A topology plus a source host and a nonempty receiver-host set.
+
+    Matches the paper's workload model: endpoints are hosts attached
+    to routers ("one receiver connected to each node"), never transit
+    routers themselves.  Several receivers may share a router — their
+    hosts are distinct.
+    """
+    topology = draw(connected_topologies(min_nodes, max_nodes))
+    routers = topology.routers
+    cost = st.integers(1, 10)
+    next_host = max(routers) + 1
+
+    source = next_host
+    topology.add_host(source, attached_to=draw(st.sampled_from(routers)),
+                      cost_up=draw(cost), cost_down=draw(cost))
+    next_host += 1
+
+    count = draw(st.integers(1, min(6, len(routers))))
+    receivers = []
+    for _ in range(count):
+        host = next_host
+        topology.add_host(host, attached_to=draw(st.sampled_from(routers)),
+                          cost_up=draw(cost), cost_down=draw(cost))
+        receivers.append(host)
+        next_host += 1
+    return topology, source, receivers

@@ -1,0 +1,109 @@
+"""Property-based dynamics invariants: departures and churn on random
+asymmetric networks.
+
+The paper's Fig. 4 claim as an invariant rather than an example:
+whatever the topology, costs and group, a member's departure must
+never change a surviving receiver's data path under HBH ("this is
+avoided in HBH"), and after churn both recursive-unicast protocols
+must serve exactly the current membership.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.static_driver import StaticHbh
+from repro.metrics.stability import paths_from_distribution
+from repro.protocols.reunite.static_driver import StaticReunite
+from repro.routing.tables import UnicastRouting
+from tests.property.strategies import topology_with_group
+
+COMMON = settings(max_examples=40, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+def converge(driver, receivers):
+    for receiver in receivers:
+        driver.add_receiver(receiver)
+        driver.converge(max_rounds=80)
+    return driver
+
+
+class TestHbhDepartureInvariants:
+    @COMMON
+    @given(topology_with_group(min_nodes=4, max_nodes=10))
+    def test_survivor_paths_never_change(self, case):
+        topology, source, receivers = case
+        driver = converge(
+            StaticHbh(topology, source, routing=UnicastRouting(topology)),
+            receivers,
+        )
+        before = paths_from_distribution(driver.distribute_data())
+        leaver = receivers[0]
+        driver.remove_receiver(leaver)
+        for _ in range(10):
+            driver.run_round()
+        after = paths_from_distribution(driver.distribute_data())
+        for survivor in receivers[1:]:
+            assert after[survivor] == before[survivor]
+
+    @COMMON
+    @given(topology_with_group(min_nodes=4, max_nodes=10))
+    def test_departed_receiver_stops_getting_data(self, case):
+        topology, source, receivers = case
+        driver = converge(
+            StaticHbh(topology, source, routing=UnicastRouting(topology)),
+            receivers,
+        )
+        leaver = receivers[0]
+        driver.remove_receiver(leaver)
+        for _ in range(10):
+            driver.run_round()
+        distribution = driver.distribute_data()
+        assert leaver not in distribution.delivered
+        assert distribution.delivered == set(receivers[1:])
+
+
+class TestChurnInvariants:
+    @COMMON
+    @given(topology_with_group(min_nodes=4, max_nodes=10),
+           st.randoms(use_true_random=False))
+    def test_hbh_serves_exactly_current_members(self, case, rng):
+        topology, source, receivers = case
+        driver = StaticHbh(topology, source,
+                           routing=UnicastRouting(topology))
+        members = set()
+        for receiver in receivers:
+            driver.add_receiver(receiver)
+            members.add(receiver)
+            for _ in range(rng.randint(1, 3)):
+                driver.run_round()
+            if members and rng.random() < 0.3:
+                gone = rng.choice(sorted(members))
+                driver.remove_receiver(gone)
+                members.discard(gone)
+        for _ in range(12):
+            driver.run_round()
+        distribution = driver.distribute_data()
+        assert distribution.delivered == members
+
+    @COMMON
+    @given(topology_with_group(min_nodes=4, max_nodes=9),
+           st.randoms(use_true_random=False))
+    def test_reunite_serves_exactly_current_members(self, case, rng):
+        topology, source, receivers = case
+        driver = StaticReunite(topology, source,
+                               routing=UnicastRouting(topology))
+        members = set()
+        for receiver in receivers:
+            driver.add_receiver(receiver)
+            members.add(receiver)
+            for _ in range(rng.randint(2, 4)):
+                driver.run_round()
+        if len(members) > 1:
+            gone = sorted(members)[0]
+            driver.remove_receiver(gone)
+            members.discard(gone)
+        for _ in range(14):
+            driver.run_round()
+        distribution = driver.distribute_data()
+        assert distribution.delivered == members

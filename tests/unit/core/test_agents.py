@@ -1,0 +1,138 @@
+"""Unit tests for the event-driven HBH agents (router/source/receiver)."""
+
+import pytest
+
+from repro.core import HbhChannel, ensure_hbh_routers
+from repro.core.router import HbhRouterAgent
+from repro.core.tables import ProtocolTiming
+from repro.errors import ChannelError
+from repro.netsim.network import Network
+from repro.topology.random_graphs import line_topology, star_topology
+
+FAST = ProtocolTiming(join_period=10.0, tree_period=10.0, t1=25.0, t2=50.0)
+
+
+@pytest.fixture
+def line_network():
+    return Network(line_topology(4))
+
+
+class TestEnsureRouters:
+    def test_attaches_once(self, line_network):
+        assert ensure_hbh_routers(line_network) == 4
+        assert ensure_hbh_routers(line_network) == 0
+
+    def test_skips_hosts_and_unicast_only(self):
+        from repro.topology.isp import isp_topology
+
+        topology = isp_topology(seed=1)
+        topology.set_multicast_capable(0, False)
+        network = Network(topology)
+        attached = ensure_hbh_routers(network)
+        assert attached == 17  # 18 routers minus the unicast-only one
+        assert not any(
+            isinstance(agent, HbhRouterAgent)
+            for agent in network.node(18).agents
+        )
+
+
+class TestChannelLifecycle:
+    def test_join_delivers_data(self, line_network):
+        channel = HbhChannel(line_network, source_node=0, timing=FAST)
+        receiver = channel.join(3)
+        channel.converge(periods=5)
+        distribution = channel.measure_data()
+        assert distribution.delays == {3: 3.0}
+        assert len(receiver.deliveries) == 1
+
+    def test_source_cannot_join_itself(self, line_network):
+        channel = HbhChannel(line_network, source_node=0, timing=FAST)
+        with pytest.raises(ChannelError):
+            channel.join(0)
+
+    def test_double_join_rejected(self, line_network):
+        channel = HbhChannel(line_network, source_node=0, timing=FAST)
+        channel.join(3)
+        with pytest.raises(ChannelError):
+            channel.join(3)
+
+    def test_leave_unknown_rejected(self, line_network):
+        channel = HbhChannel(line_network, source_node=0, timing=FAST)
+        with pytest.raises(ChannelError):
+            channel.leave(3)
+
+    def test_channel_identifier(self, line_network):
+        channel = HbhChannel(line_network, source_node=0, timing=FAST)
+        assert channel.channel.source == line_network.address_of(0)
+        assert channel.channel.group.is_ssm
+
+    def test_leave_stops_data(self, line_network):
+        channel = HbhChannel(line_network, source_node=0, timing=FAST)
+        channel.join(3)
+        channel.converge(periods=5)
+        channel.leave(3)
+        channel.converge(periods=8)  # soft state decays
+        distribution = channel.measure_data()
+        assert distribution.delays == {}
+        assert distribution.copies == 0
+
+
+class TestBranching:
+    def test_star_branches_at_hub(self):
+        network = Network(star_topology(5))
+        channel = HbhChannel(network, source_node=1, timing=FAST)
+        channel.join(2)
+        channel.converge(periods=4)
+        channel.join(3)
+        channel.converge(periods=10)
+        distribution = channel.measure_data()
+        assert distribution.complete
+        assert distribution.copies == 3
+        hub_agent = next(
+            agent for agent in network.node(0).agents
+            if isinstance(agent, HbhRouterAgent)
+        )
+        state = hub_agent.states[channel.channel]
+        assert state.mft is not None
+
+    def test_duplicate_data_suppressed_at_receiver(self, line_network):
+        channel = HbhChannel(line_network, source_node=0, timing=FAST)
+        receiver = channel.join(3)
+        channel.converge(periods=5)
+        channel.measure_data()
+        channel.measure_data()
+        sequences = [d.sequence for d in receiver.deliveries]
+        assert sequences == sorted(set(sequences))  # no duplicates kept
+
+
+class TestSoftStateHousekeeping:
+    def test_router_state_expires_after_leave(self):
+        network = Network(line_topology(4))
+        channel = HbhChannel(network, source_node=0, timing=FAST)
+        channel.join(3)
+        channel.converge(periods=5)
+        agent = next(a for a in network.node(1).agents
+                     if isinstance(a, HbhRouterAgent))
+        assert channel.channel in agent.states
+        channel.leave(3)
+        channel.converge(periods=10)
+        assert channel.channel not in agent.states
+
+
+class TestMultipleChannels:
+    def test_two_sources_share_router_agents(self):
+        network = Network(line_topology(5))
+        first = HbhChannel(network, source_node=0, timing=FAST)
+        second = HbhChannel(network, source_node=4, timing=FAST)
+        first.join(4 - 1)
+        second.join(1)
+        first.converge(periods=6)
+        d1 = first.measure_data()
+        d2 = second.measure_data()
+        assert d1.delays == {3: 3.0}
+        assert d2.delays == {1: 3.0}
+        # Exactly one router agent per router despite two channels.
+        for node_id in (1, 2, 3):
+            agents = [a for a in network.node(node_id).agents
+                      if isinstance(a, HbhRouterAgent)]
+            assert len(agents) == 1

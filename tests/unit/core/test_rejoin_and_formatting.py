@@ -1,0 +1,87 @@
+"""Explicit re-join lifecycle tests and message formatting checks."""
+
+import pytest
+
+from repro.core import HbhChannel
+from repro.core.messages import FusionMessage, JoinMessage, TreeMessage
+from repro.core.tables import ProtocolTiming
+from repro.netsim.network import Network
+from repro.protocols.reunite.messages import ReuniteJoin, ReuniteTree
+from repro.protocols.reunite.session import ReuniteSession
+from repro.topology.random_graphs import line_topology
+
+FAST = ProtocolTiming(join_period=50.0, tree_period=50.0, t1=130.0,
+                      t2=260.0)
+
+
+class TestHbhRejoin:
+    def test_leave_then_rejoin_restores_service(self):
+        network = Network(line_topology(4))
+        channel = HbhChannel(network, source_node=0, timing=FAST)
+        first_agent = channel.join(3)
+        channel.converge(periods=6)
+        channel.leave(3)
+        channel.converge(periods=10)
+        assert channel.measure_data().copies == 0
+
+        rejoined_agent = channel.join(3)
+        # The agent is reused, not duplicated on the node.
+        assert rejoined_agent is first_agent
+        agents_on_node = [a for a in network.node(3).agents
+                          if type(a).__name__ == "HbhReceiverAgent"]
+        assert len(agents_on_node) == 1
+        channel.converge(periods=6)
+        assert channel.measure_data().delays == {3: 3.0}
+
+    def test_unjoined_agent_does_not_eat_data(self):
+        # The zombie-agent regression: data for a re-joined receiver
+        # must reach the live subscription even if an old, unjoined
+        # agent of the same channel sits earlier in the agent list.
+        from repro.core.receiver import HbhReceiverAgent
+
+        network = Network(line_topology(3))
+        channel = HbhChannel(network, source_node=0, timing=FAST)
+        zombie = HbhReceiverAgent(None, timing=FAST)  # never joined
+        channel.join(2)
+        zombie.channel = channel.channel
+        network.node(2).agents.insert(0, zombie)
+        zombie.attached(network.node(2))
+        channel.converge(periods=6)
+        distribution = channel.measure_data()
+        assert distribution.delays == {2: 2.0}
+        assert zombie.deliveries == []
+
+
+class TestReuniteRejoin:
+    def test_leave_then_rejoin(self):
+        network = Network(line_topology(4))
+        session = ReuniteSession(network, source_node=0, timing=FAST)
+        agent = session.join(3)
+        session.converge(periods=6)
+        session.leave(3)
+        session.converge(periods=12)
+        assert session.measure_data().copies == 0
+        assert session.join(3) is agent
+        session.converge(periods=8)
+        assert session.measure_data().delays == {3: 3.0}
+
+
+class TestMessageFormatting:
+    def test_hbh_messages(self):
+        channel = ("hbh", "S")
+        assert str(JoinMessage(channel, "r1")) == "join(('hbh', 'S'), r1)"
+        assert str(JoinMessage(channel, "r1", initial=True)).startswith(
+            "join*")
+        assert "tree" in str(TreeMessage(channel, "r1"))
+        fusion = FusionMessage(channel, ("r1", "r2"), sender="b")
+        assert "r1, r2" in str(fusion)
+        assert "from b" in str(fusion)
+
+    def test_reunite_messages(self):
+        channel = ("reunite", "S")
+        assert str(ReuniteJoin(channel, "r1")).startswith("join(")
+        assert str(ReuniteJoin(channel, "r1", initial=True)).startswith(
+            "join*")
+        assert str(ReuniteTree(channel, "r1", marked=True)).startswith(
+            "tree!")
+        assert str(ReuniteTree(channel, "r1")).startswith("tree(")

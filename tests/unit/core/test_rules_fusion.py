@@ -1,0 +1,142 @@
+"""Rule-by-rule coverage of Appendix A fusion processing (Fig. 9(b))."""
+
+import pytest
+
+from repro.core.messages import FusionMessage
+from repro.core.rules import (
+    Consume,
+    Forward,
+    process_fusion,
+    process_fusion_at_source,
+)
+from repro.core.tables import HbhChannelState, Mft, ProtocolTiming
+
+T = ProtocolTiming(join_period=1.0, tree_period=1.0, t1=2.5, t2=4.5)
+CH = ("hbh", "S")
+
+
+def branching_state(*receivers, now=1.0, upstream="up"):
+    state = HbhChannelState()
+    state.mft = Mft()
+    for receiver in receivers:
+        state.mft.add(receiver, now)
+    state.upstream = upstream
+    return state
+
+
+def fusion(*receivers, sender="bp"):
+    return FusionMessage(CH, tuple(receivers), sender=sender)
+
+
+class TestFusionRule1:
+    def test_non_branching_relays(self):
+        state = HbhChannelState()
+        actions = process_fusion(state, fusion("r1"), 1.0,
+                                 arrived_from="down")
+        assert actions == [Forward()]
+
+    def test_no_common_receivers_relays(self):
+        state = branching_state("rX")
+        actions = process_fusion(state, fusion("r1", "r2"), 1.0,
+                                 arrived_from="down")
+        assert actions == [Forward()]
+        assert "bp" not in state.mft  # no adoption without marking
+
+
+class TestFusionRules2to4:
+    def test_common_receivers_marked_and_sender_adopted(self):
+        state = branching_state("r1", "r2", "r3")
+        actions = process_fusion(state, fusion("r1", "r3"), 2.0,
+                                 arrived_from="down")
+        assert actions == [Consume()]
+        assert state.mft.get("r1").marked
+        assert state.mft.get("r3").marked
+        assert not state.mft.get("r2").marked
+        adopted = state.mft.get("bp")
+        assert adopted is not None
+        assert adopted.is_stale(2.0, T)       # rule 3: t1 kept expired
+        assert adopted.forwards_data(2.0, T)  # data flows to Bp
+
+    def test_partial_overlap_marks_present_only(self):
+        state = branching_state("r1")
+        process_fusion(state, fusion("r1", "r9"), 2.0, arrived_from="down")
+        assert state.mft.get("r1").marked
+        assert "r9" not in state.mft
+
+    def test_rule4_keep_alive_refreshes_t2_only(self):
+        state = branching_state("r1")
+        state.mft.add("bp", 0.0, forced_stale=True)
+        process_fusion(state, fusion("r1"), 3.0, arrived_from="down")
+        entry = state.mft.get("bp")
+        assert entry.is_stale(3.0, T)            # stays stale
+        assert not entry.is_dead(7.0, T)         # but t2 restarted
+
+    def test_fresh_sender_stays_fresh(self):
+        # A join-refreshed fresh Bp entry must not be forced back to
+        # stale by later fusions (tree messages keep flowing to it).
+        state = branching_state("r1")
+        state.mft.add("bp", 2.9)
+        process_fusion(state, fusion("r1"), 3.0, arrived_from="down")
+        assert not state.mft.get("bp").is_stale(3.0, T)
+
+
+class TestUpstreamInterfaceGuard:
+    def test_fusion_from_upstream_is_relayed(self):
+        # An ancestor's fusion in transit on an asymmetric reverse
+        # route must not be intercepted — otherwise parent and child
+        # adopt each other and data loops (see rules.py docstring).
+        state = branching_state("r1", upstream="parent")
+        actions = process_fusion(state, fusion("r1"), 1.0,
+                                 arrived_from="parent")
+        assert actions == [Forward()]
+        assert not state.mft.get("r1").marked
+
+    def test_fusion_from_descendant_is_processed(self):
+        state = branching_state("r1", upstream="parent")
+        actions = process_fusion(state, fusion("r1"), 1.0,
+                                 arrived_from="child")
+        assert actions == [Consume()]
+
+    def test_unknown_arrival_direction_processed(self):
+        state = branching_state("r1", upstream="parent")
+        actions = process_fusion(state, fusion("r1"), 1.0)
+        assert actions == [Consume()]
+
+
+class TestFusionAtSource:
+    def test_marks_and_adopts(self):
+        mft = Mft()
+        mft.add("r1", 1.0)
+        mft.add("r3", 1.0)
+        actions = process_fusion_at_source(mft, fusion("r1", "r3",
+                                                       sender="h1"), 2.0)
+        assert actions == [Consume()]
+        assert mft.get("r1").marked and mft.get("r3").marked
+        assert mft.get("h1").is_stale(2.0, T)
+
+    def test_no_overlap_consumed_without_adoption(self):
+        mft = Mft()
+        actions = process_fusion_at_source(mft, fusion("r9"), 2.0)
+        assert actions == [Consume()]
+        assert len(mft) == 0
+
+    def test_repeat_fusion_keeps_sender_alive(self):
+        mft = Mft()
+        mft.add("r1", 1.0)
+        process_fusion_at_source(mft, fusion("r1", sender="h1"), 2.0)
+        process_fusion_at_source(mft, fusion("r1", sender="h1"), 3.0)
+        assert mft.get("h1").refreshed_at == 3.0
+        assert mft.get("h1").is_stale(3.0, T)
+
+    def test_fresh_sender_not_demoted_at_source(self):
+        mft = Mft()
+        mft.add("r1", 1.0)
+        mft.add("h1", 2.9)  # fresh via join(S, h1)
+        process_fusion_at_source(mft, fusion("r1", sender="h1"), 3.0)
+        assert not mft.get("h1").is_stale(3.0, T)
+
+
+class TestFusionMessageValidation:
+    def test_empty_receiver_list_rejected(self):
+        with pytest.raises(ValueError):
+            FusionMessage(CH, (), sender="bp")

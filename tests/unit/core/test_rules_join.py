@@ -1,0 +1,104 @@
+"""Rule-by-rule coverage of Appendix A join processing (Fig. 9(a))."""
+
+import pytest
+
+from repro.core.messages import JoinMessage
+from repro.core.rules import (
+    Consume,
+    Forward,
+    OriginateJoin,
+    process_join,
+    process_join_at_source,
+)
+from repro.core.tables import HbhChannelState, Mct, Mft, ProtocolTiming
+
+T = ProtocolTiming(join_period=1.0, tree_period=1.0, t1=2.5, t2=4.5)
+CH = ("hbh", "S")
+
+
+def branching_state(*receivers, now=0.0):
+    state = HbhChannelState()
+    state.mft = Mft()
+    for receiver in receivers:
+        state.mft.add(receiver, now)
+    return state
+
+
+class TestJoinRule1:
+    def test_no_mft_forwards_unchanged(self):
+        state = HbhChannelState()
+        actions = process_join(state, JoinMessage(CH, "r1"), "B", 1.0, T)
+        assert actions == [Forward()]
+
+    def test_mct_only_also_forwards(self):
+        state = HbhChannelState()
+        state.mct = Mct("r1", 0.0)
+        actions = process_join(state, JoinMessage(CH, "r1"), "B", 1.0, T)
+        assert actions == [Forward()]
+        # And the MCT is untouched: joins never refresh MCTs.
+        assert state.mct.entry.refreshed_at == 0.0
+
+
+class TestJoinRule2:
+    def test_unknown_receiver_forwards(self):
+        state = branching_state("r1")
+        actions = process_join(state, JoinMessage(CH, "r2"), "B", 1.0, T)
+        assert actions == [Forward()]
+        assert "r2" not in state.mft
+
+
+class TestJoinRule3:
+    def test_known_receiver_intercepted(self):
+        state = branching_state("r1")
+        actions = process_join(state, JoinMessage(CH, "r1"), "B", 1.0, T)
+        assert Consume() in actions
+        assert OriginateJoin(joiner="B") in actions
+
+    def test_interception_refreshes_entry(self):
+        state = branching_state("r1")
+        process_join(state, JoinMessage(CH, "r1"), "B", 3.0, T)
+        assert state.mft.get("r1").refreshed_at == 3.0
+
+    def test_interception_unfreezes_forced_stale(self):
+        # Appendix A: "the Bp entry in B's MFT is refreshed by the
+        # join(S, Bp)" — tree messages flow to Bp again.
+        state = HbhChannelState()
+        state.mft = Mft()
+        state.mft.add("bp", 0.0, forced_stale=True)
+        process_join(state, JoinMessage(CH, "bp"), "B", 1.0, T)
+        assert not state.mft.get("bp").is_stale(1.0, T)
+
+
+class TestFirstJoinNeverIntercepted:
+    def test_initial_join_passes_matching_mft(self):
+        # Section 3.1: "the first join issued by a receiver is never
+        # intercepted, reaching the source".
+        state = branching_state("r1")
+        actions = process_join(
+            state, JoinMessage(CH, "r1", initial=True), "B", 1.0, T
+        )
+        assert actions == [Forward()]
+        assert state.mft.get("r1").refreshed_at == 0.0
+
+
+class TestJoinAtSource:
+    def test_new_receiver_added_fresh(self):
+        mft = Mft()
+        actions = process_join_at_source(mft, JoinMessage(CH, "r1"), 1.0)
+        assert actions == [Consume()]
+        assert "r1" in mft
+        assert not mft.get("r1").is_stale(1.0, T)
+
+    def test_existing_receiver_refreshed(self):
+        mft = Mft()
+        mft.add("r1", 0.0)
+        process_join_at_source(mft, JoinMessage(CH, "r1"), 2.0)
+        assert mft.get("r1").refreshed_at == 2.0
+
+    def test_refresh_keeps_mark_at_source(self):
+        # Fig. 3 steady state: join(S, r1) refreshes S's marked r1
+        # entry but the entry must stay marked (no direct data).
+        mft = Mft()
+        mft.add("r1", 0.0, marked=True)
+        process_join_at_source(mft, JoinMessage(CH, "r1"), 2.0)
+        assert mft.get("r1").marked

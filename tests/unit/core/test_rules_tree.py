@@ -1,0 +1,158 @@
+"""Rule-by-rule coverage of Appendix A tree processing (Fig. 9(c))."""
+
+import pytest
+
+from repro.core.messages import TreeMessage
+from repro.core.rules import (
+    Consume,
+    Forward,
+    OriginateFusion,
+    OriginateTree,
+    process_tree,
+)
+from repro.core.tables import HbhChannelState, Mct, Mft, ProtocolTiming
+
+T = ProtocolTiming(join_period=1.0, tree_period=1.0, t1=2.5, t2=4.5)
+CH = ("hbh", "S")
+
+
+def run(state, target, self_addr="B", now=1.0, arrived_from="up"):
+    return process_tree(state, TreeMessage(CH, target), self_addr, now, T,
+                        arrived_from=arrived_from)
+
+
+class TestTreeRule1:
+    def test_addressed_to_branching_node_regenerates(self):
+        state = HbhChannelState()
+        state.mft = Mft()
+        state.mft.add("r1", 1.0)
+        state.mft.add("r2", 1.0)
+        actions = run(state, target="B")
+        assert Consume() in actions
+        assert OriginateTree(target="r1") in actions
+        assert OriginateTree(target="r2") in actions
+        assert not any(isinstance(a, Forward) for a in actions)
+
+    def test_stale_entries_get_no_tree(self):
+        state = HbhChannelState()
+        state.mft = Mft()
+        state.mft.add("fresh", 1.0)
+        state.mft.add("stale", 1.0, forced_stale=True)
+        actions = run(state, target="B")
+        assert OriginateTree(target="fresh") in actions
+        assert OriginateTree(target="stale") not in actions
+
+    def test_marked_entries_still_get_tree(self):
+        state = HbhChannelState()
+        state.mft = Mft()
+        state.mft.add("marked", 1.0, marked=True)
+        actions = run(state, target="B")
+        assert OriginateTree(target="marked") in actions
+
+
+class TestTreeRule2:
+    def test_new_target_added_and_fusion_sent(self):
+        state = HbhChannelState()
+        state.mft = Mft()
+        state.mft.add("r1", 1.0)
+        actions = run(state, target="r2")
+        assert Forward() in actions
+        assert "r2" in state.mft
+        fusion = next(a for a in actions if isinstance(a, OriginateFusion))
+        # The fusion lists all MFT entries (Appendix A).
+        assert set(fusion.receivers) == {"r1", "r2"}
+
+
+class TestTreeRule3:
+    def test_known_target_refreshed_and_fusion_sent(self):
+        state = HbhChannelState()
+        state.mft = Mft()
+        state.mft.add("r1", 0.0)
+        actions = run(state, target="r1", now=2.0)
+        assert Forward() in actions
+        assert state.mft.get("r1").refreshed_at == 2.0
+        assert any(isinstance(a, OriginateFusion) for a in actions)
+
+
+class TestTreeRule4:
+    def test_off_tree_router_creates_mct(self):
+        state = HbhChannelState()
+        actions = run(state, target="r1")
+        assert actions == [Forward()]
+        assert state.mct is not None
+        assert state.mct.entry.address == "r1"
+
+
+class TestTreeRules5and6:
+    def test_matching_mct_refreshed(self):
+        state = HbhChannelState()
+        state.mct = Mct("r1", 0.0)
+        actions = run(state, target="r1", now=2.0)
+        assert actions == [Forward()]
+        assert state.mct.entry.refreshed_at == 2.0
+
+
+class TestTreeRule7:
+    def test_stale_mct_replaced(self):
+        state = HbhChannelState()
+        state.mct = Mct("r1", 0.0)
+        actions = run(state, target="r2", now=3.0)  # r1 stale at t1=2.5
+        assert actions == [Forward()]
+        assert state.mct is not None
+        assert state.mct.entry.address == "r2"
+        assert state.mft is None  # no branching from a stale entry
+
+
+class TestTreeRule8:
+    def test_fresh_mct_with_second_target_branches(self):
+        state = HbhChannelState()
+        state.mct = Mct("r1", 0.5)
+        actions = run(state, target="r2", now=1.0)
+        assert state.mct is None
+        assert state.mft is not None
+        assert state.mft.addresses() == ["r1", "r2"]
+        fusion = next(a for a in actions if isinstance(a, OriginateFusion))
+        assert set(fusion.receivers) == {"r1", "r2"}
+
+    def test_branching_preserves_original_freshness(self):
+        state = HbhChannelState()
+        state.mct = Mct("r1", 0.5)
+        run(state, target="r2", now=1.0)
+        assert state.mft.get("r1").refreshed_at == 0.5
+        assert state.mft.get("r2").refreshed_at == 1.0
+
+
+class TestTreeAddressedToNonBranchingSelf:
+    def test_consumed_without_state(self):
+        # A tree message reaching its (receiver) target node: consumed
+        # there, no table state created.
+        state = HbhChannelState()
+        actions = run(state, target="B", self_addr="B")
+        assert actions == [Consume()]
+        assert state.mct is None
+
+    def test_consumed_with_mct_untouched(self):
+        state = HbhChannelState()
+        state.mct = Mct("r2", 0.0)
+        actions = run(state, target="B", self_addr="B")
+        assert actions == [Consume()]
+        assert state.mct.entry.address == "r2"
+
+
+class TestUpstreamLearning:
+    def test_tree_arrival_records_upstream(self):
+        state = HbhChannelState()
+        run(state, target="r1", arrived_from="parent")
+        assert state.upstream == "parent"
+
+    def test_later_arrival_overwrites(self):
+        state = HbhChannelState()
+        run(state, target="r1", arrived_from="p1")
+        run(state, target="r1", arrived_from="p2")
+        assert state.upstream == "p2"
+
+    def test_none_does_not_overwrite(self):
+        state = HbhChannelState()
+        run(state, target="r1", arrived_from="p1")
+        process_tree(state, TreeMessage(CH, "r1"), "B", 2.0, T)
+        assert state.upstream == "p1"

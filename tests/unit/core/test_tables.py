@@ -1,0 +1,215 @@
+"""Unit tests for the HBH MCT/MFT tables and soft-state semantics."""
+
+import pytest
+
+from repro.core.tables import (
+    HbhChannelState,
+    Mct,
+    Mft,
+    MftEntry,
+    ProtocolTiming,
+    ROUND_TIMING,
+)
+
+T = ProtocolTiming(join_period=1.0, tree_period=1.0, t1=2.5, t2=4.5)
+
+
+class TestProtocolTiming:
+    def test_defaults_valid(self):
+        ProtocolTiming()
+
+    def test_t1_must_exceed_periods(self):
+        with pytest.raises(ValueError):
+            ProtocolTiming(join_period=100, tree_period=100, t1=50, t2=500)
+
+    def test_t2_must_exceed_t1(self):
+        with pytest.raises(ValueError):
+            ProtocolTiming(join_period=1, tree_period=1, t1=3, t2=3)
+
+    def test_periods_positive(self):
+        with pytest.raises(ValueError):
+            ProtocolTiming(join_period=0)
+
+    def test_round_timing_constants(self):
+        assert ROUND_TIMING.t1 == 2.5
+        assert ROUND_TIMING.t2 == 4.5
+
+
+class TestMftEntry:
+    def test_fresh_entry_serves_both_planes(self):
+        entry = MftEntry("r1", refreshed_at=0.0)
+        assert entry.forwards_tree(1.0, T)
+        assert entry.forwards_data(1.0, T)
+
+    def test_t1_expiry_makes_stale(self):
+        entry = MftEntry("r1", refreshed_at=0.0)
+        assert entry.is_stale(2.5, T)
+        assert not entry.is_stale(2.0, T)
+
+    def test_stale_forwards_data_not_tree(self):
+        # "A stale entry is used for data forwarding but produces no
+        # downstream tree message" (Section 3.1).
+        entry = MftEntry("r1", refreshed_at=0.0)
+        assert not entry.forwards_tree(3.0, T)
+        assert entry.forwards_data(3.0, T)
+
+    def test_marked_forwards_tree_not_data(self):
+        # "A marked entry is used to forward tree messages but not for
+        # data forwarding" (Section 3.1).
+        entry = MftEntry("r1", refreshed_at=0.0, marked_at=0.0)
+        assert entry.forwards_tree(1.0, T)
+        assert not entry.forwards_data(1.0, T)
+
+    def test_t2_expiry_kills(self):
+        entry = MftEntry("r1", refreshed_at=0.0)
+        assert entry.is_dead(4.5, T)
+        assert not entry.forwards_data(4.5, T)
+
+    def test_forced_stale(self):
+        entry = MftEntry("r1", refreshed_at=0.0, forced_stale=True)
+        assert entry.is_stale(0.0, T)
+        assert entry.forwards_data(0.0, T)
+
+    def test_join_refresh_clears_forced_stale(self):
+        entry = MftEntry("r1", refreshed_at=0.0, forced_stale=True)
+        entry.refresh_by_join(1.0)
+        assert not entry.is_stale(1.0, T)
+        assert entry.refreshed_at == 1.0
+
+    def test_join_refresh_keeps_mark(self):
+        # Fig. 3 steady state: the source's marked entries are
+        # join-refreshed forever yet stay marked (no data to them).
+        entry = MftEntry("r1", refreshed_at=0.0, marked_at=0.0)
+        entry.refresh_by_join(1.0)
+        assert entry.marked
+
+    def test_mark_is_soft_state(self):
+        # A mark is only valid while fusions keep confirming it: if the
+        # claimed serving branch dies (e.g. link failure), the mark
+        # expires after t1 and data flows directly again.
+        entry = MftEntry("r1", refreshed_at=0.0, marked_at=0.0)
+        assert entry.is_marked(1.0, T)
+        assert not entry.forwards_data(1.0, T)
+        entry.refresh_by_join(3.0)       # entry alive, mark unconfirmed
+        assert not entry.is_marked(3.0, T)
+        assert entry.forwards_data(3.0, T)
+
+    def test_fusion_reconfirms_mark(self):
+        entry = MftEntry("r1", refreshed_at=0.0, marked_at=0.0)
+        entry.mark(2.0)                  # the periodic fusion arrives
+        entry.refresh_by_join(2.0)
+        assert entry.is_marked(3.0, T)
+
+    def test_tree_refresh_keeps_forced_stale(self):
+        entry = MftEntry("r1", refreshed_at=0.0, forced_stale=True)
+        entry.refresh_by_tree(1.0)
+        assert entry.forced_stale
+
+    def test_keep_alive_stale(self):
+        entry = MftEntry("b", refreshed_at=0.0, forced_stale=True)
+        entry.keep_alive_stale(3.0)
+        assert entry.is_stale(3.0, T)
+        assert not entry.is_dead(7.0, T)
+
+
+class TestMft:
+    def test_add_and_lookup(self):
+        mft = Mft()
+        mft.add("r1", 0.0)
+        assert "r1" in mft
+        assert mft.get("r1").address == "r1"
+        assert mft.get("r2") is None
+
+    def test_duplicate_add_rejected(self):
+        mft = Mft()
+        mft.add("r1", 0.0)
+        with pytest.raises(KeyError):
+            mft.add("r1", 1.0)
+
+    def test_insertion_order_preserved(self):
+        mft = Mft()
+        for address in ("c", "a", "b"):
+            mft.add(address, 0.0)
+        assert mft.addresses() == ["c", "a", "b"]
+
+    def test_expire_removes_dead(self):
+        mft = Mft()
+        mft.add("old", 0.0)
+        mft.add("new", 3.0)
+        dead = mft.expire(5.0, T)
+        assert [e.address for e in dead] == ["old"]
+        assert mft.addresses() == ["new"]
+
+    def test_tree_targets_skip_stale(self):
+        mft = Mft()
+        mft.add("fresh", 3.0)
+        mft.add("stale", 3.0, forced_stale=True)
+        assert mft.tree_targets(3.0, T) == ["fresh"]
+
+    def test_data_targets_skip_marked(self):
+        mft = Mft()
+        mft.add("plain", 3.0)
+        mft.add("marked", 3.0, marked=True)
+        mft.add("stale", 3.0, forced_stale=True)
+        assert mft.data_targets(3.0, T) == ["plain", "stale"]
+
+    def test_remove(self):
+        mft = Mft()
+        mft.add("r1", 0.0)
+        mft.remove("r1")
+        assert len(mft) == 0
+        with pytest.raises(KeyError):
+            mft.remove("r1")
+
+    def test_repr_flags(self):
+        mft = Mft()
+        mft.add("m", 0.0, marked=True)
+        mft.add("s", 0.0, forced_stale=True)
+        text = repr(mft)
+        assert "m!m" in text and "s!s" in text
+
+
+class TestMct:
+    def test_single_entry_lifecycle(self):
+        mct = Mct("r1", 0.0)
+        assert not mct.is_stale(2.0, T)
+        assert mct.is_stale(2.5, T)
+        assert mct.is_dead(4.5, T)
+
+    def test_refresh(self):
+        mct = Mct("r1", 0.0)
+        mct.refresh(2.0)
+        assert not mct.is_stale(4.0, T)
+
+    def test_replace(self):
+        mct = Mct("r1", 0.0)
+        mct.replace("r2", 3.0)
+        assert mct.entry.address == "r2"
+        assert not mct.is_stale(3.0, T)
+
+
+class TestHbhChannelState:
+    def test_mct_xor_mft_invariant_exposed(self):
+        state = HbhChannelState()
+        assert not state.in_tree
+        state.mct = Mct("r1", 0.0)
+        assert state.in_tree and not state.is_branching
+        state.mct = None
+        state.mft = Mft()
+        state.mft.add("r1", 0.0)
+        assert state.is_branching
+
+    def test_expire_clears_empty_tables(self):
+        state = HbhChannelState()
+        state.mft = Mft()
+        state.mft.add("r1", 0.0)
+        removed = state.expire(10.0, T)
+        assert removed == ["r1"]
+        assert state.mft is None
+        assert not state.in_tree
+
+    def test_expire_dead_mct(self):
+        state = HbhChannelState()
+        state.mct = Mct("r1", 0.0)
+        assert state.expire(10.0, T) == ["r1"]
+        assert state.mct is None

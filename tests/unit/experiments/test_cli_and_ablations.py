@@ -1,0 +1,84 @@
+"""Unit tests for the CLI entry point and the ablation sweeps."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.ablations import (
+    asymmetry_sweep,
+    connectivity_sweep,
+    rp_placement_sweep,
+    unicast_cloud_sweep,
+)
+
+
+class TestCli:
+    def test_single_figure(self, capsys):
+        assert main(["fig7a", "--runs", "2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out
+        assert "tree cost" in out
+        assert "elapsed" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig8a.csv"
+        assert main(["fig8a", "--runs", "2", "--quiet",
+                     "--csv", str(csv_path)]) == 0
+        content = csv_path.read_text()
+        assert content.startswith("figure,topology")
+        assert "fig8a" in content
+
+    def test_bad_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_progress_goes_to_stderr(self, capsys):
+        main(["fig7a", "--runs", "2"])
+        err = capsys.readouterr().err
+        assert "runs" in err
+
+
+class TestAsymmetrySweep:
+    def test_symmetric_point_has_no_gap(self):
+        points = asymmetry_sweep(spreads=(0.0,), group_size=4, runs=4)
+        by_protocol = {p.protocol: p for p in points}
+        assert by_protocol["hbh"].mean_delay == pytest.approx(
+            by_protocol["reunite"].mean_delay, rel=0.02
+        )
+
+    def test_returns_point_per_protocol_per_spread(self):
+        points = asymmetry_sweep(spreads=(0.0, 1.0), group_size=3,
+                                 runs=2)
+        assert len(points) == 4
+
+
+class TestUnicastCloudSweep:
+    def test_paired_design_monotone_cost(self):
+        points = unicast_cloud_sweep(fractions=(0.0, 1.0), group_size=4,
+                                     runs=4)
+        by_fraction = {p.parameter: p for p in points}
+        assert (by_fraction[1.0].mean_cost_copies
+                >= by_fraction[0.0].mean_cost_copies)
+
+    def test_delay_invariant_to_capability(self):
+        points = unicast_cloud_sweep(fractions=(0.0, 1.0), group_size=4,
+                                     runs=4)
+        by_fraction = {p.parameter: p for p in points}
+        assert by_fraction[1.0].mean_delay == pytest.approx(
+            by_fraction[0.0].mean_delay, abs=1e-9
+        )
+
+
+class TestRpSweep:
+    def test_all_strategies_measured(self):
+        results = rp_placement_sweep(strategies=("first", "median"),
+                                     group_size=4, runs=3)
+        assert set(results) == {"first", "median"}
+        for cost, delay in results.values():
+            assert cost > 0 and delay > 0
+
+
+class TestConnectivitySweep:
+    def test_points_per_alpha(self):
+        points = connectivity_sweep(alphas=(0.5,), num_nodes=12,
+                                    group_size=3, runs=2)
+        assert {p.protocol for p in points} == {"reunite", "hbh"}

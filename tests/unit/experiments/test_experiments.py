@@ -1,0 +1,163 @@
+"""Unit tests for the experiment harness, reporting, and claims."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.claims import check_claims
+from repro.experiments.config import (
+    FIGURE_CONFIGS,
+    SweepConfig,
+    make_isp_setup,
+    make_random50_setup,
+)
+from repro.experiments.figures import figure_config, run_figure
+from repro.experiments.harness import run_single, run_sweep
+from repro.experiments.report import (
+    render_ascii_plot,
+    render_ci_table,
+    render_table,
+    to_csv,
+)
+
+
+class TestConfig:
+    def test_figure_configs_cover_the_paper(self):
+        assert set(FIGURE_CONFIGS) == {"fig7a", "fig7b", "fig8a", "fig8b"}
+        assert FIGURE_CONFIGS["fig7a"].topology == "isp"
+        assert FIGURE_CONFIGS["fig7b"].topology == "random50"
+        assert max(FIGURE_CONFIGS["fig7a"].group_sizes) == 16
+        assert max(FIGURE_CONFIGS["fig7b"].group_sizes) == 45
+
+    def test_paper_run_count_default(self):
+        assert FIGURE_CONFIGS["fig7a"].runs == 500
+
+    def test_with_runs(self):
+        config = FIGURE_CONFIGS["fig7a"].with_runs(7)
+        assert config.runs == 7
+        assert FIGURE_CONFIGS["fig7a"].runs == 500  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            SweepConfig(name="bad", topology="nope")
+        with pytest.raises(ExperimentError):
+            SweepConfig(name="bad", runs=0)
+        with pytest.raises(ExperimentError):
+            SweepConfig(name="bad", group_sizes=())
+
+    def test_isp_setup(self):
+        setup = make_isp_setup(1)
+        assert setup.source == 18
+        assert len(setup.candidates) == 17
+
+    def test_random50_setup(self):
+        setup = make_random50_setup(1)
+        assert len(setup.candidates) == 49
+        assert setup.source not in setup.candidates
+
+    def test_unknown_figure(self):
+        with pytest.raises(ExperimentError):
+            figure_config("fig99")
+
+
+SMALL = SweepConfig(name="small", topology="isp", group_sizes=(2, 4),
+                    runs=3, seed=7)
+
+
+class TestHarness:
+    def test_run_single_measures_all_protocols(self):
+        distributions = run_single(SMALL, group_size=3, run_index=0)
+        assert set(distributions) == {"pim-sm", "pim-ss", "reunite", "hbh"}
+        for distribution in distributions.values():
+            assert distribution.complete
+            assert len(distribution.expected) == 3
+
+    def test_run_single_is_deterministic(self):
+        first = run_single(SMALL, 3, 0)
+        second = run_single(SMALL, 3, 0)
+        assert first["hbh"].transmissions == second["hbh"].transmissions
+        assert first["hbh"].delays == second["hbh"].delays
+
+    def test_distinct_runs_differ(self):
+        first = run_single(SMALL, 3, 0)
+        second = run_single(SMALL, 3, 1)
+        assert (first["hbh"].delays != second["hbh"].delays
+                or first["hbh"].transmissions != second["hbh"].transmissions)
+
+    def test_oversized_group_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_single(SMALL, 18, 0)  # only 17 candidates
+
+    def test_run_sweep_structure(self):
+        result = run_sweep(SMALL)
+        assert len(result.points) == 2 * 4  # sizes x protocols
+        summary = result.summary(2, "hbh")
+        assert summary.delay.n == 3
+        assert result.elapsed_seconds > 0
+
+    def test_series_and_advantage(self):
+        result = run_sweep(SMALL)
+        series = result.series("hbh", "delay")
+        assert [n for n, _ in series] == [2, 4]
+        advantage = result.mean_advantage("hbh", "pim-sm", "delay")
+        assert -1.0 < advantage < 1.0
+
+    def test_missing_point_raises(self):
+        result = run_sweep(SMALL)
+        with pytest.raises(ExperimentError):
+            result.summary(99, "hbh")
+        with pytest.raises(ExperimentError):
+            result.series("nope")
+
+    def test_progress_hook_called(self):
+        calls = []
+        run_sweep(SMALL, progress=lambda *args: calls.append(args))
+        assert len(calls) == 2 * 3  # sizes x runs
+
+    def test_run_figure_with_override(self):
+        result = run_figure("fig7a", runs=1)
+        assert result.config.runs == 1
+        assert result.config.name == "fig7a"
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sweep(SMALL)
+
+    def test_render_table(self, result):
+        text = render_table(result, "cost_copies")
+        assert "receivers" in text
+        assert "hbh" in text
+        assert text.count("\n") >= 4
+
+    def test_render_ci_table(self, result):
+        assert "+-" in render_ci_table(result, "delay")
+
+    def test_render_ascii_plot(self, result):
+        text = render_ascii_plot(result)
+        assert "o=pim-sm" in text
+        assert "receivers" in text
+
+    def test_unknown_metric_rejected(self, result):
+        with pytest.raises(ExperimentError):
+            render_table(result, "nope")
+
+    def test_csv_export(self, result):
+        csv = to_csv(result)
+        lines = csv.strip().split("\n")
+        assert lines[0].startswith("figure,topology,group_size,protocol")
+        assert len(lines) == 1 + 8  # header + sizes x protocols
+        assert any(",hbh," in line for line in lines)
+
+
+class TestClaims:
+    def test_claims_from_small_sweeps(self):
+        # Tiny sweeps: we only check the plumbing, not the verdicts.
+        result = run_sweep(SMALL)
+        checks = check_claims({"fig7a": result, "fig8a": result})
+        assert len(checks) == 5
+        assert all(check.claim_id.startswith("C") for check in checks)
+        assert all("paper" in str(check) for check in checks)
+
+    def test_no_results_no_claims(self):
+        assert check_claims({}) == []

@@ -1,0 +1,148 @@
+"""Unit tests for the IGMP edge substrate."""
+
+import pytest
+
+from repro.addressing import Channel, GroupAddress
+from repro.errors import MembershipError
+from repro.igmp.membership import (
+    IgmpHostAgent,
+    IgmpRouterAgent,
+    MembershipQuery,
+    MembershipReport,
+    ReportType,
+)
+from repro.netsim.network import Network
+from repro.topology.model import Topology
+
+
+def edge_network():
+    """One router with two hosts hanging off it."""
+    topology = Topology(name="edge")
+    topology.add_router(0)
+    topology.add_router(1)
+    topology.add_link(0, 1)
+    topology.add_host(10, attached_to=0)
+    topology.add_host(11, attached_to=0)
+    return Network(topology)
+
+
+def make_channel(network):
+    return Channel(network.address_of(1), GroupAddress.parse("232.1.0.1"))
+
+
+class TestJoinLeave:
+    def test_join_registers_membership(self):
+        network = edge_network()
+        router = IgmpRouterAgent()
+        host = IgmpHostAgent()
+        network.attach(0, router)
+        network.attach(10, host)
+        channel = make_channel(network)
+        host.join_channel(channel)
+        network.run()
+        assert router.has_members(channel)
+        assert router.member_hosts(channel) == [10]
+
+    def test_double_join_rejected(self):
+        network = edge_network()
+        network.attach(0, IgmpRouterAgent())
+        host = IgmpHostAgent()
+        network.attach(10, host)
+        channel = make_channel(network)
+        host.join_channel(channel)
+        with pytest.raises(MembershipError):
+            host.join_channel(channel)
+
+    def test_leave_unknown_rejected(self):
+        network = edge_network()
+        host = IgmpHostAgent()
+        network.attach(10, host)
+        with pytest.raises(MembershipError):
+            host.leave_channel(make_channel(network))
+
+    def test_leave_removes_membership(self):
+        network = edge_network()
+        router = IgmpRouterAgent()
+        host = IgmpHostAgent()
+        network.attach(0, router)
+        network.attach(10, host)
+        channel = make_channel(network)
+        host.join_channel(channel)
+        network.run()
+        host.leave_channel(channel)
+        network.run()
+        assert not router.has_members(channel)
+
+
+class TestAggregation:
+    def test_first_and_last_member_callbacks(self):
+        network = edge_network()
+        events = []
+        router = IgmpRouterAgent(
+            on_first_member=lambda c: events.append(("first", c)),
+            on_last_member=lambda c: events.append(("last", c)),
+        )
+        hosts = [IgmpHostAgent(), IgmpHostAgent()]
+        network.attach(0, router)
+        network.attach(10, hosts[0])
+        network.attach(11, hosts[1])
+        channel = make_channel(network)
+
+        hosts[0].join_channel(channel)
+        network.run()
+        hosts[1].join_channel(channel)
+        network.run()
+        assert events == [("first", channel)]  # second join aggregated
+
+        hosts[0].leave_channel(channel)
+        network.run()
+        assert events == [("first", channel)]  # one listener remains
+        hosts[1].leave_channel(channel)
+        network.run()
+        assert events == [("first", channel), ("last", channel)]
+
+
+class TestQuerier:
+    def test_queries_refresh_membership(self):
+        network = edge_network()
+        router = IgmpRouterAgent(query_interval=50.0, robustness=2)
+        host = IgmpHostAgent()
+        network.attach(0, router)
+        network.attach(10, host)
+        network.start()
+        channel = make_channel(network)
+        host.join_channel(channel)
+        network.run(until=500.0)
+        assert router.has_members(channel)  # query/report cycle alive
+        assert host.reports_sent > 3
+
+    def test_silent_host_times_out(self):
+        network = edge_network()
+        expired = []
+        router = IgmpRouterAgent(
+            query_interval=50.0, robustness=2,
+            on_last_member=lambda c: expired.append(c),
+        )
+        host = IgmpHostAgent(query_response=False)  # crashes silently
+        network.attach(0, router)
+        network.attach(10, host)
+        network.start()
+        channel = make_channel(network)
+        host.join_channel(channel)
+        network.run(until=500.0)
+        assert not router.has_members(channel)
+        assert expired == [channel]
+
+    def test_robustness_validation(self):
+        with pytest.raises(MembershipError):
+            IgmpRouterAgent(robustness=0)
+
+
+class TestMessages:
+    def test_report_types(self):
+        assert ReportType.JOIN.value == "join"
+        assert ReportType.LEAVE.value == "leave"
+
+    def test_query_carries_serial(self):
+        query = MembershipQuery(serial=3)
+        assert query.serial == 3

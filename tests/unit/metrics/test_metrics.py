@@ -1,0 +1,177 @@
+"""Unit tests for the metrics package."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.delay import average_delay, delay_per_receiver, max_delay
+from repro.metrics.distribution import DataDistribution
+from repro.metrics.stability import (
+    StabilityReport,
+    TableSnapshot,
+    diff_snapshots,
+    paths_from_distribution,
+)
+from repro.metrics.summary import summarize
+from repro.metrics.tree_cost import (
+    duplication_overhead,
+    tree_cost_copies,
+    tree_cost_weighted,
+)
+
+
+def sample_distribution():
+    distribution = DataDistribution(expected={"r1", "r2"})
+    distribution.record_hop("s", "a", 2.0)
+    distribution.record_hop("a", "r1", 3.0)
+    distribution.record_hop("a", "r2", 1.0)
+    distribution.record_delivery("r1", 5.0)
+    distribution.record_delivery("r2", 3.0)
+    return distribution
+
+
+class TestDistribution:
+    def test_copies_and_weight(self):
+        distribution = sample_distribution()
+        assert distribution.copies == 3
+        assert distribution.weighted_cost == 6.0
+
+    def test_completeness(self):
+        distribution = sample_distribution()
+        assert distribution.complete
+        distribution.expected.add("r3")
+        assert distribution.missing == {"r3"}
+
+    def test_first_copy_wins(self):
+        distribution = DataDistribution()
+        distribution.record_delivery("r1", 9.0)
+        distribution.record_delivery("r1", 4.0)
+        distribution.record_delivery("r1", 6.0)
+        assert distribution.delays == {"r1": 4.0}
+
+    def test_duplicated_links(self):
+        distribution = sample_distribution()
+        assert distribution.duplicated_links() == []
+        distribution.record_hop("s", "a", 2.0)
+        assert distribution.duplicated_links() == [("s", "a")]
+
+    def test_copies_per_link(self):
+        distribution = sample_distribution()
+        assert distribution.copies_per_link()[("s", "a")] == 1
+
+
+class TestTreeCost:
+    def test_copies(self):
+        assert tree_cost_copies(sample_distribution()) == 3
+
+    def test_weighted(self):
+        assert tree_cost_weighted(sample_distribution()) == 6.0
+
+    def test_duplication_overhead(self):
+        distribution = sample_distribution()
+        assert duplication_overhead(distribution) == 0
+        distribution.record_hop("s", "a", 2.0)
+        distribution.record_hop("s", "a", 2.0)
+        assert duplication_overhead(distribution) == 2
+
+
+class TestDelay:
+    def test_average(self):
+        assert average_delay(sample_distribution()) == 4.0
+
+    def test_max(self):
+        assert max_delay(sample_distribution()) == 5.0
+
+    def test_per_receiver_copy(self):
+        distribution = sample_distribution()
+        delays = delay_per_receiver(distribution)
+        delays["r1"] = 0.0
+        assert distribution.delays["r1"] == 5.0
+
+    def test_incomplete_raises(self):
+        distribution = sample_distribution()
+        distribution.expected.add("r3")
+        with pytest.raises(ExperimentError):
+            average_delay(distribution)
+        assert average_delay(distribution, require_complete=False) == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            average_delay(DataDistribution())
+        with pytest.raises(ExperimentError):
+            max_delay(DataDistribution())
+
+
+class TestStability:
+    def test_diff_counts_entry_churn(self):
+        before = TableSnapshot(
+            entries=frozenset({(1, "mft", "r1"), (1, "mft", "r2")}),
+            paths={},
+        )
+        after = TableSnapshot(
+            entries=frozenset({(1, "mft", "r2"), (2, "mct", "r2")}),
+            paths={},
+        )
+        report = diff_snapshots(before, after)
+        assert report.entries_added == 1
+        assert report.entries_removed == 1
+        assert report.entry_changes == 2
+
+    def test_diff_detects_reroutes(self):
+        before = TableSnapshot(
+            entries=frozenset(),
+            paths={"r1": ("s", "a", "r1"), "r2": ("s", "b", "r2")},
+        )
+        after = TableSnapshot(
+            entries=frozenset(),
+            paths={"r1": ("s", "a", "r1"), "r2": ("s", "c", "r2")},
+        )
+        report = diff_snapshots(before, after)
+        assert report.rerouted_receivers == ["r2"]
+        assert report.reroute_count == 1
+
+    def test_departed_receivers_ignored(self):
+        before = TableSnapshot(entries=frozenset(),
+                               paths={"r1": ("s", "r1")})
+        after = TableSnapshot(entries=frozenset(), paths={})
+        report = diff_snapshots(before, after,
+                                ignore_receivers=frozenset({"r1"}))
+        assert report.reroute_count == 0
+
+    def test_paths_from_distribution(self):
+        distribution = sample_distribution()
+        paths = paths_from_distribution(distribution)
+        assert paths["r1"] == ("s", "a", "r1")
+        assert paths["r2"] == ("s", "a", "r2")
+
+
+class TestSummary:
+    def test_summarize_statistics(self):
+        batch = [sample_distribution() for _ in range(4)]
+        summary = summarize(batch)
+        assert summary.cost_copies.mean == 3.0
+        assert summary.cost_copies.stddev == 0.0
+        assert summary.delay.mean == 4.0
+        assert summary.delay.n == 4
+
+    def test_single_sample(self):
+        summary = summarize([sample_distribution()])
+        assert summary.delay.ci95 == 0.0
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ExperimentError):
+            summarize([])
+
+    def test_as_row(self):
+        summary = summarize([sample_distribution()])
+        assert summary.as_row() == [3.0, 6.0, 4.0]
+
+    def test_variance_computed(self):
+        fast = DataDistribution(expected={"r"})
+        fast.record_hop("s", "r", 1.0)
+        fast.record_delivery("r", 1.0)
+        slow = DataDistribution(expected={"r"})
+        slow.record_hop("s", "r", 3.0)
+        slow.record_delivery("r", 3.0)
+        summary = summarize([fast, slow])
+        assert summary.delay.mean == 2.0
+        assert summary.delay.stddev == pytest.approx(2 ** 0.5)

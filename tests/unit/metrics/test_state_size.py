@@ -1,0 +1,88 @@
+"""Unit tests for the multicast state census."""
+
+import pytest
+
+from repro.core.static_driver import StaticHbh
+from repro.metrics.state_size import (
+    StateCensus,
+    classic_state_census,
+    hbh_state_census,
+    reunite_state_census,
+)
+from repro.protocols.pim.trees import ReverseSpt
+from repro.protocols.reunite.static_driver import StaticReunite
+from repro.topology.random_graphs import line_topology, star_topology
+
+
+class TestCensusProperties:
+    def test_totals(self):
+        census = StateCensus({1: 2, 2: 0}, {3: 1, 4: 1})
+        assert census.total_forwarding == 2
+        assert census.total_control == 2
+        assert census.forwarding_routers == 1
+        assert census.on_tree_routers == 3
+
+
+class TestHbhCensus:
+    def test_line_has_control_state_only(self):
+        driver = StaticHbh(line_topology(5), source=0)
+        driver.add_receiver(4)
+        driver.converge()
+        census = hbh_state_census(driver)
+        # Three transit routers, all non-branching: MCT only — the
+        # Section 2.1 argument in its purest form.
+        assert census.total_forwarding == 0
+        assert census.total_control == 3
+
+    def test_star_concentrates_forwarding_state(self):
+        driver = StaticHbh(star_topology(5), source=1)
+        for leaf in (2, 3, 4):
+            driver.add_receiver(leaf)
+            driver.converge()
+        census = hbh_state_census(driver)
+        assert census.forwarding_routers == 1   # only the hub
+        assert census.forwarding_entries[0] == 3
+
+
+class TestReuniteCensus:
+    def test_counts_dst_and_receivers(self):
+        driver = StaticReunite(star_topology(4), source=1)
+        for leaf in (2, 3):
+            driver.add_receiver(leaf)
+            driver.converge()
+        census = reunite_state_census(driver)
+        assert census.forwarding_entries[0] == 2  # dst + one receiver
+
+
+class TestClassicCensus:
+    def test_every_on_tree_router_holds_state(self):
+        tree = ReverseSpt(line_topology(5), root=0)
+        tree.graft(4)
+        census = classic_state_census(tree)
+        # Routers 0..3 each forward on one interface.
+        assert census.total_forwarding == 4
+        assert census.forwarding_routers == 4
+
+
+class TestRecursiveUnicastSaving:
+    def test_hbh_forwarding_state_much_smaller_than_classic(self):
+        from repro.topology.isp import isp_topology, isp_receiver_candidates
+        import random
+
+        topology = isp_topology(seed=5)
+        receivers = sorted(random.Random(5).sample(
+            isp_receiver_candidates(topology), 8))
+        driver = StaticHbh(topology, 18)
+        for receiver in receivers:
+            driver.add_receiver(receiver)
+            driver.converge()
+        hbh = hbh_state_census(driver)
+
+        tree = ReverseSpt(topology, root=18)
+        for receiver in receivers:
+            tree.graft(receiver)
+        classic = classic_state_census(tree)
+
+        # The paper's §2.1 motivation quantified: far fewer routers
+        # carry data-plane state under recursive unicast.
+        assert hbh.forwarding_routers < classic.forwarding_routers

@@ -1,0 +1,113 @@
+"""Unit tests for tree-shape analytics and sweep-result storage."""
+
+import pytest
+
+from repro.core.static_driver import StaticHbh
+from repro.errors import ExperimentError
+from repro.experiments.config import SweepConfig
+from repro.experiments.harness import run_sweep
+from repro.experiments.storage import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.metrics.distribution import DataDistribution
+from repro.metrics.tree_shape import path_stretch, tree_shape
+from repro.protocols.reunite.static_driver import StaticReunite
+from repro.routing.tables import UnicastRouting
+from repro.topology.isp import isp_topology
+from repro.topology.random_graphs import star_topology
+
+
+def star_distribution():
+    distribution = DataDistribution(expected={2, 3, 4})
+    distribution.record_hop(1, 0, 1.0)
+    for leaf in (2, 3, 4):
+        distribution.record_hop(0, leaf, 1.0)
+        distribution.record_delivery(leaf, 2.0)
+    return distribution
+
+
+class TestTreeShape:
+    def test_star_shape(self):
+        shape = tree_shape(star_distribution())
+        assert shape.out_degree == {1: 1, 0: 3}
+        assert shape.transmitting_nodes == 2
+        assert shape.branching_nodes == 1
+        assert shape.branching_fraction == 0.5
+        assert shape.max_hops == 2
+        assert shape.degree_histogram() == {1: 1, 3: 1}
+
+    def test_empty_distribution(self):
+        shape = tree_shape(DataDistribution())
+        assert shape.branching_fraction == 0.0
+        assert shape.max_hops == 0
+
+    def test_branching_minority_on_isp(self):
+        # The REUNITE/HBH founding observation, measured: most
+        # transmitting routers do NOT branch.
+        topology = isp_topology(seed=8)
+        driver = StaticHbh(topology, 18)
+        for receiver in (20, 24, 28, 31, 35):
+            driver.add_receiver(receiver)
+            driver.converge()
+        shape = tree_shape(driver.distribute_data())
+        assert shape.branching_fraction < 0.5
+
+    def test_path_stretch_hbh_is_one(self, fig2_topology, fig2_routing):
+        driver = StaticHbh(fig2_topology, 0, routing=fig2_routing)
+        for receiver in (11, 12, 13):
+            driver.add_receiver(receiver)
+            driver.converge()
+        stretch = path_stretch(driver.distribute_data(),
+                               fig2_routing, source=0)
+        assert all(value == 1.0 for value in stretch.values())
+
+    def test_path_stretch_detects_reunite_inflation(self, fig2_topology,
+                                                    fig2_routing):
+        driver = StaticReunite(fig2_topology, 0, routing=fig2_routing)
+        for receiver in (11, 12):
+            driver.add_receiver(receiver)
+            driver.converge()
+        stretch = path_stretch(driver.distribute_data(),
+                               fig2_routing, source=0)
+        assert stretch[11] == 1.0
+        assert stretch[12] == 2.0  # delay 4 over optimal 2 (Fig. 2)
+
+
+SMALL = SweepConfig(name="store-test", topology="isp",
+                    group_sizes=(2, 3), runs=2, seed=11)
+
+
+class TestStorage:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sweep(SMALL)
+
+    def test_dict_round_trip(self, result):
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.config == result.config
+        for point in result.points:
+            original = result.summary(point.group_size, point.protocol)
+            restored = rebuilt.summary(point.group_size, point.protocol)
+            assert restored.delay == original.delay
+            assert restored.cost_copies == original.cost_copies
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_result(result, path)
+        rebuilt = load_result(path)
+        assert rebuilt.series("hbh", "delay") == result.series("hbh",
+                                                               "delay")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ExperimentError):
+            result_from_dict({"format": 99})
+
+    def test_loaded_result_supports_claims_math(self, result, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_result(result, path)
+        rebuilt = load_result(path)
+        advantage = rebuilt.mean_advantage("hbh", "pim-sm", "delay")
+        assert advantage == result.mean_advantage("hbh", "pim-sm", "delay")

@@ -1,0 +1,98 @@
+"""Unit tests for the optional link bandwidth / FIFO queueing model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.network import Network
+from repro.netsim.packet import Packet, PacketKind
+from repro.topology.model import Topology
+
+
+def two_nodes():
+    topology = Topology(name="pair")
+    topology.add_router(0)
+    topology.add_router(1)
+    topology.add_link(0, 1, 2.0, 2.0)
+    return Network(topology)
+
+
+def burst(network, count, size=1.0):
+    for _ in range(count):
+        network.node(0).emit(Packet(
+            src=network.address_of(0), dst=network.address_of(1),
+            payload="x", size=size, kind=PacketKind.DATA,
+        ))
+
+
+class TestPureDelayDefault:
+    def test_infinite_bandwidth_by_default(self):
+        network = two_nodes()
+        burst(network, 5)
+        network.run()
+        # All five arrive simultaneously at t = propagation delay.
+        assert network.simulator.now == 2.0
+        assert len(network.node(1).unclaimed) == 5
+
+
+class TestQueueing:
+    def test_serialization_spaces_arrivals(self):
+        network = two_nodes()
+        link = network.node(0).links[1]
+        link.set_bandwidth(0.5)  # 1 size unit takes 2 time units
+        arrivals = []
+        original = network.node(1).receive
+
+        def spy(packet, arrived_from):
+            arrivals.append(network.simulator.now)
+            original(packet, arrived_from)
+
+        network.node(1).receive = spy
+        burst(network, 3)
+        network.run()
+        # tx time 2 each, FIFO: finish at 2, 4, 6; +2 propagation.
+        assert arrivals == [4.0, 6.0, 8.0]
+
+    def test_size_scales_serialization(self):
+        network = two_nodes()
+        network.node(0).links[1].set_bandwidth(1.0)
+        burst(network, 1, size=6.0)
+        network.run()
+        assert network.simulator.now == 8.0  # 6 tx + 2 prop
+
+    def test_idle_link_restarts_clock(self):
+        network = two_nodes()
+        link = network.node(0).links[1]
+        link.set_bandwidth(1.0)
+        burst(network, 1)
+        network.run()              # arrives at 3.0; link idle again
+        burst(network, 1)
+        network.run()
+        assert network.simulator.now == 6.0  # 3 + (1 tx + 2 prop)
+
+    def test_directions_queue_independently(self):
+        network = two_nodes()
+        link = network.node(0).links[1]
+        link.set_bandwidth(1.0)
+        burst(network, 2)
+        network.node(1).emit(Packet(
+            src=network.address_of(1), dst=network.address_of(0),
+            payload="y",
+        ))
+        network.run()
+        # Reverse direction unaffected by the forward queue.
+        assert len(network.node(0).unclaimed) == 1
+        assert len(network.node(1).unclaimed) == 2
+
+    def test_bandwidth_validation(self):
+        network = two_nodes()
+        with pytest.raises(SimulationError):
+            network.node(0).links[1].set_bandwidth(0.0)
+
+    def test_disable_restores_pure_delay(self):
+        network = two_nodes()
+        link = network.node(0).links[1]
+        link.set_bandwidth(0.5)
+        link.set_bandwidth(None)
+        burst(network, 4)
+        network.run()
+        assert network.simulator.now == 2.0

@@ -1,0 +1,160 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import ScheduleInPastError, SimulationError
+from repro.netsim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_times_run_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcd":
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == list("abcd")
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ScheduleInPastError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(ScheduleInPastError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [2.0]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, 1)
+        sim.schedule(10.0, seen.append, 10)
+        executed = sim.run(until=5.0)
+        assert executed == 1
+        assert seen == [1]
+        assert sim.now == 5.0  # time advances to the horizon
+        sim.run()
+        assert seen == [1, 10]
+
+    def test_run_until_with_empty_queue_advances_time(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        seen = []
+        for index in range(5):
+            sim.schedule(float(index + 1), seen.append, index)
+        assert sim.run(max_events=2) == 2
+        assert seen == [0, 1]
+
+    def test_step(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "x")
+        assert sim.step() is True
+        assert sim.step() is False
+        assert seen == ["x"]
+
+    def test_stop_from_within_event(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(1)
+            sim.stop()
+
+        sim.schedule(1.0, first)
+        sim.schedule(2.0, seen.append, 2)
+        sim.run()
+        assert seen == [1]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 3
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, seen.append, "x")
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_ignores_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        assert keep.time == 1.0
+
+    def test_next_event_time_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.next_event_time == 2.0
+
+    def test_next_event_time_empty(self):
+        assert Simulator().next_event_time is None
+
+    def test_repr(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert "pending=1" in repr(sim)

@@ -1,0 +1,118 @@
+"""Unit tests for packets and links."""
+
+import pytest
+
+from repro.addressing import Address
+from repro.errors import SimulationError
+from repro.netsim.network import Network
+from repro.netsim.packet import (
+    DEFAULT_TTL,
+    DataPayload,
+    Packet,
+    PacketKind,
+)
+from repro.topology.random_graphs import line_topology
+
+
+def make_packet(kind=PacketKind.CONTROL):
+    return Packet(
+        src=Address.parse("10.0.0.1"),
+        dst=Address.parse("10.0.0.2"),
+        payload="hello",
+        kind=kind,
+    )
+
+
+class TestPacket:
+    def test_unique_uids(self):
+        assert make_packet().uid != make_packet().uid
+
+    def test_readdressed_changes_dst_and_uid(self):
+        packet = make_packet()
+        copy = packet.readdressed(Address.parse("10.0.0.9"))
+        assert copy.dst == Address.parse("10.0.0.9")
+        assert copy.src == packet.src
+        assert copy.uid != packet.uid
+        assert copy.payload == packet.payload
+
+    def test_readdressed_resets_ttl(self):
+        packet = make_packet().aged().aged()
+        copy = packet.readdressed(Address.parse("10.0.0.9"))
+        assert copy.ttl == DEFAULT_TTL
+
+    def test_readdressed_can_change_src(self):
+        copy = make_packet().readdressed(
+            Address.parse("10.0.0.9"), src=Address.parse("10.0.0.8")
+        )
+        assert copy.src == Address.parse("10.0.0.8")
+
+    def test_aged_keeps_uid(self):
+        packet = make_packet()
+        assert packet.aged().uid == packet.uid
+        assert packet.aged().ttl == packet.ttl - 1
+
+    def test_expiry(self):
+        packet = make_packet()
+        for _ in range(DEFAULT_TTL):
+            packet = packet.aged()
+        assert packet.expired
+
+    def test_repr_mentions_kind(self):
+        assert "control" in repr(make_packet())
+
+    def test_data_payload_defaults(self):
+        payload = DataPayload(channel="c")
+        assert payload.sequence == 0
+        assert not payload.encapsulated
+
+
+class TestLink:
+    def test_delay_is_directed(self):
+        network = Network(_asymmetric_pair())
+        link = network.node(0).links[1]
+        assert link.delay(0, 1) == 2.0
+        assert link.delay(1, 0) == 7.0
+
+    def test_delay_unknown_direction(self):
+        network = Network(_asymmetric_pair())
+        link = network.node(0).links[1]
+        with pytest.raises(SimulationError):
+            link.delay(0, 5)
+
+    def test_transmit_delivers_after_delay(self):
+        network = Network(_asymmetric_pair())
+        packet = Packet(
+            src=network.address_of(0), dst=network.address_of(1),
+            payload="ping",
+        )
+        network.node(0).emit(packet)
+        network.run()
+        assert network.simulator.now == 2.0
+        assert len(network.node(1).unclaimed) == 1
+
+    def test_expired_packet_dropped_but_counted(self):
+        network = Network(_asymmetric_pair())
+        packet = Packet(
+            src=network.address_of(0), dst=network.address_of(1),
+            payload="dying", ttl=1,
+        )
+        network.node(0).emit(packet)
+        network.run()
+        # The transmission hook saw the attempt...
+        assert network.control_tally().copies == 1
+        # ...but nothing arrived.
+        assert network.node(1).unclaimed == []
+
+    def test_endpoints(self):
+        network = Network(_asymmetric_pair())
+        assert network.node(0).links[1].endpoints() == (0, 1)
+
+
+def _asymmetric_pair():
+    from repro.topology.model import Topology
+
+    topology = Topology(name="pair")
+    topology.add_router(0)
+    topology.add_router(1)
+    topology.add_link(0, 1, 2.0, 7.0)
+    return topology

@@ -1,0 +1,128 @@
+"""Unit tests for timers and the t1/t2 soft-state discipline."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator
+from repro.netsim.timers import SoftStateEntryTimers, Timer
+
+
+class TestTimer:
+    def test_fires_after_duration(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 5.0, callback=lambda: fired.append(sim.now))
+        timer.start()
+        sim.run()
+        assert fired == [5.0]
+        assert timer.expired
+
+    def test_restart_postpones(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 5.0, callback=lambda: fired.append(sim.now))
+        timer.start()
+        sim.run(until=3.0)
+        timer.start()  # restart at t=3
+        sim.run()
+        assert fired == [8.0]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 5.0, callback=lambda: fired.append(1))
+        timer.start()
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.expired
+
+    def test_expire_now_skips_callback(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 5.0, callback=lambda: fired.append(1))
+        timer.start()
+        timer.expire_now()
+        sim.run()
+        assert timer.expired
+        assert fired == []
+
+    def test_running_property(self):
+        sim = Simulator()
+        timer = Timer(sim, 5.0)
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        sim.run()
+        assert not timer.running
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            Timer(Simulator(), 0.0)
+
+    def test_no_callback_is_fine(self):
+        sim = Simulator()
+        timer = Timer(sim, 1.0)
+        timer.start()
+        sim.run()
+        assert timer.expired
+
+
+class TestSoftStateEntryTimers:
+    def test_fresh_then_stale_then_destroyed(self):
+        sim = Simulator()
+        destroyed = []
+        timers = SoftStateEntryTimers(sim, 2.0, 5.0,
+                                      on_destroy=lambda: destroyed.append(sim.now))
+        assert not timers.stale
+        sim.run(until=3.0)
+        assert timers.stale          # t1 expired at 2
+        assert destroyed == []
+        sim.run()
+        assert destroyed == [5.0]    # t2 destroys at 5
+
+    def test_refresh_resets_both(self):
+        sim = Simulator()
+        destroyed = []
+        timers = SoftStateEntryTimers(sim, 2.0, 5.0,
+                                      on_destroy=lambda: destroyed.append(sim.now))
+        sim.run(until=1.5)
+        timers.refresh()
+        sim.run(until=3.0)
+        assert not timers.stale      # t1 restarted at 1.5, expires 3.5
+        sim.run()
+        assert destroyed == [6.5]
+
+    def test_make_stale_keeps_t2(self):
+        sim = Simulator()
+        destroyed = []
+        timers = SoftStateEntryTimers(sim, 2.0, 5.0,
+                                      on_destroy=lambda: destroyed.append(sim.now))
+        timers.make_stale()
+        assert timers.stale
+        sim.run()
+        assert destroyed == [5.0]
+
+    def test_keep_alive_stale(self):
+        sim = Simulator()
+        destroyed = []
+        timers = SoftStateEntryTimers(sim, 2.0, 5.0,
+                                      on_destroy=lambda: destroyed.append(sim.now))
+        sim.run(until=4.0)
+        timers.keep_alive_stale()    # fusion rule 4 at t=4
+        assert timers.stale
+        sim.run()
+        assert destroyed == [9.0]    # t2 restarted, t1 stays expired
+
+    def test_t2_must_exceed_t1(self):
+        with pytest.raises(SimulationError):
+            SoftStateEntryTimers(Simulator(), 5.0, 5.0)
+
+    def test_cancel_stops_destruction(self):
+        sim = Simulator()
+        destroyed = []
+        timers = SoftStateEntryTimers(sim, 2.0, 5.0,
+                                      on_destroy=lambda: destroyed.append(1))
+        timers.cancel()
+        sim.run()
+        assert destroyed == []

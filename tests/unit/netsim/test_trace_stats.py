@@ -1,0 +1,97 @@
+"""Unit tests for tracing and transmission counters."""
+
+from repro.netsim.packet import PacketKind
+from repro.netsim.stats import LinkCounters
+from repro.netsim.trace import Trace, TraceRecord
+
+
+class TestTrace:
+    def test_records_when_enabled(self):
+        trace = Trace(enabled=True)
+        trace.record(1.0, 5, "join", "details")
+        assert len(trace) == 1
+        assert trace.records[0].node == 5
+
+    def test_noop_when_disabled(self):
+        trace = Trace(enabled=False)
+        trace.record(1.0, 5, "join")
+        assert len(trace) == 0
+
+    def test_matching_filters(self):
+        trace = Trace()
+        trace.record(1.0, 1, "join")
+        trace.record(2.0, 2, "join")
+        trace.record(3.0, 1, "tree")
+        assert trace.count("join") == 2
+        assert trace.count("join", node=1) == 1
+        assert [r.event for r in trace.matching(node=1)] == ["join", "tree"]
+
+    def test_clear(self):
+        trace = Trace()
+        trace.record(1.0, 1, "x")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_printer_callback(self):
+        lines = []
+        trace = Trace(printer=lines.append)
+        trace.record(1.0, 1, "x", "detail")
+        assert len(lines) == 1
+        assert "detail" in lines[0]
+
+    def test_record_str(self):
+        record = TraceRecord(1.5, 3, "join", "from r1")
+        text = str(record)
+        assert "node 3" in text and "join" in text
+
+    def test_iteration(self):
+        trace = Trace()
+        trace.record(1.0, 1, "a")
+        trace.record(2.0, 2, "b")
+        assert [r.event for r in trace] == ["a", "b"]
+
+
+class TestLinkCounters:
+    def test_copies_and_weight(self):
+        counters = LinkCounters()
+        counters.record(0, 1, 3.0, PacketKind.DATA)
+        counters.record(0, 1, 3.0, PacketKind.DATA)
+        counters.record(1, 2, 5.0, PacketKind.DATA)
+        tally = counters.tally(PacketKind.DATA)
+        assert tally.copies == 3
+        assert tally.weighted_cost == 11.0
+        assert tally.links_used == 2
+        assert tally.max_copies_on_link == 2
+
+    def test_kinds_are_separate(self):
+        counters = LinkCounters()
+        counters.record(0, 1, 1.0, PacketKind.DATA)
+        counters.record(0, 1, 1.0, PacketKind.CONTROL)
+        assert counters.tally(PacketKind.DATA).copies == 1
+        assert counters.tally(PacketKind.CONTROL).copies == 1
+
+    def test_directions_are_separate(self):
+        counters = LinkCounters()
+        counters.record(0, 1, 1.0, PacketKind.DATA)
+        counters.record(1, 0, 1.0, PacketKind.DATA)
+        assert counters.copies_on(0, 1) == 1
+        assert counters.copies_on(1, 0) == 1
+
+    def test_per_link_snapshot_is_copy(self):
+        counters = LinkCounters()
+        counters.record(0, 1, 1.0, PacketKind.DATA)
+        snapshot = counters.per_link()
+        snapshot[(0, 1)] = 99
+        assert counters.copies_on(0, 1) == 1
+
+    def test_reset(self):
+        counters = LinkCounters()
+        counters.record(0, 1, 1.0, PacketKind.DATA)
+        counters.reset()
+        assert counters.tally(PacketKind.DATA).copies == 0
+        assert counters.tally(PacketKind.DATA).max_copies_on_link == 0
+
+    def test_empty_tally(self):
+        tally = LinkCounters().tally(PacketKind.DATA)
+        assert tally.copies == 0
+        assert tally.weighted_cost == 0.0

@@ -1,0 +1,97 @@
+"""Unit tests for the MOSPF forward-SPT baseline — and the key
+cross-check: at full multicast deployment, HBH's converged tree matches
+MOSPF's ideal forward SPT (the paper's central quality claim)."""
+
+import random
+
+import pytest
+
+from repro.core.static_driver import StaticHbh
+from repro.errors import ProtocolError
+from repro.protocols.base import build_protocol
+from repro.protocols.mospf import ForwardSpt, MospfProtocol
+from repro.routing.tables import UnicastRouting
+from repro.topology.isp import isp_receiver_candidates, isp_topology
+from repro.topology.random_graphs import star_topology
+
+
+class TestForwardSpt:
+    def test_graft_uses_forward_paths(self, fig2_topology, fig2_routing):
+        tree = ForwardSpt(fig2_topology, 0, routing=fig2_routing)
+        tree.graft(11)
+        # Forward path S->R1->R3->r1, unlike the reverse SPT's
+        # S->R1->R2->r1 branch.
+        assert tree.tree_links() == [(0, 1), (1, 3), (3, 11)]
+
+    def test_root_cannot_graft(self, fig2_topology):
+        tree = ForwardSpt(fig2_topology, 0)
+        with pytest.raises(ProtocolError):
+            tree.graft(0)
+
+    def test_prune_keeps_shared_branch(self, fig2_topology, fig2_routing):
+        tree = ForwardSpt(fig2_topology, 0, routing=fig2_routing)
+        tree.graft(11)
+        tree.graft(13)  # shares 0->1->3
+        tree.prune(11)
+        assert (3, 11) not in tree.tree_links()
+        assert (1, 3) in tree.tree_links()
+
+    def test_distribute_optimal_delays(self, fig2_topology, fig2_routing):
+        tree = ForwardSpt(fig2_topology, 0, routing=fig2_routing)
+        for receiver in (11, 12, 13):
+            tree.graft(receiver)
+        from repro.metrics.distribution import DataDistribution
+
+        distribution = DataDistribution(expected={11, 12, 13})
+        tree.distribute(distribution)
+        for receiver in (11, 12, 13):
+            assert distribution.delays[receiver] == \
+                fig2_routing.distance(0, receiver)
+        assert not distribution.duplicated_links()
+
+
+class TestMospfProtocol:
+    def test_registered(self, fig2_topology):
+        instance = build_protocol("mospf", fig2_topology, 0)
+        assert isinstance(instance, MospfProtocol)
+        assert instance.converge() == 0
+
+    def test_branching_nodes(self):
+        protocol = MospfProtocol(star_topology(4), 1)
+        protocol.add_receiver(2)
+        protocol.add_receiver(3)
+        assert protocol.branching_nodes() == [0]
+
+    def test_remove_receiver(self, fig2_topology):
+        protocol = MospfProtocol(fig2_topology, 0)
+        protocol.add_receiver(11)
+        protocol.add_receiver(12)
+        protocol.remove_receiver(11)
+        assert protocol.distribute_data().delivered == {12}
+
+
+class TestHbhMatchesMospf:
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    def test_converged_hbh_equals_ideal_spt(self, seed):
+        # The paper's quality claim, sharpened: with every router
+        # multicast-capable, HBH's soft-state tree construction lands
+        # exactly on MOSPF's centrally computed forward SPT — same
+        # delays AND same total copies.
+        topology = isp_topology(seed=seed)
+        routing = UnicastRouting(topology)
+        receivers = sorted(random.Random(seed).sample(
+            isp_receiver_candidates(topology), 8))
+
+        mospf = MospfProtocol(topology, 18, routing=routing)
+        for receiver in receivers:
+            mospf.add_receiver(receiver)
+        ideal = mospf.distribute_data()
+
+        hbh = StaticHbh(topology, 18, routing=routing)
+        for receiver in receivers:
+            hbh.add_receiver(receiver)
+            hbh.converge(max_rounds=80)
+        converged = hbh.distribute_data()
+
+        assert converged.delays == ideal.delays
+        assert converged.copies == ideal.copies

@@ -1,0 +1,165 @@
+"""Unit tests for the PIM baselines (reverse SPTs, RP selection)."""
+
+import pytest
+
+from repro.errors import ExperimentError, ProtocolError
+from repro.metrics.distribution import DataDistribution
+from repro.protocols.pim.protocol import PimSmProtocol, PimSsProtocol
+from repro.protocols.pim.rp import RP_STRATEGIES, select_rp
+from repro.protocols.pim.trees import ReverseSpt
+from repro.topology.random_graphs import line_topology, star_topology
+
+
+class TestReverseSpt:
+    def test_graft_installs_rpf_parents(self, fig2_topology):
+        tree = ReverseSpt(fig2_topology, root=0)
+        tree.graft(11)
+        # r1's unicast path to S is r1->R2->R1->S, so the branch is
+        # the REVERSE of that: parents follow 11->2->1->0.
+        assert tree.tree_links() == [(0, 1), (1, 2), (2, 11)]
+
+    def test_shared_prefix_grafted_once(self, fig2_topology):
+        tree = ReverseSpt(fig2_topology, root=0)
+        tree.graft(11)
+        tree.graft(12)  # r2's path: 12->3->1->0 shares link 1->0
+        links = tree.tree_links()
+        assert links.count((0, 1)) == 1
+        assert (1, 3) in links and (3, 12) in links
+
+    def test_root_cannot_graft(self, fig2_topology):
+        tree = ReverseSpt(fig2_topology, root=0)
+        with pytest.raises(ProtocolError):
+            tree.graft(0)
+
+    def test_prune_trims_branch(self, fig2_topology):
+        tree = ReverseSpt(fig2_topology, root=0)
+        tree.graft(11)
+        tree.graft(12)
+        tree.prune(11)
+        assert (2, 11) not in tree.tree_links()
+        assert (3, 12) in tree.tree_links()
+
+    def test_prune_keeps_shared_links(self, fig2_topology):
+        tree = ReverseSpt(fig2_topology, root=0)
+        tree.graft(11)
+        tree.graft(12)
+        tree.prune(11)
+        assert (0, 1) in tree.tree_links()  # still serves r2
+
+    def test_depth_costs_use_data_direction(self, fig2_topology):
+        tree = ReverseSpt(fig2_topology, root=0)
+        tree.graft(11)
+        delays = tree.depth_costs()
+        # Data flows 0->1->2->11 over costs 1 + 5 + 5 = 11 — the
+        # reverse-SPT delay penalty (the forward SPT path costs 3).
+        assert delays[11] == 11.0
+
+    def test_distribute_single_copy_per_link(self, fig2_topology):
+        tree = ReverseSpt(fig2_topology, root=0)
+        tree.graft(11)
+        tree.graft(12)
+        distribution = DataDistribution(expected={11, 12})
+        tree.distribute(distribution)
+        assert distribution.complete
+        assert not distribution.duplicated_links()
+
+    def test_on_tree(self, fig2_topology):
+        tree = ReverseSpt(fig2_topology, root=0)
+        tree.graft(11)
+        assert tree.on_tree(0) and tree.on_tree(2)
+        assert not tree.on_tree(4)
+
+
+class TestRpSelection:
+    def test_strategies_exist(self):
+        assert set(RP_STRATEGIES) == {"median", "eccentricity", "random",
+                                      "first"}
+
+    def test_median_picks_central_router(self):
+        # On a line the cost-median is the middle node.
+        rp = select_rp(line_topology(7), strategy="median")
+        assert rp == 3
+
+    def test_eccentricity_on_line(self):
+        rp = select_rp(line_topology(7), strategy="eccentricity")
+        assert rp == 3
+
+    def test_first(self):
+        assert select_rp(line_topology(5), strategy="first") == 0
+
+    def test_random_is_seeded(self):
+        topo = line_topology(9)
+        assert (select_rp(topo, strategy="random", seed=4)
+                == select_rp(topo, strategy="random", seed=4))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ExperimentError):
+            select_rp(line_topology(3), strategy="nope")
+
+    def test_hosts_never_selected(self, isp):
+        for strategy in ("median", "eccentricity", "first"):
+            assert select_rp(isp, strategy=strategy) in isp.routers
+
+
+class TestPimSs:
+    def test_reverse_spt_delay(self, fig2_topology, fig2_routing):
+        protocol = PimSsProtocol(fig2_topology, 0, routing=fig2_routing)
+        protocol.add_receiver(11)
+        protocol.converge()
+        distribution = protocol.distribute_data()
+        assert distribution.delays == {11: 11.0}
+
+    def test_remove_receiver(self, fig2_topology):
+        protocol = PimSsProtocol(fig2_topology, 0)
+        protocol.add_receiver(11)
+        protocol.add_receiver(12)
+        protocol.remove_receiver(11)
+        distribution = protocol.distribute_data()
+        assert distribution.delivered == {12}
+
+    def test_branching_nodes(self):
+        protocol = PimSsProtocol(star_topology(4), 1)
+        protocol.add_receiver(2)
+        protocol.add_receiver(3)
+        assert protocol.branching_nodes() == [0]
+
+    def test_converge_is_free(self, fig2_topology):
+        protocol = PimSsProtocol(fig2_topology, 0)
+        assert protocol.converge() == 0
+
+
+class TestPimSm:
+    def test_register_leg_counted(self, fig2_topology):
+        protocol = PimSmProtocol(fig2_topology, 0, rp=3)
+        protocol.add_receiver(12)
+        distribution = protocol.distribute_data()
+        # Register path 0->1->3 (2 copies) + shared-tree link 3->12.
+        assert distribution.copies == 3
+        # Delay: forward 0->3 (1+1) plus tree link 3->12 (cost 2).
+        assert distribution.delays == {12: 4.0}
+
+    def test_source_at_rp_has_no_register_leg(self, fig2_topology):
+        protocol = PimSmProtocol(fig2_topology, 0, rp=0)
+        protocol.add_receiver(12)
+        distribution = protocol.distribute_data()
+        # r2 joins toward RP=0 along 12->3->1->0; data flows down the
+        # reversed branch 0->1->3->12 (costs 1+1+2), no register leg.
+        assert distribution.delays == {12: 4.0}
+        assert distribution.copies == 3
+        assert not distribution.duplicated_links()
+
+    def test_no_receivers_no_traffic(self, fig2_topology):
+        protocol = PimSmProtocol(fig2_topology, 0, rp=3)
+        assert protocol.distribute_data().copies == 0
+
+    def test_default_rp_from_strategy(self, fig2_topology):
+        protocol = PimSmProtocol(fig2_topology, 0, rp_strategy="first")
+        assert protocol.rp == 0
+
+    def test_shared_tree_is_per_rp_not_per_source(self, fig2_topology):
+        protocol = PimSmProtocol(fig2_topology, 0, rp=1)
+        protocol.add_receiver(11)
+        # r1 joins toward the RP (node 1): join path 11->2->1 wait —
+        # 11's route to 1 is [11, 2, 1]; the tree links reverse it.
+        assert (1, 2) in protocol.tree.tree_links()
+        assert (2, 11) in protocol.tree.tree_links()

@@ -1,0 +1,206 @@
+"""Unit tests for the REUNITE message-processing rules."""
+
+import pytest
+
+from repro.core.rules import Consume, Forward
+from repro.core.tables import ProtocolTiming
+from repro.protocols.reunite.messages import ReuniteJoin, ReuniteTree
+from repro.protocols.reunite.rules import (
+    RegenerateTree,
+    process_join,
+    process_join_at_source,
+    process_tree,
+)
+from repro.protocols.reunite.tables import (
+    ReuniteEntry,
+    ReuniteMct,
+    ReuniteMft,
+    ReuniteState,
+)
+
+T = ProtocolTiming(join_period=1.0, tree_period=1.0, t1=2.5, t2=4.5)
+CH = ("reunite", "S")
+
+
+def mft_state(dst="d", receivers=(), now=1.0):
+    state = ReuniteState()
+    state.mft = ReuniteMft(dst=ReuniteEntry(dst, now))
+    for receiver in receivers:
+        state.mft.add_receiver(receiver, now)
+    return state
+
+
+def mct_state(*entries, now=1.0):
+    state = ReuniteState()
+    state.mct = ReuniteMct()
+    for entry in entries:
+        state.mct.add(entry, now)
+    return state
+
+
+def join(joiner, initial=False):
+    return ReuniteJoin(CH, joiner, initial=initial)
+
+
+class TestJoinAtMftNode:
+    def test_known_receiver_refreshed_and_consumed(self):
+        state = mft_state(receivers=["r2"])
+        actions = process_join(state, join("r2"), 2.0, T)
+        assert actions == [Consume()]
+        assert state.mft.get_receiver("r2").refreshed_at == 2.0
+
+    def test_dst_join_forwarded_without_refresh(self):
+        # dst entries are refreshed by tree messages only; the dst
+        # receiver's join must keep reaching its upstream attachment.
+        state = mft_state(dst="r1")
+        actions = process_join(state, join("r1"), 2.0, T)
+        assert actions == [Forward()]
+        assert state.mft.dst.refreshed_at == 1.0
+
+    def test_unknown_initial_join_attaches(self):
+        state = mft_state(receivers=["r2"])
+        actions = process_join(state, join("r9", initial=True), 2.0, T)
+        assert actions == [Consume()]
+        assert state.mft.get_receiver("r9") is not None
+
+    def test_unknown_periodic_join_passes(self):
+        state = mft_state(receivers=["r2"])
+        actions = process_join(state, join("r9"), 2.0, T)
+        assert actions == [Forward()]
+        assert state.mft.get_receiver("r9") is None
+
+    def test_stale_mft_does_not_intercept(self):
+        # Fig. 2(c): "join(S, r2) messages are no more intercepted by
+        # R3 (as its MFT<S> is stale) and reach S".
+        state = mft_state(dst="r1", receivers=["r2"], now=0.0)
+        actions = process_join(state, join("r2"), 3.0, T)
+        assert actions == [Forward()]
+
+
+class TestJoinAtMctNode:
+    def test_initial_join_promotes(self):
+        # Fig. 2: "R3 drops the join(S, r2), creates a MFT<S> with r1
+        # as dst, adds r2 to MFT<S>, and removes <S, r1> from its MCT".
+        state = mct_state("r1")
+        actions = process_join(state, join("r2", initial=True), 2.0, T)
+        assert actions == [Consume()]
+        assert state.mct is None
+        assert state.mft.dst.address == "r1"
+        assert state.mft.get_receiver("r2") is not None
+
+    def test_oldest_fresh_entry_becomes_dst(self):
+        state = mct_state()
+        state.mct.add("first", 1.0)
+        state.mct.add("second", 1.5)
+        process_join(state, join("r9", initial=True), 2.0, T)
+        assert state.mft.dst.address == "first"
+
+    def test_periodic_join_never_promotes(self):
+        state = mct_state("r1")
+        actions = process_join(state, join("r2"), 2.0, T)
+        assert actions == [Forward()]
+        assert state.mct is not None
+
+    def test_own_entry_forwards(self):
+        # r1's joins pass R1 (which holds an <S, r1> MCT entry) on the
+        # way to S in Fig. 2 — they must not self-promote.
+        state = mct_state("r1")
+        actions = process_join(state, join("r1", initial=True), 2.0, T)
+        assert actions == [Forward()]
+        assert state.mct is not None
+
+    def test_all_stale_mct_does_not_promote(self):
+        state = mct_state("r1", now=0.0)
+        actions = process_join(state, join("r2", initial=True), 3.0, T)
+        assert actions == [Forward()]
+        assert state.mct is not None
+
+
+class TestJoinAtSource:
+    def test_first_join_creates_dst(self):
+        state = ReuniteState()
+        actions = process_join_at_source(state, join("r1"), 1.0, T)
+        assert actions == [Consume()]
+        assert state.mft.dst.address == "r1"
+
+    def test_later_joins_become_receivers(self):
+        state = ReuniteState()
+        process_join_at_source(state, join("r1"), 1.0, T)
+        process_join_at_source(state, join("r2"), 1.0, T)
+        assert state.mft.get_receiver("r2") is not None
+
+    def test_refreshes(self):
+        state = ReuniteState()
+        process_join_at_source(state, join("r1"), 1.0, T)
+        process_join_at_source(state, join("r1"), 2.0, T)
+        assert state.mft.dst.refreshed_at == 2.0
+
+    def test_headless_mft_adopts_new_dst(self):
+        state = ReuniteState()
+        process_join_at_source(state, join("r1"), 1.0, T)
+        state.mft.dst = None
+        process_join_at_source(state, join("r2"), 2.0, T)
+        assert state.mft.dst.address == "r2"
+
+
+class TestTreeProcessing:
+    def test_dst_tree_refreshes_and_regenerates(self):
+        state = mft_state(dst="r1", receivers=["r2", "r3"], now=0.0)
+        state.mft.dst.refreshed_at = 0.0
+        actions = process_tree(state, ReuniteTree(CH, "r1"), 1.0, T)
+        assert Forward() in actions
+        regen = [a.target for a in actions
+                 if isinstance(a, RegenerateTree)]
+        assert regen == ["r2", "r3"]
+        assert state.mft.dst.refreshed_at == 1.0
+
+    def test_stale_receivers_not_regenerated(self):
+        state = mft_state(dst="r1", receivers=[], now=3.0)
+        state.mft.add_receiver("old", 0.0)
+        actions = process_tree(state, ReuniteTree(CH, "r1"), 3.0, T)
+        assert not any(isinstance(a, RegenerateTree) for a in actions)
+
+    def test_marked_tree_stales_the_mft(self):
+        # Fig. 2(b): "MFT tables that have MFT<S>.dst = r1 become
+        # stale as the marked tree travels down the tree".
+        state = mft_state(dst="r1", receivers=["r2"])
+        actions = process_tree(state, ReuniteTree(CH, "r1", marked=True),
+                               1.0, T)
+        assert actions == [Forward()]
+        assert state.mft.is_stale(1.0, T)
+
+    def test_other_tree_transits_branching_node(self):
+        state = mft_state(dst="r1")
+        actions = process_tree(state, ReuniteTree(CH, "r9"), 1.0, T)
+        assert actions == [Forward()]
+
+    def test_tree_installs_mct(self):
+        state = ReuniteState()
+        actions = process_tree(state, ReuniteTree(CH, "r1"), 1.0, T)
+        assert actions == [Forward()]
+        assert "r1" in state.mct
+
+    def test_tree_refreshes_mct(self):
+        state = mct_state("r1", now=0.0)
+        process_tree(state, ReuniteTree(CH, "r1"), 2.0, T)
+        assert state.mct.get("r1").refreshed_at == 2.0
+
+    def test_marked_tree_destroys_mct_entry(self):
+        # Fig. 2(b): "the reception of a stale tree(S, r1) causes the
+        # destruction of any r1 MCT entries" at non-branching nodes.
+        state = mct_state("r1", "r2")
+        process_tree(state, ReuniteTree(CH, "r1", marked=True), 1.0, T)
+        assert "r1" not in state.mct
+        assert "r2" in state.mct
+
+    def test_marked_tree_clears_empty_mct(self):
+        state = mct_state("r1")
+        process_tree(state, ReuniteTree(CH, "r1", marked=True), 1.0, T)
+        assert state.mct is None
+
+    def test_marked_tree_off_tree_is_noop(self):
+        state = ReuniteState()
+        actions = process_tree(state, ReuniteTree(CH, "r1", marked=True),
+                               1.0, T)
+        assert actions == [Forward()]
+        assert state.mct is None

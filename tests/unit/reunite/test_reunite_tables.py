@@ -1,0 +1,133 @@
+"""Unit tests for REUNITE tables."""
+
+import pytest
+
+from repro.core.tables import ProtocolTiming
+from repro.protocols.reunite.tables import (
+    ReuniteEntry,
+    ReuniteMct,
+    ReuniteMft,
+    ReuniteState,
+)
+
+T = ProtocolTiming(join_period=1.0, tree_period=1.0, t1=2.5, t2=4.5)
+
+
+class TestReuniteEntry:
+    def test_soft_state_progression(self):
+        entry = ReuniteEntry("r1", 0.0)
+        assert not entry.is_stale(2.0, T)
+        assert entry.is_stale(2.5, T)
+        assert entry.is_dead(4.5, T)
+
+    def test_refresh_clears_forced(self):
+        entry = ReuniteEntry("r1", 0.0, forced_stale=True)
+        entry.refresh(1.0)
+        assert not entry.is_stale(1.0, T)
+
+    def test_make_stale(self):
+        entry = ReuniteEntry("r1", 0.0)
+        entry.make_stale()
+        assert entry.is_stale(0.0, T)
+
+
+class TestReuniteMct:
+    def test_multiple_entries(self):
+        mct = ReuniteMct()
+        mct.add("r1", 0.0)
+        mct.add("r2", 1.0)
+        assert "r1" in mct and "r2" in mct
+        assert len(mct) == 2
+
+    def test_fresh_entries_in_insertion_order(self):
+        mct = ReuniteMct()
+        mct.add("r2", 0.0)
+        mct.add("r1", 1.0)
+        fresh = mct.fresh_entries(1.0, T)
+        assert [e.address for e in fresh] == ["r2", "r1"]
+
+    def test_fresh_excludes_stale(self):
+        mct = ReuniteMct()
+        mct.add("old", 0.0)
+        mct.add("new", 3.0)
+        assert [e.address for e in mct.fresh_entries(3.0, T)] == ["new"]
+
+    def test_expire(self):
+        mct = ReuniteMct()
+        mct.add("old", 0.0)
+        mct.add("new", 3.0)
+        assert mct.expire(5.0, T) == ["old"]
+        assert "new" in mct
+
+    def test_remove_is_idempotent(self):
+        mct = ReuniteMct()
+        mct.add("r1", 0.0)
+        mct.remove("r1")
+        mct.remove("r1")
+        assert len(mct) == 0
+
+
+class TestReuniteMft:
+    def make(self):
+        return ReuniteMft(dst=ReuniteEntry("dst", 0.0))
+
+    def test_dst_staleness_controls_table(self):
+        mft = self.make()
+        assert not mft.is_stale(2.0, T)
+        assert mft.is_stale(2.5, T)  # stale dst = stale MFT
+
+    def test_headless_mft_is_stale(self):
+        mft = self.make()
+        mft.dst = None
+        assert mft.is_stale(0.0, T)
+
+    def test_receiver_management(self):
+        mft = self.make()
+        mft.add_receiver("r2", 0.0)
+        assert mft.get_receiver("r2") is not None
+        assert mft.get_receiver("dst") is None  # dst is not a receiver
+
+    def test_live_vs_fresh_receivers(self):
+        mft = self.make()
+        mft.add_receiver("fresh", 3.0)
+        mft.add_receiver("stale", 1.0)
+        assert [e.address for e in mft.fresh_receivers(3.6, T)] == ["fresh"]
+        live = [e.address for e in mft.live_receivers(3.6, T)]
+        assert live == ["fresh", "stale"]  # stale still gets data
+
+    def test_expire_reports_addresses(self):
+        mft = self.make()
+        mft.add_receiver("r2", 0.0)
+        removed = mft.expire(5.0, T)
+        assert set(removed) == {"dst", "r2"}
+        assert mft.empty
+
+    def test_promote_receiver_to_dst(self):
+        mft = self.make()
+        mft.dst = None
+        mft.add_receiver("r2", 3.0)
+        assert mft.promote_receiver_to_dst(3.0, T) == "r2"
+        assert mft.dst.address == "r2"
+        assert mft.get_receiver("r2") is None
+
+    def test_promote_skips_stale(self):
+        mft = self.make()
+        mft.dst = None
+        mft.add_receiver("old", 0.0)
+        assert mft.promote_receiver_to_dst(5.0, T) is None
+
+
+class TestReuniteState:
+    def test_expire_clears_empty_tables(self):
+        state = ReuniteState()
+        state.mct = ReuniteMct()
+        state.mct.add("r1", 0.0)
+        state.expire(10.0, T)
+        assert state.mct is None
+        assert not state.in_tree
+
+    def test_branching_flag(self):
+        state = ReuniteState()
+        assert not state.is_branching
+        state.mft = ReuniteMft(dst=ReuniteEntry("r1", 0.0))
+        assert state.is_branching

@@ -1,0 +1,66 @@
+"""Unit tests for route-asymmetry analysis."""
+
+import pytest
+
+from repro.routing.analysis import (
+    measure_route_asymmetry,
+    path_cost,
+    reverse_path,
+)
+from repro.routing.tables import UnicastRouting
+from repro.topology.costs import assign_symmetric_costs
+from repro.topology.isp import isp_topology
+from repro.topology.random_graphs import line_topology
+
+
+class TestPathHelpers:
+    def test_reverse_path(self):
+        assert reverse_path([1, 2, 3]) == [3, 2, 1]
+
+    def test_path_cost_directed(self, fig2_topology):
+        assert path_cost(fig2_topology, [0, 1, 3, 11]) == 3.0
+        assert path_cost(fig2_topology, [11, 3, 1, 0]) == 7.0
+
+    def test_empty_and_single_node_paths(self, fig2_topology):
+        assert path_cost(fig2_topology, []) == 0.0
+        assert path_cost(fig2_topology, [0]) == 0.0
+
+
+class TestAsymmetryMeasurement:
+    def test_symmetric_costs_no_asymmetry(self):
+        topology = line_topology(8)
+        assign_symmetric_costs(topology, seed=2)
+        stats = measure_route_asymmetry(topology)
+        assert stats.asymmetric_fraction == 0.0
+        assert stats.mean_cost_ratio == pytest.approx(1.0)
+
+    def test_line_topology_always_symmetric_paths(self):
+        # Even with wild asymmetric costs, a line has one path only:
+        # node sequences match, but cost ratios may exceed 1.
+        topology = line_topology(6)
+        topology.set_cost(0, 1, 10.0)
+        stats = measure_route_asymmetry(topology)
+        assert stats.asymmetric_fraction == 0.0
+        assert stats.max_cost_ratio > 1.0
+
+    def test_isp_topology_is_substantially_asymmetric(self):
+        # The premise of the whole paper: with per-direction U[1,10]
+        # costs a large share of routes are asymmetric (Paxson
+        # measured ~50% at city granularity).
+        topology = isp_topology(seed=42)
+        stats = measure_route_asymmetry(
+            topology, nodes=topology.routers
+        )
+        assert stats.pairs_examined == 18 * 17 // 2
+        assert stats.asymmetric_fraction > 0.3
+
+    def test_node_subset(self, fig2_topology):
+        stats = measure_route_asymmetry(fig2_topology, nodes=[0, 12])
+        assert stats.pairs_examined == 1
+        assert stats.asymmetric_pairs == 1  # the Fig. 2 route pair
+
+    def test_routing_reuse(self, fig2_topology):
+        routing = UnicastRouting(fig2_topology)
+        stats = measure_route_asymmetry(fig2_topology, routing=routing,
+                                        nodes=[0, 11, 12])
+        assert stats.pairs_examined == 3

@@ -1,0 +1,116 @@
+"""Unit tests for the Dijkstra implementation."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.dijkstra import (
+    shortest_path,
+    shortest_path_tree,
+    shortest_paths_from,
+)
+from repro.topology.model import Topology
+
+
+def diamond() -> Topology:
+    """0 -> {1, 2} -> 3 with asymmetric costs.
+
+    Forward: 0-1-3 costs 1+1=2, 0-2-3 costs 2+2=4.
+    Backward: 3-1-0 costs 5+5=10, 3-2-0 costs 1+1=2.
+    """
+    topology = Topology(name="diamond")
+    for node in range(4):
+        topology.add_router(node)
+    topology.add_link(0, 1, 1, 5)
+    topology.add_link(1, 3, 1, 5)
+    topology.add_link(0, 2, 2, 1)
+    topology.add_link(2, 3, 2, 1)
+    return topology
+
+
+class TestShortestPaths:
+    def test_distances(self):
+        distance, _ = shortest_paths_from(diamond(), 0)
+        assert distance == {0: 0.0, 1: 1.0, 2: 2.0, 3: 2.0}
+
+    def test_asymmetric_reverse_distances(self):
+        distance, _ = shortest_paths_from(diamond(), 3)
+        assert distance[0] == 2.0  # via node 2, not node 1
+
+    def test_predecessors_give_forward_path(self):
+        assert shortest_path(diamond(), 0, 3) == [0, 1, 3]
+
+    def test_reverse_path_differs(self):
+        assert shortest_path(diamond(), 3, 0) == [3, 2, 0]
+
+    def test_path_to_self(self):
+        paths = shortest_path_tree(diamond(), 0)
+        assert paths[0] == [0]
+
+    def test_full_tree_covers_all_nodes(self):
+        paths = shortest_path_tree(diamond(), 0)
+        assert set(paths) == {0, 1, 2, 3}
+        for destination, path in paths.items():
+            assert path[0] == 0
+            assert path[-1] == destination
+
+    def test_unknown_origin_raises(self):
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            shortest_paths_from(diamond(), 99)
+
+    def test_unreachable_destination_raises(self):
+        topology = Topology()
+        topology.add_router(0)
+        topology.add_router(1)
+        topology.add_router(2)
+        topology.add_link(0, 1)
+        with pytest.raises(RoutingError):
+            shortest_path(topology, 0, 2)
+
+
+class TestDeterministicTieBreak:
+    def test_equal_cost_paths_prefer_smallest_predecessor(self):
+        # Two equal-cost two-hop paths 0-1-3 and 0-2-3: the tie must
+        # resolve to predecessor 1 deterministically.
+        topology = Topology()
+        for node in range(4):
+            topology.add_router(node)
+        topology.add_link(0, 1, 1, 1)
+        topology.add_link(0, 2, 1, 1)
+        topology.add_link(1, 3, 1, 1)
+        topology.add_link(2, 3, 1, 1)
+        assert shortest_path(topology, 0, 3) == [0, 1, 3]
+
+    def test_tie_break_insensitive_to_insertion_order(self):
+        # Same graph built with links added in the opposite order.
+        topology = Topology()
+        for node in range(4):
+            topology.add_router(node)
+        topology.add_link(2, 3, 1, 1)
+        topology.add_link(1, 3, 1, 1)
+        topology.add_link(0, 2, 1, 1)
+        topology.add_link(0, 1, 1, 1)
+        assert shortest_path(topology, 0, 3) == [0, 1, 3]
+
+
+class TestLargerGraphs:
+    def test_line_costs_accumulate(self):
+        from repro.topology.random_graphs import line_topology
+
+        line = line_topology(10)
+        distance, _ = shortest_paths_from(line, 0)
+        assert distance[9] == 9.0
+
+    def test_matches_networkx_on_random_graph(self):
+        import networkx as nx
+
+        from repro.topology.random_graphs import random_topology
+
+        topology = random_topology(30, 60, seed=17)
+        graph = topology.directed_graph()
+        expected = nx.single_source_dijkstra_path_length(
+            graph, 0, weight="cost"
+        )
+        distance, _ = shortest_paths_from(topology, 0)
+        assert distance == pytest.approx(expected)

@@ -1,0 +1,149 @@
+"""Unit/integration tests for the distance-vector routing substrate."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.netsim.network import Network
+from repro.routing.distance_vector import (
+    DistanceVectorAgent,
+    DvRouting,
+    deploy_distance_vector,
+)
+from repro.routing.tables import UnicastRouting
+from repro.topology.isp import isp_topology
+from repro.topology.random_graphs import line_topology
+
+
+def converged_network(topology, periods=12.0, period=100.0):
+    network = Network(topology)
+    agents = deploy_distance_vector(network, advertise_period=period)
+    network.start()
+    network.run(until=periods * period)
+    return network, agents
+
+
+class TestConvergence:
+    def test_line_learns_all_routes(self):
+        network, agents = converged_network(line_topology(5))
+        assert agents[0].next_hop(4) == 1
+        assert agents[0].metric(4) == 4.0
+        assert agents[4].next_hop(0) == 3
+
+    def test_matches_dijkstra_on_asymmetric_topology(self, fig2_topology):
+        network, agents = converged_network(fig2_topology)
+        oracle = UnicastRouting(fig2_topology)
+        for origin in fig2_topology.nodes:
+            for destination in fig2_topology.nodes:
+                if origin == destination:
+                    continue
+                assert (agents[origin].metric(destination)
+                        == oracle.distance(origin, destination)), (
+                    origin, destination)
+
+    def test_matches_dijkstra_on_isp_topology(self):
+        topology = isp_topology(seed=23)
+        network, agents = converged_network(topology)
+        oracle = UnicastRouting(topology)
+        for origin in (18, 0, 7, 35):
+            for destination in topology.nodes:
+                if origin == destination:
+                    continue
+                assert (agents[origin].metric(destination)
+                        == oracle.distance(origin, destination))
+
+    def test_dv_routing_adapter(self, fig2_topology):
+        network, agents = converged_network(fig2_topology)
+        routing = DvRouting(network, agents)
+        oracle = UnicastRouting(fig2_topology)
+        assert routing.distance(0, 12) == oracle.distance(0, 12)
+        path = routing.path(0, 12)
+        assert path[0] == 0 and path[-1] == 12
+        assert routing.path(3, 3) == [3]
+
+    def test_unknown_destination_raises(self):
+        network, agents = converged_network(line_topology(3))
+        with pytest.raises(RoutingError):
+            agents[0].next_hop(99)
+        with pytest.raises(RoutingError):
+            agents[0].metric(99)
+
+    def test_timeout_validation(self):
+        with pytest.raises(RoutingError):
+            DistanceVectorAgent(advertise_period=100.0, route_timeout=50.0)
+
+
+class TestFailureReaction:
+    def test_reroutes_around_link_cut(self):
+        # Ladder: 0-1-2 primary, 0-3-4-2 backup.
+        from repro.topology.model import Topology
+
+        topology = Topology(name="ladder")
+        for router in (0, 1, 2, 3, 4):
+            topology.add_router(router)
+        topology.add_link(0, 1, 1, 1)
+        topology.add_link(1, 2, 1, 1)
+        topology.add_link(0, 3, 5, 5)
+        topology.add_link(3, 4, 5, 5)
+        topology.add_link(4, 2, 5, 5)
+        network, agents = converged_network(topology)
+        assert agents[0].next_hop(2) == 1
+
+        # Cut the primary; advertisements over it are lost, the route
+        # times out, and the backup takes over.
+        link = network.node(0).links[1]
+        link.up = False
+        network.run(until=network.simulator.now + 800.0)
+        assert agents[0].next_hop(2) == 3
+        assert agents[0].metric(2) == 15.0
+
+    def test_recovers_after_restore(self):
+        from repro.topology.model import Topology
+
+        topology = Topology(name="pairline")
+        for router in (0, 1, 2):
+            topology.add_router(router)
+        topology.add_link(0, 1, 1, 1)
+        topology.add_link(1, 2, 1, 1)
+        topology.add_link(0, 2, 9, 9)
+        network, agents = converged_network(topology)
+        assert agents[0].next_hop(2) == 1
+        network.node(0).links[1].up = False
+        network.run(until=network.simulator.now + 800.0)
+        assert agents[0].next_hop(2) == 2  # direct, expensive
+        network.node(0).links[1].up = True
+        network.run(until=network.simulator.now + 400.0)
+        assert agents[0].next_hop(2) == 1  # cheap path restored
+
+
+class TestHbhOverLearnedRoutes:
+    def test_hbh_identical_over_dv_and_oracle(self, fig2_topology):
+        # The substrate-independence claim: HBH rides whatever the
+        # unicast infrastructure provides.  Converge DV, swap it in as
+        # the network's routing, run an HBH channel, compare with the
+        # oracle-routed result.
+        from repro.core import HbhChannel
+        from repro.core.tables import ProtocolTiming
+
+        timing = ProtocolTiming(join_period=50.0, tree_period=50.0,
+                                t1=130.0, t2=260.0)
+
+        def run(use_dv: bool):
+            network = Network(fig2_topology.copy())
+            if use_dv:
+                agents = deploy_distance_vector(network,
+                                                advertise_period=25.0,
+                                                route_timeout=90.0)
+                network.start()
+                network.run(until=300.0)
+                network.routing = DvRouting(network, agents)
+            channel = HbhChannel(network, source_node=0, timing=timing)
+            for receiver in (11, 12, 13):
+                channel.join(receiver)
+                channel.converge(periods=6)
+            channel.converge(periods=6)
+            return channel.measure_data()
+
+        oracle = run(use_dv=False)
+        learned = run(use_dv=True)
+        assert learned.delays == oracle.delays
+        assert learned.complete

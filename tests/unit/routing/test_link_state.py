@@ -1,0 +1,142 @@
+"""Unit/integration tests for the link-state routing substrate."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.netsim.network import Network
+from repro.routing.link_state import (
+    LinkStateAgent,
+    LsRouting,
+    deploy_link_state,
+)
+from repro.routing.tables import UnicastRouting
+from repro.topology.isp import isp_topology
+from repro.topology.random_graphs import line_topology
+
+
+def converged_network(topology, periods=10.0, period=100.0):
+    network = Network(topology)
+    agents = deploy_link_state(network, origination_period=period)
+    network.start()
+    network.run(until=periods * period)
+    return network, agents
+
+
+class TestFlooding:
+    def test_every_router_learns_every_lsa(self):
+        network, agents = converged_network(line_topology(6))
+        for agent in agents.values():
+            assert set(agent.lsdb) == set(range(6))
+
+    def test_old_sequence_ignored(self):
+        from repro.routing.link_state import LinkStateAdvertisement
+        from repro.netsim.packet import Packet
+
+        network, agents = converged_network(line_topology(3))
+        agent = agents[1]
+        current = agent.lsdb[0].advertisement
+        stale = LinkStateAdvertisement(0, current.sequence - 1, ())
+        agent.deliver(Packet(src=network.address_of(0),
+                             dst=network.address_of(1), payload=stale))
+        assert agent.lsdb[0].advertisement.sequence == current.sequence
+
+    def test_parameter_validation(self):
+        with pytest.raises(RoutingError):
+            LinkStateAgent(origination_period=100.0, max_age=50.0)
+
+
+class TestRouteComputation:
+    def test_matches_dijkstra_on_asymmetric_topology(self, fig2_topology):
+        network, agents = converged_network(fig2_topology)
+        oracle = UnicastRouting(fig2_topology)
+        for origin in fig2_topology.nodes:
+            for destination in fig2_topology.nodes:
+                if origin == destination:
+                    continue
+                assert (agents[origin].metric(destination)
+                        == oracle.distance(origin, destination)), (
+                    origin, destination)
+
+    def test_matches_dijkstra_on_isp(self):
+        topology = isp_topology(seed=29)
+        network, agents = converged_network(topology)
+        oracle = UnicastRouting(topology)
+        for origin in (18, 3, 12):
+            for destination in topology.nodes:
+                if origin != destination:
+                    assert (agents[origin].metric(destination)
+                            == oracle.distance(origin, destination))
+
+    def test_ls_routing_adapter(self, fig2_topology):
+        network, agents = converged_network(fig2_topology)
+        routing = LsRouting(network, agents)
+        oracle = UnicastRouting(fig2_topology)
+        assert routing.path(0, 12) == oracle.path(0, 12)
+        assert routing.distance(12, 0) == oracle.distance(12, 0)
+        assert routing.path(5, 5) == [5]
+
+    def test_unknown_destination(self):
+        network, agents = converged_network(line_topology(3))
+        with pytest.raises(RoutingError):
+            agents[0].next_hop(99)
+
+
+class TestFailureReaction:
+    def test_interface_sensing_reroutes(self):
+        from repro.topology.model import Topology
+
+        topology = Topology(name="triangle")
+        for router in (0, 1, 2):
+            topology.add_router(router)
+        topology.add_link(0, 1, 1, 1)
+        topology.add_link(1, 2, 1, 1)
+        topology.add_link(0, 2, 9, 9)
+        network, agents = converged_network(topology)
+        assert agents[0].next_hop(2) == 1
+        # Cut 1-2: both endpoints stop listing it at the next
+        # origination; flooding spreads the news.
+        network.node(1).links[2].up = False
+        network.run(until=network.simulator.now + 400.0)
+        assert agents[0].next_hop(2) == 2
+        assert agents[0].metric(2) == 9.0
+
+    def test_dead_router_ages_out(self):
+        network, agents = converged_network(line_topology(4))
+        # Node 3 dies: cut its only link; its LSA eventually ages out
+        # of everyone else's database.
+        network.node(2).links[3].up = False
+        network.node(3).links[2].up = False
+        network.run(until=network.simulator.now + 900.0)
+        assert 3 not in agents[0].lsdb
+        with pytest.raises(RoutingError):
+            agents[0].next_hop(3)
+
+
+class TestHbhOverLinkState:
+    def test_hbh_identical_over_ls_and_oracle(self, fig2_topology):
+        from repro.core import HbhChannel
+        from repro.core.tables import ProtocolTiming
+
+        timing = ProtocolTiming(join_period=50.0, tree_period=50.0,
+                                t1=130.0, t2=260.0)
+
+        def run(use_ls: bool):
+            network = Network(fig2_topology.copy())
+            if use_ls:
+                agents = deploy_link_state(network,
+                                           origination_period=25.0,
+                                           max_age=90.0)
+                network.start()
+                network.run(until=250.0)
+                network.routing = LsRouting(network, agents)
+            channel = HbhChannel(network, source_node=0, timing=timing)
+            for receiver in (11, 12, 13):
+                channel.join(receiver)
+                channel.converge(periods=6)
+            channel.converge(periods=6)
+            return channel.measure_data()
+
+        oracle = run(use_ls=False)
+        learned = run(use_ls=True)
+        assert learned.delays == oracle.delays
+        assert learned.complete

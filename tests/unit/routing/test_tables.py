@@ -1,0 +1,79 @@
+"""Unit tests for routing tables and the network-wide routing view."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.tables import UnicastRouting
+from repro.topology.model import Topology
+from repro.topology.random_graphs import line_topology
+
+
+@pytest.fixture
+def routing(fig2_topology):
+    return UnicastRouting(fig2_topology)
+
+
+class TestRoutingTable:
+    def test_next_hop(self, routing):
+        table = routing.table(11)
+        assert table.next_hop(0) == 2  # r1's reverse route starts at R2
+
+    def test_next_hop_to_self_raises(self, routing):
+        with pytest.raises(RoutingError):
+            routing.table(0).next_hop(0)
+
+    def test_unknown_destination_raises(self, routing):
+        with pytest.raises(RoutingError):
+            routing.table(0).next_hop(99)
+
+    def test_distance(self, routing):
+        assert routing.table(0).distance(12) == 2.0
+
+    def test_destinations_complete(self, routing, fig2_topology):
+        table = routing.table(0)
+        assert table.destinations() == [n for n in fig2_topology.nodes
+                                        if n != 0]
+
+    def test_repr(self, routing):
+        assert "node=0" in repr(routing.table(0))
+
+
+class TestUnicastRouting:
+    def test_paths_are_asymmetric(self, routing):
+        assert routing.path(0, 12) == [0, 4, 12]
+        assert routing.path(12, 0) == [12, 3, 1, 0]
+
+    def test_path_to_self(self, routing):
+        assert routing.path(7, 7) == [7]
+
+    def test_distance_to_self(self, routing):
+        assert routing.distance(3, 3) == 0.0
+
+    def test_path_consistency_with_next_hops(self, routing):
+        path = routing.path(11, 0)
+        for here, there in zip(path, path[1:]):
+            assert routing.next_hop(here, 0) == there
+
+    def test_cache_and_invalidate(self, fig2_topology):
+        routing = UnicastRouting(fig2_topology)
+        assert routing.path(0, 12) == [0, 4, 12]
+        # Make the R4 route terrible; without invalidation the cached
+        # table must still be used, after invalidation the new one.
+        fig2_topology.set_cost(0, 4, 100.0)
+        assert routing.path(0, 12) == [0, 4, 12]
+        routing.invalidate()
+        assert routing.path(0, 12) == [0, 1, 3, 12]
+
+    def test_validates_topology(self):
+        from repro.errors import TopologyError
+
+        disconnected = Topology()
+        disconnected.add_router(0)
+        disconnected.add_router(1)
+        with pytest.raises(TopologyError):
+            UnicastRouting(disconnected)
+
+    def test_line_distances(self):
+        routing = UnicastRouting(line_topology(6))
+        assert routing.distance(0, 5) == 5.0
+        assert routing.path(0, 5) == [0, 1, 2, 3, 4, 5]

@@ -1,0 +1,74 @@
+"""Unit tests for the exception hierarchy and seeded RNG helpers."""
+
+import random
+
+import pytest
+
+from repro import errors
+from repro._rand import derive_rng, make_rng, sample_receivers
+
+
+class TestErrorHierarchy:
+    def test_every_error_is_a_repro_error(self):
+        for name in ("AddressError", "TopologyError", "RoutingError",
+                     "SimulationError", "ScheduleInPastError",
+                     "ProtocolError", "ChannelError", "MembershipError",
+                     "ExperimentError"):
+            error_type = getattr(errors, name)
+            assert issubclass(error_type, errors.ReproError)
+
+    def test_address_error_is_value_error(self):
+        # So library users can catch it with plain ValueError too.
+        assert issubclass(errors.AddressError, ValueError)
+
+    def test_schedule_in_past_is_simulation_error(self):
+        assert issubclass(errors.ScheduleInPastError, errors.SimulationError)
+
+    def test_channel_error_is_protocol_error(self):
+        assert issubclass(errors.ChannelError, errors.ProtocolError)
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_rng_passthrough(self):
+        rng = random.Random(3)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_fresh_rng(self):
+        assert isinstance(make_rng(None), random.Random)
+
+
+class TestDeriveRng:
+    def test_same_label_same_stream(self):
+        a = derive_rng(make_rng(1), "costs")
+        b = derive_rng(make_rng(1), "costs")
+        assert a.random() == b.random()
+
+    def test_different_labels_differ(self):
+        base = make_rng(1)
+        a = derive_rng(base, "costs")
+        base2 = make_rng(1)
+        b = derive_rng(base2, "receivers")
+        assert a.random() != b.random()
+
+    def test_index_separates_streams(self):
+        a = derive_rng(make_rng(1), "run", 0)
+        b = derive_rng(make_rng(1), "run", 1)
+        assert a.random() != b.random()
+
+
+class TestSampleReceivers:
+    def test_samples_without_replacement(self):
+        sample = sample_receivers(list(range(20)), 10, make_rng(5))
+        assert len(sample) == len(set(sample)) == 10
+
+    def test_deterministic_under_seed(self):
+        a = sample_receivers(list(range(20)), 5, make_rng(5))
+        b = sample_receivers(list(range(20)), 5, make_rng(5))
+        assert a == b
+
+    def test_rejects_oversampling(self):
+        with pytest.raises(ValueError):
+            sample_receivers([1, 2, 3], 4, make_rng(0))

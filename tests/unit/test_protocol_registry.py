@@ -1,0 +1,65 @@
+"""Unit tests for the protocol registry and public package API."""
+
+import pytest
+
+import repro
+from repro.errors import ExperimentError
+from repro.protocols.base import (
+    PROTOCOL_REGISTRY,
+    MulticastProtocol,
+    build_protocol,
+)
+from repro.topology.random_graphs import line_topology
+
+
+class TestRegistry:
+    def test_all_paper_protocols_registered(self):
+        line = line_topology(3)
+        for name in ("hbh", "reunite", "pim-sm", "pim-ss", "mospf"):
+            instance = build_protocol(name, line, 0)
+            assert isinstance(instance, MulticastProtocol)
+            assert instance.name == name
+
+    def test_unknown_protocol_lists_known(self):
+        with pytest.raises(ExperimentError) as excinfo:
+            build_protocol("dvmrp", line_topology(3), 0)
+        assert "hbh" in str(excinfo.value)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.protocols.base import register_protocol
+
+        with pytest.raises(ExperimentError):
+            @register_protocol("hbh")
+            class Duplicate:  # pragma: no cover - never instantiated
+                pass
+
+    def test_common_interface_end_to_end(self):
+        line = line_topology(4)
+        for name in sorted(PROTOCOL_REGISTRY):
+            instance = build_protocol(name, line, 0)
+            instance.add_receivers([3])
+            instance.converge()
+            distribution = instance.distribute_data()
+            assert distribution.complete, name
+
+    def test_repr(self):
+        instance = build_protocol("hbh", line_topology(3), 0)
+        assert "source=0" in repr(instance)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_surface(self):
+        network = repro.Network(repro.isp_topology(seed=1))
+        channel = repro.HbhChannel(network, source_node=18)
+        channel.join(20)
+        channel.converge(periods=8)
+        distribution = channel.measure_data()
+        assert repro.tree_cost_copies(distribution) > 0
+        assert repro.average_delay(distribution) > 0

@@ -1,0 +1,196 @@
+"""Unit tests for the topology generators, costs and host attachment."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.routing.tables import UnicastRouting
+from repro.topology.costs import (
+    assign_spread_costs,
+    assign_symmetric_costs,
+    assign_uniform_costs,
+)
+from repro.topology.hosts import attach_one_host_per_router
+from repro.topology.isp import (
+    ISP_LINKS,
+    ISP_NUM_ROUTERS,
+    ISP_SOURCE_NODE,
+    isp_receiver_candidates,
+    isp_topology,
+)
+from repro.topology.random_graphs import (
+    line_topology,
+    random_topology,
+    random_topology_50,
+    star_topology,
+    waxman_topology,
+)
+
+
+class TestIspTopology:
+    def test_published_statistics(self):
+        topology = isp_topology(seed=1)
+        assert len(topology.routers) == ISP_NUM_ROUTERS == 18
+        assert len(ISP_LINKS) == 30
+        # "average connectivity 3.3" (Section 4.1).
+        assert topology.average_degree() == pytest.approx(2 * 30 / 18)
+
+    def test_hosts_numbered_like_the_paper(self):
+        topology = isp_topology(seed=1)
+        assert topology.hosts == list(range(18, 36))
+        # Host 18+i hangs off router i.
+        for router in range(18):
+            assert topology.attachment_router(18 + router) == router
+
+    def test_source_is_node_18(self):
+        topology = isp_topology(seed=1)
+        assert ISP_SOURCE_NODE == 18
+        assert ISP_SOURCE_NODE not in isp_receiver_candidates(topology)
+        assert len(isp_receiver_candidates(topology)) == 17
+
+    def test_costs_in_paper_range(self):
+        topology = isp_topology(seed=3)
+        for a, b in topology.undirected_edges():
+            assert 1 <= topology.cost(a, b) <= 10
+            assert 1 <= topology.cost(b, a) <= 10
+
+    def test_seed_reproducibility(self):
+        t1, t2 = isp_topology(seed=5), isp_topology(seed=5)
+        for a, b in t1.undirected_edges():
+            assert t1.cost(a, b) == t2.cost(a, b)
+
+    def test_without_hosts(self):
+        topology = isp_topology(seed=1, with_hosts=False)
+        assert topology.hosts == []
+        topology.validate()
+
+    def test_unit_costs_option(self):
+        topology = isp_topology(randomize_costs=False)
+        assert all(topology.cost(a, b) == 1
+                   for a, b in topology.undirected_edges())
+
+
+class TestRandom50:
+    def test_paper_parameters(self):
+        topology = random_topology_50(seed=2)
+        assert len(topology.routers) == 50
+        assert topology.num_links == 215
+        assert topology.average_degree() == pytest.approx(8.6)
+        topology.validate()
+
+    def test_distinct_seeds_distinct_graphs(self):
+        t1, t2 = random_topology_50(seed=1), random_topology_50(seed=2)
+        assert (sorted(t1.undirected_edges())
+                != sorted(t2.undirected_edges()))
+
+
+class TestRandomTopology:
+    def test_connectivity_guaranteed(self):
+        for seed in range(5):
+            random_topology(20, 25, seed=seed).validate()
+
+    def test_too_few_links_rejected(self):
+        with pytest.raises(TopologyError):
+            random_topology(10, 8, seed=0)
+
+    def test_too_many_links_rejected(self):
+        with pytest.raises(TopologyError):
+            random_topology(5, 11, seed=0)
+
+
+class TestWaxman:
+    def test_connected_and_sized(self):
+        topology = waxman_topology(30, seed=4)
+        assert len(topology.routers) == 30
+        topology.validate()
+
+    def test_alpha_scales_density(self):
+        sparse = waxman_topology(40, alpha=0.2, seed=9)
+        dense = waxman_topology(40, alpha=0.9, seed=9)
+        assert dense.num_links > sparse.num_links
+
+    def test_parameter_validation(self):
+        with pytest.raises(TopologyError):
+            waxman_topology(10, alpha=0.0)
+        with pytest.raises(TopologyError):
+            waxman_topology(10, beta=1.5)
+        with pytest.raises(TopologyError):
+            waxman_topology(1)
+
+
+class TestHelpers:
+    def test_line_topology(self):
+        topology = line_topology(5)
+        assert topology.num_links == 4
+        assert topology.degree(0) == 1
+        assert topology.degree(2) == 2
+
+    def test_star_topology(self):
+        topology = star_topology(6)
+        assert topology.degree(0) == 6
+        assert all(topology.degree(leaf) == 1 for leaf in range(1, 7))
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(TopologyError):
+            line_topology(1)
+        with pytest.raises(TopologyError):
+            star_topology(0)
+
+
+class TestCostModels:
+    def test_uniform_costs_are_asymmetric_somewhere(self):
+        topology = line_topology(30)
+        assign_uniform_costs(topology, seed=1)
+        assert any(topology.cost(a, b) != topology.cost(b, a)
+                   for a, b in topology.undirected_edges())
+
+    def test_symmetric_costs(self):
+        topology = line_topology(30)
+        assign_symmetric_costs(topology, seed=1)
+        assert all(topology.cost(a, b) == topology.cost(b, a)
+                   for a, b in topology.undirected_edges())
+
+    def test_spread_zero_is_symmetric(self):
+        topology = line_topology(30)
+        assign_spread_costs(topology, spread=0.0, seed=1)
+        assert all(topology.cost(a, b) == topology.cost(b, a)
+                   for a, b in topology.undirected_edges())
+
+    def test_spread_one_is_asymmetric(self):
+        topology = line_topology(30)
+        assign_spread_costs(topology, spread=1.0, seed=1)
+        assert any(topology.cost(a, b) != topology.cost(b, a)
+                   for a, b in topology.undirected_edges())
+
+    def test_spread_validation(self):
+        with pytest.raises(TopologyError):
+            assign_spread_costs(line_topology(3), spread=1.5)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(TopologyError):
+            assign_uniform_costs(line_topology(3), low=0)
+        with pytest.raises(TopologyError):
+            assign_symmetric_costs(line_topology(3), low=5, high=4)
+
+    def test_costs_stay_positive_under_spread(self):
+        topology = line_topology(50)
+        assign_spread_costs(topology, spread=0.5, seed=2)
+        for a, b in topology.undirected_edges():
+            assert topology.cost(a, b) >= 1
+
+
+class TestHostAttachment:
+    def test_one_host_per_router(self):
+        topology = random_topology_50(seed=3)
+        hosts = attach_one_host_per_router(topology, seed=4)
+        assert len(hosts) == 50
+        assert hosts == list(range(50, 100))
+        for offset, router in enumerate(topology.routers):
+            assert topology.attachment_router(50 + offset) == router
+        topology.validate()
+
+    def test_routing_reaches_hosts(self):
+        topology = random_topology_50(seed=3)
+        hosts = attach_one_host_per_router(topology, seed=4)
+        routing = UnicastRouting(topology)
+        assert routing.path(hosts[0], hosts[-1])[0] == hosts[0]
+        assert routing.path(hosts[0], hosts[-1])[-1] == hosts[-1]

@@ -1,0 +1,56 @@
+"""Unit tests for topology (de)serialization."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.io import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.topology.isp import isp_topology
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_structure(self):
+        original = isp_topology(seed=11)
+        rebuilt = topology_from_dict(topology_to_dict(original))
+        assert rebuilt.routers == original.routers
+        assert rebuilt.hosts == original.hosts
+        assert (sorted(rebuilt.undirected_edges())
+                == sorted(original.undirected_edges()))
+
+    def test_dict_round_trip_preserves_costs(self):
+        original = isp_topology(seed=11)
+        rebuilt = topology_from_dict(topology_to_dict(original))
+        for a, b in original.undirected_edges():
+            assert rebuilt.cost(a, b) == original.cost(a, b)
+            assert rebuilt.cost(b, a) == original.cost(b, a)
+
+    def test_capability_flags_survive(self):
+        original = isp_topology(seed=11)
+        original.set_multicast_capable(3, False)
+        rebuilt = topology_from_dict(topology_to_dict(original))
+        assert not rebuilt.is_multicast_capable(3)
+        assert rebuilt.is_multicast_capable(4)
+
+    def test_file_round_trip(self, tmp_path):
+        original = isp_topology(seed=11)
+        path = tmp_path / "isp.json"
+        save_topology(original, path)
+        rebuilt = load_topology(path)
+        assert rebuilt.name == original.name
+        assert rebuilt.num_links == original.num_links
+
+
+class TestValidation:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(TopologyError):
+            topology_from_dict({"format": 999})
+
+    def test_rebuilt_topology_is_validated(self):
+        data = topology_to_dict(isp_topology(seed=11))
+        data["links"] = []  # disconnect everything
+        with pytest.raises(TopologyError):
+            topology_from_dict(data)
