@@ -19,6 +19,7 @@ import pytest
 
 from repro.experiments.figures import run_figure
 from repro.experiments.harness import SweepResult
+from repro.obs.registry import MetricsRegistry
 
 #: Monte-Carlo runs per sweep point in benchmarks.
 BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "25"))
@@ -44,6 +45,27 @@ def series_info(result: SweepResult, metric: str) -> Dict[str, list]:
         protocol: result.series(protocol, metric)
         for protocol in result.config.protocols
     }
+
+
+def sweep_registry(result: SweepResult) -> MetricsRegistry:
+    """The obs registry the sweep recorded into (always present for
+    sweeps run by this process)."""
+    assert result.metrics is not None, "sweep ran without a registry"
+    return result.metrics
+
+
+def registry_mean(result: SweepResult, name: str, protocol: str) -> float:
+    """Pooled histogram mean of a shared metric for one protocol.
+
+    All protocols emit identical metric names into the sweep registry,
+    so benchmarks read tree cost / overhead through this one accessor
+    regardless of which protocol produced it.
+    """
+    registry = sweep_registry(result)
+    for _name, labels, instrument in registry.collect(name):
+        if labels.get("protocol") == protocol:
+            return instrument.mean  # type: ignore[union-attr]
+    raise AssertionError(f"no {name!r} series for protocol {protocol!r}")
 
 
 @pytest.fixture

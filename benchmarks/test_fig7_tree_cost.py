@@ -9,7 +9,7 @@ REUNITE's badly-placed branching nodes now cost more than even the
 shared trees; HBH still tracks PIM-SS.
 """
 
-from benchmarks.conftest import figure_result, series_info
+from benchmarks.conftest import figure_result, registry_mean, series_info
 
 
 def _means_at_largest(result, metric="cost_copies"):
@@ -18,11 +18,25 @@ def _means_at_largest(result, metric="cost_copies"):
             for p in result.config.protocols}
 
 
+def _pooled_summary_mean(result, protocol, metric="cost_copies"):
+    """Mean over every run of every group size (equal runs per size,
+    so the mean of per-size means is exact)."""
+    values = [getattr(result.summary(n, protocol), metric).mean
+              for n in result.config.group_sizes]
+    return sum(values) / len(values)
+
+
 def test_fig7a_isp_tree_cost(benchmark):
     result = benchmark.pedantic(figure_result, args=("fig7a",),
                                 rounds=1, iterations=1)
     benchmark.extra_info["series"] = series_info(result, "cost_copies")
     benchmark.extra_info["runs_per_point"] = result.config.runs
+
+    # The obs registry and the summary pipeline must agree on tree
+    # cost — benchmarks read the registry, figures read the summaries.
+    for protocol in result.config.protocols:
+        pooled = registry_mean(result, "tree.cost.copies", protocol)
+        assert abs(pooled - _pooled_summary_mean(result, protocol)) < 1e-9
 
     at_largest = _means_at_largest(result)
     # PIM-SM shared trees are the most expensive (paper Section 4.2.1).

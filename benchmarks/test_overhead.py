@@ -1,17 +1,22 @@
 """Control-plane overhead benchmarks (not a paper figure, but the
 natural systems question about a three-message protocol): how many
-rule-level message events HBH and REUNITE process per converged join,
-and how the packet-level simulator scales on the ISP topology."""
+control message events each protocol processes per converged join, and
+how the packet-level simulator scales on the ISP topology.
+
+Overhead is read from the shared ``control.messages`` metric of the
+obs registry — the same series for HBH, REUNITE and the PIM baselines,
+so the comparison is apples-to-apples by construction.
+"""
 
 import os
 import zlib
 
 from repro._rand import derive_rng, make_rng, sample_receivers
 from repro.core import HbhChannel
-from repro.core.static_driver import StaticHbh
 from repro.core.tables import ProtocolTiming
 from repro.netsim.network import Network
-from repro.protocols.reunite.static_driver import StaticReunite
+from repro.obs.registry import MetricsRegistry
+from repro.protocols.base import build_protocol
 from repro.routing.tables import UnicastRouting
 from repro.topology.isp import (
     ISP_SOURCE_NODE,
@@ -23,8 +28,10 @@ RUNS = max(5, int(os.environ.get("REPRO_BENCH_RUNS", "25")) // 3)
 GROUP_SIZE = 10
 
 
-def _control_messages(driver_cls):
-    total = 0.0
+def _control_messages(protocol_name):
+    """Mean ``control.messages`` per converged 10-receiver group."""
+    registry = MetricsRegistry()
+    channel = None
     for run in range(RUNS):
         rng = make_rng(zlib.crc32(f"overhead/{run}".encode()))
         topology = isp_topology(seed=derive_rng(rng, "topo"))
@@ -32,17 +39,20 @@ def _control_messages(driver_cls):
             isp_receiver_candidates(topology), GROUP_SIZE,
             derive_rng(rng, "recv"),
         )
-        driver = driver_cls(topology, ISP_SOURCE_NODE,
-                            routing=UnicastRouting(topology))
+        instance = build_protocol(protocol_name, topology, ISP_SOURCE_NODE,
+                                  routing=UnicastRouting(topology))
         for receiver in sorted(receivers):
-            driver.add_receiver(receiver)
-            driver.converge(max_rounds=80)
-        total += driver.messages_processed / RUNS
-    return total
+            instance.add_receiver(receiver)
+            instance.converge(max_rounds=80)
+        instance.record_metrics(registry, instance.distribute_data())
+        channel = instance.channel_id()
+    total = registry.value("control.messages", protocol=protocol_name,
+                           channel=channel)
+    return total / RUNS
 
 
 def test_hbh_control_overhead(benchmark):
-    messages = benchmark.pedantic(_control_messages, args=(StaticHbh,),
+    messages = benchmark.pedantic(_control_messages, args=("hbh",),
                                   rounds=1, iterations=1)
     benchmark.extra_info["mean_messages_to_converge"] = round(messages, 1)
     assert messages > 0
@@ -50,7 +60,17 @@ def test_hbh_control_overhead(benchmark):
 
 def test_reunite_control_overhead(benchmark):
     messages = benchmark.pedantic(_control_messages,
-                                  args=(StaticReunite,),
+                                  args=("reunite",),
+                                  rounds=1, iterations=1)
+    benchmark.extra_info["mean_messages_to_converge"] = round(messages, 1)
+    assert messages > 0
+
+
+def test_pim_ss_control_overhead(benchmark):
+    """The computed baseline through the same registry series: PIM-SS
+    join/prune hop counts, directly comparable with the soft-state
+    protocols above."""
+    messages = benchmark.pedantic(_control_messages, args=("pim-ss",),
                                   rounds=1, iterations=1)
     benchmark.extra_info["mean_messages_to_converge"] = round(messages, 1)
     assert messages > 0

@@ -26,7 +26,6 @@ from repro.errors import ChannelError
 from repro.metrics.distribution import DataDistribution
 from repro.netsim.network import Network
 from repro.netsim.packet import PacketKind
-from repro.topology.model import NodeKind
 
 NodeId = Hashable
 

@@ -28,7 +28,7 @@ from repro.core.rules import (
 from repro.core.tables import HbhChannelState, ProtocolTiming
 from repro.errors import ProtocolError
 from repro.netsim.node import Agent
-from repro.netsim.packet import DataPayload, Packet, PacketKind
+from repro.netsim.packet import DataPayload, Packet
 
 NodeId = Hashable
 
@@ -73,12 +73,14 @@ class HbhRouterAgent(Agent):
         payload = packet.payload
         now = self.node.network.simulator.now
         if isinstance(payload, JoinMessage):
+            self._count_rule_event("join")
             state = self._state(payload.channel)
             actions = process_join(
                 state, payload, self.node.address, now, self.timing
             )
             return self._apply(payload.channel, actions, packet)
         if isinstance(payload, TreeMessage):
+            self._count_rule_event("tree")
             state = self._state(payload.channel)
             actions = process_tree(
                 state, payload, self.node.address, now, self.timing,
@@ -86,6 +88,7 @@ class HbhRouterAgent(Agent):
             )
             return self._apply(payload.channel, actions, packet)
         if isinstance(payload, FusionMessage):
+            self._count_rule_event("fusion")
             state = self._state(payload.channel)
             actions = process_fusion(state, payload, now,
                                      arrived_from=arrived_from)
@@ -185,4 +188,12 @@ class HbhRouterAgent(Agent):
         network = self.node.network
         network.trace.record(
             network.simulator.now, self.node.node_id, event, detail
+        )
+
+    def _count_rule_event(self, message: str) -> None:
+        """Tally one processed control message into the network's
+        metrics registry — the event-driven analogue of the static
+        driver's ``messages_processed`` counter."""
+        self.node.network.metrics.inc(
+            "control.rule_events", protocol="hbh", message=message
         )

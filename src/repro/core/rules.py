@@ -13,7 +13,7 @@ Rule numbering in comments follows the paper's Fig. 9 captions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List, Tuple, Union
+from typing import Hashable, List, Optional, Tuple, Union
 
 from repro.core.messages import FusionMessage, JoinMessage, TreeMessage
 from repro.core.tables import (
@@ -133,7 +133,7 @@ def process_tree(
     self_addr: Addr,
     now: float,
     timing: ProtocolTiming,
-    arrived_from: Addr = None,
+    arrived_from: Optional[Addr] = None,
 ) -> List[Action]:
     """Handle ``tree(S, R)`` at router B.
 
@@ -206,7 +206,7 @@ def process_fusion(
     state: HbhChannelState,
     message: FusionMessage,
     now: float,
-    arrived_from: Addr = None,
+    arrived_from: Optional[Addr] = None,
 ) -> List[Action]:
     """Handle ``fusion(S, R1..Rn)`` from ``Bp`` at transit router B.
 

@@ -42,6 +42,7 @@ from repro.core.rules import (
 from repro.core.tables import HbhChannelState, Mft, ProtocolTiming, ROUND_TIMING
 from repro.errors import ChannelError, ProtocolError
 from repro.metrics.distribution import DataDistribution
+from repro.obs.profiling import profiled
 from repro.routing.tables import UnicastRouting
 from repro.topology.model import NodeKind, Topology
 
@@ -122,6 +123,7 @@ class StaticHbh:
         self._tree_phase()
         self._expire()
 
+    @profiled("hbh.converge")
     def converge(self, max_rounds: int = 40, settle_rounds: int = 2) -> int:
         """Run rounds until the tree is stable; returns rounds executed.
 
@@ -336,6 +338,7 @@ class StaticHbh:
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
+    @profiled("hbh.distribute_data")
     def distribute_data(self) -> DataDistribution:
         """Inject one data packet at the source and record its journey.
 

@@ -20,7 +20,7 @@ explicit ``now`` so the same tables serve the event-driven simulator
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterator, List, Optional
 
 Addr = Hashable

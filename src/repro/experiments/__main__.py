@@ -6,23 +6,29 @@ Examples::
     python -m repro.experiments fig8b --runs 50 --csv fig8b.csv
     python -m repro.experiments all --runs 100
     python -m repro.experiments claims --runs 100
+    python -m repro.experiments report --profile --runs 3
+    python -m repro.experiments baseline --out BENCH_baseline.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.experiments.claims import check_claims
 from repro.experiments.figures import FIGURE_METRICS, run_figure
 from repro.experiments.harness import SweepResult
 from repro.experiments.report import (
     render_ascii_plot,
+    render_channel_metrics,
     render_ci_table,
+    render_profile,
     render_table,
     to_csv,
 )
+from repro.obs.profiling import PROFILER
+from repro.obs.registry import MetricsRegistry
 
 
 def _progress_printer(quiet: bool):
@@ -84,7 +90,103 @@ def _run_ablations(runs: int) -> int:
     return 0
 
 
-def main(argv: List[str] = None) -> int:
+def _run_report(figure: str, runs: int, profile: bool,
+                quiet: bool) -> int:
+    """A fig7-style observability run: per-channel metric summary plus
+    (optionally) the wall-clock timer tree."""
+    from repro.experiments.figures import figure_config
+    from repro.experiments.harness import run_sweep
+
+    if profile:
+        PROFILER.reset()
+        PROFILER.enable()
+    try:
+        config = figure_config(figure, runs=runs)
+        registry = MetricsRegistry()
+        result = run_sweep(config, progress=_progress_printer(quiet),
+                           metrics=registry)
+    finally:
+        if profile:
+            PROFILER.disable()
+    print(f"== per-channel metrics ({config.name}, "
+          f"{config.runs} runs/point) ==")
+    print(render_channel_metrics(registry))
+    print(f"\nelapsed: {result.elapsed_seconds:.1f}s")
+    if profile:
+        print("\n== profile (wall-clock timer tree) ==")
+        print(render_profile())
+    return 0
+
+
+def _measure_engine_throughput(registry: MetricsRegistry,
+                               events: int = 50_000) -> float:
+    """Engine events/second on a chained-event microload (the
+    ``engine.events_per_sec`` baseline gauge)."""
+    import time as _time
+
+    from repro.netsim.engine import Simulator
+
+    simulator = Simulator()
+    remaining = [events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            simulator.schedule(1.0, tick)
+
+    simulator.schedule(1.0, tick)
+    started = _time.perf_counter()
+    executed = simulator.run()
+    elapsed = _time.perf_counter() - started
+    rate = executed / elapsed if elapsed > 0 else 0.0
+    registry.set_gauge("engine.events_per_sec", rate)
+    return rate
+
+
+def _run_baseline(out: str, runs: int, quiet: bool) -> int:
+    """Persist a perf/metric baseline from the obs registry: tree cost,
+    join latency and engine throughput (diffed across PRs in CI)."""
+    import json
+    import platform
+
+    from repro.experiments.figures import figure_config
+    from repro.experiments.harness import run_sweep
+
+    registry = MetricsRegistry()
+    config = figure_config("fig7a", runs=runs)
+    run_sweep(config, progress=_progress_printer(quiet), metrics=registry)
+    events_per_sec = _measure_engine_throughput(registry)
+    channels = {
+        labels["protocol"]: labels["channel"]
+        for _, labels, _instrument in registry.collect("tree.cost.copies")
+    }
+    protocols = {}
+    for protocol in config.protocols:
+        labels = {"protocol": protocol, "channel": channels[protocol]}
+        protocols[protocol] = {
+            "tree_cost_copies_mean": registry.histogram(
+                "tree.cost.copies", **labels).mean,
+            "delay_mean": registry.histogram("delay.mean", **labels).mean,
+            "join_converge_rounds_mean": registry.histogram(
+                "join.converge.rounds", **labels).mean,
+            "control_messages_total": registry.counter(
+                "control.messages", **labels).value,
+        }
+    baseline = {
+        "figure": config.name,
+        "runs_per_point": config.runs,
+        "python": platform.python_version(),
+        "engine_events_per_sec": events_per_sec,
+        "protocols": protocols,
+        "registry": registry.snapshot(),
+    }
+    with open(out, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+    print(f"wrote {out} (engine {events_per_sec:,.0f} events/s)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="hbh-experiments",
         description="Regenerate the evaluation figures of the HBH paper "
@@ -92,15 +194,32 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=sorted(FIGURE_METRICS) + ["all", "claims", "ablations"],
+        choices=sorted(FIGURE_METRICS) + ["all", "claims", "ablations",
+                                          "report", "baseline"],
         help="figure to regenerate, 'all' for every figure, 'claims' to "
-             "check the paper's quantitative claims, or 'ablations' for "
-             "the asymmetry/unicast-cloud/RP/connectivity sweeps",
+             "check the paper's quantitative claims, 'ablations' for "
+             "the asymmetry/unicast-cloud/RP/connectivity sweeps, "
+             "'report' for an observability summary (add --profile for "
+             "the timer tree), or 'baseline' to persist BENCH numbers",
     )
     parser.add_argument(
         "--runs", type=int, default=None,
         help="Monte-Carlo runs per point (default: the paper's 500; "
-             "ablations default to 50)",
+             "ablations default to 50, report/baseline to 3)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="with 'report': also print the hierarchical wall-clock "
+             "timer tree (engine loop, Dijkstra, harness phases)",
+    )
+    parser.add_argument(
+        "--figure", default="fig7a",
+        help="with 'report': which figure-style sweep to run "
+             "(default fig7a)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_baseline.json",
+        help="with 'baseline': output path (default BENCH_baseline.json)",
     )
     parser.add_argument(
         "--protocols", default="",
@@ -119,6 +238,11 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
 
     progress = _progress_printer(args.quiet)
+    if args.target == "report":
+        return _run_report(args.figure, args.runs or 3, args.profile,
+                           args.quiet)
+    if args.target == "baseline":
+        return _run_baseline(args.out, args.runs or 3, args.quiet)
     if args.target == "ablations":
         return _run_ablations(args.runs or 50)
     if args.target in FIGURE_METRICS:

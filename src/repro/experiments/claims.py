@@ -24,7 +24,7 @@ ISP topology (fig7a/fig8a):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from repro.experiments.harness import SweepResult
 

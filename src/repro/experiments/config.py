@@ -9,7 +9,7 @@ U[1, 10] every run, 500 runs per group size, averages plotted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro._rand import SeedLike, derive_rng, make_rng
 from repro.errors import ExperimentError

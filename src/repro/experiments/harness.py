@@ -20,9 +20,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro._rand import derive_rng, make_rng, sample_receivers
 from repro.errors import ExperimentError
+from repro.experiments.config import SweepConfig
 from repro.metrics.distribution import DataDistribution
 from repro.metrics.summary import MetricSummary, summarize
-from repro.experiments.config import SweepConfig
+from repro.obs.profiling import PROFILER
+from repro.obs.registry import MetricsRegistry
 from repro.protocols.base import build_protocol
 from repro.routing.tables import UnicastRouting
 
@@ -34,18 +36,22 @@ def run_single(
     config: SweepConfig,
     group_size: int,
     run_index: int,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, DataDistribution]:
     """One Monte-Carlo run: build, join, converge, measure.
 
     Returns one distribution per protocol, all over the same network
-    and receiver set.
+    and receiver set.  When ``metrics`` is given, every protocol emits
+    the shared metric set (tree cost, delay, control overhead — see
+    :data:`repro.protocols.base.SHARED_METRICS`) into it.
     """
     # Stable across processes (unlike hash(), which is salted for str).
     run_seed = zlib.crc32(
         f"{config.seed}/{config.name}/{group_size}/{run_index}".encode()
     )
     rng = make_rng(run_seed)
-    setup = config.build_topology(derive_rng(rng, "topology"))
+    with PROFILER.span("harness.build_topology"):
+        setup = config.build_topology(derive_rng(rng, "topology"))
     if group_size > len(setup.candidates):
         raise ExperimentError(
             f"group size {group_size} exceeds the {len(setup.candidates)} "
@@ -58,14 +64,16 @@ def run_single(
     distributions: Dict[str, DataDistribution] = {}
     for protocol_name in config.protocols:
         kwargs = dict(config.protocol_kwargs.get(protocol_name, {}))
-        instance = build_protocol(
-            protocol_name, setup.topology, setup.source,
-            routing=routing, **kwargs
-        )
-        for receiver in receivers:
-            instance.add_receiver(receiver)
-            instance.converge(max_rounds=MAX_ROUNDS_PER_JOIN)
-        distribution = instance.distribute_data()
+        with PROFILER.span(f"protocol.{protocol_name}"):
+            instance = build_protocol(
+                protocol_name, setup.topology, setup.source,
+                routing=routing, **kwargs
+            )
+            rounds = 0
+            for receiver in receivers:
+                instance.add_receiver(receiver)
+                rounds += instance.converge(max_rounds=MAX_ROUNDS_PER_JOIN)
+            distribution = instance.distribute_data()
         if not distribution.complete:
             raise ExperimentError(
                 f"{protocol_name} failed to deliver to "
@@ -73,6 +81,9 @@ def run_single(
                 f"(topology={config.topology}, n={group_size}, "
                 f"run={run_index})"
             )
+        if metrics is not None:
+            instance.record_metrics(metrics, distribution,
+                                    converge_rounds=rounds)
         distributions[protocol_name] = distribution
     return distributions
 
@@ -93,6 +104,9 @@ class SweepResult:
     config: SweepConfig
     points: List[SweepPoint] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: The observability registry the sweep recorded into (persisted by
+    #: :mod:`repro.experiments.storage` alongside the summaries).
+    metrics: Optional[MetricsRegistry] = None
 
     def summary(self, group_size: int, protocol: str) -> MetricSummary:
         """The cell for (group_size, protocol)."""
@@ -138,21 +152,28 @@ ProgressHook = Callable[[int, str, int, int], None]
 
 
 def run_sweep(config: SweepConfig,
-              progress: Optional[ProgressHook] = None) -> SweepResult:
+              progress: Optional[ProgressHook] = None,
+              metrics: Optional[MetricsRegistry] = None) -> SweepResult:
     """Run the full sweep for one figure.
 
     ``progress(group_size, protocol, run_index, total_runs)`` is called
     once per completed run per group size (protocol is "*" there since
-    runs measure all protocols together).
+    runs measure all protocols together).  Every run records into
+    ``metrics`` (a fresh registry is created when omitted); the
+    registry rides along on :attr:`SweepResult.metrics`.
     """
     started = time.monotonic()
-    result = SweepResult(config=config)
+    if metrics is None:
+        metrics = MetricsRegistry()
+    result = SweepResult(config=config, metrics=metrics)
     for group_size in config.group_sizes:
         batches: Dict[str, List[DataDistribution]] = {
             name: [] for name in config.protocols
         }
         for run_index in range(config.runs):
-            distributions = run_single(config, group_size, run_index)
+            with PROFILER.span("harness.run_single"):
+                distributions = run_single(config, group_size, run_index,
+                                           metrics=metrics)
             for name, distribution in distributions.items():
                 batches[name].append(distribution)
             if progress is not None:

@@ -14,6 +14,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments.harness import SweepResult
+from repro.obs.profiling import PROFILER, Profiler
+from repro.obs.registry import Histogram, MetricsRegistry
 
 #: Metric key -> (table header, figure description).
 METRIC_LABELS = {
@@ -103,6 +105,49 @@ def render_ascii_plot(result: SweepResult, metric: str = "cost_copies",
     )
     lines.append(legend)
     return "\n".join(lines)
+
+
+def render_channel_metrics(registry: MetricsRegistry) -> str:
+    """Per-channel metric summary: one block per (channel, protocol).
+
+    Groups every registry series by its ``channel``/``protocol``
+    labels — since all protocols emit identical metric names, each
+    block has the same rows and the blocks read as a comparison table.
+    """
+    blocks: Dict[tuple, List[str]] = {}
+    other: List[str] = []
+    for name, labels, instrument in registry.collect():
+        channel = labels.get("channel")
+        protocol = labels.get("protocol")
+        if isinstance(instrument, Histogram):
+            value = (f"n={instrument.count:<6d} mean={instrument.mean:10.2f} "
+                     f"p50={instrument.p50:8.2f} p95={instrument.p95:8.2f} "
+                     f"p99={instrument.p99:8.2f}")
+        else:
+            value = f"{instrument.value:12.2f}"
+        extra = ",".join(f"{k}={v}" for k, v in sorted(labels.items())
+                         if k not in ("channel", "protocol"))
+        row = f"  {name:<24} {value}" + (f"  [{extra}]" if extra else "")
+        if channel is None and protocol is None:
+            other.append(row)
+        else:
+            blocks.setdefault((channel or "-", protocol or "-"), []).append(row)
+    lines: List[str] = []
+    for (channel, protocol), rows in sorted(blocks.items()):
+        lines.append(f"channel {channel} protocol {protocol}")
+        lines.extend(rows)
+    if other:
+        lines.append("(unlabeled)")
+        lines.extend(other)
+    if not lines:
+        return "no metrics recorded"
+    return "\n".join(lines)
+
+
+def render_profile(profiler: Optional[Profiler] = None,
+                   min_fraction: float = 0.001) -> str:
+    """The hierarchical wall-clock timer tree (``--profile`` view)."""
+    return (profiler or PROFILER).report(min_fraction=min_fraction)
 
 
 def to_csv(result: SweepResult,

@@ -17,8 +17,12 @@ from repro.errors import ExperimentError
 from repro.experiments.config import SweepConfig
 from repro.experiments.harness import SweepPoint, SweepResult
 from repro.metrics.summary import MetricSummary, Stat
+from repro.obs.registry import MetricsRegistry
 
-_FORMAT_VERSION = 1
+#: v2 adds the optional "metrics" registry snapshot; v1 archives (no
+#: metrics recorded) still load.
+_FORMAT_VERSION = 2
+_SUPPORTED_FORMATS = (1, 2)
 
 
 def result_to_dict(result: SweepResult) -> dict:
@@ -26,6 +30,8 @@ def result_to_dict(result: SweepResult) -> dict:
     config = result.config
     return {
         "format": _FORMAT_VERSION,
+        "metrics": (result.metrics.snapshot()
+                    if result.metrics is not None else None),
         "config": {
             "name": config.name,
             "topology": config.topology,
@@ -60,7 +66,7 @@ def result_to_dict(result: SweepResult) -> dict:
 
 def result_from_dict(data: dict) -> SweepResult:
     """Rebuild a sweep result from :func:`result_to_dict` output."""
-    if data.get("format") != _FORMAT_VERSION:
+    if data.get("format") not in _SUPPORTED_FORMATS:
         raise ExperimentError(
             f"unsupported result format: {data.get('format')!r}"
         )
@@ -73,8 +79,13 @@ def result_from_dict(data: dict) -> SweepResult:
         runs=raw["runs"],
         seed=raw["seed"],
     )
-    result = SweepResult(config=config,
-                         elapsed_seconds=data.get("elapsed_seconds", 0.0))
+    raw_metrics = data.get("metrics")
+    result = SweepResult(
+        config=config,
+        elapsed_seconds=data.get("elapsed_seconds", 0.0),
+        metrics=(MetricsRegistry.from_snapshot(raw_metrics)
+                 if raw_metrics else None),
+    )
     for raw_point in data["points"]:
         metrics = {
             name: Stat(mean=stat["mean"], stddev=stat["stddev"],

@@ -19,6 +19,8 @@ import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import ScheduleInPastError, SimulationError
+from repro.obs.profiling import PROFILER
+from repro.obs.registry import MetricsRegistry
 
 
 class EventHandle:
@@ -71,13 +73,16 @@ class Simulator:
         sim.run(until=1000.0)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._now = 0.0
         self._queue: List[EventHandle] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self.events_executed = 0
+        #: Optional observability registry; when set, every run() call
+        #: accumulates ``engine.events`` / ``engine.runs`` counters.
+        self.metrics = metrics
 
     @property
     def now(self) -> float:
@@ -111,6 +116,13 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("run() called re-entrantly")
+        if PROFILER.enabled:
+            with PROFILER.span("engine.run"):
+                return self._run_loop(until, max_events)
+        return self._run_loop(until, max_events)
+
+    def _run_loop(self, until: Optional[float],
+                  max_events: Optional[int]) -> int:
         self._running = True
         self._stopped = False
         executed = 0
@@ -133,6 +145,9 @@ class Simulator:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
+        if self.metrics is not None:
+            self.metrics.inc("engine.events", float(executed))
+            self.metrics.inc("engine.runs")
         return executed
 
     def step(self) -> bool:

@@ -10,7 +10,7 @@ afterwards; :meth:`start` kicks off their periodic behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional
+from typing import Dict, Hashable, List, Optional
 
 from repro.addressing import Address, AddressAllocator
 from repro.errors import SimulationError
@@ -20,6 +20,7 @@ from repro.netsim.node import Agent, Node
 from repro.netsim.packet import Packet, PacketKind
 from repro.netsim.stats import LinkCounters
 from repro.netsim.trace import Trace
+from repro.obs.registry import MetricsRegistry
 from repro.routing.tables import UnicastRouting
 from repro.topology.model import NodeKind, Topology
 
@@ -31,13 +32,18 @@ class Network:
 
     def __init__(self, topology: Topology,
                  simulator: Optional[Simulator] = None,
-                 trace_enabled: bool = False) -> None:
+                 trace_enabled: bool = False,
+                 metrics: Optional[MetricsRegistry] = None,
+                 trace_maxlen: Optional[int] = None) -> None:
         topology.validate()
         self.topology = topology
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.simulator = simulator or Simulator()
+        if self.simulator.metrics is None:
+            self.simulator.metrics = self.metrics
         self.routing = UnicastRouting(topology)
-        self.counters = LinkCounters()
-        self.trace = Trace(enabled=trace_enabled)
+        self.counters = LinkCounters(registry=self.metrics)
+        self.trace = Trace(enabled=trace_enabled, maxlen=trace_maxlen)
         self._nodes: Dict[NodeId, Node] = {}
         self._by_address: Dict[Address, Node] = {}
         self._saved_costs: Dict = {}

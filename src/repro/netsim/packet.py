@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Any, List, Optional
+from typing import Any, Optional
 
 from repro.addressing import Address
 

@@ -9,15 +9,24 @@ several copies of one packet on one link (Section 4.2.1).
 split into control and data, in both unweighted (copy count) and
 cost-weighted (copies x link cost) forms.  Experiments reset the
 counters, inject one data packet, and read the tally.
+
+Counters optionally mirror into a
+:class:`~repro.obs.registry.MetricsRegistry` (``net.tx.copies`` /
+``net.tx.weighted_cost``, labeled ``kind=data|control``).  The registry
+view is *monotonic*: :meth:`LinkCounters.reset` rewinds only the
+per-link tallies used for one measurement, never the cumulative
+metrics — standard counter semantics, and what lets a long run report
+total traffic while individual measurements still start from zero.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 from repro.netsim.packet import PacketKind
+from repro.obs.registry import Counter, MetricsRegistry
 
 NodeId = Hashable
 DirectedLink = Tuple[NodeId, NodeId]
@@ -36,17 +45,34 @@ class TransmissionTally:
 class LinkCounters:
     """Per-directed-link transmission counters."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._copies: Dict[PacketKind, Dict[DirectedLink, int]] = {
             kind: defaultdict(int) for kind in PacketKind
         }
         self._weighted: Dict[PacketKind, float] = {kind: 0.0 for kind in PacketKind}
+        # Registry instruments are resolved once; record() stays cheap.
+        self._mirror_copies: Optional[Dict[PacketKind, Counter]] = None
+        self._mirror_weighted: Optional[Dict[PacketKind, Counter]] = None
+        if registry is not None:
+            self._mirror_copies = {
+                kind: registry.counter("net.tx.copies",
+                                       kind=kind.name.lower())
+                for kind in PacketKind
+            }
+            self._mirror_weighted = {
+                kind: registry.counter("net.tx.weighted_cost",
+                                       kind=kind.name.lower())
+                for kind in PacketKind
+            }
 
     def record(self, src: NodeId, dst: NodeId, cost: float,
                kind: PacketKind) -> None:
         """Record one packet copy crossing the directed link src->dst."""
         self._copies[kind][(src, dst)] += 1
         self._weighted[kind] += cost
+        if self._mirror_copies is not None:
+            self._mirror_copies[kind].inc()
+            self._mirror_weighted[kind].inc(cost)  # type: ignore[index]
 
     def tally(self, kind: PacketKind) -> TransmissionTally:
         """Aggregate statistics for one traffic class."""
@@ -69,8 +95,9 @@ class LinkCounters:
         return dict(self._copies[kind])
 
     def reset(self) -> None:
-        """Zero all counters (e.g. between control convergence and the
-        data-plane measurement)."""
+        """Zero the per-link tallies (e.g. between control convergence
+        and the data-plane measurement).  Mirrored registry counters
+        stay cumulative — see the module docstring."""
         for kind in PacketKind:
             self._copies[kind].clear()
             self._weighted[kind] = 0.0

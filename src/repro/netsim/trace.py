@@ -3,13 +3,29 @@
 A :class:`Trace` is an append-only log of (time, node, event, detail)
 records.  Integration tests assert on it ("R3 intercepted join(S, r2)"),
 and the examples print it to narrate protocol behaviour.  Disabled by
-default in Monte-Carlo runs for speed.
+default in Monte-Carlo runs for speed (a disabled trace costs one
+attribute check per record call).
+
+Long event-driven runs bound memory with ``maxlen``: the trace becomes
+a ring buffer keeping the most recent records and counting evictions in
+:attr:`Trace.dropped`.  ``only_events`` filters at record time, and
+:meth:`Trace.to_jsonl` exports the structured JSONL schema of
+:mod:`repro.obs.tracing` for archival, replay and diffing.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Iterator, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Hashable,
+    Iterable,
+    Iterator,
+    Optional,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,21 +44,41 @@ class TraceRecord:
 
 
 class Trace:
-    """Collects :class:`TraceRecord` objects while enabled."""
+    """Collects :class:`TraceRecord` objects while enabled.
+
+    ``maxlen`` bounds the trace to a ring buffer of the most recent
+    records (evictions counted in :attr:`dropped`); ``only_events``
+    records only the named event kinds.
+    """
 
     def __init__(self, enabled: bool = True,
-                 printer: Optional[Callable[[str], None]] = None) -> None:
+                 printer: Optional[Callable[[str], None]] = None,
+                 maxlen: Optional[int] = None,
+                 only_events: Optional[Iterable[str]] = None) -> None:
         self.enabled = enabled
-        self.records: List[TraceRecord] = []
+        self.records: Deque[TraceRecord] = deque(maxlen=maxlen)
+        self.only_events = set(only_events) if only_events is not None else None
+        #: Records evicted by the ring buffer (never reset by appends).
+        self.dropped = 0
         self._printer = printer
+
+    @property
+    def maxlen(self) -> Optional[int]:
+        """The ring-buffer bound (None = unbounded)."""
+        return self.records.maxlen
 
     def record(self, time: float, node: Hashable, event: str,
                detail: str = "", subject: Any = None) -> None:
-        """Append a record (no-op when disabled)."""
+        """Append a record (no-op when disabled or filtered out)."""
         if not self.enabled:
             return
+        if self.only_events is not None and event not in self.only_events:
+            return
+        records = self.records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self.dropped += 1
         entry = TraceRecord(time, node, event, detail, subject)
-        self.records.append(entry)
+        records.append(entry)
         if self._printer is not None:
             self._printer(str(entry))
 
@@ -61,8 +97,19 @@ class Trace:
         return sum(1 for _ in self.matching(event, node))
 
     def clear(self) -> None:
-        """Drop all records."""
+        """Drop all records (and the eviction count)."""
         self.records.clear()
+        self.dropped = 0
+
+    def to_jsonl(self, target, events: Optional[Iterable[str]] = None) -> int:
+        """Export as JSON lines (see :mod:`repro.obs.tracing`).
+
+        ``target`` is a path or writable file object; ``events``
+        optionally restricts the export.  Returns the record count.
+        """
+        from repro.obs.tracing import write_jsonl
+
+        return write_jsonl(self.records, target, events=events)
 
     def __len__(self) -> int:
         return len(self.records)

@@ -1,0 +1,53 @@
+"""Unified observability layer: metrics, tracing and profiling.
+
+Every quantitative claim in the paper (tree cost in packet copies,
+control overhead, delay ratios — Section 4) flows through this package
+so that all protocols are measured by the same instruments:
+
+- :mod:`repro.obs.registry` — a :class:`MetricsRegistry` of counters,
+  gauges and histograms (p50/p95/p99), labeled by channel ``<S,G>``,
+  protocol and node.  HBH, REUNITE and the PIM baselines emit the
+  *same* metric names, so benchmarks compare them through one registry.
+- :mod:`repro.obs.tracing` — JSONL export/import/diff for the
+  simulation :class:`~repro.netsim.trace.Trace`, so event-driven runs
+  can be archived, replayed and compared across code versions.
+- :mod:`repro.obs.profiling` — wall-clock ``@profiled`` spans forming
+  a hierarchical timer tree, wired into the netsim engine loop, the
+  Dijkstra/route-table builds and the experiment harness
+  (``python -m repro.experiments report --profile`` renders it).
+
+The package sits below every other layer (it imports nothing from the
+rest of :mod:`repro` at module load), so any module can instrument
+itself without creating import cycles.
+"""
+
+from repro.obs.profiling import PROFILER, Profiler, SpanStats, profiled
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    channel_label,
+)
+from repro.obs.tracing import (
+    diff_records,
+    read_jsonl,
+    record_to_dict,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "channel_label",
+    "PROFILER",
+    "Profiler",
+    "SpanStats",
+    "profiled",
+    "diff_records",
+    "read_jsonl",
+    "record_to_dict",
+    "write_jsonl",
+]

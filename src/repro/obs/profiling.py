@@ -1,0 +1,219 @@
+"""Hierarchical wall-clock profiling spans.
+
+A :class:`Profiler` maintains a tree of named spans: entering a span
+while another is open nests it, so instrumented call paths render as a
+timer tree — e.g. a figure sweep shows ``harness.run_single`` with the
+per-protocol converge/measure phases and the Dijkstra builds they
+trigger nested beneath.
+
+Disabled (the default) the overhead is a single attribute check per
+instrumented call, so hot paths (the engine loop, Dijkstra) stay at
+full speed in Monte-Carlo runs; ``python -m repro.experiments report
+--profile`` enables the module-level :data:`PROFILER` and prints the
+tree.
+
+Spans measure *wall clock* (``time.perf_counter``), not virtual
+simulation time — this is the instrument perf PRs justify themselves
+with.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, TypeVar
+
+ReturnT = TypeVar("ReturnT")
+
+
+class SpanStats:
+    """Aggregated timings of one span name at one position in the tree."""
+
+    __slots__ = ("name", "calls", "total", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.total = 0.0  # seconds, inclusive of children
+        self.children: Dict[str, "SpanStats"] = {}
+
+    def child(self, name: str) -> "SpanStats":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanStats(name)
+            self.children[name] = node
+        return node
+
+    @property
+    def self_time(self) -> float:
+        """Time spent in this span excluding instrumented children."""
+        return self.total - sum(c.total for c in self.children.values())
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple[int, "SpanStats"]]:
+        """Depth-first (depth, node) traversal, children by total desc."""
+        yield depth, self
+        ordered = sorted(self.children.values(),
+                         key=lambda node: -node.total)
+        for child in ordered:
+            yield from child.walk(depth + 1)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-compatible dump of the subtree."""
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "total_s": self.total,
+            "children": [c.snapshot() for c in
+                         sorted(self.children.values(),
+                                key=lambda node: -node.total)],
+        }
+
+    def __repr__(self) -> str:
+        return (f"SpanStats({self.name!r}, calls={self.calls}, "
+                f"total={self.total:.4f}s)")
+
+
+class _Span:
+    """Context manager recording one timed entry into the profiler."""
+
+    __slots__ = ("_profiler", "_name", "_node", "_start")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        stack = self._profiler._stack
+        self._node = stack[-1].child(self._name)
+        stack.append(self._node)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        node = self._node
+        node.calls += 1
+        node.total += elapsed
+        stack = self._profiler._stack
+        # Tolerate a reset() issued inside the span: only pop our node.
+        if stack and stack[-1] is node:
+            stack.pop()
+
+
+class _NullSpan:
+    """Reusable no-op context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Profiler:
+    """A span tree accumulator, off by default."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._root = SpanStats("total")
+        self._stack: List[SpanStats] = [self._root]
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str):
+        """A context manager timing ``name`` under the open span.
+
+        Returns a shared no-op object when profiling is disabled, so
+        ``with PROFILER.span(...)`` costs one branch on hot paths.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded spans (enabled state unchanged)."""
+        self._root = SpanStats("total")
+        self._stack = [self._root]
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def tree(self) -> SpanStats:
+        """The root of the recorded span tree."""
+        return self._root
+
+    def report(self, min_fraction: float = 0.0) -> str:
+        """Render the timer tree, one line per span.
+
+        ``min_fraction`` hides spans below that fraction of the root's
+        total (declutters deep Dijkstra fan-out in large sweeps).
+        """
+        root = self._root
+        root.total = sum(c.total for c in root.children.values())
+        if not root.children:
+            return "profile: no spans recorded (was profiling enabled?)"
+        lines = [f"{'span':<48} {'calls':>8} {'total':>10} {'self':>10} {'%':>6}"]
+        lines.append("-" * 86)
+        budget = root.total or 1.0
+        for depth, node in root.walk():
+            if node is root:
+                continue
+            if node.total < min_fraction * budget:
+                continue
+            indent = "  " * (depth - 1)
+            share = 100.0 * node.total / budget
+            lines.append(
+                f"{indent + node.name:<48} {node.calls:>8d} "
+                f"{node.total * 1e3:>8.1f}ms {node.self_time * 1e3:>8.1f}ms "
+                f"{share:>5.1f}%"
+            )
+        lines.append(f"{'(wall clock total)':<48} {'':>8} "
+                     f"{root.total * 1e3:>8.1f}ms")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Profiler({state}, spans={len(self._root.children)})"
+
+
+#: The process-wide profiler that ``@profiled`` and the engine use.
+PROFILER = Profiler(enabled=False)
+
+
+def profiled(name: Optional[str] = None
+             ) -> Callable[[Callable[..., ReturnT]], Callable[..., ReturnT]]:
+    """Decorator timing a function as a span under :data:`PROFILER`.
+
+    The span name defaults to ``<module-tail>.<function>`` (e.g.
+    ``dijkstra.shortest_paths_from``).  When the profiler is disabled
+    the wrapper adds one attribute check per call.
+    """
+
+    def decorator(fn: Callable[..., ReturnT]) -> Callable[..., ReturnT]:
+        label = name or f"{fn.__module__.rsplit('.', 1)[-1]}.{fn.__name__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args: object, **kwargs: object) -> ReturnT:
+            if not PROFILER.enabled:
+                return fn(*args, **kwargs)
+            with PROFILER.span(label):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorator

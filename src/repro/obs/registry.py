@@ -1,0 +1,353 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+One :class:`MetricsRegistry` holds every metric of one measurement
+context (a network, a Monte-Carlo sweep, a benchmark).  Metrics are
+identified by a name plus a sorted label set — the conventional labels
+in this library are ``protocol`` (``hbh``, ``reunite``, ``pim-sm``,
+``pim-ss``), ``channel`` (the paper's ``<S,G>`` pair, rendered by
+:func:`channel_label`) and ``kind`` (``data``/``control`` traffic).
+
+Three instrument kinds, mirroring the usual time-series model:
+
+- **Counter** — monotonically increasing total (packet copies sent,
+  control messages processed).  ``reset()`` on the owning subsystem
+  does *not* rewind counters; they are cumulative by design.
+- **Gauge** — a value that can go anywhere (current group size).
+- **Histogram** — a distribution with count/sum/min/max and
+  nearest-rank percentiles (p50/p95/p99) — per-receiver delay, tree
+  cost per measured packet, convergence rounds per join.
+
+Snapshots are plain JSON-compatible dicts so sweep archives
+(:mod:`repro.experiments.storage`) can persist metrics alongside
+results and CI can diff them across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ReproError
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class MetricsError(ReproError):
+    """A metric was re-registered under a different instrument kind."""
+
+
+def channel_label(source: object, group: object = "G") -> str:
+    """Render the paper's ``<S,G>`` channel identifier as a label value.
+
+    The reproduction keys channels by source (source-specific groups),
+    so the group component defaults to the symbolic ``G``.
+    """
+    return f"<{source},{group}>"
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise MetricsError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """A recorded distribution with nearest-rank percentiles.
+
+    Observations are kept exactly (the library's sweeps record at most
+    tens of thousands of points per metric); percentile queries sort
+    lazily and cache until the next observation.
+    """
+
+    __slots__ = ("_values", "_sorted")
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+        self._sorted = False
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self._values) if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise MetricsError(f"percentile must be in [0, 100], got {q}")
+        if not self._values:
+            return 0.0
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = max(1, math.ceil(q / 100.0 * len(self._values)))
+        return self._values[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def extend(self, values: List[float]) -> None:
+        self._values.extend(float(v) for v in values)
+        self._sorted = False
+
+    def values(self) -> List[float]:
+        """The raw observations (a copy, in observation-or-sorted order)."""
+        return list(self._values)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "values": self.values(),
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of labeled counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Dict[LabelKey, Instrument]] = {}
+        self._kind: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access (get-or-create; kind conflicts raise)
+    # ------------------------------------------------------------------
+    def _instrument(self, kind: str, name: str,
+                    labels: Mapping[str, object]) -> Instrument:
+        registered = self._kind.get(name)
+        if registered is None:
+            self._kind[name] = kind
+            self._metrics[name] = {}
+        elif registered != kind:
+            raise MetricsError(
+                f"metric {name!r} is a {registered}, requested as {kind}"
+            )
+        series = self._metrics[name]
+        key = _label_key(labels)
+        instrument = series.get(key)
+        if instrument is None:
+            instrument = _KINDS[kind]()
+            series[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter ``name`` for this label set (created on demand)."""
+        instrument = self._instrument("counter", name, labels)
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge ``name`` for this label set (created on demand)."""
+        instrument = self._instrument("gauge", name, labels)
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """The histogram ``name`` for this label set (created on demand)."""
+        instrument = self._instrument("histogram", name, labels)
+        assert isinstance(instrument, Histogram)
+        return instrument
+
+    # ------------------------------------------------------------------
+    # One-shot convenience recorders
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        """Increment the counter ``name`` by ``amount``."""
+        self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set the gauge ``name`` to ``value``."""
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record ``value`` into the histogram ``name``."""
+        self.histogram(name, **labels).observe(value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def kind_of(self, name: str) -> Optional[str]:
+        """The instrument kind of ``name`` (None if never recorded)."""
+        return self._kind.get(name)
+
+    def names(self) -> List[str]:
+        """All metric names, sorted."""
+        return sorted(self._metrics)
+
+    def collect(self, prefix: str = ""
+                ) -> Iterator[Tuple[str, Dict[str, str], Instrument]]:
+        """Iterate ``(name, labels, instrument)`` sorted by name+labels."""
+        for name in self.names():
+            if prefix and not name.startswith(prefix):
+                continue
+            for key in sorted(self._metrics[name]):
+                yield name, dict(key), self._metrics[name][key]
+
+    def value(self, name: str, **labels: object) -> float:
+        """Counter/gauge value or histogram mean for one label set.
+
+        Raises :class:`MetricsError` when the series does not exist —
+        reading must never silently create an empty instrument.
+        """
+        series = self._metrics.get(name)
+        key = _label_key(labels)
+        if series is None or key not in series:
+            raise MetricsError(f"no series {name!r} with labels {dict(key)}")
+        instrument = series[key]
+        if isinstance(instrument, Histogram):
+            return instrument.mean
+        return instrument.value
+
+    def __len__(self) -> int:
+        return sum(len(series) for series in self._metrics.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every metric (a fresh registry)."""
+        self._metrics.clear()
+        self._kind.clear()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry.
+
+        Counters add, histograms pool their observations, gauges take
+        the other registry's (latest) value.
+        """
+        for name, labels, instrument in other.collect():
+            if isinstance(instrument, Counter):
+                self.counter(name, **labels).inc(instrument.value)
+            elif isinstance(instrument, Gauge):
+                self.gauge(name, **labels).set(instrument.value)
+            else:
+                self.histogram(name, **labels).extend(instrument.values())
+
+    # ------------------------------------------------------------------
+    # Serialization (JSON-compatible)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-compatible dump of every series."""
+        dump: Dict[str, object] = {}
+        for name in self.names():
+            series = []
+            for key in sorted(self._metrics[name]):
+                instrument = self._metrics[name][key]
+                series.append({"labels": dict(key), **instrument.snapshot()})
+            dump[name] = {"kind": self._kind[name], "series": series}
+        return dump
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        registry = cls()
+        for name, raw in data.items():
+            assert isinstance(raw, Mapping)
+            kind = raw["kind"]
+            for entry in raw["series"]:  # type: ignore[index]
+                labels = entry["labels"]
+                if kind == "counter":
+                    registry.counter(name, **labels).inc(entry["value"])
+                elif kind == "gauge":
+                    registry.gauge(name, **labels).set(entry["value"])
+                elif kind == "histogram":
+                    registry.histogram(name, **labels).extend(entry["values"])
+                else:
+                    raise MetricsError(f"unknown instrument kind {kind!r}")
+        return registry
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, prefix: str = "") -> str:
+        """A fixed-width text table of every series (CLI reporting)."""
+        lines = [f"{'metric':<28} {'labels':<34} {'value / distribution'}"]
+        lines.append("-" * 100)
+        for name, labels, instrument in self.collect(prefix):
+            label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            if isinstance(instrument, Histogram):
+                value_text = (
+                    f"n={instrument.count} mean={instrument.mean:.2f} "
+                    f"p50={instrument.p50:.2f} p95={instrument.p95:.2f} "
+                    f"p99={instrument.p99:.2f}"
+                )
+            else:
+                value_text = f"{instrument.value:.2f}"
+            lines.append(f"{name:<28} {label_text:<34} {value_text}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(metrics={len(self._metrics)}, series={len(self)})"

@@ -18,10 +18,26 @@ from typing import Callable, Dict, Hashable, List, Optional, Set
 
 from repro.errors import ExperimentError
 from repro.metrics.distribution import DataDistribution
+from repro.obs.registry import MetricsRegistry, channel_label
 from repro.routing.tables import UnicastRouting
 from repro.topology.model import Topology
 
 NodeId = Hashable
+
+#: The shared metric names every protocol emits (identical across HBH,
+#: REUNITE and the PIM baselines, so one registry compares all four).
+#: Labels on each: ``protocol`` and ``channel`` (the ``<S,G>`` pair).
+SHARED_METRICS = {
+    "tree.cost.copies": "histogram",
+    "tree.cost.weighted": "histogram",
+    "delay.receiver": "histogram",
+    "delay.mean": "histogram",
+    "join.converge.rounds": "histogram",
+    "control.messages": "counter",
+    "data.deliveries": "counter",
+    "data.missing": "counter",
+    "group.size": "gauge",
+}
 
 
 class MulticastProtocol(abc.ABC):
@@ -69,6 +85,55 @@ class MulticastProtocol(abc.ABC):
     def distribute_data(self) -> DataDistribution:
         """Send one data packet through the converged tree and record
         every link crossing and receiver delay."""
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def control_message_count(self) -> int:
+        """Control messages processed so far by this conversation.
+
+        Rule-driven protocols (HBH, REUNITE) report their rule-level
+        message events; tree-computing baselines report the hop count
+        of the join/prune walks that shaped their tree.  Used for the
+        shared ``control.messages`` metric.
+        """
+        return 0
+
+    def channel_id(self) -> str:
+        """This conversation's ``<S,G>`` label value."""
+        return channel_label(self.source)
+
+    def record_metrics(self, registry: MetricsRegistry,
+                       distribution: DataDistribution,
+                       converge_rounds: Optional[int] = None) -> None:
+        """Emit the shared metric set (:data:`SHARED_METRICS`) for one
+        measured data distribution.
+
+        Every protocol goes through this one method, which is what
+        guarantees apples-to-apples metric names across HBH, REUNITE
+        and the PIM baselines.
+        """
+        labels = {"protocol": self.name, "channel": self.channel_id()}
+        registry.observe("tree.cost.copies", float(distribution.copies),
+                         **labels)
+        registry.observe("tree.cost.weighted", distribution.weighted_cost,
+                         **labels)
+        for delay in distribution.delays.values():
+            registry.observe("delay.receiver", delay, **labels)
+        if distribution.delays:
+            mean_delay = (sum(distribution.delays.values())
+                          / len(distribution.delays))
+            registry.observe("delay.mean", mean_delay, **labels)
+        registry.inc("data.deliveries", float(len(distribution.delivered)),
+                     **labels)
+        registry.inc("data.missing", float(len(distribution.missing)),
+                     **labels)
+        registry.set_gauge("group.size", float(len(self.receivers)), **labels)
+        registry.inc("control.messages", float(self.control_message_count()),
+                     **labels)
+        if converge_rounds is not None:
+            registry.observe("join.converge.rounds", float(converge_rounds),
+                             **labels)
 
     # ------------------------------------------------------------------
     # Introspection (optional, default empty)

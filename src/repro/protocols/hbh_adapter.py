@@ -42,5 +42,8 @@ class HbhProtocol(MulticastProtocol):
     def distribute_data(self) -> DataDistribution:
         return self.driver.distribute_data()
 
+    def control_message_count(self) -> int:
+        return self.driver.messages_processed
+
     def branching_nodes(self) -> List[NodeId]:
         return self.driver.branching_nodes()

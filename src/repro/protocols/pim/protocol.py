@@ -41,6 +41,9 @@ class PimSsProtocol(MulticastProtocol):
         self.tree.distribute(distribution)
         return distribution
 
+    def control_message_count(self) -> int:
+        return self.tree.control_hops
+
     def branching_nodes(self) -> List[NodeId]:
         return sorted(
             node for node, kids in self.tree.children().items()
@@ -99,6 +102,9 @@ class PimSmProtocol(MulticastProtocol):
                 register_delay += cost
         self.tree.distribute(distribution, base_delay=register_delay)
         return distribution
+
+    def control_message_count(self) -> int:
+        return self.tree.control_hops
 
     def branching_nodes(self) -> List[NodeId]:
         return sorted(

@@ -17,7 +17,7 @@ minimised ("the PIM-SS tree is a reverse SPT and not a SPT").
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.errors import ProtocolError
 from repro.metrics.distribution import DataDistribution
@@ -39,6 +39,10 @@ class ReverseSpt:
         #: node -> upstream neighbor toward the root (RPF parent).
         self._parent: Dict[NodeId, NodeId] = {}
         self.receivers: Set[NodeId] = set()
+        #: Join/prune message hops processed while shaping the tree —
+        #: the control-overhead analogue of the rule-event counters the
+        #: soft-state drivers keep (one hop == one Join/Prune handled).
+        self.control_hops = 0
 
     # ------------------------------------------------------------------
     # Membership
@@ -54,6 +58,7 @@ class ReverseSpt:
         while node != self.root and node not in self._parent:
             parent = self.routing.next_hop(node, self.root)
             self._parent[node] = parent
+            self.control_hops += 1
             node = parent
 
     def prune(self, receiver: NodeId) -> None:
@@ -71,6 +76,7 @@ class ReverseSpt:
         for node in list(self._parent):
             if node not in needed:
                 del self._parent[node]
+                self.control_hops += 1
 
     # ------------------------------------------------------------------
     # Structure

@@ -34,7 +34,7 @@ Tree at router B (target R):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List, Tuple, Union
+from typing import Hashable, List, Union
 
 from repro.core.rules import Consume, Forward
 from repro.core.tables import ProtocolTiming

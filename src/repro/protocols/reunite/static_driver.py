@@ -17,6 +17,7 @@ from repro.core.rules import Consume, Forward
 from repro.core.tables import ProtocolTiming, ROUND_TIMING
 from repro.errors import ChannelError, ProtocolError
 from repro.metrics.distribution import DataDistribution
+from repro.obs.profiling import profiled
 from repro.protocols.reunite.messages import ReuniteJoin, ReuniteTree
 from repro.protocols.reunite.rules import (
     RegenerateTree,
@@ -95,6 +96,7 @@ class StaticReunite:
         self._tree_phase()
         self._expire()
 
+    @profiled("reunite.converge")
     def converge(self, max_rounds: int = 40, settle_rounds: int = 2) -> int:
         """Run rounds until the structural snapshot stabilises."""
         stable = 0
@@ -259,6 +261,7 @@ class StaticReunite:
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
+    @profiled("reunite.distribute_data")
     def distribute_data(self) -> DataDistribution:
         """One data packet: the source addresses the original to
         ``MFT.dst`` and one modified copy to every other receiver in

@@ -17,11 +17,13 @@ import heapq
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import RoutingError
+from repro.obs.profiling import profiled
 from repro.topology.model import Topology
 
 NodeId = Hashable
 
 
+@profiled("dijkstra.shortest_paths_from")
 def shortest_paths_from(
     topology: Topology, origin: NodeId
 ) -> Tuple[Dict[NodeId, float], Dict[NodeId, Optional[NodeId]]]:

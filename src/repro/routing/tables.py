@@ -11,9 +11,10 @@ path and delay calculations.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List
 
 from repro.errors import RoutingError
+from repro.obs.profiling import PROFILER
 from repro.routing.dijkstra import shortest_paths_from
 from repro.topology.model import Topology
 
@@ -81,6 +82,10 @@ class UnicastRouting:
         cached = self._tables.get(node)
         if cached is not None:
             return cached
+        with PROFILER.span("routing.table_build"):
+            return self._build_table(node)
+
+    def _build_table(self, node: NodeId) -> RoutingTable:
         distance, predecessor = shortest_paths_from(self.topology, node)
         next_hops: Dict[NodeId, NodeId] = {}
         for destination in distance:

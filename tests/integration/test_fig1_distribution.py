@@ -14,8 +14,6 @@ Either way, every receiver gets exactly one copy and every tree link
 carries exactly one copy in this symmetric scenario.
 """
 
-import pytest
-
 from repro.core.static_driver import StaticHbh
 from repro.protocols.reunite.static_driver import StaticReunite
 

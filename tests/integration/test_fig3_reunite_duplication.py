@@ -11,8 +11,6 @@ tree messages, becomes a branching node, and its fusion re-points the
 upstream node at R6, restoring one copy per link.
 """
 
-import pytest
-
 from repro.core.static_driver import StaticHbh
 from repro.protocols.reunite.static_driver import StaticReunite
 

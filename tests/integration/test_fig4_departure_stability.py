@@ -14,8 +14,6 @@ Two scenarios:
   *remaining* receiver after a departure and HBH never does.
 """
 
-import pytest
-
 from repro.core.static_driver import StaticHbh
 from repro.metrics.stability import (
     TableSnapshot,

@@ -1,0 +1,136 @@
+"""Integration tests for the observability layer end to end: identical
+metric names across every protocol, sweep metrics persistence, and the
+report/baseline CLI targets."""
+
+import json
+
+from repro.experiments.__main__ import main
+from repro.experiments.config import SweepConfig
+from repro.experiments.harness import run_sweep
+from repro.experiments.storage import load_result, save_result
+from repro.obs.registry import MetricsRegistry
+from repro.protocols.base import SHARED_METRICS, build_protocol
+from repro.routing.tables import UnicastRouting
+from repro.topology.isp import (
+    ISP_SOURCE_NODE,
+    isp_receiver_candidates,
+    isp_topology,
+)
+
+ALL_PROTOCOLS = ("pim-sm", "pim-ss", "reunite", "hbh")
+
+
+def _small_config(**overrides):
+    defaults = dict(name="obs-test", group_sizes=(3,),
+                    protocols=ALL_PROTOCOLS, runs=2, seed=7)
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+class TestSharedMetricNames:
+    def test_every_protocol_emits_the_identical_metric_set(self):
+        """The acceptance criterion of the obs layer: HBH, REUNITE and
+        the PIM baselines all record the same metric names, labeled by
+        protocol and the paper's <S,G> channel."""
+        registry = MetricsRegistry()
+        topology = isp_topology(seed=11)
+        routing = UnicastRouting(topology)
+        per_protocol = {}
+        for name in ALL_PROTOCOLS:
+            instance = build_protocol(name, topology, ISP_SOURCE_NODE,
+                                      routing=routing)
+            instance.add_receivers(isp_receiver_candidates(topology)[:3])
+            rounds = instance.converge(max_rounds=80)
+            instance.record_metrics(registry, instance.distribute_data(),
+                                    converge_rounds=rounds)
+            per_protocol[name] = {
+                metric_name
+                for metric_name, labels, _ in registry.collect()
+                if labels.get("protocol") == name
+            }
+        expected = set(SHARED_METRICS)
+        for name, emitted in per_protocol.items():
+            assert emitted == expected, name
+
+    def test_channel_label_is_the_papers_pair(self):
+        registry = MetricsRegistry()
+        topology = isp_topology(seed=11)
+        instance = build_protocol("hbh", topology, ISP_SOURCE_NODE)
+        instance.add_receivers(isp_receiver_candidates(topology)[:2])
+        instance.converge(max_rounds=80)
+        instance.record_metrics(registry, instance.distribute_data())
+        labels = [lab for _, lab, _ in registry.collect("tree.cost.copies")]
+        assert labels == [{"protocol": "hbh",
+                           "channel": f"<{ISP_SOURCE_NODE},G>"}]
+
+    def test_control_messages_counted_for_every_protocol(self):
+        registry = MetricsRegistry()
+        topology = isp_topology(seed=11)
+        routing = UnicastRouting(topology)
+        for name in ALL_PROTOCOLS:
+            instance = build_protocol(name, topology, ISP_SOURCE_NODE,
+                                      routing=routing)
+            instance.add_receivers(isp_receiver_candidates(topology)[:3])
+            instance.converge(max_rounds=80)
+            instance.record_metrics(registry, instance.distribute_data())
+            assert registry.value("control.messages", protocol=name,
+                                  channel=instance.channel_id()) > 0, name
+
+
+class TestSweepMetrics:
+    def test_run_sweep_attaches_a_registry(self):
+        result = run_sweep(_small_config())
+        assert result.metrics is not None
+        for protocol in ALL_PROTOCOLS:
+            hist = result.metrics.histogram(
+                "tree.cost.copies", protocol=protocol,
+                channel=f"<{ISP_SOURCE_NODE},G>")
+            assert hist.count == 2  # one observation per run
+
+    def test_registry_agrees_with_summaries(self):
+        config = _small_config()
+        result = run_sweep(config)
+        for protocol in ALL_PROTOCOLS:
+            summary_mean = result.summary(3, protocol).cost_copies.mean
+            registry_mean = result.metrics.value(
+                "tree.cost.copies", protocol=protocol,
+                channel=f"<{ISP_SOURCE_NODE},G>")
+            assert abs(summary_mean - registry_mean) < 1e-9
+
+    def test_storage_round_trips_metrics(self, tmp_path):
+        result = run_sweep(_small_config())
+        path = tmp_path / "sweep.json"
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.metrics is not None
+        assert restored.metrics.snapshot() == result.metrics.snapshot()
+
+
+class TestCli:
+    def test_report_profile_prints_metrics_and_timer_tree(self, capsys):
+        code = main(["report", "--profile", "--runs", "1", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Identical metric rows under each protocol's channel block.
+        for protocol in ALL_PROTOCOLS:
+            assert f"protocol {protocol}" in out
+        assert out.count("tree.cost.copies") == len(ALL_PROTOCOLS)
+        assert "join.converge.rounds" in out
+        # The hierarchical wall-clock tree from the instrumented spans.
+        assert "profile" in out
+        assert "harness.run_single" in out
+        assert "dijkstra.shortest_paths_from" in out
+
+    def test_baseline_writes_registry_snapshot(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_baseline.json"
+        code = main(["baseline", "--runs", "1", "--quiet",
+                     "--out", str(out_path)])
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert data["figure"] == "fig7a"
+        assert data["engine_events_per_sec"] > 0
+        for protocol in ALL_PROTOCOLS:
+            entry = data["protocols"][protocol]
+            assert entry["tree_cost_copies_mean"] > 0
+            assert entry["control_messages_total"] > 0
+        assert "tree.cost.copies" in data["registry"]

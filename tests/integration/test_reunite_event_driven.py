@@ -1,8 +1,6 @@
 """Event-driven REUNITE: the baseline under real soft-state timing,
 cross-checked against its static driver."""
 
-import pytest
-
 from repro.core.tables import ProtocolTiming
 from repro.netsim.network import Network
 from repro.protocols.reunite.session import ReuniteSession

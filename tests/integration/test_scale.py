@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.core import HbhChannel
 from repro.core.static_driver import StaticHbh
 from repro.core.tables import ProtocolTiming

@@ -13,7 +13,6 @@ import pytest
 
 from repro.core.static_driver import StaticHbh
 from repro.protocols.reunite.static_driver import StaticReunite
-from repro.routing.tables import UnicastRouting
 from repro.topology.isp import isp_receiver_candidates, isp_topology
 from repro.topology.random_graphs import star_topology
 

@@ -1,7 +1,5 @@
 """Explicit re-join lifecycle tests and message formatting checks."""
 
-import pytest
-
 from repro.core import HbhChannel
 from repro.core.messages import FusionMessage, JoinMessage, TreeMessage
 from repro.core.tables import ProtocolTiming

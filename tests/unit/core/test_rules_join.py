@@ -1,7 +1,5 @@
 """Rule-by-rule coverage of Appendix A join processing (Fig. 9(a))."""
 
-import pytest
-
 from repro.core.messages import JoinMessage
 from repro.core.rules import (
     Consume,

@@ -1,7 +1,5 @@
 """Rule-by-rule coverage of Appendix A tree processing (Fig. 9(c))."""
 
-import pytest
-
 from repro.core.messages import TreeMessage
 from repro.core.rules import (
     Consume,

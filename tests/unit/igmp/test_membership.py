@@ -8,7 +8,6 @@ from repro.igmp.membership import (
     IgmpHostAgent,
     IgmpRouterAgent,
     MembershipQuery,
-    MembershipReport,
     ReportType,
 )
 from repro.netsim.network import Network

@@ -6,7 +6,6 @@ from repro.errors import ExperimentError
 from repro.metrics.delay import average_delay, delay_per_receiver, max_delay
 from repro.metrics.distribution import DataDistribution
 from repro.metrics.stability import (
-    StabilityReport,
     TableSnapshot,
     diff_snapshots,
     paths_from_distribution,

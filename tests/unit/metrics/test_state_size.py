@@ -1,7 +1,5 @@
 """Unit tests for the multicast state census."""
 
-import pytest
-
 from repro.core.static_driver import StaticHbh
 from repro.metrics.state_size import (
     StateCensus,

@@ -15,9 +15,7 @@ from repro.experiments.storage import (
 from repro.metrics.distribution import DataDistribution
 from repro.metrics.tree_shape import path_stretch, tree_shape
 from repro.protocols.reunite.static_driver import StaticReunite
-from repro.routing.tables import UnicastRouting
 from repro.topology.isp import isp_topology
-from repro.topology.random_graphs import star_topology
 
 
 def star_distribution():

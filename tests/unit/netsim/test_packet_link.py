@@ -11,7 +11,6 @@ from repro.netsim.packet import (
     Packet,
     PacketKind,
 )
-from repro.topology.random_graphs import line_topology
 
 
 def make_packet(kind=PacketKind.CONTROL):

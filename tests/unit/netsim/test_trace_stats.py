@@ -3,6 +3,7 @@
 from repro.netsim.packet import PacketKind
 from repro.netsim.stats import LinkCounters
 from repro.netsim.trace import Trace, TraceRecord
+from repro.obs.registry import MetricsRegistry
 
 
 class TestTrace:
@@ -51,6 +52,55 @@ class TestTrace:
         assert [r.event for r in trace] == ["a", "b"]
 
 
+class TestTraceRingBuffer:
+    """Regression tests for the unbounded-growth fix: with ``maxlen``
+    the trace is a ring buffer of the most recent records."""
+
+    def test_keeps_most_recent_records(self):
+        trace = Trace(maxlen=3)
+        for step in range(10):
+            trace.record(float(step), 1, f"e{step}")
+        assert len(trace) == 3
+        assert [r.event for r in trace] == ["e7", "e8", "e9"]
+
+    def test_evictions_are_counted(self):
+        trace = Trace(maxlen=3)
+        for step in range(10):
+            trace.record(float(step), 1, "x")
+        assert trace.dropped == 7
+
+    def test_no_drops_below_capacity(self):
+        trace = Trace(maxlen=5)
+        trace.record(1.0, 1, "x")
+        assert trace.dropped == 0
+
+    def test_unbounded_by_default(self):
+        trace = Trace()
+        assert trace.maxlen is None
+        for step in range(1000):
+            trace.record(float(step), 1, "x")
+        assert len(trace) == 1000
+        assert trace.dropped == 0
+
+    def test_clear_resets_eviction_count(self):
+        trace = Trace(maxlen=1)
+        trace.record(1.0, 1, "a")
+        trace.record(2.0, 1, "b")
+        assert trace.dropped == 1
+        trace.clear()
+        assert trace.dropped == 0
+        assert len(trace) == 0
+
+    def test_filtered_events_do_not_evict(self):
+        trace = Trace(maxlen=2, only_events=["join"])
+        trace.record(1.0, 1, "join")
+        trace.record(2.0, 1, "tree")  # filtered, must not push out 'join'
+        trace.record(3.0, 1, "tree")
+        trace.record(4.0, 1, "join")
+        assert [r.event for r in trace] == ["join", "join"]
+        assert trace.dropped == 0
+
+
 class TestLinkCounters:
     def test_copies_and_weight(self):
         counters = LinkCounters()
@@ -95,3 +145,57 @@ class TestLinkCounters:
         tally = LinkCounters().tally(PacketKind.DATA)
         assert tally.copies == 0
         assert tally.weighted_cost == 0.0
+
+    def test_fractional_link_costs(self):
+        """Weighted cost sums exactly with non-integer per-link costs
+        (unicast-cloud links carry fractional aggregate costs)."""
+        counters = LinkCounters()
+        counters.record(0, 1, 0.5, PacketKind.DATA)
+        counters.record(0, 1, 0.5, PacketKind.DATA)
+        counters.record(1, 2, 0.25, PacketKind.DATA)
+        tally = counters.tally(PacketKind.DATA)
+        assert tally.copies == 3
+        assert tally.weighted_cost == 1.25
+
+    def test_max_copies_on_shared_link(self):
+        """The paper's Fig. 3 pathology: recursive unicast can put many
+        copies of the *same* packet on one physical link — tree cost
+        counts transmissions, and max_copies_on_link exposes the
+        duplication hot spot."""
+        counters = LinkCounters()
+        for _ in range(4):  # four unicast copies share link 0->1
+            counters.record(0, 1, 2.0, PacketKind.DATA)
+        counters.record(1, 2, 2.0, PacketKind.DATA)
+        tally = counters.tally(PacketKind.DATA)
+        assert tally.copies == 5
+        assert tally.links_used == 2
+        assert tally.max_copies_on_link == 4
+        assert tally.weighted_cost == 10.0
+
+
+class TestLinkCountersRegistryMirror:
+    def test_mirrors_into_shared_metric_names(self):
+        registry = MetricsRegistry()
+        counters = LinkCounters(registry=registry)
+        counters.record(0, 1, 3.0, PacketKind.DATA)
+        counters.record(0, 1, 1.0, PacketKind.CONTROL)
+        assert registry.value("net.tx.copies", kind="data") == 1.0
+        assert registry.value("net.tx.copies", kind="control") == 1.0
+        assert registry.value("net.tx.weighted_cost", kind="data") == 3.0
+
+    def test_reset_keeps_registry_cumulative(self):
+        """reset() rewinds only the per-measurement tallies; the
+        registry counters stay monotonic across measurements."""
+        registry = MetricsRegistry()
+        counters = LinkCounters(registry=registry)
+        counters.record(0, 1, 2.0, PacketKind.DATA)
+        counters.reset()
+        counters.record(0, 1, 2.0, PacketKind.DATA)
+        assert counters.tally(PacketKind.DATA).copies == 1
+        assert registry.value("net.tx.copies", kind="data") == 2.0
+        assert registry.value("net.tx.weighted_cost", kind="data") == 4.0
+
+    def test_without_registry_no_mirroring(self):
+        counters = LinkCounters()
+        counters.record(0, 1, 1.0, PacketKind.DATA)
+        assert counters.tally(PacketKind.DATA).copies == 1

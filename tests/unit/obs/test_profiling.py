@@ -1,0 +1,132 @@
+"""Unit tests for the hierarchical wall-clock profiler."""
+
+from repro.obs.profiling import PROFILER, Profiler, profiled
+
+
+class TestProfilerTree:
+    def test_nesting_builds_a_tree(self):
+        profiler = Profiler(enabled=True)
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                pass
+            with profiler.span("inner"):
+                pass
+        root = profiler.tree()
+        outer = root.children["outer"]
+        assert outer.calls == 1
+        inner = outer.children["inner"]
+        assert inner.calls == 2
+        assert inner.total <= outer.total
+        assert outer.self_time >= 0.0
+
+    def test_sibling_spans_do_not_nest(self):
+        profiler = Profiler(enabled=True)
+        with profiler.span("a"):
+            pass
+        with profiler.span("b"):
+            pass
+        assert set(profiler.tree().children) == {"a", "b"}
+
+    def test_walk_is_depth_first(self):
+        profiler = Profiler(enabled=True)
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                pass
+        names = [node.name for _, node in profiler.tree().walk()]
+        assert names == ["total", "outer", "inner"]
+
+    def test_reset_drops_spans(self):
+        profiler = Profiler(enabled=True)
+        with profiler.span("a"):
+            pass
+        profiler.reset()
+        assert not profiler.tree().children
+        assert profiler.enabled
+
+    def test_snapshot_is_json_shape(self):
+        profiler = Profiler(enabled=True)
+        with profiler.span("a"):
+            pass
+        snap = profiler.tree().snapshot()
+        assert snap["name"] == "total"
+        assert snap["children"][0]["name"] == "a"
+        assert snap["children"][0]["calls"] == 1
+
+
+class TestDisabledFastPath:
+    def test_disabled_span_is_shared_noop(self):
+        profiler = Profiler(enabled=False)
+        assert profiler.span("x") is profiler.span("y")
+        with profiler.span("x"):
+            pass
+        assert not profiler.tree().children
+
+    def test_decorator_disabled_passes_through(self):
+        calls = []
+
+        @profiled("test.fn")
+        def fn(value):
+            calls.append(value)
+            return value * 2
+
+        assert not PROFILER.enabled
+        assert fn(3) == 6
+        assert calls == [3]
+        assert "test.fn" not in PROFILER.tree().children
+
+
+class TestDecorator:
+    def test_records_under_module_global(self):
+        @profiled("test.span_name")
+        def fn():
+            return 42
+
+        PROFILER.reset()
+        PROFILER.enable()
+        try:
+            assert fn() == 42
+        finally:
+            PROFILER.disable()
+        node = PROFILER.tree().children["test.span_name"]
+        assert node.calls == 1
+        PROFILER.reset()
+
+    def test_default_name_uses_module_tail(self):
+        @profiled()
+        def my_function():
+            return 1
+
+        PROFILER.reset()
+        PROFILER.enable()
+        try:
+            my_function()
+        finally:
+            PROFILER.disable()
+        assert "test_profiling.my_function" in PROFILER.tree().children
+        PROFILER.reset()
+
+
+class TestReport:
+    def test_empty_report_says_so(self):
+        assert "no spans" in Profiler(enabled=True).report()
+
+    def test_report_lists_spans_with_percentages(self):
+        profiler = Profiler(enabled=True)
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                pass
+        text = profiler.report()
+        assert "outer" in text
+        assert "  inner" in text  # indented as a child
+        assert "%" in text
+
+    def test_min_fraction_hides_tiny_spans(self):
+        profiler = Profiler(enabled=True)
+        with profiler.span("big"):
+            for _ in range(50000):
+                pass
+            with profiler.span("tiny"):
+                pass
+        text = profiler.report(min_fraction=0.999)
+        assert "big" in text
+        assert "tiny" not in text

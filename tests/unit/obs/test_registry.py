@@ -1,0 +1,179 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    channel_label,
+)
+
+
+class TestChannelLabel:
+    def test_paper_notation(self):
+        assert channel_label(18) == "<18,G>"
+
+    def test_explicit_group(self):
+        assert channel_label("S", "G1") == "<S,G1>"
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_raises(self):
+        with pytest.raises(MetricsError):
+            Counter().inc(-1.0)
+
+
+class TestGauge:
+    def test_set_goes_anywhere(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.sum == 10.0
+        assert hist.mean == 2.5
+        assert hist.min == 1.0
+        assert hist.max == 4.0
+
+    def test_nearest_rank_percentiles(self):
+        hist = Histogram()
+        hist.extend([float(v) for v in range(1, 101)])  # 1..100
+        assert hist.p50 == 50.0
+        assert hist.p95 == 95.0
+        assert hist.p99 == 99.0
+        assert hist.percentile(100) == 100.0
+        assert hist.percentile(0) == 1.0  # nearest-rank floors at rank 1
+
+    def test_single_observation(self):
+        hist = Histogram()
+        hist.observe(7.0)
+        assert hist.p50 == hist.p99 == 7.0
+
+    def test_empty_is_zero(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.p95 == 0.0
+
+    def test_percentile_out_of_range_raises(self):
+        with pytest.raises(MetricsError):
+            Histogram().percentile(101)
+
+    def test_observe_after_percentile_query(self):
+        hist = Histogram()
+        hist.observe(10.0)
+        assert hist.p50 == 10.0
+        hist.observe(1.0)  # must invalidate the sorted cache
+        assert hist.p50 == 1.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        a = registry.counter("control.messages", protocol="hbh")
+        b = registry.counter("control.messages", protocol="hbh")
+        assert a is b
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", protocol="hbh", channel="<18,G>")
+        b = registry.counter("m", channel="<18,G>", protocol="hbh")
+        assert a is b
+
+    def test_label_sets_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.inc("m", protocol="hbh")
+        registry.inc("m", protocol="reunite")
+        assert registry.value("m", protocol="hbh") == 1.0
+        assert len(registry) == 2
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(MetricsError):
+            registry.histogram("m")
+        assert registry.kind_of("m") == "counter"
+
+    def test_value_reads_without_creating(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.value("never.recorded", protocol="hbh")
+        assert "never.recorded" not in registry
+
+    def test_value_of_histogram_is_mean(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0)
+        registry.observe("h", 3.0)
+        assert registry.value("h") == 2.0
+
+    def test_collect_prefix_and_order(self):
+        registry = MetricsRegistry()
+        registry.inc("tree.cost.copies")
+        registry.inc("net.tx.copies", kind="data")
+        registry.inc("net.tx.copies", kind="control")
+        names = [name for name, _, _ in registry.collect("net.")]
+        assert names == ["net.tx.copies", "net.tx.copies"]
+        labels = [lab["kind"] for _, lab, _ in registry.collect("net.")]
+        assert labels == sorted(labels)
+
+    def test_merge_semantics(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.inc("c", 1.0)
+        right.inc("c", 2.0)
+        left.set_gauge("g", 5.0)
+        right.set_gauge("g", 9.0)
+        left.observe("h", 1.0)
+        right.observe("h", 3.0)
+        left.merge(right)
+        assert left.value("c") == 3.0  # counters add
+        assert left.value("g") == 9.0  # gauges take the merged-in value
+        assert left.histogram("h").count == 2  # histograms pool
+
+    def test_snapshot_round_trip_through_json(self):
+        registry = MetricsRegistry()
+        registry.inc("control.messages", 4.0, protocol="hbh",
+                     channel="<18,G>")
+        registry.set_gauge("group.size", 10.0, protocol="hbh")
+        registry.observe("delay.receiver", 12.5, protocol="hbh")
+        registry.observe("delay.receiver", 7.5, protocol="hbh")
+        data = json.loads(json.dumps(registry.snapshot()))
+        restored = MetricsRegistry.from_snapshot(data)
+        assert restored.snapshot() == registry.snapshot()
+        assert restored.value("control.messages", protocol="hbh",
+                              channel="<18,G>") == 4.0
+        assert restored.histogram("delay.receiver", protocol="hbh").mean == 10.0
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.inc("m")
+        registry.reset()
+        assert len(registry) == 0
+        # A reset registry may re-register the name under another kind.
+        registry.histogram("m")
+
+    def test_render_smoke(self):
+        registry = MetricsRegistry()
+        registry.inc("control.messages", 3.0, protocol="hbh")
+        registry.observe("delay.receiver", 2.0, protocol="hbh")
+        text = registry.render()
+        assert "control.messages" in text
+        assert "protocol=hbh" in text
+        assert "p95" in text

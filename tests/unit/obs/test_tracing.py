@@ -1,0 +1,99 @@
+"""Unit tests for JSONL trace export / import / diff."""
+
+import io
+import json
+
+from repro.netsim.trace import Trace, TraceRecord
+from repro.obs.tracing import (
+    diff_records,
+    read_jsonl,
+    record_to_dict,
+    write_jsonl,
+)
+
+
+def _records():
+    return [
+        TraceRecord(1.0, 3, "join", "from r1"),
+        TraceRecord(2.0, 3, "tree", ""),
+        TraceRecord(3.0, 4, "transmit", "-> 5", subject="S"),
+    ]
+
+
+class TestRecordToDict:
+    def test_minimal_schema(self):
+        data = record_to_dict(TraceRecord(2.0, 3, "tree"))
+        assert data == {"t": 2.0, "node": 3, "event": "tree"}
+
+    def test_optional_fields(self):
+        data = record_to_dict(TraceRecord(1.0, 3, "join", "d", subject="S"))
+        assert data["detail"] == "d"
+        assert data["subject"] == "S"
+
+    def test_non_scalar_values_stringify(self):
+        data = record_to_dict(TraceRecord(1.0, (1, 2), "x", subject={"a": 1}))
+        assert data["node"] == repr((1, 2))
+        assert data["subject"] == repr({"a": 1})
+
+
+class TestWriteRead:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = write_jsonl(_records(), path)
+        assert written == 3
+        assert read_jsonl(path) == _records()
+
+    def test_stream_round_trip(self):
+        buffer = io.StringIO()
+        write_jsonl(_records(), buffer)
+        buffer.seek(0)
+        assert read_jsonl(buffer) == _records()
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(_records(), path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        assert all(isinstance(json.loads(line), dict) for line in lines)
+
+    def test_event_filter(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = write_jsonl(_records(), path, events=["join", "tree"])
+        assert written == 2
+        assert [r.event for r in read_jsonl(path)] == ["join", "tree"]
+
+    def test_empty_trace_writes_empty_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert write_jsonl([], path) == 0
+        assert path.read_text() == ""
+
+    def test_trace_to_jsonl_entry_point(self, tmp_path):
+        trace = Trace()
+        trace.record(1.0, 1, "join")
+        trace.record(2.0, 2, "tree")
+        path = tmp_path / "trace.jsonl"
+        assert trace.to_jsonl(path, events=["join"]) == 1
+        assert read_jsonl(path) == [TraceRecord(1.0, 1, "join")]
+
+
+class TestDiff:
+    def test_identical_traces_have_no_diff(self):
+        assert diff_records(_records(), _records()) == []
+
+    def test_field_change_is_reported(self):
+        left = _records()
+        right = _records()
+        right[1] = TraceRecord(2.0, 9, "tree")
+        diffs = diff_records(left, right)
+        assert len(diffs) == 1
+        assert diffs[0].startswith("record 1:")
+
+    def test_ignore_time(self):
+        left = [TraceRecord(1.0, 3, "join")]
+        right = [TraceRecord(5.0, 3, "join")]
+        assert diff_records(left, right) != []
+        assert diff_records(left, right, ignore_time=True) == []
+
+    def test_length_mismatch(self):
+        diffs = diff_records(_records(), _records()[:1])
+        assert any("length mismatch" in d for d in diffs)

@@ -1,7 +1,5 @@
 """Unit tests for the REUNITE message-processing rules."""
 
-import pytest
-
 from repro.core.rules import Consume, Forward
 from repro.core.tables import ProtocolTiming
 from repro.protocols.reunite.messages import ReuniteJoin, ReuniteTree

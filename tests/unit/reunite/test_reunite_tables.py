@@ -1,7 +1,5 @@
 """Unit tests for REUNITE tables."""
 
-import pytest
-
 from repro.core.tables import ProtocolTiming
 from repro.protocols.reunite.tables import (
     ReuniteEntry,
