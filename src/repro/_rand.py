@@ -34,10 +34,14 @@ def derive_rng(rng: random.Random, label: str, index: Optional[int] = None) -> r
     The sub-stream is keyed by ``label`` (and optionally ``index``) plus
     fresh bits drawn from ``rng``, so repeated calls with the same label
     yield different but reproducible streams.
+
+    The key is a *string* seed: ``random.Random`` hashes strings with
+    SHA-512, which is stable across processes.  (``hash()`` on anything
+    containing a str is salted by ``PYTHONHASHSEED``, so seeding with it
+    silently made every derived stream differ run to run.)
     """
     base = rng.getrandbits(64)
-    key = (base, label, index)
-    return random.Random(hash(key))
+    return random.Random(f"{base}/{label}/{index}")
 
 
 def sample_receivers(

@@ -139,6 +139,8 @@ class HbhChannel:
             for _ in range(count):
                 distribution.record_hop(src, dst, cost)
         for node, agent in self.receivers.items():
-            if len(agent.deliveries) > baseline[node]:
-                distribution.record_delivery(node, agent.deliveries[-1].delay)
+            # One record per arrival: duplicate copies (a pathology the
+            # convergence oracle looks for) must stay visible.
+            for delivery in agent.deliveries[baseline[node]:]:
+                distribution.record_delivery(node, delivery.delay)
         return distribution

@@ -26,7 +26,7 @@ from repro.core.rules import (
     process_tree,
 )
 from repro.core.tables import HbhChannelState, ProtocolTiming
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, RoutingError, SimulationError
 from repro.netsim.node import Agent
 from repro.netsim.packet import DataPayload, Packet
 
@@ -47,6 +47,10 @@ class HbhRouterAgent(Agent):
     def start(self) -> None:
         """Begin the periodic soft-state housekeeping scan."""
         self._schedule_housekeeping()
+
+    def crash(self) -> None:
+        """Fault plane: lose every channel's MCT/MFT state."""
+        self.states.clear()
 
     def _schedule_housekeeping(self) -> None:
         self.node.network.simulator.schedule(
@@ -76,7 +80,8 @@ class HbhRouterAgent(Agent):
             self._count_rule_event("join")
             state = self._state(payload.channel)
             actions = process_join(
-                state, payload, self.node.address, now, self.timing
+                state, payload, self.node.address, now, self.timing,
+                on_spt=self._on_spt(payload),
             )
             return self._apply(payload.channel, actions, packet)
         if isinstance(payload, TreeMessage):
@@ -100,6 +105,27 @@ class HbhRouterAgent(Agent):
         if isinstance(payload, DataPayload) and packet.dst == self.node.address:
             return self._branch_data(packet, payload, now)
         return False
+
+    def _on_spt(self, message: JoinMessage) -> Optional[bool]:
+        """Is this router on a unicast shortest path from the channel
+        source to the joiner?  Join rule 3's branching-node premise,
+        answered from the routing substrate the way a link-state router
+        would answer it from its LSDB.  Unknown endpoints (a crashed or
+        detached router mid-fault) count as off-path: the join passes
+        through and the stranded state ages out."""
+        network = self.node.network
+        routing = network.routing
+        try:
+            source = network.node_of(message.channel.source).node_id
+            joiner = network.node_of(message.joiner).node_id
+            here = self.node.node_id
+            return (
+                routing.distance(source, here)
+                + routing.distance(here, joiner)
+                == routing.distance(source, joiner)
+            )
+        except (RoutingError, SimulationError):
+            return False
 
     def _relay_fusion_upstream(self, state: HbhChannelState, packet: Packet,
                                arrived_from) -> bool:

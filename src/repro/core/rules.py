@@ -79,6 +79,7 @@ def process_join(
     self_addr: Addr,
     now: float,
     timing: ProtocolTiming,
+    on_spt: Optional[bool] = None,
 ) -> List[Action]:
     """Handle ``join(S, R)`` at transit router B.
 
@@ -90,6 +91,29 @@ def process_join(
 
     A receiver's *first* join is never intercepted (Section 3.1), so it
     is forwarded before any table lookup.
+
+    Rule 3's premise is that B *is a branching node of the tree*, and
+    the paper's construction (Section 3.1) guarantees every branching
+    node lies on a unicast shortest path from S to the receivers it
+    serves — tree messages travel forward routes, so branch state only
+    ever forms on them.  Two checks re-validate that premise, because
+    unicast route changes can strand old branch state on the *reverse*
+    path of a receiver, where it would otherwise keep swallowing R's
+    joins, re-originating its own, and so anchor the channel to an
+    obsolete non-shortest path forever (exactly the REUNITE pathology
+    of Fig. 2 that HBH exists to avoid):
+
+    * an MFT holding R and nothing else means B no longer branches —
+      it is a pure relay left over from an earlier tree shape;
+    * ``on_spt`` is the driver-supplied routing fact "B lies on a
+      unicast shortest path from S to R" (``dist(S,B) + dist(B,R) ==
+      dist(S,R)`` on the router's own routing table — link-state
+      routers know this locally).  ``False`` makes B transparent: the
+      join passes unrefreshed toward the source, the stranded state
+      ages out at t2, and the source's forward-path tree messages
+      rebuild the branch where it belongs.  ``None`` (unknown, e.g. a
+      substrate that cannot answer) preserves the paper's literal
+      behaviour.
     """
     if message.initial:
         return [Forward()]
@@ -98,6 +122,13 @@ def process_join(
         return [Forward()]
     entry = mft.get(message.joiner)
     if entry is None:  # rule 2
+        return [Forward()]
+    if len(mft) == 1:
+        # Degenerate branch (R is B's only entry): B is not branching.
+        return [Forward()]
+    if on_spt is False:
+        # B is off R's forward shortest path: not a legitimate branch
+        # node for R, so it must not capture R's membership.
         return [Forward()]
     # rule 3
     entry.refresh_by_join(now)

@@ -40,7 +40,7 @@ from repro.core.rules import (
     process_tree,
 )
 from repro.core.tables import HbhChannelState, Mft, ProtocolTiming, ROUND_TIMING
-from repro.errors import ChannelError, ProtocolError
+from repro.errors import ChannelError, ProtocolError, RoutingError
 from repro.metrics.distribution import DataDistribution
 from repro.obs.profiling import profiled
 from repro.routing.tables import UnicastRouting
@@ -198,6 +198,20 @@ class StaticHbh:
             and self.topology.is_multicast_capable(node)
         )
 
+    def _on_spt(self, node: NodeId, receiver: NodeId) -> bool:
+        """Does ``node`` lie on a unicast shortest path from the source
+        to ``receiver``?  The routing fact behind join rule 3's premise
+        (a branching node serves receivers on forward shortest paths);
+        unreachable endpoints — e.g. mid-fault — count as off-path."""
+        try:
+            return (
+                self.routing.distance(self.source, node)
+                + self.routing.distance(node, receiver)
+                == self.routing.distance(self.source, receiver)
+            )
+        except RoutingError:
+            return False
+
     def _walk_join(self, origin: NodeId, message: JoinMessage) -> None:
         """Walk a join from ``origin`` toward the source, applying the
         join rules at every HBH router until interception or arrival."""
@@ -211,7 +225,8 @@ class StaticHbh:
             if not self._applies_rules(current):
                 continue
             actions = process_join(
-                self._state_at(current), message, current, self.now, self.timing
+                self._state_at(current), message, current, self.now, self.timing,
+                on_spt=self._on_spt(current, message.joiner),
             )
             consumed = False
             for action in actions:
@@ -228,8 +243,18 @@ class StaticHbh:
 
     def _tree_phase(self) -> None:
         """The source's periodic tree emission plus the full in-round
-        cascade of regenerated tree and fusion messages."""
+        cascade of regenerated tree and fusion messages.
+
+        Each distinct message is walked at most once per round: the
+        real protocol emits one ``tree(S, G, target)`` per refresh
+        period, so replaying duplicates within one synchronous round
+        would be an artifact.  This also guarantees the cascade
+        terminates when a route flip leaves a transient table cycle
+        (two nodes regenerating trees at each other) — the cycle is
+        walked once and left to age out over subsequent rounds.
+        """
         queue: Deque[Tuple[NodeId, Union[TreeMessage, FusionMessage]]] = deque()
+        seen: Set[Tuple] = set()
         for target in self.source_mft.tree_targets(self.now, self.timing):
             queue.append((self.source, TreeMessage(self.channel, target)))
         steps = 0
@@ -238,6 +263,13 @@ class StaticHbh:
             if steps > _MAX_CASCADE:  # pragma: no cover - safety valve
                 raise ProtocolError("tree/fusion cascade did not terminate")
             origin, message = queue.popleft()
+            if isinstance(message, TreeMessage):
+                key = ("tree", origin, message.target)
+            else:
+                key = ("fusion", origin, tuple(message.receivers))
+            if key in seen:
+                continue
+            seen.add(key)
             if isinstance(message, TreeMessage):
                 self._walk_tree(origin, message, queue)
             else:

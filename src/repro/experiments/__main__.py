@@ -195,12 +195,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "target",
         choices=sorted(FIGURE_METRICS) + ["all", "claims", "ablations",
-                                          "report", "baseline"],
+                                          "report", "baseline", "faults"],
         help="figure to regenerate, 'all' for every figure, 'claims' to "
              "check the paper's quantitative claims, 'ablations' for "
              "the asymmetry/unicast-cloud/RP/connectivity sweeps, "
              "'report' for an observability summary (add --profile for "
-             "the timer tree), or 'baseline' to persist BENCH numbers",
+             "the timer tree), 'baseline' to persist BENCH numbers, or "
+             "'faults' to replay a named fault scenario and report "
+             "recovery time + repair loss",
     )
     parser.add_argument(
         "--runs", type=int, default=None,
@@ -227,6 +229,16 @@ def main(argv: Optional[List[str]] = None) -> int:
              "curves (e.g. add the mospf reference: "
              "pim-sm,pim-ss,reunite,hbh,mospf)",
     )
+    parser.add_argument(
+        "--scenario", default="flap-storm",
+        help="with 'faults': which named scenario to replay "
+             "(default flap-storm; see repro.experiments.faults.SCENARIOS)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="with 'faults': schedule seed (same seed => byte-identical "
+             "replay)",
+    )
     parser.add_argument("--csv", default="", help="also write CSV here")
     parser.add_argument("--save", default="",
                         help="archive the sweep result as JSON here")
@@ -238,6 +250,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     progress = _progress_printer(args.quiet)
+    if args.target == "faults":
+        from repro.experiments.faults import render_result, run_scenario
+
+        result, registry = run_scenario(args.scenario, seed=args.seed)
+        print(render_result(result, registry))
+        return 0 if result.recovered else 1
     if args.target == "report":
         return _run_report(args.figure, args.runs or 3, args.profile,
                            args.quiet)

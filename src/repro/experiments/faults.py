@@ -1,0 +1,327 @@
+"""Named fault scenarios: recovery time and repair loss under faults.
+
+Each scenario runs an event-driven HBH channel on a small topology with
+redundant paths, lets it converge, arms a :class:`FaultSchedule` on the
+live network, and probes delivery once per tree period.  Two numbers
+summarise the run, both recorded in the obs registry:
+
+- ``recovery.time`` — sim time from the last fault event to the first
+  probe where every receiver is reached again;
+- ``recovery.loss`` — data deliveries missed by probes between the
+  first fault and recovery ("packets lost during repair").
+
+Everything is seeded (the schedule drives all randomness), so the same
+``(scenario, seed)`` pair reproduces byte-identical output — that
+determinism is itself asserted by the CI faults job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.core import HbhChannel
+from repro.core.tables import ProtocolTiming
+from repro.errors import ExperimentError
+from repro.netsim.faults import (
+    FaultInjector,
+    FaultSchedule,
+    LinkDown,
+    LinkFlap,
+    LinkJitter,
+    LinkLoss,
+    RouterCrash,
+    RouterRestart,
+)
+from repro.netsim.network import Network
+from repro.obs.registry import MetricsRegistry
+from repro.topology.model import Topology
+
+NodeId = Hashable
+
+#: Fast soft-state timing so scenarios finish in a few thousand sim
+#: units: t2 is ~5 tree periods, bounding stale-branch decay.
+FAST = ProtocolTiming(join_period=50.0, tree_period=50.0, t1=130.0,
+                      t2=260.0)
+
+#: Give up if delivery has not recovered within this many probe
+#: periods after the last fault.
+MAX_RECOVERY_PERIODS = 24
+
+
+def ladder_topology() -> Topology:
+    """Two disjoint router paths between source side and receiver side:
+
+        0 -- 1 -- 2
+        |         |
+        3 ------- 4      hosts: 10 on 0 (source), 12 on 2 (receiver)
+
+    Primary path 0-1-2 is cheap; 0-3-4-2 is the expensive backup every
+    scenario heals over.
+    """
+    topology = Topology(name="ladder")
+    for router in (0, 1, 2, 3, 4):
+        topology.add_router(router)
+    topology.add_link(0, 1, 1, 1)
+    topology.add_link(1, 2, 1, 1)
+    topology.add_link(0, 3, 5, 5)
+    topology.add_link(3, 4, 5, 5)
+    topology.add_link(4, 2, 5, 5)
+    topology.add_host(10, attached_to=0)
+    topology.add_host(12, attached_to=2)
+    return topology
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named fault scenario: topology, membership and schedule."""
+
+    name: str
+    description: str
+    build_topology: Callable[[], Topology]
+    source: NodeId
+    receivers: Tuple[NodeId, ...]
+    #: seed -> schedule (times relative to injection start).
+    build_schedule: Callable[[int], FaultSchedule]
+
+
+def _flap_storm(seed: int) -> FaultSchedule:
+    # Both primary links flap out of phase; the backup rungs stay up,
+    # so the channel keeps re-healing while the storm lasts.
+    return FaultSchedule(
+        [
+            LinkFlap(0.0, 1, 2, flaps=4, period=150.0),
+            LinkFlap(75.0, 0, 1, flaps=3, period=200.0),
+        ],
+        seed=seed,
+        name="flap-storm",
+    )
+
+
+def _primary_cut(seed: int) -> FaultSchedule:
+    return FaultSchedule(
+        [LinkDown(0.0, 1, 2)],
+        seed=seed,
+        name="primary-cut",
+    )
+
+
+def _router_crash(seed: int) -> FaultSchedule:
+    return FaultSchedule(
+        [RouterCrash(0.0, 1), RouterRestart(300.0, 1)],
+        seed=seed,
+        name="router-crash",
+    )
+
+
+def _noisy_wire(seed: int) -> FaultSchedule:
+    # Packet-level perturbations on the primary path, switched off
+    # again at the horizon; recovery is measured from the switch-off.
+    return FaultSchedule(
+        [
+            LinkLoss(0.0, 0, 1, rate=0.4),
+            LinkJitter(0.0, 1, 2, jitter=10.0),
+            LinkLoss(400.0, 0, 1, rate=0.0),
+            LinkJitter(400.0, 1, 2, jitter=0.0),
+        ],
+        seed=seed,
+        name="noisy-wire",
+    )
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="flap-storm",
+            description="both primary links flap out of phase; HBH "
+                        "re-heals over the backup rungs each cycle",
+            build_topology=ladder_topology,
+            source=10,
+            receivers=(12,),
+            build_schedule=_flap_storm,
+        ),
+        Scenario(
+            name="primary-cut",
+            description="one clean cut of the primary path, never "
+                        "restored; the tree must migrate to the backup",
+            build_topology=ladder_topology,
+            source=10,
+            receivers=(12,),
+            build_schedule=_primary_cut,
+        ),
+        Scenario(
+            name="router-crash",
+            description="the primary relay crashes (tables wiped, "
+                        "links down) and restarts cold 300 units later",
+            build_topology=ladder_topology,
+            source=10,
+            receivers=(12,),
+            build_schedule=_router_crash,
+        ),
+        Scenario(
+            name="noisy-wire",
+            description="40% loss plus delay jitter on the primary "
+                        "path for 400 units, then a clean wire again",
+            build_topology=ladder_topology,
+            source=10,
+            receivers=(12,),
+            build_schedule=_noisy_wire,
+        ),
+    )
+}
+
+
+@dataclass
+class Probe:
+    """One per-period delivery measurement."""
+
+    time: float
+    delivered: int
+    expected: int
+    missing: int
+
+    @property
+    def complete(self) -> bool:
+        return self.missing == 0
+
+
+@dataclass
+class FaultRunResult:
+    """Everything one scenario run produced."""
+
+    scenario: str
+    seed: int
+    schedule: FaultSchedule
+    baseline_delays: Dict[NodeId, float]
+    final_delays: Dict[NodeId, float]
+    probes: List[Probe] = field(default_factory=list)
+    applied: int = 0
+    skipped: int = 0
+    last_fault_time: float = 0.0
+    recovery_time: Optional[float] = None
+    packets_lost: int = 0
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_time is not None
+
+
+def run_scenario(name: str, seed: int = 1,
+                 registry: Optional[MetricsRegistry] = None
+                 ) -> Tuple[FaultRunResult, MetricsRegistry]:
+    """Run one named scenario; returns the result and the registry the
+    ``fault.*`` / ``recovery.*`` metrics landed in."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ExperimentError(
+            f"unknown fault scenario {name!r} (known: {known})"
+        ) from None
+    registry = registry if registry is not None else MetricsRegistry()
+    network = Network(scenario.build_topology(), metrics=registry)
+    channel = HbhChannel(network, source_node=scenario.source, timing=FAST)
+    for receiver in scenario.receivers:
+        channel.join(receiver)
+    channel.converge(periods=8)
+    baseline = channel.measure_data()
+    if not baseline.complete:
+        raise ExperimentError(
+            f"scenario {name!r}: channel failed to converge before "
+            f"fault injection (missing {sorted(map(str, baseline.missing))})"
+        )
+
+    schedule = scenario.build_schedule(seed)
+    simulator = network.simulator
+    injector = FaultInjector(network, schedule, registry=registry,
+                             time_offset=simulator.now)
+    injector.arm()
+    last_fault = injector.time_offset + schedule.horizon
+
+    result = FaultRunResult(
+        scenario=name, seed=seed, schedule=schedule,
+        baseline_delays=dict(baseline.delays), final_delays={},
+        last_fault_time=last_fault,
+    )
+    labels = {"scenario": name, "protocol": "hbh"}
+    deadline = last_fault + MAX_RECOVERY_PERIODS * FAST.tree_period
+    distribution = baseline
+    # Probe once per tree period: measure_data itself advances one
+    # settle period, so each loop iteration is one probe interval.
+    while True:
+        distribution = channel.measure_data(settle_periods=1.0)
+        probe = Probe(
+            time=simulator.now,
+            delivered=len(distribution.delivered),
+            expected=len(distribution.expected),
+            missing=len(distribution.missing),
+        )
+        result.probes.append(probe)
+        if simulator.now <= last_fault or not probe.complete:
+            result.packets_lost += probe.missing
+        if simulator.now > last_fault and probe.complete:
+            result.recovery_time = simulator.now - last_fault
+            break
+        if simulator.now > deadline:
+            break
+    result.final_delays = dict(distribution.delays)
+    result.applied = len(injector.applied)
+    result.skipped = len(injector.skipped)
+    if result.recovery_time is not None:
+        registry.observe("recovery.time", result.recovery_time, **labels)
+    registry.inc("recovery.loss", float(result.packets_lost), **labels)
+    return result, registry
+
+
+def _render_delays(delays: Dict[NodeId, float]) -> str:
+    if not delays:
+        return "(none)"
+    return ", ".join(f"{node}={delay:g}"
+                     for node, delay in sorted(delays.items(),
+                                               key=lambda kv: str(kv[0])))
+
+
+def render_result(result: FaultRunResult,
+                  registry: MetricsRegistry) -> str:
+    """Deterministic human-readable report (byte-identical per seed)."""
+    lines = [
+        f"== fault scenario {result.scenario!r} (seed {result.seed}) ==",
+        SCENARIOS[result.scenario].description,
+        "",
+        result.schedule.describe(),
+        "",
+        f"baseline delays: {_render_delays(result.baseline_delays)}",
+        f"faults applied: {result.applied}, skipped: {result.skipped}, "
+        f"last fault at t={result.last_fault_time:g}",
+        "",
+    ]
+    for probe in result.probes:
+        marker = "ok" if probe.complete else "LOSS"
+        lines.append(
+            f"  probe t={probe.time:>8g}  delivered "
+            f"{probe.delivered}/{probe.expected}  {marker}"
+        )
+    lines.append("")
+    if result.recovered:
+        lines.append(f"recovery time: {result.recovery_time:g} "
+                     f"({result.recovery_time / FAST.tree_period:g} "
+                     f"tree periods after the last fault)")
+    else:
+        lines.append("recovery time: DID NOT RECOVER within "
+                     f"{MAX_RECOVERY_PERIODS} periods")
+    lines.append(f"packets lost during repair: {result.packets_lost}")
+    lines.append(f"post-repair delays: {_render_delays(result.final_delays)}")
+    lines.append("")
+    lines.append("-- obs registry (fault.* / recovery.*) --")
+    from repro.obs.registry import Histogram
+
+    for name, labels, instrument in (list(registry.collect("fault."))
+                                     + list(registry.collect("recovery."))):
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        if isinstance(instrument, Histogram):
+            value_text = f"n={instrument.count} mean={instrument.mean:g}"
+        else:
+            value_text = f"{instrument.value:g}"
+        lines.append(f"  {name:<28} {label_text:<26} {value_text}")
+    return "\n".join(lines)

@@ -30,6 +30,9 @@ class DataDistribution:
     transmission_costs: List[float] = field(default_factory=list)
     #: Arrival delay at each receiver that got the packet.
     delays: Dict[NodeId, float] = field(default_factory=dict)
+    #: How many copies each receiver got (>1 = duplicate delivery, the
+    #: pathology the convergence oracle flags).
+    arrivals: Dict[NodeId, int] = field(default_factory=dict)
     #: Receivers that should have gotten the packet (set by the driver).
     expected: Set[NodeId] = field(default_factory=set)
 
@@ -42,8 +45,11 @@ class DataDistribution:
         """Record the packet reaching ``receiver`` after ``delay``.
 
         If several copies arrive (a protocol pathology), the earliest
-        arrival wins — a real receiver keeps the first copy.
+        arrival wins — a real receiver keeps the first copy.  Every
+        arrival is still counted in :attr:`arrivals` so the oracle can
+        flag duplicate delivery.
         """
+        self.arrivals[receiver] = self.arrivals.get(receiver, 0) + 1
         previous = self.delays.get(receiver)
         if previous is None or delay < previous:
             self.delays[receiver] = delay
@@ -74,6 +80,11 @@ class DataDistribution:
     def delivered(self) -> Set[NodeId]:
         """Receivers that got the packet."""
         return set(self.delays)
+
+    def duplicate_deliveries(self) -> Dict[NodeId, int]:
+        """Receivers that got the packet more than once (count > 1)."""
+        return {node: count for node, count in self.arrivals.items()
+                if count > 1}
 
     @property
     def missing(self) -> Set[NodeId]:

@@ -26,19 +26,29 @@ from repro.obs.registry import MetricsRegistry
 class EventHandle:
     """A scheduled event that can be cancelled before it fires."""
 
-    __slots__ = ("time", "_seq", "_callback", "_args")
+    __slots__ = ("time", "_seq", "_callback", "_args", "_owner")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., None], args: Tuple[Any, ...]) -> None:
+                 callback: Callable[..., None], args: Tuple[Any, ...],
+                 owner: Optional["Simulator"] = None) -> None:
         self.time = time
         self._seq = seq
         self._callback: Optional[Callable[..., None]] = callback
         self._args = args
+        self._owner = owner
+
+    def _consume(self) -> None:
+        """Drop the callback exactly once, keeping the owner's live
+        count in step (both cancellation and firing come through here)."""
+        self._callback = None
+        self._args = ()
+        if self._owner is not None:
+            self._owner._live -= 1
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._callback = None
-        self._args = ()
+        if self._callback is not None:
+            self._consume()
 
     @property
     def cancelled(self) -> bool:
@@ -51,8 +61,7 @@ class EventHandle:
             return
         args = self._args
         # Mark consumed before running so re-entrant cancels are no-ops.
-        self._callback = None
-        self._args = ()
+        self._consume()
         callback(*args)
 
     def __lt__(self, other: "EventHandle") -> bool:
@@ -76,6 +85,9 @@ class Simulator:
     def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._now = 0.0
         self._queue: List[EventHandle] = []
+        #: Queued, non-cancelled events — maintained incrementally so
+        #: :attr:`pending` is O(1) despite the lazy-deletion heap.
+        self._live = 0
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
@@ -103,8 +115,9 @@ class Simulator:
             raise ScheduleInPastError(
                 f"cannot schedule at {time}, now is {self._now}"
             )
-        handle = EventHandle(time, next(self._seq), callback, args)
+        handle = EventHandle(time, next(self._seq), callback, args, owner=self)
         heapq.heappush(self._queue, handle)
+        self._live += 1
         return handle
 
     def run(self, until: Optional[float] = None,
@@ -160,16 +173,23 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of queued, non-cancelled events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of queued, non-cancelled events.  O(1): a live counter
+        is maintained on schedule/cancel/fire, so hot loops may poll it
+        freely despite the lazy-deletion heap."""
+        return self._live
 
     @property
     def next_event_time(self) -> Optional[float]:
-        """Virtual time of the earliest pending event, if any."""
-        for event in sorted(self._queue):
-            if not event.cancelled:
-                return event.time
-        return None
+        """Virtual time of the earliest pending event, if any.
+
+        Cancelled heads are popped on the way (amortised against their
+        original scheduling), so this is O(log n) rather than a full
+        sort of the queue.
+        """
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        return queue[0].time if queue else None
 
     def __repr__(self) -> str:
         return f"Simulator(now={self._now}, pending={self.pending})"

@@ -46,11 +46,24 @@ class Link:
         self._on_transmit = on_transmit
         self.up = True
         self.packets_lost = 0
+        self.packets_duplicated = 0
+        self.packets_reordered = 0
         #: Probability each transmission is lost (0.0 = reliable).
         #: Set together with :attr:`loss_rng` (a seeded ``random.Random``)
         #: via :meth:`set_loss` for reproducible lossy-link experiments.
         self.loss_rate = 0.0
         self.loss_rng = None
+        #: Uniform extra propagation delay in [0, jitter] per packet —
+        #: fault-plane delay jitter (:meth:`set_jitter`).
+        self.jitter = 0.0
+        self.jitter_rng = None
+        #: Probability a transmission arrives twice (duplication fault).
+        self.duplicate_rate = 0.0
+        self.duplicate_rng = None
+        #: Probability a packet is held back long enough to land behind
+        #: later transmissions (reordering fault).
+        self.reorder_rate = 0.0
+        self.reorder_rng = None
         #: Optional capacity (size units per time unit) per direction.
         #: ``None`` (default) = infinite: packets only see propagation
         #: delay, the paper's pure-delay model.  With a bandwidth set,
@@ -69,11 +82,53 @@ class Link:
 
     def set_loss(self, rate: float, rng) -> None:
         """Make the link lossy: each transmission drops with
-        probability ``rate``, decided by the seeded ``rng``."""
+        probability ``rate``, decided by the seeded ``rng``.
+
+        ``set_loss(0.0, None)`` disables loss; a positive rate requires
+        an rng (a rate without one would crash mid-simulation at the
+        first transmission instead of at configuration time).
+        """
         if not 0.0 <= rate < 1.0:
             raise SimulationError(f"loss rate out of range: {rate}")
+        if rate > 0.0 and rng is None:
+            raise SimulationError("a positive loss rate requires an rng")
         self.loss_rate = rate
-        self.loss_rng = rng
+        self.loss_rng = rng if rate > 0.0 else None
+
+    def set_jitter(self, jitter: float, rng) -> None:
+        """Add uniform extra delay in ``[0, jitter]`` to each packet
+        (0.0 disables).  Fault-plane primitive: a jittery link breaks
+        the paper's delay==cost identity without changing the topology.
+        """
+        if jitter < 0:
+            raise SimulationError(f"jitter must be >= 0, got {jitter}")
+        if jitter > 0.0 and rng is None:
+            raise SimulationError("a positive jitter requires an rng")
+        self.jitter = jitter
+        self.jitter_rng = rng if jitter > 0.0 else None
+
+    def set_duplication(self, rate: float, rng) -> None:
+        """Make each transmission arrive twice with probability
+        ``rate`` (0.0 disables).  The duplicate is a real second
+        arrival: it is counted by the transmit hook and delivered one
+        propagation delay after the original."""
+        if not 0.0 <= rate < 1.0:
+            raise SimulationError(f"duplication rate out of range: {rate}")
+        if rate > 0.0 and rng is None:
+            raise SimulationError("a positive duplication rate requires an rng")
+        self.duplicate_rate = rate
+        self.duplicate_rng = rng if rate > 0.0 else None
+
+    def set_reordering(self, rate: float, rng) -> None:
+        """Hold back each packet with probability ``rate`` for an extra
+        1-2 propagation delays, landing it behind packets sent after it
+        (0.0 disables)."""
+        if not 0.0 <= rate < 1.0:
+            raise SimulationError(f"reordering rate out of range: {rate}")
+        if rate > 0.0 and rng is None:
+            raise SimulationError("a positive reordering rate requires an rng")
+        self.reorder_rate = rate
+        self.reorder_rng = rng if rate > 0.0 else None
 
     def endpoints(self) -> tuple:
         """The two endpoint node ids (sorted for stable display)."""
@@ -106,17 +161,38 @@ class Link:
         if aged.expired:
             return
         receiver = self._ends[dst]
-        total_delay = self.delay(src, dst)
+        propagation = self.delay(src, dst)
+        total_delay = propagation
         if self.bandwidth is not None:
             # FIFO transmitter: serialize after earlier packets finish.
             now = self._simulator.now
             start = max(now, self._busy_until[(src, dst)])
             finish = start + packet.size / self.bandwidth
             self._busy_until[(src, dst)] = finish
-            total_delay = (finish - now) + self.delay(src, dst)
+            total_delay = (finish - now) + propagation
+        if self.jitter > 0.0:
+            total_delay += self.jitter_rng.uniform(0.0, self.jitter)
+        if (self.reorder_rate > 0.0
+                and self.reorder_rng.random() < self.reorder_rate):
+            # Enough extra delay that packets sent one propagation time
+            # later overtake this one.
+            self.packets_reordered += 1
+            total_delay += propagation * (
+                1.0 + self.reorder_rng.random()
+            )
         self._simulator.schedule(
             total_delay, receiver.receive, aged, src
         )
+        if (self.duplicate_rate > 0.0
+                and self.duplicate_rng.random() < self.duplicate_rate):
+            # The duplicate is a genuine extra copy on the wire: the
+            # transmit hook sees it (so tree-cost tallies count it) and
+            # it trails the original by one propagation delay.
+            self.packets_duplicated += 1
+            self._on_transmit(self, src, dst, packet)
+            self._simulator.schedule(
+                total_delay + propagation, receiver.receive, aged, src
+            )
 
     def __repr__(self) -> str:
         a, b = self.endpoints()

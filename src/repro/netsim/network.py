@@ -47,6 +47,8 @@ class Network:
         self._nodes: Dict[NodeId, Node] = {}
         self._by_address: Dict[Address, Node] = {}
         self._saved_costs: Dict = {}
+        #: Crashed routers -> neighbors whose links the crash took down.
+        self._crashed: Dict[NodeId, List[NodeId]] = {}
         allocator = AddressAllocator()
         for node_id in topology.nodes:
             node = Node(
@@ -131,7 +133,7 @@ class Network:
         time); multicast soft state repairs itself over the next
         refresh periods — the recovery the failure tests measure.
         """
-        link = self._link_between(a, b)
+        link = self.link_between(a, b)
         if not link.up:
             raise SimulationError(f"link {a}-{b} is already down")
         link.up = False
@@ -144,7 +146,7 @@ class Network:
 
     def restore_link(self, a: NodeId, b: NodeId) -> None:
         """Bring a failed link back with its original costs."""
-        link = self._link_between(a, b)
+        link = self.link_between(a, b)
         if link.up:
             raise SimulationError(f"link {a}-{b} is not down")
         try:
@@ -158,11 +160,60 @@ class Network:
         self.routing.invalidate()
         self.trace.record(self.simulator.now, a, "link-up", f"to {b}")
 
-    def _link_between(self, a: NodeId, b: NodeId) -> Link:
+    def link_between(self, a: NodeId, b: NodeId) -> Link:
+        """The live link joining ``a`` and ``b`` (fault plane and tests
+        configure per-link perturbations through this)."""
         try:
             return self.node(a).links[b]
         except KeyError:
             raise SimulationError(f"no link between {a} and {b}") from None
+
+    def crash_router(self, node_id: NodeId) -> None:
+        """Crash ``node_id``: every adjacent up link goes down and all
+        attached agents wipe their tables (:meth:`Agent.crash`).
+
+        Mirrors a real router losing power: neighbors see only silence
+        (soft state decays), and a restarted router comes back with
+        empty MCT/MFT state — recovery must rebuild it from protocol
+        refreshes alone.
+        """
+        node = self.node(node_id)
+        if node_id in self._crashed:
+            raise SimulationError(f"router {node_id} is already down")
+        downed = []
+        for neighbor, link in sorted(node.links.items(), key=lambda kv: str(kv[0])):
+            if link.up:
+                self.fail_link(node_id, neighbor)
+                downed.append(neighbor)
+        self._crashed[node_id] = downed
+        for agent in node.agents:
+            agent.crash()
+        self.trace.record(self.simulator.now, node_id, "crash",
+                          f"links down to {downed}")
+
+    def restart_router(self, node_id: NodeId) -> None:
+        """Bring a crashed router back up (links restored, tables still
+        empty — the wipe happened at crash time)."""
+        try:
+            downed = self._crashed.pop(node_id)
+        except KeyError:
+            raise SimulationError(f"router {node_id} is not down") from None
+        for neighbor in downed:
+            self.restore_link(node_id, neighbor)
+        self.trace.record(self.simulator.now, node_id, "restart",
+                          f"links up to {downed}")
+
+    def is_crashed(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` is currently crashed."""
+        return node_id in self._crashed
+
+    def links(self) -> List[Link]:
+        """Every distinct link, ordered by (sorted) endpoint pair."""
+        seen = {}
+        for node in self.nodes:
+            for link in node.links.values():
+                seen.setdefault(link.endpoints(), link)
+        return [seen[key] for key in sorted(seen, key=str)]
 
     def set_loss_everywhere(self, rate: float, seed=None) -> None:
         """Make every link drop each transmission with probability

@@ -52,6 +52,12 @@ class Agent:
     def start(self) -> None:
         """Called by :meth:`Network.start` once everything is wired."""
 
+    def crash(self) -> None:
+        """Called by :meth:`Network.crash_router`: wipe volatile
+        protocol state (tables), as a power-cycled router would.
+        Periodic timers may keep running — a restarted router simply
+        finds its tables empty."""
+
     # -- packet hooks ----------------------------------------------------
     def intercept(self, packet: Packet, arrived_from: Optional[NodeId]) -> bool:
         """Examine a packet arriving at the node (any destination).

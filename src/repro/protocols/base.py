@@ -14,13 +14,16 @@ four curves of the paper's figures.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Hashable, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Set
 
 from repro.errors import ExperimentError
 from repro.metrics.distribution import DataDistribution
 from repro.obs.registry import MetricsRegistry, channel_label
 from repro.routing.tables import UnicastRouting
 from repro.topology.model import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.verify.state import SoftStateView
 
 NodeId = Hashable
 
@@ -141,6 +144,16 @@ class MulticastProtocol(abc.ABC):
     def branching_nodes(self) -> List[NodeId]:
         """Nodes that duplicate data packets (empty if not applicable)."""
         return []
+
+    def soft_state(self) -> Optional["SoftStateView"]:
+        """Snapshot of every soft-state table entry for the
+        convergence oracle's t2-hygiene check.
+
+        ``None`` means "not applicable": protocols that compute their
+        trees (the PIM baselines, MOSPF) hold no refresh-timed state
+        that could go stale.
+        """
+        return None
 
     def __repr__(self) -> str:
         return (

@@ -47,3 +47,8 @@ class HbhProtocol(MulticastProtocol):
 
     def branching_nodes(self) -> List[NodeId]:
         return self.driver.branching_nodes()
+
+    def soft_state(self):
+        from repro.verify.state import hbh_soft_state
+
+        return hbh_soft_state(self.driver)

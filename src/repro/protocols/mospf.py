@@ -128,3 +128,7 @@ class MospfProtocol(MulticastProtocol):
     def branching_nodes(self) -> List[NodeId]:
         return sorted(node for node, kids in self.tree.children().items()
                       if len(kids) > 1)
+
+    def soft_state(self):
+        """Link-state computed tree: no refresh-timed state at all."""
+        return None

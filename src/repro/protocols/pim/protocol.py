@@ -50,6 +50,10 @@ class PimSsProtocol(MulticastProtocol):
             if len(kids) > 1
         )
 
+    def soft_state(self):
+        """Computed source tree: no refresh-timed state to go stale."""
+        return None
+
 
 @register_protocol("pim-sm")
 class PimSmProtocol(MulticastProtocol):
@@ -111,3 +115,7 @@ class PimSmProtocol(MulticastProtocol):
             node for node, kids in self.tree.children().items()
             if len(kids) > 1
         )
+
+    def soft_state(self):
+        """Computed shared tree: no refresh-timed state to go stale."""
+        return None

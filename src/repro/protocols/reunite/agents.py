@@ -42,6 +42,10 @@ class ReuniteRouterAgent(Agent):
     def start(self) -> None:
         self._schedule_housekeeping()
 
+    def crash(self) -> None:
+        """Fault plane: lose every conversation's table state."""
+        self.states.clear()
+
     def _schedule_housekeeping(self) -> None:
         self.node.network.simulator.schedule(
             self.timing.tree_period, self._housekeeping

@@ -44,3 +44,8 @@ class ReuniteProtocol(MulticastProtocol):
 
     def branching_nodes(self) -> List[NodeId]:
         return self.driver.branching_nodes()
+
+    def soft_state(self):
+        from repro.verify.state import reunite_soft_state
+
+        return reunite_soft_state(self.driver)

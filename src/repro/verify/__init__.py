@@ -1,0 +1,37 @@
+"""Correctness oracles for multicast trees.
+
+The package-level names are the stable API: the
+:class:`~repro.verify.oracle.ConvergenceOracle` (the SPT-convergence
+gate every protocol run can be checked against) and the soft-state
+snapshot helpers consumed by the protocol adapters.
+"""
+
+from repro.verify.state import (
+    SoftStateEntry,
+    SoftStateView,
+    hbh_soft_state,
+    reunite_soft_state,
+)
+from repro.verify.oracle import (
+    ConvergenceOracle,
+    OracleReport,
+    Violation,
+    check_delivery,
+    check_soft_state,
+    check_spt_branches,
+    expected_spt_edges,
+)
+
+__all__ = [
+    "ConvergenceOracle",
+    "OracleReport",
+    "SoftStateEntry",
+    "SoftStateView",
+    "Violation",
+    "check_delivery",
+    "check_soft_state",
+    "check_spt_branches",
+    "expected_spt_edges",
+    "hbh_soft_state",
+    "reunite_soft_state",
+]

@@ -1,0 +1,250 @@
+"""The SPT-convergence oracle.
+
+After a protocol quiesces (no pending faults, soft state settled), a
+correct recursive-unicast multicast tree must satisfy three
+properties, each checked independently and reported with a
+human-readable diff:
+
+1. **delivery** — every current receiver gets each data packet exactly
+   once (no missing receivers, no duplicate delivery — the paper's
+   Fig. 3 pathology);
+2. **shortest-path branches** — every tree branch (the segment between
+   consecutive branching nodes) lies on a unicast shortest path of the
+   routing substrate (paper Fig. 2's non-shortest REUNITE branch is
+   the counterexample);
+3. **soft-state hygiene** — no MCT/MFT entry older than t2 survives:
+   the t2 timer destroys state, so anything older is a leak.
+
+The oracle is deliberately protocol-agnostic: it consumes a
+:class:`~repro.metrics.distribution.DataDistribution` (every driver
+produces one) and a :class:`~repro.verify.state.SoftStateView` (the
+adapters' ``soft_state()``), so the same gate verifies HBH, REUNITE
+and any future protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.metrics.distribution import DataDistribution
+from repro.metrics.stability import paths_from_distribution
+from repro.routing.tables import UnicastRouting
+from repro.topology.model import Topology
+from repro.verify.state import SoftStateView
+
+NodeId = Hashable
+DirectedLink = Tuple[NodeId, NodeId]
+
+#: Cost slack for float accumulation; link costs are small integers so
+#: anything beyond this is a real detour, not rounding.
+_COST_EPS = 1e-6
+
+#: The violation vocabulary (stable strings, asserted on by tests).
+MISSING_RECEIVER = "missing-receiver"
+DUPLICATE_DELIVERY = "duplicate-delivery"
+NON_SHORTEST_BRANCH = "non-shortest-branch"
+STALE_STATE = "stale-state"
+ORPHAN_PATH = "orphan-path"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle finding: what property broke, where, and why."""
+
+    kind: str
+    subject: Hashable
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.subject}: {self.detail}"
+
+
+@dataclass
+class OracleReport:
+    """The oracle's verdict plus the context to debug a failure."""
+
+    violations: List[Violation]
+    expected_edges: Set[DirectedLink] = field(default_factory=set)
+    actual_edges: Set[DirectedLink] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every checked property held."""
+        return not self.violations
+
+    def kinds(self) -> Set[str]:
+        """The distinct violation kinds found."""
+        return {violation.kind for violation in self.violations}
+
+    def render(self) -> str:
+        """Human-readable report: verdict, findings, tree diff."""
+        if self.ok:
+            lines = ["oracle: OK"]
+        else:
+            lines = [f"oracle: {len(self.violations)} violation(s)"]
+            for violation in self.violations:
+                lines.append(f"  {violation}")
+        missing = sorted(self.expected_edges - self.actual_edges, key=str)
+        extra = sorted(self.actual_edges - self.expected_edges, key=str)
+        if missing:
+            lines.append("  SPT edges unused by the tree: "
+                         + ", ".join(f"{a}->{b}" for a, b in missing))
+        if extra:
+            lines.append("  tree edges off the direct SPT: "
+                         + ", ".join(f"{a}->{b}" for a, b in extra))
+        return "\n".join(lines)
+
+
+def expected_spt_edges(routing: UnicastRouting, source: NodeId,
+                       receivers: Sequence[NodeId]) -> Set[DirectedLink]:
+    """The directed edges of the source-rooted shortest-path tree
+    spanning ``receivers`` (union of forward unicast paths).
+
+    A converged HBH tree concatenates shortest-path *segments* between
+    branching nodes, so it may legitimately differ from this edge set;
+    the oracle uses it for the diagnostic diff, not as a hard check.
+    """
+    edges: Set[DirectedLink] = set()
+    for receiver in receivers:
+        path = routing.path(source, receiver)
+        edges.update(zip(path, path[1:]))
+    return edges
+
+
+def check_delivery(distribution: DataDistribution) -> List[Violation]:
+    """Property 1: every expected receiver reached exactly once."""
+    violations = []
+    for receiver in sorted(distribution.missing, key=str):
+        violations.append(Violation(
+            MISSING_RECEIVER, receiver,
+            f"expected receiver never got the packet "
+            f"(delivered={sorted(distribution.delivered, key=str)})",
+        ))
+    for receiver, count in sorted(distribution.duplicate_deliveries().items(),
+                                  key=lambda item: str(item[0])):
+        violations.append(Violation(
+            DUPLICATE_DELIVERY, receiver,
+            f"receiver got {count} copies of one data packet "
+            f"(duplicated links: {distribution.duplicated_links()})",
+        ))
+    return violations
+
+
+def _branch_points(distribution: DataDistribution,
+                   source: NodeId) -> Set[NodeId]:
+    """The tree's branching nodes, read off the transmissions: any node
+    with more than one distinct outgoing edge, plus the source."""
+    successors: Dict[NodeId, Set[NodeId]] = {}
+    for src, dst in distribution.transmissions:
+        successors.setdefault(src, set()).add(dst)
+    points = {node for node, outs in successors.items() if len(outs) > 1}
+    points.add(source)
+    return points
+
+
+def check_spt_branches(distribution: DataDistribution,
+                       routing: UnicastRouting,
+                       topology: Topology,
+                       source: NodeId) -> List[Violation]:
+    """Property 2: every branch lies on a unicast shortest path.
+
+    Each receiver's delivery path is reconstructed from the recorded
+    transmissions and split at branching nodes; every resulting
+    segment's cost must equal the routing substrate's shortest-path
+    distance between its endpoints.
+    """
+    violations = []
+    branch_points = _branch_points(distribution, source)
+    paths = paths_from_distribution(distribution)
+    checked: Set[Tuple[NodeId, ...]] = set()
+    for receiver in sorted(paths, key=str):
+        path = paths[receiver]
+        if path[0] != source:
+            violations.append(Violation(
+                ORPHAN_PATH, receiver,
+                f"delivery path {list(path)} does not start at the "
+                f"source {source} — copies appeared mid-network",
+            ))
+            continue
+        segment_start = 0
+        for index in range(1, len(path)):
+            # A segment closes at a branching node or at the receiver.
+            if path[index] not in branch_points and index < len(path) - 1:
+                continue
+            segment = path[segment_start:index + 1]
+            segment_start = index
+            if len(segment) < 2 or segment in checked:
+                continue
+            checked.add(segment)
+            actual = sum(topology.cost(a, b)
+                         for a, b in zip(segment, segment[1:]))
+            shortest = routing.distance(segment[0], segment[-1])
+            if actual > shortest + _COST_EPS:
+                best = routing.path(segment[0], segment[-1])
+                violations.append(Violation(
+                    NON_SHORTEST_BRANCH, receiver,
+                    f"branch {list(segment)} costs {actual:g}, but the "
+                    f"shortest {segment[0]}->{segment[-1]} path is "
+                    f"{best} at cost {shortest:g}",
+                ))
+    return violations
+
+
+def check_soft_state(view: SoftStateView) -> List[Violation]:
+    """Property 3: no entry older than t2 survives."""
+    violations = []
+    t2 = view.timing.t2
+    for entry in view.entries:
+        age = entry.age(view.now)
+        if age >= t2:
+            violations.append(Violation(
+                STALE_STATE, entry.node,
+                f"{entry.table} entry for {entry.address} is {age:g} "
+                f"old at t={view.now:g}, past t2={t2:g} — it should "
+                f"have been destroyed",
+            ))
+    return violations
+
+
+class ConvergenceOracle:
+    """The full gate: run a protocol's data plane once after
+    quiescence and verify all three tree properties.
+
+    ``check(protocol)`` works on anything implementing the
+    :class:`~repro.protocols.base.MulticastProtocol` interface; the
+    lower-level ``check_distribution``/``check_state`` entry points
+    serve drivers and hand-built fixtures.
+    """
+
+    def __init__(self, topology: Topology, source: NodeId,
+                 receivers: Sequence[NodeId],
+                 routing: Optional[UnicastRouting] = None) -> None:
+        self.topology = topology
+        self.source = source
+        self.receivers = list(receivers)
+        self.routing = routing or UnicastRouting(topology)
+
+    def check_distribution(self, distribution: DataDistribution,
+                           view: Optional[SoftStateView] = None
+                           ) -> OracleReport:
+        """Check one measured distribution (and, optionally, a
+        soft-state snapshot) against all properties."""
+        violations = check_delivery(distribution)
+        violations += check_spt_branches(distribution, self.routing,
+                                         self.topology, self.source)
+        if view is not None:
+            violations += check_soft_state(view)
+        return OracleReport(
+            violations=violations,
+            expected_edges=expected_spt_edges(self.routing, self.source,
+                                              self.receivers),
+            actual_edges=set(distribution.transmissions),
+        )
+
+    def check(self, protocol) -> OracleReport:
+        """Measure ``protocol``'s data plane and soft state and check
+        everything.  The protocol must already be quiescent."""
+        distribution = protocol.distribute_data()
+        return self.check_distribution(distribution,
+                                       view=protocol.soft_state())

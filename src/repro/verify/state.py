@@ -1,0 +1,85 @@
+"""Protocol-neutral snapshots of soft state.
+
+The oracle's stale-state check needs one thing from a protocol: every
+(node, table, entry, refreshed_at) tuple it currently holds, plus the
+clock and timing to age them against.  :class:`SoftStateView` is that
+snapshot; the two extractors below read it off the HBH and REUNITE
+static drivers (the PIM/MOSPF baselines compute their trees and have
+no soft state to leak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+from repro.core.tables import ProtocolTiming
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class SoftStateEntry:
+    """One soft-state table entry somewhere in the network."""
+
+    node: NodeId
+    table: str  # "source-mft", "mft" or "mct"
+    address: Hashable
+    refreshed_at: float
+
+    def age(self, now: float) -> float:
+        """How long since the entry was last refreshed."""
+        return now - self.refreshed_at
+
+
+@dataclass(frozen=True)
+class SoftStateView:
+    """Every soft-state entry of one conversation, plus the clock and
+    timing needed to age them."""
+
+    entries: Tuple[SoftStateEntry, ...]
+    now: float
+    timing: ProtocolTiming
+
+
+def hbh_soft_state(driver) -> SoftStateView:
+    """Snapshot a :class:`~repro.core.static_driver.StaticHbh`."""
+    entries = []
+    for entry in driver.source_mft:
+        entries.append(SoftStateEntry(driver.source, "source-mft",
+                                      entry.address, entry.refreshed_at))
+    for node in sorted(driver.states, key=str):
+        state = driver.states[node]
+        if state.mct is not None:
+            entries.append(SoftStateEntry(node, "mct",
+                                          state.mct.entry.address,
+                                          state.mct.entry.refreshed_at))
+        if state.mft is not None:
+            for entry in state.mft:
+                entries.append(SoftStateEntry(node, "mft", entry.address,
+                                              entry.refreshed_at))
+    return SoftStateView(tuple(entries), driver.now, driver.timing)
+
+
+def reunite_soft_state(driver) -> SoftStateView:
+    """Snapshot a :class:`~repro.protocols.reunite.static_driver.StaticReunite`."""
+    entries = []
+
+    def emit(node, state) -> None:
+        if state.mct is not None:
+            for entry in state.mct:
+                entries.append(SoftStateEntry(node, "mct", entry.address,
+                                              entry.refreshed_at))
+        if state.mft is not None:
+            if state.mft.dst is not None:
+                entries.append(SoftStateEntry(node, "mft",
+                                              state.mft.dst.address,
+                                              state.mft.dst.refreshed_at))
+            for entry in state.mft.receivers():
+                entries.append(SoftStateEntry(node, "mft", entry.address,
+                                              entry.refreshed_at))
+
+    emit(driver.source, driver.source_state)
+    for node in sorted(driver.states, key=str):
+        emit(node, driver.states[node])
+    return SoftStateView(tuple(entries), driver.now, driver.timing)

@@ -1,9 +1,19 @@
-"""Hypothesis strategies for random networks and groups."""
+"""Hypothesis strategies for random networks, groups and faults."""
 
 from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.netsim.faults import (
+    FaultSchedule,
+    LinkDown,
+    LinkFlap,
+    LinkUp,
+    RouterCrash,
+    RouterRestart,
+    candidate_fault_links,
+    close_schedule,
+)
 from repro.topology.model import Topology
 
 
@@ -61,3 +71,56 @@ def topology_with_group(draw, min_nodes=4, max_nodes=12):
         receivers.append(host)
         next_host += 1
     return topology, source, receivers
+
+
+@st.composite
+def fault_cases(draw, min_nodes=4, max_nodes=9, max_events=4,
+                horizon=8.0):
+    """A ``topology_with_group`` case plus a random
+    :class:`~repro.netsim.faults.FaultSchedule` over it.
+
+    Faults only touch router-router links away from the group's
+    endpoints, and the schedule is closed (restores/restarts appended)
+    so the source-receiver graph is connected again by ``horizon`` —
+    the precondition for recovery to be checkable at all.
+    """
+    topology, source, receivers = draw(
+        topology_with_group(min_nodes, max_nodes))
+    links = candidate_fault_links(topology, source, receivers)
+    routers = sorted(set(topology.routers))
+    events = []
+    down = set()
+    crashed = set()
+    times = st.integers(0, max(0, int(horizon) - 2))
+    for _ in range(draw(st.integers(0, max_events)) if links else 0):
+        time = float(draw(times))
+        kind = draw(st.integers(0, 3))
+        if kind in (0, 1):
+            key = draw(st.sampled_from(links))
+            if key in down:
+                continue
+            events.append(LinkDown(time, *key))
+            if kind == 1:  # cut with an explicit later restore
+                events.append(LinkUp(time + 2.0, *key))
+            else:
+                down.add(key)
+        elif kind == 2:
+            key = draw(st.sampled_from(links))
+            if key in down:
+                continue
+            events.append(LinkFlap(time, *key,
+                                   flaps=draw(st.integers(1, 2)),
+                                   period=2.0))
+        else:
+            node = draw(st.sampled_from(routers))
+            if node in crashed:
+                continue
+            crashed.add(node)
+            events.append(RouterCrash(time, node))
+            events.append(RouterRestart(time + 2.0, node))
+    events.sort(key=lambda event: event.time)
+    closed = close_schedule(events, topology, source, receivers,
+                            heal_time=horizon)
+    schedule = FaultSchedule(closed, seed=draw(st.integers(0, 2 ** 16)),
+                             name="fuzz")
+    return topology, source, receivers, schedule

@@ -47,13 +47,13 @@ class TestJoinRule2:
 
 class TestJoinRule3:
     def test_known_receiver_intercepted(self):
-        state = branching_state("r1")
+        state = branching_state("r1", "r2")
         actions = process_join(state, JoinMessage(CH, "r1"), "B", 1.0, T)
         assert Consume() in actions
         assert OriginateJoin(joiner="B") in actions
 
     def test_interception_refreshes_entry(self):
-        state = branching_state("r1")
+        state = branching_state("r1", "r2")
         process_join(state, JoinMessage(CH, "r1"), "B", 3.0, T)
         assert state.mft.get("r1").refreshed_at == 3.0
 
@@ -62,9 +62,73 @@ class TestJoinRule3:
         # join(S, Bp)" — tree messages flow to Bp again.
         state = HbhChannelState()
         state.mft = Mft()
+        state.mft.add("r1", 0.0, marked=True)
         state.mft.add("bp", 0.0, forced_stale=True)
         process_join(state, JoinMessage(CH, "bp"), "B", 1.0, T)
         assert not state.mft.get("bp").is_stale(1.0, T)
+
+
+class TestDegenerateBranchNotIntercepting:
+    """Rule 3 requires B to actually branch: an MFT whose only entry is
+    the joiner marks a leftover relay, not a branching node.  If it
+    intercepted, the stale via-point would refresh itself forever and
+    pin the channel to an obsolete path after a routing change."""
+
+    def test_single_entry_mft_forwards(self):
+        state = branching_state("r1")
+        actions = process_join(state, JoinMessage(CH, "r1"), "B", 1.0, T)
+        assert actions == [Forward()]
+
+    def test_single_entry_mft_not_refreshed(self):
+        # No refresh either: the passing join must let the degenerate
+        # state age out rather than keep it alive from the data path.
+        state = branching_state("r1")
+        process_join(state, JoinMessage(CH, "r1"), "B", 3.0, T)
+        assert state.mft.get("r1").refreshed_at == 0.0
+
+    def test_two_entries_still_intercept(self):
+        # The other entry may be stale or marked — existence is what
+        # makes B a branching node for interception purposes.
+        state = branching_state("r1")
+        state.mft.add("bp", 0.0, forced_stale=True)
+        actions = process_join(state, JoinMessage(CH, "r1"), "B", 9.0, T)
+        assert Consume() in actions
+
+
+class TestOffPathBranchTransparentToJoins:
+    """Rule 3's other premise: a branching node serves its receivers on
+    forward shortest paths (Section 3.1 — tree messages travel forward
+    routes, so branch state only forms on them).  When routing moves and
+    strands old branch state on a receiver's *reverse* path, the holder
+    must not capture that receiver's joins: the driver answers the
+    routing fact via ``on_spt`` and an off-path node stays transparent,
+    so the stranded state ages out instead of re-anchoring the channel
+    to an obsolete non-shortest path (the Fig. 2 REUNITE pathology)."""
+
+    def test_off_path_forwards(self):
+        state = branching_state("r1", "r2")
+        actions = process_join(state, JoinMessage(CH, "r1"), "B", 1.0, T,
+                               on_spt=False)
+        assert actions == [Forward()]
+
+    def test_off_path_not_refreshed(self):
+        state = branching_state("r1", "r2")
+        process_join(state, JoinMessage(CH, "r1"), "B", 3.0, T, on_spt=False)
+        assert state.mft.get("r1").refreshed_at == 0.0
+
+    def test_on_path_intercepts(self):
+        state = branching_state("r1", "r2")
+        actions = process_join(state, JoinMessage(CH, "r1"), "B", 1.0, T,
+                               on_spt=True)
+        assert Consume() in actions
+        assert OriginateJoin(joiner="B") in actions
+
+    def test_unknown_defaults_to_paper_literal_interception(self):
+        # A substrate that cannot answer (on_spt=None) keeps the
+        # paper's literal Appendix-A behaviour.
+        state = branching_state("r1", "r2")
+        actions = process_join(state, JoinMessage(CH, "r1"), "B", 1.0, T)
+        assert Consume() in actions
 
 
 class TestFirstJoinNeverIntercepted:

@@ -158,3 +158,52 @@ class TestCancellation:
         sim = Simulator()
         sim.schedule(1.0, lambda: None)
         assert "pending=1" in repr(sim)
+
+
+class TestLivePendingCounter:
+    """`pending` is a live counter, not a queue scan — every path that
+    consumes an event (fire, cancel) must keep it exact."""
+
+    def test_pending_drops_as_events_fire(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        assert sim.pending == 3
+        sim.step()
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+        handle.cancel()
+        assert sim.pending == 0
+
+    def test_events_scheduled_during_run_are_counted(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: None))
+        assert sim.pending == 1
+        sim.step()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_pending_exact_under_heavy_cancellation(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None)
+                   for i in range(100)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending == 50
+        assert sim.next_event_time == 2.0

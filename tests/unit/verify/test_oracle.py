@@ -1,0 +1,240 @@
+"""The convergence oracle against hand-built wrong trees.
+
+Each of the paper's tree pathologies is rebuilt as a fixture and must
+be flagged with exactly the right violation kind: duplicate delivery
+(Fig. 3), a non-shortest branch (Fig. 2), and a soft-state entry
+surviving past t2.
+"""
+
+from repro.core.tables import ROUND_TIMING
+from repro.metrics.distribution import DataDistribution
+from repro.verify import (
+    ConvergenceOracle,
+    SoftStateEntry,
+    SoftStateView,
+    check_delivery,
+    check_soft_state,
+    expected_spt_edges,
+)
+from repro.verify.oracle import (
+    DUPLICATE_DELIVERY,
+    MISSING_RECEIVER,
+    NON_SHORTEST_BRANCH,
+    ORPHAN_PATH,
+    STALE_STATE,
+)
+
+
+def _record_path(distribution, topology, path, deliver=None):
+    elapsed = 0.0
+    for a, b in zip(path, path[1:]):
+        cost = topology.cost(a, b)
+        distribution.record_hop(a, b, cost)
+        elapsed += cost
+    if deliver is not None:
+        distribution.record_delivery(deliver, elapsed)
+
+
+class TestCorrectTreePasses:
+    def test_fig2_forward_spt_is_clean(self, fig2_topology, fig2_routing):
+        distribution = DataDistribution(expected={11, 12, 13})
+        for receiver in (11, 12, 13):
+            path = fig2_routing.path(0, receiver)
+            _record_path(distribution, fig2_topology, path,
+                         deliver=receiver)
+        oracle = ConvergenceOracle(fig2_topology, 0, [11, 12, 13],
+                                   routing=fig2_routing)
+        report = oracle.check_distribution(distribution)
+        assert report.ok, report.render()
+        assert report.render() == "oracle: OK"
+        assert report.kinds() == set()
+
+
+class TestDuplicateDelivery:
+    def test_fig3_two_copies_flagged(self, fig3_topology, fig3_routing):
+        # The Fig. 3 pathology taken one step further: the tree feeds
+        # r1 over two distinct branches, so r1 gets the packet twice.
+        distribution = DataDistribution(expected={11, 12})
+        _record_path(distribution, fig3_topology, [0, 1, 6, 4, 11],
+                     deliver=11)
+        _record_path(distribution, fig3_topology, [0, 1, 6, 5, 12],
+                     deliver=12)
+        # The second copy to r1, via the join-path routers (Fig. 3's
+        # duplicated S->R1 leg).
+        _record_path(distribution, fig3_topology, [0, 1, 2, 4, 11],
+                     deliver=11)
+        assert distribution.duplicate_deliveries() == {11: 2}
+        oracle = ConvergenceOracle(fig3_topology, 0, [11, 12],
+                                   routing=fig3_routing)
+        report = oracle.check_distribution(distribution)
+        assert not report.ok
+        assert DUPLICATE_DELIVERY in report.kinds()
+        subjects = {v.subject for v in report.violations
+                    if v.kind == DUPLICATE_DELIVERY}
+        assert subjects == {11}
+
+    def test_earliest_copy_still_wins_the_delay(self):
+        distribution = DataDistribution(expected={5})
+        distribution.record_delivery(5, 9.0)
+        distribution.record_delivery(5, 4.0)
+        assert distribution.delays[5] == 4.0
+        assert distribution.arrivals[5] == 2
+
+
+class TestNonShortestBranch:
+    def test_fig2_detour_branch_flagged(self, fig2_topology, fig2_routing):
+        # Forward SPT reaches r1 over S->R1->R3->r1 (cost 3); the wrong
+        # tree routes it S->R1->R2->r1 (cost 11) — Fig. 2's REUNITE
+        # branch that does not lie on any forward shortest path.
+        distribution = DataDistribution(expected={11})
+        _record_path(distribution, fig2_topology, [0, 1, 2, 11],
+                     deliver=11)
+        oracle = ConvergenceOracle(fig2_topology, 0, [11],
+                                   routing=fig2_routing)
+        report = oracle.check_distribution(distribution)
+        assert not report.ok
+        assert report.kinds() == {NON_SHORTEST_BRANCH}
+        [violation] = report.violations
+        assert violation.subject == 11
+        assert "[0, 1, 3, 11]" in violation.detail  # the right path
+
+    def test_shortest_segments_between_branch_points_pass(
+            self, fig2_topology, fig2_routing):
+        # HBH legitimately concatenates shortest *segments*: the split
+        # at the source sends r2's copy over S->R4 while r1/r3 share
+        # S->R1->R3.  Each segment is shortest, so no violation.
+        distribution = DataDistribution(expected={11, 12, 13})
+        _record_path(distribution, fig2_topology, [0, 1, 3, 11], deliver=11)
+        _record_path(distribution, fig2_topology, [0, 4, 12], deliver=12)
+        distribution.record_hop(3, 13, fig2_topology.cost(3, 13))
+        distribution.record_delivery(13, 3.0)
+        oracle = ConvergenceOracle(fig2_topology, 0, [11, 12, 13],
+                                   routing=fig2_routing)
+        assert oracle.check_distribution(distribution).ok
+
+    def test_orphan_copies_flagged(self, fig2_topology, fig2_routing):
+        # Copies materialising mid-network (never sent by the source).
+        distribution = DataDistribution(expected={11})
+        _record_path(distribution, fig2_topology, [3, 11], deliver=11)
+        report = ConvergenceOracle(
+            fig2_topology, 0, [11], routing=fig2_routing,
+        ).check_distribution(distribution)
+        assert ORPHAN_PATH in report.kinds()
+
+
+class TestMissingReceiver:
+    def test_unreached_receiver_flagged(self, fig2_topology, fig2_routing):
+        distribution = DataDistribution(expected={11, 12})
+        _record_path(distribution, fig2_topology, [0, 1, 3, 11],
+                     deliver=11)
+        report = ConvergenceOracle(
+            fig2_topology, 0, [11, 12], routing=fig2_routing,
+        ).check_distribution(distribution)
+        assert MISSING_RECEIVER in report.kinds()
+        assert {v.subject for v in report.violations} == {12}
+
+    def test_check_delivery_is_pure(self):
+        distribution = DataDistribution(expected={1, 2})
+        distribution.record_delivery(1, 1.0)
+        violations = check_delivery(distribution)
+        assert [v.kind for v in violations] == [MISSING_RECEIVER]
+
+
+class TestStaleState:
+    def test_entry_past_t2_flagged(self):
+        # ROUND_TIMING destroys entries at t2 = 4.5 rounds; an entry
+        # last refreshed 8 rounds ago is a leak.
+        view = SoftStateView(
+            entries=(
+                SoftStateEntry(node=1, table="mft", address=11,
+                               refreshed_at=2.0),
+                SoftStateEntry(node=3, table="mct", address=13,
+                               refreshed_at=9.5),
+            ),
+            now=10.0,
+            timing=ROUND_TIMING,
+        )
+        violations = check_soft_state(view)
+        assert [v.kind for v in violations] == [STALE_STATE]
+        assert violations[0].subject == 1
+        assert "t2" in violations[0].detail
+
+    def test_fresh_view_passes(self):
+        view = SoftStateView(
+            entries=(SoftStateEntry(1, "mft", 11, refreshed_at=9.0),),
+            now=10.0, timing=ROUND_TIMING,
+        )
+        assert check_soft_state(view) == []
+
+    def test_oracle_folds_state_into_report(self, fig2_topology,
+                                            fig2_routing):
+        distribution = DataDistribution(expected={11})
+        _record_path(distribution, fig2_topology, [0, 1, 3, 11],
+                     deliver=11)
+        view = SoftStateView(
+            entries=(SoftStateEntry(1, "mft", 11, refreshed_at=0.0),),
+            now=50.0, timing=ROUND_TIMING,
+        )
+        report = ConvergenceOracle(
+            fig2_topology, 0, [11], routing=fig2_routing,
+        ).check_distribution(distribution, view=view)
+        assert report.kinds() == {STALE_STATE}
+
+
+class TestReportRendering:
+    def test_render_lists_findings_and_tree_diff(self, fig2_topology,
+                                                 fig2_routing):
+        distribution = DataDistribution(expected={11})
+        _record_path(distribution, fig2_topology, [0, 1, 2, 11],
+                     deliver=11)
+        report = ConvergenceOracle(
+            fig2_topology, 0, [11], routing=fig2_routing,
+        ).check_distribution(distribution)
+        text = report.render()
+        assert "violation" in text
+        assert NON_SHORTEST_BRANCH in text
+        assert "tree edges off the direct SPT" in text
+        assert "SPT edges unused by the tree" in text
+
+    def test_expected_spt_edges_union(self, fig2_routing):
+        edges = expected_spt_edges(fig2_routing, 0, [11, 12])
+        assert edges == {(0, 1), (1, 3), (3, 11), (0, 4), (4, 12)}
+
+
+class TestOracleOnLiveProtocols:
+    def test_converged_hbh_passes_end_to_end(self, fig2_topology,
+                                             fig2_routing):
+        from repro.protocols.base import build_protocol
+
+        protocol = build_protocol("hbh", fig2_topology, 0,
+                                  routing=fig2_routing)
+        for receiver in (11, 12, 13):
+            protocol.add_receiver(receiver)
+            protocol.converge(max_rounds=60)
+        report = ConvergenceOracle(
+            fig2_topology, 0, [11, 12, 13], routing=fig2_routing,
+        ).check(protocol)
+        assert report.ok, report.render()
+
+    def test_soft_state_views_expose_live_entries(self, fig2_topology,
+                                                  fig2_routing):
+        from repro.protocols.base import build_protocol
+
+        for name in ("hbh", "reunite"):
+            protocol = build_protocol(name, fig2_topology, 0,
+                                      routing=fig2_routing)
+            protocol.add_receiver(11)
+            protocol.converge(max_rounds=60)
+            view = protocol.soft_state()
+            assert view is not None
+            assert view.entries, name
+            assert check_soft_state(view) == []
+
+    def test_computed_trees_have_no_soft_state(self, fig2_topology,
+                                               fig2_routing):
+        from repro.protocols.base import build_protocol
+
+        for name in ("pim-ss", "pim-sm", "mospf"):
+            protocol = build_protocol(name, fig2_topology, 0,
+                                      routing=fig2_routing)
+            assert protocol.soft_state() is None, name
