@@ -18,8 +18,8 @@ static driver (topology node ids).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Hashable, Tuple
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
 
 Addr = Hashable
 
@@ -38,6 +38,10 @@ class JoinMessage:
     channel: Hashable
     joiner: Addr
     initial: bool = False
+    #: Causal-tracing identity (see :mod:`repro.obs.causal`): excluded
+    #: from equality/hash so traced and untraced runs dedup identically.
+    trace_id: Optional[str] = field(default=None, compare=False)
+    span_id: Optional[int] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         tag = "join*" if self.initial else "join"
@@ -54,6 +58,8 @@ class TreeMessage:
 
     channel: Hashable
     target: Addr
+    trace_id: Optional[str] = field(default=None, compare=False)
+    span_id: Optional[int] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"tree({self.channel}, {self.target})"
@@ -70,6 +76,8 @@ class FusionMessage:
     channel: Hashable
     receivers: Tuple[Addr, ...]
     sender: Addr
+    trace_id: Optional[str] = field(default=None, compare=False)
+    span_id: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.receivers:

@@ -18,6 +18,7 @@ from repro.core.tables import ProtocolTiming
 from repro.errors import ChannelError
 from repro.netsim.node import Agent
 from repro.netsim.packet import DataPayload, Packet
+from repro.obs.causal import INITIAL_JOIN, JOIN
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,11 +66,22 @@ class HbhReceiverAgent(Agent):
         self.joined = False
 
     def _send_join(self, initial: bool = False) -> None:
+        causal = self.node.network.causal
+        trace_id = span_id = None
+        if causal.enabled:
+            span = causal.begin(
+                INITIAL_JOIN if initial else JOIN, self.node.node_id,
+                self.node.network.simulator.now, str(self.channel),
+                target=self.node.address,
+            )
+            trace_id, span_id = span.trace_id, span.span_id
         self.node.emit(Packet(
             src=self.node.address,
             dst=self.channel.source,
             payload=JoinMessage(self.channel, self.node.address,
-                                initial=initial),
+                                initial=initial,
+                                trace_id=trace_id, span_id=span_id),
+            trace_id=trace_id, span_id=span_id,
         ))
 
     def _schedule_refresh(self) -> None:
@@ -103,8 +115,19 @@ class HbhReceiverAgent(Agent):
                     received_at=now,
                     delay=now - payload.sent_at,
                 ))
+            causal = self.node.network.causal
+            if causal.enabled and packet.span_id is not None:
+                causal.finish(
+                    packet.span_id,
+                    f"delivered to {self.node.node_id} "
+                    f"(delay {now - payload.sent_at:g})",
+                )
             return True
         if isinstance(payload, TreeMessage) and payload.channel == self.channel:
+            causal = self.node.network.causal
+            if causal.enabled and packet.span_id is not None:
+                causal.finish(packet.span_id,
+                              f"reached receiver {self.node.node_id}")
             return True  # tree message reached its target: consumed here
         return False
 

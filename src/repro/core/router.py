@@ -29,6 +29,7 @@ from repro.core.tables import HbhChannelState, ProtocolTiming
 from repro.errors import ProtocolError, RoutingError, SimulationError
 from repro.netsim.node import Agent
 from repro.netsim.packet import DataPayload, Packet
+from repro.obs.causal import DATA, FUSION, JOIN, TREE
 
 NodeId = Hashable
 
@@ -76,28 +77,65 @@ class HbhRouterAgent(Agent):
     def intercept(self, packet: Packet, arrived_from: Optional[NodeId]) -> bool:
         payload = packet.payload
         now = self.node.network.simulator.now
+        causal = self.node.network.causal
         if isinstance(payload, JoinMessage):
             self._count_rule_event("join")
             state = self._state(payload.channel)
+            traced = causal.enabled and packet.span_id is not None
             actions = process_join(
                 state, payload, self.node.address, now, self.timing,
                 on_spt=self._on_spt(payload),
             )
-            return self._apply(payload.channel, actions, packet)
+            consumed = self._apply(payload.channel, actions, packet)
+            if traced and consumed:
+                # Rule 3: the joiner's entry was refreshed here.
+                causal.effect(packet.span_id, self.node.node_id, "mft",
+                              payload.joiner, "refresh-join", now)
+                causal.finish(
+                    packet.span_id,
+                    f"intercepted by {self.node.node_id} (join rule 3)",
+                )
+            return consumed
         if isinstance(payload, TreeMessage):
             self._count_rule_event("tree")
             state = self._state(payload.channel)
+            traced = causal.enabled and packet.span_id is not None
+            if traced:
+                before = self._tree_facts(state, payload.target)
             actions = process_tree(
                 state, payload, self.node.address, now, self.timing,
                 arrived_from=arrived_from,
             )
-            return self._apply(payload.channel, actions, packet)
+            consumed = self._apply(payload.channel, actions, packet)
+            if traced:
+                self._tree_trace(packet, state, payload.target, before,
+                                 consumed, now)
+            return consumed
         if isinstance(payload, FusionMessage):
             self._count_rule_event("fusion")
             state = self._state(payload.channel)
+            traced = causal.enabled and packet.span_id is not None
+            if traced:
+                mft = state.mft
+                marked = [] if mft is None else \
+                    [r for r in payload.receivers if r in mft]
+                adopted = mft is not None and payload.sender not in mft
             actions = process_fusion(state, payload, now,
                                      arrived_from=arrived_from)
             consumed = self._apply(payload.channel, actions, packet)
+            if traced and consumed:
+                for receiver in marked:
+                    causal.effect(packet.span_id, self.node.node_id,
+                                  "mft", receiver, "mark", now)
+                causal.effect(packet.span_id, self.node.node_id, "mft",
+                              payload.sender,
+                              "adopt" if adopted else "keep-alive", now)
+                causal.finish(
+                    packet.span_id,
+                    f"intercepted by {self.node.node_id} "
+                    f"(fusion: marked {marked}, "
+                    f"{'adopted' if adopted else 'kept'} {payload.sender})",
+                )
             if not consumed:
                 return self._relay_fusion_upstream(state, packet,
                                                    arrived_from)
@@ -127,6 +165,50 @@ class HbhRouterAgent(Agent):
         except (RoutingError, SimulationError):
             return False
 
+    def _tree_facts(self, state: HbhChannelState, target):
+        """Cheap before-facts for causal effect inference (mirrors the
+        static driver's ``_tree_facts``)."""
+        mct = state.mct
+        return (
+            state.mft is not None,
+            state.mft is not None and target in state.mft,
+            None if mct is None else mct.entry.address,
+        )
+
+    def _tree_trace(self, packet: Packet, state: HbhChannelState,
+                    target, before, consumed: bool, now: float) -> None:
+        """Record what one tree-rule application did to this router's
+        tables, and close the span if the message ended here."""
+        causal = self.node.network.causal
+        span_id = packet.span_id
+        node = self.node.node_id
+        had_mft, had_entry, mct_addr = before
+        if target == self.node.address:
+            if consumed:
+                causal.finish(
+                    span_id,
+                    f"delivered to branching node {node} (tree rule 1)"
+                    if had_mft else f"reached {node}",
+                )
+            return
+        if had_mft:
+            causal.effect(span_id, node, "mft", target,
+                          "refresh-tree" if had_entry else "add", now)
+        elif state.mft is not None:
+            # rule 8: this router just promoted itself to branching.
+            causal.effect(span_id, node, "mct", mct_addr, "promote", now)
+            for entry in state.mft:
+                causal.effect(span_id, node, "mft", entry.address, "add",
+                              now)
+        elif state.mct is not None:
+            if mct_addr is None:  # rule 4
+                causal.effect(span_id, node, "mct", target, "add", now)
+            elif mct_addr == target:  # rules 5, 6
+                causal.effect(span_id, node, "mct", target,
+                              "refresh-tree", now)
+            elif state.mct.entry.address == target:  # rule 7
+                causal.effect(span_id, node, "mct", target, "replace", now)
+
     def _relay_fusion_upstream(self, state: HbhChannelState, packet: Packet,
                                arrived_from) -> bool:
         """Relay a non-intercepted fusion up the *tree*: out of the
@@ -150,10 +232,25 @@ class HbhRouterAgent(Agent):
         state = self.states.get(payload.channel)
         if state is None or state.mft is None:
             return False  # not a branching node: let a local receiver claim it
+        causal = self.node.network.causal
+        traced = causal.enabled and packet.span_id is not None
+        copies = 0
         for target in state.mft.data_targets(now, self.timing):
             if target == self.node.address:
                 continue
-            self.node.emit(packet.readdressed(target))
+            copy = packet.readdressed(target)
+            if traced:
+                child = causal.begin(DATA, self.node.node_id, now,
+                                     str(payload.channel),
+                                     parent=packet.span_id, target=target)
+                copy = copy.with_span(child)
+            copies += 1
+            self.node.emit(copy)
+        if traced:
+            causal.finish(
+                packet.span_id,
+                f"branched into {copies} copies at {self.node.node_id}",
+            )
         self._trace("branch-data", f"{payload.channel} -> {len(state.mft)} entries")
         return True
 
@@ -163,32 +260,62 @@ class HbhRouterAgent(Agent):
     def _apply(self, channel: Channel, actions: List[Action],
                packet: Packet) -> bool:
         consumed = False
+        causal = self.node.network.causal
+        traced = causal.enabled and packet.span_id is not None
+        now = self.node.network.simulator.now if traced else 0.0
         for action in actions:
             if isinstance(action, Forward):
                 continue  # node.receive falls through to unicast forwarding
             if isinstance(action, Consume):
                 consumed = True
             elif isinstance(action, OriginateJoin):
+                trace_id = span_id = None
+                if traced:
+                    child = causal.begin(
+                        JOIN, self.node.node_id, now, str(channel),
+                        parent=packet.span_id, target=action.joiner,
+                    )
+                    trace_id, span_id = child.trace_id, child.span_id
                 self.node.emit(Packet(
                     src=self.node.address,
                     dst=channel.source,
-                    payload=JoinMessage(channel, action.joiner),
+                    payload=JoinMessage(channel, action.joiner,
+                                        trace_id=trace_id, span_id=span_id),
+                    trace_id=trace_id, span_id=span_id,
                 ))
             elif isinstance(action, OriginateTree):
                 if action.target == self.node.address:
                     continue
+                trace_id = span_id = None
+                if traced:
+                    child = causal.begin(
+                        TREE, self.node.node_id, now, str(channel),
+                        parent=packet.span_id, target=action.target,
+                    )
+                    trace_id, span_id = child.trace_id, child.span_id
                 self.node.emit(Packet(
                     src=self.node.address,
                     dst=action.target,
-                    payload=TreeMessage(channel, action.target),
+                    payload=TreeMessage(channel, action.target,
+                                        trace_id=trace_id, span_id=span_id),
+                    trace_id=trace_id, span_id=span_id,
                 ))
             elif isinstance(action, OriginateFusion):
+                trace_id = span_id = None
+                if traced:
+                    child = causal.begin(
+                        FUSION, self.node.node_id, now, str(channel),
+                        parent=packet.span_id, target=action.receivers,
+                    )
+                    trace_id, span_id = child.trace_id, child.span_id
                 fusion_packet = Packet(
                     src=self.node.address,
                     dst=channel.source,
                     payload=FusionMessage(
-                        channel, action.receivers, sender=self.node.address
+                        channel, action.receivers, sender=self.node.address,
+                        trace_id=trace_id, span_id=span_id,
                     ),
+                    trace_id=trace_id, span_id=span_id,
                 )
                 upstream = self.states[channel].upstream
                 if upstream is not None and upstream in self.node.links:

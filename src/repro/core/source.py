@@ -20,6 +20,7 @@ from repro.core.rules import process_fusion_at_source, process_join_at_source
 from repro.core.tables import Mft, ProtocolTiming
 from repro.netsim.node import Agent
 from repro.netsim.packet import DataPayload, Packet, PacketKind
+from repro.obs.causal import DATA, TREE
 
 NodeId = Hashable
 
@@ -56,11 +57,24 @@ class HbhSourceAgent(Agent):
     def _tree_round(self) -> None:
         now = self.node.network.simulator.now
         self.mft.expire(now, self.timing)
+        causal = self.node.network.causal
+        tracing = causal.enabled
         for target in self.mft.tree_targets(now, self.timing):
+            trace_id = span_id = None
+            if tracing:
+                # One trace per emission round; one root span per target.
+                span = causal.begin(
+                    TREE, self.node.node_id, now, str(self.channel),
+                    trace_id=f"{self.channel}/t={now:g}.tree",
+                    target=target,
+                )
+                trace_id, span_id = span.trace_id, span.span_id
             self.node.emit(Packet(
                 src=self.node.address,
                 dst=target,
-                payload=TreeMessage(self.channel, target),
+                payload=TreeMessage(self.channel, target,
+                                    trace_id=trace_id, span_id=span_id),
+                trace_id=trace_id, span_id=span_id,
             ))
         self._schedule_tree_round()
 
@@ -73,10 +87,40 @@ class HbhSourceAgent(Agent):
         payload = packet.payload
         now = self.node.network.simulator.now
         if isinstance(payload, JoinMessage) and payload.channel == self.channel:
+            causal = self.node.network.causal
+            traced = causal.enabled and packet.span_id is not None
+            if traced:
+                existed = payload.joiner in self.mft
             process_join_at_source(self.mft, payload, now)
+            if traced:
+                causal.effect(packet.span_id, self.node.node_id,
+                              "source-mft", payload.joiner,
+                              "refresh-join" if existed else "add", now)
+                causal.finish(
+                    packet.span_id,
+                    f"reached source (MFT entry {payload.joiner} "
+                    f"{'refreshed' if existed else 'added'})",
+                )
             return True
         if isinstance(payload, FusionMessage) and payload.channel == self.channel:
+            causal = self.node.network.causal
+            traced = causal.enabled and packet.span_id is not None
+            if traced:
+                marked = [r for r in payload.receivers if r in self.mft]
+                adopted = payload.sender not in self.mft
             process_fusion_at_source(self.mft, payload, now)
+            if traced:
+                for receiver in marked:
+                    causal.effect(packet.span_id, self.node.node_id,
+                                  "source-mft", receiver, "mark", now)
+                causal.effect(packet.span_id, self.node.node_id,
+                              "source-mft", payload.sender,
+                              "adopt" if adopted else "keep-alive", now)
+                causal.finish(
+                    packet.span_id,
+                    f"reached source (fusion: marked {marked}, "
+                    f"{'adopted' if adopted else 'kept'} {payload.sender})",
+                )
             return True
         return False
 
@@ -94,12 +138,27 @@ class HbhSourceAgent(Agent):
             sent_at=now,
         )
         targets = self.mft.data_targets(now, self.timing)
+        causal = self.node.network.causal
+        root = None
+        if causal.enabled:
+            root = causal.begin(DATA, self.node.node_id, now,
+                                str(self.channel))
         for target in targets:
+            trace_id = span_id = None
+            if root is not None:
+                span = causal.begin(DATA, self.node.node_id, now,
+                                    str(self.channel), parent=root,
+                                    target=target)
+                trace_id, span_id = span.trace_id, span.span_id
             self.node.emit(Packet(
                 src=self.node.address,
                 dst=target,
                 payload=payload,
                 kind=PacketKind.DATA,
+                trace_id=trace_id, span_id=span_id,
             ))
+        if root is not None:
+            causal.finish(root,
+                          f"data fan-out ({len(targets)} copies at root)")
         self.data_packets_sent += 1
         return len(targets)

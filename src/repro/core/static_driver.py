@@ -24,6 +24,7 @@ are built from.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 from typing import Deque, Dict, Hashable, List, Optional, Set, Tuple, Union
 
 from repro.core.messages import FusionMessage, JoinMessage, TreeMessage
@@ -42,7 +43,18 @@ from repro.core.rules import (
 from repro.core.tables import HbhChannelState, Mft, ProtocolTiming, ROUND_TIMING
 from repro.errors import ChannelError, ProtocolError, RoutingError
 from repro.metrics.distribution import DataDistribution
+from repro.obs.causal import (
+    DATA,
+    FUSION,
+    INITIAL_JOIN,
+    JOIN,
+    TREE,
+    CausalTracer,
+    Span,
+)
+from repro.obs.flight import FlightRecorder
 from repro.obs.profiling import profiled
+from repro.obs.registry import channel_label
 from repro.routing.tables import UnicastRouting
 from repro.topology.model import NodeKind, Topology
 
@@ -80,6 +92,47 @@ class StaticHbh:
         self.round_no = 0
         #: Count of rule-level events, exposed for overhead analysis.
         self.messages_processed = 0
+        #: Rendered ``<S,G>`` label used by metrics and causal spans.
+        self.channel_name = channel_label(source)
+        #: Optional causal tracer + flight recorder (attach_tracer).
+        #: None keeps every walk on the untraced fast path.
+        self.causal: Optional[CausalTracer] = None
+        self.flight: Optional[FlightRecorder] = None
+
+    # ------------------------------------------------------------------
+    # Causal tracing (see repro.obs.causal)
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer: Optional[CausalTracer],
+                      flight: Optional[FlightRecorder] = None) -> None:
+        """Wire a causal tracer (and optionally a flight recorder) into
+        every message walk; ``None`` detaches both."""
+        self.causal = tracer
+        if tracer is None:
+            self.flight = None
+            return
+        if flight is not None:
+            tracer.recorder = flight
+        recorder = tracer.recorder
+        self.flight = recorder if isinstance(recorder, FlightRecorder) else None
+
+    def _span(self, name: str, node: NodeId, target: NodeId = None,
+              parent: Optional[Span] = None,
+              trace_id: Optional[str] = None) -> Optional[Span]:
+        """Open a span when tracing is on; a single None/flag check —
+        and None back — when it is off."""
+        causal = self.causal
+        if causal is None or not causal.enabled:
+            return None
+        return causal.begin(name, node, self.now, self.channel_name,
+                            trace_id=trace_id, parent=parent, target=target)
+
+    @staticmethod
+    def _stamp(message, span: Optional[Span]):
+        """Copy the span identity onto a control message (no-op copy
+        elided entirely when untraced)."""
+        if span is None:
+            return message
+        return replace(message, trace_id=span.trace_id, span_id=span.span_id)
 
     # ------------------------------------------------------------------
     # Membership
@@ -96,8 +149,11 @@ class StaticHbh:
         if receiver in self.receivers:
             raise ChannelError(f"receiver {receiver} already joined")
         self.receivers.add(receiver)
-        join = JoinMessage(self.channel, receiver, initial=True)
-        self._walk_join(receiver, join)
+        span = self._span(INITIAL_JOIN, receiver, target=receiver)
+        join = self._stamp(
+            JoinMessage(self.channel, receiver, initial=True), span
+        )
+        self._walk_join(receiver, join, span)
 
     def remove_receiver(self, receiver: NodeId) -> None:
         """Leave the channel: the receiver just stops sending joins
@@ -119,9 +175,20 @@ class StaticHbh:
         """One protocol period: joins, tree/fusion cascade, aging."""
         self.round_no += 1
         for receiver in sorted(self.receivers):
-            self._walk_join(receiver, JoinMessage(self.channel, receiver))
+            span = self._span(JOIN, receiver, target=receiver)
+            self._walk_join(
+                receiver,
+                self._stamp(JoinMessage(self.channel, receiver), span),
+                span,
+            )
         self._tree_phase()
         self._expire()
+        if self.flight is not None:
+            watermark = self.causal.next_id if self.causal is not None else 0
+            self.flight.snapshot(
+                self.channel_name, self.now, f"round {self.round_no}",
+                self._snapshot(), span_watermark=watermark,
+            )
 
     @profiled("hbh.converge")
     def converge(self, max_rounds: int = 40, settle_rounds: int = 2) -> int:
@@ -212,15 +279,29 @@ class StaticHbh:
         except RoutingError:
             return False
 
-    def _walk_join(self, origin: NodeId, message: JoinMessage) -> None:
+    def _walk_join(self, origin: NodeId, message: JoinMessage,
+                   span: Optional[Span] = None) -> None:
         """Walk a join from ``origin`` toward the source, applying the
         join rules at every HBH router until interception or arrival."""
         self.messages_processed += 1
         current = origin
         while current != self.source:
             current = self.routing.next_hop(current, self.source)
+            if span is not None:
+                span.hops.append(current)
             if current == self.source:
+                if span is not None:
+                    existed = message.joiner in self.source_mft
                 process_join_at_source(self.source_mft, message, self.now)
+                if span is not None:
+                    verb = "refresh-join" if existed else "add"
+                    self.causal.effect(span, self.source, "source-mft",
+                                       message.joiner, verb, self.now)
+                    self.causal.finish(
+                        span,
+                        f"reached source (MFT entry {message.joiner} "
+                        f"{'refreshed' if existed else 'added'})",
+                    )
                 return
             if not self._applies_rules(current):
                 continue
@@ -233,12 +314,30 @@ class StaticHbh:
                 if isinstance(action, Consume):
                     consumed = True
                 elif isinstance(action, OriginateJoin):
+                    child = None
+                    if span is not None:
+                        # Rule 3: the interceptor refreshed the joiner's
+                        # entry and joins the channel itself upstream.
+                        self.causal.effect(span, current, "mft",
+                                           message.joiner, "refresh-join",
+                                           self.now)
+                        child = self.causal.begin(
+                            JOIN, current, self.now, self.channel_name,
+                            parent=span, target=action.joiner,
+                        )
                     self._walk_join(
-                        current, JoinMessage(self.channel, action.joiner)
+                        current,
+                        self._stamp(JoinMessage(self.channel, action.joiner),
+                                    child),
+                        child,
                     )
                 elif not isinstance(action, Forward):  # pragma: no cover
                     raise ProtocolError(f"unexpected join action {action!r}")
             if consumed:
+                if span is not None:
+                    self.causal.finish(
+                        span, f"intercepted by {current} (join rule 3)"
+                    )
                 return
 
     def _tree_phase(self) -> None:
@@ -253,16 +352,26 @@ class StaticHbh:
         (two nodes regenerating trees at each other) — the cycle is
         walked once and left to age out over subsequent rounds.
         """
-        queue: Deque[Tuple[NodeId, Union[TreeMessage, FusionMessage]]] = deque()
+        queue: Deque[
+            Tuple[NodeId, Union[TreeMessage, FusionMessage], Optional[Span]]
+        ] = deque()
         seen: Set[Tuple] = set()
         for target in self.source_mft.tree_targets(self.now, self.timing):
-            queue.append((self.source, TreeMessage(self.channel, target)))
+            queue.append((self.source, TreeMessage(self.channel, target), None))
+        causal = self.causal
+        tracing = causal is not None and causal.enabled
+        #: All of one round's emission shares one trace: the origin
+        #: event is "the source's periodic tree refresh of round N".
+        round_trace = (
+            f"{self.channel_name}/round{self.round_no}.tree" if tracing
+            else None
+        )
         steps = 0
         while queue:
             steps += 1
             if steps > _MAX_CASCADE:  # pragma: no cover - safety valve
                 raise ProtocolError("tree/fusion cascade did not terminate")
-            origin, message = queue.popleft()
+            origin, message, parent = queue.popleft()
             if isinstance(message, TreeMessage):
                 key = ("tree", origin, message.target)
             else:
@@ -270,16 +379,31 @@ class StaticHbh:
             if key in seen:
                 continue
             seen.add(key)
+            span: Optional[Span] = None
+            if tracing:
+                if isinstance(message, TreeMessage):
+                    span = causal.begin(
+                        TREE, origin, self.now, self.channel_name,
+                        trace_id=round_trace if parent is None else None,
+                        parent=parent, target=message.target,
+                    )
+                else:
+                    span = causal.begin(
+                        FUSION, origin, self.now, self.channel_name,
+                        parent=parent, target=message.receivers,
+                    )
+                message = self._stamp(message, span)
             if isinstance(message, TreeMessage):
-                self._walk_tree(origin, message, queue)
+                self._walk_tree(origin, message, queue, span)
             else:
-                self._walk_fusion(origin, message, queue)
+                self._walk_fusion(origin, message, queue, span)
 
     def _walk_tree(
         self,
         origin: NodeId,
         message: TreeMessage,
         queue: Deque,
+        span: Optional[Span] = None,
     ) -> None:
         """Walk ``tree(S, target)`` from ``origin`` toward its target,
         applying the tree rules at every HBH router on the way."""
@@ -289,15 +413,24 @@ class StaticHbh:
         while current != target_node:
             previous = current
             current = self.routing.next_hop(current, target_node)
+            if span is not None:
+                span.hops.append(current)
             if current == target_node and not self._applies_rules(current):
                 # Arrived at a host/receiver (or the source): consumed.
+                if span is not None:
+                    self.causal.finish(span, f"reached {target_node}")
                 return
             if not self._applies_rules(current):
                 continue
+            state = self._state_at(current)
+            if span is not None:
+                before = self._tree_facts(state, target_node)
             actions = process_tree(
-                self._state_at(current), message, current, self.now,
+                state, message, current, self.now,
                 self.timing, arrived_from=previous,
             )
+            if span is not None:
+                self._tree_effects(span, current, state, target_node, before)
             consumed = False
             for action in actions:
                 if isinstance(action, Consume):
@@ -305,7 +438,9 @@ class StaticHbh:
                 elif isinstance(action, OriginateTree):
                     if action.target != current:
                         queue.append(
-                            (current, TreeMessage(self.channel, action.target))
+                            (current,
+                             TreeMessage(self.channel, action.target),
+                             span)
                         )
                 elif isinstance(action, OriginateFusion):
                     queue.append(
@@ -314,12 +449,67 @@ class StaticHbh:
                             FusionMessage(
                                 self.channel, action.receivers, sender=current
                             ),
+                            span,
                         )
                     )
                 elif not isinstance(action, Forward):  # pragma: no cover
                     raise ProtocolError(f"unexpected tree action {action!r}")
             if consumed:
+                if span is not None:
+                    if before[0]:  # the target held an MFT: rule 1
+                        regenerated = sum(
+                            1 for a in actions if isinstance(a, OriginateTree)
+                        )
+                        self.causal.finish(
+                            span,
+                            f"delivered to branching node {current} "
+                            f"(tree rule 1: {regenerated} trees regenerated)",
+                        )
+                    else:
+                        self.causal.finish(span, f"reached {target_node}")
                 return
+        if span is not None and not span.finished:
+            self.causal.finish(span, f"reached {target_node}")
+
+    def _tree_facts(self, state: HbhChannelState,
+                    target: NodeId) -> Tuple[bool, bool, Optional[NodeId]]:
+        """Cheap before-facts from which :meth:`_tree_effects` infers
+        which Appendix-A tree rule fired (the rules stay pure)."""
+        mct = state.mct
+        return (
+            state.mft is not None,
+            state.mft is not None and target in state.mft,
+            None if mct is None else mct.entry.address,
+        )
+
+    def _tree_effects(self, span: Span, node: NodeId,
+                      state: HbhChannelState, target: NodeId,
+                      before: Tuple[bool, bool, Optional[NodeId]]) -> None:
+        """Record the table mutations one tree-rule application made."""
+        had_mft, had_entry, mct_addr = before
+        causal = self.causal
+        now = self.now
+        if target == node:
+            return  # rule 1 (or plain consume): regeneration only
+        if had_mft:
+            # rule 3 refreshes an existing entry, rule 2 adds a new one.
+            causal.effect(span, node, "mft", target,
+                          "refresh-tree" if had_entry else "add", now)
+            return
+        if state.mft is not None:
+            # rule 8: the MCT promoted into an MFT (new branching node).
+            causal.effect(span, node, "mct", mct_addr, "promote", now)
+            for entry in state.mft:
+                causal.effect(span, node, "mft", entry.address, "add", now)
+            return
+        if state.mct is None:
+            return  # no mutation (shouldn't happen on this path)
+        if mct_addr is None:  # rule 4
+            causal.effect(span, node, "mct", target, "add", now)
+        elif mct_addr == target:  # rules 5, 6
+            causal.effect(span, node, "mct", target, "refresh-tree", now)
+        elif state.mct.entry.address == target:  # rule 7
+            causal.effect(span, node, "mct", target, "replace", now)
 
     def _fusion_next_hop(self, node: NodeId,
                          visited: Set[NodeId]) -> NodeId:
@@ -344,6 +534,7 @@ class StaticHbh:
         origin: NodeId,
         message: FusionMessage,
         queue: Deque,
+        span: Optional[Span] = None,
     ) -> None:
         """Walk a fusion from ``origin`` upstream toward the source
         (tree-path first, unicast fallback), applying the fusion rules
@@ -355,17 +546,53 @@ class StaticHbh:
             previous = current
             current = self._fusion_next_hop(current, visited)
             visited.add(current)
+            if span is not None:
+                span.hops.append(current)
             if current == self.source:
+                if span is not None:
+                    marked = [r for r in message.receivers
+                              if r in self.source_mft]
+                    adopted = message.sender not in self.source_mft
                 process_fusion_at_source(self.source_mft, message, self.now)
+                if span is not None:
+                    self._fusion_effects(span, self.source, "source-mft",
+                                         message.sender, marked, adopted)
                 return
             if not self._applies_rules(current):
                 continue
+            state = self._state_at(current)
+            if span is not None:
+                mft = state.mft
+                marked = [] if mft is None else \
+                    [r for r in message.receivers if r in mft]
+                adopted = mft is not None and message.sender not in mft
             actions = process_fusion(
-                self._state_at(current), message, self.now,
+                state, message, self.now,
                 arrived_from=previous,
             )
             if any(isinstance(action, Consume) for action in actions):
+                if span is not None:
+                    self._fusion_effects(span, current, "mft",
+                                         message.sender, marked, adopted)
                 return
+
+    def _fusion_effects(self, span: Span, node: NodeId, table: str,
+                        sender: NodeId, marked: List[NodeId],
+                        adopted: bool) -> None:
+        """Record a fusion interception: marks plus sender adoption."""
+        causal = self.causal
+        now = self.now
+        for receiver in marked:
+            causal.effect(span, node, table, receiver, "mark", now)
+        causal.effect(span, node, table, sender,
+                      "adopt" if adopted else "keep-alive", now)
+        where = ("reached source" if node == self.source
+                 else f"intercepted by {node}")
+        causal.finish(
+            span,
+            f"{where} (fusion: marked {marked}, "
+            f"{'adopted' if adopted else 'kept'} {sender})",
+        )
 
     # ------------------------------------------------------------------
     # Data plane
@@ -381,8 +608,20 @@ class StaticHbh:
         """
         distribution = DataDistribution(expected=set(self.receivers))
         expanded: Set[NodeId] = set()
+        root = self._span(DATA, self.source)
         for target in self.source_mft.data_targets(self.now, self.timing):
-            self._walk_data(self.source, target, 0.0, distribution, expanded)
+            child = None
+            if root is not None:
+                child = self.causal.begin(
+                    DATA, self.source, self.now, self.channel_name,
+                    parent=root, target=target,
+                )
+            self._walk_data(self.source, target, 0.0, distribution,
+                            expanded, child)
+        if root is not None:
+            self.causal.finish(
+                root, f"data fan-out from {self.source}"
+            )
         return distribution
 
     def _walk_data(
@@ -392,6 +631,7 @@ class StaticHbh:
         elapsed: float,
         distribution: DataDistribution,
         expanded: Set[NodeId],
+        span: Optional[Span] = None,
     ) -> None:
         current = origin
         while current != target:
@@ -400,22 +640,46 @@ class StaticHbh:
             distribution.record_hop(current, nxt, cost)
             elapsed += cost
             current = nxt
-        if current in self.receivers:
+            if span is not None:
+                span.hops.append(current)
+        delivered = current in self.receivers
+        if delivered:
             distribution.record_delivery(current, elapsed)
         if current in expanded:
             # A transient table cycle would re-copy forever; a real
             # packet would loop until its TTL died.  The first-visit
             # expansion already served this subtree.
+            if span is not None:
+                self.causal.finish(
+                    span, f"suppressed at {current} (already expanded)"
+                )
             return
         expanded.add(current)
+        copies = 0
         state = self.states.get(current)
         if state is not None and state.mft is not None:
             for address in state.mft.data_targets(self.now, self.timing):
                 if address == current:
                     continue  # a self-entry is the local delivery above
+                child = None
+                if span is not None:
+                    child = self.causal.begin(
+                        DATA, current, self.now, self.channel_name,
+                        parent=span, target=address,
+                    )
+                copies += 1
                 self._walk_data(
-                    current, address, elapsed, distribution, expanded
+                    current, address, elapsed, distribution, expanded, child
                 )
+        if span is not None:
+            parts = []
+            if delivered:
+                parts.append(f"delivered to {current} (delay {elapsed:g})")
+            if copies:
+                parts.append(f"branched into {copies} copies at {current}")
+            self.causal.finish(
+                span, "; ".join(parts) or f"terminated at {current}"
+            )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -56,7 +56,7 @@ def _report(result: SweepResult, figure: str, csv_path: str = "") -> None:
         print(f"wrote {csv_path}")
 
 
-def _run_ablations(runs: int) -> int:
+def _run_ablations(runs: int, tracer=None) -> int:
     from repro.experiments.ablations import (
         asymmetry_sweep,
         connectivity_sweep,
@@ -66,32 +66,33 @@ def _run_ablations(runs: int) -> int:
 
     print(f"== abl-asym: cost spread vs HBH/REUNITE ({runs} runs) ==")
     print(f"{'spread':>8} {'protocol':>9} {'copies':>8} {'delay':>8}")
-    for point in asymmetry_sweep(runs=runs):
+    for point in asymmetry_sweep(runs=runs, tracer=tracer):
         print(f"{point.parameter:>8.2f} {point.protocol:>9} "
               f"{point.mean_cost_copies:>8.2f} {point.mean_delay:>8.2f}")
 
     print(f"\n== abl-unicast: unicast-only fraction vs HBH ({runs} runs) ==")
     print(f"{'fraction':>8} {'copies':>8} {'delay':>8}")
-    for point in unicast_cloud_sweep(runs=runs):
+    for point in unicast_cloud_sweep(runs=runs, tracer=tracer):
         print(f"{point.parameter:>8.2f} {point.mean_cost_copies:>8.2f} "
               f"{point.mean_delay:>8.2f}")
 
     print(f"\n== abl-rp: PIM-SM RP placement ({runs} runs) ==")
     print(f"{'strategy':>14} {'copies':>8} {'delay':>8}")
-    for strategy, (cost, delay) in rp_placement_sweep(runs=runs).items():
+    for strategy, (cost, delay) in rp_placement_sweep(
+            runs=runs, tracer=tracer).items():
         print(f"{strategy:>14} {cost:>8.2f} {delay:>8.2f}")
 
     print(f"\n== abl-conn: Waxman density vs HBH/REUNITE "
           f"({max(4, runs // 2)} runs) ==")
     print(f"{'alpha':>8} {'protocol':>9} {'copies':>8} {'delay':>8}")
-    for point in connectivity_sweep(runs=max(4, runs // 2)):
+    for point in connectivity_sweep(runs=max(4, runs // 2), tracer=tracer):
         print(f"{point.parameter:>8.2f} {point.protocol:>9} "
               f"{point.mean_cost_copies:>8.2f} {point.mean_delay:>8.2f}")
     return 0
 
 
 def _run_report(figure: str, runs: int, profile: bool,
-                quiet: bool) -> int:
+                quiet: bool, tracer=None) -> int:
     """A fig7-style observability run: per-channel metric summary plus
     (optionally) the wall-clock timer tree."""
     from repro.experiments.figures import figure_config
@@ -104,7 +105,7 @@ def _run_report(figure: str, runs: int, profile: bool,
         config = figure_config(figure, runs=runs)
         registry = MetricsRegistry()
         result = run_sweep(config, progress=_progress_printer(quiet),
-                           metrics=registry)
+                           metrics=registry, tracer=tracer)
     finally:
         if profile:
             PROFILER.disable()
@@ -143,7 +144,7 @@ def _measure_engine_throughput(registry: MetricsRegistry,
     return rate
 
 
-def _run_baseline(out: str, runs: int, quiet: bool) -> int:
+def _run_baseline(out: str, runs: int, quiet: bool, tracer=None) -> int:
     """Persist a perf/metric baseline from the obs registry: tree cost,
     join latency and engine throughput (diffed across PRs in CI)."""
     import json
@@ -154,7 +155,8 @@ def _run_baseline(out: str, runs: int, quiet: bool) -> int:
 
     registry = MetricsRegistry()
     config = figure_config("fig7a", runs=runs)
-    run_sweep(config, progress=_progress_printer(quiet), metrics=registry)
+    run_sweep(config, progress=_progress_printer(quiet), metrics=registry,
+              tracer=tracer)
     events_per_sec = _measure_engine_throughput(registry)
     channels = {
         labels["protocol"]: labels["channel"]
@@ -195,14 +197,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "target",
         choices=sorted(FIGURE_METRICS) + ["all", "claims", "ablations",
-                                          "report", "baseline", "faults"],
+                                          "report", "baseline", "faults",
+                                          "explain"],
         help="figure to regenerate, 'all' for every figure, 'claims' to "
              "check the paper's quantitative claims, 'ablations' for "
              "the asymmetry/unicast-cloud/RP/connectivity sweeps, "
              "'report' for an observability summary (add --profile for "
-             "the timer tree), 'baseline' to persist BENCH numbers, or "
+             "the timer tree), 'baseline' to persist BENCH numbers, "
              "'faults' to replay a named fault scenario and report "
-             "recovery time + repair loss",
+             "recovery time + repair loss, or 'explain' to render the "
+             "causal chains behind a scenario's tree (see --query)",
     )
     parser.add_argument(
         "--runs", type=int, default=None,
@@ -230,14 +234,32 @@ def main(argv: Optional[List[str]] = None) -> int:
              "pim-sm,pim-ss,reunite,hbh,mospf)",
     )
     parser.add_argument(
-        "--scenario", default="flap-storm",
-        help="with 'faults': which named scenario to replay "
-             "(default flap-storm; see repro.experiments.faults.SCENARIOS)",
+        "--scenario", default=None,
+        help="with 'faults'/'explain': which named scenario to replay "
+             "(faults default flap-storm, explain default fig2; see "
+             "repro.experiments.faults.SCENARIOS)",
     )
     parser.add_argument(
         "--seed", type=int, default=1,
-        help="with 'faults': schedule seed (same seed => byte-identical "
-             "replay)",
+        help="with 'faults'/'explain': schedule seed (same seed => "
+             "byte-identical replay)",
+    )
+    parser.add_argument(
+        "--query", default=None,
+        help="with 'explain': one targeted question, NODE.TABLE[ADDRESS] "
+             "(e.g. '3.mft[11]': why does router 3 hold an MFT entry "
+             "for 11?)",
+    )
+    parser.add_argument(
+        "--trace-out", default="",
+        help="archive the run's causal spans as JSONL here (figure "
+             "sweeps and ablations trace run 0 of each point; faults "
+             "and explain trace the whole run)",
+    )
+    parser.add_argument(
+        "--flight-out", default="",
+        help="with 'explain'/'faults': dump the per-channel flight "
+             "recorder rings as JSONL here",
     )
     parser.add_argument("--csv", default="", help="also write CSV here")
     parser.add_argument("--save", default="",
@@ -249,20 +271,55 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="suppress progress output")
     args = parser.parse_args(argv)
 
+    tracer = flight = None
+    if args.trace_out or args.flight_out or args.target == "explain":
+        from repro.obs.causal import CausalTracer
+        from repro.obs.flight import FlightRecorder
+
+        tracer = CausalTracer(maxlen=65536)
+        flight = FlightRecorder()
+    try:
+        return _dispatch(args, tracer, flight)
+    finally:
+        if tracer is not None and args.trace_out:
+            count = tracer.to_jsonl(args.trace_out)
+            print(f"wrote {count} spans to {args.trace_out}",
+                  file=sys.stderr)
+        if flight is not None and args.flight_out:
+            count = flight.dump(args.flight_out)
+            print(f"wrote {count} flight entries to {args.flight_out}",
+                  file=sys.stderr)
+
+
+def _dispatch(args, tracer, flight) -> int:
     progress = _progress_printer(args.quiet)
+    if args.target == "explain":
+        from repro.experiments.explain import run_explain
+
+        protocol = (args.protocols.split(",")[0].strip()
+                    if args.protocols else "hbh")
+        text, code = run_explain(
+            scenario=args.scenario or "fig2", protocol=protocol,
+            query=args.query, seed=args.seed, tracer=tracer, flight=flight,
+        )
+        print(text, end="")
+        return code
     if args.target == "faults":
         from repro.experiments.faults import render_result, run_scenario
 
-        result, registry = run_scenario(args.scenario, seed=args.seed)
+        result, registry = run_scenario(args.scenario or "flap-storm",
+                                        seed=args.seed, tracer=tracer,
+                                        flight=flight)
         print(render_result(result, registry))
         return 0 if result.recovered else 1
     if args.target == "report":
         return _run_report(args.figure, args.runs or 3, args.profile,
-                           args.quiet)
+                           args.quiet, tracer=tracer)
     if args.target == "baseline":
-        return _run_baseline(args.out, args.runs or 3, args.quiet)
+        return _run_baseline(args.out, args.runs or 3, args.quiet,
+                             tracer=tracer)
     if args.target == "ablations":
-        return _run_ablations(args.runs or 50)
+        return _run_ablations(args.runs or 50, tracer=tracer)
     if args.target in FIGURE_METRICS:
         from dataclasses import replace
 
@@ -280,7 +337,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     protocols=tuple(p.strip()
                                     for p in args.protocols.split(",")),
                 )
-            result = run_sweep(config, progress=progress)
+            result = run_sweep(config, progress=progress, tracer=tracer)
         if args.save:
             save_result(result, args.save)
             print(f"archived sweep to {args.save}", file=sys.stderr)
@@ -292,7 +349,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for figure in ("fig7a", "fig7b"):
         print(f"== running sweep for {figure} ==", file=sys.stderr)
         results[figure] = run_figure(figure, runs=args.runs,
-                                     progress=progress)
+                                     progress=progress, tracer=tracer)
     results["fig8a"] = results["fig7a"]
     results["fig8b"] = results["fig7b"]
 

@@ -56,9 +56,11 @@ def _seed(tag: str, index: int) -> int:
 
 
 def _measure(protocol_name: str, topology, source, receivers,
-             routing=None, **kwargs) -> DataDistribution:
+             routing=None, tracer=None, **kwargs) -> DataDistribution:
     instance = build_protocol(protocol_name, topology, source,
                               routing=routing, **kwargs)
+    if tracer is not None:
+        instance.attach_tracer(tracer)
     for receiver in sorted(receivers):
         instance.add_receiver(receiver)
         instance.converge(max_rounds=MAX_ROUNDS)
@@ -75,8 +77,12 @@ def asymmetry_sweep(
     group_size: int = 10,
     runs: int = 50,
     protocols: Sequence[str] = ("reunite", "hbh"),
+    tracer=None,
 ) -> List[AblationPoint]:
-    """HBH vs REUNITE as routing asymmetry scales from none to full."""
+    """HBH vs REUNITE as routing asymmetry scales from none to full.
+
+    A ``tracer`` records causal spans for run 0 of each point (same
+    convention as the figure harness)."""
     points: List[AblationPoint] = []
     for spread in spreads:
         sums: Dict[str, List[float]] = {p: [0.0, 0.0] for p in protocols}
@@ -94,7 +100,8 @@ def asymmetry_sweep(
             for protocol in protocols:
                 distribution = _measure(protocol, topology,
                                         ISP_SOURCE_NODE, receivers,
-                                        routing=routing)
+                                        routing=routing,
+                                        tracer=tracer if run == 0 else None)
                 sums[protocol][0] += distribution.copies / runs
                 sums[protocol][1] += average_delay(distribution) / runs
         for protocol in protocols:
@@ -108,6 +115,7 @@ def unicast_cloud_sweep(
     fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     group_size: int = 8,
     runs: int = 50,
+    tracer=None,
 ) -> List[AblationPoint]:
     """HBH tree cost as routers turn unicast-only (deployment story).
 
@@ -132,7 +140,8 @@ def unicast_cloud_sweep(
             for router in shuffle[:round(fraction * len(shuffle))]:
                 topology.set_multicast_capable(router, False)
             distribution = _measure("hbh", topology, ISP_SOURCE_NODE,
-                                    receivers)
+                                    receivers,
+                                    tracer=tracer if run == 0 else None)
             sums[fraction][0] += distribution.copies / runs
             sums[fraction][1] += average_delay(distribution) / runs
     for fraction in fractions:
@@ -146,6 +155,7 @@ def rp_placement_sweep(
                                  "first"),
     group_size: int = 12,
     runs: int = 50,
+    tracer=None,
 ) -> Dict[str, Tuple[float, float]]:
     """PIM-SM (cost, delay) under each RP placement strategy."""
     results: Dict[str, Tuple[float, float]] = {}
@@ -161,6 +171,7 @@ def rp_placement_sweep(
             distribution = _measure(
                 "pim-sm", topology, ISP_SOURCE_NODE, receivers,
                 rp_strategy=strategy, rp_seed=run,
+                tracer=tracer if run == 0 else None,
             )
             cost_sum += distribution.copies / runs
             delay_sum += average_delay(distribution) / runs
@@ -260,6 +271,7 @@ def connectivity_sweep(
     num_nodes: int = 30,
     group_size: int = 10,
     runs: int = 30,
+    tracer=None,
 ) -> List[AblationPoint]:
     """HBH-vs-REUNITE delay advantage as Waxman density grows.
 
@@ -282,7 +294,8 @@ def connectivity_sweep(
             routing = UnicastRouting(topology)
             for protocol in ("reunite", "hbh"):
                 distribution = _measure(protocol, topology, source,
-                                        receivers, routing=routing)
+                                        receivers, routing=routing,
+                                        tracer=tracer if run == 0 else None)
                 sums[protocol][0] += distribution.copies / runs
                 sums[protocol][1] += average_delay(distribution) / runs
         for protocol in ("reunite", "hbh"):

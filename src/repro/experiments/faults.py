@@ -208,10 +208,16 @@ class FaultRunResult:
 
 
 def run_scenario(name: str, seed: int = 1,
-                 registry: Optional[MetricsRegistry] = None
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer=None, flight=None
                  ) -> Tuple[FaultRunResult, MetricsRegistry]:
     """Run one named scenario; returns the result and the registry the
-    ``fault.*`` / ``recovery.*`` metrics landed in."""
+    ``fault.*`` / ``recovery.*`` metrics landed in.
+
+    A ``tracer`` (:class:`~repro.obs.causal.CausalTracer`, optionally
+    feeding a ``flight`` recorder) makes the run record causal spans —
+    the ``experiments explain`` subcommand passes one in.
+    """
     try:
         scenario = SCENARIOS[name]
     except KeyError:
@@ -221,6 +227,10 @@ def run_scenario(name: str, seed: int = 1,
         ) from None
     registry = registry if registry is not None else MetricsRegistry()
     network = Network(scenario.build_topology(), metrics=registry)
+    if tracer is not None:
+        if flight is not None:
+            tracer.recorder = flight
+        network.causal = tracer
     channel = HbhChannel(network, source_node=scenario.source, timing=FAST)
     for receiver in scenario.receivers:
         channel.join(receiver)

@@ -39,10 +39,13 @@ def figure_config(figure: str, runs: Optional[int] = None) -> SweepConfig:
 
 
 def run_figure(figure: str, runs: Optional[int] = None,
-               progress: Optional[ProgressHook] = None) -> SweepResult:
+               progress: Optional[ProgressHook] = None,
+               tracer=None) -> SweepResult:
     """Run the sweep that regenerates ``figure``.
 
     ``runs`` overrides the paper's 500 runs per point (which take a
-    while); the shape is stable from ~100 runs.
+    while); the shape is stable from ~100 runs.  ``tracer`` records
+    causal spans for run 0 of each group size.
     """
-    return run_sweep(figure_config(figure, runs), progress=progress)
+    return run_sweep(figure_config(figure, runs), progress=progress,
+                     tracer=tracer)

@@ -37,13 +37,16 @@ def run_single(
     group_size: int,
     run_index: int,
     metrics: Optional[MetricsRegistry] = None,
+    tracer=None,
 ) -> Dict[str, DataDistribution]:
     """One Monte-Carlo run: build, join, converge, measure.
 
     Returns one distribution per protocol, all over the same network
     and receiver set.  When ``metrics`` is given, every protocol emits
     the shared metric set (tree cost, delay, control overhead — see
-    :data:`repro.protocols.base.SHARED_METRICS`) into it.
+    :data:`repro.protocols.base.SHARED_METRICS`) into it.  A ``tracer``
+    (:class:`~repro.obs.causal.CausalTracer`) is attached to every
+    protocol that supports causal tracing (the CLI's ``--trace-out``).
     """
     # Stable across processes (unlike hash(), which is salted for str).
     run_seed = zlib.crc32(
@@ -69,6 +72,8 @@ def run_single(
                 protocol_name, setup.topology, setup.source,
                 routing=routing, **kwargs
             )
+            if tracer is not None:
+                instance.attach_tracer(tracer)
             rounds = 0
             for receiver in receivers:
                 instance.add_receiver(receiver)
@@ -153,14 +158,17 @@ ProgressHook = Callable[[int, str, int, int], None]
 
 def run_sweep(config: SweepConfig,
               progress: Optional[ProgressHook] = None,
-              metrics: Optional[MetricsRegistry] = None) -> SweepResult:
+              metrics: Optional[MetricsRegistry] = None,
+              tracer=None) -> SweepResult:
     """Run the full sweep for one figure.
 
     ``progress(group_size, protocol, run_index, total_runs)`` is called
     once per completed run per group size (protocol is "*" there since
     runs measure all protocols together).  Every run records into
     ``metrics`` (a fresh registry is created when omitted); the
-    registry rides along on :attr:`SweepResult.metrics`.
+    registry rides along on :attr:`SweepResult.metrics`.  A ``tracer``
+    records causal spans for run 0 of each group size only — one traced
+    exemplar per point keeps the span volume bounded.
     """
     started = time.monotonic()
     if metrics is None:
@@ -172,8 +180,10 @@ def run_sweep(config: SweepConfig,
         }
         for run_index in range(config.runs):
             with PROFILER.span("harness.run_single"):
-                distributions = run_single(config, group_size, run_index,
-                                           metrics=metrics)
+                distributions = run_single(
+                    config, group_size, run_index, metrics=metrics,
+                    tracer=tracer if run_index == 0 else None,
+                )
             for name, distribution in distributions.items():
                 batches[name].append(distribution)
             if progress is not None:

@@ -20,6 +20,8 @@ from repro.netsim.node import Agent, Node
 from repro.netsim.packet import Packet, PacketKind
 from repro.netsim.stats import LinkCounters
 from repro.netsim.trace import Trace
+from repro.obs.causal import CausalTracer
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.routing.tables import UnicastRouting
 from repro.topology.model import NodeKind, Topology
@@ -43,7 +45,12 @@ class Network:
             self.simulator.metrics = self.metrics
         self.routing = UnicastRouting(topology)
         self.counters = LinkCounters(registry=self.metrics)
-        self.trace = Trace(enabled=trace_enabled, maxlen=trace_maxlen)
+        self.trace = Trace(enabled=trace_enabled, maxlen=trace_maxlen,
+                           metrics=self.metrics)
+        #: Causal span tracer (see :mod:`repro.obs.causal`), disabled by
+        #: default: agents consult ``causal.enabled`` before spending
+        #: anything on span bookkeeping.
+        self.causal = CausalTracer(enabled=False)
         self._nodes: Dict[NodeId, Node] = {}
         self._by_address: Dict[Address, Node] = {}
         self._saved_costs: Dict = {}
@@ -239,6 +246,15 @@ class Network:
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
+    def enable_causal_tracing(
+            self, maxlen: Optional[int] = 65536,
+            flight: Optional[FlightRecorder] = None) -> CausalTracer:
+        """Turn on span recording (optionally ring-bounded, optionally
+        feeding a per-channel flight recorder); returns the tracer."""
+        self.causal = CausalTracer(enabled=True, maxlen=maxlen,
+                                   recorder=flight)
+        return self.causal
+
     def _on_transmit(self, link: Link, src: NodeId, dst: NodeId,
                      packet: Packet) -> None:
         self.counters.record(src, dst, self.topology.cost(src, dst),
@@ -246,6 +262,8 @@ class Network:
         self.trace.record(
             self.simulator.now, src, "transmit", f"-> {dst}: {packet!r}"
         )
+        if self.causal.enabled and packet.span_id is not None:
+            self.causal.hop(packet.span_id, dst)
 
     def data_tally(self):
         """Aggregate data-traffic tally (tree-cost measurement)."""

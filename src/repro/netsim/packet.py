@@ -72,6 +72,11 @@ class Packet:
     #: configured bandwidth (serialization time = size / bandwidth).
     size: float = 1.0
     uid: int = field(default_factory=lambda: next(_packet_ids))
+    #: Causal-tracing identity (see :mod:`repro.obs.causal`); preserved
+    #: by :meth:`readdressed`, so a branching router's data copies stay
+    #: linked to the fan-out span that spawned them.
+    trace_id: Optional[str] = field(default=None, compare=False)
+    span_id: Optional[int] = field(default=None, compare=False)
 
     def readdressed(self, dst: Address, src: Optional[Address] = None) -> "Packet":
         """A modified copy with a new destination (and fresh uid).
@@ -86,6 +91,11 @@ class Packet:
             uid=next(_packet_ids),
             ttl=DEFAULT_TTL,
         )
+
+    def with_span(self, span: Any) -> "Packet":
+        """A copy carrying a (new) causal span identity (an object with
+        ``trace_id``/``span_id``, i.e. :class:`repro.obs.causal.Span`)."""
+        return replace(self, trace_id=span.trace_id, span_id=span.span_id)
 
     def aged(self) -> "Packet":
         """A copy with the TTL decremented (same uid: same packet, older)."""

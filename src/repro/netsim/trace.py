@@ -54,12 +54,16 @@ class Trace:
     def __init__(self, enabled: bool = True,
                  printer: Optional[Callable[[str], None]] = None,
                  maxlen: Optional[int] = None,
-                 only_events: Optional[Iterable[str]] = None) -> None:
+                 only_events: Optional[Iterable[str]] = None,
+                 metrics: Optional[Any] = None) -> None:
         self.enabled = enabled
         self.records: Deque[TraceRecord] = deque(maxlen=maxlen)
         self.only_events = set(only_events) if only_events is not None else None
         #: Records evicted by the ring buffer (never reset by appends).
         self.dropped = 0
+        #: Optional MetricsRegistry mirroring evictions as
+        #: ``trace.dropped`` so silent trace loss shows up in reports.
+        self.metrics = metrics
         self._printer = printer
 
     @property
@@ -77,6 +81,8 @@ class Trace:
         records = self.records
         if records.maxlen is not None and len(records) == records.maxlen:
             self.dropped += 1
+            if self.metrics is not None:
+                self.metrics.inc("trace.dropped")
         entry = TraceRecord(time, node, event, detail, subject)
         records.append(entry)
         if self._printer is not None:

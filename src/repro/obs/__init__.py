@@ -15,12 +15,32 @@ so that all protocols are measured by the same instruments:
   a hierarchical timer tree, wired into the netsim engine loop, the
   Dijkstra/route-table builds and the experiment harness
   (``python -m repro.experiments report --profile`` renders it).
+- :mod:`repro.obs.causal` — causal control-plane tracing: every
+  join/tree/fusion walk and data fan-out leg becomes a span with a
+  ``trace_id``/``span_id``/``parent_id``, so cascades reconstruct as a
+  span DAG with per-span table effects.
+- :mod:`repro.obs.flight` — a per-channel flight recorder: bounded
+  ring of finished spans interleaved with per-round table snapshots,
+  replayable after the fact.
+- :mod:`repro.obs.explain` — the explain engine: walk the span DAG
+  backwards from a table entry or oracle violation and render the
+  human-readable causal chain.
 
 The package sits below every other layer (it imports nothing from the
 rest of :mod:`repro` at module load), so any module can instrument
 itself without creating import cycles.
 """
 
+from repro.obs.causal import (
+    CausalTracer,
+    Effect,
+    Span,
+    SpanDag,
+    read_spans,
+    span_from_dict,
+)
+from repro.obs.explain import Explainer, Explanation
+from repro.obs.flight import FlightEntry, FlightRecorder
 from repro.obs.profiling import PROFILER, Profiler, SpanStats, profiled
 from repro.obs.registry import (
     Counter,
@@ -37,6 +57,16 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "CausalTracer",
+    "Effect",
+    "Explainer",
+    "Explanation",
+    "FlightEntry",
+    "FlightRecorder",
+    "Span",
+    "SpanDag",
+    "read_spans",
+    "span_from_dict",
     "Counter",
     "Gauge",
     "Histogram",

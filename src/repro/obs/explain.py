@@ -1,0 +1,165 @@
+"""The explain engine: turn a span DAG into human-readable causal
+chains for table entries and oracle violations.
+
+Given "why does router X have MFT entry Y for channel C" — or an
+oracle violation carrying that context — the engine finds the last
+span whose effects touched that table slot, walks the DAG backwards to
+the origin event, and renders the chain::
+
+    r2.join@t=3 -> intercepted by R5 (join rule 3) -> R5.tree(R5)@t=4
+        -> fusion suppressed -> stale branch
+
+Violations are accessed **duck-typed** (``kind`` / ``subject`` /
+``data`` attributes looked up with ``getattr``): the obs layer never
+imports :mod:`repro.verify`, so layering stays acyclic while
+``verify/oracle.py`` can still hand its violations straight in.
+Explanations are never empty — when the DAG holds no relevant span the
+engine says so explicitly (itself a diagnostic: the state predates the
+retained window or tracing was off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List, Mapping, Optional, Tuple
+
+from repro.obs.causal import Effect, Span, SpanDag
+from repro.obs.flight import FlightRecorder
+
+ARROW = " -> "
+
+
+@dataclass(frozen=True, slots=True)
+class Explanation:
+    """A rendered causal chain plus the spans it was built from."""
+
+    query: str
+    steps: Tuple[str, ...]
+    spans: Tuple[Span, ...] = field(default=(), compare=False)
+
+    @property
+    def found(self) -> bool:
+        """Whether the DAG actually held a relevant causal chain."""
+        return bool(self.spans)
+
+    def render(self) -> str:
+        """One-line query header plus the arrow-joined chain.  Always
+        non-empty, even when nothing matched."""
+        chain = ARROW.join(self.steps) if self.steps else "(no steps)"
+        return f"{self.query}: {chain}"
+
+
+def _step(span: Span, child: Optional[Span]) -> str:
+    """Render one span as a chain step; if its outcome hands off to the
+    next span in the chain, fold the outcome into the same step."""
+    text = span.label()
+    if span.outcome:
+        text += f" [{span.outcome}]"
+    return text
+
+
+class Explainer:
+    """Walks a :class:`SpanDag` backwards to answer causal queries."""
+
+    def __init__(self, dag: SpanDag,
+                 flight: Optional[FlightRecorder] = None) -> None:
+        self.dag = dag
+        self.flight = flight
+
+    # ------------------------------------------------------------------
+    # Core query: why does this table entry exist?
+    # ------------------------------------------------------------------
+    def explain_entry(self, node: Hashable, table: str,
+                      address: Hashable) -> Explanation:
+        """Causal chain behind "node X has <table> entry <address>"."""
+        query = f"why {node}.{table}[{address}]"
+        match = self.dag.last_effect(node=node, table=table, address=address)
+        if match is None:
+            return self._missing(query,
+                                 f"no recorded effect on {node}.{table}"
+                                 f"[{address}]")
+        span, effect = match
+        return self._chain(query, span, effect)
+
+    def explain_span(self, span: Span) -> Explanation:
+        """Causal chain ending at (and including) one span."""
+        return self._chain(f"how {span.label()}", span, None)
+
+    def _chain(self, query: str, span: Span,
+               effect: Optional[Effect]) -> Explanation:
+        ancestry = self.dag.ancestry(span)
+        steps: List[str] = []
+        for i, link in enumerate(ancestry):
+            child = ancestry[i + 1] if i + 1 < len(ancestry) else None
+            steps.append(_step(link, child))
+        if effect is not None:
+            steps.append(str(effect))
+        return Explanation(query=query, steps=tuple(steps),
+                           spans=tuple(ancestry))
+
+    def _missing(self, query: str, why: str) -> Explanation:
+        hint = ("tracing was disabled or the span ring evicted it"
+                if len(self.dag) == 0
+                else f"{len(self.dag)} spans retained, none match")
+        return Explanation(query=query, steps=(f"unexplained: {why}",
+                                               f"({hint})"))
+
+    # ------------------------------------------------------------------
+    # Violations (duck-typed: obs never imports verify)
+    # ------------------------------------------------------------------
+    def explain_violation(self, violation: Any) -> Explanation:
+        """Causal chain behind an oracle violation.  Reads ``kind`` /
+        ``subject`` / ``data`` with ``getattr``; the richer the
+        ``data`` mapping (node/table/address keys, as the oracle
+        checkers attach), the sharper the chain."""
+        kind = getattr(violation, "kind", "violation")
+        subject = getattr(violation, "subject", None)
+        data = getattr(violation, "data", None) or {}
+        query = f"{kind}({subject})"
+
+        node = data.get("node") if isinstance(data, Mapping) else None
+        table = data.get("table") if isinstance(data, Mapping) else None
+        address = data.get("address") if isinstance(data, Mapping) else None
+        if node is not None and table is not None and address is not None:
+            chain = self.explain_entry(node, table, address)
+            return Explanation(query=query, steps=chain.steps,
+                               spans=chain.spans)
+
+        # No table coordinates: fall back to the last span touching the
+        # violation's subject (a receiver, a node, a path segment).
+        for candidate in self._subjects(subject, data):
+            spans = self.dag.spans_about(candidate)
+            if spans:
+                chain = self.explain_span(spans[-1])
+                return Explanation(query=query, steps=chain.steps,
+                                   spans=chain.spans)
+        return self._missing(query, f"no span about {subject!r}")
+
+    @staticmethod
+    def _subjects(subject: Any, data: Any) -> List[Any]:
+        candidates: List[Any] = []
+        if isinstance(data, Mapping):
+            for key in ("receiver", "node", "head", "tail"):
+                if key in data:
+                    candidates.append(data[key])
+        if isinstance(subject, (list, tuple)):
+            candidates.extend(subject)
+        elif subject is not None:
+            candidates.append(subject)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Flight-recorder context
+    # ------------------------------------------------------------------
+    def context(self, channel: str, span: Span) -> List[str]:
+        """Rendered table snapshots bracketing a span, when the flight
+        recorder has them — the before/after state around one walk."""
+        if self.flight is None:
+            return []
+        before, after = self.flight.snapshots_around(channel, span.span_id)
+        lines = []
+        if before is not None:
+            lines.append(f"before: {before.render()}")
+        if after is not None:
+            lines.append(f"after:  {after.render()}")
+        return lines

@@ -1,0 +1,191 @@
+"""Per-channel flight recorder: a bounded ring of span records plus
+table snapshots keyed by span, replayable after the fact.
+
+A crash investigator's black box for one ``<S,G>`` channel: the last
+``maxlen`` finished spans interleaved with per-round MCT/MFT snapshots,
+in arrival order.  Drivers push snapshots at round boundaries tagged
+with the span-id watermark, so a replay shows exactly which walks sit
+between two table states — the raw material the explain engine (and a
+human) needs to reconstruct "how did this entry get here".
+
+Like everything in the obs layer this module imports nothing from the
+rest of :mod:`repro`; snapshots arrive as already-structural data
+(nested tuples from the drivers' ``_snapshot()``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.obs.causal import PathOrFile, Span, _jsonable, span_from_dict
+
+SPAN = "span"
+SNAPSHOT = "snapshot"
+
+
+@dataclass(frozen=True, slots=True)
+class FlightEntry:
+    """One ring slot: a finished span or a table snapshot."""
+
+    kind: str  # SPAN or SNAPSHOT
+    t: float
+    span: Optional[Span] = None  # kind == SPAN
+    label: str = ""  # kind == SNAPSHOT: e.g. "round 3"
+    tables: Any = None  # kind == SNAPSHOT: structural table dump
+    span_watermark: int = 0  # snapshots: spans below this id preceded it
+
+    def render(self) -> str:
+        if self.kind == SPAN and self.span is not None:
+            outcome = f" -> {self.span.outcome}" if self.span.outcome else ""
+            return f"[t={self.t:g}] {self.span.label()}{outcome}"
+        return f"[t={self.t:g}] snapshot {self.label}: {self.tables!r}"
+
+
+class FlightRecorder:
+    """Bounded per-channel ring of :class:`FlightEntry` records.
+
+    ``maxlen`` bounds each channel's ring independently; evictions are
+    counted per channel in :attr:`dropped` (exported by owners as
+    ``flight.dropped``).  The recorder is fed by
+    :meth:`CausalTracer.finish` (spans) and by drivers at round
+    boundaries (snapshots).
+    """
+
+    def __init__(self, maxlen: int = 256) -> None:
+        self.maxlen = maxlen
+        self._rings: Dict[str, Deque[FlightEntry]] = {}
+        self.dropped: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _push(self, channel: str, entry: FlightEntry) -> None:
+        ring = self._rings.get(channel)
+        if ring is None:
+            ring = deque(maxlen=self.maxlen)
+            self._rings[channel] = ring
+        if len(ring) == self.maxlen:
+            self.dropped[channel] = self.dropped.get(channel, 0) + 1
+        ring.append(entry)
+
+    def record_span(self, channel: str, span: Span) -> None:
+        """Called by the tracer when a span finishes."""
+        self._push(channel, FlightEntry(kind=SPAN, t=span.t, span=span))
+
+    def snapshot(self, channel: str, t: float, label: str,
+                 tables: Any, span_watermark: int = 0) -> None:
+        """Record a structural table dump (e.g. the static drivers'
+        ``_snapshot()`` output) at a round boundary.  ``span_watermark``
+        is the tracer's ``next_id`` at snapshot time: every span with a
+        smaller id happened before these tables."""
+        self._push(channel, FlightEntry(
+            kind=SNAPSHOT, t=t, label=label, tables=tables,
+            span_watermark=span_watermark,
+        ))
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def channels(self) -> List[str]:
+        """Channels with recorded history, in first-seen order."""
+        return list(self._rings)
+
+    def entries(self, channel: str) -> List[FlightEntry]:
+        """The retained ring for a channel, oldest first."""
+        return list(self._rings.get(channel, ()))
+
+    def __len__(self) -> int:
+        return sum(len(ring) for ring in self._rings.values())
+
+    def replay(self, channel: str) -> Iterator[str]:
+        """Render the channel's ring one line at a time, oldest first —
+        the human-readable black-box readout."""
+        for entry in self.entries(channel):
+            yield entry.render()
+
+    def snapshots_around(self, channel: str, span_id: int
+                         ) -> Tuple[Optional[FlightEntry],
+                                    Optional[FlightEntry]]:
+        """The last snapshot before and the first snapshot after the
+        given span — the table states bracketing one walk."""
+        before: Optional[FlightEntry] = None
+        for entry in self.entries(channel):
+            if entry.kind != SNAPSHOT:
+                continue
+            if entry.span_watermark <= span_id:
+                before = entry
+            else:
+                return before, entry
+        return before, None
+
+    # ------------------------------------------------------------------
+    # Archival
+    # ------------------------------------------------------------------
+    def dump(self, target: PathOrFile) -> int:
+        """Write every channel's ring as JSON lines; returns the count."""
+        lines = []
+        for channel, ring in self._rings.items():
+            for entry in ring:
+                raw: Dict[str, Any] = {
+                    "channel": channel, "kind": entry.kind, "t": entry.t,
+                }
+                if entry.kind == SPAN and entry.span is not None:
+                    raw["record"] = entry.span.to_dict()
+                else:
+                    raw["label"] = entry.label
+                    raw["tables"] = _structural(entry.tables)
+                    raw["watermark"] = entry.span_watermark
+                lines.append(json.dumps(raw, sort_keys=True))
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if hasattr(target, "write"):
+            target.write(text)  # type: ignore[union-attr]
+        else:
+            Path(target).write_text(text)  # type: ignore[arg-type]
+        return len(lines)
+
+    @classmethod
+    def load(cls, source: PathOrFile, maxlen: int = 256) -> "FlightRecorder":
+        """Rebuild a recorder from a :meth:`dump` archive."""
+        if hasattr(source, "read"):
+            text = source.read()  # type: ignore[union-attr]
+        else:
+            text = Path(source).read_text()  # type: ignore[arg-type]
+        recorder = cls(maxlen=maxlen)
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            if raw["kind"] == SPAN:
+                recorder.record_span(raw["channel"],
+                                     span_from_dict(raw["record"]))
+            else:
+                recorder.snapshot(raw["channel"], raw["t"], raw["label"],
+                                  raw["tables"],
+                                  span_watermark=raw.get("watermark", 0))
+        return recorder
+
+    def __repr__(self) -> str:
+        return (f"FlightRecorder(channels={len(self._rings)}, "
+                f"entries={len(self)}, maxlen={self.maxlen})")
+
+
+def _structural(value: Any) -> Any:
+    """JSON-compatible projection of nested snapshot tuples."""
+    if isinstance(value, (list, tuple)):
+        return [_structural(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _structural(v) for k, v in value.items()}
+    return _jsonable(value)

@@ -95,9 +95,16 @@ class _Span:
         node.calls += 1
         node.total += elapsed
         stack = self._profiler._stack
-        # Tolerate a reset() issued inside the span: only pop our node.
         if stack and stack[-1] is node:
             stack.pop()
+        elif node in stack:
+            # A child span leaked (manually entered and never exited, or
+            # an exception unwound past an abandoned generator): unwind
+            # everything above us so later spans don't nest under a dead
+            # frame forever.
+            while stack.pop() is not node:
+                pass
+        # else: a reset() was issued inside the span — nothing to pop.
 
 
 class _NullSpan:

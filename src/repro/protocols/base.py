@@ -139,6 +139,22 @@ class MulticastProtocol(abc.ABC):
                              **labels)
 
     # ------------------------------------------------------------------
+    # Causal tracing (optional, default unsupported)
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer, flight=None) -> bool:
+        """Wire a :class:`~repro.obs.causal.CausalTracer` (and
+        optionally a :class:`~repro.obs.flight.FlightRecorder`) into
+        this conversation's control plane.  Returns whether the
+        protocol supports tracing; the default does not.
+        """
+        return False
+
+    def causal_tracer(self):
+        """The attached causal tracer, or ``None``.  The convergence
+        oracle uses this to explain violations."""
+        return None
+
+    # ------------------------------------------------------------------
     # Introspection (optional, default empty)
     # ------------------------------------------------------------------
     def branching_nodes(self) -> List[NodeId]:

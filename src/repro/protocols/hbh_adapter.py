@@ -52,3 +52,10 @@ class HbhProtocol(MulticastProtocol):
         from repro.verify.state import hbh_soft_state
 
         return hbh_soft_state(self.driver)
+
+    def attach_tracer(self, tracer, flight=None) -> bool:
+        self.driver.attach_tracer(tracer, flight=flight)
+        return True
+
+    def causal_tracer(self):
+        return self.driver.causal

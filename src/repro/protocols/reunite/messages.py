@@ -9,8 +9,8 @@ stop soon, triggering the departure reconfiguration of Fig. 2(b-d).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Hashable
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
 
 Addr = Hashable
 
@@ -35,6 +35,10 @@ class ReuniteJoin:
     channel: Hashable
     joiner: Addr
     initial: bool = False
+    #: Causal-tracing identity (see :mod:`repro.obs.causal`): excluded
+    #: from equality/hash so traced and untraced runs dedup identically.
+    trace_id: Optional[str] = field(default=None, compare=False)
+    span_id: Optional[int] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         tag = "join*" if self.initial else "join"
@@ -50,6 +54,8 @@ class ReuniteTree:
     channel: Hashable
     target: Addr
     marked: bool = False
+    trace_id: Optional[str] = field(default=None, compare=False)
+    span_id: Optional[int] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         tag = "tree!" if self.marked else "tree"

@@ -49,3 +49,10 @@ class ReuniteProtocol(MulticastProtocol):
         from repro.verify.state import reunite_soft_state
 
         return reunite_soft_state(self.driver)
+
+    def attach_tracer(self, tracer, flight=None) -> bool:
+        self.driver.attach_tracer(tracer, flight=flight)
+        return True
+
+    def causal_tracer(self):
+        return self.driver.causal

@@ -11,13 +11,17 @@ these rules — nothing is special-cased.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 from typing import Deque, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.rules import Consume, Forward
 from repro.core.tables import ProtocolTiming, ROUND_TIMING
 from repro.errors import ChannelError, ProtocolError
 from repro.metrics.distribution import DataDistribution
+from repro.obs.causal import DATA, INITIAL_JOIN, JOIN, TREE, CausalTracer, Span
+from repro.obs.flight import FlightRecorder
 from repro.obs.profiling import profiled
+from repro.obs.registry import channel_label
 from repro.protocols.reunite.messages import ReuniteJoin, ReuniteTree
 from repro.protocols.reunite.rules import (
     RegenerateTree,
@@ -55,6 +59,42 @@ class StaticReunite:
         self.receivers: Set[NodeId] = set()
         self.round_no = 0
         self.messages_processed = 0
+        self.channel_name = channel_label(source)
+        #: Optional causal tracer + flight recorder (attach_tracer);
+        #: None keeps every walk on the untraced fast path.
+        self.causal: Optional[CausalTracer] = None
+        self.flight: Optional[FlightRecorder] = None
+
+    # ------------------------------------------------------------------
+    # Causal tracing (see repro.obs.causal)
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer: Optional[CausalTracer],
+                      flight: Optional[FlightRecorder] = None) -> None:
+        """Wire a causal tracer (and optionally a flight recorder) into
+        every message walk; ``None`` detaches both."""
+        self.causal = tracer
+        if tracer is None:
+            self.flight = None
+            return
+        if flight is not None:
+            tracer.recorder = flight
+        recorder = tracer.recorder
+        self.flight = recorder if isinstance(recorder, FlightRecorder) else None
+
+    def _span(self, name: str, node: NodeId, target: NodeId = None,
+              parent: Optional[Span] = None,
+              trace_id: Optional[str] = None) -> Optional[Span]:
+        causal = self.causal
+        if causal is None or not causal.enabled:
+            return None
+        return causal.begin(name, node, self.now, self.channel_name,
+                            trace_id=trace_id, parent=parent, target=target)
+
+    @staticmethod
+    def _stamp(message, span: Optional[Span]):
+        if span is None:
+            return message
+        return replace(message, trace_id=span.trace_id, span_id=span.span_id)
 
     # ------------------------------------------------------------------
     # Membership
@@ -69,8 +109,13 @@ class StaticReunite:
         if receiver in self.receivers:
             raise ChannelError(f"receiver {receiver} already joined")
         self.receivers.add(receiver)
-        self._walk_join(receiver,
-                        ReuniteJoin(self.channel, receiver, initial=True))
+        span = self._span(INITIAL_JOIN, receiver, target=receiver)
+        self._walk_join(
+            receiver,
+            self._stamp(ReuniteJoin(self.channel, receiver, initial=True),
+                        span),
+            span,
+        )
 
     def remove_receiver(self, receiver: NodeId) -> None:
         """Leave: go silent; upstream state decays and marked tree
@@ -92,9 +137,20 @@ class StaticReunite:
         """One protocol period: joins, tree cascade, aging."""
         self.round_no += 1
         for receiver in sorted(self.receivers):
-            self._walk_join(receiver, ReuniteJoin(self.channel, receiver))
+            span = self._span(JOIN, receiver, target=receiver)
+            self._walk_join(
+                receiver,
+                self._stamp(ReuniteJoin(self.channel, receiver), span),
+                span,
+            )
         self._tree_phase()
         self._expire()
+        if self.flight is not None:
+            watermark = self.causal.next_id if self.causal is not None else 0
+            self.flight.snapshot(
+                self.channel_name, self.now, f"round {self.round_no}",
+                self._snapshot(), span_watermark=watermark,
+            )
 
     @profiled("reunite.converge")
     def converge(self, max_rounds: int = 40, settle_rounds: int = 2) -> int:
@@ -176,37 +232,89 @@ class StaticReunite:
             and self.topology.is_multicast_capable(node)
         )
 
-    def _walk_join(self, origin: NodeId, message: ReuniteJoin) -> None:
+    def _walk_join(self, origin: NodeId, message: ReuniteJoin,
+                   span: Optional[Span] = None) -> None:
         self.messages_processed += 1
         current = origin
         while current != self.source:
             current = self.routing.next_hop(current, self.source)
+            if span is not None:
+                span.hops.append(current)
             if current == self.source:
+                if span is not None:
+                    before = self._join_facts(self.source_state, message)
                 process_join_at_source(
                     self.source_state, message, self.now, self.timing
                 )
+                if span is not None:
+                    self._join_effects(span, self.source, self.source_state,
+                                       message, before, at_source=True)
                 return
             if not self._applies_rules(current):
                 continue
-            actions = process_join(
-                self._state_at(current), message, self.now, self.timing
-            )
+            state = self._state_at(current)
+            if span is not None:
+                before = self._join_facts(state, message)
+            actions = process_join(state, message, self.now, self.timing)
             if any(isinstance(action, Consume) for action in actions):
+                if span is not None:
+                    self._join_effects(span, current, state, message, before,
+                                       at_source=False)
                 return
 
+    def _join_facts(self, state, message: ReuniteJoin) -> Tuple[bool, bool]:
+        """(joiner already known, node already branching) before the
+        join rules ran — enough to name what the interception did."""
+        mft = state.mft
+        known = (
+            mft is not None
+            and (mft.get_receiver(message.joiner) is not None
+                 or (mft.dst is not None
+                     and mft.dst.address == message.joiner))
+        )
+        return known, mft is not None
+
+    def _join_effects(self, span: Span, node: NodeId, state,
+                      message: ReuniteJoin, before: Tuple[bool, bool],
+                      at_source: bool) -> None:
+        """Record what a consumed REUNITE join did to the node's MFT."""
+        known, was_branching = before
+        causal = self.causal
+        now = self.now
+        table = "mft"
+        if known:
+            causal.effect(span, node, table, message.joiner,
+                          "refresh-join", now)
+            what = f"refreshed {message.joiner}"
+        elif was_branching or at_source:
+            causal.effect(span, node, table, message.joiner, "add", now)
+            what = f"added {message.joiner}"
+        else:
+            # An MCT node promoted itself to branching (dst = the old
+            # MCT receiver, the joiner added alongside).
+            mft = state.mft
+            if mft is not None and mft.dst is not None:
+                causal.effect(span, node, table, mft.dst.address,
+                              "promote-dst", now)
+            causal.effect(span, node, table, message.joiner, "add", now)
+            what = f"promoted to branching node, added {message.joiner}"
+        where = "reached source" if at_source else f"intercepted by {node}"
+        causal.finish(span, f"{where} ({what})")
+
     def _tree_phase(self) -> None:
-        queue: Deque[Tuple[NodeId, ReuniteTree]] = deque()
+        queue: Deque[Tuple[NodeId, ReuniteTree, Optional[Span]]] = deque()
         # A node regenerates tree(S, rj) once per period in the real
         # protocol; dedupe per round so pathological mutual-dst state
         # (possible under asymmetric routing) cannot make the cascade
         # unbounded — the loop then resolves through soft state.
         emitted: Set[Tuple[NodeId, NodeId, bool]] = set()
 
-        def enqueue(origin: NodeId, message: ReuniteTree) -> None:
+        def enqueue(origin: NodeId, message: ReuniteTree,
+                    parent: Optional[Span] = None) -> None:
             key = (origin, message.target, message.marked)
             if key not in emitted:
                 emitted.add(key)
-                queue.append((origin, message))
+                queue.append((origin, message, parent))
 
         mft = self.source_state.mft
         if mft is None:
@@ -220,28 +328,50 @@ class StaticReunite:
             )
         for entry in mft.fresh_receivers(now, timing):
             enqueue(self.source, ReuniteTree(self.channel, entry.address))
+        causal = self.causal
+        tracing = causal is not None and causal.enabled
+        round_trace = (
+            f"{self.channel_name}/round{self.round_no}.tree" if tracing
+            else None
+        )
         steps = 0
         while queue:
             steps += 1
             if steps > _MAX_CASCADE:  # pragma: no cover - safety valve
                 raise ProtocolError("REUNITE tree cascade did not terminate")
-            origin, message = queue.popleft()
-            self._walk_tree(origin, message, queue, enqueue)
+            origin, message, parent = queue.popleft()
+            span: Optional[Span] = None
+            if tracing:
+                span = causal.begin(
+                    TREE, origin, self.now, self.channel_name,
+                    trace_id=round_trace if parent is None else None,
+                    parent=parent, target=message.target,
+                )
+                message = self._stamp(message, span)
+            self._walk_tree(origin, message, queue, enqueue, span)
 
     def _walk_tree(self, origin: NodeId, message: ReuniteTree,
-                   queue: Deque, enqueue) -> None:
+                   queue: Deque, enqueue,
+                   span: Optional[Span] = None) -> None:
         self.messages_processed += 1
         target_node = message.target
         current = origin
         while current != target_node:
             current = self.routing.next_hop(current, target_node)
+            if span is not None:
+                span.hops.append(current)
             if current == target_node:
+                if span is not None:
+                    self.causal.finish(span, f"reached {target_node}")
                 return  # consumed by the receiver (or its leaf node)
             if not self._applies_rules(current):
                 continue
-            actions = process_tree(
-                self._state_at(current), message, self.now, self.timing
-            )
+            state = self._state_at(current)
+            if span is not None:
+                before = self._tree_facts(state, message)
+            actions = process_tree(state, message, self.now, self.timing)
+            if span is not None:
+                self._tree_effects(span, current, state, message, before)
             consumed = False
             for action in actions:
                 if isinstance(action, Consume):
@@ -252,11 +382,48 @@ class StaticReunite:
                             current,
                             ReuniteTree(self.channel, action.target,
                                         marked=action.marked),
+                            span,
                         )
                 elif not isinstance(action, Forward):  # pragma: no cover
                     raise ProtocolError(f"unexpected tree action {action!r}")
             if consumed:
+                if span is not None:
+                    self.causal.finish(span, f"consumed by {current}")
                 return
+        if span is not None and not span.finished:
+            self.causal.finish(span, f"reached {target_node}")
+
+    def _tree_facts(self, state,
+                    message: ReuniteTree) -> Tuple[bool, bool]:
+        """(target is this node's MFT.dst, target held an MCT entry)
+        before the tree rules ran."""
+        mft = state.mft
+        is_dst = (mft is not None and mft.dst is not None
+                  and mft.dst.address == message.target)
+        had_mct = (state.mct is not None
+                   and state.mct.get(message.target) is not None)
+        return is_dst, had_mct
+
+    def _tree_effects(self, span: Span, node: NodeId, state,
+                      message: ReuniteTree,
+                      before: Tuple[bool, bool]) -> None:
+        """Record what one REUNITE tree-rule application mutated."""
+        is_dst, had_mct = before
+        causal = self.causal
+        now = self.now
+        target = message.target
+        if is_dst:
+            causal.effect(span, node, "mft", target,
+                          "make-stale" if message.marked else "refresh-tree",
+                          now)
+        elif state.mft is not None:
+            pass  # transit through a branching node: no mutation
+        elif message.marked:
+            if had_mct:
+                causal.effect(span, node, "mct", target, "remove", now)
+        else:
+            causal.effect(span, node, "mct", target,
+                          "refresh-tree" if had_mct else "add", now)
 
     # ------------------------------------------------------------------
     # Data plane
@@ -273,18 +440,30 @@ class StaticReunite:
             return distribution
         now, timing = self.now, self.timing
         expanded: Set[Tuple[NodeId, NodeId]] = set()
+        root = self._span(DATA, self.source)
+        targets: List[NodeId] = []
         if mft.dst is not None:
-            self._walk_data(self.source, mft.dst.address, 0.0, distribution,
-                            expanded)
-        for entry in mft.live_receivers(now, timing):
-            self._walk_data(self.source, entry.address, 0.0, distribution,
-                            expanded)
+            targets.append(mft.dst.address)
+        targets.extend(e.address for e in mft.live_receivers(now, timing))
+        for target in targets:
+            child = None
+            if root is not None:
+                child = self.causal.begin(
+                    DATA, self.source, self.now, self.channel_name,
+                    parent=root, target=target,
+                )
+            self._walk_data(self.source, target, 0.0, distribution,
+                            expanded, child)
+        if root is not None:
+            self.causal.finish(root, f"data fan-out from {self.source}")
         return distribution
 
     def _walk_data(self, origin: NodeId, target: NodeId, elapsed: float,
                    distribution: DataDistribution,
-                   expanded: Set[Tuple[NodeId, NodeId]]) -> None:
+                   expanded: Set[Tuple[NodeId, NodeId]],
+                   span: Optional[Span] = None) -> None:
         now, timing = self.now, self.timing
+        copies = 0
         current = origin
         while current != target:
             nxt = self.routing.next_hop(current, target)
@@ -292,6 +471,8 @@ class StaticReunite:
             distribution.record_hop(current, nxt, cost)
             elapsed += cost
             current = nxt
+            if span is not None:
+                span.hops.append(current)
             if current == target:
                 break
             state = self.states.get(current)
@@ -308,10 +489,27 @@ class StaticReunite:
                     continue
                 expanded.add((current, target))
                 for entry in mft.live_receivers(now, timing):
+                    child = None
+                    if span is not None:
+                        child = self.causal.begin(
+                            DATA, current, self.now, self.channel_name,
+                            parent=span, target=entry.address,
+                        )
+                    copies += 1
                     self._walk_data(current, entry.address, elapsed,
-                                    distribution, expanded)
-        if current in self.receivers:
+                                    distribution, expanded, child)
+        delivered = current in self.receivers
+        if delivered:
             distribution.record_delivery(current, elapsed)
+        if span is not None:
+            parts = []
+            if delivered:
+                parts.append(f"delivered to {current} (delay {elapsed:g})")
+            if copies:
+                parts.append(f"branched into {copies} copies en route")
+            self.causal.finish(
+                span, "; ".join(parts) or f"terminated at {current}"
+            )
 
     # ------------------------------------------------------------------
     # Introspection

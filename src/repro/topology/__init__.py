@@ -20,6 +20,7 @@ from repro.topology.costs import (
     assign_spread_costs,
 )
 from repro.topology.isp import isp_topology, ISP_LINKS, ISP_NUM_ROUTERS
+from repro.topology.paper import fig2_topology, fig3_topology
 from repro.topology.random_graphs import (
     random_topology,
     random_topology_50,
@@ -33,6 +34,8 @@ __all__ = [
     "assign_uniform_costs",
     "assign_symmetric_costs",
     "assign_spread_costs",
+    "fig2_topology",
+    "fig3_topology",
     "isp_topology",
     "ISP_LINKS",
     "ISP_NUM_ROUTERS",

@@ -1,0 +1,69 @@
+"""The paper's hand-drawn scenario topologies (Figs. 2 and 3).
+
+These were born as test fixtures; the ``experiments explain`` CLI also
+replays them (the Fig. 2 asymmetric-routing scenario is *the* worked
+example for causal tracing), so the construction lives here and
+``tests/conftest.py`` delegates.
+
+``fig2_topology`` realises the exact asymmetric routes of Section 2.3 /
+Fig. 2 (and Fig. 5, which replays the same scenario under HBH):
+
+    r1 -> R2 -> R1 -> S     S -> R1 -> R3 -> r1
+    r2 -> R3 -> R1 -> S     S -> R4 -> r2
+    r3 -> R3 -> R1 -> S     S -> R1 -> R3 -> r3
+
+Node numbering: S=0, R1=1, R2=2, R3=3, R4=4, r1=11, r2=12, r3=13.
+
+``fig3_topology`` realises the duplicate-copies scenario of Fig. 3:
+both receivers' joins travel to S over routes that avoid R6, while
+both forward paths share the link R1->R6.
+"""
+
+from __future__ import annotations
+
+from repro.topology.model import Topology
+
+#: Fig. 2 node ids, for readable call sites.
+FIG2_SOURCE = 0
+FIG2_RECEIVERS = (11, 12, 13)  # r1, r2, r3
+
+
+def fig2_topology() -> Topology:
+    """Paper Fig. 2: the asymmetric-routing scenario."""
+    topology = Topology(name="fig2")
+    for node in (0, 1, 2, 3, 4, 11, 12, 13):
+        topology.add_router(node)
+    topology.add_link(0, 1, 1, 1)
+    topology.add_link(0, 4, 1, 10)
+    topology.add_link(1, 2, 5, 1)
+    topology.add_link(1, 3, 1, 1)
+    topology.add_link(2, 11, 5, 1)
+    topology.add_link(3, 11, 1, 5)
+    topology.add_link(3, 12, 2, 1)
+    topology.add_link(4, 12, 1, 10)
+    topology.add_link(3, 13, 1, 1)
+    return topology
+
+
+def fig3_topology() -> Topology:
+    """Paper Fig. 3: the REUNITE duplicate-copies scenario.
+
+    S=0, R1=1, R2=2, R3=3, R4=4, R5=5, R6=6, r1=11, r2=12.  Forward
+    paths S->r1 and S->r2 share S->R1->R6; joins travel r1 -> R4 -> R2
+    -> R1 -> S and r2 -> R5 -> R3 -> R1 -> S, so R6 never sees a join
+    and is not identified as a branching node by REUNITE.
+    """
+    topology = Topology(name="fig3")
+    for node in (0, 1, 2, 3, 4, 5, 6, 11, 12):
+        topology.add_router(node)
+    topology.add_link(0, 1, 1, 1)
+    topology.add_link(1, 2, 8, 1)    # cheap upstream, dear downstream
+    topology.add_link(1, 3, 8, 1)
+    topology.add_link(1, 6, 1, 8)    # cheap downstream, dear upstream
+    topology.add_link(2, 4, 8, 1)
+    topology.add_link(3, 5, 8, 1)
+    topology.add_link(6, 4, 1, 8)
+    topology.add_link(6, 5, 1, 8)
+    topology.add_link(4, 11, 1, 1)
+    topology.add_link(5, 12, 1, 1)
+    return topology

@@ -25,10 +25,20 @@ and any future protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.metrics.distribution import DataDistribution
 from repro.metrics.stability import paths_from_distribution
+from repro.obs.explain import Explainer
 from repro.routing.tables import UnicastRouting
 from repro.topology.model import Topology
 from repro.verify.state import SoftStateView
@@ -50,11 +60,19 @@ ORPHAN_PATH = "orphan-path"
 
 @dataclass(frozen=True)
 class Violation:
-    """One oracle finding: what property broke, where, and why."""
+    """One oracle finding: what property broke, where, and why.
+
+    ``data`` carries machine-readable context for the explain engine
+    (:class:`repro.obs.explain.Explainer`): table coordinates
+    (``node``/``table``/``address``) when the finding is about a table
+    entry, or subject hints (``receiver``/``head``/``tail``) otherwise.
+    It is excluded from equality so findings still dedup on what broke.
+    """
 
     kind: str
     subject: Hashable
     detail: str
+    data: Mapping = field(default_factory=dict, compare=False)
 
     def __str__(self) -> str:
         return f"[{self.kind}] {self.subject}: {self.detail}"
@@ -67,6 +85,9 @@ class OracleReport:
     violations: List[Violation]
     expected_edges: Set[DirectedLink] = field(default_factory=set)
     actual_edges: Set[DirectedLink] = field(default_factory=set)
+    #: One rendered causal chain per violation (same order), attached
+    #: when the checked protocol had a causal tracer; empty otherwise.
+    explanations: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -83,8 +104,10 @@ class OracleReport:
             lines = ["oracle: OK"]
         else:
             lines = [f"oracle: {len(self.violations)} violation(s)"]
-            for violation in self.violations:
+            for index, violation in enumerate(self.violations):
                 lines.append(f"  {violation}")
+                if index < len(self.explanations):
+                    lines.append(f"    cause: {self.explanations[index]}")
         missing = sorted(self.expected_edges - self.actual_edges, key=str)
         extra = sorted(self.actual_edges - self.expected_edges, key=str)
         if missing:
@@ -120,6 +143,7 @@ def check_delivery(distribution: DataDistribution) -> List[Violation]:
             MISSING_RECEIVER, receiver,
             f"expected receiver never got the packet "
             f"(delivered={sorted(distribution.delivered, key=str)})",
+            data={"receiver": receiver},
         ))
     for receiver, count in sorted(distribution.duplicate_deliveries().items(),
                                   key=lambda item: str(item[0])):
@@ -127,6 +151,7 @@ def check_delivery(distribution: DataDistribution) -> List[Violation]:
             DUPLICATE_DELIVERY, receiver,
             f"receiver got {count} copies of one data packet "
             f"(duplicated links: {distribution.duplicated_links()})",
+            data={"receiver": receiver},
         ))
     return violations
 
@@ -165,6 +190,7 @@ def check_spt_branches(distribution: DataDistribution,
                 ORPHAN_PATH, receiver,
                 f"delivery path {list(path)} does not start at the "
                 f"source {source} — copies appeared mid-network",
+                data={"receiver": receiver, "head": path[0]},
             ))
             continue
         segment_start = 0
@@ -187,6 +213,8 @@ def check_spt_branches(distribution: DataDistribution,
                     f"branch {list(segment)} costs {actual:g}, but the "
                     f"shortest {segment[0]}->{segment[-1]} path is "
                     f"{best} at cost {shortest:g}",
+                    data={"receiver": receiver, "head": segment[0],
+                          "tail": segment[-1]},
                 ))
     return violations
 
@@ -203,6 +231,8 @@ def check_soft_state(view: SoftStateView) -> List[Violation]:
                 f"{entry.table} entry for {entry.address} is {age:g} "
                 f"old at t={view.now:g}, past t2={t2:g} — it should "
                 f"have been destroyed",
+                data={"node": entry.node, "table": entry.table,
+                      "address": entry.address},
             ))
     return violations
 
@@ -226,25 +256,48 @@ class ConvergenceOracle:
         self.routing = routing or UnicastRouting(topology)
 
     def check_distribution(self, distribution: DataDistribution,
-                           view: Optional[SoftStateView] = None
+                           view: Optional[SoftStateView] = None,
+                           explainer: Optional[Explainer] = None
                            ) -> OracleReport:
         """Check one measured distribution (and, optionally, a
-        soft-state snapshot) against all properties."""
+        soft-state snapshot) against all properties.  With an
+        ``explainer``, every violation gets a rendered causal chain."""
         violations = check_delivery(distribution)
         violations += check_spt_branches(distribution, self.routing,
                                          self.topology, self.source)
         if view is not None:
             violations += check_soft_state(view)
-        return OracleReport(
+        report = OracleReport(
             violations=violations,
             expected_edges=expected_spt_edges(self.routing, self.source,
                                               self.receivers),
             actual_edges=set(distribution.transmissions),
         )
+        if explainer is not None:
+            report.explanations = [
+                explainer.explain_violation(violation).render()
+                for violation in report.violations
+            ]
+        return report
 
     def check(self, protocol) -> OracleReport:
         """Measure ``protocol``'s data plane and soft state and check
-        everything.  The protocol must already be quiescent."""
+        everything.  The protocol must already be quiescent.  If the
+        protocol carries an enabled causal tracer
+        (:meth:`~repro.protocols.base.MulticastProtocol.causal_tracer`),
+        every violation in the report gets an attached explanation."""
         distribution = protocol.distribute_data()
         return self.check_distribution(distribution,
-                                       view=protocol.soft_state())
+                                       view=protocol.soft_state(),
+                                       explainer=self._explainer(protocol))
+
+    @staticmethod
+    def _explainer(protocol) -> Optional[Explainer]:
+        tracer = getattr(protocol, "causal_tracer", lambda: None)()
+        if tracer is None or not tracer.enabled:
+            return None
+        from repro.obs.flight import FlightRecorder
+
+        recorder = tracer.recorder
+        flight = recorder if isinstance(recorder, FlightRecorder) else None
+        return Explainer(tracer.dag(), flight=flight)

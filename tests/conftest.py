@@ -20,25 +20,14 @@ from __future__ import annotations
 import pytest
 
 from repro.routing.tables import UnicastRouting
+from repro.topology import paper
 from repro.topology.isp import isp_topology
 from repro.topology.model import Topology
 
 
 @pytest.fixture
 def fig2_topology() -> Topology:
-    topology = Topology(name="fig2")
-    for node in (0, 1, 2, 3, 4, 11, 12, 13):
-        topology.add_router(node)
-    topology.add_link(0, 1, 1, 1)
-    topology.add_link(0, 4, 1, 10)
-    topology.add_link(1, 2, 5, 1)
-    topology.add_link(1, 3, 1, 1)
-    topology.add_link(2, 11, 5, 1)
-    topology.add_link(3, 11, 1, 5)
-    topology.add_link(3, 12, 2, 1)
-    topology.add_link(4, 12, 1, 10)
-    topology.add_link(3, 13, 1, 1)
-    return topology
+    return paper.fig2_topology()
 
 
 @pytest.fixture
@@ -57,25 +46,7 @@ def fig2_routing(fig2_topology) -> UnicastRouting:
 
 @pytest.fixture
 def fig3_topology() -> Topology:
-    # S=0, R1=1, R2=2, R3=3, R4=4, R5=5, R6=6, r1=11, r2=12.
-    # Forward paths S->r1 and S->r2 share S->R1->R6; joins travel
-    # r1 -> R4 -> R2 -> R1 -> S and r2 -> R5 -> R3 -> R1 -> S, so R6
-    # never sees a join and is not identified as a branching node by
-    # REUNITE.
-    topology = Topology(name="fig3")
-    for node in (0, 1, 2, 3, 4, 5, 6, 11, 12):
-        topology.add_router(node)
-    topology.add_link(0, 1, 1, 1)
-    topology.add_link(1, 2, 8, 1)    # cheap upstream, dear downstream
-    topology.add_link(1, 3, 8, 1)
-    topology.add_link(1, 6, 1, 8)    # cheap downstream, dear upstream
-    topology.add_link(2, 4, 8, 1)
-    topology.add_link(3, 5, 8, 1)
-    topology.add_link(6, 4, 1, 8)
-    topology.add_link(6, 5, 1, 8)
-    topology.add_link(4, 11, 1, 1)
-    topology.add_link(5, 12, 1, 1)
-    return topology
+    return paper.fig3_topology()
 
 
 @pytest.fixture

@@ -18,6 +18,8 @@ from hypothesis import HealthCheck, given, settings
 
 from repro.core.static_driver import StaticHbh
 from repro.netsim.faults import RoundFaultPlayer
+from repro.obs.causal import CausalTracer
+from repro.obs.explain import Explainer
 from repro.protocols.reunite.static_driver import StaticReunite
 from repro.routing.tables import UnicastRouting
 from repro.verify import ConvergenceOracle, hbh_soft_state, reunite_soft_state
@@ -36,6 +38,9 @@ QUIESCENCE_ROUNDS = 8
 def _run_under_faults(driver, case):
     """Converge, replay the schedule round by round, quiesce."""
     topology, source, receivers, schedule = case
+    # Trace every walk so a failing oracle can explain itself; the ring
+    # bound keeps long schedules from hoarding spans.
+    driver.attach_tracer(CausalTracer(maxlen=8192))
     player = RoundFaultPlayer(
         topology, driver.routing, schedule,
         on_crash=lambda node: driver.states.pop(node, None),
@@ -57,7 +62,13 @@ def _assert_oracle_holds(driver, case, soft_state):
     oracle = ConvergenceOracle(topology, source, receivers,
                                routing=driver.routing)
     report = oracle.check_distribution(driver.distribute_data(),
-                                       view=soft_state(driver))
+                                       view=soft_state(driver),
+                                       explainer=Explainer(driver.causal.dag()))
+    if not report.ok:
+        # Every finding must come out causally explained (non-empty by
+        # construction: the engine says "unexplained: ..." explicitly).
+        assert len(report.explanations) == len(report.violations)
+        assert all(report.explanations)
     assert report.ok, f"{schedule.describe()}\n{report.render()}"
 
 

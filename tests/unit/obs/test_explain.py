@@ -1,0 +1,113 @@
+"""Unit tests for the explain engine over synthetic span DAGs."""
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.obs.causal import CausalTracer
+from repro.obs.explain import Explainer
+from repro.obs.flight import FlightRecorder
+
+
+@dataclass
+class FakeViolation:
+    """Duck-typed stand-in for verify's Violation (obs never imports it)."""
+
+    kind: str
+    subject: Any
+    data: Mapping = field(default_factory=dict)
+
+
+def _tracer_with_chain():
+    tracer = CausalTracer()
+    join = tracer.begin("join", 11, 1.0, "<0,G>", target=11)
+    tracer.finish(join, "intercepted by 3 (join rule 3)")
+    tree = tracer.begin("tree", 3, 2.0, "<0,G>", parent=join, target=11)
+    tracer.effect(tree, 3, "mft", 11, "add", 2.0)
+    tracer.finish(tree, "reached 11")
+    return tracer, join, tree
+
+
+class TestExplainEntry:
+    def test_chain_walks_back_to_the_origin(self):
+        tracer, _, _ = _tracer_with_chain()
+        explanation = Explainer(tracer.dag()).explain_entry(3, "mft", 11)
+        assert explanation.found
+        text = explanation.render()
+        assert text.startswith("why 3.mft[11]: ")
+        assert "11.join(11)@t=1 [intercepted by 3 (join rule 3)]" in text
+        assert text.endswith("3.mft[11] add @t=2")
+
+    def test_query_uses_last_matching_effect(self):
+        tracer, _, _ = _tracer_with_chain()
+        refresh = tracer.begin("tree", 0, 5.0, "<0,G>", target=11)
+        tracer.effect(refresh, 3, "mft", 11, "refresh-tree", 5.0)
+        tracer.finish(refresh, "reached 11")
+        text = Explainer(tracer.dag()).explain_entry(3, "mft", 11).render()
+        assert "refresh-tree @t=5" in text
+
+    def test_missing_entry_is_explicitly_unexplained(self):
+        tracer, _, _ = _tracer_with_chain()
+        explanation = Explainer(tracer.dag()).explain_entry(9, "mft", 11)
+        assert not explanation.found
+        assert "unexplained" in explanation.render()
+        assert "2 spans retained, none match" in explanation.render()
+
+    def test_empty_dag_hints_at_disabled_tracing(self):
+        explanation = Explainer(CausalTracer().dag()).explain_entry(
+            3, "mft", 11)
+        assert "tracing was disabled" in explanation.render()
+
+    def test_render_is_never_empty(self):
+        tracer, _, tree = _tracer_with_chain()
+        explainer = Explainer(tracer.dag())
+        for explanation in (explainer.explain_entry(3, "mft", 11),
+                            explainer.explain_entry(9, "x", 0),
+                            explainer.explain_span(tree)):
+            assert explanation.render().strip()
+
+
+class TestExplainViolation:
+    def test_table_coordinates_give_the_sharp_chain(self):
+        tracer, _, _ = _tracer_with_chain()
+        violation = FakeViolation("STALE_STATE", (3, "mft", 11),
+                                  data={"node": 3, "table": "mft",
+                                        "address": 11})
+        text = Explainer(tracer.dag()).explain_violation(violation).render()
+        assert text.startswith("STALE_STATE((3, 'mft', 11)): ")
+        assert "3.mft[11] add" in text
+
+    def test_receiver_fallback_uses_spans_about(self):
+        tracer, _, _ = _tracer_with_chain()
+        violation = FakeViolation("MISSING_RECEIVER", 11,
+                                  data={"receiver": 11})
+        explanation = Explainer(tracer.dag()).explain_violation(violation)
+        assert explanation.found
+        assert "tree(11)@t=2" in explanation.render()
+
+    def test_unknown_subject_is_unexplained_but_non_empty(self):
+        tracer, _, _ = _tracer_with_chain()
+        violation = FakeViolation("ORPHAN_PATH", 77, data={"receiver": 77})
+        explanation = Explainer(tracer.dag()).explain_violation(violation)
+        assert not explanation.found
+        assert "unexplained" in explanation.render()
+
+
+class TestFlightContext:
+    def test_context_brackets_the_span(self):
+        flight = FlightRecorder()
+        tracer = CausalTracer(recorder=flight)
+        flight.snapshot("<0,G>", 0.0, "round 0", "empty",
+                        span_watermark=tracer.next_id)
+        span = tracer.begin("tree", 3, 1.0, "<0,G>", target=11)
+        tracer.finish(span, "reached 11")
+        flight.snapshot("<0,G>", 2.0, "round 1", "populated",
+                        span_watermark=tracer.next_id)
+        explainer = Explainer(tracer.dag(), flight=flight)
+        lines = explainer.context("<0,G>", span)
+        assert len(lines) == 2
+        assert lines[0].startswith("before:") and "round 0" in lines[0]
+        assert lines[1].startswith("after:") and "round 1" in lines[1]
+
+    def test_no_flight_recorder_means_no_context(self):
+        tracer, _, tree = _tracer_with_chain()
+        assert Explainer(tracer.dag()).context("<0,G>", tree) == []

@@ -1,0 +1,101 @@
+"""Unit tests for the per-channel flight recorder."""
+
+import io
+
+from repro.obs.causal import CausalTracer
+from repro.obs.flight import SNAPSHOT, SPAN, FlightRecorder
+
+
+def _finished_span(tracer, node, t, outcome):
+    span = tracer.begin("join", node, t, "<0,G>")
+    tracer.finish(span, outcome)
+    return span
+
+
+class TestRing:
+    def test_tracer_feeds_finished_spans(self):
+        flight = FlightRecorder()
+        tracer = CausalTracer(recorder=flight)
+        _finished_span(tracer, 1, 0.0, "reached source")
+        _finished_span(tracer, 2, 1.0, "intercepted by 3")
+        entries = flight.entries("<0,G>")
+        assert [e.kind for e in entries] == [SPAN, SPAN]
+        assert entries[0].span.node == 1
+
+    def test_maxlen_bounds_each_channel_and_counts_dropped(self):
+        flight = FlightRecorder(maxlen=2)
+        tracer = CausalTracer(recorder=flight)
+        for t in range(3):
+            _finished_span(tracer, t, float(t), "done")
+        assert len(flight.entries("<0,G>")) == 2
+        assert flight.dropped == {"<0,G>": 1}
+        # The survivor entries are the newest two.
+        assert [e.span.node for e in flight.entries("<0,G>")] == [1, 2]
+
+    def test_channels_in_first_seen_order(self):
+        flight = FlightRecorder()
+        flight.snapshot("b", 0.0, "round 0", ())
+        flight.snapshot("a", 1.0, "round 0", ())
+        assert flight.channels() == ["b", "a"]
+
+    def test_replay_renders_all_entries(self):
+        flight = FlightRecorder()
+        tracer = CausalTracer(recorder=flight)
+        _finished_span(tracer, 1, 0.0, "reached source")
+        flight.snapshot("<0,G>", 1.0, "round 1", ("mft", (11,)))
+        lines = list(flight.replay("<0,G>"))
+        assert len(lines) == 2
+        assert "1.join@t=0 -> reached source" in lines[0]
+        assert "snapshot round 1" in lines[1]
+
+
+class TestSnapshotsAround:
+    def test_brackets_a_span_by_watermark(self):
+        flight = FlightRecorder()
+        tracer = CausalTracer(recorder=flight)
+        flight.snapshot("<0,G>", 0.0, "round 0", "before-state",
+                        span_watermark=tracer.next_id)
+        span = _finished_span(tracer, 1, 0.5, "done")
+        flight.snapshot("<0,G>", 1.0, "round 1", "after-state",
+                        span_watermark=tracer.next_id)
+        before, after = flight.snapshots_around("<0,G>", span.span_id)
+        assert before is not None and before.label == "round 0"
+        assert after is not None and after.label == "round 1"
+
+    def test_no_snapshot_after_the_last_round(self):
+        flight = FlightRecorder()
+        tracer = CausalTracer(recorder=flight)
+        flight.snapshot("<0,G>", 0.0, "round 0", None,
+                        span_watermark=tracer.next_id)
+        span = _finished_span(tracer, 1, 0.5, "done")
+        before, after = flight.snapshots_around("<0,G>", span.span_id)
+        assert before is not None
+        assert after is None
+
+
+class TestArchival:
+    def test_dump_load_round_trip(self):
+        flight = FlightRecorder()
+        tracer = CausalTracer(recorder=flight)
+        span = tracer.begin("tree", 3, 1.0, "<0,G>", target=11)
+        tracer.effect(span, 3, "mft", 11, "add", 1.0)
+        tracer.finish(span, "reached 11")
+        flight.snapshot("<0,G>", 2.0, "round 1",
+                        {"mft": [(11, "fresh")]},
+                        span_watermark=tracer.next_id)
+        buffer = io.StringIO()
+        assert flight.dump(buffer) == 2
+        buffer.seek(0)
+        loaded = FlightRecorder.load(buffer)
+        entries = loaded.entries("<0,G>")
+        assert [e.kind for e in entries] == [SPAN, SNAPSHOT]
+        assert entries[0].span.outcome == "reached 11"
+        assert entries[0].span.effects[0].table == "mft"
+        # Snapshot tables come back as the structural JSON projection.
+        assert entries[1].tables == {"mft": [[11, "fresh"]]}
+        assert entries[1].span_watermark == tracer.next_id
+
+    def test_empty_dump_writes_nothing(self):
+        buffer = io.StringIO()
+        assert FlightRecorder().dump(buffer) == 0
+        assert buffer.getvalue() == ""

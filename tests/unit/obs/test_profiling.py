@@ -1,5 +1,7 @@
 """Unit tests for the hierarchical wall-clock profiler."""
 
+import pytest
+
 from repro.obs.profiling import PROFILER, Profiler, profiled
 
 
@@ -51,6 +53,62 @@ class TestProfilerTree:
         assert snap["name"] == "total"
         assert snap["children"][0]["name"] == "a"
         assert snap["children"][0]["calls"] == 1
+
+
+class TestExceptionUnwind:
+    """Regression tests: an escaping exception must restore the stack.
+
+    Before the fix, ``_Span.__exit__`` popped unconditionally, so an
+    exception that unwound several spans at once (or a ``reset()``
+    inside a span) could pop a *different* frame and leave every later
+    span nested under a dead one.
+    """
+
+    def test_exception_escape_restores_stack(self):
+        profiler = Profiler(enabled=True)
+        with pytest.raises(RuntimeError):
+            with profiler.span("doomed"):
+                raise RuntimeError("boom")
+        with profiler.span("after"):
+            pass
+        root = profiler.tree()
+        # "after" is a sibling of "doomed", not nested beneath it.
+        assert set(root.children) == {"doomed", "after"}
+        assert not root.children["doomed"].children
+
+    def test_leaked_child_span_is_unwound(self):
+        profiler = Profiler(enabled=True)
+        outer = profiler.span("outer")
+        leaked = profiler.span("leaked")
+        outer.__enter__()
+        leaked.__enter__()  # never exited: simulates an abandoned frame
+        outer.__exit__(None, None, None)
+        assert profiler._stack == [profiler.tree()]
+        with profiler.span("next"):
+            pass
+        assert "next" in profiler.tree().children
+        assert "next" not in profiler.tree().children["outer"].children
+
+    def test_reset_inside_span_does_not_pop_fresh_root(self):
+        profiler = Profiler(enabled=True)
+        span = profiler.span("stale")
+        span.__enter__()
+        profiler.reset()
+        span.__exit__(None, None, None)  # node gone from the new stack
+        assert profiler._stack == [profiler.tree()]
+        assert not profiler.tree().children
+
+    def test_exception_through_nested_spans(self):
+        profiler = Profiler(enabled=True)
+        with pytest.raises(ValueError):
+            with profiler.span("outer"):
+                with profiler.span("inner"):
+                    raise ValueError("deep")
+        assert profiler._stack == [profiler.tree()]
+        # Both spans still recorded their one call.
+        outer = profiler.tree().children["outer"]
+        assert outer.calls == 1
+        assert outer.children["inner"].calls == 1
 
 
 class TestDisabledFastPath:

@@ -76,6 +76,61 @@ class TestWriteRead:
         assert read_jsonl(path) == [TraceRecord(1.0, 1, "join")]
 
 
+class TestNonScalarRoundTrip:
+    """Non-scalar node ids and subjects survive export as their repr.
+
+    Event-driven traces carry tuple node ids (e.g. REUNITE's
+    ``(router, port)``) and rich subject objects; the JSONL projection
+    stringifies both, and a reloaded trace must diff clean against the
+    original — otherwise archived goldens churn on every re-export.
+    """
+
+    def _records(self):
+        class Channel:
+            def __repr__(self):
+                return "Channel(S=0, G=10.0.0.1)"
+
+        return [
+            TraceRecord(1.0, (3, "east"), "join", subject=Channel()),
+            TraceRecord(2.0, frozenset({4}), "tree", "up",
+                        subject=("S", 10)),
+        ]
+
+    def test_round_trip_stringifies_and_diffs_clean(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        originals = self._records()
+        assert write_jsonl(originals, path) == 2
+        loaded = read_jsonl(path)
+        assert loaded[0].node == repr((3, "east"))
+        assert loaded[0].subject == "Channel(S=0, G=10.0.0.1)"
+        assert loaded[1].subject == repr(("S", 10))
+        # The projection of the reloaded records matches the originals'.
+        assert diff_records(originals, loaded) == []
+
+    def test_reexport_is_stable(self, tmp_path):
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        write_jsonl(self._records(), first)
+        write_jsonl(read_jsonl(first), second)
+        assert first.read_text() == second.read_text()
+
+    def test_diff_catches_non_scalar_changes(self):
+        left = self._records()
+        right = self._records()
+        right[0] = TraceRecord(1.0, (3, "west"), "join",
+                               subject=left[0].subject)
+        diffs = diff_records(left, right)
+        assert len(diffs) == 1
+        assert "east" in diffs[0] and "west" in diffs[0]
+
+    def test_ignore_time_with_non_scalar_fields(self):
+        left = self._records()
+        right = [TraceRecord(9.0, r.node, r.event, r.detail, r.subject)
+                 for r in left]
+        assert diff_records(left, right) != []
+        assert diff_records(left, right, ignore_time=True) == []
+
+
 class TestDiff:
     def test_identical_traces_have_no_diff(self):
         assert diff_records(_records(), _records()) == []
