@@ -113,3 +113,31 @@ def test_pending_is_constant_time(benchmark):
 
     total = benchmark(read)
     assert total == 25_000 * 10_000
+
+
+def test_shared_routing_one_table_build_per_draw(benchmark):
+    """The four-protocol paired comparison must build unicast routing
+    once per topology draw, not once per protocol: `shared_routing`
+    memoizes on the topology instance, so protocols constructed without
+    an explicit routing all land on the same table set.  Benchmarks the
+    memoized path and asserts the sharing that makes it cheap."""
+    from repro.protocols.base import build_protocol
+    from repro.routing.tables import shared_routing
+    from repro.topology.isp import ISP_SOURCE_NODE
+
+    base = isp_topology(seed=3)
+
+    def run():
+        # A fresh instance per round = a fresh Monte-Carlo draw.
+        topology = base.copy()
+        instances = [
+            build_protocol(name, topology, ISP_SOURCE_NODE)
+            for name in ("pim-sm", "pim-ss", "reunite", "hbh")
+        ]
+        return topology, instances
+
+    topology, instances = benchmark(run)
+    shared = shared_routing(topology)
+    assert all(instance.routing is shared for instance in instances)
+    # The copy did not inherit the parent's memoized tables.
+    assert shared is not shared_routing(base)

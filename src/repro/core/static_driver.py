@@ -55,7 +55,7 @@ from repro.obs.causal import (
 from repro.obs.flight import FlightRecorder
 from repro.obs.profiling import profiled
 from repro.obs.registry import channel_label
-from repro.routing.tables import UnicastRouting
+from repro.routing.tables import UnicastRouting, shared_routing
 from repro.topology.model import NodeKind, Topology
 
 NodeId = Hashable
@@ -82,7 +82,7 @@ class StaticHbh:
     ) -> None:
         topology.kind(source)  # validates node existence
         self.topology = topology
-        self.routing = routing or UnicastRouting(topology)
+        self.routing = routing or shared_routing(topology)
         self.source = source
         self.timing = timing
         self.channel = ("hbh", source)

@@ -1,0 +1,44 @@
+"""Sweep execution engine: parallel backends, run cache, checkpoints.
+
+The Monte-Carlo sweeps behind the paper's figures are embarrassingly
+parallel — every ``(group size, run index)`` cell derives its own
+process-stable seed and measures all four protocols on its own topology
+draw.  This package turns that structure into infrastructure:
+
+- :class:`~repro.exec.executor.SweepExecutor` shards cells across a
+  pluggable backend (``serial`` in-process, or ``process`` via
+  :class:`concurrent.futures.ProcessPoolExecutor`) and merges payloads
+  in deterministic cell order, so serial and parallel sweeps produce
+  byte-identical results;
+- :class:`~repro.exec.cache.RunCache` is a content-addressed store of
+  completed run payloads, keyed by config + cell + code fingerprint
+  digests (:mod:`repro.exec.digest`), so re-running a sweep after an
+  unrelated change skips completed runs;
+- :class:`~repro.exec.checkpoint.CheckpointJournal` journals completed
+  cells to disk as they finish, so a killed sweep resumes from where it
+  died (``--resume``);
+- :func:`~repro.exec.sweep.run_sweep` assembles the harness's
+  :class:`~repro.experiments.harness.SweepResult` on top of all that —
+  the entry point the experiments CLI routes through.
+"""
+
+from repro.exec.cache import RunCache
+from repro.exec.checkpoint import CheckpointJournal
+from repro.exec.digest import cell_digest, code_fingerprint, sweep_digest
+from repro.exec.executor import CellTask, ExecError, ExecStats, SweepExecutor
+from repro.exec.sweep import run_sweep
+from repro.exec.worker import execute_cell
+
+__all__ = [
+    "RunCache",
+    "CheckpointJournal",
+    "cell_digest",
+    "code_fingerprint",
+    "sweep_digest",
+    "CellTask",
+    "ExecError",
+    "ExecStats",
+    "SweepExecutor",
+    "run_sweep",
+    "execute_cell",
+]

@@ -1,0 +1,76 @@
+"""Content-addressed run cache: completed cell payloads on disk.
+
+One cache entry = one completed Monte-Carlo cell's JSON payload, stored
+under its :func:`~repro.exec.digest.cell_digest` — which covers the
+resolved sweep parameters *and* a fingerprint of the simulation code,
+so a stale entry can never be confused with a current one; invalidation
+is simply a key that no longer matches.  Entries are written atomically
+(temp file + rename), so a sweep killed mid-write leaves either a
+complete entry or none.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+
+class RunCache:
+    """A directory of content-addressed run payloads."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Where the payload for ``key`` lives (two-level fan-out)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached payload for ``key``, or ``None`` on a miss.
+
+        A corrupt entry (interrupted disk, hand-edited file) is treated
+        as a miss and removed, never surfaced as data.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            path.unlink(missing_ok=True)
+            return None
+        if not isinstance(payload, dict):
+            path.unlink(missing_ok=True)
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store ``payload`` under ``key`` (atomic replace)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"RunCache({str(self.root)!r}, entries={len(self)})"

@@ -1,0 +1,116 @@
+"""Crash-resilient checkpoint journal for in-flight sweeps.
+
+The executor appends one JSONL line per completed cell — key plus the
+full payload — flushing and fsyncing each line, so the journal is
+exactly the set of cells that finished before a crash, a kill, or a
+Ctrl-C.  ``--resume`` replays it: journaled cells are served without
+re-execution, everything else runs.
+
+The first line is a header binding the journal to one
+:func:`~repro.exec.digest.sweep_digest` (config + code fingerprint).
+Loading against a different sweep — the config changed, the simulation
+code changed — discards the stale journal instead of resuming wrong
+data; the cell keys' own fingerprints make this belt *and* braces.
+
+A torn final line (the process died mid-append) is expected, not
+corruption: :meth:`CheckpointJournal.load` drops it and keeps every
+complete line before it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+
+class CheckpointJournal:
+    """Append-only journal of completed sweep cells."""
+
+    _FORMAT = 1
+
+    def __init__(self, path: Union[str, Path], sweep: str) -> None:
+        self.path = Path(path)
+        #: The sweep digest this journal belongs to.
+        self.sweep = sweep
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _header(self) -> dict:
+        return {"journal": self._FORMAT, "sweep": self.sweep}
+
+    def start(self, fresh: bool) -> None:
+        """Open the journal for appending.
+
+        ``fresh`` truncates and writes a new header (a non-resumed
+        sweep must not inherit cells from an older invocation); resumed
+        sweeps append after whatever :meth:`load` accepted.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fresh or not self.path.exists():
+            self._handle = self.path.open("w")
+            self._write_line(self._header())
+        else:
+            self._handle = self.path.open("a")
+
+    def append(self, key: str, payload: dict) -> None:
+        """Journal one completed cell (flushed + fsynced)."""
+        if self._handle is None:
+            self.start(fresh=False)
+        self._write_line({"key": key, "payload": payload})
+
+    def _write_line(self, record: dict) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, dict]:
+        """Completed cells from a previous invocation: key -> payload.
+
+        Returns ``{}`` when there is no journal, the header does not
+        match this sweep, or the header itself is torn.  A torn or
+        corrupt *cell* line ends the replay at that point (everything
+        before it is kept — lines are appended in completion order, so
+        a bad line means the crash happened there).
+        """
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return {}
+        if not lines:
+            return {}
+        header = self._parse(lines[0])
+        if header is None or header.get("sweep") != self.sweep \
+                or header.get("journal") != self._FORMAT:
+            return {}
+        cells: Dict[str, dict] = {}
+        for line in lines[1:]:
+            record = self._parse(line)
+            if record is None or "key" not in record \
+                    or not isinstance(record.get("payload"), dict):
+                break
+            cells[record["key"]] = record["payload"]
+        return cells
+
+    @staticmethod
+    def _parse(line: str) -> Optional[dict]:
+        try:
+            record = json.loads(line)
+        except ValueError:
+            return None
+        return record if isinstance(record, dict) else None
+
+    def __repr__(self) -> str:
+        return f"CheckpointJournal({str(self.path)!r}, sweep={self.sweep!r})"

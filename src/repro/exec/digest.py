@@ -1,0 +1,119 @@
+"""Content-addressed digests for the run cache.
+
+A cached run payload is only reusable when *everything* that determines
+its bytes is unchanged: the resolved sweep parameters that feed the
+run's seed and workload, the cell coordinates, and the simulation code
+itself.  Three digests capture that:
+
+- :func:`code_fingerprint` hashes the source files of the modules a
+  Monte-Carlo run's output depends on — the protocol rules, routing,
+  topology generators, metrics and the harness itself.  Deliberately
+  *not* the whole package: editing the CLI, the fault plane, docs or
+  this very subsystem must not invalidate completed runs ("re-running a
+  sweep after an unrelated change skips completed runs").
+- :func:`sweep_digest` identifies one resolved
+  :class:`~repro.experiments.config.SweepConfig` including its run
+  budget — the checkpoint journal's identity.
+- :func:`cell_digest` identifies one ``(config, group size, run
+  index)`` cell *excluding* the run budget and group-size list, so a
+  500-run sweep reuses every cell a 100-run sweep already computed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.config import SweepConfig
+
+#: Files (relative to the ``repro`` package root) whose contents feed a
+#: run's output.  Directories are hashed recursively (``*.py`` only).
+FINGERPRINT_SCOPE = (
+    "core",
+    "igmp",
+    "metrics",
+    "protocols",
+    "routing",
+    "topology",
+    "_rand.py",
+    "addressing.py",
+    "errors.py",
+    "experiments/config.py",
+    "experiments/harness.py",
+    "obs/registry.py",
+)
+
+
+def _canonical(data: object) -> bytes:
+    """Canonical JSON bytes: sorted keys, no whitespace."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":")).encode()
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """A short hex digest over the run-determining source files.
+
+    Cached per process — workers and the parent compute it from the
+    same installed tree, so one sweep always uses one fingerprint.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for entry in FINGERPRINT_SCOPE:
+        path = root / entry
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for source in files:
+            digest.update(source.relative_to(root).as_posix().encode())
+            digest.update(b"\x00")
+            digest.update(source.read_bytes())
+            digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def _config_identity(config: SweepConfig, full: bool) -> dict:
+    identity = {
+        "name": config.name,
+        "topology": config.topology,
+        "protocols": list(config.protocols),
+        "seed": config.seed,
+        "resample_topology": config.resample_topology,
+        "protocol_kwargs": config.protocol_kwargs,
+    }
+    if full:
+        identity["group_sizes"] = list(config.group_sizes)
+        identity["runs"] = config.runs
+    return identity
+
+
+def sweep_digest(config: SweepConfig,
+                 fingerprint: Optional[str] = None) -> str:
+    """Digest of one fully resolved sweep (journal identity)."""
+    payload = {
+        "config": _config_identity(config, full=True),
+        "fingerprint": fingerprint or code_fingerprint(),
+    }
+    return hashlib.sha256(_canonical(payload)).hexdigest()[:24]
+
+
+def cell_digest(config: SweepConfig, group_size: int, run_index: int,
+                fingerprint: Optional[str] = None) -> str:
+    """Digest of one run cell (the content address in the run cache).
+
+    Excludes ``config.runs`` and ``config.group_sizes``: a cell's
+    workload depends only on the seed material (config seed + name +
+    cell coordinates, exactly what
+    :func:`~repro.experiments.harness.run_seed` hashes), the topology,
+    the protocol set and their kwargs — growing the sweep's budget must
+    hit the cache for every cell already computed.
+    """
+    payload = {
+        "config": _config_identity(config, full=False),
+        "group_size": group_size,
+        "run_index": run_index,
+        "fingerprint": fingerprint or code_fingerprint(),
+    }
+    return hashlib.sha256(_canonical(payload)).hexdigest()

@@ -1,0 +1,160 @@
+"""Sweep assembly on top of the executor: the parallel ``run_sweep``.
+
+This module is what :func:`repro.experiments.harness.run_sweep`
+delegates to.  It expands a :class:`~repro.experiments.config.SweepConfig`
+into one :class:`~repro.exec.executor.CellTask` per ``(group size, run
+index)`` cell, hands them to :class:`~repro.exec.executor.SweepExecutor`,
+and folds the returned payloads back into a
+:class:`~repro.experiments.harness.SweepResult` **in cell order** —
+metrics snapshots merge in run-index order, distribution batches build
+in run-index order — so the result is byte-identical regardless of
+backend, worker count, cache hits, or resume history.
+
+Tracing caveat: a causal tracer holds open file handles and callbacks,
+so it cannot cross a process boundary.  The traced exemplar (run 0 of
+each group size, matching the serial harness) is therefore pinned
+in-process via ``CellTask.in_process``; it skips cache reads (its side
+effect — the span log — must actually happen) but still journals and
+caches its payload like any other cell.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.exec.cache import RunCache
+from repro.exec.checkpoint import CheckpointJournal
+from repro.exec.digest import cell_digest, code_fingerprint, sweep_digest
+from repro.exec.executor import CellTask, ExecError, SweepExecutor
+from repro.exec.worker import execute_cell, payload_is_valid
+from repro.experiments.config import SweepConfig
+from repro.metrics.distribution import DataDistribution
+from repro.metrics.summary import summarize
+from repro.obs.profiling import PROFILER
+from repro.obs.registry import MetricsRegistry
+
+
+def build_tasks(config: SweepConfig, tracer=None,
+                profile: bool = False) -> List[CellTask]:
+    """One :class:`CellTask` per cell, in deterministic sweep order."""
+    from repro.experiments.harness import run_seed
+
+    fingerprint = code_fingerprint()
+    tasks: List[CellTask] = []
+    for group_size in config.group_sizes:
+        for run_index in range(config.runs):
+            traced = tracer is not None and run_index == 0
+            local_fn = None
+            if traced:
+                def local_fn(config=config, group_size=group_size,
+                             run_index=run_index, tracer=tracer):
+                    return execute_cell(config, group_size, run_index,
+                                        profile=False, tracer=tracer)
+            tasks.append(CellTask(
+                key=cell_digest(config, group_size, run_index, fingerprint),
+                fn=execute_cell,
+                args=(config, group_size, run_index, profile),
+                describe=(
+                    f"config={config.name} n={group_size} run={run_index} "
+                    f"seed={run_seed(config, group_size, run_index)}"
+                ),
+                in_process=traced,
+                local_fn=local_fn,
+            ))
+    return tasks
+
+
+def run_sweep(
+    config: SweepConfig,
+    progress=None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer=None,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
+    resume: bool = False,
+    retries: int = 2,
+    backend: Optional[str] = None,
+):
+    """Run one figure's sweep through the execution engine.
+
+    ``jobs``/``backend`` select the executor backend (``jobs > 1``
+    defaults to the process pool).  ``cache_dir`` enables both the
+    content-addressed run cache and the checkpoint journal (stored
+    under ``<cache_dir>/journal/<sweep digest>.jsonl``); ``resume``
+    replays that journal instead of starting fresh and therefore
+    requires ``cache_dir``.  Everything else — ``progress``,
+    ``metrics``, ``tracer`` — keeps the serial harness's contract.
+    """
+    from repro.experiments.harness import SweepPoint, SweepResult
+
+    started = time.monotonic()
+    if metrics is None:
+        metrics = MetricsRegistry()
+    if resume and cache_dir is None:
+        raise ExecError("--resume requires a cache directory (--cache-dir)")
+
+    effective_backend = backend or ("process" if jobs > 1 else "serial")
+    cache = journal = None
+    if cache_dir is not None:
+        cache = RunCache(cache_dir)
+        journal = CheckpointJournal(
+            Path(cache_dir) / "journal" / f"{sweep_digest(config)}.jsonl",
+            sweep=sweep_digest(config),
+        )
+    # Worker-side profiling only pays off when workers are separate
+    # processes (their global profiler would otherwise be lost); the
+    # serial backend profiles in-place exactly like the old harness.
+    profile = PROFILER.enabled and effective_backend == "process"
+    tasks = build_tasks(config, tracer=tracer, profile=profile)
+
+    counts: Dict[int, int] = {n: 0 for n in config.group_sizes}
+
+    def exec_progress(task: CellTask, done: int, total: int) -> None:
+        group_size = task.args[1]
+        counts[group_size] += 1
+        if progress is not None:
+            progress(group_size, "*", counts[group_size], config.runs)
+
+    executor = SweepExecutor(
+        jobs=jobs,
+        backend=effective_backend,
+        cache=cache,
+        journal=journal,
+        resume=resume,
+        retries=retries,
+        metrics=metrics,
+        progress=exec_progress,
+        validate=lambda payload: payload_is_valid(payload, config.protocols),
+    )
+    payloads = executor.map_cells(tasks)
+
+    # Deterministic merge: payloads arrive in task order (group size
+    # major, run index minor), so this loop is the serial loop.
+    result = SweepResult(config=config, metrics=metrics)
+    index = 0
+    for group_size in config.group_sizes:
+        batches: Dict[str, List[DataDistribution]] = {
+            name: [] for name in config.protocols
+        }
+        for _run in range(config.runs):
+            payload = payloads[index]
+            index += 1
+            metrics.merge_snapshot(payload["metrics"])
+            if payload.get("profile"):
+                PROFILER.merge_snapshot(payload["profile"])
+            for name in config.protocols:
+                batches[name].append(
+                    DataDistribution.from_dict(payload["distributions"][name])
+                )
+        for name in config.protocols:
+            result.points.append(SweepPoint(
+                group_size=group_size,
+                protocol=name,
+                summary=summarize(batches[name]),
+            ))
+    result.elapsed_seconds = time.monotonic() - started
+    result.exec_stats = executor.stats
+    return result

@@ -1,0 +1,84 @@
+"""The worker-side unit of a parallel sweep: one cell, one payload.
+
+Process-global state is the enemy here.  The default experiment path
+records into whatever :class:`~repro.obs.registry.MetricsRegistry` the
+caller threads through, and profiling accumulates into the module-wide
+:data:`~repro.obs.profiling.PROFILER` — both of which would silently
+interleave (or vanish with the worker process) if parallel runs shared
+them.  :func:`execute_cell` therefore runs every cell against a *fresh
+local registry* and returns plain snapshots: the parent merges them in
+deterministic run order, and a worker's death loses nothing but its
+own in-flight cell.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.harness import run_single
+from repro.obs.profiling import PROFILER
+from repro.obs.registry import MetricsRegistry
+
+#: Payload schema version (bump on incompatible layout changes; the
+#: executor treats unknown versions as cache misses).
+PAYLOAD_FORMAT = 1
+
+
+def execute_cell(config: SweepConfig, group_size: int, run_index: int,
+                 profile: bool = False, tracer=None) -> dict:
+    """Run one Monte-Carlo cell and return its picklable payload.
+
+    The payload carries everything the parent needs to reassemble a
+    serial-identical sweep: per-protocol distributions (JSON form) and
+    the cell's private metrics snapshot.  ``profile=True`` additionally
+    captures the cell's span tree into ``payload["profile"]`` by
+    resetting and enabling this process's global profiler — only ever
+    requested for worker *processes*, where the global profiler belongs
+    to this cell alone; in-process (serial) execution leaves the
+    parent's profiler untouched and accumulates spans directly, as the
+    serial harness always has.
+
+    ``seconds`` is wall clock and intentionally *not* part of the
+    deterministic content — the executor reports it as
+    ``exec.run.seconds`` but never merges it into the sweep result.
+    """
+    registry = MetricsRegistry()
+    if profile:
+        PROFILER.reset()
+        PROFILER.enable()
+    started = time.perf_counter()
+    try:
+        with PROFILER.span("harness.run_single"):
+            distributions = run_single(config, group_size, run_index,
+                                       metrics=registry, tracer=tracer)
+    finally:
+        if profile:
+            PROFILER.disable()
+    seconds = time.perf_counter() - started
+    return {
+        "format": PAYLOAD_FORMAT,
+        "group_size": group_size,
+        "run_index": run_index,
+        "distributions": {
+            name: distribution.to_dict()
+            for name, distribution in distributions.items()
+        },
+        "metrics": registry.snapshot(),
+        "profile": PROFILER.tree().snapshot() if profile else None,
+        "seconds": seconds,
+    }
+
+
+def payload_is_valid(payload: Optional[dict],
+                     protocols: tuple) -> bool:
+    """Whether a cached/journaled payload is usable for this sweep."""
+    if not isinstance(payload, dict):
+        return False
+    if payload.get("format") != PAYLOAD_FORMAT:
+        return False
+    distributions = payload.get("distributions")
+    if not isinstance(distributions, dict):
+        return False
+    return all(name in distributions for name in protocols)

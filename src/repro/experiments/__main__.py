@@ -17,7 +17,7 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.experiments.claims import check_claims
-from repro.experiments.figures import FIGURE_METRICS, run_figure
+from repro.experiments.figures import FIGURE_METRICS
 from repro.experiments.harness import SweepResult
 from repro.experiments.report import (
     render_ascii_plot,
@@ -42,6 +42,13 @@ def _progress_printer(quiet: bool):
     return progress
 
 
+def _exec_summary(result: SweepResult) -> None:
+    """One stderr line on what the execution engine did (CI greps for
+    the 'cache hits' text)."""
+    if result.exec_stats is not None:
+        print(f"exec: {result.exec_stats.describe()}", file=sys.stderr)
+
+
 def _report(result: SweepResult, figure: str, csv_path: str = "") -> None:
     metric = FIGURE_METRICS[figure]
     print(render_table(result, metric))
@@ -56,7 +63,7 @@ def _report(result: SweepResult, figure: str, csv_path: str = "") -> None:
         print(f"wrote {csv_path}")
 
 
-def _run_ablations(runs: int, tracer=None) -> int:
+def _run_ablations(runs: int, tracer=None, jobs: int = 1) -> int:
     from repro.experiments.ablations import (
         asymmetry_sweep,
         connectivity_sweep,
@@ -66,33 +73,35 @@ def _run_ablations(runs: int, tracer=None) -> int:
 
     print(f"== abl-asym: cost spread vs HBH/REUNITE ({runs} runs) ==")
     print(f"{'spread':>8} {'protocol':>9} {'copies':>8} {'delay':>8}")
-    for point in asymmetry_sweep(runs=runs, tracer=tracer):
+    for point in asymmetry_sweep(runs=runs, tracer=tracer, jobs=jobs):
         print(f"{point.parameter:>8.2f} {point.protocol:>9} "
               f"{point.mean_cost_copies:>8.2f} {point.mean_delay:>8.2f}")
 
     print(f"\n== abl-unicast: unicast-only fraction vs HBH ({runs} runs) ==")
     print(f"{'fraction':>8} {'copies':>8} {'delay':>8}")
-    for point in unicast_cloud_sweep(runs=runs, tracer=tracer):
+    for point in unicast_cloud_sweep(runs=runs, tracer=tracer, jobs=jobs):
         print(f"{point.parameter:>8.2f} {point.mean_cost_copies:>8.2f} "
               f"{point.mean_delay:>8.2f}")
 
     print(f"\n== abl-rp: PIM-SM RP placement ({runs} runs) ==")
     print(f"{'strategy':>14} {'copies':>8} {'delay':>8}")
     for strategy, (cost, delay) in rp_placement_sweep(
-            runs=runs, tracer=tracer).items():
+            runs=runs, tracer=tracer, jobs=jobs).items():
         print(f"{strategy:>14} {cost:>8.2f} {delay:>8.2f}")
 
     print(f"\n== abl-conn: Waxman density vs HBH/REUNITE "
           f"({max(4, runs // 2)} runs) ==")
     print(f"{'alpha':>8} {'protocol':>9} {'copies':>8} {'delay':>8}")
-    for point in connectivity_sweep(runs=max(4, runs // 2), tracer=tracer):
+    for point in connectivity_sweep(runs=max(4, runs // 2), tracer=tracer,
+                                    jobs=jobs):
         print(f"{point.parameter:>8.2f} {point.protocol:>9} "
               f"{point.mean_cost_copies:>8.2f} {point.mean_delay:>8.2f}")
     return 0
 
 
 def _run_report(figure: str, runs: int, profile: bool,
-                quiet: bool, tracer=None) -> int:
+                quiet: bool, tracer=None, jobs: int = 1,
+                cache_dir=None, resume: bool = False) -> int:
     """A fig7-style observability run: per-channel metric summary plus
     (optionally) the wall-clock timer tree."""
     from repro.experiments.figures import figure_config
@@ -105,10 +114,12 @@ def _run_report(figure: str, runs: int, profile: bool,
         config = figure_config(figure, runs=runs)
         registry = MetricsRegistry()
         result = run_sweep(config, progress=_progress_printer(quiet),
-                           metrics=registry, tracer=tracer)
+                           metrics=registry, tracer=tracer, jobs=jobs,
+                           cache_dir=cache_dir, resume=resume)
     finally:
         if profile:
             PROFILER.disable()
+    _exec_summary(result)
     print(f"== per-channel metrics ({config.name}, "
           f"{config.runs} runs/point) ==")
     print(render_channel_metrics(registry))
@@ -144,7 +155,9 @@ def _measure_engine_throughput(registry: MetricsRegistry,
     return rate
 
 
-def _run_baseline(out: str, runs: int, quiet: bool, tracer=None) -> int:
+def _run_baseline(out: str, runs: int, quiet: bool, tracer=None,
+                  jobs: int = 1, cache_dir=None,
+                  resume: bool = False) -> int:
     """Persist a perf/metric baseline from the obs registry: tree cost,
     join latency and engine throughput (diffed across PRs in CI)."""
     import json
@@ -155,8 +168,10 @@ def _run_baseline(out: str, runs: int, quiet: bool, tracer=None) -> int:
 
     registry = MetricsRegistry()
     config = figure_config("fig7a", runs=runs)
-    run_sweep(config, progress=_progress_printer(quiet), metrics=registry,
-              tracer=tracer)
+    result = run_sweep(config, progress=_progress_printer(quiet),
+                       metrics=registry, tracer=tracer, jobs=jobs,
+                       cache_dir=cache_dir, resume=resume)
+    _exec_summary(result)
     events_per_sec = _measure_engine_throughput(registry)
     channels = {
         labels["protocol"]: labels["channel"]
@@ -212,6 +227,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--runs", type=int, default=None,
         help="Monte-Carlo runs per point (default: the paper's 500; "
              "ablations default to 50, report/baseline to 3)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep execution (1 = serial in this "
+             "process; results are byte-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir", default="",
+        help="enable the content-addressed run cache and checkpoint "
+             "journal under this directory (re-running a sweep after "
+             "an unrelated change skips completed runs)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from its checkpoint journal "
+             "(requires --cache-dir)",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -293,6 +324,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _dispatch(args, tracer, flight) -> int:
     progress = _progress_printer(args.quiet)
+    cache_dir = args.cache_dir or None
     if args.target == "explain":
         from repro.experiments.explain import run_explain
 
@@ -305,8 +337,21 @@ def _dispatch(args, tracer, flight) -> int:
         print(text, end="")
         return code
     if args.target == "faults":
-        from repro.experiments.faults import render_result, run_scenario
+        from repro.experiments.faults import (
+            render_result,
+            run_scenario,
+            run_scenarios,
+        )
 
+        if args.scenario == "all":
+            payloads = run_scenarios(seed=args.seed, jobs=args.jobs)
+            for payload in payloads:
+                print(payload["text"])
+                print()
+            failures = sum(1 for p in payloads if not p["recovered"])
+            print(f"{len(payloads) - failures}/{len(payloads)} scenarios "
+                  f"recovered")
+            return 0 if failures == 0 else 1
         result, registry = run_scenario(args.scenario or "flap-storm",
                                         seed=args.seed, tracer=tracer,
                                         flight=flight)
@@ -314,12 +359,15 @@ def _dispatch(args, tracer, flight) -> int:
         return 0 if result.recovered else 1
     if args.target == "report":
         return _run_report(args.figure, args.runs or 3, args.profile,
-                           args.quiet, tracer=tracer)
+                           args.quiet, tracer=tracer, jobs=args.jobs,
+                           cache_dir=cache_dir, resume=args.resume)
     if args.target == "baseline":
         return _run_baseline(args.out, args.runs or 3, args.quiet,
-                             tracer=tracer)
+                             tracer=tracer, jobs=args.jobs,
+                             cache_dir=cache_dir, resume=args.resume)
     if args.target == "ablations":
-        return _run_ablations(args.runs or 50, tracer=tracer)
+        return _run_ablations(args.runs or 50, tracer=tracer,
+                              jobs=args.jobs)
     if args.target in FIGURE_METRICS:
         from dataclasses import replace
 
@@ -337,21 +385,27 @@ def _dispatch(args, tracer, flight) -> int:
                     protocols=tuple(p.strip()
                                     for p in args.protocols.split(",")),
                 )
-            result = run_sweep(config, progress=progress, tracer=tracer)
+            result = run_sweep(config, progress=progress, tracer=tracer,
+                               jobs=args.jobs, cache_dir=cache_dir,
+                               resume=args.resume)
+            _exec_summary(result)
         if args.save:
-            save_result(result, args.save)
+            # Canonical form: archives diff clean across --jobs values.
+            save_result(result, args.save, canonical=True)
             print(f"archived sweep to {args.save}", file=sys.stderr)
         _report(result, args.target, args.csv)
         return 0
 
     # 'all' and 'claims' need every sweep; fig8 reuses fig7 data.
-    results: Dict[str, SweepResult] = {}
+    from repro.experiments.claims import run_claim_sweeps
+
+    print("== running sweeps for fig7a/fig7b ==", file=sys.stderr)
+    results: Dict[str, SweepResult] = run_claim_sweeps(
+        runs=args.runs, progress=progress, tracer=tracer, jobs=args.jobs,
+        cache_dir=cache_dir, resume=args.resume,
+    )
     for figure in ("fig7a", "fig7b"):
-        print(f"== running sweep for {figure} ==", file=sys.stderr)
-        results[figure] = run_figure(figure, runs=args.runs,
-                                     progress=progress, tracer=tracer)
-    results["fig8a"] = results["fig7a"]
-    results["fig8b"] = results["fig7b"]
+        _exec_summary(results[figure])
 
     if args.target == "all":
         for figure in ("fig7a", "fig7b", "fig8a", "fig8b"):

@@ -21,14 +21,16 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro._rand import derive_rng, make_rng, sample_receivers
 from repro.errors import ExperimentError
+from repro.exec.executor import CellTask, SweepExecutor
 from repro.metrics.delay import average_delay
 from repro.metrics.distribution import DataDistribution
 from repro.protocols.base import build_protocol
-from repro.routing.tables import UnicastRouting
+from repro.routing.tables import shared_routing
 from repro.topology.costs import assign_spread_costs
 from repro.topology.hosts import attach_one_host_per_router
 from repro.topology.isp import (
@@ -72,38 +74,81 @@ def _measure(protocol_name: str, topology, source, receivers,
     return distribution
 
 
+def _map_cells(fn: Callable[..., dict], cells: List[Tuple],
+               jobs: int = 1, tracer=None) -> List[dict]:
+    """Run ablation cells through the execution engine, in cell order.
+
+    Each entry in ``cells`` is the argument tuple of the module-level
+    (hence picklable) cell function ``fn``, with the run index last.
+    Run-0 cells carry the tracer and are pinned in-process (a tracer
+    cannot cross a process boundary) — the same traced-exemplar
+    convention as the figure harness.  Ablation cells are not content
+    addressed (no resolved :class:`SweepConfig` to digest), so the
+    executor runs them cache-less; ``jobs`` still fans them out.
+    """
+    tasks = []
+    for args in cells:
+        traced = tracer is not None and args[-1] == 0
+        tasks.append(CellTask(
+            key=f"{fn.__name__}:{args!r}",
+            fn=fn,
+            args=args,
+            describe=f"{fn.__name__}{args!r}",
+            cacheable=False,
+            in_process=traced,
+            local_fn=partial(fn, *args, tracer=tracer) if traced else None,
+        ))
+    return SweepExecutor(jobs=jobs).map_cells(tasks)
+
+
+def _asym_cell(spread: float, group_size: int, protocols: Tuple[str, ...],
+               run: int, tracer=None) -> dict:
+    rng = make_rng(_seed(f"abl-asym/{spread}", run))
+    topology = isp_topology(seed=derive_rng(rng, "topo"),
+                            randomize_costs=False)
+    assign_spread_costs(topology, spread=spread,
+                        seed=derive_rng(rng, "costs"))
+    receivers = sample_receivers(
+        isp_receiver_candidates(topology), group_size,
+        derive_rng(rng, "recv"),
+    )
+    routing = shared_routing(topology)
+    values = {}
+    for protocol in protocols:
+        distribution = _measure(protocol, topology, ISP_SOURCE_NODE,
+                                receivers, routing=routing, tracer=tracer)
+        values[protocol] = (distribution.copies,
+                            average_delay(distribution))
+    return {"values": values}
+
+
 def asymmetry_sweep(
     spreads: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     group_size: int = 10,
     runs: int = 50,
     protocols: Sequence[str] = ("reunite", "hbh"),
     tracer=None,
+    jobs: int = 1,
 ) -> List[AblationPoint]:
     """HBH vs REUNITE as routing asymmetry scales from none to full.
 
     A ``tracer`` records causal spans for run 0 of each point (same
     convention as the figure harness)."""
+    protocols = tuple(protocols)
+    cells = [(spread, group_size, protocols, run)
+             for spread in spreads for run in range(runs)]
+    payloads = _map_cells(_asym_cell, cells, jobs=jobs, tracer=tracer)
     points: List[AblationPoint] = []
+    index = 0
     for spread in spreads:
         sums: Dict[str, List[float]] = {p: [0.0, 0.0] for p in protocols}
-        for run in range(runs):
-            rng = make_rng(_seed(f"abl-asym/{spread}", run))
-            topology = isp_topology(seed=derive_rng(rng, "topo"),
-                                    randomize_costs=False)
-            assign_spread_costs(topology, spread=spread,
-                                seed=derive_rng(rng, "costs"))
-            receivers = sample_receivers(
-                isp_receiver_candidates(topology), group_size,
-                derive_rng(rng, "recv"),
-            )
-            routing = UnicastRouting(topology)
+        for _run in range(runs):
+            values = payloads[index]["values"]
+            index += 1
             for protocol in protocols:
-                distribution = _measure(protocol, topology,
-                                        ISP_SOURCE_NODE, receivers,
-                                        routing=routing,
-                                        tracer=tracer if run == 0 else None)
-                sums[protocol][0] += distribution.copies / runs
-                sums[protocol][1] += average_delay(distribution) / runs
+                copies, delay = values[protocol]
+                sums[protocol][0] += copies / runs
+                sums[protocol][1] += delay / runs
         for protocol in protocols:
             points.append(AblationPoint(spread, protocol,
                                         sums[protocol][0],
@@ -111,43 +156,73 @@ def asymmetry_sweep(
     return points
 
 
+def _unicast_cell(fractions: Tuple[float, ...], group_size: int,
+                  run: int, tracer=None) -> dict:
+    rng = make_rng(_seed("abl-unicast", run))
+    base = isp_topology(seed=derive_rng(rng, "topo"))
+    receivers = sample_receivers(
+        isp_receiver_candidates(base), group_size,
+        derive_rng(rng, "recv"),
+    )
+    shuffle = list(base.routers)
+    derive_rng(rng, "disable").shuffle(shuffle)
+    values = {}
+    for fraction in fractions:
+        topology = base.copy()
+        for router in shuffle[:round(fraction * len(shuffle))]:
+            topology.set_multicast_capable(router, False)
+        distribution = _measure("hbh", topology, ISP_SOURCE_NODE,
+                                receivers, tracer=tracer)
+        values[fraction] = (distribution.copies,
+                            average_delay(distribution))
+    return {"values": values}
+
+
 def unicast_cloud_sweep(
     fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     group_size: int = 8,
     runs: int = 50,
     tracer=None,
+    jobs: int = 1,
 ) -> List[AblationPoint]:
     """HBH tree cost as routers turn unicast-only (deployment story).
 
     Paired design: every fraction sees the *same* topologies, costs
     and receiver sets per run — only the disabled-router set grows
     (nested prefixes of one shuffled router list), so the cost curve
-    isolates the capability effect and delays stay comparable.
+    isolates the capability effect and delays stay comparable.  One
+    cell = one run (all fractions), preserving the pairing under
+    parallel execution.
     """
+    fractions = tuple(fractions)
+    cells = [(fractions, group_size, run) for run in range(runs)]
+    payloads = _map_cells(_unicast_cell, cells, jobs=jobs, tracer=tracer)
     points: List[AblationPoint] = []
     sums = {fraction: [0.0, 0.0] for fraction in fractions}
-    for run in range(runs):
-        rng = make_rng(_seed("abl-unicast", run))
-        base = isp_topology(seed=derive_rng(rng, "topo"))
-        receivers = sample_receivers(
-            isp_receiver_candidates(base), group_size,
-            derive_rng(rng, "recv"),
-        )
-        shuffle = list(base.routers)
-        derive_rng(rng, "disable").shuffle(shuffle)
+    for payload in payloads:
         for fraction in fractions:
-            topology = base.copy()
-            for router in shuffle[:round(fraction * len(shuffle))]:
-                topology.set_multicast_capable(router, False)
-            distribution = _measure("hbh", topology, ISP_SOURCE_NODE,
-                                    receivers,
-                                    tracer=tracer if run == 0 else None)
-            sums[fraction][0] += distribution.copies / runs
-            sums[fraction][1] += average_delay(distribution) / runs
+            copies, delay = payload["values"][fraction]
+            sums[fraction][0] += copies / runs
+            sums[fraction][1] += delay / runs
     for fraction in fractions:
         points.append(AblationPoint(fraction, "hbh",
                                     sums[fraction][0], sums[fraction][1]))
     return points
+
+
+def _rp_cell(strategy: str, group_size: int, run: int,
+             tracer=None) -> dict:
+    rng = make_rng(_seed(f"abl-rp/{strategy}", run))
+    topology = isp_topology(seed=derive_rng(rng, "topo"))
+    receivers = sample_receivers(
+        isp_receiver_candidates(topology), group_size,
+        derive_rng(rng, "recv"),
+    )
+    distribution = _measure(
+        "pim-sm", topology, ISP_SOURCE_NODE, receivers,
+        rp_strategy=strategy, rp_seed=run, tracer=tracer,
+    )
+    return {"values": (distribution.copies, average_delay(distribution))}
 
 
 def rp_placement_sweep(
@@ -156,25 +231,21 @@ def rp_placement_sweep(
     group_size: int = 12,
     runs: int = 50,
     tracer=None,
+    jobs: int = 1,
 ) -> Dict[str, Tuple[float, float]]:
     """PIM-SM (cost, delay) under each RP placement strategy."""
+    cells = [(strategy, group_size, run)
+             for strategy in strategies for run in range(runs)]
+    payloads = _map_cells(_rp_cell, cells, jobs=jobs, tracer=tracer)
     results: Dict[str, Tuple[float, float]] = {}
+    index = 0
     for strategy in strategies:
         cost_sum, delay_sum = 0.0, 0.0
-        for run in range(runs):
-            rng = make_rng(_seed(f"abl-rp/{strategy}", run))
-            topology = isp_topology(seed=derive_rng(rng, "topo"))
-            receivers = sample_receivers(
-                isp_receiver_candidates(topology), group_size,
-                derive_rng(rng, "recv"),
-            )
-            distribution = _measure(
-                "pim-sm", topology, ISP_SOURCE_NODE, receivers,
-                rp_strategy=strategy, rp_seed=run,
-                tracer=tracer if run == 0 else None,
-            )
-            cost_sum += distribution.copies / runs
-            delay_sum += average_delay(distribution) / runs
+        for _run in range(runs):
+            copies, delay = payloads[index]["values"]
+            index += 1
+            cost_sum += copies / runs
+            delay_sum += delay / runs
         results[strategy] = (cost_sum, delay_sum)
     return results
 
@@ -266,38 +337,54 @@ def timer_sweep(
     return points
 
 
+def _conn_cell(alpha: float, num_nodes: int, group_size: int,
+               run: int, tracer=None) -> dict:
+    rng = make_rng(_seed(f"abl-conn/{alpha}", run))
+    topology = waxman_topology(num_nodes, alpha=alpha,
+                               seed=derive_rng(rng, "topo"))
+    hosts = attach_one_host_per_router(
+        topology, seed=derive_rng(rng, "hosts")
+    )
+    source = hosts[0]
+    receivers = sample_receivers(hosts[1:], group_size,
+                                 derive_rng(rng, "recv"))
+    routing = shared_routing(topology)
+    values = {}
+    for protocol in ("reunite", "hbh"):
+        distribution = _measure(protocol, topology, source, receivers,
+                                routing=routing, tracer=tracer)
+        values[protocol] = (distribution.copies,
+                            average_delay(distribution))
+    return {"values": values}
+
+
 def connectivity_sweep(
     alphas: Sequence[float] = (0.3, 0.45, 0.6, 0.8),
     num_nodes: int = 30,
     group_size: int = 10,
     runs: int = 30,
     tracer=None,
+    jobs: int = 1,
 ) -> List[AblationPoint]:
     """HBH-vs-REUNITE delay advantage as Waxman density grows.
 
     Returns reunite and hbh points per alpha; the paper predicts the
     relative advantage grows with connectivity.
     """
+    cells = [(alpha, num_nodes, group_size, run)
+             for alpha in alphas for run in range(runs)]
+    payloads = _map_cells(_conn_cell, cells, jobs=jobs, tracer=tracer)
     points: List[AblationPoint] = []
+    index = 0
     for alpha in alphas:
         sums = {"reunite": [0.0, 0.0], "hbh": [0.0, 0.0]}
-        for run in range(runs):
-            rng = make_rng(_seed(f"abl-conn/{alpha}", run))
-            topology = waxman_topology(num_nodes, alpha=alpha,
-                                       seed=derive_rng(rng, "topo"))
-            hosts = attach_one_host_per_router(
-                topology, seed=derive_rng(rng, "hosts")
-            )
-            source = hosts[0]
-            receivers = sample_receivers(hosts[1:], group_size,
-                                         derive_rng(rng, "recv"))
-            routing = UnicastRouting(topology)
+        for _run in range(runs):
+            values = payloads[index]["values"]
+            index += 1
             for protocol in ("reunite", "hbh"):
-                distribution = _measure(protocol, topology, source,
-                                        receivers, routing=routing,
-                                        tracer=tracer if run == 0 else None)
-                sums[protocol][0] += distribution.copies / runs
-                sums[protocol][1] += average_delay(distribution) / runs
+                copies, delay = values[protocol]
+                sums[protocol][0] += copies / runs
+                sums[protocol][1] += delay / runs
         for protocol in ("reunite", "hbh"):
             points.append(AblationPoint(alpha, protocol,
                                         sums[protocol][0],

@@ -173,6 +173,30 @@ def check_random50_claims(cost_result: SweepResult,
     return checks
 
 
+def run_claim_sweeps(runs=None, progress=None, tracer=None, *,
+                     jobs: int = 1, cache_dir=None, resume: bool = False
+                     ) -> Dict[str, SweepResult]:
+    """Run every sweep the claims need, through the execution engine.
+
+    Figs. 7 and 8 come from the same trees, so only the fig7a/fig7b
+    sweeps run; fig8a/fig8b alias their results.  ``jobs``,
+    ``cache_dir`` and ``resume`` are forwarded to
+    :func:`repro.experiments.figures.run_figure` — checking claims at
+    the paper's 500-run budget is exactly the workload the run cache
+    and the process backend exist for.
+    """
+    from repro.experiments.figures import run_figure
+
+    results: Dict[str, SweepResult] = {}
+    for figure in ("fig7a", "fig7b"):
+        results[figure] = run_figure(figure, runs=runs, progress=progress,
+                                     tracer=tracer, jobs=jobs,
+                                     cache_dir=cache_dir, resume=resume)
+    results["fig8a"] = results["fig7a"]
+    results["fig8b"] = results["fig7b"]
+    return results
+
+
 def check_claims(results: Dict[str, SweepResult]) -> List[ClaimCheck]:
     """Check every claim supported by the sweeps present in ``results``.
 

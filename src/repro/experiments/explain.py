@@ -66,11 +66,11 @@ def _explain_static(protocol: str, query: Optional[str],
                     tracer: CausalTracer, flight: FlightRecorder
                     ) -> Tuple[str, int]:
     """The Fig. 2 walkthrough on a static driver, fully explained."""
-    from repro.routing.tables import UnicastRouting
+    from repro.routing.tables import shared_routing
     from repro.verify import ConvergenceOracle
 
     topology = fig2_topology()
-    routing = UnicastRouting(topology)
+    routing = shared_routing(topology)
     if protocol == "hbh":
         from repro.core.static_driver import StaticHbh
         from repro.verify import hbh_soft_state as soft_state

@@ -284,6 +284,52 @@ def run_scenario(name: str, seed: int = 1,
     return result, registry
 
 
+def _scenario_cell(name: str, seed: int) -> dict:
+    """One scenario as an executor cell (module-level, picklable)."""
+    result, registry = run_scenario(name, seed=seed)
+    return {
+        "scenario": name,
+        "seed": seed,
+        "recovered": result.recovered,
+        "text": render_result(result, registry),
+        "metrics": registry.snapshot(),
+    }
+
+
+def run_scenarios(names: Optional[List[str]] = None, seed: int = 1,
+                  jobs: int = 1) -> List[dict]:
+    """Run several scenarios through the execution engine.
+
+    ``names`` defaults to every registered scenario (the CLI's
+    ``--scenario all``); ``jobs > 1`` replays them in parallel worker
+    processes.  Each payload carries the scenario's rendered report
+    (byte-identical per seed, so parallel order cannot perturb the
+    output), its ``recovered`` verdict and its metrics snapshot.
+    Scenarios are not content addressed — they take seconds and their
+    determinism is asserted by CI, so caching would only hide drift.
+    """
+    from repro.exec.executor import CellTask, SweepExecutor
+
+    names = list(names) if names else sorted(SCENARIOS)
+    for name in names:
+        if name not in SCENARIOS:
+            known = ", ".join(sorted(SCENARIOS))
+            raise ExperimentError(
+                f"unknown fault scenario {name!r} (known: {known})"
+            )
+    tasks = [
+        CellTask(
+            key=f"fault:{name}:{seed}",
+            fn=_scenario_cell,
+            args=(name, seed),
+            describe=f"scenario={name} seed={seed}",
+            cacheable=False,
+        )
+        for name in names
+    ]
+    return SweepExecutor(jobs=jobs).map_cells(tasks)
+
+
 def _render_delays(delays: Dict[NodeId, float]) -> str:
     if not delays:
         return "(none)"

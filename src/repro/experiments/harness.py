@@ -13,7 +13,6 @@ A *sweep* repeats that for every group size and aggregates into
 
 from __future__ import annotations
 
-import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -22,14 +21,26 @@ from repro._rand import derive_rng, make_rng, sample_receivers
 from repro.errors import ExperimentError
 from repro.experiments.config import SweepConfig
 from repro.metrics.distribution import DataDistribution
-from repro.metrics.summary import MetricSummary, summarize
+from repro.metrics.summary import MetricSummary
 from repro.obs.profiling import PROFILER
 from repro.obs.registry import MetricsRegistry
 from repro.protocols.base import build_protocol
-from repro.routing.tables import UnicastRouting
+from repro.routing.tables import shared_routing
 
 #: Convergence budget per join; generous, failures raise loudly.
 MAX_ROUNDS_PER_JOIN = 80
+
+
+def run_seed(config: SweepConfig, group_size: int, run_index: int) -> int:
+    """The process-stable seed of one Monte-Carlo cell.
+
+    ``crc32`` rather than ``hash()`` because str hashing is salted per
+    process — parallel workers must derive the identical seed, and a
+    failed cell's seed printed in an error must reproduce anywhere.
+    """
+    return zlib.crc32(
+        f"{config.seed}/{config.name}/{group_size}/{run_index}".encode()
+    )
 
 
 def run_single(
@@ -48,11 +59,7 @@ def run_single(
     (:class:`~repro.obs.causal.CausalTracer`) is attached to every
     protocol that supports causal tracing (the CLI's ``--trace-out``).
     """
-    # Stable across processes (unlike hash(), which is salted for str).
-    run_seed = zlib.crc32(
-        f"{config.seed}/{config.name}/{group_size}/{run_index}".encode()
-    )
-    rng = make_rng(run_seed)
+    rng = make_rng(run_seed(config, group_size, run_index))
     with PROFILER.span("harness.build_topology"):
         setup = config.build_topology(derive_rng(rng, "topology"))
     if group_size > len(setup.candidates):
@@ -63,7 +70,7 @@ def run_single(
     receivers = sorted(sample_receivers(
         setup.candidates, group_size, derive_rng(rng, "receivers")
     ))
-    routing = UnicastRouting(setup.topology)
+    routing = shared_routing(setup.topology)
     distributions: Dict[str, DataDistribution] = {}
     for protocol_name in config.protocols:
         kwargs = dict(config.protocol_kwargs.get(protocol_name, {}))
@@ -112,6 +119,9 @@ class SweepResult:
     #: The observability registry the sweep recorded into (persisted by
     #: :mod:`repro.experiments.storage` alongside the summaries).
     metrics: Optional[MetricsRegistry] = None
+    #: What the execution engine actually did (backend, cache hits,
+    #: resumed cells) — an :class:`repro.exec.executor.ExecStats`.
+    exec_stats: Optional[object] = None
 
     def summary(self, group_size: int, protocol: str) -> MetricSummary:
         """The cell for (group_size, protocol)."""
@@ -159,7 +169,13 @@ ProgressHook = Callable[[int, str, int, int], None]
 def run_sweep(config: SweepConfig,
               progress: Optional[ProgressHook] = None,
               metrics: Optional[MetricsRegistry] = None,
-              tracer=None) -> SweepResult:
+              tracer=None,
+              *,
+              jobs: int = 1,
+              cache_dir=None,
+              resume: bool = False,
+              retries: int = 2,
+              backend: Optional[str] = None) -> SweepResult:
     """Run the full sweep for one figure.
 
     ``progress(group_size, protocol, run_index, total_runs)`` is called
@@ -169,30 +185,19 @@ def run_sweep(config: SweepConfig,
     registry rides along on :attr:`SweepResult.metrics`.  A ``tracer``
     records causal spans for run 0 of each group size only — one traced
     exemplar per point keeps the span volume bounded.
+
+    Execution routes through :mod:`repro.exec`: ``jobs`` fans runs out
+    to worker processes, ``cache_dir`` enables the content-addressed
+    run cache and checkpoint journal, and ``resume`` replays a killed
+    sweep's journal.  The defaults (serial, uncached) reproduce the
+    classic in-process sweep exactly — by construction the executor
+    merges payloads in run order, so any backend yields byte-identical
+    results.
     """
-    started = time.monotonic()
-    if metrics is None:
-        metrics = MetricsRegistry()
-    result = SweepResult(config=config, metrics=metrics)
-    for group_size in config.group_sizes:
-        batches: Dict[str, List[DataDistribution]] = {
-            name: [] for name in config.protocols
-        }
-        for run_index in range(config.runs):
-            with PROFILER.span("harness.run_single"):
-                distributions = run_single(
-                    config, group_size, run_index, metrics=metrics,
-                    tracer=tracer if run_index == 0 else None,
-                )
-            for name, distribution in distributions.items():
-                batches[name].append(distribution)
-            if progress is not None:
-                progress(group_size, "*", run_index + 1, config.runs)
-        for name in config.protocols:
-            result.points.append(SweepPoint(
-                group_size=group_size,
-                protocol=name,
-                summary=summarize(batches[name]),
-            ))
-    result.elapsed_seconds = time.monotonic() - started
-    return result
+    from repro.exec.sweep import run_sweep as _run_sweep
+
+    return _run_sweep(
+        config, progress=progress, metrics=metrics, tracer=tracer,
+        jobs=jobs, cache_dir=cache_dir, resume=resume, retries=retries,
+        backend=backend,
+    )

@@ -25,13 +25,25 @@ _FORMAT_VERSION = 2
 _SUPPORTED_FORMATS = (1, 2)
 
 
-def result_to_dict(result: SweepResult) -> dict:
-    """Serialize a sweep result (JSON-compatible)."""
+def result_to_dict(result: SweepResult, canonical: bool = False) -> dict:
+    """Serialize a sweep result (JSON-compatible).
+
+    ``canonical=True`` strips everything nondeterministic — the
+    wall-clock ``elapsed_seconds`` and the ``exec.*`` metric series
+    (worker counts, cache hits, per-run timings) — leaving exactly the
+    content the determinism contract covers: a canonical dump of a
+    ``--jobs 8`` sweep is byte-identical to the ``--jobs 1`` dump.
+    """
     config = result.config
+    metrics = None
+    if result.metrics is not None:
+        metrics = result.metrics.snapshot()
+        if canonical:
+            metrics = {name: series for name, series in metrics.items()
+                       if not name.startswith("exec.")}
     return {
         "format": _FORMAT_VERSION,
-        "metrics": (result.metrics.snapshot()
-                    if result.metrics is not None else None),
+        "metrics": metrics,
         "config": {
             "name": config.name,
             "topology": config.topology,
@@ -40,7 +52,7 @@ def result_to_dict(result: SweepResult) -> dict:
             "runs": config.runs,
             "seed": config.seed,
         },
-        "elapsed_seconds": result.elapsed_seconds,
+        "elapsed_seconds": 0.0 if canonical else result.elapsed_seconds,
         "points": [
             {
                 "group_size": point.group_size,
@@ -104,9 +116,16 @@ def result_from_dict(data: dict) -> SweepResult:
     return result
 
 
-def save_result(result: SweepResult, path: Union[str, Path]) -> None:
-    """Write a sweep result to a JSON file."""
-    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+def save_result(result: SweepResult, path: Union[str, Path],
+                canonical: bool = False) -> None:
+    """Write a sweep result to a JSON file.
+
+    See :func:`result_to_dict` for ``canonical`` — use it when the
+    archive will be diffed across backends or worker counts.
+    """
+    Path(path).write_text(
+        json.dumps(result_to_dict(result, canonical=canonical), indent=2)
+    )
 
 
 def load_result(path: Union[str, Path]) -> SweepResult:

@@ -96,3 +96,35 @@ class DataDistribution:
     def complete(self) -> bool:
         """Whether every expected receiver was reached."""
         return not self.missing
+
+    # ------------------------------------------------------------------
+    # Serialization (JSON-compatible, picklable across worker processes)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-compatible dump preserving emission order.
+
+        Mapping keys are emitted as ``[node, value]`` pairs (JSON would
+        stringify integer node ids) and sets as sorted lists, so a
+        round trip through :meth:`from_dict` is exact and two equal
+        distributions always serialize to identical bytes.
+        """
+        return {
+            "transmissions": [[a, b] for a, b in self.transmissions],
+            "transmission_costs": list(self.transmission_costs),
+            "delays": [[node, self.delays[node]]
+                       for node in sorted(self.delays)],
+            "arrivals": [[node, self.arrivals[node]]
+                         for node in sorted(self.arrivals)],
+            "expected": sorted(self.expected),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DataDistribution":
+        """Rebuild a distribution from :meth:`to_dict` output."""
+        return cls(
+            transmissions=[(a, b) for a, b in data["transmissions"]],
+            transmission_costs=list(data["transmission_costs"]),
+            delays={node: delay for node, delay in data["delays"]},
+            arrivals={node: count for node, count in data["arrivals"]},
+            expected=set(data["expected"]),
+        )

@@ -23,7 +23,7 @@ from repro.netsim.trace import Trace
 from repro.obs.causal import CausalTracer
 from repro.obs.flight import FlightRecorder
 from repro.obs.registry import MetricsRegistry
-from repro.routing.tables import UnicastRouting
+from repro.routing.tables import shared_routing
 from repro.topology.model import NodeKind, Topology
 
 NodeId = Hashable
@@ -43,7 +43,7 @@ class Network:
         self.simulator = simulator or Simulator()
         if self.simulator.metrics is None:
             self.simulator.metrics = self.metrics
-        self.routing = UnicastRouting(topology)
+        self.routing = shared_routing(topology)
         self.counters = LinkCounters(registry=self.metrics)
         self.trace = Trace(enabled=trace_enabled, maxlen=trace_maxlen,
                            metrics=self.metrics)

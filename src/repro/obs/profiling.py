@@ -68,6 +68,19 @@ class SpanStats:
                                 key=lambda node: -node.total)],
         }
 
+    def merge_snapshot(self, data: Dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` dump into this subtree.
+
+        Calls and totals add; children merge recursively by span name.
+        This is how worker processes ship their span trees back to the
+        parent profiler in a parallel sweep, so ``report --profile``
+        still shows one combined timer tree.
+        """
+        self.calls += int(data["calls"])  # type: ignore[call-overload]
+        self.total += float(data["total_s"])  # type: ignore[arg-type]
+        for child_data in data["children"]:  # type: ignore[union-attr]
+            self.child(str(child_data["name"])).merge_snapshot(child_data)
+
     def __repr__(self) -> str:
         return (f"SpanStats({self.name!r}, calls={self.calls}, "
                 f"total={self.total:.4f}s)")
@@ -156,6 +169,14 @@ class Profiler:
         """Drop all recorded spans (enabled state unchanged)."""
         self._root = SpanStats("total")
         self._stack = [self._root]
+
+    def merge_snapshot(self, data: Dict[str, object]) -> None:
+        """Fold another profiler's :meth:`SpanStats.snapshot` root dump
+        into this tree (worker-process span trees, see
+        :meth:`SpanStats.merge_snapshot`).  The snapshot root's own
+        calls/total are ignored — only its children carry spans."""
+        for child_data in data["children"]:  # type: ignore[union-attr]
+            self._root.child(str(child_data["name"])).merge_snapshot(child_data)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -296,6 +296,30 @@ class MetricsRegistry:
             else:
                 self.histogram(name, **labels).extend(instrument.values())
 
+    def merge_snapshot(self, data: Mapping[str, object]) -> None:
+        """Fold a :meth:`snapshot` dump into this registry.
+
+        Same semantics as :meth:`merge` (counters add, histograms pool,
+        gauges take the snapshot's value) but straight from the
+        JSON-compatible form, which is how worker processes hand their
+        per-run metrics back to the parallel sweep executor — folding
+        payloads in run-index order reproduces exactly the registry a
+        serial sweep records.
+        """
+        for name, raw in data.items():
+            assert isinstance(raw, Mapping)
+            kind = raw["kind"]
+            for entry in raw["series"]:  # type: ignore[index]
+                labels = entry["labels"]
+                if kind == "counter":
+                    self.counter(name, **labels).inc(entry["value"])
+                elif kind == "gauge":
+                    self.gauge(name, **labels).set(entry["value"])
+                elif kind == "histogram":
+                    self.histogram(name, **labels).extend(entry["values"])
+                else:
+                    raise MetricsError(f"unknown instrument kind {kind!r}")
+
     # ------------------------------------------------------------------
     # Serialization (JSON-compatible)
     # ------------------------------------------------------------------
@@ -314,19 +338,7 @@ class MetricsRegistry:
     def from_snapshot(cls, data: Mapping[str, object]) -> "MetricsRegistry":
         """Rebuild a registry from :meth:`snapshot` output."""
         registry = cls()
-        for name, raw in data.items():
-            assert isinstance(raw, Mapping)
-            kind = raw["kind"]
-            for entry in raw["series"]:  # type: ignore[index]
-                labels = entry["labels"]
-                if kind == "counter":
-                    registry.counter(name, **labels).inc(entry["value"])
-                elif kind == "gauge":
-                    registry.gauge(name, **labels).set(entry["value"])
-                elif kind == "histogram":
-                    registry.histogram(name, **labels).extend(entry["values"])
-                else:
-                    raise MetricsError(f"unknown instrument kind {kind!r}")
+        registry.merge_snapshot(data)
         return registry
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Set
 from repro.errors import ExperimentError
 from repro.metrics.distribution import DataDistribution
 from repro.obs.registry import MetricsRegistry, channel_label
-from repro.routing.tables import UnicastRouting
+from repro.routing.tables import UnicastRouting, shared_routing
 from repro.topology.model import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
@@ -53,7 +53,7 @@ class MulticastProtocol(abc.ABC):
                  routing: Optional[UnicastRouting] = None) -> None:
         topology.kind(source)
         self.topology = topology
-        self.routing = routing or UnicastRouting(topology)
+        self.routing = routing or shared_routing(topology)
         self.source = source
         self.receivers: Set[NodeId] = set()
 

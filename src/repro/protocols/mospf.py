@@ -24,7 +24,7 @@ from typing import Dict, Hashable, List, Optional, Set
 from repro.errors import ProtocolError
 from repro.metrics.distribution import DataDistribution
 from repro.protocols.base import MulticastProtocol, register_protocol
-from repro.routing.tables import UnicastRouting
+from repro.routing.tables import UnicastRouting, shared_routing
 from repro.topology.model import Topology
 
 NodeId = Hashable
@@ -42,7 +42,7 @@ class ForwardSpt:
                  routing: Optional[UnicastRouting] = None) -> None:
         topology.kind(root)
         self.topology = topology
-        self.routing = routing or UnicastRouting(topology)
+        self.routing = routing or shared_routing(topology)
         self.root = root
         #: node -> parent (toward the root) on the forward SPT.
         self._parent: Dict[NodeId, NodeId] = {}

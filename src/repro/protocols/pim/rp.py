@@ -18,7 +18,7 @@ from typing import Callable, Dict, Hashable, Optional
 
 from repro._rand import SeedLike, make_rng
 from repro.errors import ExperimentError
-from repro.routing.tables import UnicastRouting
+from repro.routing.tables import UnicastRouting, shared_routing
 from repro.topology.model import Topology
 
 NodeId = Hashable
@@ -91,5 +91,5 @@ def select_rp(
         raise ExperimentError(
             f"unknown RP strategy {strategy!r} (known: {known})"
         ) from None
-    routing = routing or UnicastRouting(topology)
+    routing = routing or shared_routing(topology)
     return chooser(topology, routing, seed)

@@ -21,7 +21,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.errors import ProtocolError
 from repro.metrics.distribution import DataDistribution
-from repro.routing.tables import UnicastRouting
+from repro.routing.tables import UnicastRouting, shared_routing
 from repro.topology.model import Topology
 
 NodeId = Hashable
@@ -34,7 +34,7 @@ class ReverseSpt:
                  routing: Optional[UnicastRouting] = None) -> None:
         topology.kind(root)
         self.topology = topology
-        self.routing = routing or UnicastRouting(topology)
+        self.routing = routing or shared_routing(topology)
         self.root = root
         #: node -> upstream neighbor toward the root (RPF parent).
         self._parent: Dict[NodeId, NodeId] = {}

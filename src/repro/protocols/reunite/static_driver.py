@@ -30,7 +30,7 @@ from repro.protocols.reunite.rules import (
     process_tree,
 )
 from repro.protocols.reunite.tables import ReuniteState
-from repro.routing.tables import UnicastRouting
+from repro.routing.tables import UnicastRouting, shared_routing
 from repro.topology.model import NodeKind, Topology
 
 NodeId = Hashable
@@ -50,7 +50,7 @@ class StaticReunite:
     ) -> None:
         topology.kind(source)
         self.topology = topology
-        self.routing = routing or UnicastRouting(topology)
+        self.routing = routing or shared_routing(topology)
         self.source = source
         self.timing = timing
         self.channel = ("reunite", source)

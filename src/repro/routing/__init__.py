@@ -13,7 +13,7 @@ from the path from B to A — the central phenomenon of the paper
 """
 
 from repro.routing.dijkstra import shortest_path_tree, shortest_paths_from
-from repro.routing.tables import RoutingTable, UnicastRouting
+from repro.routing.tables import RoutingTable, UnicastRouting, shared_routing
 from repro.routing.analysis import (
     RouteAsymmetryStats,
     measure_route_asymmetry,
@@ -36,6 +36,7 @@ __all__ = [
     "shortest_paths_from",
     "RoutingTable",
     "UnicastRouting",
+    "shared_routing",
     "RouteAsymmetryStats",
     "measure_route_asymmetry",
     "path_cost",

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, List, Optional, Sequence
 
-from repro.routing.tables import UnicastRouting
+from repro.routing.tables import UnicastRouting, shared_routing
 from repro.topology.model import Topology
 
 NodeId = Hashable
@@ -61,7 +61,7 @@ def measure_route_asymmetry(
     ``max(cost) / min(cost)`` of the two directed path costs (1.0 when
     delays match even if node sequences differ).
     """
-    routing = routing or UnicastRouting(topology)
+    routing = routing or shared_routing(topology)
     nodes = list(nodes) if nodes is not None else topology.nodes
     pairs = 0
     asymmetric = 0

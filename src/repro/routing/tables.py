@@ -138,3 +138,23 @@ class UnicastRouting:
     def invalidate(self) -> None:
         """Drop cached tables (call after mutating link costs)."""
         self._tables.clear()
+
+
+def shared_routing(topology: Topology) -> UnicastRouting:
+    """The memoized :class:`UnicastRouting` for ``topology``.
+
+    Keyed on topology *identity* (the instance, not its contents), so
+    every consumer of one topology draw — the four paired protocols of
+    a Monte-Carlo run, the convergence oracle, the explain CLI — shares
+    one table cache instead of re-running identical Dijkstras.
+    ``Topology.copy()`` produces a fresh instance and therefore a fresh
+    routing view, which is what per-fraction/per-spread cost mutation
+    needs.  Cost mutations on a live topology must still go through
+    ``invalidate()`` — sharing means one call invalidates every holder,
+    which is the correct semantics (costs are topology-level state).
+    """
+    routing = topology.__dict__.get("_shared_routing")
+    if routing is None:
+        routing = UnicastRouting(topology)
+        topology.__dict__["_shared_routing"] = routing
+    return routing

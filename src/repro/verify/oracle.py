@@ -39,7 +39,7 @@ from typing import (
 from repro.metrics.distribution import DataDistribution
 from repro.metrics.stability import paths_from_distribution
 from repro.obs.explain import Explainer
-from repro.routing.tables import UnicastRouting
+from repro.routing.tables import UnicastRouting, shared_routing
 from repro.topology.model import Topology
 from repro.verify.state import SoftStateView
 
@@ -253,7 +253,7 @@ class ConvergenceOracle:
         self.topology = topology
         self.source = source
         self.receivers = list(receivers)
-        self.routing = routing or UnicastRouting(topology)
+        self.routing = routing or shared_routing(topology)
 
     def check_distribution(self, distribution: DataDistribution,
                            view: Optional[SoftStateView] = None,

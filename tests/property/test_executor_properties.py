@@ -1,0 +1,127 @@
+"""Property-based tests of the sweep executor's scheduling contract.
+
+For any mix of already-cached, transiently-failing and pending cells,
+the executor must (a) execute exactly the uncached cells, (b) retry
+exactly the failing ones, and (c) return payloads equal to what an
+all-serial, cache-less run produces — in task order.  This is the
+determinism contract under adversarial cache/failure states, which a
+handful of example-based tests cannot sweep.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec.executor import CellTask, SweepExecutor
+
+CELLS = 12
+
+COMMON = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class DictCache:
+    """In-memory stand-in for RunCache (same get/put surface)."""
+
+    def __init__(self, entries=None):
+        self.entries = dict(entries or {})
+
+    def get(self, key):
+        return self.entries.get(key)
+
+    def put(self, key, payload):
+        self.entries[key] = payload
+
+
+def reference_payload(index):
+    return {"value": index * 10}
+
+
+def make_tasks(executed_log, failing):
+    """Tasks whose cells log executions and fail once if selected."""
+    remaining_failures = {index: 1 for index in failing}
+
+    def make_fn(index):
+        def cell():
+            executed_log.append(index)
+            if remaining_failures.get(index, 0) > 0:
+                remaining_failures[index] -= 1
+                raise RuntimeError(f"transient failure in cell {index}")
+            return reference_payload(index)
+        return cell
+
+    return [
+        CellTask(key=f"cell-{index}", fn=make_fn(index),
+                 describe=f"cell {index}")
+        for index in range(CELLS)
+    ]
+
+
+@COMMON
+@given(
+    cached=st.sets(st.integers(min_value=0, max_value=CELLS - 1)),
+    failing=st.sets(st.integers(min_value=0, max_value=CELLS - 1)),
+)
+def test_exactly_uncached_cells_execute_and_result_matches_serial(
+        cached, failing):
+    cache = DictCache({
+        f"cell-{index}": reference_payload(index) for index in cached
+    })
+    executed_log = []
+    executor = SweepExecutor(jobs=1, cache=cache, retries=1)
+    results = executor.map_cells(make_tasks(executed_log, failing))
+
+    # (a) exactly the uncached cells executed (failing ones twice).
+    expected_executions = sorted(
+        index for index in range(CELLS) if index not in cached
+    )
+    assert sorted(set(executed_log)) == expected_executions
+    for index in expected_executions:
+        expected = 2 if index in failing else 1
+        assert executed_log.count(index) == expected
+
+    # (b) the stats agree with the schedule.
+    assert executor.stats.cache_hits == len(cached)
+    assert executor.stats.executed == CELLS - len(cached)
+    assert executor.stats.retries == len(failing - cached)
+
+    # (c) payloads equal the all-serial reference, in task order.
+    assert results == [reference_payload(index) for index in range(CELLS)]
+
+    # Every executed cell's payload was written back to the cache.
+    assert set(cache.entries) == {f"cell-{i}" for i in range(CELLS)}
+
+
+@COMMON
+@given(
+    journaled=st.sets(st.integers(min_value=0, max_value=CELLS - 1)),
+)
+def test_resume_serves_journaled_cells_without_execution(journaled,
+                                                         tmp_path_factory):
+    from repro.exec.checkpoint import CheckpointJournal
+
+    path = tmp_path_factory.mktemp("journal") / "j.jsonl"
+    journal = CheckpointJournal(path, sweep="prop")
+    journal.start(fresh=True)
+    for index in sorted(journaled):
+        journal.append(f"cell-{index}", reference_payload(index))
+    journal.close()
+
+    executed_log = []
+    executor = SweepExecutor(
+        jobs=1, resume=True,
+        journal=CheckpointJournal(path, sweep="prop"),
+    )
+    results = executor.map_cells(make_tasks(executed_log, failing=set()))
+
+    assert executor.stats.journal_hits == len(journaled)
+    assert sorted(set(executed_log)) == sorted(
+        index for index in range(CELLS) if index not in journaled
+    )
+    assert results == [reference_payload(index) for index in range(CELLS)]
+    # Afterwards the journal holds every cell, ready for the next resume.
+    assert set(CheckpointJournal(path, sweep="prop").load()) == {
+        f"cell-{i}" for i in range(CELLS)
+    }

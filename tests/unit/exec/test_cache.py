@@ -1,0 +1,44 @@
+"""Unit tests for the content-addressed run cache."""
+
+from repro.exec.cache import RunCache
+
+KEY = "ab" + "0" * 62
+PAYLOAD = {"format": 1, "distributions": {"hbh": {}}, "metrics": {}}
+
+
+class TestRunCache:
+    def test_round_trip(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        assert cache.get(KEY) is None
+        assert KEY not in cache
+        cache.put(KEY, PAYLOAD)
+        assert cache.get(KEY) == PAYLOAD
+        assert KEY in cache
+        assert len(cache) == 1
+
+    def test_fan_out_by_key_prefix(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.path_for(KEY).parent.name == "ab"
+        assert cache.path_for(KEY).name == f"{KEY}.json"
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        cache.put(KEY, {"format": 2})
+        assert cache.get(KEY) == {"format": 2}
+        # No stray temp files left behind.
+        assert list(tmp_path.glob("**/*.tmp")) == []
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        cache.path_for(KEY).write_text('{"torn": ')
+        assert cache.get(KEY) is None
+        assert not cache.path_for(KEY).exists()
+
+    def test_non_dict_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.path_for(KEY).parent.mkdir(parents=True)
+        cache.path_for(KEY).write_text("[1, 2]")
+        assert cache.get(KEY) is None
+        assert not cache.path_for(KEY).exists()

@@ -1,0 +1,60 @@
+"""Unit tests for the crash-resilient checkpoint journal."""
+
+from repro.exec.checkpoint import CheckpointJournal
+
+
+def make(tmp_path, sweep="s1"):
+    return CheckpointJournal(tmp_path / "journal.jsonl", sweep=sweep)
+
+
+class TestCheckpointJournal:
+    def test_round_trip(self, tmp_path):
+        journal = make(tmp_path)
+        journal.start(fresh=True)
+        journal.append("k1", {"run": 0})
+        journal.append("k2", {"run": 1})
+        journal.close()
+        assert make(tmp_path).load() == {"k1": {"run": 0},
+                                         "k2": {"run": 1}}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert make(tmp_path).load() == {}
+
+    def test_sweep_mismatch_discards_journal(self, tmp_path):
+        journal = make(tmp_path, sweep="old")
+        journal.start(fresh=True)
+        journal.append("k1", {"run": 0})
+        journal.close()
+        assert make(tmp_path, sweep="new").load() == {}
+
+    def test_torn_tail_keeps_complete_lines(self, tmp_path):
+        journal = make(tmp_path)
+        journal.start(fresh=True)
+        journal.append("k1", {"run": 0})
+        journal.close()
+        with journal.path.open("a") as handle:
+            handle.write('{"key": "k2", "payl')  # died mid-append
+        assert make(tmp_path).load() == {"k1": {"run": 0}}
+
+    def test_fresh_start_truncates(self, tmp_path):
+        journal = make(tmp_path)
+        journal.start(fresh=True)
+        journal.append("k1", {"run": 0})
+        journal.close()
+        journal = make(tmp_path)
+        journal.start(fresh=True)
+        journal.close()
+        assert make(tmp_path).load() == {}
+
+    def test_append_continues_after_resume(self, tmp_path):
+        journal = make(tmp_path)
+        journal.start(fresh=True)
+        journal.append("k1", {"run": 0})
+        journal.close()
+        resumed = make(tmp_path)
+        assert resumed.load() == {"k1": {"run": 0}}
+        resumed.start(fresh=False)
+        resumed.append("k2", {"run": 1})
+        resumed.close()
+        assert make(tmp_path).load() == {"k1": {"run": 0},
+                                         "k2": {"run": 1}}

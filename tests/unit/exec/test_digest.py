@@ -1,0 +1,60 @@
+"""Unit tests for the content-address digests of the run cache."""
+
+import re
+from dataclasses import replace
+
+from repro.exec.digest import cell_digest, code_fingerprint, sweep_digest
+from repro.experiments.config import SweepConfig
+
+CONFIG = SweepConfig(name="small", topology="isp", group_sizes=(2, 4),
+                     runs=3, seed=7)
+
+
+class TestCodeFingerprint:
+    def test_short_hex_and_stable(self):
+        fingerprint = code_fingerprint()
+        assert re.fullmatch(r"[0-9a-f]{16}", fingerprint)
+        assert code_fingerprint() == fingerprint
+
+
+class TestCellDigest:
+    def test_stable_and_hex(self):
+        key = cell_digest(CONFIG, 4, 1)
+        assert re.fullmatch(r"[0-9a-f]{64}", key)
+        assert cell_digest(CONFIG, 4, 1) == key
+
+    def test_distinct_per_cell_coordinate(self):
+        keys = {
+            cell_digest(CONFIG, n, run)
+            for n in (2, 4) for run in (0, 1, 2)
+        }
+        assert len(keys) == 6
+
+    def test_seed_name_and_topology_feed_the_digest(self):
+        base = cell_digest(CONFIG, 4, 1)
+        assert cell_digest(replace(CONFIG, seed=8), 4, 1) != base
+        assert cell_digest(replace(CONFIG, name="other"), 4, 1) != base
+        assert cell_digest(replace(CONFIG, topology="random50"), 4, 1) != base
+
+    def test_run_budget_does_not_invalidate_cells(self):
+        # Growing a 3-run sweep to 500 runs must reuse every cell the
+        # smaller sweep already computed.
+        grown = replace(CONFIG, runs=500, group_sizes=(2, 4, 8))
+        assert cell_digest(grown, 4, 1) == cell_digest(CONFIG, 4, 1)
+
+    def test_fingerprint_invalidates_cells(self):
+        assert (cell_digest(CONFIG, 4, 1, fingerprint="aaaa")
+                != cell_digest(CONFIG, 4, 1, fingerprint="bbbb"))
+
+
+class TestSweepDigest:
+    def test_run_budget_is_part_of_the_sweep_identity(self):
+        # The journal belongs to one exact sweep; a different budget is
+        # a different journal.
+        assert (sweep_digest(replace(CONFIG, runs=500))
+                != sweep_digest(CONFIG))
+        assert (sweep_digest(replace(CONFIG, group_sizes=(2,)))
+                != sweep_digest(CONFIG))
+
+    def test_stable(self):
+        assert sweep_digest(CONFIG) == sweep_digest(CONFIG)
