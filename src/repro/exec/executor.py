@@ -24,10 +24,18 @@ Failures are retried up to ``retries`` times (``KeyboardInterrupt`` and
 ``SystemExit`` excepted — a Ctrl-C must kill the sweep, not retry it);
 exhaustion surfaces a structured :class:`ExecError` naming the exact
 cell so the failure reproduces with a single serial command.
+
+A :class:`~repro.obs.bus.TelemetryBus` (optional) receives live
+per-cell events — workers stream ``cell_started``/``cell_finished``
+over a manager queue, the serial backend publishes the same events
+inline, and cache/journal hits and retries are published by the parent
+— so ``--jobs 1`` and ``--jobs N`` sweeps are observably identical.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -36,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import ReproError
 from repro.exec.cache import RunCache
 from repro.exec.checkpoint import CheckpointJournal
+from repro.obs import bus as bus_mod
 from repro.obs.registry import MetricsRegistry
 
 BACKENDS = ("serial", "process")
@@ -96,17 +105,65 @@ class ExecStats:
     jobs: int = 1
     seconds: float = 0.0
     executed_keys: List[str] = field(default_factory=list)
+    #: Executed cells per worker, keyed by a stable label (``w0``,
+    #: ``w1``, ...) assigned in first-completion order — serial runs
+    #: put everything on ``w0``.
+    per_worker: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of cells served without executing (cache + journal)."""
+        if not self.total:
+            return 0.0
+        return (self.cache_hits + self.journal_hits) / self.total
 
     def describe(self) -> str:
+        workers = " ".join(
+            f"{label}={count}"
+            for label, count in sorted(self.per_worker.items())
+        )
         return (
             f"{self.backend} backend, {self.jobs} worker(s): "
             f"{self.executed} executed, {self.cache_hits} cache hits, "
-            f"{self.journal_hits} resumed, {self.retries} retries"
+            f"{self.journal_hits} resumed, {self.retries} retries; "
+            f"cache-hit ratio {self.hit_ratio:.0%}; "
+            f"cells/worker [{workers or '-'}]"
         )
 
 
 #: ``progress(task, done, total)`` after every completed cell.
 ExecProgress = Callable[[CellTask, int, int], None]
+
+
+def invoke_cell(fn, args, key: str, describe: str, queue=None):
+    """Worker-side cell wrapper: stream telemetry, tag the worker pid.
+
+    Runs in the worker process.  When the sweep has a telemetry bus,
+    ``queue`` is a manager queue back to the parent — ``cell_started``
+    goes out before the cell runs (so the live view sees in-flight
+    work, not just completions) and ``cell_finished`` after, carrying
+    the wall clock and the cell's metrics snapshot for the merged
+    in-flight registry.  Returns ``(pid, payload)`` so the parent can
+    attribute the cell to a worker even without a bus.
+    """
+    pid = os.getpid()
+    if queue is not None:
+        try:
+            queue.put(bus_mod.cell_started(key, describe, pid=pid))
+        except (EOFError, OSError):  # manager gone; run silently
+            queue = None
+    started = time.perf_counter()
+    payload = fn(*args)
+    if queue is not None:
+        metrics = payload.get("metrics") if isinstance(payload, dict) else None
+        try:
+            queue.put(bus_mod.cell_finished(
+                key, describe, seconds=time.perf_counter() - started,
+                metrics=metrics, pid=pid,
+            ))
+        except (EOFError, OSError):
+            pass
+    return pid, payload
 
 
 class SweepExecutor:
@@ -123,6 +180,7 @@ class SweepExecutor:
         metrics: Optional[MetricsRegistry] = None,
         progress: Optional[ExecProgress] = None,
         validate: Optional[Callable[[dict], bool]] = None,
+        bus: Optional[bus_mod.TelemetryBus] = None,
     ) -> None:
         if jobs < 1:
             raise ExecError(f"jobs must be >= 1, got {jobs}")
@@ -139,20 +197,22 @@ class SweepExecutor:
         self.metrics = metrics
         self.progress = progress
         self.validate = validate
+        self.bus = bus
         self.stats = ExecStats()
+        self._worker_labels: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def map_cells(self, tasks: List[CellTask]) -> List[dict]:
         """Run every task and return payloads in **task order**."""
-        import time
-
         started = time.monotonic()
         self.stats = ExecStats(total=len(tasks), backend=self.backend,
                                jobs=self.jobs)
+        self._worker_labels = {}
         if self.metrics is not None:
             self.metrics.set_gauge("exec.workers", self.jobs)
+        self._publish({"type": "sweep_started", "total": len(tasks)})
         results: List[Optional[dict]] = [None] * len(tasks)
         resumed = self.journal.load() if (self.journal and self.resume) else {}
         if self.journal is not None:
@@ -171,8 +231,24 @@ class SweepExecutor:
             if self.journal is not None:
                 self.journal.close()
             self.stats.seconds = time.monotonic() - started
+            self._publish({"type": "sweep_finished", "total": len(tasks)})
         assert all(payload is not None for payload in results)
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _publish(self, event: bus_mod.Event) -> None:
+        if self.bus is not None:
+            self.bus.publish(event)
+
+    def _worker_label(self, pid: int) -> str:
+        """Stable per-sweep worker label (w0, w1, ...) for a pid."""
+        label = self._worker_labels.get(pid)
+        if label is None:
+            label = f"w{len(self._worker_labels)}"
+            self._worker_labels[pid] = label
+        return label
 
     # ------------------------------------------------------------------
     # Resolution against journal + cache
@@ -193,8 +269,10 @@ class SweepExecutor:
             if self._usable(payload):
                 # Already in the journal from the interrupted run — do
                 # not re-append.
+                assert payload is not None
                 results[index] = payload
                 self.stats.journal_hits += 1
+                self._publish_cached(task, payload, "journal")
                 served += 1
                 self._notify(task, served, len(tasks))
                 continue
@@ -209,6 +287,7 @@ class SweepExecutor:
                         self.metrics.inc("exec.cache.hit")
                     if self.journal is not None:
                         self.journal.append(task.key, payload)
+                    self._publish_cached(task, payload, "cache")
                     served += 1
                     self._notify(task, served, len(tasks))
                     continue
@@ -218,12 +297,26 @@ class SweepExecutor:
             pending.append((index, task))
         return pending
 
+    def _publish_cached(self, task: CellTask, payload: dict,
+                        source: str) -> None:
+        if self.bus is None:
+            return
+        self._publish({
+            "type": "cell_cached", "key": task.key,
+            "describe": task.describe, "source": source,
+            "metrics": payload.get("metrics"),
+        })
+
     # ------------------------------------------------------------------
     # Completion bookkeeping (shared by both backends)
     # ------------------------------------------------------------------
     def _complete(self, index: int, task: CellTask, payload: dict,
                   results: List[Optional[dict]], done: int,
-                  total: int) -> int:
+                  total: int, pid: Optional[int] = None) -> int:
+        label = self._worker_label(pid if pid is not None else os.getpid())
+        self.stats.per_worker[label] = (
+            self.stats.per_worker.get(label, 0) + 1
+        )
         results[index] = payload
         self.stats.executed += 1
         self.stats.executed_keys.append(task.key)
@@ -255,6 +348,10 @@ class SweepExecutor:
         self.stats.retries += 1
         if self.metrics is not None:
             self.metrics.inc("exec.retries")
+        self._publish({
+            "type": "cell_retried", "key": task.key,
+            "describe": task.describe, "attempts": attempts,
+        })
 
     # ------------------------------------------------------------------
     # Backends
@@ -262,10 +359,14 @@ class SweepExecutor:
     def _run_serial(self, pending: List[Tuple[int, CellTask]],
                     results: List[Optional[dict]], done: int,
                     total: int) -> int:
+        pid = os.getpid()
         for index, task in pending:
             attempts = 0
             while True:
                 attempts += 1
+                self._publish(bus_mod.cell_started(task.key, task.describe,
+                                                   pid=pid))
+                started = time.perf_counter()
                 try:
                     payload = task.run_local()
                     break
@@ -273,62 +374,95 @@ class SweepExecutor:
                     raise
                 except Exception as exc:
                     self._retry_or_raise(task, attempts, exc)
-            done = self._complete(index, task, payload, results, done, total)
+            if self.bus is not None:
+                self._publish(bus_mod.cell_finished(
+                    task.key, task.describe,
+                    seconds=time.perf_counter() - started,
+                    metrics=(payload.get("metrics")
+                             if isinstance(payload, dict) else None),
+                    pid=pid,
+                ))
+            done = self._complete(index, task, payload, results, done,
+                                  total, pid=pid)
         return done
 
     def _run_process(self, pending: List[Tuple[int, CellTask]],
                      results: List[Optional[dict]], done: int,
                      total: int) -> int:
+        if not pending:
+            return done
         todo = list(pending)
         attempts: Dict[int, int] = {index: 0 for index, _ in pending}
-        while todo:
-            pool = ProcessPoolExecutor(max_workers=self.jobs)
-            try:
-                futures = {
-                    pool.submit(task.fn, *task.args): (index, task)
-                    for index, task in todo
-                }
-                todo = []
-                outstanding = set(futures)
-                broken = False
-                while outstanding:
-                    finished, outstanding = wait(
-                        outstanding, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        index, task = futures[future]
-                        try:
-                            payload = future.result()
-                        except (KeyboardInterrupt, SystemExit):
-                            raise
-                        except BrokenProcessPool as exc:
-                            # The pool died under this cell (worker
-                            # killed).  Charge one attempt and rebuild
-                            # the pool for whatever is left.
-                            broken = True
-                            attempts[index] += 1
-                            self._retry_or_raise(task, attempts[index], exc)
-                            todo.append((index, task))
-                            continue
-                        except Exception as exc:
-                            attempts[index] += 1
-                            self._retry_or_raise(task, attempts[index], exc)
-                            todo.append((index, task))
-                            continue
-                        done = self._complete(index, task, payload,
-                                              results, done, total)
-                    if broken:
-                        # Remaining futures of a broken pool never
-                        # complete normally; drain them as retries too.
-                        for future in outstanding:
+        # Worker-side telemetry: a manager queue the cells stream
+        # started/finished events over, drained into the bus by a
+        # parent-side listener thread.  Only paid for when a bus is
+        # attached — the plain path submits with queue=None.
+        manager = queue = listener = None
+        if self.bus is not None:
+            import multiprocessing
+
+            manager = multiprocessing.Manager()
+            queue = manager.Queue()
+            listener = bus_mod.QueueListener(queue, self.bus).start()
+        try:
+            while todo:
+                pool = ProcessPoolExecutor(max_workers=self.jobs)
+                try:
+                    futures = {
+                        pool.submit(invoke_cell, task.fn, task.args,
+                                    task.key, task.describe, queue):
+                        (index, task)
+                        for index, task in todo
+                    }
+                    todo = []
+                    outstanding = set(futures)
+                    broken = False
+                    while outstanding:
+                        finished, outstanding = wait(
+                            outstanding, return_when=FIRST_COMPLETED
+                        )
+                        for future in finished:
                             index, task = futures[future]
-                            attempts[index] += 1
-                            self._retry_or_raise(
-                                task, attempts[index],
-                                BrokenProcessPool("process pool broke"),
-                            )
-                            todo.append((index, task))
-                        outstanding = set()
-            finally:
-                pool.shutdown(wait=False, cancel_futures=True)
+                            try:
+                                pid, payload = future.result()
+                            except (KeyboardInterrupt, SystemExit):
+                                raise
+                            except BrokenProcessPool as exc:
+                                # The pool died under this cell (worker
+                                # killed).  Charge one attempt and rebuild
+                                # the pool for whatever is left.
+                                broken = True
+                                attempts[index] += 1
+                                self._retry_or_raise(task, attempts[index],
+                                                     exc)
+                                todo.append((index, task))
+                                continue
+                            except Exception as exc:
+                                attempts[index] += 1
+                                self._retry_or_raise(task, attempts[index],
+                                                     exc)
+                                todo.append((index, task))
+                                continue
+                            done = self._complete(index, task, payload,
+                                                  results, done, total,
+                                                  pid=pid)
+                        if broken:
+                            # Remaining futures of a broken pool never
+                            # complete normally; drain them as retries too.
+                            for future in outstanding:
+                                index, task = futures[future]
+                                attempts[index] += 1
+                                self._retry_or_raise(
+                                    task, attempts[index],
+                                    BrokenProcessPool("process pool broke"),
+                                )
+                                todo.append((index, task))
+                            outstanding = set()
+                finally:
+                    pool.shutdown(wait=False, cancel_futures=True)
+        finally:
+            if listener is not None:
+                listener.stop()
+            if manager is not None:
+                manager.shutdown()
         return done

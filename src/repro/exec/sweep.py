@@ -77,6 +77,7 @@ def run_sweep(
     resume: bool = False,
     retries: int = 2,
     backend: Optional[str] = None,
+    bus=None,
 ):
     """Run one figure's sweep through the execution engine.
 
@@ -85,8 +86,11 @@ def run_sweep(
     content-addressed run cache and the checkpoint journal (stored
     under ``<cache_dir>/journal/<sweep digest>.jsonl``); ``resume``
     replays that journal instead of starting fresh and therefore
-    requires ``cache_dir``.  Everything else — ``progress``,
-    ``metrics``, ``tracer`` — keeps the serial harness's contract.
+    requires ``cache_dir``.  ``bus`` (a
+    :class:`~repro.obs.bus.TelemetryBus`) receives live per-cell
+    telemetry from whichever backend runs.  Everything else —
+    ``progress``, ``metrics``, ``tracer`` — keeps the serial harness's
+    contract.
     """
     from repro.experiments.harness import SweepPoint, SweepResult
 
@@ -128,6 +132,7 @@ def run_sweep(
         metrics=metrics,
         progress=exec_progress,
         validate=lambda payload: payload_is_valid(payload, config.protocols),
+        bus=bus,
     )
     payloads = executor.map_cells(tasks)
 

@@ -7,7 +7,9 @@ Examples::
     python -m repro.experiments all --runs 100
     python -m repro.experiments claims --runs 100
     python -m repro.experiments report --profile --runs 3
-    python -m repro.experiments baseline --out BENCH_baseline.json
+    python -m repro.experiments report --jobs 4 --live --metrics-port 9100
+    python -m repro.experiments baseline --out BENCH_registry.json
+    python -m repro.experiments bench --check BENCH_baseline.json
 """
 
 from __future__ import annotations
@@ -63,7 +65,8 @@ def _report(result: SweepResult, figure: str, csv_path: str = "") -> None:
         print(f"wrote {csv_path}")
 
 
-def _run_ablations(runs: int, tracer=None, jobs: int = 1) -> int:
+def _run_ablations(runs: int, tracer=None, jobs: int = 1,
+                   bus=None) -> int:
     from repro.experiments.ablations import (
         asymmetry_sweep,
         connectivity_sweep,
@@ -73,27 +76,29 @@ def _run_ablations(runs: int, tracer=None, jobs: int = 1) -> int:
 
     print(f"== abl-asym: cost spread vs HBH/REUNITE ({runs} runs) ==")
     print(f"{'spread':>8} {'protocol':>9} {'copies':>8} {'delay':>8}")
-    for point in asymmetry_sweep(runs=runs, tracer=tracer, jobs=jobs):
+    for point in asymmetry_sweep(runs=runs, tracer=tracer, jobs=jobs,
+                                 bus=bus):
         print(f"{point.parameter:>8.2f} {point.protocol:>9} "
               f"{point.mean_cost_copies:>8.2f} {point.mean_delay:>8.2f}")
 
     print(f"\n== abl-unicast: unicast-only fraction vs HBH ({runs} runs) ==")
     print(f"{'fraction':>8} {'copies':>8} {'delay':>8}")
-    for point in unicast_cloud_sweep(runs=runs, tracer=tracer, jobs=jobs):
+    for point in unicast_cloud_sweep(runs=runs, tracer=tracer, jobs=jobs,
+                                     bus=bus):
         print(f"{point.parameter:>8.2f} {point.mean_cost_copies:>8.2f} "
               f"{point.mean_delay:>8.2f}")
 
     print(f"\n== abl-rp: PIM-SM RP placement ({runs} runs) ==")
     print(f"{'strategy':>14} {'copies':>8} {'delay':>8}")
     for strategy, (cost, delay) in rp_placement_sweep(
-            runs=runs, tracer=tracer, jobs=jobs).items():
+            runs=runs, tracer=tracer, jobs=jobs, bus=bus).items():
         print(f"{strategy:>14} {cost:>8.2f} {delay:>8.2f}")
 
     print(f"\n== abl-conn: Waxman density vs HBH/REUNITE "
           f"({max(4, runs // 2)} runs) ==")
     print(f"{'alpha':>8} {'protocol':>9} {'copies':>8} {'delay':>8}")
     for point in connectivity_sweep(runs=max(4, runs // 2), tracer=tracer,
-                                    jobs=jobs):
+                                    jobs=jobs, bus=bus):
         print(f"{point.parameter:>8.2f} {point.protocol:>9} "
               f"{point.mean_cost_copies:>8.2f} {point.mean_delay:>8.2f}")
     return 0
@@ -101,7 +106,7 @@ def _run_ablations(runs: int, tracer=None, jobs: int = 1) -> int:
 
 def _run_report(figure: str, runs: int, profile: bool,
                 quiet: bool, tracer=None, jobs: int = 1,
-                cache_dir=None, resume: bool = False) -> int:
+                cache_dir=None, resume: bool = False, bus=None) -> int:
     """A fig7-style observability run: per-channel metric summary plus
     (optionally) the wall-clock timer tree."""
     from repro.experiments.figures import figure_config
@@ -115,7 +120,7 @@ def _run_report(figure: str, runs: int, profile: bool,
         registry = MetricsRegistry()
         result = run_sweep(config, progress=_progress_printer(quiet),
                            metrics=registry, tracer=tracer, jobs=jobs,
-                           cache_dir=cache_dir, resume=resume)
+                           cache_dir=cache_dir, resume=resume, bus=bus)
     finally:
         if profile:
             PROFILER.disable()
@@ -157,9 +162,10 @@ def _measure_engine_throughput(registry: MetricsRegistry,
 
 def _run_baseline(out: str, runs: int, quiet: bool, tracer=None,
                   jobs: int = 1, cache_dir=None,
-                  resume: bool = False) -> int:
-    """Persist a perf/metric baseline from the obs registry: tree cost,
-    join latency and engine throughput (diffed across PRs in CI)."""
+                  resume: bool = False, bus=None) -> int:
+    """Persist a registry snapshot baseline: tree cost, join latency
+    and engine throughput dumped from the obs registry.  (The perf
+    regression gate is the separate ``bench`` target.)"""
     import json
     import platform
 
@@ -170,7 +176,7 @@ def _run_baseline(out: str, runs: int, quiet: bool, tracer=None,
     config = figure_config("fig7a", runs=runs)
     result = run_sweep(config, progress=_progress_printer(quiet),
                        metrics=registry, tracer=tracer, jobs=jobs,
-                       cache_dir=cache_dir, resume=resume)
+                       cache_dir=cache_dir, resume=resume, bus=bus)
     _exec_summary(result)
     events_per_sec = _measure_engine_throughput(registry)
     channels = {
@@ -212,13 +218,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "target",
         choices=sorted(FIGURE_METRICS) + ["all", "claims", "ablations",
-                                          "report", "baseline", "faults",
-                                          "explain"],
+                                          "report", "baseline", "bench",
+                                          "faults", "explain"],
         help="figure to regenerate, 'all' for every figure, 'claims' to "
              "check the paper's quantitative claims, 'ablations' for "
              "the asymmetry/unicast-cloud/RP/connectivity sweeps, "
              "'report' for an observability summary (add --profile for "
-             "the timer tree), 'baseline' to persist BENCH numbers, "
+             "the timer tree), 'baseline' to persist a registry "
+             "snapshot, 'bench' to run the timed benchmark suite and "
+             "(with --check) gate against a committed baseline, "
              "'faults' to replay a named fault scenario and report "
              "recovery time + repair loss, or 'explain' to render the "
              "causal chains behind a scenario's tree (see --query)",
@@ -255,8 +263,36 @@ def main(argv: Optional[List[str]] = None) -> int:
              "(default fig7a)",
     )
     parser.add_argument(
-        "--out", default="BENCH_baseline.json",
-        help="with 'baseline': output path (default BENCH_baseline.json)",
+        "--out", default="",
+        help="with 'baseline'/'bench': output path (baseline defaults "
+             "to BENCH_registry.json, bench to BENCH_<git rev>.json)",
+    )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="stream live per-cell progress to stderr (done/total, ETA, "
+             "cache-hit rate, in-flight cells) while a sweep runs",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve the in-flight merged metrics registry as OpenMetrics "
+             "text at http://127.0.0.1:PORT/metrics while the sweep "
+             "runs (0 picks an ephemeral port, printed to stderr)",
+    )
+    parser.add_argument(
+        "--check", default="", metavar="BASELINE",
+        help="with 'bench': compare against this committed baseline "
+             "JSON and exit nonzero on regression (p50 beyond the "
+             "per-benchmark tolerance, or protocol metric drift)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="with 'bench': timed iterations per micro-benchmark "
+             "(default 30)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="with 'bench --check': override the default 20%% "
+             "normalized-p50 regression budget",
     )
     parser.add_argument(
         "--protocols", default="",
@@ -309,9 +345,31 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         tracer = CausalTracer(maxlen=65536)
         flight = FlightRecorder()
+
+    bus = server = None
+    if args.live or args.metrics_port is not None:
+        from repro.obs.bus import LiveProgressView, TelemetryBus
+
+        bus = TelemetryBus()
+        if args.live:
+            LiveProgressView(stream=sys.stderr).attach(bus)
+        if args.metrics_port is not None:
+            from repro.obs.export import (
+                render_openmetrics,
+                start_metrics_server,
+            )
+
+            server = start_metrics_server(
+                lambda: bus.with_registry(render_openmetrics),
+                port=args.metrics_port,
+            )
+            print(f"metrics: http://127.0.0.1:{server.port}/metrics",
+                  file=sys.stderr)
     try:
-        return _dispatch(args, tracer, flight)
+        return _dispatch(args, tracer, flight, bus)
     finally:
+        if server is not None:
+            server.close()
         if tracer is not None and args.trace_out:
             count = tracer.to_jsonl(args.trace_out)
             print(f"wrote {count} spans to {args.trace_out}",
@@ -322,9 +380,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
 
 
-def _dispatch(args, tracer, flight) -> int:
+def _dispatch(args, tracer, flight, bus=None) -> int:
     progress = _progress_printer(args.quiet)
     cache_dir = args.cache_dir or None
+    if args.target == "bench":
+        from repro.obs.bench import run_bench
+
+        return run_bench(
+            out=args.out or None,
+            check=args.check or None,
+            iterations=args.iterations,
+            tolerance=args.tolerance,
+            quiet=args.quiet,
+        )
     if args.target == "explain":
         from repro.experiments.explain import run_explain
 
@@ -360,14 +428,17 @@ def _dispatch(args, tracer, flight) -> int:
     if args.target == "report":
         return _run_report(args.figure, args.runs or 3, args.profile,
                            args.quiet, tracer=tracer, jobs=args.jobs,
-                           cache_dir=cache_dir, resume=args.resume)
+                           cache_dir=cache_dir, resume=args.resume,
+                           bus=bus)
     if args.target == "baseline":
-        return _run_baseline(args.out, args.runs or 3, args.quiet,
+        return _run_baseline(args.out or "BENCH_registry.json",
+                             args.runs or 3, args.quiet,
                              tracer=tracer, jobs=args.jobs,
-                             cache_dir=cache_dir, resume=args.resume)
+                             cache_dir=cache_dir, resume=args.resume,
+                             bus=bus)
     if args.target == "ablations":
         return _run_ablations(args.runs or 50, tracer=tracer,
-                              jobs=args.jobs)
+                              jobs=args.jobs, bus=bus)
     if args.target in FIGURE_METRICS:
         from dataclasses import replace
 
@@ -387,7 +458,7 @@ def _dispatch(args, tracer, flight) -> int:
                 )
             result = run_sweep(config, progress=progress, tracer=tracer,
                                jobs=args.jobs, cache_dir=cache_dir,
-                               resume=args.resume)
+                               resume=args.resume, bus=bus)
             _exec_summary(result)
         if args.save:
             # Canonical form: archives diff clean across --jobs values.
@@ -402,7 +473,7 @@ def _dispatch(args, tracer, flight) -> int:
     print("== running sweeps for fig7a/fig7b ==", file=sys.stderr)
     results: Dict[str, SweepResult] = run_claim_sweeps(
         runs=args.runs, progress=progress, tracer=tracer, jobs=args.jobs,
-        cache_dir=cache_dir, resume=args.resume,
+        cache_dir=cache_dir, resume=args.resume, bus=bus,
     )
     for figure in ("fig7a", "fig7b"):
         _exec_summary(results[figure])

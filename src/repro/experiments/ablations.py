@@ -75,7 +75,7 @@ def _measure(protocol_name: str, topology, source, receivers,
 
 
 def _map_cells(fn: Callable[..., dict], cells: List[Tuple],
-               jobs: int = 1, tracer=None) -> List[dict]:
+               jobs: int = 1, tracer=None, bus=None) -> List[dict]:
     """Run ablation cells through the execution engine, in cell order.
 
     Each entry in ``cells`` is the argument tuple of the module-level
@@ -98,7 +98,7 @@ def _map_cells(fn: Callable[..., dict], cells: List[Tuple],
             in_process=traced,
             local_fn=partial(fn, *args, tracer=tracer) if traced else None,
         ))
-    return SweepExecutor(jobs=jobs).map_cells(tasks)
+    return SweepExecutor(jobs=jobs, bus=bus).map_cells(tasks)
 
 
 def _asym_cell(spread: float, group_size: int, protocols: Tuple[str, ...],
@@ -129,6 +129,7 @@ def asymmetry_sweep(
     protocols: Sequence[str] = ("reunite", "hbh"),
     tracer=None,
     jobs: int = 1,
+    bus=None,
 ) -> List[AblationPoint]:
     """HBH vs REUNITE as routing asymmetry scales from none to full.
 
@@ -137,7 +138,8 @@ def asymmetry_sweep(
     protocols = tuple(protocols)
     cells = [(spread, group_size, protocols, run)
              for spread in spreads for run in range(runs)]
-    payloads = _map_cells(_asym_cell, cells, jobs=jobs, tracer=tracer)
+    payloads = _map_cells(_asym_cell, cells, jobs=jobs, tracer=tracer,
+                          bus=bus)
     points: List[AblationPoint] = []
     index = 0
     for spread in spreads:
@@ -184,6 +186,7 @@ def unicast_cloud_sweep(
     runs: int = 50,
     tracer=None,
     jobs: int = 1,
+    bus=None,
 ) -> List[AblationPoint]:
     """HBH tree cost as routers turn unicast-only (deployment story).
 
@@ -196,7 +199,8 @@ def unicast_cloud_sweep(
     """
     fractions = tuple(fractions)
     cells = [(fractions, group_size, run) for run in range(runs)]
-    payloads = _map_cells(_unicast_cell, cells, jobs=jobs, tracer=tracer)
+    payloads = _map_cells(_unicast_cell, cells, jobs=jobs, tracer=tracer,
+                          bus=bus)
     points: List[AblationPoint] = []
     sums = {fraction: [0.0, 0.0] for fraction in fractions}
     for payload in payloads:
@@ -232,11 +236,13 @@ def rp_placement_sweep(
     runs: int = 50,
     tracer=None,
     jobs: int = 1,
+    bus=None,
 ) -> Dict[str, Tuple[float, float]]:
     """PIM-SM (cost, delay) under each RP placement strategy."""
     cells = [(strategy, group_size, run)
              for strategy in strategies for run in range(runs)]
-    payloads = _map_cells(_rp_cell, cells, jobs=jobs, tracer=tracer)
+    payloads = _map_cells(_rp_cell, cells, jobs=jobs, tracer=tracer,
+                          bus=bus)
     results: Dict[str, Tuple[float, float]] = {}
     index = 0
     for strategy in strategies:
@@ -365,6 +371,7 @@ def connectivity_sweep(
     runs: int = 30,
     tracer=None,
     jobs: int = 1,
+    bus=None,
 ) -> List[AblationPoint]:
     """HBH-vs-REUNITE delay advantage as Waxman density grows.
 
@@ -373,7 +380,8 @@ def connectivity_sweep(
     """
     cells = [(alpha, num_nodes, group_size, run)
              for alpha in alphas for run in range(runs)]
-    payloads = _map_cells(_conn_cell, cells, jobs=jobs, tracer=tracer)
+    payloads = _map_cells(_conn_cell, cells, jobs=jobs, tracer=tracer,
+                          bus=bus)
     points: List[AblationPoint] = []
     index = 0
     for alpha in alphas:

@@ -174,8 +174,8 @@ def check_random50_claims(cost_result: SweepResult,
 
 
 def run_claim_sweeps(runs=None, progress=None, tracer=None, *,
-                     jobs: int = 1, cache_dir=None, resume: bool = False
-                     ) -> Dict[str, SweepResult]:
+                     jobs: int = 1, cache_dir=None, resume: bool = False,
+                     bus=None) -> Dict[str, SweepResult]:
     """Run every sweep the claims need, through the execution engine.
 
     Figs. 7 and 8 come from the same trees, so only the fig7a/fig7b
@@ -191,7 +191,8 @@ def run_claim_sweeps(runs=None, progress=None, tracer=None, *,
     for figure in ("fig7a", "fig7b"):
         results[figure] = run_figure(figure, runs=runs, progress=progress,
                                      tracer=tracer, jobs=jobs,
-                                     cache_dir=cache_dir, resume=resume)
+                                     cache_dir=cache_dir, resume=resume,
+                                     bus=bus)
     results["fig8a"] = results["fig7a"]
     results["fig8b"] = results["fig7b"]
     return results

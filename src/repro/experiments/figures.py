@@ -41,15 +41,15 @@ def figure_config(figure: str, runs: Optional[int] = None) -> SweepConfig:
 def run_figure(figure: str, runs: Optional[int] = None,
                progress: Optional[ProgressHook] = None,
                tracer=None, *, jobs: int = 1, cache_dir=None,
-               resume: bool = False) -> SweepResult:
+               resume: bool = False, bus=None) -> SweepResult:
     """Run the sweep that regenerates ``figure``.
 
     ``runs`` overrides the paper's 500 runs per point (which take a
     while); the shape is stable from ~100 runs.  ``tracer`` records
     causal spans for run 0 of each group size.  ``jobs``,
-    ``cache_dir`` and ``resume`` are forwarded to the execution engine
-    (see :func:`repro.experiments.harness.run_sweep`).
+    ``cache_dir``, ``resume`` and ``bus`` are forwarded to the
+    execution engine (see :func:`repro.experiments.harness.run_sweep`).
     """
     return run_sweep(figure_config(figure, runs), progress=progress,
                      tracer=tracer, jobs=jobs, cache_dir=cache_dir,
-                     resume=resume)
+                     resume=resume, bus=bus)

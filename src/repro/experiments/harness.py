@@ -175,7 +175,8 @@ def run_sweep(config: SweepConfig,
               cache_dir=None,
               resume: bool = False,
               retries: int = 2,
-              backend: Optional[str] = None) -> SweepResult:
+              backend: Optional[str] = None,
+              bus=None) -> SweepResult:
     """Run the full sweep for one figure.
 
     ``progress(group_size, protocol, run_index, total_runs)`` is called
@@ -192,12 +193,14 @@ def run_sweep(config: SweepConfig,
     sweep's journal.  The defaults (serial, uncached) reproduce the
     classic in-process sweep exactly — by construction the executor
     merges payloads in run order, so any backend yields byte-identical
-    results.
+    results.  ``bus`` (a :class:`~repro.obs.bus.TelemetryBus`) streams
+    live per-cell telemetry — the CLI's ``--live`` progress view and
+    ``--metrics-port`` scrape endpoint both hang off it.
     """
     from repro.exec.sweep import run_sweep as _run_sweep
 
     return _run_sweep(
         config, progress=progress, metrics=metrics, tracer=tracer,
         jobs=jobs, cache_dir=cache_dir, resume=resume, retries=retries,
-        backend=backend,
+        backend=backend, bus=bus,
     )

@@ -25,12 +25,23 @@ so that all protocols are measured by the same instruments:
 - :mod:`repro.obs.explain` — the explain engine: walk the span DAG
   backwards from a table entry or oracle violation and render the
   human-readable causal chain.
+- :mod:`repro.obs.bus` — the live sweep telemetry bus: workers stream
+  per-cell progress events (started/finished/cached/retried, registry
+  snapshots) to the parent, which renders live progress and keeps an
+  in-flight merged registry.
+- :mod:`repro.obs.export` — OpenMetrics text exposition for any
+  registry, plus the stdlib ``/metrics`` scrape endpoint behind the
+  CLI's ``--metrics-port``.
+- :mod:`repro.obs.bench` — the timed benchmark suite and persisted
+  ``BENCH_<rev>.json`` baselines with the regression gate behind
+  ``python -m repro.experiments bench --check``.
 
 The package sits below every other layer (it imports nothing from the
 rest of :mod:`repro` at module load), so any module can instrument
 itself without creating import cycles.
 """
 
+from repro.obs.bus import LiveProgressView, QueueListener, TelemetryBus
 from repro.obs.causal import (
     CausalTracer,
     Effect,
@@ -40,6 +51,11 @@ from repro.obs.causal import (
     span_from_dict,
 )
 from repro.obs.explain import Explainer, Explanation
+from repro.obs.export import (
+    OPENMETRICS_CONTENT_TYPE,
+    render_openmetrics,
+    start_metrics_server,
+)
 from repro.obs.flight import FlightEntry, FlightRecorder
 from repro.obs.profiling import PROFILER, Profiler, SpanStats, profiled
 from repro.obs.registry import (
@@ -57,6 +73,12 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "LiveProgressView",
+    "QueueListener",
+    "TelemetryBus",
+    "OPENMETRICS_CONTENT_TYPE",
+    "render_openmetrics",
+    "start_metrics_server",
     "CausalTracer",
     "Effect",
     "Explainer",

@@ -1,0 +1,331 @@
+"""The sweep telemetry bus: live per-cell progress events.
+
+Long ``--jobs N`` sweeps used to be a black box until completion; this
+module gives them the feedback loop real systems get from streaming
+telemetry.  Worker processes put small event dicts on a
+``multiprocessing`` queue as cells start and finish; the parent drains
+that queue (:class:`QueueListener`) into a :class:`TelemetryBus`, which
+keeps the running tallies (done/total, cache hits, retries, per-worker
+cell counts), a **merged in-flight registry** (every finished cell's
+metrics snapshot folded in as it lands — what the ``--metrics-port``
+endpoint serves mid-sweep) and a rolling completion rate for ETA.
+The serial backend publishes the *same* events directly, so ``--jobs
+1`` and ``--jobs N`` are observably identical: same event types, same
+final counts, different interleaving only.
+
+Event schema (plain JSON-compatible dicts; every event has ``type``):
+
+- ``sweep_started``   — ``total`` (cells in the sweep)
+- ``cell_started``    — ``key``, ``describe``, ``pid``
+- ``cell_finished``   — ``key``, ``describe``, ``pid``, ``seconds``,
+  ``metrics`` (the cell's :class:`MetricsRegistry` snapshot, may be None)
+- ``cell_cached``     — ``key``, ``describe``, ``source`` (``cache`` or
+  ``journal``), ``metrics``
+- ``cell_retried``    — ``key``, ``describe``, ``attempts``
+- ``sweep_finished``  — ``total``
+
+Subscribers (:class:`LiveProgressView`, tests, exporters) are called
+synchronously under the bus lock — keep them fast.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, TextIO, Tuple, TypeVar
+
+from repro.obs.registry import MetricsRegistry
+
+Event = Dict[str, object]
+Subscriber = Callable[[Event], None]
+T = TypeVar("T")
+
+#: Every event type the bus understands (anything else raises).
+EVENT_TYPES = (
+    "sweep_started",
+    "cell_started",
+    "cell_finished",
+    "cell_cached",
+    "cell_retried",
+    "sweep_finished",
+)
+
+#: Completions kept in the rolling-rate window behind the ETA.
+RATE_WINDOW = 32
+
+
+def cell_started(key: str, describe: str = "",
+                 pid: Optional[int] = None) -> Event:
+    """Build a ``cell_started`` event (worker side helper)."""
+    return {"type": "cell_started", "key": key, "describe": describe,
+            "pid": os.getpid() if pid is None else pid}
+
+
+def cell_finished(key: str, describe: str = "", seconds: float = 0.0,
+                  metrics: Optional[dict] = None,
+                  pid: Optional[int] = None) -> Event:
+    """Build a ``cell_finished`` event (worker side helper)."""
+    return {"type": "cell_finished", "key": key, "describe": describe,
+            "seconds": seconds, "metrics": metrics,
+            "pid": os.getpid() if pid is None else pid}
+
+
+class TelemetryBus:
+    """Aggregate sweep telemetry events into live, queryable state.
+
+    Thread-safe: the parent's queue-drain thread, the serial execution
+    path and the ``--metrics-port`` HTTP handler may all touch the bus
+    concurrently.  ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._lock = threading.RLock()
+        self._clock = clock
+        self._subscribers: List[Subscriber] = []
+        #: Merged in-flight registry: every finished/cached cell's
+        #: metrics snapshot folded in as it lands.
+        self.registry = MetricsRegistry()
+        self.total = 0
+        self.started = 0
+        self.finished = 0
+        self.cached = 0
+        self.journal = 0
+        self.retries = 0
+        self.in_flight: Dict[str, str] = {}
+        #: Cells finished per worker, keyed by stable label (w0, w1, ...)
+        #: in first-seen pid order.
+        self.per_worker: Dict[str, int] = {}
+        self._worker_labels: Dict[int, str] = {}
+        self._rate: Deque[Tuple[float, int]] = deque(maxlen=RATE_WINDOW)
+        self.events_seen = 0
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Register a callback invoked (under the bus lock) per event."""
+        with self._lock:
+            self._subscribers.append(subscriber)
+
+    def publish(self, event: Event) -> None:
+        """Fold one event into the bus state and fan out to subscribers."""
+        kind = event.get("type")
+        if kind not in EVENT_TYPES:
+            raise ValueError(f"unknown telemetry event type {kind!r}")
+        with self._lock:
+            self.events_seen += 1
+            getattr(self, f"_on_{kind}")(event)
+            for subscriber in self._subscribers:
+                subscriber(event)
+
+    # ------------------------------------------------------------------
+    # Event folding
+    # ------------------------------------------------------------------
+    def _on_sweep_started(self, event: Event) -> None:
+        self.total = int(event.get("total", 0))  # type: ignore[arg-type]
+        self._rate.append((self._clock(), 0))
+
+    def _on_cell_started(self, event: Event) -> None:
+        self.started += 1
+        self.in_flight[str(event.get("key"))] = str(event.get("describe", ""))
+
+    def _on_cell_finished(self, event: Event) -> None:
+        self.finished += 1
+        self.in_flight.pop(str(event.get("key")), None)
+        pid = event.get("pid")
+        if isinstance(pid, int):
+            self.per_worker[self.worker_label(pid)] = (
+                self.per_worker.get(self.worker_label(pid), 0) + 1
+            )
+        metrics = event.get("metrics")
+        if isinstance(metrics, dict):
+            self.registry.merge_snapshot(metrics)
+        self._rate.append((self._clock(), self.done))
+
+    def _on_cell_cached(self, event: Event) -> None:
+        if event.get("source") == "journal":
+            self.journal += 1
+        else:
+            self.cached += 1
+        metrics = event.get("metrics")
+        if isinstance(metrics, dict):
+            self.registry.merge_snapshot(metrics)
+        self._rate.append((self._clock(), self.done))
+
+    def _on_cell_retried(self, event: Event) -> None:
+        self.retries += 1
+
+    def _on_sweep_finished(self, event: Event) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def worker_label(self, pid: int) -> str:
+        """Stable per-sweep worker label (w0, w1, ...) for a pid."""
+        label = self._worker_labels.get(pid)
+        if label is None:
+            label = f"w{len(self._worker_labels)}"
+            self._worker_labels[pid] = label
+        return label
+
+    @property
+    def done(self) -> int:
+        """Cells accounted for: executed + cache hits + journal hits."""
+        return self.finished + self.cached + self.journal
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        """Cache+journal hits as a fraction of completed cells."""
+        return (self.cached + self.journal) / self.done if self.done else 0.0
+
+    def rate(self) -> float:
+        """Cells/second over the rolling completion window."""
+        with self._lock:
+            if len(self._rate) < 2:
+                return 0.0
+            (t0, d0), (t1, d1) = self._rate[0], self._rate[-1]
+            if t1 <= t0:
+                return 0.0
+            return (d1 - d0) / (t1 - t0)
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining wall-clock estimate from the rolling rate."""
+        rate = self.rate()
+        if rate <= 0 or self.total <= 0:
+            return None
+        return max(0, self.total - self.done) / rate
+
+    def with_registry(self, fn: Callable[[MetricsRegistry], T]) -> T:
+        """Run ``fn`` against the merged registry under the bus lock.
+
+        The ``--metrics-port`` exporter renders through this so a
+        mid-merge scrape never sees a half-folded snapshot.
+        """
+        with self._lock:
+            return fn(self.registry)
+
+    def summary(self) -> Dict[str, object]:
+        """A JSON-compatible snapshot of the tallies (tests, debugging)."""
+        with self._lock:
+            return {
+                "total": self.total,
+                "done": self.done,
+                "started": self.started,
+                "finished": self.finished,
+                "cached": self.cached,
+                "journal": self.journal,
+                "retries": self.retries,
+                "in_flight": dict(self.in_flight),
+                "per_worker": dict(self.per_worker),
+            }
+
+
+class QueueListener:
+    """Drain a (multiprocessing) queue of events into a bus.
+
+    The executor hands worker processes the queue; this thread lives in
+    the parent and forwards every event to ``bus.publish``.  ``None``
+    is the stop sentinel.  Any queue-like object with blocking ``get``
+    and ``put`` works (tests use ``queue.Queue``).
+    """
+
+    def __init__(self, queue, bus: TelemetryBus) -> None:  # type: ignore[no-untyped-def]
+        self.queue = queue
+        self.bus = bus
+        self._thread = threading.Thread(
+            target=self._drain, name="telemetry-bus", daemon=True
+        )
+
+    def start(self) -> "QueueListener":
+        self._thread.start()
+        return self
+
+    def _drain(self) -> None:
+        while True:
+            try:
+                event = self.queue.get()
+            except (EOFError, OSError):  # manager torn down under us
+                return
+            if event is None:
+                return
+            try:
+                self.bus.publish(event)
+            except Exception:  # a bad event must not kill the drain
+                continue
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop draining once everything already queued is delivered."""
+        if not self._thread.is_alive():
+            return
+        try:
+            self.queue.put(None)
+        except (EOFError, OSError):
+            pass
+        self._thread.join(timeout=timeout)
+
+
+class LiveProgressView:
+    """Render bus events as a live stderr progress line.
+
+    One line per render: cells done/total with percentage, ETA from the
+    bus's rolling rate, cache-hit percentage, retry count and the
+    in-flight cell count.  Renders are throttled to ``interval``
+    seconds (cell events between ticks update the bus but not the
+    screen) except for ``sweep_finished``, which always renders so the
+    final line shows the complete tallies.  On a TTY the line rewrites
+    in place with ``\\r``; on a pipe each render is its own line.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 interval: float = 0.2,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._clock = clock
+        self._last_render = float("-inf")
+        self.lines_rendered = 0
+
+    def attach(self, bus: TelemetryBus) -> "LiveProgressView":
+        self._bus = bus
+        bus.subscribe(self)
+        return self
+
+    def __call__(self, event: Event) -> None:
+        final = event.get("type") == "sweep_finished"
+        now = self._clock()
+        if not final and now - self._last_render < self.interval:
+            return
+        self._last_render = now
+        self._render(final)
+
+    def _render(self, final: bool) -> None:
+        bus = self._bus
+        total = bus.total or max(bus.done, 1)
+        percent = 100.0 * bus.done / total
+        eta = bus.eta_seconds()
+        if final:
+            eta_text = "done"
+        elif eta is None:
+            eta_text = "eta --"
+        else:
+            eta_text = f"eta {int(eta) // 60}:{int(eta) % 60:02d}"
+        line = (
+            f"live: {bus.done}/{total} cells ({percent:3.0f}%) | {eta_text}"
+            f" | {bus.rate():.1f} cells/s"
+            f" | cache {bus.cached + bus.journal}"
+            f" ({bus.cache_hit_fraction:.0%} hit)"
+            f" | retries {bus.retries}"
+            f" | in-flight {len(bus.in_flight)}"
+        )
+        try:
+            isatty = getattr(self.stream, "isatty", lambda: False)()
+            end = "\n" if (final or not isatty) else "\r"
+            self.stream.write(line + end)
+            self.stream.flush()
+        except ValueError:  # stream closed mid-sweep (tests, pipes)
+            return
+        self.lines_rendered += 1

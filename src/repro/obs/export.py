@@ -1,0 +1,187 @@
+"""OpenMetrics export: text exposition + a scrape endpoint.
+
+:func:`render_openmetrics` turns any
+:class:`~repro.obs.registry.MetricsRegistry` into the Prometheus /
+OpenMetrics text exposition format, so the same registry that feeds
+the CLI tables can be scraped by a real Prometheus:
+
+- **counters** become ``<name>_total`` samples with a ``# TYPE ...
+  counter`` family line;
+- **gauges** become plain samples with ``# TYPE ... gauge``;
+- **histograms** are exposed as OpenMetrics *summaries* — the
+  registry keeps exact observations and serves nearest-rank
+  percentiles, so ``{quantile="0.5|0.9|0.99"}`` samples plus
+  ``_count``/``_sum`` lose nothing (a fixed bucket layout would);
+- metric names are sanitized (``tree.cost.copies`` ->
+  ``tree_cost_copies``), label values escaped per the spec, families
+  sorted by name and series by label set, and the output terminated
+  with ``# EOF``.
+
+:func:`start_metrics_server` serves a render callable at ``/metrics``
+on a stdlib :class:`http.server.ThreadingHTTPServer` daemon thread —
+the CLI's ``--metrics-port`` wires it to the telemetry bus's merged
+in-flight registry so a sweep can be scraped *while it runs*.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Content type an OpenMetrics-capable scraper negotiates.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: Quantiles exposed per histogram (matches the bench gate's p50/p90/p99).
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry metric name onto the exposition charset.
+
+    Dots (the registry convention: ``tree.cost.copies``) and any other
+    illegal character become underscores; a leading digit is prefixed.
+    """
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format spec."""
+    return (value.replace("\\", r"\\")
+                 .replace("\"", r"\"")
+                 .replace("\n", r"\n"))
+
+
+def format_value(value: float) -> str:
+    """Render a sample value: integers exactly, floats via repr."""
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _labels_text(labels: Dict[str, str],
+                 extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = sorted(labels.items())
+    if extra is not None:
+        pairs = pairs + [extra]
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{sanitize_metric_name(k)}="{escape_label_value(str(v))}"'
+        for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def render_openmetrics(registry: MetricsRegistry, prefix: str = "") -> str:
+    """The registry as OpenMetrics text exposition (``# EOF``-terminated).
+
+    ``prefix`` filters metric names exactly like
+    :meth:`MetricsRegistry.collect`.
+    """
+    families: Dict[str, List[str]] = {}
+    kinds: Dict[str, str] = {}
+    for name, labels, instrument in registry.collect(prefix):
+        exposition = sanitize_metric_name(name)
+        lines = families.setdefault(exposition, [])
+        if isinstance(instrument, Counter):
+            kinds[exposition] = "counter"
+            lines.append(f"{exposition}_total{_labels_text(labels)} "
+                         f"{format_value(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            kinds[exposition] = "gauge"
+            lines.append(f"{exposition}{_labels_text(labels)} "
+                         f"{format_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            kinds[exposition] = "summary"
+            for quantile in SUMMARY_QUANTILES:
+                value = instrument.percentile(quantile * 100)
+                lines.append(
+                    f"{exposition}"
+                    f"{_labels_text(labels, ('quantile', repr(quantile)))} "
+                    f"{format_value(value)}"
+                )
+            lines.append(f"{exposition}_count{_labels_text(labels)} "
+                         f"{instrument.count}")
+            lines.append(f"{exposition}_sum{_labels_text(labels)} "
+                         f"{format_value(instrument.sum)}")
+    out: List[str] = []
+    for family in sorted(families):
+        out.append(f"# TYPE {family} {kinds[family]}")
+        out.extend(families[family])
+    out.append("# EOF")
+    return "\n".join(out) + "\n"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """GET /metrics -> the server's render callable; anything else 404."""
+
+    server: "MetricsServer"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.split("?", 1)[0] not in ("/metrics", "/metrics/"):
+            self.send_error(404, "only /metrics is served")
+            return
+        try:
+            body = self.server.render().encode("utf-8")
+        except Exception as exc:  # surface render bugs to the scraper
+            self.send_error(500, f"render failed: {type(exc).__name__}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", OPENMETRICS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Scrapes must not spam the sweep's stderr."""
+
+
+class MetricsServer(ThreadingHTTPServer):
+    """A daemon-threaded ``/metrics`` endpoint around a render callable."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 render: Callable[[], str]) -> None:
+        super().__init__(address, _MetricsHandler)
+        self.render = render
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` ephemeral binds)."""
+        return int(self.server_address[1])
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="metrics-export", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+
+def start_metrics_server(render: Callable[[], str], port: int = 0,
+                         host: str = "127.0.0.1") -> MetricsServer:
+    """Serve ``render()`` at ``http://host:port/metrics`` in a daemon
+    thread.  ``port=0`` binds an ephemeral port (read it back from
+    ``server.port``).  The caller owns shutdown via ``server.close()``.
+    """
+    return MetricsServer((host, port), render).start()

@@ -53,6 +53,63 @@ class TestSerialParallelEquivalence:
         assert canonical_json(reloaded) == canonical_json(serial_reference)
 
 
+class TestTelemetryBus:
+    """The bus is purely observational: attaching it changes nothing
+    about the result, and both backends stream equivalent telemetry."""
+
+    def test_bus_does_not_perturb_parallel_results(self,
+                                                   serial_reference):
+        from repro.obs.bus import TelemetryBus
+
+        bus = TelemetryBus()
+        result = run_sweep(SMALL, jobs=2, bus=bus)
+        assert canonical_json(result) == canonical_json(serial_reference)
+        assert bus.total == 6
+        assert bus.finished + bus.cached + bus.journal == 6
+        assert bus.started == 6
+        assert bus.in_flight == {}
+
+    def test_serial_and_parallel_tallies_match(self):
+        from repro.obs.bus import TelemetryBus
+
+        serial_bus, parallel_bus = TelemetryBus(), TelemetryBus()
+        run_sweep(SMALL, jobs=1, bus=serial_bus)
+        run_sweep(SMALL, jobs=2, bus=parallel_bus)
+        for key in ("total", "done", "started", "finished", "cached",
+                    "journal", "retries"):
+            assert serial_bus.summary()[key] == parallel_bus.summary()[key]
+
+    def test_merged_inflight_registry_matches_result_metrics(self):
+        from repro.obs.bus import TelemetryBus
+
+        bus = TelemetryBus()
+        result = run_sweep(SMALL, jobs=2, bus=bus)
+        # The bus folds each cell's snapshot as it lands; the sweep
+        # merges the same snapshots in task order.  Same observations,
+        # different order -> identical aggregate values.
+        for protocol in SMALL.protocols:
+            series = [
+                (labels, instrument.value)
+                for _n, labels, instrument
+                in bus.registry.collect("control.messages")
+                if labels["protocol"] == protocol
+            ]
+            assert series
+            for labels, value in series:
+                assert value == result.metrics.value(
+                    "control.messages", **labels)
+
+    def test_cached_rerun_streams_cache_events(self, tmp_path):
+        from repro.obs.bus import TelemetryBus
+
+        run_sweep(SMALL, cache_dir=tmp_path)
+        bus = TelemetryBus()
+        run_sweep(SMALL, cache_dir=tmp_path, jobs=2, bus=bus)
+        assert bus.cached == 6
+        assert bus.finished == 0
+        assert bus.cache_hit_fraction == 1.0
+
+
 class TestKillAndResume:
     def test_interrupted_sweep_resumes_into_identical_result(
             self, tmp_path, serial_reference, monkeypatch):

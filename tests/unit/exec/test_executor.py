@@ -192,6 +192,102 @@ class TestJournalIntegration:
         assert [payload["value"] for payload in results] == [0, 1]
 
 
+class TestExecSummary:
+    """The `exec:` stderr line: cache-hit ratio + per-worker counts."""
+
+    def test_serial_describe_shape(self):
+        executor = SweepExecutor(jobs=1)
+        executor.map_cells(make_tasks(5))
+        described = executor.stats.describe()
+        assert described.startswith("serial backend, 1 worker(s): "
+                                    "5 executed, 0 cache hits")
+        assert "cache-hit ratio 0%" in described
+        assert "cells/worker [w0=5]" in described
+
+    def test_cached_run_reports_hit_ratio(self, tmp_path):
+        cache = RunCache(tmp_path)
+        SweepExecutor(jobs=1, cache=cache).map_cells(make_tasks(4))
+        second = SweepExecutor(jobs=1, cache=cache)
+        second.map_cells(make_tasks(4))
+        described = second.stats.describe()
+        assert second.stats.hit_ratio == 1.0
+        assert "4 cache hits" in described
+        assert "cache-hit ratio 100%" in described
+        # Nothing executed, so no worker attribution.
+        assert "cells/worker [-]" in described
+
+    def test_mixed_run_ratio(self, tmp_path):
+        cache = RunCache(tmp_path)
+        SweepExecutor(jobs=1, cache=cache).map_cells(make_tasks(2))
+        executor = SweepExecutor(jobs=1, cache=cache)
+        executor.map_cells(make_tasks(4))
+        assert executor.stats.hit_ratio == 0.5
+        assert "cache-hit ratio 50%" in executor.stats.describe()
+        assert "cells/worker [w0=2]" in executor.stats.describe()
+
+    def test_process_backend_attributes_workers(self):
+        executor = SweepExecutor(jobs=2)
+        executor.map_cells(make_tasks(8))
+        per_worker = executor.stats.per_worker
+        assert sum(per_worker.values()) == 8
+        assert set(per_worker) <= {"w0", "w1"}
+        assert "process backend, 2 worker(s)" in \
+            executor.stats.describe()
+
+
+class TestTelemetryBusIntegration:
+    def test_serial_backend_publishes_cell_events(self):
+        from repro.obs.bus import TelemetryBus
+
+        bus = TelemetryBus()
+        SweepExecutor(jobs=1, bus=bus).map_cells(make_tasks(3))
+        assert bus.total == 3
+        assert bus.started == 3
+        assert bus.finished == 3
+        assert bus.done == 3
+        assert bus.per_worker == {"w0": 3}
+
+    def test_process_backend_streams_matching_events(self):
+        from repro.obs.bus import TelemetryBus
+
+        bus = TelemetryBus()
+        SweepExecutor(jobs=2, bus=bus).map_cells(make_tasks(6))
+        assert bus.total == 6
+        assert bus.started == 6
+        assert bus.finished == 6
+        assert sum(bus.per_worker.values()) == 6
+
+    def test_cached_cells_surface_as_cache_events(self, tmp_path):
+        from repro.obs.bus import TelemetryBus
+
+        cache = RunCache(tmp_path)
+        SweepExecutor(jobs=1, cache=cache).map_cells(make_tasks(4))
+        bus = TelemetryBus()
+        SweepExecutor(jobs=1, cache=cache, bus=bus).map_cells(
+            make_tasks(4))
+        assert bus.cached == 4
+        assert bus.finished == 0
+        assert bus.done == 4
+        assert bus.cache_hit_fraction == 1.0
+
+    def test_retries_reach_the_bus(self):
+        from repro.obs.bus import TelemetryBus
+
+        failures = {"left": 1}
+
+        def flaky():
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("transient")
+            return {"value": 1}
+
+        bus = TelemetryBus()
+        SweepExecutor(jobs=1, retries=1, bus=bus).map_cells(
+            [CellTask(key="flaky", fn=flaky)])
+        assert bus.retries == 1
+        assert bus.finished == 1
+
+
 class TestWorkerPayload:
     def test_execute_cell_payload_shape(self):
         payload = execute_cell(SMALL, 2, 0)

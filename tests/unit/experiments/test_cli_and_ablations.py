@@ -36,6 +36,62 @@ class TestCli:
         err = capsys.readouterr().err
         assert "runs" in err
 
+    def test_live_progress_streams_to_stderr(self, capsys):
+        assert main(["fig7a", "--runs", "2", "--quiet", "--live"]) == 0
+        err = capsys.readouterr().err
+        assert "live:" in err
+        assert "cells (100%)" in err
+
+    def test_exec_summary_reports_ratio_and_workers(self, capsys):
+        assert main(["fig7a", "--runs", "2", "--quiet",
+                     "--jobs", "2"]) == 0
+        err = capsys.readouterr().err
+        assert "exec: process backend, 2 worker(s)" in err
+        assert "cache-hit ratio 0%" in err
+        assert "cells/worker [" in err
+
+    def test_metrics_port_serves_merged_registry(self, capsys,
+                                                 monkeypatch):
+        from urllib.request import urlopen
+
+        from repro.obs import export as export_mod
+        from repro.obs.export import OPENMETRICS_CONTENT_TYPE
+
+        # The CLI closes the endpoint in its finally block; scraping
+        # right before close sees the fully merged in-flight registry.
+        captured = {}
+        original_close = export_mod.MetricsServer.close
+
+        def scraping_close(self):
+            url = f"http://127.0.0.1:{self.port}/metrics"
+            with urlopen(url, timeout=5) as response:
+                captured["type"] = response.headers["Content-Type"]
+                captured["body"] = response.read().decode("utf-8")
+            original_close(self)
+
+        monkeypatch.setattr(export_mod.MetricsServer, "close",
+                            scraping_close)
+        assert main(["fig7a", "--runs", "2", "--quiet",
+                     "--metrics-port", "0"]) == 0
+        err = capsys.readouterr().err
+        assert "metrics: http://127.0.0.1:" in err
+        assert captured["type"] == OPENMETRICS_CONTENT_TYPE
+        assert captured["body"].endswith("# EOF\n")
+        assert "tree_cost_copies" in captured["body"]
+
+    def test_bench_target_writes_and_checks(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_base.json"
+        assert main(["bench", "--iterations", "1", "--quiet",
+                     "--out", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "calibration" in out
+        assert f"wrote {baseline}" in out
+        assert main(["bench", "--iterations", "1", "--quiet",
+                     "--check", str(baseline), "--tolerance", "5.0",
+                     "--out", str(tmp_path / "BENCH_now.json")]) == 0
+        out = capsys.readouterr().out
+        assert "regression gate" in out
+
 
 class TestAsymmetrySweep:
     def test_symmetric_point_has_no_gap(self):

@@ -1,0 +1,180 @@
+"""Unit tests for the sweep telemetry bus and the live progress view."""
+
+import io
+import queue
+
+import pytest
+
+from repro.obs.bus import (
+    LiveProgressView,
+    QueueListener,
+    TelemetryBus,
+    cell_finished,
+    cell_started,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _snapshot(value: float = 1.0) -> dict:
+    registry = MetricsRegistry()
+    registry.inc("control.messages", value, protocol="hbh")
+    registry.observe("tree.cost.copies", value, protocol="hbh")
+    return registry.snapshot()
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestEventFolding:
+    def test_started_finished_tallies(self):
+        bus = TelemetryBus()
+        bus.publish({"type": "sweep_started", "total": 4})
+        bus.publish(cell_started("k1", "cell one", pid=100))
+        assert bus.in_flight == {"k1": "cell one"}
+        bus.publish(cell_finished("k1", "cell one", seconds=0.5,
+                                  metrics=_snapshot(), pid=100))
+        assert bus.total == 4
+        assert bus.started == 1
+        assert bus.finished == 1
+        assert bus.done == 1
+        assert bus.in_flight == {}
+
+    def test_unknown_event_type_raises(self):
+        with pytest.raises(ValueError):
+            TelemetryBus().publish({"type": "cell_exploded"})
+
+    def test_cached_and_journal_sources(self):
+        bus = TelemetryBus()
+        bus.publish({"type": "cell_cached", "key": "a",
+                     "source": "cache", "metrics": None})
+        bus.publish({"type": "cell_cached", "key": "b",
+                     "source": "journal", "metrics": None})
+        assert bus.cached == 1
+        assert bus.journal == 1
+        assert bus.done == 2
+        assert bus.cache_hit_fraction == 1.0
+
+    def test_retries_counted(self):
+        bus = TelemetryBus()
+        bus.publish({"type": "cell_retried", "key": "a", "attempts": 1})
+        bus.publish({"type": "cell_retried", "key": "a", "attempts": 2})
+        assert bus.retries == 2
+
+    def test_merged_registry_accumulates_metrics(self):
+        bus = TelemetryBus()
+        bus.publish(cell_finished("a", metrics=_snapshot(2.0), pid=1))
+        bus.publish({"type": "cell_cached", "key": "b", "source": "cache",
+                     "metrics": _snapshot(3.0)})
+        assert bus.registry.value("control.messages", protocol="hbh") == 5.0
+        histogram = bus.registry.histogram("tree.cost.copies",
+                                           protocol="hbh")
+        assert histogram.count == 2
+
+    def test_per_worker_labels_are_stable_first_seen_order(self):
+        bus = TelemetryBus()
+        for pid in (555, 777, 555, 555):
+            bus.publish(cell_finished(f"k{pid}", pid=pid))
+        assert bus.per_worker == {"w0": 3, "w1": 1}
+
+    def test_summary_is_json_shaped(self):
+        bus = TelemetryBus()
+        bus.publish({"type": "sweep_started", "total": 2})
+        bus.publish(cell_finished("a", pid=1))
+        summary = bus.summary()
+        assert summary["total"] == 2
+        assert summary["done"] == 1
+        assert summary["per_worker"] == {"w0": 1}
+
+    def test_subscribers_see_every_event(self):
+        bus = TelemetryBus()
+        seen = []
+        bus.subscribe(lambda event: seen.append(event["type"]))
+        bus.publish({"type": "sweep_started", "total": 1})
+        bus.publish(cell_finished("a", pid=1))
+        bus.publish({"type": "sweep_finished", "total": 1})
+        assert seen == ["sweep_started", "cell_finished", "sweep_finished"]
+
+
+class TestRateAndEta:
+    def test_eta_from_rolling_rate(self):
+        clock = FakeClock()
+        bus = TelemetryBus(clock=clock)
+        bus.publish({"type": "sweep_started", "total": 10})
+        for i in range(4):
+            clock.now = float(i + 1)
+            bus.publish(cell_finished(f"k{i}", pid=1))
+        # 4 cells over 4 seconds -> 1 cell/s -> 6 remaining -> eta 6s.
+        assert bus.rate() == pytest.approx(1.0)
+        assert bus.eta_seconds() == pytest.approx(6.0)
+
+    def test_eta_unknown_before_any_completion(self):
+        bus = TelemetryBus(clock=FakeClock())
+        bus.publish({"type": "sweep_started", "total": 10})
+        assert bus.rate() == 0.0
+        assert bus.eta_seconds() is None
+
+
+class TestQueueListener:
+    def test_drains_events_and_stops_on_sentinel(self):
+        bus = TelemetryBus()
+        events: "queue.Queue" = queue.Queue()
+        events.put({"type": "sweep_started", "total": 2})
+        events.put(cell_started("a", pid=9))
+        events.put(cell_finished("a", pid=9))
+        events.put({"type": "bogus"})  # must not kill the drain
+        events.put(cell_finished("b", pid=9))
+        listener = QueueListener(events, bus).start()
+        listener.stop()
+        assert bus.finished == 2
+        assert bus.per_worker == {"w0": 2}
+
+    def test_stop_is_idempotent(self):
+        listener = QueueListener(queue.Queue(), TelemetryBus()).start()
+        listener.stop()
+        listener.stop()
+
+
+class TestLiveProgressView:
+    def test_renders_progress_line(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        bus = TelemetryBus(clock=clock)
+        view = LiveProgressView(stream=stream, interval=0.0,
+                                clock=clock).attach(bus)
+        bus.publish({"type": "sweep_started", "total": 4})
+        clock.now = 1.0
+        bus.publish(cell_finished("a", pid=1))
+        bus.publish({"type": "cell_cached", "key": "b", "source": "cache",
+                     "metrics": None})
+        clock.now = 2.0
+        bus.publish({"type": "sweep_finished", "total": 4})
+        out = stream.getvalue()
+        assert "live: 2/4 cells" in out
+        assert "cache 1 (50% hit)" in out
+        assert view.lines_rendered >= 2
+
+    def test_throttles_between_ticks_but_always_renders_final(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        bus = TelemetryBus(clock=clock)
+        view = LiveProgressView(stream=stream, interval=10.0,
+                                clock=clock).attach(bus)
+        bus.publish({"type": "sweep_started", "total": 3})
+        for i in range(3):
+            bus.publish(cell_finished(f"k{i}", pid=1))
+        bus.publish({"type": "sweep_finished", "total": 3})
+        # One initial render, everything else throttled, final forced.
+        assert view.lines_rendered == 2
+        assert "3/3 cells (100%)" in stream.getvalue()
+
+    def test_closed_stream_does_not_raise(self):
+        stream = io.StringIO()
+        bus = TelemetryBus()
+        LiveProgressView(stream=stream, interval=0.0).attach(bus)
+        stream.close()
+        bus.publish({"type": "sweep_finished", "total": 0})

@@ -1,0 +1,140 @@
+"""Unit tests for OpenMetrics rendering and the /metrics endpoint."""
+
+from pathlib import Path
+from urllib.error import HTTPError
+from urllib.request import urlopen
+
+import pytest
+
+from repro.obs.export import (
+    OPENMETRICS_CONTENT_TYPE,
+    escape_label_value,
+    format_value,
+    render_openmetrics,
+    sanitize_metric_name,
+    start_metrics_server,
+)
+from repro.obs.registry import MetricsRegistry
+
+GOLDEN = Path(__file__).parent.parent.parent / "golden" / "openmetrics.txt"
+
+
+def golden_registry() -> MetricsRegistry:
+    """All three instrument kinds, with multi-label series."""
+    registry = MetricsRegistry()
+    registry.inc("control.messages", 41, protocol="hbh", channel="<1,G>")
+    registry.inc("control.messages", 1, protocol="hbh", channel="<1,G>")
+    registry.inc("control.messages", 7, protocol="reunite",
+                 channel="<1,G>")
+    registry.set_gauge("engine.events_per_sec", 125000.5)
+    registry.set_gauge("exec.workers", 2)
+    for value in (1.0, 2.0, 3.0, 4.0, 10.0):
+        registry.observe("tree.cost.copies", value, protocol="hbh",
+                         channel="<1,G>")
+    return registry
+
+
+class TestRender:
+    def test_golden_exposition(self):
+        assert render_openmetrics(golden_registry()) == GOLDEN.read_text()
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+        assert render_openmetrics(golden_registry()).endswith("# EOF\n")
+
+    def test_prefix_filters_families(self):
+        out = render_openmetrics(golden_registry(), prefix="control.")
+        assert "control_messages_total" in out
+        assert "engine_events_per_sec" not in out
+
+    def test_counter_exposes_total_suffix(self):
+        out = render_openmetrics(golden_registry())
+        assert ("control_messages_total"
+                '{channel="<1,G>",protocol="hbh"} 42') in out
+        assert "# TYPE control_messages counter" in out
+
+    def test_histogram_exposes_summary_quantiles(self):
+        out = render_openmetrics(golden_registry())
+        assert 'quantile="0.5"' in out
+        assert 'quantile="0.9"' in out
+        assert 'quantile="0.99"' in out
+        assert "tree_cost_copies_count" in out
+        assert "tree_cost_copies_sum" in out
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.inc("odd.one", 1, note='say "hi"\nback\\slash')
+        out = render_openmetrics(registry)
+        assert r'note="say \"hi\"\nback\\slash"' in out
+
+    def test_name_sanitization(self):
+        assert sanitize_metric_name("tree.cost.copies") == \
+            "tree_cost_copies"
+        assert sanitize_metric_name("9lives") == "_9lives"
+        assert sanitize_metric_name("a-b c") == "a_b_c"
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == r'a\"b'
+        assert escape_label_value("a\\b") == r"a\\b"
+        assert escape_label_value("a\nb") == r"a\nb"
+
+    def test_format_value(self):
+        assert format_value(42.0) == "42"
+        assert format_value(-3.0) == "-3"
+        assert format_value(0.5) == "0.5"
+
+
+class TestScrapeEndpoint:
+    def test_round_trip_scrape(self):
+        registry = golden_registry()
+        server = start_metrics_server(
+            lambda: render_openmetrics(registry), port=0)
+        try:
+            with urlopen(f"http://127.0.0.1:{server.port}/metrics",
+                         timeout=5) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == \
+                    OPENMETRICS_CONTENT_TYPE
+                body = response.read().decode("utf-8")
+        finally:
+            server.close()
+        assert body == GOLDEN.read_text()
+        assert body.endswith("# EOF\n")
+
+    def test_only_metrics_path_served(self):
+        server = start_metrics_server(lambda: "# EOF\n", port=0)
+        try:
+            with pytest.raises(HTTPError) as info:
+                urlopen(f"http://127.0.0.1:{server.port}/other", timeout=5)
+            assert info.value.code == 404
+        finally:
+            server.close()
+
+    def test_render_failure_returns_500(self):
+        def broken() -> str:
+            raise RuntimeError("boom")
+
+        server = start_metrics_server(broken, port=0)
+        try:
+            with pytest.raises(HTTPError) as info:
+                urlopen(f"http://127.0.0.1:{server.port}/metrics",
+                        timeout=5)
+            assert info.value.code == 500
+        finally:
+            server.close()
+
+    def test_live_state_visible_across_scrapes(self):
+        registry = MetricsRegistry()
+        server = start_metrics_server(
+            lambda: render_openmetrics(registry), port=0)
+        try:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            with urlopen(url, timeout=5) as response:
+                before = response.read().decode("utf-8")
+            registry.inc("cells.done", 3)
+            with urlopen(url, timeout=5) as response:
+                after = response.read().decode("utf-8")
+        finally:
+            server.close()
+        assert "cells_done_total" not in before
+        assert "cells_done_total 3" in after
