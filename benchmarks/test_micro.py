@@ -141,3 +141,53 @@ def test_shared_routing_one_table_build_per_draw(benchmark):
     assert all(instance.routing is shared for instance in instances)
     # The copy did not inherit the parent's memoized tables.
     assert shared is not shared_routing(base)
+
+
+def test_link_transmit_batched(benchmark):
+    """Benchmark + structural guard of the data-plane fast path: 1k
+    same-instant packets through ``Link.transmit`` on a fault-free,
+    untraced network must ride batched drain events — consulting no
+    fault RNG (tripwires on every knob) and appending nothing to the
+    trace ring — and use strictly fewer engine events than one per
+    packet."""
+    from repro.netsim.network import Network
+    from repro.netsim.packet import Packet
+    from repro.topology.paper import fig2_topology
+
+    draws = []
+
+    class Tripwire:
+        """Any consultation is a fast-path violation."""
+
+        def random(self):
+            draws.append("random")
+            return 0.5
+
+        def uniform(self, low, high):
+            draws.append("uniform")
+            return low
+
+    def run():
+        network = Network(fig2_topology())
+        a, b = network.links()[0].endpoints()
+        link = network.link_between(a, b)
+        # Arm the tripwires directly (set_* would flip the link off the
+        # plain path, which is exactly what must not happen here).
+        link.loss_rng = Tripwire()
+        link.jitter_rng = Tripwire()
+        link.duplicate_rng = Tripwire()
+        link.reorder_rng = Tripwire()
+        packet = Packet(src=network.address_of(a),
+                        dst=network.address_of(b), payload=None)
+        for _ in range(1_000):
+            link.transmit(a, packet)
+        network.run()
+        return network
+
+    network = benchmark(run)
+    assert draws == []
+    tracer = network.trace
+    assert len(tracer) == 0 and tracer.dropped == 0
+    # 1k transmissions coalesced into far fewer drain events: the whole
+    # burst shares one batch (plus the handful of bookkeeping events).
+    assert network.simulator.events_executed < 1_000

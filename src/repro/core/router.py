@@ -339,9 +339,11 @@ class HbhRouterAgent(Agent):
 
     def _trace(self, event: str, detail: str) -> None:
         network = self.node.network
-        network.trace.record(
-            network.simulator.now, self.node.node_id, event, detail
-        )
+        trace = network.trace
+        if trace.enabled:
+            trace.record(
+                network.simulator.now, self.node.node_id, event, detail
+            )
 
     def _count_rule_event(self, message: str) -> None:
         """Tally one processed control message into the network's

@@ -62,12 +62,27 @@ class OriginateFusion:
 
 Action = Union[Forward, Consume, OriginateJoin, OriginateTree, OriginateFusion]
 
+#: The zero-field actions carry no state, so every rule application can
+#: share these two instances instead of allocating fresh ones (frozen
+#: dataclasses compare by value, so ``_FORWARD == _FORWARD`` holds for
+#: any caller that constructs its own).
+_FORWARD = Forward()
+_CONSUME = Consume()
+
+#: Shared result lists for the two no-side-channel outcomes.  Rule
+#: results are read-only by convention (every consumer iterates or
+#: compares them), which lets the pure-forward/pure-consume cases skip
+#: the list allocation too — and lets hot callers identity-test
+#: ``actions is FORWARD_ONLY`` to bypass action dispatch entirely.
+FORWARD_ONLY: List[Action] = [_FORWARD]
+CONSUME_ONLY: List[Action] = [_CONSUME]
+
 
 def _fusion_payload(mft: Mft) -> Tuple[Addr, ...]:
     """What a branching node lists in its fusion messages: "all the
     nodes that B maintains in its MFT - the nodes for which B is
     branching node" (Appendix A)."""
-    return tuple(mft.addresses())
+    return mft.address_tuple()
 
 
 # ----------------------------------------------------------------------
@@ -116,23 +131,23 @@ def process_join(
       behaviour.
     """
     if message.initial:
-        return [Forward()]
+        return FORWARD_ONLY
     mft = state.mft
     if mft is None:  # rule 1
-        return [Forward()]
+        return FORWARD_ONLY
     entry = mft.get(message.joiner)
     if entry is None:  # rule 2
-        return [Forward()]
+        return FORWARD_ONLY
     if len(mft) == 1:
         # Degenerate branch (R is B's only entry): B is not branching.
-        return [Forward()]
+        return FORWARD_ONLY
     if on_spt is False:
         # B is off R's forward shortest path: not a legitimate branch
         # node for R, so it must not capture R's membership.
-        return [Forward()]
+        return FORWARD_ONLY
     # rule 3
     entry.refresh_by_join(now)
-    return [Consume(), OriginateJoin(joiner=self_addr)]
+    return [_CONSUME, OriginateJoin(joiner=self_addr)]
 
 
 def process_join_at_source(
@@ -152,7 +167,7 @@ def process_join_at_source(
         mft.add(message.joiner, now)
     else:
         entry.refresh_by_join(now)
-    return [Consume()]
+    return CONSUME_ONLY
 
 
 # ----------------------------------------------------------------------
@@ -188,46 +203,47 @@ def process_tree(
     """
     if arrived_from is not None:
         state.upstream = arrived_from
+    target = message.target
     mft = state.mft
     if mft is not None:
-        if message.target == self_addr:  # rule 1
-            actions: List[Action] = [Consume()]
+        if target == self_addr:  # rule 1
+            actions: List[Action] = [_CONSUME]
             actions.extend(
                 OriginateTree(target=x)
                 for x in mft.tree_targets(now, timing)
             )
             return actions
-        entry = mft.get(message.target)
+        entry = mft.get(target)
         if entry is None:  # rule 2
-            mft.add(message.target, now)
+            mft.add(target, now)
         else:  # rule 3
             entry.refresh_by_tree(now)
-        return [Forward(), OriginateFusion(receivers=_fusion_payload(mft))]
+        return [_FORWARD, OriginateFusion(receivers=_fusion_payload(mft))]
 
-    if message.target == self_addr:
+    if target == self_addr:
         # A tree message for this node but no MFT here: nothing to
         # regenerate (a receiver agent, if any, consumes it upstack).
-        return [Consume()]
+        return CONSUME_ONLY
 
     mct = state.mct
     if mct is None:  # rule 4
-        state.mct = Mct(message.target, now)
-        return [Forward()]
-    if mct.entry.address == message.target:  # rules 5, 6
+        state.mct = Mct(target, now)
+        return FORWARD_ONLY
+    if mct.entry.address == target:  # rules 5, 6
         mct.refresh(now)
-        return [Forward()]
+        return FORWARD_ONLY
     if mct.is_stale(now, timing):  # rule 7
-        mct.replace(message.target, now)
-        return [Forward()]
+        mct.replace(target, now)
+        return FORWARD_ONLY
     # rule 8: second live target through a non-branching router -> branch.
     previous = mct.entry.address
     state.mct = None
     mft = Mft()
     # Preserve the original entry's freshness; the new target is fresh.
     mft.add(previous, mct.entry.refreshed_at)
-    mft.add(message.target, now)
+    mft.add(target, now)
     state.mft = mft
-    return [Forward(), OriginateFusion(receivers=_fusion_payload(mft))]
+    return [_FORWARD, OriginateFusion(receivers=_fusion_payload(mft))]
 
 
 # ----------------------------------------------------------------------
@@ -257,13 +273,13 @@ def process_fusion(
     """
     mft = state.mft
     if mft is None:
-        return [Forward()]  # rule 1 (non-branching routers relay fusions)
+        return FORWARD_ONLY  # rule 1 (non-branching routers relay fusions)
     if arrived_from is not None and arrived_from == state.upstream:
-        return [Forward()]  # ancestor's fusion in transit: not ours
+        return FORWARD_ONLY  # ancestor's fusion in transit: not ours
     listed = [mft.get(r) for r in message.receivers]
     present = [entry for entry in listed if entry is not None]
     if not present:
-        return [Forward()]  # rule 1
+        return FORWARD_ONLY  # rule 1
     for entry in present:  # rule 2
         entry.mark(now)
     sender_entry = mft.get(message.sender)
@@ -274,7 +290,7 @@ def process_fusion(
     else:
         # Bp is fresh (its joins reach us): just keep t2 alive.
         sender_entry.refreshed_at = now
-    return [Consume()]
+    return CONSUME_ONLY
 
 
 def process_fusion_at_source(
@@ -293,7 +309,7 @@ def process_fusion_at_source(
     listed = [mft.get(r) for r in message.receivers]
     present = [entry for entry in listed if entry is not None]
     if not present:
-        return [Consume()]
+        return CONSUME_ONLY
     for entry in present:
         entry.mark(now)
     sender_entry = mft.get(message.sender)
@@ -303,4 +319,4 @@ def process_fusion_at_source(
         sender_entry.keep_alive_stale(now)
     else:
         sender_entry.refreshed_at = now
-    return [Consume()]
+    return CONSUME_ONLY

@@ -29,6 +29,7 @@ from typing import Deque, Dict, Hashable, List, Optional, Set, Tuple, Union
 
 from repro.core.messages import FusionMessage, JoinMessage, TreeMessage
 from repro.core.rules import (
+    FORWARD_ONLY,
     Consume,
     Forward,
     OriginateFusion,
@@ -89,11 +90,44 @@ class StaticHbh:
         self.source_mft = Mft()
         self.states: Dict[NodeId, HbhChannelState] = {}
         self.receivers: Set[NodeId] = set()
+        #: Sorted membership, rebuilt on add/remove (run_round iterates
+        #: it every round; sorting per round is pure waste).
+        self._receivers_sorted: Optional[List[NodeId]] = None
         self.round_no = 0
         #: Count of rule-level events, exposed for overhead analysis.
         self.messages_processed = 0
         #: Rendered ``<S,G>`` label used by metrics and causal spans.
         self.channel_name = channel_label(source)
+        #: Memoized :meth:`_applies_rules` verdicts.  Node kind and
+        #: multicast capability are fixed before a driver exists (every
+        #: ``set_multicast_capable`` call site in the experiments
+        #: configures the topology first), so the verdict is static for
+        #: the driver's lifetime.
+        self._rules_cache: Dict[NodeId, bool] = {}
+        #: Memoized :meth:`_on_spt` verdicts, valid for one routing
+        #: generation; None generation (duck-typed learned-routing
+        #: views don't count generations) disables this cache.
+        self._spt_cache: Dict[Tuple[NodeId, NodeId], bool] = {}
+        self._spt_generation: Optional[int] = None
+        #: Precomputed walk plans for the untraced fast paths: the
+        #: rule-applying hops of a route (with their full-path
+        #: predecessors for ``arrived_from``, or the on-SPT verdicts a
+        #: join walk feeds rule 3), so steady-state walks skip the
+        #: transparent unicast hops entirely.  Valid for one routing
+        #: generation, like :attr:`_spt_cache`.
+        self._join_plans: Dict[NodeId, Tuple[Tuple[NodeId, bool], ...]] = {}
+        self._tree_plans: Dict[
+            Tuple[NodeId, NodeId], Tuple[Tuple[NodeId, NodeId], ...]
+        ] = {}
+        self._plan_generation: Optional[int] = None
+        #: Control messages are frozen dataclasses and the untraced
+        #: walks re-emit identical ones every round — cache per target
+        #: (no generation dependency; messages carry no routing facts).
+        self._join_msg_cache: Dict[NodeId, JoinMessage] = {}
+        self._tree_msg_cache: Dict[NodeId, TreeMessage] = {}
+        #: Memoized-path accessor when the routing substrate offers one
+        #: (UnicastRouting does; learned views walk next_hop instead).
+        self._route_path = getattr(self.routing, "path_tuple", None)
         #: Optional causal tracer + flight recorder (attach_tracer).
         #: None keeps every walk on the untraced fast path.
         self.causal: Optional[CausalTracer] = None
@@ -149,6 +183,7 @@ class StaticHbh:
         if receiver in self.receivers:
             raise ChannelError(f"receiver {receiver} already joined")
         self.receivers.add(receiver)
+        self._receivers_sorted = None
         span = self._span(INITIAL_JOIN, receiver, target=receiver)
         join = self._stamp(
             JoinMessage(self.channel, receiver, initial=True), span
@@ -162,6 +197,7 @@ class StaticHbh:
             self.receivers.remove(receiver)
         except KeyError:
             raise ChannelError(f"receiver {receiver} is not joined") from None
+        self._receivers_sorted = None
 
     # ------------------------------------------------------------------
     # Rounds
@@ -174,13 +210,31 @@ class StaticHbh:
     def run_round(self) -> None:
         """One protocol period: joins, tree/fusion cascade, aging."""
         self.round_no += 1
-        for receiver in sorted(self.receivers):
-            span = self._span(JOIN, receiver, target=receiver)
-            self._walk_join(
-                receiver,
-                self._stamp(JoinMessage(self.channel, receiver), span),
-                span,
-            )
+        receivers = self._receivers_sorted
+        if receivers is None:
+            receivers = self._receivers_sorted = sorted(self.receivers)
+        causal = self.causal
+        if (causal is None or not causal.enabled) and self._plans_current():
+            # Untraced steady state: dispatch straight to the fast
+            # walk, one tracing/plan check for the whole round.
+            now = float(self.round_no)
+            channel = self.channel
+            fast = self._walk_join_fast
+            msg_cache = self._join_msg_cache
+            for receiver in receivers:
+                message = msg_cache.get(receiver)
+                if message is None:
+                    message = JoinMessage(channel, receiver)
+                    msg_cache[receiver] = message
+                fast(receiver, message, now)
+        else:
+            for receiver in receivers:
+                span = self._span(JOIN, receiver, target=receiver)
+                self._walk_join(
+                    receiver,
+                    self._stamp(JoinMessage(self.channel, receiver), span),
+                    span,
+                )
         self._tree_phase()
         self._expire()
         if self.flight is not None:
@@ -217,23 +271,38 @@ class StaticHbh:
         )
 
     def _snapshot(self) -> Tuple:
-        """A hashable structural view of all channel state."""
+        """A hashable structural view of all channel state.
+
+        Runs twice per round (convergence compares consecutive
+        snapshots), so the entry flags are computed inline — same
+        predicates as :meth:`MftEntry.is_marked` / ``is_stale`` —
+        instead of two method calls per entry.
+        """
         now, timing = self.now, self.timing
+        t1 = timing.t1
         items: List[Tuple] = []
-        for node in sorted(self.states):
-            state = self.states[node]
-            if state.mct is not None:
-                items.append((node, "mct", state.mct.entry.address,
-                              state.mct.is_stale(now, timing)))
-            if state.mft is not None:
-                for entry in state.mft:
-                    items.append((node, "mft", entry.address,
-                                  entry.is_marked(now, timing),
-                                  entry.is_stale(now, timing)))
-        for entry in self.source_mft:
-            items.append((self.source, "src", entry.address,
-                          entry.is_marked(now, timing),
-                          entry.is_stale(now, timing)))
+        append = items.append
+        states = self.states
+        for node in sorted(states):
+            state = states[node]
+            mct = state.mct
+            if mct is not None:
+                append((node, "mct", mct.entry.address,
+                        mct.is_stale(now, timing)))
+            mft = state.mft
+            if mft is not None:
+                for entry in mft.entries():
+                    marked_at = entry.marked_at
+                    append((node, "mft", entry.address,
+                            marked_at is not None and (now - marked_at) < t1,
+                            entry.forced_stale
+                            or (now - entry.refreshed_at) >= t1))
+        source = self.source
+        for entry in self.source_mft.entries():
+            marked_at = entry.marked_at
+            append((source, "src", entry.address,
+                    marked_at is not None and (now - marked_at) < t1,
+                    entry.forced_stale or (now - entry.refreshed_at) >= t1))
         return tuple(items)
 
     def _expire(self) -> None:
@@ -258,18 +327,78 @@ class StaticHbh:
         return state
 
     def _applies_rules(self, node: NodeId) -> bool:
-        """HBH rules run at multicast-capable transit routers only."""
-        return (
-            node != self.source
-            and self.topology.kind(node) is NodeKind.ROUTER
-            and self.topology.is_multicast_capable(node)
-        )
+        """HBH rules run at multicast-capable transit routers only.
+        Memoized: called once per hop of every walk, against topology
+        facts that are fixed before the driver is built."""
+        cached = self._rules_cache.get(node)
+        if cached is None:
+            cached = (
+                node != self.source
+                and self.topology.kind(node) is NodeKind.ROUTER
+                and self.topology.is_multicast_capable(node)
+            )
+            self._rules_cache[node] = cached
+        return cached
+
+    def _hops(self, origin: NodeId, destination: NodeId):
+        """The hop sequence ``origin -> destination`` *excluding*
+        ``origin`` — what a message walk visits.  Uses the routing
+        substrate's memoized path when it has one; otherwise chains
+        ``next_hop`` exactly as the walks used to, so learned-routing
+        views keep their step-at-a-time semantics."""
+        if origin == destination:
+            return ()
+        route_path = self._route_path
+        if route_path is not None:
+            return route_path(origin, destination)[1:]
+        hops = []
+        current = origin
+        routing = self.routing
+        while current != destination:
+            current = routing.next_hop(current, destination)
+            hops.append(current)
+        return hops
+
+    def _plans_current(self) -> bool:
+        """Whether the generation-keyed walk plans are usable (and
+        fresh).  False for routing substrates without a ``generation``
+        counter — learned views change routes mid-convergence, so their
+        walks must re-resolve every hop."""
+        generation = getattr(self.routing, "generation", None)
+        if generation is None:
+            return False
+        if generation != self._plan_generation:
+            self._join_plans.clear()
+            self._tree_plans.clear()
+            self._spt_cache.clear()
+            self._spt_generation = generation
+            self._plan_generation = generation
+        return True
 
     def _on_spt(self, node: NodeId, receiver: NodeId) -> bool:
         """Does ``node`` lie on a unicast shortest path from the source
         to ``receiver``?  The routing fact behind join rule 3's premise
         (a branching node serves receivers on forward shortest paths);
-        unreachable endpoints — e.g. mid-fault — count as off-path."""
+        unreachable endpoints — e.g. mid-fault — count as off-path.
+
+        Memoized per routing generation; substrates without a
+        ``generation`` counter (learned-routing views) are always
+        computed fresh, since their answers change mid-convergence.
+        """
+        generation = getattr(self.routing, "generation", None)
+        if generation is None:
+            return self._compute_on_spt(node, receiver)
+        if generation != self._spt_generation:
+            self._spt_cache.clear()
+            self._spt_generation = generation
+        key = (node, receiver)
+        cached = self._spt_cache.get(key)
+        if cached is None:
+            cached = self._compute_on_spt(node, receiver)
+            self._spt_cache[key] = cached
+        return cached
+
+    def _compute_on_spt(self, node: NodeId, receiver: NodeId) -> bool:
         try:
             return (
                 self.routing.distance(self.source, node)
@@ -283,46 +412,63 @@ class StaticHbh:
                    span: Optional[Span] = None) -> None:
         """Walk a join from ``origin`` toward the source, applying the
         join rules at every HBH router until interception or arrival."""
+        if span is None and message.joiner == origin \
+                and self._plans_current():
+            self._walk_join_fast(origin, message, float(self.round_no))
+            return
         self.messages_processed += 1
-        current = origin
-        while current != self.source:
-            current = self.routing.next_hop(current, self.source)
+        # Hoist the per-hop lookups (self.* attribute loads, the `now`
+        # property, the rules-cache indirection) into locals.
+        now = float(self.round_no)
+        source = self.source
+        timing = self.timing
+        states = self.states
+        joiner = message.joiner
+        rules_cache = self._rules_cache
+        for current in self._hops(origin, source):
             if span is not None:
                 span.hops.append(current)
-            if current == self.source:
+            if current == source:
                 if span is not None:
-                    existed = message.joiner in self.source_mft
-                process_join_at_source(self.source_mft, message, self.now)
+                    existed = joiner in self.source_mft
+                process_join_at_source(self.source_mft, message, now)
                 if span is not None:
                     verb = "refresh-join" if existed else "add"
-                    self.causal.effect(span, self.source, "source-mft",
-                                       message.joiner, verb, self.now)
+                    self.causal.effect(span, source, "source-mft",
+                                       joiner, verb, now)
                     self.causal.finish(
                         span,
-                        f"reached source (MFT entry {message.joiner} "
+                        f"reached source (MFT entry {joiner} "
                         f"{'refreshed' if existed else 'added'})",
                     )
                 return
-            if not self._applies_rules(current):
+            applies = rules_cache.get(current)
+            if applies is None:
+                applies = self._applies_rules(current)
+            if not applies:
                 continue
+            state = states.get(current)
+            if state is None:
+                state = HbhChannelState()
+                states[current] = state
             actions = process_join(
-                self._state_at(current), message, current, self.now, self.timing,
-                on_spt=self._on_spt(current, message.joiner),
+                state, message, current, now, timing,
+                on_spt=self._on_spt(current, joiner),
             )
             consumed = False
             for action in actions:
-                if isinstance(action, Consume):
+                cls = action.__class__
+                if cls is Consume:
                     consumed = True
-                elif isinstance(action, OriginateJoin):
+                elif cls is OriginateJoin:
                     child = None
                     if span is not None:
                         # Rule 3: the interceptor refreshed the joiner's
                         # entry and joins the channel itself upstream.
                         self.causal.effect(span, current, "mft",
-                                           message.joiner, "refresh-join",
-                                           self.now)
+                                           joiner, "refresh-join", now)
                         child = self.causal.begin(
-                            JOIN, current, self.now, self.channel_name,
+                            JOIN, current, now, self.channel_name,
                             parent=span, target=action.joiner,
                         )
                     self._walk_join(
@@ -331,7 +477,7 @@ class StaticHbh:
                                     child),
                         child,
                     )
-                elif not isinstance(action, Forward):  # pragma: no cover
+                elif cls is not Forward:  # pragma: no cover
                     raise ProtocolError(f"unexpected join action {action!r}")
             if consumed:
                 if span is not None:
@@ -339,6 +485,75 @@ class StaticHbh:
                         span, f"intercepted by {current} (join rule 3)"
                     )
                 return
+
+    def _walk_join_fast(self, origin: NodeId, message: JoinMessage,
+                        now: float) -> None:
+        """Untraced join walk over a precomputed plan.
+
+        The hop sequence and the per-node rules verdicts are both
+        static for a routing generation, so the walk reduces to "apply
+        the join rules at each rule-applying hop, then deliver at the
+        source" — the transparent unicast hops do nothing in an
+        untraced walk and are precomputed away.  Rule-3 re-originations
+        are walked iteratively (LIFO matches the recursive order: an
+        interception stops the outer walk, so at most one nested join
+        is ever pending).
+
+        Every fast-walked join has ``joiner == origin`` (periodic joins
+        start at the receiver; rule-3 re-originations carry the
+        interceptor's own address), so the per-hop on-SPT verdicts are
+        a function of the origin alone and live *inside* the plan.
+        Callers must have checked :meth:`_plans_current` (and, from the
+        generic walk, the joiner invariant) this round.
+        """
+        source = self.source
+        timing = self.timing
+        states = self.states
+        join_plans = self._join_plans
+        channel = self.channel
+        source_mft = self.source_mft
+        msg_cache = self._join_msg_cache
+        walk = [(origin, message)]
+        pop = walk.pop
+        while walk:
+            origin, message = pop()
+            self.messages_processed += 1
+            plan = join_plans.get(origin)
+            if plan is None:
+                applies = self._applies_rules
+                on_spt = self._compute_on_spt
+                plan = tuple((h, on_spt(h, origin))
+                             for h in self._hops(origin, source)
+                             if applies(h))
+                join_plans[origin] = plan
+            consumed = False
+            for current, on_spt in plan:
+                state = states.get(current)
+                if state is None:
+                    state = HbhChannelState()
+                    states[current] = state
+                actions = process_join(state, message, current, now,
+                                       timing, on_spt=on_spt)
+                if actions is FORWARD_ONLY:
+                    continue
+                for action in actions:
+                    cls = action.__class__
+                    if cls is Consume:
+                        consumed = True
+                    elif cls is OriginateJoin:
+                        nested = msg_cache.get(current)
+                        if nested is None:
+                            nested = JoinMessage(channel, current)
+                            msg_cache[current] = nested
+                        walk.append((current, nested))
+                    elif cls is not Forward:  # pragma: no cover
+                        raise ProtocolError(
+                            f"unexpected join action {action!r}"
+                        )
+                if consumed:
+                    break
+            if not consumed and origin != source:
+                process_join_at_source(source_mft, message, now)
 
     def _tree_phase(self) -> None:
         """The source's periodic tree emission plus the full in-round
@@ -356,8 +571,13 @@ class StaticHbh:
             Tuple[NodeId, Union[TreeMessage, FusionMessage], Optional[Span]]
         ] = deque()
         seen: Set[Tuple] = set()
+        msg_cache = self._tree_msg_cache
         for target in self.source_mft.tree_targets(self.now, self.timing):
-            queue.append((self.source, TreeMessage(self.channel, target), None))
+            message = msg_cache.get(target)
+            if message is None:
+                message = TreeMessage(self.channel, target)
+                msg_cache[target] = message
+            queue.append((self.source, message, None))
         causal = self.causal
         tracing = causal is not None and causal.enabled
         #: All of one round's emission shares one trace: the origin
@@ -367,21 +587,26 @@ class StaticHbh:
             else None
         )
         steps = 0
+        popleft = queue.popleft
+        seen_add = seen.add
+        fast_ok = not tracing and self._plans_current()
+        now = float(self.round_no)
         while queue:
             steps += 1
             if steps > _MAX_CASCADE:  # pragma: no cover - safety valve
                 raise ProtocolError("tree/fusion cascade did not terminate")
-            origin, message, parent = queue.popleft()
-            if isinstance(message, TreeMessage):
+            origin, message, parent = popleft()
+            is_tree = isinstance(message, TreeMessage)
+            if is_tree:
                 key = ("tree", origin, message.target)
             else:
                 key = ("fusion", origin, tuple(message.receivers))
             if key in seen:
                 continue
-            seen.add(key)
+            seen_add(key)
             span: Optional[Span] = None
             if tracing:
-                if isinstance(message, TreeMessage):
+                if is_tree:
                     span = causal.begin(
                         TREE, origin, self.now, self.channel_name,
                         trace_id=round_trace if parent is None else None,
@@ -393,8 +618,11 @@ class StaticHbh:
                         parent=parent, target=message.receivers,
                     )
                 message = self._stamp(message, span)
-            if isinstance(message, TreeMessage):
-                self._walk_tree(origin, message, queue, span)
+            if is_tree:
+                if fast_ok:
+                    self._walk_tree_fast(origin, message, queue, now)
+                else:
+                    self._walk_tree(origin, message, queue, span)
             else:
                 self._walk_fusion(origin, message, queue, span)
 
@@ -408,51 +636,65 @@ class StaticHbh:
         """Walk ``tree(S, target)`` from ``origin`` toward its target,
         applying the tree rules at every HBH router on the way."""
         self.messages_processed += 1
+        # Hot loop (same treatment as _walk_join): locals for the
+        # per-hop lookups, one rules-cache probe per hop.
+        now = float(self.round_no)
+        timing = self.timing
+        channel = self.channel
+        states = self.states
+        queue_append = queue.append
         target_node = message.target
-        current = origin
-        while current != target_node:
-            previous = current
-            current = self.routing.next_hop(current, target_node)
+        rules_cache = self._rules_cache
+        previous = origin
+        for current in self._hops(origin, target_node):
             if span is not None:
                 span.hops.append(current)
-            if current == target_node and not self._applies_rules(current):
-                # Arrived at a host/receiver (or the source): consumed.
-                if span is not None:
-                    self.causal.finish(span, f"reached {target_node}")
-                return
-            if not self._applies_rules(current):
+            applies = rules_cache.get(current)
+            if applies is None:
+                applies = self._applies_rules(current)
+            if not applies:
+                if current == target_node:
+                    # Arrived at a host/receiver (or the source): consumed.
+                    if span is not None:
+                        self.causal.finish(span, f"reached {target_node}")
+                    return
+                previous = current
                 continue
-            state = self._state_at(current)
+            state = states.get(current)
+            if state is None:
+                state = HbhChannelState()
+                states[current] = state
             if span is not None:
                 before = self._tree_facts(state, target_node)
             actions = process_tree(
-                state, message, current, self.now,
-                self.timing, arrived_from=previous,
+                state, message, current, now,
+                timing, arrived_from=previous,
             )
             if span is not None:
                 self._tree_effects(span, current, state, target_node, before)
             consumed = False
             for action in actions:
-                if isinstance(action, Consume):
+                cls = action.__class__
+                if cls is Consume:
                     consumed = True
-                elif isinstance(action, OriginateTree):
+                elif cls is OriginateTree:
                     if action.target != current:
-                        queue.append(
+                        queue_append(
                             (current,
-                             TreeMessage(self.channel, action.target),
+                             TreeMessage(channel, action.target),
                              span)
                         )
-                elif isinstance(action, OriginateFusion):
-                    queue.append(
+                elif cls is OriginateFusion:
+                    queue_append(
                         (
                             current,
                             FusionMessage(
-                                self.channel, action.receivers, sender=current
+                                channel, action.receivers, sender=current
                             ),
                             span,
                         )
                     )
-                elif not isinstance(action, Forward):  # pragma: no cover
+                elif cls is not Forward:  # pragma: no cover
                     raise ProtocolError(f"unexpected tree action {action!r}")
             if consumed:
                 if span is not None:
@@ -468,8 +710,72 @@ class StaticHbh:
                     else:
                         self.causal.finish(span, f"reached {target_node}")
                 return
+            previous = current
         if span is not None and not span.finished:
             self.causal.finish(span, f"reached {target_node}")
+
+    def _walk_tree_fast(self, origin: NodeId, message: TreeMessage,
+                        queue: Deque, now: float) -> None:
+        """Untraced tree walk over a precomputed plan (see
+        :meth:`_walk_join_fast`): only the rule-applying hops do
+        anything, and each needs its full-path predecessor as
+        ``arrived_from`` (the upstream interface the tree message
+        arrived on).  Callers must have checked :meth:`_plans_current`
+        this round."""
+        self.messages_processed += 1
+        timing = self.timing
+        channel = self.channel
+        states = self.states
+        queue_append = queue.append
+        msg_cache = self._tree_msg_cache
+        target_node = message.target
+        plan_key = (origin, target_node)
+        plan = self._tree_plans.get(plan_key)
+        if plan is None:
+            applies = self._applies_rules
+            steps = []
+            prev = origin
+            for hop in self._hops(origin, target_node):
+                if applies(hop):
+                    steps.append((hop, prev))
+                prev = hop
+            plan = tuple(steps)
+            self._tree_plans[plan_key] = plan
+        for current, arrived_from in plan:
+            state = states.get(current)
+            if state is None:
+                state = HbhChannelState()
+                states[current] = state
+            actions = process_tree(state, message, current, now,
+                                   timing, arrived_from=arrived_from)
+            if actions is FORWARD_ONLY:
+                continue
+            consumed = False
+            for action in actions:
+                cls = action.__class__
+                if cls is Consume:
+                    consumed = True
+                elif cls is OriginateTree:
+                    target = action.target
+                    if target != current:
+                        nested = msg_cache.get(target)
+                        if nested is None:
+                            nested = TreeMessage(channel, target)
+                            msg_cache[target] = nested
+                        queue_append((current, nested, None))
+                elif cls is OriginateFusion:
+                    queue_append(
+                        (current,
+                         FusionMessage(channel, action.receivers,
+                                       sender=current),
+                         None)
+                    )
+                elif cls is not Forward:  # pragma: no cover
+                    raise ProtocolError(
+                        f"unexpected tree action {action!r}"
+                    )
+            if consumed:
+                return
 
     def _tree_facts(self, state: HbhChannelState,
                     target: NodeId) -> Tuple[bool, bool, Optional[NodeId]]:
@@ -570,6 +876,8 @@ class StaticHbh:
                 state, message, self.now,
                 arrived_from=previous,
             )
+            if actions is FORWARD_ONLY:
+                continue
             if any(isinstance(action, Consume) for action in actions):
                 if span is not None:
                     self._fusion_effects(span, current, "mft",
@@ -634,9 +942,9 @@ class StaticHbh:
         span: Optional[Span] = None,
     ) -> None:
         current = origin
-        while current != target:
-            nxt = self.routing.next_hop(current, target)
-            cost = self.topology.cost(current, nxt)
+        topology_cost = self.topology.cost
+        for nxt in self._hops(origin, target):
+            cost = topology_cost(current, nxt)
             distribution.record_hop(current, nxt, cost)
             elapsed += cost
             current = nxt

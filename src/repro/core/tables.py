@@ -133,6 +133,14 @@ class Mft:
 
     def __init__(self) -> None:
         self._entries: Dict[Addr, MftEntry] = {}
+        #: Lower bound on the oldest ``refreshed_at`` in the table.
+        #: Refreshes only ever *raise* an entry's timestamp and removals
+        #: only raise the true minimum, so the bound stays valid without
+        #: per-refresh bookkeeping; :meth:`expire` uses it to skip the
+        #: full scan while nothing can possibly be t2-dead (the
+        #: steady-state of a converged tree) and re-tightens it after
+        #: every real scan.
+        self._oldest: float = float("inf")
 
     def __contains__(self, address: Addr) -> bool:
         return address in self._entries
@@ -147,6 +155,12 @@ class Mft:
         """The entry for ``address``, or None."""
         return self._entries.get(address)
 
+    def entries(self):
+        """A *live* view of the entries in insertion order.  For read
+        passes that do not mutate the table (``__iter__`` copies so
+        callers may remove entries mid-loop; this view does not)."""
+        return self._entries.values()
+
     def add(self, address: Addr, now: float, *, marked: bool = False,
             forced_stale: bool = False) -> MftEntry:
         """Insert a new entry (caller guarantees absence)."""
@@ -156,6 +170,8 @@ class Mft:
                          marked_at=now if marked else None,
                          forced_stale=forced_stale)
         self._entries[address] = entry
+        if now < self._oldest:
+            self._oldest = now
         return entry
 
     def remove(self, address: Addr) -> None:
@@ -166,22 +182,48 @@ class Mft:
         """All entry addresses in insertion order."""
         return list(self._entries)
 
+    def address_tuple(self) -> "tuple":
+        """All entry addresses in insertion order, as a tuple (the
+        fusion-payload shape, built without the intermediate list)."""
+        return tuple(self._entries)
+
     def expire(self, now: float, timing: ProtocolTiming) -> List[MftEntry]:
-        """Destroy t2-expired entries; returns what was removed."""
-        dead = [e for e in self._entries.values() if e.is_dead(now, timing)]
+        """Destroy t2-expired entries; returns what was removed.
+
+        Skipped outright while :attr:`_oldest` proves every entry is
+        within t2 (is_dead depends only on ``refreshed_at``).
+        """
+        t2 = timing.t2
+        if now - self._oldest < t2:
+            return []
+        entries = self._entries
+        dead = [e for e in entries.values() if (now - e.refreshed_at) >= t2]
         for entry in dead:
-            del self._entries[entry.address]
+            del entries[entry.address]
+        self._oldest = min(
+            (e.refreshed_at for e in entries.values()), default=float("inf")
+        )
         return dead
 
     def tree_targets(self, now: float, timing: ProtocolTiming) -> List[Addr]:
-        """Addresses that should receive downstream tree messages."""
+        """Addresses that should receive downstream tree messages.
+
+        Inline form of :meth:`MftEntry.forwards_tree` — this runs once
+        per branching node per round in the static driver.
+        """
+        t1 = timing.t1
         return [e.address for e in self._entries.values()
-                if e.forwards_tree(now, timing)]
+                if not e.forced_stale and (now - e.refreshed_at) < t1]
 
     def data_targets(self, now: float, timing: ProtocolTiming) -> List[Addr]:
-        """Addresses that should receive data copies."""
-        return [e.address for e in self._entries.values()
-                if e.forwards_data(now, timing)]
+        """Addresses that should receive data copies (inline form of
+        :meth:`MftEntry.forwards_data`)."""
+        t1, t2 = timing.t1, timing.t2
+        return [
+            e.address for e in self._entries.values()
+            if (e.marked_at is None or (now - e.marked_at) >= t1)
+            and (now - e.refreshed_at) < t2
+        ]
 
     def __repr__(self) -> str:
         parts = []

@@ -295,6 +295,21 @@ def main(argv: Optional[List[str]] = None) -> int:
              "normalized-p50 regression budget",
     )
     parser.add_argument(
+        "--trend", default="", metavar="JSONL",
+        help="with 'bench': append this run's normalized p50s to a "
+             "JSONL trend history (CI keeps one per branch)",
+    )
+    parser.add_argument(
+        "--trend-branch", default="", metavar="NAME",
+        help="with 'bench --trend': tag appended records with a branch "
+             "name",
+    )
+    parser.add_argument(
+        "--summary", default="", metavar="MD",
+        help="with 'bench': write a markdown delta-vs-baseline table "
+             "(CI appends it to the job summary)",
+    )
+    parser.add_argument(
         "--protocols", default="",
         help="comma-separated protocol list overriding the paper's four "
              "curves (e.g. add the mospf reference: "
@@ -392,6 +407,9 @@ def _dispatch(args, tracer, flight, bus=None) -> int:
             iterations=args.iterations,
             tolerance=args.tolerance,
             quiet=args.quiet,
+            trend=args.trend or None,
+            trend_branch=args.trend_branch or None,
+            summary=args.summary or None,
         )
     if args.target == "explain":
         from repro.experiments.explain import run_explain

@@ -321,10 +321,12 @@ class FaultInjector:
         except SimulationError as exc:
             self.skipped.append(event)
             self.registry.inc(f"fault.skipped.{event.kind}")
-            self.network.trace.record(
-                self.network.simulator.now, "fault", "skip",
-                f"{event.kind}: {exc}",
-            )
+            trace = self.network.trace
+            if trace.enabled:
+                trace.record(
+                    self.network.simulator.now, "fault", "skip",
+                    f"{event.kind}: {exc}",
+                )
             return
         self.applied.append(event)
         self.registry.inc(f"fault.injected.{event.kind}")

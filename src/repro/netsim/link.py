@@ -43,6 +43,15 @@ class Link:
             (a.node_id, b.node_id): delay_ab,
             (b.node_id, a.node_id): delay_ba,
         }
+        #: Hot-path view of the same data: src end -> (dst id, dst
+        #: node, directed delay), resolved once instead of per packet.
+        self._peer = {
+            a.node_id: (b.node_id, b, delay_ab),
+            b.node_id: (a.node_id, a, delay_ba),
+        }
+        #: Per-direction batched drain state: src end -> (drain event
+        #: handle, packet list).  See :meth:`transmit`.
+        self._pending = {}
         self._on_transmit = on_transmit
         self.up = True
         self.packets_lost = 0
@@ -71,6 +80,21 @@ class Link:
         #: for size/bandwidth and queues behind earlier ones.
         self.bandwidth: Optional[float] = None
         self._busy_until = {key: 0.0 for key in self._delays}
+        #: True while no fault plane or bandwidth is configured, so
+        #: :meth:`transmit` can take the batched fast path with a single
+        #: check instead of re-testing every fault knob per packet.
+        #: Maintained by the ``set_*`` configurators (fault attributes
+        #: are documented as set through them, never poked directly).
+        self._plain = True
+
+    def _refresh_plain(self) -> None:
+        self._plain = (
+            self.loss_rate == 0.0
+            and self.jitter == 0.0
+            and self.duplicate_rate == 0.0
+            and self.reorder_rate == 0.0
+            and self.bandwidth is None
+        )
 
     def set_bandwidth(self, bandwidth: Optional[float]) -> None:
         """Configure the link's capacity (both directions)."""
@@ -79,6 +103,7 @@ class Link:
                 f"bandwidth must be positive, got {bandwidth}"
             )
         self.bandwidth = bandwidth
+        self._refresh_plain()
 
     def set_loss(self, rate: float, rng) -> None:
         """Make the link lossy: each transmission drops with
@@ -94,6 +119,7 @@ class Link:
             raise SimulationError("a positive loss rate requires an rng")
         self.loss_rate = rate
         self.loss_rng = rng if rate > 0.0 else None
+        self._refresh_plain()
 
     def set_jitter(self, jitter: float, rng) -> None:
         """Add uniform extra delay in ``[0, jitter]`` to each packet
@@ -106,6 +132,7 @@ class Link:
             raise SimulationError("a positive jitter requires an rng")
         self.jitter = jitter
         self.jitter_rng = rng if jitter > 0.0 else None
+        self._refresh_plain()
 
     def set_duplication(self, rate: float, rng) -> None:
         """Make each transmission arrive twice with probability
@@ -118,6 +145,7 @@ class Link:
             raise SimulationError("a positive duplication rate requires an rng")
         self.duplicate_rate = rate
         self.duplicate_rng = rng if rate > 0.0 else None
+        self._refresh_plain()
 
     def set_reordering(self, rate: float, rng) -> None:
         """Hold back each packet with probability ``rate`` for an extra
@@ -129,6 +157,7 @@ class Link:
             raise SimulationError("a positive reordering rate requires an rng")
         self.reorder_rate = rate
         self.reorder_rng = rng if rate > 0.0 else None
+        self._refresh_plain()
 
     def endpoints(self) -> tuple:
         """The two endpoint node ids (sorted for stable display)."""
@@ -148,8 +177,50 @@ class Link:
         end after the directed delay.  Expired-TTL packets are dropped
         silently (counted by the transmit hook before the drop check so
         the attempt is visible to diagnostics).
+
+        With no fault plane and no bandwidth configured (the common
+        case), same-direction packets sent at the same instant ride one
+        *batched drain* event instead of one engine event each.  The
+        batch is only extended while ``(arrival time, next sequence
+        number)`` prove that no other event could interleave, so the
+        receiver sees every packet at exactly the virtual time and in
+        exactly the order the unbatched engine would have produced.
         """
-        (dst,) = [end for end in self._ends if end != src]
+        try:
+            dst, receiver, propagation = self._peer[src]
+        except KeyError:
+            raise SimulationError(
+                f"node {src} not on link {self.endpoints()}"
+            ) from None
+        if self._plain:
+            if not self.up:
+                self.packets_lost += 1
+                return
+            self._on_transmit(self, src, dst, packet)
+            if packet.ttl <= 1:
+                return  # the aged copy would be expired; skip the clone
+            aged = packet.aged()
+            simulator = self._simulator
+            arrival = simulator._now + propagation
+            pending = self._pending.get(src)
+            if pending is not None:
+                handle, batch = pending
+                # Safe to append iff the drain is still in the future at
+                # the same arrival instant AND no event of any kind was
+                # scheduled since the drain (its seq is still the
+                # newest).  Then the packets this batch carries occupy a
+                # contiguous (time, seq) run, so delivering them
+                # back-to-back from one event is indistinguishable from
+                # one event each.
+                if handle.time == arrival and simulator._seq == handle._seq + 1:
+                    batch.append(aged)
+                    return
+            batch = [aged]
+            handle = simulator.schedule(
+                propagation, self._drain, receiver, src, batch
+            )
+            self._pending[src] = (handle, batch)
+            return
         if not self.up:
             self.packets_lost += 1
             return
@@ -160,8 +231,6 @@ class Link:
         aged = packet.aged()
         if aged.expired:
             return
-        receiver = self._ends[dst]
-        propagation = self.delay(src, dst)
         total_delay = propagation
         if self.bandwidth is not None:
             # FIFO transmitter: serialize after earlier packets finish.
@@ -193,6 +262,16 @@ class Link:
             self._simulator.schedule(
                 total_delay + propagation, receiver.receive, aged, src
             )
+
+    def _drain(self, receiver: "Node", src: NodeId, batch: list) -> None:
+        """Deliver a batch of same-instant, same-direction packets in
+        the order they were transmitted (== their would-be seq order).
+        A receive callback that transmits on this same link starts a
+        fresh batch: its arrival lies strictly later (delays are
+        positive), so the append guard in :meth:`transmit` fails."""
+        receive = receiver.receive
+        for packet in batch:
+            receive(packet, src)
 
     def __repr__(self) -> str:
         a, b = self.endpoints()

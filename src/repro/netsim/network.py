@@ -237,8 +237,9 @@ class Network:
                     continue
                 seen.add(id(link))
                 if rate == 0.0:
-                    link.loss_rate = 0.0
-                    link.loss_rng = None
+                    # Through the setter, not attribute pokes, so the
+                    # link's fast-path flag is recomputed.
+                    link.set_loss(0.0, None)
                 else:
                     link.set_loss(rate, derive_rng(rng, "loss",
                                                    len(seen)))
@@ -259,11 +260,18 @@ class Network:
                      packet: Packet) -> None:
         self.counters.record(src, dst, self.topology.cost(src, dst),
                              packet.kind)
-        self.trace.record(
-            self.simulator.now, src, "transmit", f"-> {dst}: {packet!r}"
-        )
-        if self.causal.enabled and packet.span_id is not None:
-            self.causal.hop(packet.span_id, dst)
+        # Fast-path rule (same as causal tracing below): one enabled
+        # check at the call site, so the f-string/Packet repr is never
+        # formatted on untraced runs — this line alone dominated the
+        # link.transmit micro-bench before it was guarded.
+        trace = self.trace
+        if trace.enabled:
+            trace.record(
+                self.simulator.now, src, "transmit", f"-> {dst}: {packet!r}"
+            )
+        causal = self.causal
+        if causal.enabled and packet.span_id is not None:
+            causal.hop(packet.span_id, dst)
 
     def data_tally(self):
         """Aggregate data-traffic tally (tree-cost measurement)."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional
 
 from repro.addressing import Address
-from repro.errors import SimulationError
+from repro.errors import RoutingError, SimulationError
 from repro.netsim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
@@ -128,10 +128,16 @@ class Node:
             if agent.deliver(packet):
                 return
         self.unclaimed.append(packet)
-        self.network.trace.record(
-            self.network.simulator.now, self.node_id, "sink",
-            f"unclaimed {packet!r}",
-        )
+        # Fast-path rule: test `enabled` at the call site so the
+        # f-string (and the Packet repr it forces) is never built when
+        # tracing is off — repr formatting, not the ring append, is the
+        # measured cost.
+        trace = self.network.trace
+        if trace.enabled:
+            trace.record(
+                self.network.simulator.now, self.node_id, "sink",
+                f"unclaimed {packet!r}",
+            )
 
     def forward(self, packet: Packet) -> None:
         """Forward on the unicast next hop toward ``packet.dst``.
@@ -140,19 +146,20 @@ class Node:
         after a link failure under learned routing) drops the packet,
         exactly like a real router — soft state retries later.
         """
-        from repro.errors import RoutingError
-
-        destination_node = self.network.node_of(packet.dst)
+        network = self.network
+        destination_node = network.node_of(packet.dst)
         try:
-            next_hop = self.network.routing.next_hop(
+            next_hop = network.routing.next_hop(
                 self.node_id, destination_node.node_id
             )
         except RoutingError:
             self.dropped_no_route += 1
-            self.network.trace.record(
-                self.network.simulator.now, self.node_id, "drop",
-                f"no route to {packet.dst}",
-            )
+            trace = network.trace
+            if trace.enabled:
+                trace.record(
+                    network.simulator.now, self.node_id, "drop",
+                    f"no route to {packet.dst}",
+                )
             return
         self.send_via(next_hop, packet)
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.addressing import Address
@@ -78,28 +78,65 @@ class Packet:
     trace_id: Optional[str] = field(default=None, compare=False)
     span_id: Optional[int] = field(default=None, compare=False)
 
+    # The clone methods below run once per hop (aged) or per branch
+    # copy (readdressed) on the data-plane hot path, so they build the
+    # copy with ``object.__new__`` + ``object.__setattr__`` instead of
+    # ``dataclasses.replace`` — replace() re-enters the generated
+    # __init__ (and its default machinery), which profiles as the
+    # second-largest per-packet cost after trace formatting.  Packet
+    # ids stay eagerly drawn at the two identity-creating points
+    # (construction and readdressing) so uid numbering follows creation
+    # order deterministically — trace dumps rely on that.
+
     def readdressed(self, dst: Address, src: Optional[Address] = None) -> "Packet":
         """A modified copy with a new destination (and fresh uid).
 
         This is the branching-node operation: "creating packet copies
         with modified destination address" (Section 2.2).
         """
-        return replace(
-            self,
-            dst=dst,
-            src=src if src is not None else self.src,
-            uid=next(_packet_ids),
-            ttl=DEFAULT_TTL,
-        )
+        clone = object.__new__(Packet)
+        _set = object.__setattr__
+        _set(clone, "src", src if src is not None else self.src)
+        _set(clone, "dst", dst)
+        _set(clone, "payload", self.payload)
+        _set(clone, "kind", self.kind)
+        _set(clone, "ttl", DEFAULT_TTL)
+        _set(clone, "size", self.size)
+        _set(clone, "uid", next(_packet_ids))
+        _set(clone, "trace_id", self.trace_id)
+        _set(clone, "span_id", self.span_id)
+        return clone
 
     def with_span(self, span: Any) -> "Packet":
         """A copy carrying a (new) causal span identity (an object with
         ``trace_id``/``span_id``, i.e. :class:`repro.obs.causal.Span`)."""
-        return replace(self, trace_id=span.trace_id, span_id=span.span_id)
+        clone = object.__new__(Packet)
+        _set = object.__setattr__
+        _set(clone, "src", self.src)
+        _set(clone, "dst", self.dst)
+        _set(clone, "payload", self.payload)
+        _set(clone, "kind", self.kind)
+        _set(clone, "ttl", self.ttl)
+        _set(clone, "size", self.size)
+        _set(clone, "uid", self.uid)
+        _set(clone, "trace_id", span.trace_id)
+        _set(clone, "span_id", span.span_id)
+        return clone
 
     def aged(self) -> "Packet":
         """A copy with the TTL decremented (same uid: same packet, older)."""
-        return replace(self, ttl=self.ttl - 1)
+        clone = object.__new__(Packet)
+        _set = object.__setattr__
+        _set(clone, "src", self.src)
+        _set(clone, "dst", self.dst)
+        _set(clone, "payload", self.payload)
+        _set(clone, "kind", self.kind)
+        _set(clone, "ttl", self.ttl - 1)
+        _set(clone, "size", self.size)
+        _set(clone, "uid", self.uid)
+        _set(clone, "trace_id", self.trace_id)
+        _set(clone, "span_id", self.span_id)
+        return clone
 
     @property
     def expired(self) -> bool:

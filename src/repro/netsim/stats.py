@@ -50,6 +50,12 @@ class LinkCounters:
             kind: defaultdict(int) for kind in PacketKind
         }
         self._weighted: Dict[PacketKind, float] = {kind: 0.0 for kind in PacketKind}
+        # record() runs once per transmission: resolve the per-kind
+        # dicts into plain attributes so the hot path dispatches on an
+        # identity test instead of hashing a PacketKind enum twice.
+        # These alias the SAME defaultdicts the query API reads.
+        self._data_copies = self._copies[PacketKind.DATA]
+        self._control_copies = self._copies[PacketKind.CONTROL]
         # Registry instruments are resolved once; record() stays cheap.
         self._mirror_copies: Optional[Dict[PacketKind, Counter]] = None
         self._mirror_weighted: Optional[Dict[PacketKind, Counter]] = None
@@ -68,11 +74,17 @@ class LinkCounters:
     def record(self, src: NodeId, dst: NodeId, cost: float,
                kind: PacketKind) -> None:
         """Record one packet copy crossing the directed link src->dst."""
-        self._copies[kind][(src, dst)] += 1
+        if kind is PacketKind.DATA:
+            self._data_copies[(src, dst)] += 1
+        else:
+            self._control_copies[(src, dst)] += 1
         self._weighted[kind] += cost
         if self._mirror_copies is not None:
-            self._mirror_copies[kind].inc()
-            self._mirror_weighted[kind].inc(cost)  # type: ignore[index]
+            # Direct .value bumps: Counter.inc() only adds a
+            # non-negativity check, and link costs are validated
+            # positive at topology construction.
+            self._mirror_copies[kind].value += 1
+            self._mirror_weighted[kind].value += cost  # type: ignore[index]
 
     def tally(self, kind: PacketKind) -> TransmissionTally:
         """Aggregate statistics for one traffic class."""

@@ -184,12 +184,18 @@ MICRO_BENCHMARKS: Tuple[BenchSpec, ...] = (
     BenchSpec("engine.events", _build_engine_events),
     BenchSpec("routing.dijkstra", _build_dijkstra),
     BenchSpec("routing.tables", _build_routing_tables),
-    # The heaviest workload in the suite: allocation-bound, so its
-    # calibration-normalized ratio swings with cache/frequency state far
-    # more than the pure-compute benches.  Budget sized to its observed
-    # cross-invocation spread (~1.7-2.1x calibration on an idle box).
-    BenchSpec("hbh.converge", _build_hbh_converge, tolerance=0.35),
-    BenchSpec("link.transmit", _build_link_transmit),
+    # Allocation-bound, so its calibration-normalized ratio swings with
+    # cache/frequency state more than the pure-compute benches.  The
+    # committed baseline ratchets the walk-plan rewrite (~2.2x: norm
+    # 2.05 -> 0.95); budget sized to the post-rewrite cross-invocation
+    # spread (0.91-0.98 on an idle box), tightened from the pre-rewrite
+    # 0.35 now that the noisier allocation paths are gone.
+    BenchSpec("hbh.converge", _build_hbh_converge, tolerance=0.30),
+    # Ratcheted ~7x by the batched same-link drain (norm 3.63 -> 0.52).
+    # The remaining cost is engine delivery with a long scheduler-noise
+    # tail (p99 ~5x p50), so the budget is wider than the default even
+    # though the baseline itself enforces the rewrite.
+    BenchSpec("link.transmit", _build_link_transmit, tolerance=0.30),
 )
 
 
@@ -519,6 +525,90 @@ def compare_baselines(
 
 
 # ----------------------------------------------------------------------
+# Trend tracking and job summaries
+# ----------------------------------------------------------------------
+def append_trend(path: str, current: Dict[str, object],
+                 branch: Optional[str] = None) -> Dict[str, object]:
+    """Append one run's normalized p50s to a JSONL trend file.
+
+    The file is an append-only, per-branch perf history (CI persists it
+    across pushes): one compact record per suite run, newest last, so a
+    gradual drift that stays inside each individual run's tolerance is
+    still visible across the series.  Returns the appended record.
+    """
+    import datetime
+
+    micro = current.get("micro")
+    assert isinstance(micro, dict)
+    record: Dict[str, object] = {
+        "rev": current.get("rev"),
+        "when": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"),
+        "iterations": current.get("iterations"),
+        "normalized_p50": {
+            name: stats.get("normalized_p50")
+            for name, stats in sorted(micro.items())
+        },
+    }
+    if branch:
+        record["branch"] = branch
+    with open(path, "a") as handle:
+        json.dump(record, handle, sort_keys=True)
+        handle.write("\n")
+    return record
+
+
+def render_summary_markdown(
+    current: Dict[str, object],
+    baseline: Optional[Dict[str, object]] = None,
+    comparison: Optional[Comparison] = None,
+) -> str:
+    """A GitHub-flavored markdown table of this run vs the baseline.
+
+    Written to ``$GITHUB_STEP_SUMMARY`` by the CI bench job: one row
+    per guarded benchmark with the normalized p50 delta against the
+    committed baseline and whether it stayed inside its budget.
+    """
+    micro = current.get("micro")
+    assert isinstance(micro, dict)
+    base_micro = baseline.get("micro") if baseline else None
+    lines = [
+        "### Benchmark deltas (normalized p50, lower is faster)",
+        "",
+        "| benchmark | baseline | current | delta | budget | status |",
+        "|---|---:|---:|---:|---:|---|",
+    ]
+    for name in bench_names():
+        if name not in micro:
+            continue
+        cur = float(micro[name].get("normalized_p50", 0.0))
+        if name == "calibration":
+            lines.append(f"| {name} | — | {cur:.3f} | — | — | yardstick |")
+            continue
+        budget = _tolerance_for(name)
+        base = None
+        if isinstance(base_micro, dict) and name in base_micro:
+            base = float(base_micro[name].get("normalized_p50", 0.0))
+        if not base:
+            lines.append(f"| {name} | — | {cur:.3f} | — "
+                         f"| {budget:.0%} | no baseline |")
+            continue
+        delta = cur / base - 1.0
+        status = ("regression" if delta > budget
+                  else "improvement" if delta < -budget else "ok")
+        lines.append(f"| {name} | {base:.3f} | {cur:.3f} | {delta:+.1%} "
+                     f"| {budget:.0%} | {status} |")
+    if comparison is not None:
+        lines.append("")
+        lines.append(
+            f"**{len(comparison.regressions)} regression(s), "
+            f"{len(comparison.improvements)} improvement(s)** vs rev "
+            f"`{baseline.get('rev') if baseline else '?'}`"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
 # CLI driver
 # ----------------------------------------------------------------------
 def run_bench(
@@ -528,6 +618,9 @@ def run_bench(
     tolerance: Optional[float] = None,
     quiet: bool = False,
     echo: Optional[Callable[[str], None]] = None,
+    trend: Optional[str] = None,
+    trend_branch: Optional[str] = None,
+    summary: Optional[str] = None,
 ) -> int:
     """The ``experiments bench`` implementation.
 
@@ -535,7 +628,10 @@ def run_bench(
     — when ``check`` names a committed baseline — diffs against it and
     returns nonzero on any regression.  ``--check`` reruns the protocol
     sweep at the *baseline's* stored budget so deterministic metrics
-    stay comparable.
+    stay comparable.  ``trend`` appends the run's normalized p50s to a
+    JSONL history (tagged ``trend_branch`` when given); ``summary``
+    writes a markdown delta table (the CI job appends it to
+    ``$GITHUB_STEP_SUMMARY``).
     """
     import sys
 
@@ -568,6 +664,13 @@ def run_bench(
              f"x{stats['normalized_p50']:.2f} of calibration")
     emit(f"wrote {out_path}")
     if baseline_doc is None:
+        if trend:
+            append_trend(trend, current, branch=trend_branch)
+            emit(f"appended trend record to {trend}")
+        if summary:
+            with open(summary, "w") as handle:
+                handle.write(render_summary_markdown(current))
+            emit(f"wrote summary to {summary}")
         return 0
     comparison = compare_baselines(current, baseline_doc,
                                    tolerance=tolerance)
@@ -589,4 +692,12 @@ def run_bench(
     emit(f"-- regression gate vs {check} "
          f"(baseline rev {baseline_doc.get('rev')}) --")
     emit(comparison.render())
+    if trend:
+        append_trend(trend, current, branch=trend_branch)
+        emit(f"appended trend record to {trend}")
+    if summary:
+        with open(summary, "w") as handle:
+            handle.write(render_summary_markdown(current, baseline_doc,
+                                                 comparison))
+        emit(f"wrote summary to {summary}")
     return 0 if comparison.ok else 1

@@ -11,7 +11,7 @@ path and delay calculations.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List
+from typing import Dict, Hashable, List, Tuple
 
 from repro.errors import RoutingError
 from repro.obs.profiling import PROFILER
@@ -76,6 +76,18 @@ class UnicastRouting:
         topology.validate()
         self.topology = topology
         self._tables: Dict[NodeId, RoutingTable] = {}
+        #: Full forward paths, memoized as immutable tuples so hot
+        #: consumers (the static driver's message walks) can iterate a
+        #: route without one ``next_hop`` call per hop.
+        self._paths: Dict[Tuple[NodeId, NodeId], Tuple[NodeId, ...]] = {}
+        #: Bumped by :meth:`invalidate`.  Consumers that memoize route
+        #: facts (e.g. the static driver's on-SPT cache) compare this
+        #: to decide whether their caches still describe the current
+        #: costs.  Duck-typed routing substitutes (the learned-routing
+        #: views) do NOT provide it — cache holders must probe with
+        #: ``getattr(routing, "generation", None)`` and skip caching
+        #: when absent.
+        self.generation = 0
 
     def table(self, node: NodeId) -> RoutingTable:
         """The forwarding table of ``node`` (computed lazily)."""
@@ -112,22 +124,41 @@ class UnicastRouting:
         """The full unicast path ``[origin, ..., destination]``.
 
         This is the *forward* path — with asymmetric costs it generally
-        differs from ``path(destination, origin)`` reversed.
+        differs from ``path(destination, origin)`` reversed.  Returns a
+        fresh list (callers may mutate it); use :meth:`path_tuple` on
+        hot paths to share the memoized tuple instead.
         """
+        return list(self.path_tuple(origin, destination))
+
+    def path_tuple(self, origin: NodeId,
+                   destination: NodeId) -> Tuple[NodeId, ...]:
+        """The memoized forward path ``(origin, ..., destination)``.
+
+        Identical hop sequence to chaining :meth:`next_hop` (that is
+        how it is built), cached until :meth:`invalidate`.  The tuple
+        is shared — do not mutate-by-copy unless you must.
+        """
+        key = (origin, destination)
+        cached = self._paths.get(key)
+        if cached is not None:
+            return cached
         if origin == destination:
-            return [origin]
-        path = [origin]
-        node = origin
-        guard = len(self.topology.nodes) + 1
-        while node != destination:
-            node = self.next_hop(node, destination)
-            path.append(node)
-            guard -= 1
-            if guard == 0:  # pragma: no cover - tables are loop-free
-                raise RoutingError(
-                    f"forwarding loop between {origin} and {destination}"
-                )
-        return path
+            path: List[NodeId] = [origin]
+        else:
+            path = [origin]
+            node = origin
+            guard = len(self.topology.nodes) + 1
+            while node != destination:
+                node = self.next_hop(node, destination)
+                path.append(node)
+                guard -= 1
+                if guard == 0:  # pragma: no cover - tables are loop-free
+                    raise RoutingError(
+                        f"forwarding loop between {origin} and {destination}"
+                    )
+        result = tuple(path)
+        self._paths[key] = result
+        return result
 
     def distance(self, origin: NodeId, destination: NodeId) -> float:
         """Directed shortest-path cost from ``origin`` to ``destination``."""
@@ -136,8 +167,12 @@ class UnicastRouting:
         return self.table(origin).distance(destination)
 
     def invalidate(self) -> None:
-        """Drop cached tables (call after mutating link costs)."""
+        """Drop cached tables and paths (call after mutating link
+        costs) and advance :attr:`generation` so downstream route-fact
+        caches know to do the same."""
         self._tables.clear()
+        self._paths.clear()
+        self.generation += 1
 
 
 def shared_routing(topology: Topology) -> UnicastRouting:
