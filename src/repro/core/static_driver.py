@@ -64,6 +64,10 @@ NodeId = Hashable
 #: Safety valve for in-round message cascades.
 _MAX_CASCADE = 100_000
 
+#: Sentinel for "origin generation not queried yet" during cache
+#: revalidation (``None`` is a legitimate answer: origin not cached).
+_UNKNOWN = object()
+
 
 class StaticHbh:
     """One HBH channel driven round-by-round to convergence.
@@ -120,6 +124,22 @@ class StaticHbh:
             Tuple[NodeId, NodeId], Tuple[Tuple[NodeId, NodeId], ...]
         ] = {}
         self._plan_generation: Optional[int] = None
+        #: Per-entry origin dependencies of the three route-fact caches
+        #: above, as ``(origin, origin_generation)`` pairs captured at
+        #: build time.  When the routing substrate supports per-origin
+        #: generations (incremental :class:`UnicastRouting`), a global
+        #: generation bump revalidates each entry against its own
+        #: origins and keeps everything a fault did not touch; without
+        #: that support the caches still clear wholesale.
+        self._join_plan_deps: Dict[
+            NodeId, Tuple[Tuple[NodeId, Optional[int]], ...]
+        ] = {}
+        self._tree_plan_deps: Dict[
+            Tuple[NodeId, NodeId], Tuple[Tuple[NodeId, Optional[int]], ...]
+        ] = {}
+        self._spt_deps: Dict[
+            Tuple[NodeId, NodeId], Tuple[Tuple[NodeId, Optional[int]], ...]
+        ] = {}
         #: Control messages are frozen dataclasses and the untraced
         #: walks re-emit identical ones every round — cache per target
         #: (no generation dependency; messages carry no routing facts).
@@ -368,12 +388,70 @@ class StaticHbh:
         if generation is None:
             return False
         if generation != self._plan_generation:
-            self._join_plans.clear()
-            self._tree_plans.clear()
-            self._spt_cache.clear()
+            self._revalidate_route_caches()
             self._spt_generation = generation
             self._plan_generation = generation
         return True
+
+    def _revalidate_route_caches(self) -> None:
+        """The routing generation moved: drop exactly the cached route
+        facts whose origin trees changed.
+
+        Entries are checked against their recorded ``(origin,
+        generation)`` dependencies via ``routing.origin_generation``;
+        substrates without per-origin generations fall back to the old
+        wholesale clear.  Each origin is queried once (the query
+        triggers its lazy repair, so a clean origin costs one repaired
+        no-op and every plan over it survives the fault).
+        """
+        origin_gen = getattr(self.routing, "origin_generation", None)
+        if origin_gen is None:
+            self._join_plans.clear()
+            self._tree_plans.clear()
+            self._spt_cache.clear()
+            self._join_plan_deps.clear()
+            self._tree_plan_deps.clear()
+            self._spt_deps.clear()
+            return
+        fresh: Dict[NodeId, Optional[int]] = {}
+
+        def stale(deps) -> bool:
+            if deps is None:
+                return True
+            for node, gen in deps:
+                current = fresh.get(node, _UNKNOWN)
+                if current is _UNKNOWN:
+                    current = origin_gen(node)
+                    fresh[node] = current
+                if gen is None or current is None or current != gen:
+                    return True
+            return False
+
+        for cache, deps_map in (
+            (self._join_plans, self._join_plan_deps),
+            (self._tree_plans, self._tree_plan_deps),
+            (self._spt_cache, self._spt_deps),
+        ):
+            dead = [key for key in cache if stale(deps_map.get(key))]
+            for key in dead:
+                del cache[key]
+                deps_map.pop(key, None)
+
+    def _route_deps(
+        self, nodes
+    ) -> Tuple[Tuple[NodeId, Optional[int]], ...]:
+        """Capture ``(origin, generation)`` pairs for every distinct
+        origin whose table a just-built route fact consulted.  Called
+        immediately after the fact is computed, so every table is built
+        and synced — each query is one integer compare."""
+        origin_gen = getattr(self.routing, "origin_generation", None)
+        if origin_gen is None:
+            return ()
+        deps: Dict[NodeId, Optional[int]] = {}
+        for node in nodes:
+            if node not in deps:
+                deps[node] = origin_gen(node)
+        return tuple(deps.items())
 
     def _on_spt(self, node: NodeId, receiver: NodeId) -> bool:
         """Does ``node`` lie on a unicast shortest path from the source
@@ -389,13 +467,15 @@ class StaticHbh:
         if generation is None:
             return self._compute_on_spt(node, receiver)
         if generation != self._spt_generation:
-            self._spt_cache.clear()
+            self._revalidate_route_caches()
             self._spt_generation = generation
+            self._plan_generation = generation
         key = (node, receiver)
         cached = self._spt_cache.get(key)
         if cached is None:
             cached = self._compute_on_spt(node, receiver)
             self._spt_cache[key] = cached
+            self._spt_deps[key] = self._route_deps((self.source, node))
         return cached
 
     def _compute_on_spt(self, node: NodeId, receiver: NodeId) -> bool:
@@ -522,10 +602,13 @@ class StaticHbh:
             if plan is None:
                 applies = self._applies_rules
                 on_spt = self._compute_on_spt
+                hops = self._hops(origin, source)
                 plan = tuple((h, on_spt(h, origin))
-                             for h in self._hops(origin, source)
+                             for h in hops
                              if applies(h))
                 join_plans[origin] = plan
+                self._join_plan_deps[origin] = \
+                    self._route_deps((origin, *hops))
             consumed = False
             for current, on_spt in plan:
                 state = states.get(current)
@@ -735,12 +818,18 @@ class StaticHbh:
             applies = self._applies_rules
             steps = []
             prev = origin
-            for hop in self._hops(origin, target_node):
+            hops = tuple(self._hops(origin, target_node))
+            for hop in hops:
                 if applies(hop):
                     steps.append((hop, prev))
                 prev = hop
             plan = tuple(steps)
             self._tree_plans[plan_key] = plan
+            # The walk consults the tables of every hop except the
+            # final target (the last next_hop decision happens one
+            # node earlier).
+            self._tree_plan_deps[plan_key] = \
+                self._route_deps((origin, *hops[:-1]))
         for current, arrived_from in plan:
             state = states.get(current)
             if state is None:

@@ -20,7 +20,10 @@ from repro.topology.isp import (
     isp_topology,
 )
 from repro.topology.model import Topology
-from repro.topology.random_graphs import random_topology_50
+from repro.topology.random_graphs import (
+    random_topology_50,
+    scaled_waxman_topology,
+)
 
 #: The four curves of every figure, in the paper's legend order.
 DEFAULT_PROTOCOLS = ("pim-sm", "pim-ss", "reunite", "hbh")
@@ -56,9 +59,30 @@ def make_random50_setup(seed: SeedLike) -> TopologySetup:
     )
 
 
+#: Router count of the internet-scale demonstration sweep.
+WAXMAN10K_NODES = 10_000
+
+
+def make_waxman10k_setup(seed: SeedLike) -> TopologySetup:
+    """A 10k-router scaled-Waxman topology — the internet-scale
+    demonstration the incremental routing substrate exists for.
+
+    Receivers sit directly on routers (like the paper's 50-node random
+    model); router 0 is the source.
+    """
+    topology = scaled_waxman_topology(
+        WAXMAN10K_NODES, seed=seed, name="waxman10k"
+    )
+    routers = topology.routers
+    return TopologySetup(
+        topology=topology, source=routers[0], candidates=routers[1:]
+    )
+
+
 TOPOLOGY_FACTORIES: Dict[str, Callable[[SeedLike], TopologySetup]] = {
     "isp": make_isp_setup,
     "random50": make_random50_setup,
+    "waxman10k": make_waxman10k_setup,
 }
 
 
@@ -111,4 +135,8 @@ FIGURE_CONFIGS: Dict[str, SweepConfig] = {
                          group_sizes=(2, 4, 6, 8, 10, 12, 14, 16)),
     "fig8b": SweepConfig(name="fig8b", topology="random50",
                          group_sizes=(5, 10, 15, 20, 25, 30, 35, 40, 45)),
+    # Not a paper figure: the internet-scale HBH demonstration sweep
+    # enabled by incremental routing (10k routers, single run).
+    "scale10k": SweepConfig(name="scale10k", topology="waxman10k",
+                            group_sizes=(16,), protocols=("hbh",), runs=1),
 }

@@ -21,6 +21,7 @@ FIGURE_METRICS: Dict[str, str] = {
     "fig7b": "cost_copies",
     "fig8a": "delay",
     "fig8b": "delay",
+    "scale10k": "cost_copies",
 }
 
 

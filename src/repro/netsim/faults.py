@@ -415,8 +415,13 @@ class RoundFaultPlayer:
 
     def advance(self, now: float) -> int:
         """Apply every not-yet-applied event with ``time <= now``;
-        returns how many were applied (routing is invalidated once if
-        anything structural changed)."""
+        returns how many were applied.
+
+        A self-tracking routing substrate (``auto_tracking``, i.e.
+        :class:`~repro.routing.tables.UnicastRouting`) observes the
+        ``set_cost`` calls directly and repairs affected origin trees
+        lazily; anything else is invalidated wholesale once, as before.
+        """
         applied = 0
         changed = False
         while (self._cursor < len(self._pending)
@@ -428,7 +433,7 @@ class RoundFaultPlayer:
                 continue
             changed |= self._dispatch(event)
             applied += 1
-        if changed:
+        if changed and not getattr(self.routing, "auto_tracking", False):
             self.routing.invalidate()
         return applied
 

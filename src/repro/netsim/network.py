@@ -146,9 +146,11 @@ class Network:
         link.up = False
         self._saved_costs[(a, b)] = (self.topology.cost(a, b),
                                      self.topology.cost(b, a))
+        # The routing substrate observes set_cost itself and repairs
+        # only the origin trees the cut actually crosses (lazily, on
+        # the next query) — no wholesale invalidation.
         self.topology.set_cost(a, b, self.FAILED_LINK_COST)
         self.topology.set_cost(b, a, self.FAILED_LINK_COST)
-        self.routing.invalidate()
         self.trace.record(self.simulator.now, a, "link-down", f"to {b}")
 
     def restore_link(self, a: NodeId, b: NodeId) -> None:
@@ -164,7 +166,6 @@ class Network:
         link.up = True
         self.topology.set_cost(a, b, cost_ab)
         self.topology.set_cost(b, a, cost_ba)
-        self.routing.invalidate()
         self.trace.record(self.simulator.now, a, "link-up", f"to {b}")
 
     def link_between(self, a: NodeId, b: NodeId) -> Link:

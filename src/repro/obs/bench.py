@@ -159,6 +159,42 @@ def _build_hbh_converge() -> Callable[[], object]:
     return run
 
 
+def _build_routing_incremental() -> Callable[[], object]:
+    """One link flap repaired across 200 warm origin trees.
+
+    Builds every table once outside the timed loop; the measured unit
+    is the incremental substrate's whole delta path (cost listeners,
+    per-edge coalescing, subtree detach + restricted Dijkstra repair,
+    canonical predecessor fix-up) for a down-then-restore of one link,
+    eagerly applied to all 200 origins via ``refresh_all``.  A
+    regression to wholesale invalidation re-runs 200 full Dijkstras per
+    flap and blows the budget by an order of magnitude — this is the
+    ratchet on the incremental-routing rewrite.
+    """
+    from repro.netsim.network import Network
+    from repro.routing.tables import UnicastRouting
+    from repro.topology.random_graphs import random_topology
+
+    topology = random_topology(200, 600, seed=7)
+    routing = UnicastRouting(topology)
+    for node in topology.nodes:
+        routing.table(node)
+    a, b = next(topology.undirected_edges())
+    cost_ab = topology.cost(a, b)
+    cost_ba = topology.cost(b, a)
+    failed = Network.FAILED_LINK_COST
+
+    def run() -> int:
+        topology.set_cost(a, b, failed)
+        topology.set_cost(b, a, failed)
+        changed = routing.refresh_all()
+        topology.set_cost(a, b, cost_ab)
+        topology.set_cost(b, a, cost_ba)
+        return changed + routing.refresh_all()
+
+    return run
+
+
 def _build_link_transmit() -> Callable[[], object]:
     """1k packets pumped through ``Link.transmit`` + engine delivery."""
     from repro.netsim.network import Network
@@ -184,6 +220,12 @@ MICRO_BENCHMARKS: Tuple[BenchSpec, ...] = (
     BenchSpec("engine.events", _build_engine_events),
     BenchSpec("routing.dijkstra", _build_dijkstra),
     BenchSpec("routing.tables", _build_routing_tables),
+    # The incremental-repair ratchet: a link flap repaired across 200
+    # warm origin trees.  Explicit tolerance: repair work is sparse and
+    # pointer-chasing (dict/heap bound), so its normalized ratio swings
+    # more with allocator state than the dense Dijkstra benches.
+    BenchSpec("routing.incremental", _build_routing_incremental,
+              tolerance=0.30),
     # Allocation-bound, so its calibration-normalized ratio swings with
     # cache/frequency state more than the pure-compute benches.  The
     # committed baseline ratchets the walk-plan rewrite (~2.2x: norm

@@ -60,6 +60,10 @@ class StaticReunite:
         self.round_no = 0
         self.messages_processed = 0
         self.channel_name = channel_label(source)
+        #: Memoized-path accessor when the routing substrate offers one
+        #: (UnicastRouting does, repaired incrementally under faults;
+        #: learned views walk next_hop step by step instead).
+        self._route_path = getattr(self.routing, "path_tuple", None)
         #: Optional causal tracer + flight recorder (attach_tracer);
         #: None keeps every walk on the untraced fast path.
         self.causal: Optional[CausalTracer] = None
@@ -232,12 +236,29 @@ class StaticReunite:
             and self.topology.is_multicast_capable(node)
         )
 
+    def _hops(self, origin: NodeId, destination: NodeId):
+        """The hop sequence ``origin -> destination`` *excluding*
+        ``origin`` — what a message walk visits.  Uses the routing
+        substrate's memoized path when it has one; otherwise chains
+        ``next_hop`` exactly as the walks used to, so learned-routing
+        views keep their step-at-a-time semantics."""
+        if origin == destination:
+            return ()
+        route_path = self._route_path
+        if route_path is not None:
+            return route_path(origin, destination)[1:]
+        hops = []
+        current = origin
+        routing = self.routing
+        while current != destination:
+            current = routing.next_hop(current, destination)
+            hops.append(current)
+        return hops
+
     def _walk_join(self, origin: NodeId, message: ReuniteJoin,
                    span: Optional[Span] = None) -> None:
         self.messages_processed += 1
-        current = origin
-        while current != self.source:
-            current = self.routing.next_hop(current, self.source)
+        for current in self._hops(origin, self.source):
             if span is not None:
                 span.hops.append(current)
             if current == self.source:
@@ -355,9 +376,7 @@ class StaticReunite:
                    span: Optional[Span] = None) -> None:
         self.messages_processed += 1
         target_node = message.target
-        current = origin
-        while current != target_node:
-            current = self.routing.next_hop(current, target_node)
+        for current in self._hops(origin, target_node):
             if span is not None:
                 span.hops.append(current)
             if current == target_node:
@@ -465,8 +484,7 @@ class StaticReunite:
         now, timing = self.now, self.timing
         copies = 0
         current = origin
-        while current != target:
-            nxt = self.routing.next_hop(current, target)
+        for nxt in self._hops(origin, target):
             cost = self.topology.cost(current, nxt)
             distribution.record_hop(current, nxt, cost)
             elapsed += cost

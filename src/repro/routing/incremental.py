@@ -1,0 +1,187 @@
+"""Incremental shortest-path-tree repair (Ramalingam–Reps style).
+
+:func:`repair_tree` patches one origin's ``(distance, predecessor)``
+maps in place after a batch of directed-cost deltas, instead of
+re-running Dijkstra over the whole graph.  The contract that makes the
+repair safe to substitute for a full recompute everywhere:
+
+**Bit-identical output.**  The full build
+(:func:`repro.routing.dijkstra.shortest_paths_from`) breaks equal-cost
+ties by preferring the lexicographically smallest predecessor.  Because
+all costs are strictly positive, every equal-cost in-neighbor of a node
+``v`` settles strictly before ``v`` and gets to offer its tie — so the
+full build's predecessor is exactly the *canonical* one::
+
+    pred[v] = min{u in neighbors(v) : dist[u] + cost(u, v) == dist[v]}
+
+a pure function of the final distances.  Distances themselves are exact
+float sums taken as minima over identical candidate sets, so the repair
+reproduces them bit-for-bit; re-deriving the canonical predecessor for
+every touched node then restores tie-breaks exactly.  The differential
+Hypothesis suite (``tests/property/test_routing_incremental.py``) pins
+this equivalence after every fault event.
+
+The repair itself is the classic two-phase scheme:
+
+1. *Detach*: for every delta that increased the cost of a tree edge
+   ``u -> v``, the whole subtree hanging off ``v`` has stale (possibly
+   under-estimating) distances — remove it.  Every distance that
+   survives is a valid upper bound on the new true distance.
+2. *Re-relax*: seed a Dijkstra heap with the best boundary offer into
+   each detached node plus the head of every decreased edge, then run
+   an ordinary lazy-deletion Dijkstra restricted to the affected
+   region; untouched nodes never enter the heap.
+
+Predecessors are then re-canonicalised for the touched closure: the
+detached set, every node whose distance changed, the neighbors of
+those, and every delta head (an equality can appear or vanish without
+any distance moving).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import RoutingError
+from repro.topology.model import Topology
+
+NodeId = Hashable
+
+#: Sentinel distinguishing "absent predecessor entry" from ``None``
+#: (the origin's legitimate predecessor).
+_ABSENT = object()
+
+_INF = float("inf")
+
+
+def repair_tree(
+    topology: Topology,
+    origin: NodeId,
+    dist: Dict[NodeId, float],
+    pred: Dict[NodeId, Optional[NodeId]],
+    deltas: List[Tuple[NodeId, NodeId, float, float]],
+) -> Set[NodeId]:
+    """Patch ``(dist, pred)`` for ``origin`` after cost ``deltas``.
+
+    ``deltas`` is a list of net directed changes ``(a, b, old, new)``
+    with ``old != new``, coalesced per edge (``new`` must equal the
+    current ``topology.cost(a, b)``).  Both maps are mutated in place
+    to exactly what a fresh :func:`shortest_paths_from` would produce.
+
+    Returns the set of nodes whose distance or predecessor changed
+    (empty when the deltas did not affect this origin's tree).
+    """
+    neighbors = topology.neighbors
+    cost = topology.cost
+
+    # Phase 1: detach subtrees under increased tree edges.  The roots
+    # are classified against the *pre-repair* predecessor map, before
+    # any removal.
+    detach_roots = [b for a, b, old, new in deltas
+                    if new > old and pred.get(b) == a]
+    removed_dist: Dict[NodeId, float] = {}
+    removed_pred: Dict[NodeId, Optional[NodeId]] = {}
+    if detach_roots:
+        stack = detach_roots
+        while stack:
+            w = stack.pop()
+            if w in removed_dist:
+                continue
+            removed_dist[w] = dist.pop(w)
+            removed_pred[w] = pred.pop(w)
+            for x in neighbors(w):
+                if x not in removed_dist and pred.get(x) == w:
+                    stack.append(x)
+
+    # Phase 2: seed offers.  Detached nodes take their best offer from
+    # any neighbor that still holds a distance (a valid upper bound —
+    # later improvements re-offer through relaxation); decreased edges
+    # offer through their new cost.
+    heap: List[Tuple[float, NodeId]] = []
+    for w in removed_dist:
+        best = _INF
+        for z in neighbors(w):
+            dz = dist.get(z)
+            if dz is not None:
+                offer = dz + cost(z, w)
+                if offer < best:
+                    best = offer
+        if best < _INF:
+            heap.append((best, w))
+    for a, b, old, new in deltas:
+        if new < old:
+            da = dist.get(a)
+            if da is not None:
+                candidate = da + new
+                db = dist.get(b)
+                if db is None or candidate < db:
+                    heap.append((candidate, b))
+    heapq.heapify(heap)
+
+    # Restricted Dijkstra.  Surviving distances are upper bounds, so
+    # an offer only matters when it beats the stored value; everything
+    # a settled node relaxes re-enters through the same gate.
+    settled: Set[NodeId] = set()
+    while heap:
+        d, w = heapq.heappop(heap)
+        if w in settled:
+            continue
+        current = dist.get(w)
+        if current is not None and current <= d:
+            continue
+        settled.add(w)
+        dist[w] = d
+        for x in neighbors(w):
+            if x in settled:
+                continue
+            candidate = d + cost(w, x)
+            dx = dist.get(x)
+            if dx is None or candidate < dx:
+                heapq.heappush(heap, (candidate, x))
+
+    # Which distances actually moved?  Detached nodes may have
+    # re-attached at their old value; settled non-detached nodes
+    # strictly improved.
+    changed: Set[NodeId] = set()
+    for w, old_d in removed_dist.items():
+        if dist.get(w) != old_d:
+            changed.add(w)
+    for w in settled:
+        if w not in removed_dist:
+            changed.add(w)
+
+    # Phase 3: re-canonicalise predecessors over the touched closure.
+    # A node outside it keeps its equality set (its own distance, all
+    # in-neighbor distances and all in-edge costs are untouched), so
+    # its canonical predecessor cannot have moved.
+    fix: Set[NodeId] = set(removed_dist)
+    fix.update(settled)
+    for _a, b, _old, _new in deltas:
+        fix.add(b)
+    for w in changed:
+        fix.update(neighbors(w))
+    fix.discard(origin)
+    for x in fix:
+        dx = dist.get(x)
+        old_p = removed_pred[x] if x in removed_pred else pred.get(x, _ABSENT)
+        if dx is None:
+            # Still detached: no boundary offer ever reached it.
+            if old_p is not _ABSENT:
+                pred.pop(x, None)
+                changed.add(x)
+            continue
+        best_p: Optional[NodeId] = None
+        for u in neighbors(x):
+            du = dist.get(u)
+            if du is not None and du + cost(u, x) == dx:
+                if best_p is None or u < best_p:
+                    best_p = u
+        if best_p is None:  # pragma: no cover - dx is a witnessed sum
+            raise RoutingError(
+                f"repair lost the predecessor of {x} (origin {origin})"
+            )
+        pred[x] = best_p
+        if old_p is _ABSENT or old_p != best_p:
+            changed.add(x)
+    return changed

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -68,6 +68,15 @@ class Topology:
     _costs: Dict[Tuple[NodeId, NodeId], float] = field(default_factory=dict)
     _adjacency: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
     _multicast_capable: Dict[NodeId, bool] = field(default_factory=dict)
+    #: Observers of directed-cost mutations, called as
+    #: ``listener(a, b, old_cost, new_cost)`` after each effective
+    #: :meth:`set_cost`.  The routing substrate registers here so fault
+    #: events become incremental routing deltas instead of wholesale
+    #: invalidations.  Listeners are identity-bound: :meth:`copy` does
+    #: NOT carry them over (a copy gets fresh consumers).
+    _cost_listeners: List[Callable[[NodeId, NodeId, float, float], None]] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Construction
@@ -180,12 +189,39 @@ class Topology:
             raise TopologyError(f"no link from {a} to {b}") from None
 
     def set_cost(self, a: NodeId, b: NodeId, cost: float) -> None:
-        """Set the directed cost of an existing link direction."""
+        """Set the directed cost of an existing link direction.
+
+        No-op writes (the direction already carries ``cost``) are
+        elided, so listeners only ever see *effective* changes.
+        """
         if (a, b) not in self._costs:
             raise TopologyError(f"no link from {a} to {b}")
         if cost <= 0:
             raise TopologyError(f"non-positive cost {cost} for {a}->{b}")
+        old = self._costs[(a, b)]
+        if cost == old:
+            return
         self._costs[(a, b)] = cost
+        for listener in self._cost_listeners:
+            listener(a, b, old, cost)
+
+    def add_cost_listener(
+        self, listener: Callable[[NodeId, NodeId, float, float], None]
+    ) -> None:
+        """Observe every effective :meth:`set_cost` as
+        ``listener(a, b, old, new)``, called after the write.
+
+        Structural mutations (:meth:`add_link`) are NOT reported —
+        consumers that cache over the link *set* must rebuild; the
+        library only mutates costs on a live topology.
+        """
+        self._cost_listeners.append(listener)
+
+    def remove_cost_listener(
+        self, listener: Callable[[NodeId, NodeId, float, float], None]
+    ) -> None:
+        """Detach a listener added with :meth:`add_cost_listener`."""
+        self._cost_listeners.remove(listener)
 
     def has_link(self, a: NodeId, b: NodeId) -> bool:
         """Whether a physical link joins ``a`` and ``b``."""

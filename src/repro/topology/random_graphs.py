@@ -128,6 +128,141 @@ def waxman_topology(
     )
 
 
+#: Reference size at which :func:`scaled_waxman_topology`'s locality
+#: parameter equals its nominal ``beta`` — larger graphs shrink the
+#: neighborhood radius so density (and candidate work per node) stays
+#: constant as the node count grows.
+SCALED_WAXMAN_REF_NODES = 1000
+
+
+def scaled_waxman_topology(
+    num_nodes: int,
+    target_degree: float = 6.0,
+    beta: float = 0.1,
+    seed: SeedLike = None,
+    name: str = "waxman-scaled",
+    randomize_costs: bool = True,
+) -> Topology:
+    """A Waxman-style random topology that scales to tens of thousands
+    of routers.
+
+    The classic :func:`waxman_topology` considers all ``n*(n-1)/2``
+    pairs — hopeless past a few hundred nodes.  This variant keeps the
+    Waxman edge law ``alpha * exp(-d / s)`` but makes it *scale-free in
+    work*:
+
+    * the locality scale ``s = beta * L * sqrt(REF/n)`` shrinks with
+      the node count, so the expected neighborhood of a node (and hence
+      its degree, for fixed ``alpha``) is independent of ``n``;
+    * candidate pairs come from a spatial hash grid with cutoff radius
+      ``2.5 * s`` (~71% of the exponential edge mass; the tail is folded
+      into ``alpha``'s normalisation), so edge drawing is ``O(n)``
+      pairs instead of ``O(n^2)``;
+    * ``alpha`` is solved from ``target_degree`` in closed form, and
+      any components the truncated draw leaves behind are stitched to
+      the giant component through their geometrically nearest pair —
+      the graph is connected by construction, no retry loop.
+
+    Deterministic for a given ``(num_nodes, target_degree, beta, seed)``.
+    """
+    if num_nodes < 2:
+        raise TopologyError("Waxman topology needs at least 2 nodes")
+    if not (0 < beta <= 1):
+        raise TopologyError(f"Waxman beta out of range: {beta}")
+    if target_degree <= 0:
+        raise TopologyError(f"non-positive target degree {target_degree}")
+    rng = make_rng(seed)
+    positions = [(rng.random(), rng.random()) for _ in range(num_nodes)]
+    length = math.sqrt(2.0)
+    scale = beta * length * math.sqrt(SCALED_WAXMAN_REF_NODES / num_nodes)
+    cutoff = min(2.5 * scale, length)
+    ratio = cutoff / scale
+    # Expected degree = n * alpha * 2*pi*s^2 * (1 - e^{-r/s}(1 + r/s))
+    # (the integral of the edge law over the cutoff disk against unit
+    # point density); solve for alpha and clamp to a probability.
+    mass = 2.0 * math.pi * scale * scale * (
+        1.0 - math.exp(-ratio) * (1.0 + ratio)
+    )
+    alpha = min(1.0, target_degree / (num_nodes * mass))
+
+    # Spatial hash: cells of the cutoff size, so candidate neighbors of
+    # a node all live in its 3x3 cell block.
+    cell = cutoff
+    grid: dict = {}
+    for node, (x, y) in enumerate(positions):
+        grid.setdefault((int(x / cell), int(y / cell)), []).append(node)
+    edges = []
+    adjacency: list = [[] for _ in range(num_nodes)]
+    for a in range(num_nodes):
+        ax, ay = positions[a]
+        ca, cb = int(ax / cell), int(ay / cell)
+        for gx in (ca - 1, ca, ca + 1):
+            for gy in (cb - 1, cb, cb + 1):
+                for b in grid.get((gx, gy), ()):
+                    if b <= a:
+                        continue
+                    bx, by = positions[b]
+                    distance = math.hypot(ax - bx, ay - by)
+                    if distance > cutoff:
+                        continue
+                    if rng.random() < alpha * math.exp(-distance / scale):
+                        edges.append((a, b))
+                        adjacency[a].append(b)
+                        adjacency[b].append(a)
+
+    # Stitch stray components onto the giant one via their nearest pair
+    # (geometric nearness keeps the patch links Waxman-plausible).
+    component = [-1] * num_nodes
+    components: list = []
+    for start in range(num_nodes):
+        if component[start] >= 0:
+            continue
+        label = len(components)
+        members = [start]
+        component[start] = label
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency[node]:
+                if component[neighbor] < 0:
+                    component[neighbor] = label
+                    members.append(neighbor)
+                    stack.append(neighbor)
+        components.append(members)
+    components.sort(key=len, reverse=True)
+    main = components[0]
+    for members in components[1:]:
+        best = None
+        for a in members:
+            ax, ay = positions[a]
+            for b in main:
+                bx, by = positions[b]
+                distance = math.hypot(ax - bx, ay - by)
+                if best is None or distance < best[0]:
+                    best = (distance, a, b)
+        _, a, b = best
+        edges.append((min(a, b), max(a, b)))
+        main.extend(members)
+
+    topology = _from_scaled_edges(edges, num_nodes, name)
+    if randomize_costs:
+        assign_uniform_costs(topology, seed=derive_rng(rng, "costs"))
+    topology.validate()
+    return topology
+
+
+def _from_scaled_edges(edges, num_nodes: int, name: str) -> Topology:
+    """Build the all-router topology with nodes 0..n-1 in id order
+    (``Topology.from_links`` orders nodes by first appearance, which
+    would make node ids depend on the edge draw)."""
+    topology = Topology(name=name)
+    for node in range(num_nodes):
+        topology.add_router(node)
+    for a, b in edges:
+        topology.add_link(a, b)
+    return topology
+
+
 def line_topology(num_nodes: int, name: str = "line") -> Topology:
     """A chain of routers 0-1-...-n-1 with unit costs (testing helper)."""
     if num_nodes < 2:

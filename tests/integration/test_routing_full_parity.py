@@ -1,0 +1,46 @@
+"""Byte-identical parity of incremental and full-recompute routing.
+
+The determinism contract of the incremental-repair PR: flipping
+``REPRO_ROUTING_FULL=1`` (every refresh a from-scratch Dijkstra) must
+change *nothing observable* — the four named fault scenarios render
+the same report byte for byte, and a canonical sweep archive dumps to
+identical JSON.  Any drift here means the repair engine produced a
+tree that is merely equivalent, not canonical, and the cmp-based CI
+checks would start flaking.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.faults import SCENARIOS, render_result, run_scenario
+from repro.experiments.harness import run_sweep
+from repro.experiments.storage import result_to_dict
+from repro.routing.tables import FULL_RECOMPUTE_ENV
+
+
+def _scenario_report(name: str) -> str:
+    result, registry = run_scenario(name, seed=1)
+    return render_result(result, registry)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_fault_scenarios_byte_identical(name, monkeypatch):
+    monkeypatch.delenv(FULL_RECOMPUTE_ENV, raising=False)
+    incremental = _scenario_report(name)
+    monkeypatch.setenv(FULL_RECOMPUTE_ENV, "1")
+    full = _scenario_report(name)
+    assert incremental == full
+
+
+def test_sweep_archive_byte_identical(monkeypatch):
+    config = SweepConfig(name="parity", topology="isp",
+                         group_sizes=(4, 8), runs=2)
+    monkeypatch.delenv(FULL_RECOMPUTE_ENV, raising=False)
+    incremental = json.dumps(
+        result_to_dict(run_sweep(config), canonical=True), indent=2)
+    monkeypatch.setenv(FULL_RECOMPUTE_ENV, "1")
+    full = json.dumps(
+        result_to_dict(run_sweep(config), canonical=True), indent=2)
+    assert incremental == full

@@ -143,3 +143,44 @@ class TestUnicastOnlyRouters:
         driver.add_receiver(4)
         driver.converge()
         assert driver.distribute_data().complete
+
+
+class TestPlanRevalidation:
+    """Walk plans are memoized against per-origin routing generations:
+    a cost delta that crosses none of a plan's tables must not evict
+    it, while one that reroutes any consulted table must."""
+
+    def _converged(self, fig2_topology):
+        from repro.routing.tables import UnicastRouting
+
+        routing = UnicastRouting(fig2_topology)
+        driver = StaticHbh(fig2_topology, source=0, routing=routing)
+        driver.add_receiver(11)
+        driver.converge()
+        driver.distribute_data()
+        return driver, routing
+
+    def test_plans_survive_unrelated_cost_change(self, fig2_topology):
+        driver, routing = self._converged(fig2_topology)
+        plan = driver._join_plans.get(11)
+        assert plan is not None
+        generation = routing.generation
+        # 2->11 is on no shortest path; the global generation still
+        # moves (something changed), but every origin revalidates clean.
+        fig2_topology.set_cost(2, 11, 7.0)
+        assert routing.generation != generation
+        driver.run_round()
+        assert driver._join_plans.get(11) is plan
+
+    def test_plans_drop_when_their_route_moves(self, fig2_topology):
+        driver, routing = self._converged(fig2_topology)
+        plan = driver._join_plans.get(11)
+        assert plan is not None
+        # Make 11's reverse path to the source reroute via R3 (it
+        # starts out via R2 — the fixture's asymmetry).
+        fig2_topology.set_cost(11, 2, 100.0)
+        assert routing.path(11, 0) == [11, 3, 1, 0]
+        driver.converge()
+        rebuilt = driver._join_plans.get(11)
+        assert rebuilt is not None and rebuilt is not plan
+        assert driver.distribute_data().complete

@@ -22,7 +22,11 @@ from repro.experiments.report import (
 
 class TestConfig:
     def test_figure_configs_cover_the_paper(self):
-        assert set(FIGURE_CONFIGS) == {"fig7a", "fig7b", "fig8a", "fig8b"}
+        # The four paper figures plus the internet-scale demonstration.
+        assert set(FIGURE_CONFIGS) == {"fig7a", "fig7b", "fig8a", "fig8b",
+                                       "scale10k"}
+        assert FIGURE_CONFIGS["scale10k"].topology == "waxman10k"
+        assert FIGURE_CONFIGS["scale10k"].protocols == ("hbh",)
         assert FIGURE_CONFIGS["fig7a"].topology == "isp"
         assert FIGURE_CONFIGS["fig7b"].topology == "random50"
         assert max(FIGURE_CONFIGS["fig7a"].group_sizes) == 16

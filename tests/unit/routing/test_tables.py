@@ -54,15 +54,25 @@ class TestUnicastRouting:
         for here, there in zip(path, path[1:]):
             assert routing.next_hop(here, 0) == there
 
-    def test_cache_and_invalidate(self, fig2_topology):
+    def test_cost_changes_tracked_automatically(self, fig2_topology):
         routing = UnicastRouting(fig2_topology)
         assert routing.path(0, 12) == [0, 4, 12]
-        # Make the R4 route terrible; without invalidation the cached
-        # table must still be used, after invalidation the new one.
+        # Make the R4 route terrible: the routing view observes the
+        # cost write itself and repairs the affected table lazily — no
+        # invalidate() call, and the table object stays the same.
+        table = routing.table(0)
         fig2_topology.set_cost(0, 4, 100.0)
-        assert routing.path(0, 12) == [0, 4, 12]
-        routing.invalidate()
         assert routing.path(0, 12) == [0, 1, 3, 12]
+        assert routing.table(0) is table
+        assert table.next_hop(12) == 1
+
+    def test_invalidate_still_drops_wholesale(self, fig2_topology):
+        routing = UnicastRouting(fig2_topology)
+        table = routing.table(0)
+        routing.invalidate()
+        assert not routing._tables
+        assert routing.table(0) is not table
+        assert routing.path(0, 12) == [0, 4, 12]
 
     def test_validates_topology(self):
         from repro.errors import TopologyError
