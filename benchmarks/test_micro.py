@@ -95,6 +95,32 @@ def test_hbh_converge_disabled_tracer(benchmark):
     assert len(tracer) == 0 and tracer.dropped == 0
 
 
+def test_hbh_converge_disabled_timeline(benchmark):
+    """The tree-dynamics guard: a *disabled* timeline attached to the
+    driver must keep convergence at the unwatched benchmark's speed
+    (compare against ``test_hbh_converge_isp_8_receivers`` in the same
+    run) and record nothing — the disabled path is the same single
+    boolean check per seam that causal tracing pays, not a table diff."""
+    from repro.obs.timeline import TreeTimeline
+
+    topology = isp_topology(seed=3)
+    routing = UnicastRouting(topology)
+    receivers = [20, 22, 25, 27, 29, 31, 33, 35]
+    timeline = TreeTimeline(enabled=False)
+
+    def run():
+        driver = StaticHbh(topology, 18, routing=routing)
+        driver.attach_timeline(timeline)
+        for receiver in receivers:
+            driver.add_receiver(receiver)
+            driver.converge(max_rounds=80)
+        return driver.distribute_data()
+
+    distribution = benchmark(run)
+    assert distribution.complete
+    assert len(timeline) == 0 and timeline.dropped == 0
+
+
 def test_pending_is_constant_time(benchmark):
     """`Simulator.pending` must stay O(1) under lazy-deletion debris:
     reading it 10k times against a 50k-event heap (half cancelled)

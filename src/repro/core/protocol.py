@@ -88,6 +88,11 @@ class HbhChannel:
             self.network.attach(receiver_node, agent)
         self.receivers[receiver_node] = agent
         self._ensure_started()
+        timeline = self.network.timeline
+        if timeline.enabled:
+            timeline.perturb(self.network.simulator.now, "hbh",
+                             str(self.channel), node=receiver_node,
+                             detail="join")
         agent.join()
         return agent
 
@@ -100,6 +105,11 @@ class HbhChannel:
             raise ChannelError(
                 f"{receiver_node} is not joined to {self.channel}"
             ) from None
+        timeline = self.network.timeline
+        if timeline.enabled:
+            timeline.perturb(self.network.simulator.now, "hbh",
+                             str(self.channel), node=receiver_node,
+                             detail="leave")
         agent.leave()
         self._former[receiver_node] = agent
 

@@ -30,6 +30,14 @@ from repro.errors import ProtocolError, RoutingError, SimulationError
 from repro.netsim.node import Agent
 from repro.netsim.packet import DataPayload, Packet
 from repro.obs.causal import DATA, FUSION, JOIN, TREE
+from repro.obs.timeline import (
+    BRANCH_ADD,
+    BRANCH_REMOVE,
+    ENTRY_ADD,
+    ENTRY_MARK,
+    ENTRY_REMOVE,
+    REROUTE,
+)
 
 NodeId = Hashable
 
@@ -51,6 +59,24 @@ class HbhRouterAgent(Agent):
 
     def crash(self) -> None:
         """Fault plane: lose every channel's MCT/MFT state."""
+        timeline = self.node.network.timeline
+        if timeline.enabled and self.states:
+            now = self.node.network.simulator.now
+            node = self.node.node_id
+            for channel, state in self.states.items():
+                channel_text = str(channel)
+                if state.mct is not None:
+                    timeline.record(now, "hbh", channel_text, ENTRY_REMOVE,
+                                    node=node,
+                                    detail=f"crash mct "
+                                           f"{state.mct.entry.address}")
+                if state.mft is not None:
+                    for entry in state.mft:
+                        timeline.record(now, "hbh", channel_text,
+                                        ENTRY_REMOVE, node=node,
+                                        detail=f"crash mft {entry.address}")
+                    timeline.record(now, "hbh", channel_text, BRANCH_REMOVE,
+                                    node=node, detail="crash")
         self.states.clear()
 
     def _schedule_housekeeping(self) -> None:
@@ -60,11 +86,25 @@ class HbhRouterAgent(Agent):
 
     def _housekeeping(self) -> None:
         now = self.node.network.simulator.now
+        timeline = self.node.network.timeline
+        watched = timeline.enabled
         emptied = []
         for channel, state in self.states.items():
+            was_branching = state.is_branching
             removed = state.expire(now, self.timing)
             if removed:
                 self._trace("expire", f"{channel}: destroyed {removed}")
+                if watched:
+                    channel_text = str(channel)
+                    node = self.node.node_id
+                    for address in removed:
+                        timeline.record(now, "hbh", channel_text,
+                                        ENTRY_REMOVE, node=node,
+                                        detail=f"expired {address}")
+                    if was_branching and not state.is_branching:
+                        timeline.record(now, "hbh", channel_text,
+                                        BRANCH_REMOVE, node=node,
+                                        detail="aged out")
             if not state.in_tree:
                 emptied.append(channel)
         for channel in emptied:
@@ -79,7 +119,7 @@ class HbhRouterAgent(Agent):
         now = self.node.network.simulator.now
         causal = self.node.network.causal
         if isinstance(payload, JoinMessage):
-            self._count_rule_event("join")
+            self._count_rule_event("join", payload.channel, now)
             state = self._state(payload.channel)
             traced = causal.enabled and packet.span_id is not None
             actions = process_join(
@@ -97,10 +137,12 @@ class HbhRouterAgent(Agent):
                 )
             return consumed
         if isinstance(payload, TreeMessage):
-            self._count_rule_event("tree")
+            self._count_rule_event("tree", payload.channel, now)
             state = self._state(payload.channel)
+            timeline = self.node.network.timeline
             traced = causal.enabled and packet.span_id is not None
-            if traced:
+            watched = timeline.enabled
+            if traced or watched:
                 before = self._tree_facts(state, payload.target)
             actions = process_tree(
                 state, payload, self.node.address, now, self.timing,
@@ -110,19 +152,41 @@ class HbhRouterAgent(Agent):
             if traced:
                 self._tree_trace(packet, state, payload.target, before,
                                  consumed, now)
+            if watched:
+                self._tree_timeline(timeline, state, payload, before, now)
             return consumed
         if isinstance(payload, FusionMessage):
-            self._count_rule_event("fusion")
+            self._count_rule_event("fusion", payload.channel, now)
             state = self._state(payload.channel)
+            timeline = self.node.network.timeline
             traced = causal.enabled and packet.span_id is not None
-            if traced:
+            watched = timeline.enabled
+            if traced or watched:
                 mft = state.mft
                 marked = [] if mft is None else \
                     [r for r in payload.receivers if r in mft]
                 adopted = mft is not None and payload.sender not in mft
+            if watched:
+                # Mark *transitions* only — a re-confirming fusion is
+                # refresh noise, not a structural change.
+                fresh_marks = [] if state.mft is None else [
+                    r for r in payload.receivers
+                    if (entry := state.mft.get(r)) is not None
+                    and not entry.is_marked(now, self.timing)
+                ]
             actions = process_fusion(state, payload, now,
                                      arrived_from=arrived_from)
             consumed = self._apply(payload.channel, actions, packet)
+            if watched and consumed:
+                channel_text = str(payload.channel)
+                for receiver in fresh_marks:
+                    timeline.record(now, "hbh", channel_text, ENTRY_MARK,
+                                    node=self.node.node_id,
+                                    detail=f"mft {receiver} marked")
+                if adopted:
+                    timeline.record(now, "hbh", channel_text, ENTRY_ADD,
+                                    node=self.node.node_id,
+                                    detail=f"mft {payload.sender} adopted")
             if traced and consumed:
                 for receiver in marked:
                     causal.effect(packet.span_id, self.node.node_id,
@@ -208,6 +272,38 @@ class HbhRouterAgent(Agent):
                               "refresh-tree", now)
             elif state.mct.entry.address == target:  # rule 7
                 causal.effect(span_id, node, "mct", target, "replace", now)
+
+    def _tree_timeline(self, timeline, state: HbhChannelState, payload,
+                       before, now: float) -> None:
+        """Emit tree-dynamics events for one tree-rule application
+        (the structural subset of :meth:`_tree_trace`: refreshes are
+        not structure)."""
+        target = payload.target
+        if target == self.node.address:
+            return
+        node = self.node.node_id
+        channel = str(payload.channel)
+        had_mft, had_entry, mct_addr = before
+        if had_mft:
+            if not had_entry:
+                timeline.record(now, "hbh", channel, ENTRY_ADD, node=node,
+                                detail=f"mft {target}")
+        elif state.mft is not None:
+            # rule 8: this router just promoted itself to branching.
+            timeline.record(now, "hbh", channel, BRANCH_ADD, node=node,
+                            detail=f"promoted (mct {mct_addr})")
+            for entry in state.mft:
+                timeline.record(now, "hbh", channel, ENTRY_ADD, node=node,
+                                detail=f"mft {entry.address}")
+        elif state.mct is not None:
+            if mct_addr is None:  # rule 4: node newly on the tree
+                timeline.record(now, "hbh", channel, ENTRY_ADD, node=node,
+                                detail=f"mct {target}")
+            elif mct_addr != target and state.mct.entry.address == target:
+                # rule 7: the cached tree address changed — the node's
+                # path through the tree moved (the paper's re-route).
+                timeline.record(now, "hbh", channel, REROUTE, node=node,
+                                detail=f"mct {mct_addr} -> {target}")
 
     def _relay_fusion_upstream(self, state: HbhChannelState, packet: Packet,
                                arrived_from) -> bool:
@@ -345,10 +441,16 @@ class HbhRouterAgent(Agent):
                 network.simulator.now, self.node.node_id, event, detail
             )
 
-    def _count_rule_event(self, message: str) -> None:
+    def _count_rule_event(self, message: str, channel: Channel,
+                          now: float) -> None:
         """Tally one processed control message into the network's
         metrics registry — the event-driven analogue of the static
-        driver's ``messages_processed`` counter."""
-        self.node.network.metrics.inc(
+        driver's ``messages_processed`` counter — and into the
+        timeline's windowed control-load series when enabled."""
+        network = self.node.network
+        network.metrics.inc(
             "control.rule_events", protocol="hbh", message=message
         )
+        timeline = network.timeline
+        if timeline.enabled:
+            timeline.control(now, "hbh", str(channel))

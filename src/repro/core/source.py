@@ -21,6 +21,8 @@ from repro.core.tables import Mft, ProtocolTiming
 from repro.netsim.node import Agent
 from repro.netsim.packet import DataPayload, Packet, PacketKind
 from repro.obs.causal import DATA, TREE
+from repro.obs.timeline import BRANCH_ADD, BRANCH_REMOVE, ENTRY_ADD, \
+    ENTRY_MARK, ENTRY_REMOVE
 
 NodeId = Hashable
 
@@ -56,7 +58,18 @@ class HbhSourceAgent(Agent):
 
     def _tree_round(self) -> None:
         now = self.node.network.simulator.now
-        self.mft.expire(now, self.timing)
+        removed = self.mft.expire(now, self.timing)
+        timeline = self.node.network.timeline
+        if removed and timeline.enabled:
+            channel_text = str(self.channel)
+            node = self.node.node_id
+            for entry in removed:
+                timeline.record(now, "hbh", channel_text, ENTRY_REMOVE,
+                                node=node,
+                                detail=f"expired {entry.address}")
+            if len(self.mft) == 0:
+                timeline.record(now, "hbh", channel_text, BRANCH_REMOVE,
+                                node=node, detail="source MFT empty")
         causal = self.node.network.causal
         tracing = causal.enabled
         for target in self.mft.tree_targets(now, self.timing):
@@ -88,10 +101,24 @@ class HbhSourceAgent(Agent):
         now = self.node.network.simulator.now
         if isinstance(payload, JoinMessage) and payload.channel == self.channel:
             causal = self.node.network.causal
+            timeline = self.node.network.timeline
             traced = causal.enabled and packet.span_id is not None
-            if traced:
+            watched = timeline.enabled
+            if traced or watched:
                 existed = payload.joiner in self.mft
+            was_empty = len(self.mft) == 0
             process_join_at_source(self.mft, payload, now)
+            if watched:
+                channel_text = str(self.channel)
+                timeline.control(now, "hbh", channel_text)
+                if not existed:
+                    if was_empty:
+                        timeline.record(now, "hbh", channel_text,
+                                        BRANCH_ADD, node=self.node.node_id,
+                                        detail="source MFT created")
+                    timeline.record(now, "hbh", channel_text, ENTRY_ADD,
+                                    node=self.node.node_id,
+                                    detail=f"source-mft {payload.joiner}")
             if traced:
                 causal.effect(packet.span_id, self.node.node_id,
                               "source-mft", payload.joiner,
@@ -104,11 +131,31 @@ class HbhSourceAgent(Agent):
             return True
         if isinstance(payload, FusionMessage) and payload.channel == self.channel:
             causal = self.node.network.causal
+            timeline = self.node.network.timeline
             traced = causal.enabled and packet.span_id is not None
-            if traced:
+            watched = timeline.enabled
+            if traced or watched:
                 marked = [r for r in payload.receivers if r in self.mft]
                 adopted = payload.sender not in self.mft
+            if watched:
+                fresh_marks = [
+                    r for r in payload.receivers
+                    if (entry := self.mft.get(r)) is not None
+                    and not entry.is_marked(now, self.timing)
+                ]
             process_fusion_at_source(self.mft, payload, now)
+            if watched:
+                channel_text = str(self.channel)
+                timeline.control(now, "hbh", channel_text)
+                for receiver in fresh_marks:
+                    timeline.record(now, "hbh", channel_text, ENTRY_MARK,
+                                    node=self.node.node_id,
+                                    detail=f"source-mft {receiver} marked")
+                if adopted:
+                    timeline.record(now, "hbh", channel_text, ENTRY_ADD,
+                                    node=self.node.node_id,
+                                    detail=f"source-mft {payload.sender} "
+                                           f"adopted")
             if traced:
                 for receiver in marked:
                     causal.effect(packet.span_id, self.node.node_id,

@@ -56,6 +56,7 @@ from repro.obs.causal import (
 from repro.obs.flight import FlightRecorder
 from repro.obs.profiling import profiled
 from repro.obs.registry import channel_label
+from repro.obs.timeline import ConvergenceMonitor, TreeTimeline
 from repro.routing.tables import UnicastRouting, shared_routing
 from repro.topology.model import NodeKind, Topology
 
@@ -152,6 +153,12 @@ class StaticHbh:
         #: None keeps every walk on the untraced fast path.
         self.causal: Optional[CausalTracer] = None
         self.flight: Optional[FlightRecorder] = None
+        #: Optional tree-dynamics timeline (attach_timeline).  None (or
+        #: a disabled timeline) costs one check per round — the walks
+        #: themselves are never touched; the timeline diffs table state
+        #: at round boundaries only.
+        self.timeline: Optional[TreeTimeline] = None
+        self._timeline_messages = 0
 
     # ------------------------------------------------------------------
     # Causal tracing (see repro.obs.causal)
@@ -168,6 +175,18 @@ class StaticHbh:
             tracer.recorder = flight
         recorder = tracer.recorder
         self.flight = recorder if isinstance(recorder, FlightRecorder) else None
+
+    def attach_timeline(self, timeline: Optional[TreeTimeline],
+                        monitor: Optional[ConvergenceMonitor] = None
+                        ) -> None:
+        """Wire a tree-dynamics timeline (and optionally an online
+        convergence monitor) into the round loop; ``None`` detaches."""
+        self.timeline = timeline
+        self._timeline_messages = self.messages_processed
+        if timeline is not None and monitor is not None:
+            timeline.attach_monitor(monitor)
+        if timeline is not None and timeline.monitor is not None:
+            timeline.monitor.watch("hbh", self.channel_name)
 
     def _span(self, name: str, node: NodeId, target: NodeId = None,
               parent: Optional[Span] = None,
@@ -204,6 +223,10 @@ class StaticHbh:
             raise ChannelError(f"receiver {receiver} already joined")
         self.receivers.add(receiver)
         self._receivers_sorted = None
+        timeline = self.timeline
+        if timeline is not None and timeline.enabled:
+            timeline.perturb(self.now, "hbh", self.channel_name,
+                             node=receiver, detail="join")
         span = self._span(INITIAL_JOIN, receiver, target=receiver)
         join = self._stamp(
             JoinMessage(self.channel, receiver, initial=True), span
@@ -218,6 +241,10 @@ class StaticHbh:
         except KeyError:
             raise ChannelError(f"receiver {receiver} is not joined") from None
         self._receivers_sorted = None
+        timeline = self.timeline
+        if timeline is not None and timeline.enabled:
+            timeline.perturb(self.now, "hbh", self.channel_name,
+                             node=receiver, detail="leave")
 
     # ------------------------------------------------------------------
     # Rounds
@@ -257,6 +284,9 @@ class StaticHbh:
                 )
         self._tree_phase()
         self._expire()
+        timeline = self.timeline
+        if timeline is not None and timeline.enabled:
+            self._observe_timeline(timeline)
         if self.flight is not None:
             watermark = self.causal.next_id if self.causal is not None else 0
             self.flight.snapshot(
@@ -324,6 +354,44 @@ class StaticHbh:
                     marked_at is not None and (now - marked_at) < t1,
                     entry.forced_stale or (now - entry.refreshed_at) >= t1))
         return tuple(items)
+
+    def _observe_timeline(self, timeline: TreeTimeline) -> None:
+        """Feed the round's table state into the tree-dynamics
+        timeline: one structural row diff at the round boundary (the
+        walks themselves stay on the untraced fast path) plus this
+        round's control-message count into the windowed load series.
+        Mark flags use the same freshness predicate as
+        :meth:`_snapshot`, so an expired mark is a fusion change."""
+        now, timing = self.now, self.timing
+        t1 = timing.t1
+        rows: List[Tuple] = []
+        marks: List[Tuple] = []
+        states = self.states
+        for node in sorted(states):
+            state = states[node]
+            mct = state.mct
+            if mct is not None:
+                rows.append((node, "mct", mct.entry.address))
+            mft = state.mft
+            if mft is not None:
+                for entry in mft.entries():
+                    row = (node, "mft", entry.address)
+                    rows.append(row)
+                    marked_at = entry.marked_at
+                    if marked_at is not None and (now - marked_at) < t1:
+                        marks.append(row)
+        source = self.source
+        for entry in self.source_mft.entries():
+            row = (source, "src", entry.address)
+            rows.append(row)
+            marked_at = entry.marked_at
+            if marked_at is not None and (now - marked_at) < t1:
+                marks.append(row)
+        timeline.observe_tables(now, "hbh", self.channel_name, rows, marks)
+        timeline.control(now, "hbh", self.channel_name,
+                         self.messages_processed - self._timeline_messages)
+        self._timeline_messages = self.messages_processed
+        timeline.poll(now)
 
     def _expire(self) -> None:
         now, timing = self.now, self.timing

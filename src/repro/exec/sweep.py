@@ -37,8 +37,14 @@ from repro.obs.registry import MetricsRegistry
 
 
 def build_tasks(config: SweepConfig, tracer=None,
-                profile: bool = False) -> List[CellTask]:
-    """One :class:`CellTask` per cell, in deterministic sweep order."""
+                profile: bool = False,
+                timeline: bool = False) -> List[CellTask]:
+    """One :class:`CellTask` per cell, in deterministic sweep order.
+
+    Timeline cells are ``cacheable=False``: their event stream is part
+    of the payload the caller archives, and a cached payload from a
+    non-timeline sweep would silently drop it.
+    """
     from repro.experiments.harness import run_seed
 
     fingerprint = code_fingerprint()
@@ -49,17 +55,21 @@ def build_tasks(config: SweepConfig, tracer=None,
             local_fn = None
             if traced:
                 def local_fn(config=config, group_size=group_size,
-                             run_index=run_index, tracer=tracer):
+                             run_index=run_index, tracer=tracer,
+                             timeline=timeline):
                     return execute_cell(config, group_size, run_index,
-                                        profile=False, tracer=tracer)
+                                        profile=False, tracer=tracer,
+                                        timeline=timeline)
             tasks.append(CellTask(
                 key=cell_digest(config, group_size, run_index, fingerprint),
                 fn=execute_cell,
-                args=(config, group_size, run_index, profile),
+                args=(config, group_size, run_index, profile, None,
+                      timeline),
                 describe=(
                     f"config={config.name} n={group_size} run={run_index} "
                     f"seed={run_seed(config, group_size, run_index)}"
                 ),
+                cacheable=not timeline,
                 in_process=traced,
                 local_fn=local_fn,
             ))
@@ -78,6 +88,7 @@ def run_sweep(
     retries: int = 2,
     backend: Optional[str] = None,
     bus=None,
+    timeline: bool = False,
 ):
     """Run one figure's sweep through the execution engine.
 
@@ -88,9 +99,12 @@ def run_sweep(
     replays that journal instead of starting fresh and therefore
     requires ``cache_dir``.  ``bus`` (a
     :class:`~repro.obs.bus.TelemetryBus`) receives live per-cell
-    telemetry from whichever backend runs.  Everything else —
-    ``progress``, ``metrics``, ``tracer`` — keeps the serial harness's
-    contract.
+    telemetry from whichever backend runs.  ``timeline=True`` runs
+    every cell under a fresh tree-dynamics timeline (uncacheable; see
+    :func:`build_tasks`) and merges the event streams — annotated with
+    ``n``/``run`` — onto ``SweepResult.timeline_events`` in run-index
+    order.  Everything else — ``progress``, ``metrics``, ``tracer`` —
+    keeps the serial harness's contract.
     """
     from repro.experiments.harness import SweepPoint, SweepResult
 
@@ -112,7 +126,8 @@ def run_sweep(
     # processes (their global profiler would otherwise be lost); the
     # serial backend profiles in-place exactly like the old harness.
     profile = PROFILER.enabled and effective_backend == "process"
-    tasks = build_tasks(config, tracer=tracer, profile=profile)
+    tasks = build_tasks(config, tracer=tracer, profile=profile,
+                        timeline=timeline)
 
     counts: Dict[int, int] = {n: 0 for n in config.group_sizes}
 
@@ -144,12 +159,16 @@ def run_sweep(
         batches: Dict[str, List[DataDistribution]] = {
             name: [] for name in config.protocols
         }
-        for _run in range(config.runs):
+        for run_index in range(config.runs):
             payload = payloads[index]
             index += 1
             metrics.merge_snapshot(payload["metrics"])
             if payload.get("profile"):
                 PROFILER.merge_snapshot(payload["profile"])
+            for event in payload.get("timeline") or ():
+                result.timeline_events.append(
+                    dict(event, n=group_size, run=run_index)
+                )
             for name in config.protocols:
                 batches[name].append(
                     DataDistribution.from_dict(payload["distributions"][name])

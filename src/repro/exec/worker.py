@@ -20,6 +20,7 @@ from repro.experiments.config import SweepConfig
 from repro.experiments.harness import run_single
 from repro.obs.profiling import PROFILER
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import ConvergenceMonitor, TreeTimeline
 
 #: Payload schema version (bump on incompatible layout changes; the
 #: executor treats unknown versions as cache misses).
@@ -27,7 +28,8 @@ PAYLOAD_FORMAT = 1
 
 
 def execute_cell(config: SweepConfig, group_size: int, run_index: int,
-                 profile: bool = False, tracer=None) -> dict:
+                 profile: bool = False, tracer=None,
+                 timeline: bool = False) -> dict:
     """Run one Monte-Carlo cell and return its picklable payload.
 
     The payload carries everything the parent needs to reassemble a
@@ -40,11 +42,21 @@ def execute_cell(config: SweepConfig, group_size: int, run_index: int,
     parent's profiler untouched and accumulates spans directly, as the
     serial harness always has.
 
+    ``timeline=True`` runs the cell under a fresh per-cell
+    :class:`~repro.obs.timeline.TreeTimeline` + convergence monitor —
+    churn/latency metrics land in the cell's metrics snapshot and the
+    raw event dicts ride back on ``payload["timeline"]`` for the
+    parent's run-index-ordered archive merge.
+
     ``seconds`` is wall clock and intentionally *not* part of the
     deterministic content — the executor reports it as
     ``exec.run.seconds`` but never merges it into the sweep result.
     """
     registry = MetricsRegistry()
+    tree_timeline = None
+    if timeline:
+        tree_timeline = TreeTimeline(enabled=True, registry=registry)
+        tree_timeline.attach_monitor(ConvergenceMonitor(registry))
     if profile:
         PROFILER.reset()
         PROFILER.enable()
@@ -52,7 +64,8 @@ def execute_cell(config: SweepConfig, group_size: int, run_index: int,
     try:
         with PROFILER.span("harness.run_single"):
             distributions = run_single(config, group_size, run_index,
-                                       metrics=registry, tracer=tracer)
+                                       metrics=registry, tracer=tracer,
+                                       timeline=tree_timeline)
     finally:
         if profile:
             PROFILER.disable()
@@ -67,6 +80,8 @@ def execute_cell(config: SweepConfig, group_size: int, run_index: int,
         },
         "metrics": registry.snapshot(),
         "profile": PROFILER.tree().snapshot() if profile else None,
+        "timeline": (tree_timeline.event_dicts()
+                     if tree_timeline is not None else None),
         "seconds": seconds,
     }
 

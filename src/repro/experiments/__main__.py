@@ -44,6 +44,15 @@ def _progress_printer(quiet: bool):
     return progress
 
 
+def _write_timeline(events, path: str) -> None:
+    """Archive timeline event dicts as JSONL (stderr count like
+    ``--trace-out``)."""
+    from repro.obs.timeline import write_events_jsonl
+
+    count = write_events_jsonl(events, path)
+    print(f"wrote {count} timeline events to {path}", file=sys.stderr)
+
+
 def _exec_summary(result: SweepResult) -> None:
     """One stderr line on what the execution engine did (CI greps for
     the 'cache hits' text)."""
@@ -219,7 +228,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "target",
         choices=sorted(FIGURE_METRICS) + ["all", "claims", "ablations",
                                           "report", "baseline", "bench",
-                                          "faults", "explain"],
+                                          "faults", "explain", "timeline"],
         help="figure to regenerate, 'all' for every figure, 'claims' to "
              "check the paper's quantitative claims, 'ablations' for "
              "the asymmetry/unicast-cloud/RP/connectivity sweeps, "
@@ -228,8 +237,10 @@ def main(argv: Optional[List[str]] = None) -> int:
              "snapshot, 'bench' to run the timed benchmark suite and "
              "(with --check) gate against a committed baseline, "
              "'faults' to replay a named fault scenario and report "
-             "recovery time + repair loss, or 'explain' to render the "
-             "causal chains behind a scenario's tree (see --query)",
+             "recovery time + repair loss, 'explain' to render the "
+             "causal chains behind a scenario's tree (see --query), or "
+             "'timeline' for a fig4-style stability-over-time report "
+             "of a fault scenario's tree dynamics",
     )
     parser.add_argument(
         "--runs", type=int, default=None,
@@ -343,6 +354,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="with 'explain'/'faults': dump the per-channel flight "
              "recorder rings as JSONL here",
     )
+    parser.add_argument(
+        "--timeline-out", default="",
+        help="archive the tree-dynamics timeline as JSONL here "
+             "(figure sweeps run every cell under the timeline plane; "
+             "'faults'/'timeline' record the scenario's event stream); "
+             "byte-identical across --jobs values and replays",
+    )
     parser.add_argument("--csv", default="", help="also write CSV here")
     parser.add_argument("--save", default="",
                         help="archive the sweep result as JSON here")
@@ -427,22 +445,70 @@ def _dispatch(args, tracer, flight, bus=None) -> int:
             render_result,
             run_scenario,
             run_scenarios,
+            scenario_timeline,
         )
 
         if args.scenario == "all":
-            payloads = run_scenarios(seed=args.seed, jobs=args.jobs)
+            payloads = run_scenarios(seed=args.seed, jobs=args.jobs,
+                                     bus=bus,
+                                     timeline=bool(args.timeline_out))
             for payload in payloads:
                 print(payload["text"])
                 print()
+            if args.timeline_out:
+                _write_timeline(
+                    (dict(event, scenario=payload["scenario"])
+                     for payload in payloads
+                     for event in payload["timeline"] or ()),
+                    args.timeline_out,
+                )
             failures = sum(1 for p in payloads if not p["recovered"])
             print(f"{len(payloads) - failures}/{len(payloads)} scenarios "
                   f"recovered")
             return 0 if failures == 0 else 1
+        timeline = registry = None
+        if args.timeline_out:
+            registry = MetricsRegistry()
+            timeline = scenario_timeline(registry)
         result, registry = run_scenario(args.scenario or "flap-storm",
-                                        seed=args.seed, tracer=tracer,
-                                        flight=flight)
+                                        seed=args.seed, registry=registry,
+                                        tracer=tracer, flight=flight,
+                                        timeline=timeline)
         print(render_result(result, registry))
+        if timeline is not None:
+            _write_timeline(timeline.event_dicts(), args.timeline_out)
         return 0 if result.recovered else 1
+    if args.target == "timeline":
+        from repro.experiments.faults import (
+            FAST,
+            SCENARIOS,
+            run_scenario,
+            scenario_timeline,
+        )
+        from repro.experiments.timeline_report import render_timeline
+
+        names = (sorted(SCENARIOS) if args.scenario == "all"
+                 else [args.scenario or "primary-cut"])
+        archive: List[dict] = []
+        recovered = True
+        for name in names:
+            registry = MetricsRegistry()
+            timeline = scenario_timeline(registry)
+            result, registry = run_scenario(name, seed=args.seed,
+                                            registry=registry,
+                                            timeline=timeline)
+            recovered = recovered and result.recovered
+            print(render_timeline(
+                timeline.events(), result.convergence,
+                bucket=FAST.tree_period,
+                title=f"fault scenario {name!r} (seed {args.seed})",
+                description=SCENARIOS[name].description,
+            ))
+            archive.extend(dict(event, scenario=name)
+                           for event in timeline.event_dicts())
+        if args.timeline_out:
+            _write_timeline(archive, args.timeline_out)
+        return 0 if recovered else 1
     if args.target == "report":
         return _run_report(args.figure, args.runs or 3, args.profile,
                            args.quiet, tracer=tracer, jobs=args.jobs,
@@ -476,8 +542,11 @@ def _dispatch(args, tracer, flight, bus=None) -> int:
                 )
             result = run_sweep(config, progress=progress, tracer=tracer,
                                jobs=args.jobs, cache_dir=cache_dir,
-                               resume=args.resume, bus=bus)
+                               resume=args.resume, bus=bus,
+                               timeline=bool(args.timeline_out))
             _exec_summary(result)
+            if args.timeline_out:
+                _write_timeline(result.timeline_events, args.timeline_out)
         if args.save:
             # Canonical form: archives diff clean across --jobs values.
             save_result(result, args.save, canonical=True)

@@ -35,6 +35,7 @@ from repro.netsim.faults import (
 )
 from repro.netsim.network import Network
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import ConvergenceMonitor, TreeTimeline
 from repro.topology.model import Topology
 
 NodeId = Hashable
@@ -201,22 +202,44 @@ class FaultRunResult:
     last_fault_time: float = 0.0
     recovery_time: Optional[float] = None
     packets_lost: int = 0
+    #: Per-channel convergence-window digest from the online monitor
+    #: (:meth:`~repro.obs.timeline.ConvergenceMonitor.summary`), only
+    #: populated when the run was given a timeline.
+    convergence: Optional[dict] = None
 
     @property
     def recovered(self) -> bool:
         return self.recovery_time is not None
 
 
+def scenario_timeline(registry: MetricsRegistry) -> TreeTimeline:
+    """A timeline + convergence monitor tuned for fault scenarios.
+
+    ``quiet`` is the scenarios' ``t2``: soft-state aging means a repair
+    can legitimately pause up to one full staleness lifetime between
+    structural steps, so anything shorter would close windows mid-heal.
+    """
+    timeline = TreeTimeline(enabled=True, registry=registry)
+    timeline.attach_monitor(ConvergenceMonitor(registry, quiet=FAST.t2))
+    return timeline
+
+
 def run_scenario(name: str, seed: int = 1,
                  registry: Optional[MetricsRegistry] = None,
-                 tracer=None, flight=None
+                 tracer=None, flight=None, timeline=None
                  ) -> Tuple[FaultRunResult, MetricsRegistry]:
     """Run one named scenario; returns the result and the registry the
     ``fault.*`` / ``recovery.*`` metrics landed in.
 
     A ``tracer`` (:class:`~repro.obs.causal.CausalTracer`, optionally
     feeding a ``flight`` recorder) makes the run record causal spans —
-    the ``experiments explain`` subcommand passes one in.
+    the ``experiments explain`` subcommand passes one in.  A
+    ``timeline`` (:class:`~repro.obs.timeline.TreeTimeline`, monitor
+    attached — see :func:`scenario_timeline`) watches the channel's
+    tree dynamics live; its convergence digest lands on
+    :attr:`FaultRunResult.convergence`.  The settle run it needs after
+    the last probe happens *after* all probes, so rendered output is
+    byte-identical with and without a timeline.
     """
     try:
         scenario = SCENARIOS[name]
@@ -231,7 +254,12 @@ def run_scenario(name: str, seed: int = 1,
         if flight is not None:
             tracer.recorder = flight
         network.causal = tracer
+    if timeline is not None:
+        network.timeline = timeline
     channel = HbhChannel(network, source_node=scenario.source, timing=FAST)
+    monitor = timeline.monitor if timeline is not None else None
+    if monitor is not None:
+        monitor.watch("hbh", str(channel.channel))
     for receiver in scenario.receivers:
         channel.join(receiver)
     channel.converge(periods=8)
@@ -244,6 +272,10 @@ def run_scenario(name: str, seed: int = 1,
 
     schedule = scenario.build_schedule(seed)
     simulator = network.simulator
+    if monitor is not None:
+        # Close the join-convergence window before faults arm, so the
+        # fault perturbations open a window of their own.
+        monitor.poll(simulator.now)
     injector = FaultInjector(network, schedule, registry=registry,
                              time_offset=simulator.now)
     injector.arm()
@@ -268,6 +300,8 @@ def run_scenario(name: str, seed: int = 1,
             missing=len(distribution.missing),
         )
         result.probes.append(probe)
+        if monitor is not None:
+            monitor.poll(simulator.now)
         if simulator.now <= last_fault or not probe.complete:
             result.packets_lost += probe.missing
         if simulator.now > last_fault and probe.complete:
@@ -275,6 +309,20 @@ def run_scenario(name: str, seed: int = 1,
             break
         if simulator.now > deadline:
             break
+    if monitor is not None:
+        # Let the channel idle until every window can close on protocol
+        # silence.  One quiet interval is not always enough: stale
+        # entries from the pre-fault tree age out up to t2 after their
+        # last refresh, and each decay step re-arms the quiet clock.
+        # Runs strictly after every probe, so the rendered report
+        # cannot see this extra sim time.
+        for _ in range(6):
+            if not monitor.open_windows:
+                break
+            simulator.run(until=simulator.now + monitor.quiet)
+            monitor.poll(simulator.now)
+        result.convergence = monitor.finalize(simulator.now)
+    network.routing.export_repair_metrics(registry)
     result.final_delays = dict(distribution.delays)
     result.applied = len(injector.applied)
     result.skipped = len(injector.skipped)
@@ -284,20 +332,27 @@ def run_scenario(name: str, seed: int = 1,
     return result, registry
 
 
-def _scenario_cell(name: str, seed: int) -> dict:
+def _scenario_cell(name: str, seed: int, timeline: bool = False) -> dict:
     """One scenario as an executor cell (module-level, picklable)."""
-    result, registry = run_scenario(name, seed=seed)
+    registry = MetricsRegistry()
+    tree_timeline = scenario_timeline(registry) if timeline else None
+    result, registry = run_scenario(name, seed=seed, registry=registry,
+                                    timeline=tree_timeline)
     return {
         "scenario": name,
         "seed": seed,
         "recovered": result.recovered,
         "text": render_result(result, registry),
         "metrics": registry.snapshot(),
+        "timeline": (tree_timeline.event_dicts()
+                     if tree_timeline is not None else None),
+        "convergence": result.convergence,
     }
 
 
 def run_scenarios(names: Optional[List[str]] = None, seed: int = 1,
-                  jobs: int = 1) -> List[dict]:
+                  jobs: int = 1, bus=None,
+                  timeline: bool = False) -> List[dict]:
     """Run several scenarios through the execution engine.
 
     ``names`` defaults to every registered scenario (the CLI's
@@ -305,8 +360,13 @@ def run_scenarios(names: Optional[List[str]] = None, seed: int = 1,
     processes.  Each payload carries the scenario's rendered report
     (byte-identical per seed, so parallel order cannot perturb the
     output), its ``recovered`` verdict and its metrics snapshot.
-    Scenarios are not content addressed — they take seconds and their
-    determinism is asserted by CI, so caching would only hide drift.
+    ``timeline=True`` adds each scenario's tree-dynamics event stream
+    (``payload["timeline"]``) and convergence digest
+    (``payload["convergence"]``).  A ``bus``
+    (:class:`~repro.obs.bus.TelemetryBus`) receives live per-scenario
+    telemetry exactly as sweeps do.  Scenarios are not content
+    addressed — they take seconds and their determinism is asserted by
+    CI, so caching would only hide drift.
     """
     from repro.exec.executor import CellTask, SweepExecutor
 
@@ -321,13 +381,13 @@ def run_scenarios(names: Optional[List[str]] = None, seed: int = 1,
         CellTask(
             key=f"fault:{name}:{seed}",
             fn=_scenario_cell,
-            args=(name, seed),
+            args=(name, seed, timeline),
             describe=f"scenario={name} seed={seed}",
             cacheable=False,
         )
         for name in names
     ]
-    return SweepExecutor(jobs=jobs).map_cells(tasks)
+    return SweepExecutor(jobs=jobs, bus=bus).map_cells(tasks)
 
 
 def _render_delays(delays: Dict[NodeId, float]) -> str:

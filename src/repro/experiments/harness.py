@@ -49,6 +49,7 @@ def run_single(
     run_index: int,
     metrics: Optional[MetricsRegistry] = None,
     tracer=None,
+    timeline=None,
 ) -> Dict[str, DataDistribution]:
     """One Monte-Carlo run: build, join, converge, measure.
 
@@ -57,7 +58,11 @@ def run_single(
     the shared metric set (tree cost, delay, control overhead — see
     :data:`repro.protocols.base.SHARED_METRICS`) into it.  A ``tracer``
     (:class:`~repro.obs.causal.CausalTracer`) is attached to every
-    protocol that supports causal tracing (the CLI's ``--trace-out``).
+    protocol that supports causal tracing (the CLI's ``--trace-out``);
+    a ``timeline`` (:class:`~repro.obs.timeline.TreeTimeline`, with its
+    monitor already attached) is shared across every protocol that
+    supports the tree-dynamics timeline, and each protocol's monitor
+    windows are settled after its measurement.
     """
     rng = make_rng(run_seed(config, group_size, run_index))
     with PROFILER.span("harness.build_topology"):
@@ -81,11 +86,15 @@ def run_single(
             )
             if tracer is not None:
                 instance.attach_tracer(tracer)
+            watched = (timeline is not None
+                       and instance.attach_timeline(timeline))
             rounds = 0
             for receiver in receivers:
                 instance.add_receiver(receiver)
                 rounds += instance.converge(max_rounds=MAX_ROUNDS_PER_JOIN)
             distribution = instance.distribute_data()
+            if watched:
+                instance.finish_timeline()
         if not distribution.complete:
             raise ExperimentError(
                 f"{protocol_name} failed to deliver to "
@@ -97,6 +106,8 @@ def run_single(
             instance.record_metrics(metrics, distribution,
                                     converge_rounds=rounds)
         distributions[protocol_name] = distribution
+    if metrics is not None:
+        routing.export_repair_metrics(metrics)
     return distributions
 
 
@@ -122,6 +133,11 @@ class SweepResult:
     #: What the execution engine actually did (backend, cache hits,
     #: resumed cells) — an :class:`repro.exec.executor.ExecStats`.
     exec_stats: Optional[object] = None
+    #: Tree-dynamics timeline events (dicts, annotated with ``n`` and
+    #: ``run``), merged in run-index order so the archive is
+    #: byte-identical for any ``--jobs``.  Empty unless the sweep ran
+    #: with ``timeline=True``.
+    timeline_events: List[dict] = field(default_factory=list)
 
     def summary(self, group_size: int, protocol: str) -> MetricSummary:
         """The cell for (group_size, protocol)."""
@@ -176,7 +192,8 @@ def run_sweep(config: SweepConfig,
               resume: bool = False,
               retries: int = 2,
               backend: Optional[str] = None,
-              bus=None) -> SweepResult:
+              bus=None,
+              timeline: bool = False) -> SweepResult:
     """Run the full sweep for one figure.
 
     ``progress(group_size, protocol, run_index, total_runs)`` is called
@@ -196,11 +213,18 @@ def run_sweep(config: SweepConfig,
     results.  ``bus`` (a :class:`~repro.obs.bus.TelemetryBus`) streams
     live per-cell telemetry — the CLI's ``--live`` progress view and
     ``--metrics-port`` scrape endpoint both hang off it.
+
+    ``timeline=True`` turns on the tree-dynamics timeline in every
+    cell: convergence/churn metrics land in ``metrics`` and the merged
+    per-cell event archive rides on
+    :attr:`SweepResult.timeline_events` (the CLI's ``--timeline-out``).
+    Timeline cells bypass the run cache — their event streams are part
+    of the result, not just their metric digests.
     """
     from repro.exec.sweep import run_sweep as _run_sweep
 
     return _run_sweep(
         config, progress=progress, metrics=metrics, tracer=tracer,
         jobs=jobs, cache_dir=cache_dir, resume=resume, retries=retries,
-        backend=backend, bus=bus,
+        backend=backend, bus=bus, timeline=timeline,
     )

@@ -1,0 +1,109 @@
+"""Fig.-4-style rendering of a tree-dynamics timeline.
+
+The paper's Fig. 4 plots *stability over time*: how much of the tree
+is in motion at each instant after a perturbation.  Given a recorded
+:class:`~repro.obs.timeline.TreeTimeline` (and the convergence digest
+its monitor produced), :func:`render_timeline` prints the same story
+as text — a structural-churn histogram over sim time, the convergence
+windows the online monitor closed, and the raw event log — all
+deterministic, so CI can pin the output byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.timeline import (
+    PERTURB,
+    STABILIZE,
+    STRUCTURAL_KINDS,
+    TimelineEvent,
+)
+
+
+def _bucket_counts(events: Iterable[TimelineEvent],
+                   bucket: float) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    for event in events:
+        if event.kind in STRUCTURAL_KINDS:
+            index = int(event.t // bucket)
+            counts[index] = counts.get(index, 0) + 1
+    return counts
+
+
+def render_churn_plot(events: List[TimelineEvent], bucket: float,
+                      width: int = 40) -> str:
+    """ASCII stability-over-time: structural events per time bucket.
+
+    Quiet stretches between active buckets are elided (one ``...``
+    line), because fault scenarios are mostly silence by design.
+    """
+    counts = _bucket_counts(events, bucket)
+    if not counts:
+        return "  (no structural events)"
+    peak = max(counts.values())
+    scale = max(1, -(-peak // width))  # ceil: one char per `scale` events
+    lines = [f"structural events per t={bucket:g} bucket "
+             f"(one '#' = {scale} event(s))"]
+    previous = None
+    for index in sorted(counts):
+        if previous is not None and index > previous + 1:
+            lines.append("  ...")
+        count = counts[index]
+        bar = "#" * max(1, count // scale)
+        lines.append(f"  t={index * bucket:>8g} |{bar} {count}")
+        previous = index
+    return "\n".join(lines)
+
+
+def render_windows(convergence: Optional[Dict[str, Any]]) -> str:
+    """The online monitor's verdict: one line per convergence window."""
+    if not convergence:
+        return "  (no convergence digest)"
+    lines = []
+    for key in sorted(convergence):
+        digest = convergence[key]
+        lines.append(f"{key}:")
+        for window in digest["windows"]:
+            lines.append(
+                f"  perturbed t={window['opened_t']:>8g}  "
+                f"stabilized t={window['t']:>8g}  "
+                f"latency {window['latency']:>8g}  "
+                f"churn {window['churn']}"
+            )
+        if not digest["windows"]:
+            lines.append("  (no windows closed)")
+        if digest["pending"]:
+            lines.append(f"  UNCONVERGED windows: {digest['pending']}")
+    return "\n".join(lines)
+
+
+def render_timeline(events: List[TimelineEvent],
+                    convergence: Optional[Dict[str, Any]],
+                    bucket: float,
+                    title: str,
+                    description: str = "",
+                    log: bool = True) -> str:
+    """The full fig4-style report for one recorded run."""
+    perturbs = sum(1 for e in events if e.kind == PERTURB)
+    stabilizes = sum(1 for e in events if e.kind == STABILIZE)
+    structural = sum(1 for e in events if e.kind in STRUCTURAL_KINDS)
+    lines = [f"== tree-dynamics timeline: {title} =="]
+    if description:
+        lines.append(description)
+    lines.append("")
+    lines.append(f"{len(events)} events: {perturbs} perturbations, "
+                 f"{structural} structural changes, "
+                 f"{stabilizes} stabilizations")
+    lines.append("")
+    lines.append(render_churn_plot(events, bucket))
+    lines.append("")
+    lines.append("-- convergence windows (online monitor) --")
+    lines.append(render_windows(convergence))
+    if log:
+        lines.append("")
+        lines.append("-- event log --")
+        for event in events:
+            lines.append(f"  {event}")
+    lines.append("")
+    return "\n".join(lines)

@@ -190,6 +190,10 @@ class Simulator:
         if bucket is None:
             self._buckets[idx] = [handle]
             heappush(self._bucket_idx, idx)
+        elif idx in self._heapified:
+            # A demoted ex-active bucket stays heap-ordered so its
+            # reactivation can skip the heapify — keep the invariant.
+            heappush(bucket, handle)
         else:
             bucket.append(handle)
         return handle

@@ -330,6 +330,15 @@ class FaultInjector:
             return
         self.applied.append(event)
         self.registry.inc(f"fault.injected.{event.kind}")
+        # Perturbation marker for the tree-dynamics timeline: faults
+        # hit links and routers, not channels, so the timeline fans the
+        # perturbation out to every channel its monitor watches.  One
+        # enabled check — disabled runs pay nothing.
+        timeline = self.network.timeline
+        if timeline.enabled:
+            timeline.perturb(self.network.simulator.now,
+                             detail=f"fault {event.kind} "
+                                    + _event_args(event))
 
     def _dispatch(self, event: FaultEvent) -> None:
         network = self.network

@@ -23,6 +23,7 @@ from repro.netsim.trace import Trace
 from repro.obs.causal import CausalTracer
 from repro.obs.flight import FlightRecorder
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import ConvergenceMonitor, TreeTimeline
 from repro.routing.tables import shared_routing
 from repro.topology.model import NodeKind, Topology
 
@@ -51,6 +52,10 @@ class Network:
         #: default: agents consult ``causal.enabled`` before spending
         #: anything on span bookkeeping.
         self.causal = CausalTracer(enabled=False)
+        #: Tree-dynamics timeline (see :mod:`repro.obs.timeline`),
+        #: disabled by default under the same single enabled-check
+        #: fast-path rule as causal tracing.
+        self.timeline = TreeTimeline(enabled=False)
         self._nodes: Dict[NodeId, Node] = {}
         self._by_address: Dict[Address, Node] = {}
         self._saved_costs: Dict = {}
@@ -256,6 +261,18 @@ class Network:
         self.causal = CausalTracer(enabled=True, maxlen=maxlen,
                                    recorder=flight)
         return self.causal
+
+    def enable_timeline(self, maxlen: Optional[int] = 65536,
+                        monitor: Optional[ConvergenceMonitor] = None
+                        ) -> TreeTimeline:
+        """Turn on the tree-dynamics timeline (ring-bounded, optionally
+        feeding an online convergence monitor); returns the timeline.
+        Agents consult ``timeline.enabled`` before spending anything."""
+        self.timeline = TreeTimeline(enabled=True, maxlen=maxlen,
+                                     registry=self.metrics)
+        if monitor is not None:
+            self.timeline.attach_monitor(monitor)
+        return self.timeline
 
     def _on_transmit(self, link: Link, src: NodeId, dst: NodeId,
                      packet: Packet) -> None:

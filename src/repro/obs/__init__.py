@@ -22,6 +22,11 @@ so that all protocols are measured by the same instruments:
 - :mod:`repro.obs.flight` — a per-channel flight recorder: bounded
   ring of finished spans interleaved with per-round table snapshots,
   replayable after the fact.
+- :mod:`repro.obs.timeline` — the tree-dynamics timeline: table
+  mutations become a deterministic per-protocol/per-channel event
+  stream (branch/entry add/remove, reroutes, fusion marks) and an
+  online :class:`ConvergenceMonitor` pairs each perturbation with the
+  sim-time at which the tree re-stabilises.
 - :mod:`repro.obs.explain` — the explain engine: walk the span DAG
   backwards from a table entry or oracle violation and render the
   human-readable causal chain.
@@ -65,6 +70,14 @@ from repro.obs.registry import (
     MetricsRegistry,
     channel_label,
 )
+from repro.obs.timeline import (
+    ConvergenceMonitor,
+    TimelineEvent,
+    TreeTimeline,
+    event_from_dict,
+    read_events,
+    write_events_jsonl,
+)
 from repro.obs.tracing import (
     diff_records,
     read_jsonl,
@@ -98,6 +111,12 @@ __all__ = [
     "Profiler",
     "SpanStats",
     "profiled",
+    "ConvergenceMonitor",
+    "TimelineEvent",
+    "TreeTimeline",
+    "event_from_dict",
+    "read_events",
+    "write_events_jsonl",
     "diff_records",
     "read_jsonl",
     "record_to_dict",

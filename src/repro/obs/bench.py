@@ -269,6 +269,7 @@ def _time_spec(spec: BenchSpec, iterations: int,
         "min": histogram.min,
         "p50": histogram.percentile(50),
         "p90": histogram.percentile(90),
+        "p95": histogram.percentile(95),
         "p99": histogram.percentile(99),
     }
 
@@ -702,6 +703,7 @@ def run_bench(
         stats = micro[name]
         emit(f"{name:<18} p50 {stats['p50'] * 1e3:9.3f} ms   "
              f"p90 {stats['p90'] * 1e3:9.3f} ms   "
+             f"p95 {stats.get('p95', 0.0) * 1e3:9.3f} ms   "
              f"p99 {stats['p99'] * 1e3:9.3f} ms   "
              f"x{stats['normalized_p50']:.2f} of calibration")
     emit(f"wrote {out_path}")

@@ -199,6 +199,26 @@ class TelemetryBus:
             return None
         return max(0, self.total - self.done) / rate
 
+    def churn_tallies(self) -> Tuple[int, float]:
+        """(closed convergence windows, entries churned) so far.
+
+        Folded from the merged in-flight registry's
+        ``convergence.latency`` / ``tree.churn.entries`` histograms —
+        both zero unless the sweep runs with the tree-dynamics
+        timeline enabled.
+        """
+        def fold(registry: MetricsRegistry) -> Tuple[int, float]:
+            windows = 0
+            churn = 0.0
+            for _name, _labels, hist in registry.collect(
+                    "convergence.latency"):
+                windows += hist.count
+            for _name, _labels, hist in registry.collect(
+                    "tree.churn.entries"):
+                churn += hist.sum
+            return windows, churn
+        return self.with_registry(fold)
+
     def with_registry(self, fn: Callable[[MetricsRegistry], T]) -> T:
         """Run ``fn`` against the merged registry under the bus lock.
 
@@ -273,7 +293,9 @@ class LiveProgressView:
 
     One line per render: cells done/total with percentage, ETA from the
     bus's rolling rate, cache-hit percentage, retry count and the
-    in-flight cell count.  Renders are throttled to ``interval``
+    in-flight cell count; when the sweep runs with the tree-dynamics
+    timeline, a trailing ``churn <entries>/<windows>w`` segment tracks
+    live convergence activity from the merged registry.  Renders are throttled to ``interval``
     seconds (cell events between ticks update the bus but not the
     screen) except for ``sweep_finished``, which always renders so the
     final line shows the complete tallies.  On a TTY the line rewrites
@@ -321,6 +343,9 @@ class LiveProgressView:
             f" | retries {bus.retries}"
             f" | in-flight {len(bus.in_flight)}"
         )
+        windows, churn = bus.churn_tallies()
+        if windows:
+            line += f" | churn {int(churn)}/{windows}w"
         try:
             isatty = getattr(self.stream, "isatty", lambda: False)()
             end = "\n" if (final or not isatty) else "\r"

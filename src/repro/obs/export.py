@@ -10,7 +10,7 @@ the CLI tables can be scraped by a real Prometheus:
 - **gauges** become plain samples with ``# TYPE ... gauge``;
 - **histograms** are exposed as OpenMetrics *summaries* — the
   registry keeps exact observations and serves nearest-rank
-  percentiles, so ``{quantile="0.5|0.9|0.99"}`` samples plus
+  percentiles, so ``{quantile="0.5|0.9|0.95|0.99"}`` samples plus
   ``_count``/``_sum`` lose nothing (a fixed bucket layout would);
 - metric names are sanitized (``tree.cost.copies`` ->
   ``tree_cost_copies``), label values escaped per the spec, families
@@ -37,8 +37,9 @@ OPENMETRICS_CONTENT_TYPE = (
     "application/openmetrics-text; version=1.0.0; charset=utf-8"
 )
 
-#: Quantiles exposed per histogram (matches the bench gate's p50/p90/p99).
-SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+#: Quantiles exposed per histogram: the bench report's p50/p90/p99
+#: plus the p95 dashboards conventionally alert on.
+SUMMARY_QUANTILES = (0.5, 0.9, 0.95, 0.99)
 
 _NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
 

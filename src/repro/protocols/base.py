@@ -155,6 +155,22 @@ class MulticastProtocol(abc.ABC):
         return None
 
     # ------------------------------------------------------------------
+    # Tree-dynamics timeline (optional, default unsupported)
+    # ------------------------------------------------------------------
+    def attach_timeline(self, timeline, monitor=None) -> bool:
+        """Wire a :class:`~repro.obs.timeline.TreeTimeline` (and
+        optionally a :class:`~repro.obs.timeline.ConvergenceMonitor`)
+        into this conversation's control plane so membership changes
+        and table mutations appear as timeline events.  Returns whether
+        the protocol supports the timeline; the default does not.
+        """
+        return False
+
+    def finish_timeline(self) -> None:
+        """Settle the attached convergence monitor at the driver's
+        current simulated time (no-op when unsupported/unattached)."""
+
+    # ------------------------------------------------------------------
     # Introspection (optional, default empty)
     # ------------------------------------------------------------------
     def branching_nodes(self) -> List[NodeId]:

@@ -59,3 +59,12 @@ class HbhProtocol(MulticastProtocol):
 
     def causal_tracer(self):
         return self.driver.causal
+
+    def attach_timeline(self, timeline, monitor=None) -> bool:
+        self.driver.attach_timeline(timeline, monitor=monitor)
+        return True
+
+    def finish_timeline(self) -> None:
+        timeline = self.driver.timeline
+        if timeline is not None and timeline.monitor is not None:
+            timeline.monitor.finalize(self.driver.now)

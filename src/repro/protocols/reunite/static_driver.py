@@ -22,6 +22,7 @@ from repro.obs.causal import DATA, INITIAL_JOIN, JOIN, TREE, CausalTracer, Span
 from repro.obs.flight import FlightRecorder
 from repro.obs.profiling import profiled
 from repro.obs.registry import channel_label
+from repro.obs.timeline import ConvergenceMonitor, TreeTimeline
 from repro.protocols.reunite.messages import ReuniteJoin, ReuniteTree
 from repro.protocols.reunite.rules import (
     RegenerateTree,
@@ -68,6 +69,10 @@ class StaticReunite:
         #: None keeps every walk on the untraced fast path.
         self.causal: Optional[CausalTracer] = None
         self.flight: Optional[FlightRecorder] = None
+        #: Optional tree-dynamics timeline (attach_timeline): one check
+        #: per round, table diffs at round boundaries only.
+        self.timeline: Optional[TreeTimeline] = None
+        self._timeline_messages = 0
 
     # ------------------------------------------------------------------
     # Causal tracing (see repro.obs.causal)
@@ -84,6 +89,18 @@ class StaticReunite:
             tracer.recorder = flight
         recorder = tracer.recorder
         self.flight = recorder if isinstance(recorder, FlightRecorder) else None
+
+    def attach_timeline(self, timeline: Optional[TreeTimeline],
+                        monitor: Optional[ConvergenceMonitor] = None
+                        ) -> None:
+        """Wire a tree-dynamics timeline (and optionally an online
+        convergence monitor) into the round loop; ``None`` detaches."""
+        self.timeline = timeline
+        self._timeline_messages = self.messages_processed
+        if timeline is not None and monitor is not None:
+            timeline.attach_monitor(monitor)
+        if timeline is not None and timeline.monitor is not None:
+            timeline.monitor.watch("reunite", self.channel_name)
 
     def _span(self, name: str, node: NodeId, target: NodeId = None,
               parent: Optional[Span] = None,
@@ -113,6 +130,10 @@ class StaticReunite:
         if receiver in self.receivers:
             raise ChannelError(f"receiver {receiver} already joined")
         self.receivers.add(receiver)
+        timeline = self.timeline
+        if timeline is not None and timeline.enabled:
+            timeline.perturb(self.now, "reunite", self.channel_name,
+                             node=receiver, detail="join")
         span = self._span(INITIAL_JOIN, receiver, target=receiver)
         self._walk_join(
             receiver,
@@ -128,6 +149,10 @@ class StaticReunite:
             self.receivers.remove(receiver)
         except KeyError:
             raise ChannelError(f"receiver {receiver} is not joined") from None
+        timeline = self.timeline
+        if timeline is not None and timeline.enabled:
+            timeline.perturb(self.now, "reunite", self.channel_name,
+                             node=receiver, detail="leave")
 
     # ------------------------------------------------------------------
     # Rounds
@@ -149,6 +174,9 @@ class StaticReunite:
             )
         self._tree_phase()
         self._expire()
+        timeline = self.timeline
+        if timeline is not None and timeline.enabled:
+            self._observe_timeline(timeline)
         if self.flight is not None:
             watermark = self.causal.next_id if self.causal is not None else 0
             self.flight.snapshot(
@@ -200,6 +228,35 @@ class StaticReunite:
         for node in sorted(self.states):
             emit(node, self.states[node])
         return tuple(items)
+
+    def _observe_timeline(self, timeline: TreeTimeline) -> None:
+        """Feed the round's table state into the tree-dynamics
+        timeline (structural row diff at the round boundary, plus this
+        round's control-message count).  REUNITE has no fusion marks;
+        the dst anchor is its own table so a Fig. 2(d) re-anchor shows
+        up as the dst row moving."""
+        now = self.now
+        rows: List[Tuple] = []
+
+        def emit(node: NodeId, state: ReuniteState) -> None:
+            if state.mct is not None:
+                for entry in state.mct:
+                    rows.append((node, "mct", entry.address))
+            if state.mft is not None:
+                dst = state.mft.dst
+                if dst is not None:
+                    rows.append((node, "dst", dst.address))
+                for entry in state.mft.receivers():
+                    rows.append((node, "mft", entry.address))
+
+        emit(self.source, self.source_state)
+        for node in sorted(self.states):
+            emit(node, self.states[node])
+        timeline.observe_tables(now, "reunite", self.channel_name, rows)
+        timeline.control(now, "reunite", self.channel_name,
+                         self.messages_processed - self._timeline_messages)
+        self._timeline_messages = self.messages_processed
+        timeline.poll(now)
 
     def _expire(self) -> None:
         now, timing = self.now, self.timing

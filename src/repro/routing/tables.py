@@ -346,6 +346,23 @@ class UnicastRouting:
                 changed += 1
         return changed
 
+    def export_repair_metrics(self, registry) -> None:
+        """Fold :attr:`stats` into ``registry`` as ``routing.repair.*``
+        counters.  Increments by the delta against the counter's
+        current value, so the export is idempotent per state and safe
+        to call repeatedly (sweep cells export once per run into fresh
+        registries; long-lived networks may export per probe)."""
+        stats = self.stats
+        for name, value in (
+            ("routing.repair.refreshes", stats.refreshes),
+            ("routing.repair.origins_changed", stats.origins_changed),
+            ("routing.repair.origins_clean", stats.origins_clean),
+            ("routing.repair.full_rebuilds", stats.full_rebuilds),
+            ("routing.repair.nodes_touched", stats.nodes_touched),
+        ):
+            counter = registry.counter(name)
+            counter.inc(max(0.0, float(value) - counter.value))
+
     def origin_generation(self, origin: NodeId) -> Optional[int]:
         """The current generation of ``origin``'s table, or ``None``
         when no table is cached (callers must treat ``None`` as

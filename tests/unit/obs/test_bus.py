@@ -1,7 +1,9 @@
 """Unit tests for the sweep telemetry bus and the live progress view."""
 
 import io
+import itertools
 import queue
+import threading
 
 import pytest
 
@@ -98,6 +100,119 @@ class TestEventFolding:
         bus.publish(cell_finished("a", pid=1))
         bus.publish({"type": "sweep_finished", "total": 1})
         assert seen == ["sweep_started", "cell_finished", "sweep_finished"]
+
+
+def _timeline_snapshot(latency: float, churn: float) -> dict:
+    """A worker metrics snapshot as a timeline-enabled cell emits it."""
+    registry = MetricsRegistry()
+    registry.observe("convergence.latency", latency,
+                     protocol="hbh", channel="<1,G>")
+    registry.observe("tree.churn.entries", churn,
+                     protocol="hbh", channel="<1,G>")
+    registry.inc("convergence.windows", protocol="hbh", channel="<1,G>")
+    return registry.snapshot()
+
+
+class TestInterleavedTallies:
+    """Completion events land in arbitrary order under ``--jobs N`` —
+    every interleaving must fold to the same final tallies."""
+
+    EVENTS = (
+        ("finished", lambda: cell_finished("a", metrics=_snapshot(1.0),
+                                           pid=11)),
+        ("finished", lambda: cell_finished("b", metrics=_snapshot(2.0),
+                                           pid=22)),
+        ("cached", lambda: {"type": "cell_cached", "key": "c",
+                            "source": "cache", "metrics": _snapshot(4.0)}),
+        ("journal", lambda: {"type": "cell_cached", "key": "d",
+                             "source": "journal", "metrics": None}),
+        ("retried", lambda: {"type": "cell_retried", "key": "a",
+                             "attempts": 2}),
+    )
+
+    def test_every_permutation_folds_to_the_same_tallies(self):
+        for order in itertools.permutations(self.EVENTS):
+            bus = TelemetryBus(clock=FakeClock())
+            bus.publish({"type": "sweep_started", "total": 4})
+            for _tag, build in order:
+                bus.publish(build())
+            assert bus.finished == 2
+            assert bus.cached == 1
+            assert bus.journal == 1
+            assert bus.retries == 1
+            assert bus.done == 4
+            assert bus.registry.value("control.messages",
+                                      protocol="hbh") == 7.0
+            assert bus.per_worker == {
+                bus.worker_label(11): 1, bus.worker_label(22): 1,
+            }
+
+    def test_retry_then_finish_counts_the_cell_once(self):
+        bus = TelemetryBus()
+        bus.publish({"type": "cell_retried", "key": "a", "attempts": 1})
+        bus.publish(cell_finished("a", pid=1))
+        assert (bus.retries, bus.finished, bus.done) == (1, 1, 1)
+
+    def test_merged_registry_is_thread_safe_under_churn_reads(self):
+        """The --metrics-port path: reader folds churn tallies through
+        with_registry while publishers merge snapshots concurrently."""
+        bus = TelemetryBus(clock=FakeClock())
+        stop = threading.Event()
+        seen = []
+
+        def reader():
+            while not stop.is_set():
+                seen.append(bus.churn_tallies())
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for i in range(50):
+                bus.publish(cell_finished(
+                    f"k{i}", metrics=_timeline_snapshot(10.0 + i, 3.0),
+                    pid=i % 4))
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        windows, churn = bus.churn_tallies()
+        assert windows == 50
+        assert churn == pytest.approx(150.0)
+        # Interim reads saw monotonically growing, never-torn tallies.
+        assert all(0 <= w <= 50 and 0.0 <= c <= 150.0 for w, c in seen)
+
+
+class TestChurnTallies:
+    def test_zero_without_timeline_metrics(self):
+        bus = TelemetryBus()
+        bus.publish(cell_finished("a", metrics=_snapshot(), pid=1))
+        assert bus.churn_tallies() == (0, 0.0)
+
+    def test_accumulates_windows_and_churn_across_cells(self):
+        bus = TelemetryBus()
+        bus.publish(cell_finished("a", metrics=_timeline_snapshot(250.0, 5.0),
+                                  pid=1))
+        bus.publish({"type": "cell_cached", "key": "b", "source": "cache",
+                     "metrics": _timeline_snapshot(300.0, 2.0)})
+        assert bus.churn_tallies() == (2, 7.0)
+
+    def test_live_view_appends_churn_segment(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        bus = TelemetryBus(clock=clock)
+        LiveProgressView(stream=stream, interval=0.0, clock=clock).attach(bus)
+        bus.publish({"type": "sweep_started", "total": 1})
+        bus.publish(cell_finished("a", metrics=_timeline_snapshot(250.0, 5.0),
+                                  pid=1))
+        bus.publish({"type": "sweep_finished", "total": 1})
+        assert "churn 5/1w" in stream.getvalue()
+
+    def test_live_view_omits_churn_segment_without_timeline(self):
+        stream = io.StringIO()
+        bus = TelemetryBus(clock=FakeClock())
+        LiveProgressView(stream=stream, interval=0.0,
+                         clock=FakeClock()).attach(bus)
+        bus.publish({"type": "sweep_finished", "total": 0})
+        assert "churn" not in stream.getvalue()
 
 
 class TestRateAndEta:
