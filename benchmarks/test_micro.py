@@ -217,3 +217,53 @@ def test_link_transmit_batched(benchmark):
     # 1k transmissions coalesced into far fewer drain events: the whole
     # burst shares one batch (plus the handful of bookkeeping events).
     assert network.simulator.events_executed < 1_000
+
+
+def test_workload_stream_generation(benchmark):
+    """10k churn events drawn from a 1k-channel Zipf model — the
+    stream-generation half of the churn engine, no protocol work.
+    Guards the lazy slot machinery against accidental
+    materialization (an eager variant holds every future leave in
+    memory and is an order of magnitude slower to first event)."""
+    from repro.workload import ChurnModel, ChurnSchedule, SessionDuration
+
+    model = ChurnModel(
+        channels=1_000, base_rate=400.0,
+        session=SessionDuration(scale=120.0, cap=600.0),
+    )
+    sites = tuple(f"site{i}" for i in range(16))
+
+    def run():
+        schedule = ChurnSchedule(model, sites, seed=11)
+        return sum(1 for _ in schedule.events(limit=10_000))
+
+    assert benchmark(run) == 10_000
+
+
+def test_hbh_converge_with_group_label(benchmark):
+    """The no-churn guard: threading a non-default group label through
+    the driver (the only packet-plane seam the churn engine touched)
+    must keep convergence at the plain benchmark's speed — the label is
+    resolved once at construction, never per message walk (compare
+    against ``test_hbh_converge_isp_8_receivers`` in the same run)."""
+    topology = isp_topology(seed=3)
+    routing = UnicastRouting(topology)
+    receivers = [20, 22, 25, 27, 29, 31, 33, 35]
+
+    def run():
+        driver = StaticHbh(topology, 18, routing=routing, group="G42")
+        for receiver in receivers:
+            driver.add_receiver(receiver)
+            driver.converge(max_rounds=80)
+        return driver.distribute_data()
+
+    distribution = benchmark(run)
+    assert distribution.complete
+    assert driver_channel_name_is("G42")
+
+
+def driver_channel_name_is(group):
+    topology = isp_topology(seed=3)
+    driver = StaticHbh(topology, 18,
+                       routing=UnicastRouting(topology), group=group)
+    return driver.channel_name.endswith(f",{group}>")

@@ -85,12 +85,14 @@ class StaticHbh:
         source: NodeId,
         routing: Optional[UnicastRouting] = None,
         timing: ProtocolTiming = ROUND_TIMING,
+        group: str = "G",
     ) -> None:
         topology.kind(source)  # validates node existence
         self.topology = topology
         self.routing = routing or shared_routing(topology)
         self.source = source
         self.timing = timing
+        self.group = group
         self.channel = ("hbh", source)
         self.source_mft = Mft()
         self.states: Dict[NodeId, HbhChannelState] = {}
@@ -102,7 +104,7 @@ class StaticHbh:
         #: Count of rule-level events, exposed for overhead analysis.
         self.messages_processed = 0
         #: Rendered ``<S,G>`` label used by metrics and causal spans.
-        self.channel_name = channel_label(source)
+        self.channel_name = channel_label(source, group)
         #: Memoized :meth:`_applies_rules` verdicts.  Node kind and
         #: multicast capability are fixed before a driver exists (every
         #: ``set_multicast_capable`` call site in the experiments

@@ -228,7 +228,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "target",
         choices=sorted(FIGURE_METRICS) + ["all", "claims", "ablations",
                                           "report", "baseline", "bench",
-                                          "faults", "explain", "timeline"],
+                                          "faults", "explain", "timeline",
+                                          "churn"],
         help="figure to regenerate, 'all' for every figure, 'claims' to "
              "check the paper's quantitative claims, 'ablations' for "
              "the asymmetry/unicast-cloud/RP/connectivity sweeps, "
@@ -240,7 +241,10 @@ def main(argv: Optional[List[str]] = None) -> int:
              "recovery time + repair loss, 'explain' to render the "
              "causal chains behind a scenario's tree (see --query), or "
              "'timeline' for a fig4-style stability-over-time report "
-             "of a fault scenario's tree dynamics",
+             "of a fault scenario's tree dynamics, or 'churn' to replay "
+             "a mass-membership workload (repro.workload) and sweep "
+             "control load, tree churn and convergence latency per "
+             "protocol",
     )
     parser.add_argument(
         "--runs", type=int, default=None,
@@ -328,9 +332,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--scenario", default=None,
-        help="with 'faults'/'explain': which named scenario to replay "
-             "(faults default flap-storm, explain default fig2; see "
-             "repro.experiments.faults.SCENARIOS)",
+        help="with 'faults'/'explain'/'churn': which named scenario to "
+             "replay (faults default flap-storm, explain default fig2, "
+             "churn default iptv-primetime; see the SCENARIOS table of "
+             "repro.experiments.faults / repro.experiments.churn)",
+    )
+    parser.add_argument(
+        "--events", type=int, default=None,
+        help="with 'churn': override the scenario's global event-stream "
+             "limit (counted before channel sharding)",
+    )
+    parser.add_argument(
+        "--channels", type=int, default=None,
+        help="with 'churn': override the scenario's channel count",
+    )
+    parser.add_argument(
+        "--stream-out", default="", metavar="JSONL",
+        help="with 'churn': also write the scenario's event-stream "
+             "prefix as JSONL (the CI golden-prefix file)",
+    )
+    parser.add_argument(
+        "--stream-limit", type=int, default=256,
+        help="with 'churn --stream-out': events to write (default 256)",
     )
     parser.add_argument(
         "--seed", type=int, default=1,
@@ -478,6 +501,42 @@ def _dispatch(args, tracer, flight, bus=None) -> int:
         if timeline is not None:
             _write_timeline(timeline.event_dicts(), args.timeline_out)
         return 0 if result.recovered else 1
+    if args.target == "churn":
+        from pathlib import Path
+
+        from repro.experiments.churn import (
+            archive_text,
+            render_report,
+            run_churn,
+            write_stream_prefix,
+        )
+
+        scenario = args.scenario or "iptv-primetime"
+        protocols = ([p.strip() for p in args.protocols.split(",")
+                      if p.strip()] if args.protocols else None)
+        if args.stream_out:
+            count = write_stream_prefix(scenario, args.seed,
+                                        args.stream_out,
+                                        limit=args.stream_limit,
+                                        channels=args.channels)
+            print(f"wrote {count} stream events to {args.stream_out}",
+                  file=sys.stderr)
+        payloads = run_churn(scenario, protocols=protocols,
+                             seed=args.seed, jobs=args.jobs, bus=bus,
+                             events=args.events, channels=args.channels,
+                             timeline=bool(args.timeline_out))
+        print(render_report(payloads, scenario, args.seed))
+        if args.timeline_out:
+            _write_timeline(
+                [event for payload in payloads
+                 for event in payload["timeline"] or ()],
+                args.timeline_out,
+            )
+        if args.save:
+            Path(args.save).write_text(
+                archive_text(payloads, scenario, args.seed))
+            print(f"archived churn run to {args.save}", file=sys.stderr)
+        return 0
     if args.target == "timeline":
         from repro.experiments.faults import (
             FAST,

@@ -26,6 +26,7 @@ from repro.addressing import Channel
 from repro.errors import MembershipError
 from repro.netsim.node import Agent
 from repro.netsim.packet import Packet
+from repro.workload.membership import MembershipLedger
 
 NodeId = Hashable
 
@@ -120,9 +121,15 @@ class IgmpRouterAgent(Agent):
         self.robustness = robustness
         self.on_first_member = on_first_member
         self.on_last_member = on_last_member
-        #: channel -> {host node id -> last report time}
-        self.members: Dict[Channel, Dict[NodeId, float]] = {}
+        #: the single owner of membership state (presence semantics)
+        self.ledger = MembershipLedger()
         self._serial = 0
+
+    @property
+    def members(self) -> Dict[Channel, Dict[NodeId, float]]:
+        """The classic ``{channel: {host: last report time}}`` view —
+        a projection of the ledger, kept for introspection."""
+        return self.ledger.presence()
 
     # ------------------------------------------------------------------
     # Querier
@@ -157,15 +164,9 @@ class IgmpRouterAgent(Agent):
     def _expire(self) -> None:
         now = self.node.network.simulator.now
         horizon = self.robustness * self.query_interval
-        for channel in list(self.members):
-            hosts = self.members[channel]
-            for host, last_seen in list(hosts.items()):
-                if now - last_seen > horizon:
-                    del hosts[host]
-            if not hosts:
-                del self.members[channel]
-                if self.on_last_member is not None:
-                    self.on_last_member(channel)
+        for channel in self.ledger.expire(now, horizon):
+            if self.on_last_member is not None:
+                self.on_last_member(channel)
 
     # ------------------------------------------------------------------
     # Reports
@@ -178,19 +179,15 @@ class IgmpRouterAgent(Agent):
         now = self.node.network.simulator.now
         channel = payload.channel
         if payload.report_type is ReportType.JOIN:
-            hosts = self.members.setdefault(channel, {})
-            first = not hosts
-            hosts[host] = now
+            first = not self.ledger.has_members(channel)
+            self.ledger.report(channel, host, now)
             if first and self.on_first_member is not None:
                 self.on_first_member(channel)
         else:
-            hosts = self.members.get(channel)
-            if hosts is not None and host in hosts:
-                del hosts[host]
-                if not hosts:
-                    del self.members[channel]
-                    if self.on_last_member is not None:
-                        self.on_last_member(channel)
+            if (self.ledger.withdraw(channel, host)
+                    and not self.ledger.has_members(channel)
+                    and self.on_last_member is not None):
+                self.on_last_member(channel)
         return True
 
     # ------------------------------------------------------------------
@@ -198,8 +195,8 @@ class IgmpRouterAgent(Agent):
     # ------------------------------------------------------------------
     def has_members(self, channel: Channel) -> bool:
         """Whether any local host listens to ``channel``."""
-        return bool(self.members.get(channel))
+        return self.ledger.has_members(channel)
 
     def member_hosts(self, channel: Channel):
         """Sorted host ids subscribed to ``channel``."""
-        return sorted(self.members.get(channel, ()))
+        return self.ledger.member_hosts(channel)

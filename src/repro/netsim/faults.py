@@ -21,6 +21,7 @@ the Hypothesis fuzz suite are built on.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -237,12 +238,44 @@ class FaultSchedule:
                          + _event_args(event))
         return "\n".join(lines)
 
+    def merge(self, *timelines: Iterable) -> "Iterable":
+        """This schedule's concrete events merged with other timelines
+        (typically a :class:`repro.workload.schedule.ChurnSchedule`
+        stream) into one time-ordered lazy stream.  At equal times this
+        schedule's faults come first — a link that dies at t also kills
+        the joins at t, which is the harsher and therefore the pinned
+        ordering.  See :func:`merge_timelines` for the tie-break rule.
+        """
+        return merge_timelines(self.expand(), *timelines)
+
     def __len__(self) -> int:
         return len(self.events)
 
     def __repr__(self) -> str:
         return (f"FaultSchedule({self.name!r}, events={len(self.events)}, "
                 f"seed={self.seed})")
+
+
+def merge_timelines(*streams: Iterable):
+    """Lazily merge timed event streams into one time-ordered stream.
+
+    Every stream must yield events carrying a ``time`` attribute in
+    non-decreasing order (fault events, membership events — anything).
+    Overlapping events tie-break deterministically: equal times resolve
+    by *lane* (earlier argument wins), then by within-lane position.
+    Events are decorated as ``(time, lane, index)`` keys, which are
+    unique, so heterogeneous event types never get compared directly.
+
+    The merge is as lazy as its inputs — an infinite churn stream in,
+    an infinite merged stream out, O(#streams) buffered events.
+    """
+    def decorate(lane: int, stream: Iterable):
+        return (((event.time, lane, index), event)
+                for index, event in enumerate(stream))
+
+    lanes = [decorate(lane, stream) for lane, stream in enumerate(streams)]
+    for _, event in heapq.merge(*lanes):
+        yield event
 
 
 def _event_args(event: FaultEvent) -> str:

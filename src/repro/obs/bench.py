@@ -214,6 +214,29 @@ def _build_link_transmit() -> Callable[[], object]:
     return run
 
 
+def _build_workload_generate() -> Callable[[], object]:
+    """10k churn events drawn lazily from a 1k-channel Zipf model —
+    the stream-generation side of the churn engine, no protocol work.
+    Guards the O(1)-memory slot machinery (per-slot RNGs, thinning,
+    leave-bucket spill) against accidental materialization."""
+    from repro.workload import ChurnModel, ChurnSchedule, SessionDuration
+
+    model = ChurnModel(
+        channels=1_000, base_rate=400.0,
+        session=SessionDuration(scale=120.0, cap=600.0),
+    )
+    sites = tuple(f"site{i}" for i in range(16))
+
+    def run() -> int:
+        schedule = ChurnSchedule(model, sites, seed=11)
+        count = 0
+        for _ in schedule.events(limit=10_000):
+            count += 1
+        return count
+
+    return run
+
+
 #: Every guarded micro-benchmark, calibration first.
 MICRO_BENCHMARKS: Tuple[BenchSpec, ...] = (
     BenchSpec("calibration", _build_calibration),
@@ -238,6 +261,11 @@ MICRO_BENCHMARKS: Tuple[BenchSpec, ...] = (
     # tail (p99 ~5x p50), so the budget is wider than the default even
     # though the baseline itself enforces the rewrite.
     BenchSpec("link.transmit", _build_link_transmit, tolerance=0.30),
+    # Pure stream generation: RNG draws + heap spill, no protocol work.
+    # Wider budget for the same reason as the other allocation-bound
+    # benches — the timed unit is mostly object construction.
+    BenchSpec("workload.generate", _build_workload_generate,
+              tolerance=0.30),
 )
 
 

@@ -50,11 +50,13 @@ class MulticastProtocol(abc.ABC):
     name: str = "abstract"
 
     def __init__(self, topology: Topology, source: NodeId,
-                 routing: Optional[UnicastRouting] = None) -> None:
+                 routing: Optional[UnicastRouting] = None,
+                 group: str = "G") -> None:
         topology.kind(source)
         self.topology = topology
         self.routing = routing or shared_routing(topology)
         self.source = source
+        self.group = group
         self.receivers: Set[NodeId] = set()
 
     # ------------------------------------------------------------------
@@ -103,8 +105,10 @@ class MulticastProtocol(abc.ABC):
         return 0
 
     def channel_id(self) -> str:
-        """This conversation's ``<S,G>`` label value."""
-        return channel_label(self.source)
+        """This conversation's ``<S,G>`` label value.  ``group``
+        disambiguates the thousands of channels a churn workload runs
+        off one source node."""
+        return channel_label(self.source, self.group)
 
     def record_metrics(self, registry: MetricsRegistry,
                        distribution: DataDistribution,

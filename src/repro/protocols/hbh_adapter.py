@@ -23,10 +23,11 @@ class HbhProtocol(MulticastProtocol):
 
     def __init__(self, topology: Topology, source: NodeId,
                  routing: Optional[UnicastRouting] = None,
-                 timing: ProtocolTiming = ROUND_TIMING) -> None:
-        super().__init__(topology, source, routing)
+                 timing: ProtocolTiming = ROUND_TIMING,
+                 group: str = "G") -> None:
+        super().__init__(topology, source, routing, group=group)
         self.driver = StaticHbh(topology, source, routing=self.routing,
-                                timing=timing)
+                                timing=timing, group=group)
 
     def add_receiver(self, receiver: NodeId) -> None:
         self.driver.add_receiver(receiver)

@@ -104,8 +104,9 @@ class MospfProtocol(MulticastProtocol):
     """MOSPF baseline: the forward SPT every router would compute."""
 
     def __init__(self, topology: Topology, source: NodeId,
-                 routing: Optional[UnicastRouting] = None) -> None:
-        super().__init__(topology, source, routing)
+                 routing: Optional[UnicastRouting] = None,
+                 group: str = "G") -> None:
+        super().__init__(topology, source, routing, group=group)
         self.tree = ForwardSpt(topology, source, routing=self.routing)
 
     def add_receiver(self, receiver: NodeId) -> None:

@@ -20,8 +20,9 @@ class PimSsProtocol(MulticastProtocol):
     """Source-specific reverse SPT (the PIM-SSM tree structure)."""
 
     def __init__(self, topology: Topology, source: NodeId,
-                 routing: Optional[UnicastRouting] = None) -> None:
-        super().__init__(topology, source, routing)
+                 routing: Optional[UnicastRouting] = None,
+                 group: str = "G") -> None:
+        super().__init__(topology, source, routing, group=group)
         self.tree = ReverseSpt(topology, source, routing=self.routing)
 
     def add_receiver(self, receiver: NodeId) -> None:
@@ -71,8 +72,9 @@ class PimSmProtocol(MulticastProtocol):
                  routing: Optional[UnicastRouting] = None,
                  rp: Optional[NodeId] = None,
                  rp_strategy: str = "median",
-                 rp_seed: SeedLike = None) -> None:
-        super().__init__(topology, source, routing)
+                 rp_seed: SeedLike = None,
+                 group: str = "G") -> None:
+        super().__init__(topology, source, routing, group=group)
         if rp is None:
             rp = select_rp(topology, self.routing, strategy=rp_strategy,
                            seed=rp_seed)

@@ -48,19 +48,21 @@ class StaticReunite:
         source: NodeId,
         routing: Optional[UnicastRouting] = None,
         timing: ProtocolTiming = ROUND_TIMING,
+        group: str = "G",
     ) -> None:
         topology.kind(source)
         self.topology = topology
         self.routing = routing or shared_routing(topology)
         self.source = source
         self.timing = timing
+        self.group = group
         self.channel = ("reunite", source)
         self.source_state = ReuniteState()
         self.states: Dict[NodeId, ReuniteState] = {}
         self.receivers: Set[NodeId] = set()
         self.round_no = 0
         self.messages_processed = 0
-        self.channel_name = channel_label(source)
+        self.channel_name = channel_label(source, group)
         #: Memoized-path accessor when the routing substrate offers one
         #: (UnicastRouting does, repaired incrementally under faults;
         #: learned views walk next_hop step by step instead).

@@ -1,0 +1,53 @@
+"""Seed-reproducible mass-membership workloads (the churn engine).
+
+The paper's stability analysis (§3.3) studies a single receiver
+departure; the workloads this package generates are the other extreme —
+IPTV- and live-event-shaped mass churn across thousands of ``<S,G>``
+channels, the regime the ROADMAP's production north-star cares about:
+
+- :mod:`repro.workload.model` — composable arrival processes
+  (:class:`ChurnModel`): Poisson base rate, diurnal load curves,
+  flash-crowd spikes, correlated regional departures, Zipf channel
+  popularity and configurable session-duration distributions;
+- :mod:`repro.workload.schedule` — :class:`ChurnSchedule`, a lazy
+  streaming iterator of timestamped join/leave events (millions of
+  events in O(active sessions) memory), deterministic under string
+  seeding and mergeable with :class:`~repro.netsim.faults.FaultSchedule`;
+- :mod:`repro.workload.membership` — :class:`MembershipLedger`, the one
+  owner of counted membership state (IGMP presence and aggregated churn
+  populations share it);
+- :mod:`repro.workload.driver` — replayers for both planes:
+  :class:`RoundChurnPlayer` for the static drivers and
+  :class:`ChurnInjector` for the event engine.
+
+The ``experiments churn`` CLI target drives all of it through the
+parallel sweep executor; see :mod:`repro.experiments.churn`.
+"""
+
+from repro.workload.membership import MembershipLedger
+from repro.workload.model import (
+    ChurnModel,
+    DiurnalCurve,
+    FlashCrowd,
+    RegionalDeparture,
+    SessionDuration,
+    ZipfPopularity,
+)
+from repro.workload.schedule import JOIN, LEAVE, ChurnSchedule, MembershipEvent
+from repro.workload.driver import ChurnInjector, RoundChurnPlayer
+
+__all__ = [
+    "ChurnInjector",
+    "ChurnModel",
+    "ChurnSchedule",
+    "DiurnalCurve",
+    "FlashCrowd",
+    "JOIN",
+    "LEAVE",
+    "MembershipEvent",
+    "MembershipLedger",
+    "RegionalDeparture",
+    "RoundChurnPlayer",
+    "SessionDuration",
+    "ZipfPopularity",
+]

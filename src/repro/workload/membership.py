@@ -1,0 +1,180 @@
+"""The one owner of membership state: a counted (group, member) ledger.
+
+Before this module, membership truth lived in two places: the IGMP
+router agent's ``{channel: {host: last_seen}}`` database and whatever
+ad-hoc receiver sets each experiment kept.  The churn engine makes that
+untenable — aggregated populations (one sim receiver standing for N
+hosts) and overlapping sessions at one site need *counted* state, and
+the protocol drivers only care about the edges (a site's first session,
+a site's last).  :class:`MembershipLedger` is that single owner:
+
+- **counted sessions** (:meth:`add` / :meth:`remove`) for churn replay:
+  each call is one session; the boolean return is the protocol-visible
+  edge (member appeared / member vanished);
+- **presence** (:meth:`report` / :meth:`withdraw` / :meth:`expire`) for
+  IGMP: idempotent refreshes with soft-state timeout, exactly the
+  querier semantics :class:`repro.igmp.membership.IgmpRouterAgent` now
+  delegates here.
+
+Both styles coexist in one ledger because they are the same table —
+a presence report is a session count clamped to one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.errors import MembershipError
+
+Group = Hashable
+Member = Hashable
+
+
+class _Entry:
+    """One (group, member) row: live session count, host weight, and
+    the last refresh time (presence-style expiry)."""
+
+    __slots__ = ("sessions", "hosts", "last_seen")
+
+    def __init__(self, sessions: int, hosts: int, last_seen: float) -> None:
+        self.sessions = sessions
+        self.hosts = hosts
+        self.last_seen = last_seen
+
+
+class MembershipLedger:
+    """Counted membership with first/last-member edge detection."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[Group, Dict[Member, _Entry]] = {}
+
+    # ------------------------------------------------------------------
+    # Counted sessions (churn replay)
+    # ------------------------------------------------------------------
+    def add(self, group: Group, member: Member, hosts: int = 1,
+            now: float = 0.0) -> bool:
+        """One session joins; returns True when this is the member's
+        *first* live session in the group (the protocol-visible join
+        edge — an already-listening site absorbs the session)."""
+        members = self._groups.setdefault(group, {})
+        entry = members.get(member)
+        if entry is None:
+            members[member] = _Entry(1, hosts, now)
+            return True
+        entry.sessions += 1
+        entry.hosts += hosts
+        entry.last_seen = now
+        return False
+
+    def remove(self, group: Group, member: Member, hosts: int = 1) -> bool:
+        """One session leaves; returns True when it was the member's
+        *last* live session (the protocol-visible leave edge).  A leave
+        with no matching join is a generator/driver bug and raises."""
+        members = self._groups.get(group)
+        entry = members.get(member) if members is not None else None
+        if entry is None:
+            raise MembershipError(
+                f"leave without membership: {member!r} in {group!r}"
+            )
+        entry.sessions -= 1
+        entry.hosts -= hosts
+        if entry.sessions > 0:
+            return False
+        del members[member]
+        if not members:
+            del self._groups[group]
+        return True
+
+    # ------------------------------------------------------------------
+    # Presence (IGMP querier)
+    # ------------------------------------------------------------------
+    def report(self, group: Group, member: Member, now: float) -> bool:
+        """Idempotent presence refresh (an IGMP membership report);
+        returns True when the member was newly present."""
+        members = self._groups.setdefault(group, {})
+        entry = members.get(member)
+        if entry is None:
+            members[member] = _Entry(1, 1, now)
+            return True
+        entry.last_seen = now
+        return False
+
+    def withdraw(self, group: Group, member: Member) -> bool:
+        """Remove a member's presence entirely (an explicit leave
+        report); returns True when the member was present."""
+        members = self._groups.get(group)
+        if members is None or member not in members:
+            return False
+        del members[member]
+        if not members:
+            del self._groups[group]
+        return True
+
+    def expire(self, now: float, horizon: float) -> List[Group]:
+        """Drop members not refreshed within ``horizon``; returns the
+        groups that emptied, in deterministic (sorted) order."""
+        emptied: List[Group] = []
+        for group in list(self._groups):
+            members = self._groups[group]
+            for member, entry in list(members.items()):
+                if now - entry.last_seen > horizon:
+                    del members[member]
+            if not members:
+                del self._groups[group]
+                emptied.append(group)
+        return sorted(emptied, key=str)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def has_members(self, group: Group) -> bool:
+        """Whether any member is live in ``group``."""
+        return bool(self._groups.get(group))
+
+    def member_hosts(self, group: Group) -> List[Member]:
+        """Sorted live members of ``group``."""
+        return sorted(self._groups.get(group, ()))
+
+    def sessions(self, group: Group) -> int:
+        """Live session count across all of ``group``'s members."""
+        members = self._groups.get(group)
+        if not members:
+            return 0
+        return sum(entry.sessions for entry in members.values())
+
+    def weight(self, group: Group) -> int:
+        """Aggregated host weight across all of ``group``'s members."""
+        members = self._groups.get(group)
+        if not members:
+            return 0
+        return sum(entry.hosts for entry in members.values())
+
+    def groups(self) -> List[Group]:
+        """Sorted groups with at least one live member."""
+        return sorted(self._groups, key=str)
+
+    def presence(self) -> Dict[Group, Dict[Member, float]]:
+        """The presence view (``{group: {member: last_seen}}``) the old
+        IGMP database exposed — kept for introspection/debugging."""
+        return {
+            group: {member: entry.last_seen
+                    for member, entry in members.items()}
+            for group, members in self._groups.items()
+        }
+
+    def totals(self) -> Tuple[int, int, int]:
+        """(groups, live sessions, aggregated hosts) across the ledger."""
+        sessions = hosts = 0
+        for members in self._groups.values():
+            for entry in members.values():
+                sessions += entry.sessions
+                hosts += entry.hosts
+        return (len(self._groups), sessions, hosts)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __repr__(self) -> str:
+        groups, sessions, hosts = self.totals()
+        return (f"MembershipLedger(groups={groups}, sessions={sessions}, "
+                f"hosts={hosts})")

@@ -1,0 +1,265 @@
+"""Composable churn models: what a mass-membership audience looks like.
+
+A :class:`ChurnModel` describes the *statistics* of a workload — how
+fast sessions arrive over time, which of the thousands of channels each
+one picks, how long it stays, and which correlated mass-departures hit
+it — without materialising a single event.  The lazy event stream is
+:class:`repro.workload.schedule.ChurnSchedule`'s job; everything here
+is pure arithmetic so the model is trivially picklable across sweep
+workers and hashable into cell keys.
+
+The shapes mirror the workloads the multicast-retrospective literature
+argues these protocols must be evaluated under (Trossen & Crowcroft,
+PAPERS.md): Zipf channel popularity (a few head channels carry most of
+the audience), diurnal load curves (prime time vs. night), flash
+crowds (a goal is scored) and correlated regional departures (an
+access network browns out).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+from repro.errors import ExperimentError
+
+NodeId = Hashable
+
+#: Sessions shorter than this are clamped up: a zero-length session
+#: would emit its leave at the join instant and mean nothing.
+MIN_SESSION = 1e-3
+
+
+class WorkloadError(ExperimentError):
+    """An ill-formed churn model (bad rates, empty site sets...)."""
+
+
+@dataclass(frozen=True)
+class DiurnalCurve:
+    """A smooth daily load curve: the rate multiplier swings between
+    ``trough`` and ``peak`` with period ``period``, peaking at
+    ``peak_time`` (cosine-shaped, like the classic IPTV prime-time
+    curve)."""
+
+    peak: float = 1.5
+    trough: float = 0.5
+    period: float = 86_400.0
+    peak_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise WorkloadError(f"diurnal period must be > 0: {self!r}")
+        if not 0 < self.trough <= self.peak:
+            raise WorkloadError(
+                f"diurnal needs 0 < trough <= peak: {self!r}"
+            )
+
+    def multiplier(self, t: float) -> float:
+        """The load multiplier at time ``t`` (in [trough, peak])."""
+        phase = 0.5 * (1.0 + math.cos(
+            2.0 * math.pi * (t - self.peak_time) / self.period))
+        return self.trough + (self.peak - self.trough) * phase
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A transient arrival spike: nothing before ``time``, a linear
+    ramp to ``magnitude`` extra load over ``rise``, then exponential
+    decay with time constant ``decay`` — the goal-is-scored shape."""
+
+    time: float
+    magnitude: float = 4.0
+    rise: float = 30.0
+    decay: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.magnitude <= 0 or self.rise <= 0 \
+                or self.decay <= 0:
+            raise WorkloadError(f"bad flash crowd: {self!r}")
+
+    def boost(self, t: float) -> float:
+        """Additive rate multiplier contributed at time ``t``."""
+        if t < self.time:
+            return 0.0
+        elapsed = t - self.time
+        if elapsed < self.rise:
+            return self.magnitude * elapsed / self.rise
+        return self.magnitude * math.exp(-(elapsed - self.rise) / self.decay)
+
+
+@dataclass(frozen=True)
+class RegionalDeparture:
+    """A correlated mass-leave: at ``time``, every session active at a
+    site in ``sites`` departs immediately with probability
+    ``fraction`` — an access network going dark mid-broadcast."""
+
+    time: float
+    sites: Tuple[NodeId, ...]
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or not self.sites or not 0 < self.fraction <= 1:
+            raise WorkloadError(f"bad regional departure: {self!r}")
+
+
+@dataclass(frozen=True)
+class SessionDuration:
+    """How long one session lasts.
+
+    ``kind`` picks the distribution — ``"exponential"`` (mean
+    ``scale``), ``"lognormal"`` (median ``scale``, sigma ``shape``),
+    ``"pareto"`` (scale ``scale``, tail index ``shape``) or ``"fixed"``
+    — and every sample is clamped into ``[MIN_SESSION, cap]``.  The cap
+    is what bounds the schedule generator's memory: no session outlives
+    ``cap``, so at most ``rate * cap`` leaves are ever pending.
+    """
+
+    kind: str = "exponential"
+    scale: float = 120.0
+    shape: float = 1.5
+    cap: float = 3_600.0
+
+    KINDS = ("exponential", "lognormal", "pareto", "fixed")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise WorkloadError(
+                f"unknown session kind {self.kind!r} "
+                f"(known: {', '.join(self.KINDS)})"
+            )
+        if self.scale <= 0 or self.shape <= 0 or self.cap < MIN_SESSION:
+            raise WorkloadError(f"bad session duration: {self!r}")
+
+    def sample(self, rng: random.Random) -> float:
+        """One session length, clamped into ``[MIN_SESSION, cap]``."""
+        if self.kind == "fixed":
+            value = self.scale
+        elif self.kind == "exponential":
+            value = rng.expovariate(1.0 / self.scale)
+        elif self.kind == "lognormal":
+            value = rng.lognormvariate(math.log(self.scale), self.shape)
+        else:  # pareto
+            value = self.scale * rng.paretovariate(self.shape)
+        return min(max(value, MIN_SESSION), self.cap)
+
+
+class ZipfPopularity:
+    """Zipf channel popularity over ``channels`` ranked channels:
+    channel ``i`` (0-based; 0 is the head) has weight
+    ``1 / (i + 1) ** exponent``.  Sampling inverts the precomputed CDF
+    with one uniform draw and a bisect, so a million draws cost a
+    million log-time lookups, not a million renormalisations."""
+
+    def __init__(self, channels: int, exponent: float = 1.0) -> None:
+        if channels < 1:
+            raise WorkloadError(f"need >= 1 channel, got {channels}")
+        if exponent < 0:
+            raise WorkloadError(f"Zipf exponent must be >= 0: {exponent}")
+        self.channels = channels
+        self.exponent = exponent
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(channels)]
+        total = math.fsum(weights)
+        cdf = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cdf.append(running)
+        cdf[-1] = 1.0  # guard against float drift at the top
+        self._cdf = cdf
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one channel index (0 = most popular)."""
+        return bisect.bisect_left(self._cdf, rng.random())
+
+    def share(self, channel: int) -> float:
+        """The probability mass of one channel index."""
+        low = self._cdf[channel - 1] if channel else 0.0
+        return self._cdf[channel] - low
+
+    def __repr__(self) -> str:
+        return (f"ZipfPopularity(channels={self.channels}, "
+                f"exponent={self.exponent:g})")
+
+
+@dataclass(frozen=True)
+class ChurnModel:
+    """The full workload description one schedule generates from.
+
+    ``base_rate`` is the Poisson session-arrival rate (joins/sec across
+    *all* channels) at multiplier 1; the diurnal curve scales it
+    multiplicatively and each flash crowd adds its boost on top.
+    ``host_scale`` is the aggregation factor: one generated session
+    stands for that many end hosts behind the site (the event's
+    ``hosts`` weight), which is how a thousand sim receivers stand in
+    for millions of endpoints without a million events per join.
+    """
+
+    channels: int
+    base_rate: float
+    popularity_exponent: float = 1.0
+    session: SessionDuration = field(default_factory=SessionDuration)
+    diurnal: Optional[DiurnalCurve] = None
+    flash_crowds: Tuple[FlashCrowd, ...] = ()
+    departures: Tuple[RegionalDeparture, ...] = ()
+    host_scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise WorkloadError(f"need >= 1 channel, got {self.channels}")
+        if self.base_rate <= 0:
+            raise WorkloadError(f"base rate must be > 0: {self.base_rate}")
+        if self.popularity_exponent < 0:
+            raise WorkloadError(
+                f"Zipf exponent must be >= 0: {self.popularity_exponent}"
+            )
+        if self.host_scale < 1:
+            raise WorkloadError(f"host scale must be >= 1: {self.host_scale}")
+
+    def rate(self, t: float) -> float:
+        """The instantaneous session-arrival rate at time ``t``."""
+        rate = self.base_rate
+        if self.diurnal is not None:
+            rate *= self.diurnal.multiplier(t)
+        boost = 0.0
+        for crowd in self.flash_crowds:
+            boost += crowd.boost(t)
+        return rate * (1.0 + boost)
+
+    def peak_rate(self) -> float:
+        """An upper bound on :meth:`rate` over all time — the thinning
+        envelope the schedule generator draws candidate arrivals at."""
+        rate = self.base_rate
+        if self.diurnal is not None:
+            rate *= self.diurnal.peak
+        boost = sum(crowd.magnitude for crowd in self.flash_crowds)
+        return rate * (1.0 + boost)
+
+    def popularity(self) -> ZipfPopularity:
+        """The channel-popularity sampler (precomputed CDF)."""
+        return ZipfPopularity(self.channels, self.popularity_exponent)
+
+    def describe(self) -> str:
+        """One deterministic line per component (reports, archives)."""
+        lines = [
+            f"ChurnModel: {self.channels} channels, "
+            f"base rate {self.base_rate:g}/s, "
+            f"Zipf s={self.popularity_exponent:g}, "
+            f"session {self.session.kind} scale={self.session.scale:g} "
+            f"cap={self.session.cap:g}, host scale {self.host_scale}",
+        ]
+        if self.diurnal is not None:
+            d = self.diurnal
+            lines.append(f"  diurnal: x{d.trough:g}..x{d.peak:g} "
+                         f"period={d.period:g} peak at t={d.peak_time:g}")
+        for crowd in self.flash_crowds:
+            lines.append(f"  flash crowd: t={crowd.time:g} "
+                         f"+x{crowd.magnitude:g} rise={crowd.rise:g} "
+                         f"decay={crowd.decay:g}")
+        for departure in self.departures:
+            lines.append(f"  regional departure: t={departure.time:g} "
+                         f"{len(departure.sites)} sites "
+                         f"fraction={departure.fraction:g}")
+        return "\n".join(lines)

@@ -145,3 +145,31 @@ class TestMessages:
     def test_query_carries_serial(self):
         query = MembershipQuery(serial=3)
         assert query.serial == 3
+
+
+class TestLedgerOwnership:
+    """The router's membership state lives in one MembershipLedger."""
+
+    def test_router_state_is_a_workload_ledger(self):
+        from repro.workload import MembershipLedger
+
+        router = IgmpRouterAgent()
+        assert isinstance(router.ledger, MembershipLedger)
+
+    def test_members_view_reflects_ledger_reports(self):
+        network = edge_network()
+        router = IgmpRouterAgent()
+        hosts = [IgmpHostAgent(), IgmpHostAgent()]
+        network.attach(0, router)
+        network.attach(10, hosts[0])
+        network.attach(11, hosts[1])
+        channel = make_channel(network)
+        for host in hosts:
+            host.join_channel(channel)
+        network.run()
+        assert router.members == router.ledger.presence()
+        assert sorted(router.members[channel]) == [10, 11]
+        # Direct ledger mutation is visible through the agent's API —
+        # there is no second copy of the state to drift.
+        router.ledger.withdraw(channel, 10)
+        assert router.member_hosts(channel) == [11]

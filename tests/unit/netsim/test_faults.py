@@ -31,6 +31,7 @@ from repro.netsim.faults import (
     candidate_fault_links,
     close_schedule,
     keeps_group_connected,
+    merge_timelines,
     random_schedule,
 )
 from repro.netsim.network import Network
@@ -375,3 +376,48 @@ class TestConnectivityHelpers:
         player.finish()
         assert keeps_group_connected(fresh, 10, [12],
                                      down_links=player.down_links)
+
+
+class TestMergeTimelines:
+    """merge_timelines / FaultSchedule.merge — churn-plane composition."""
+
+    def test_time_ordered_across_streams(self):
+        faults = [LinkDown(5.0, 0, 1), LinkUp(9.0, 0, 1)]
+        other = [LinkDown(1.0, 3, 4), LinkDown(7.0, 4, 2)]
+        merged = list(merge_timelines(faults, other))
+        assert [e.time for e in merged] == [1.0, 5.0, 7.0, 9.0]
+
+    def test_earlier_lane_wins_ties(self):
+        first = [LinkDown(5.0, 0, 1)]
+        second = [LinkUp(5.0, 3, 4)]
+        merged = list(merge_timelines(first, second))
+        assert merged == [LinkDown(5.0, 0, 1), LinkUp(5.0, 3, 4)]
+        flipped = list(merge_timelines(second, first))
+        assert flipped == [LinkUp(5.0, 3, 4), LinkDown(5.0, 0, 1)]
+
+    def test_schedule_merge_puts_faults_first(self):
+        schedule = FaultSchedule([LinkDown(5.0, 0, 1)])
+        churn = [LinkUp(5.0, 3, 4)]  # stands in for a same-time churn event
+        merged = list(schedule.merge(churn))
+        assert merged[0] == LinkDown(5.0, 0, 1)
+
+    def test_merge_expands_flaps(self):
+        schedule = FaultSchedule([LinkFlap(2.0, 0, 1, flaps=2, period=2.0)])
+        merged = list(schedule.merge([LinkDown(3.0, 3, 4)]))
+        kinds = [(e.time, e.kind) for e in merged]
+        # Flap halves its period; the schedule's own t=3 up sorts
+        # before the merged-in t=3 down (faults lane first).
+        assert kinds == [(2.0, "link_down"), (3.0, "link_up"),
+                         (3.0, "link_down"), (4.0, "link_down"),
+                         (5.0, "link_up")]
+
+    def test_merge_is_lazy(self):
+        def endless():
+            t = 0.0
+            while True:
+                t += 1.0
+                yield LinkDown(t, 0, 1)
+
+        merged = merge_timelines([LinkUp(0.5, 3, 4)], endless())
+        head = [next(merged) for _ in range(4)]
+        assert [e.time for e in head] == [0.5, 1.0, 2.0, 3.0]

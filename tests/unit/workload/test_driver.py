@@ -1,0 +1,162 @@
+"""Unit tests for the churn replayers (repro.workload.driver)."""
+
+import pytest
+
+from repro.errors import MembershipError
+from repro.netsim.engine import Simulator
+from repro.obs.registry import MetricsRegistry
+from repro.workload import ChurnInjector, RoundChurnPlayer
+from repro.workload.schedule import JOIN, LEAVE, MembershipEvent
+
+
+def ev(time, kind, channel=0, site="a", hosts=1, seq=0):
+    return MembershipEvent(time=time, kind=kind, channel=channel,
+                           site=site, hosts=hosts, seq=seq)
+
+
+class RecordingCallbacks:
+    def __init__(self):
+        self.first = []
+        self.last = []
+
+    def on_first(self, event):
+        self.first.append((event.channel, event.site))
+
+    def on_last(self, event):
+        self.last.append((event.channel, event.site))
+
+
+class StubFaultPlayer:
+    """Duck-typed stand-in for RoundFaultPlayer."""
+
+    def __init__(self):
+        self.advanced_to = []
+
+    def advance(self, now):
+        self.advanced_to.append(now)
+        return 1
+
+
+class TestRoundChurnPlayer:
+    def test_cursor_applies_due_events_only(self):
+        stream = [ev(1.0, JOIN, seq=0), ev(2.0, JOIN, site="b", seq=1),
+                  ev(5.0, LEAVE, seq=0)]
+        player = RoundChurnPlayer(iter(stream))
+        assert player.advance(1.5) == 1
+        assert not player.exhausted
+        assert player.advance(1.5) == 0          # idempotent at same time
+        assert player.advance(4.0) == 1
+        assert player.advance(10.0) == 1
+        assert player.exhausted
+        assert player.events_applied == 3
+
+    def test_finish_drains_the_stream(self):
+        player = RoundChurnPlayer([ev(1.0, JOIN), ev(99.0, LEAVE)])
+        assert player.finish() == 2
+        assert player.exhausted
+
+    def test_edges_fire_only_on_first_and_last_session(self):
+        calls = RecordingCallbacks()
+        stream = [
+            ev(1.0, JOIN, seq=0),
+            ev(2.0, JOIN, seq=1),            # overlap: same channel+site
+            ev(3.0, LEAVE, seq=0),           # still one session left
+            ev(4.0, LEAVE, seq=1),           # last out
+        ]
+        player = RoundChurnPlayer(stream, on_first=calls.on_first,
+                                  on_last=calls.on_last)
+        player.finish()
+        assert calls.first == [(0, "a")]
+        assert calls.last == [(0, "a")]
+
+    def test_counters_with_labels(self):
+        registry = MetricsRegistry()
+        stream = [ev(1.0, JOIN, hosts=10, seq=0),
+                  ev(2.0, JOIN, hosts=10, seq=1),
+                  ev(3.0, LEAVE, hosts=10, seq=0)]
+        player = RoundChurnPlayer(stream, registry=registry,
+                                  labels={"protocol": "hbh"})
+        player.finish()
+        counters = {name: instrument.value
+                    for name, labels, instrument in registry.collect("churn.")
+                    if labels == {"protocol": "hbh"}}
+        assert counters["churn.events.join"] == 2.0
+        assert counters["churn.hosts.join"] == 20.0
+        assert counters["churn.edges.join"] == 1.0
+        assert counters["churn.events.leave"] == 1.0
+        assert "churn.edges.leave" not in counters   # never fired
+
+    def test_fault_events_delegate_to_fault_player(self):
+        faults = StubFaultPlayer()
+        stream = [ev(1.0, JOIN),
+                  MembershipEvent(time=2.0, kind="link_down", channel=-1,
+                                  site="r1", hosts=0, seq=-1),
+                  ev(3.0, LEAVE)]
+        player = RoundChurnPlayer(stream, fault_player=faults)
+        player.finish()
+        assert faults.advanced_to == [2.0]
+        assert player.faults_seen == 1
+        assert player.events_applied == 3
+
+    def test_fault_events_without_player_are_counted(self):
+        registry = MetricsRegistry()
+        stream = [MembershipEvent(time=2.0, kind="link_down", channel=-1,
+                                  site="r1", hosts=0, seq=-1)]
+        player = RoundChurnPlayer(stream, registry=registry)
+        player.finish()
+        names = [name for name, _, _ in registry.collect("churn.")]
+        assert "churn.faults.ignored.link_down" in names
+
+    def test_unbalanced_stream_raises(self):
+        player = RoundChurnPlayer([ev(1.0, LEAVE)])
+        with pytest.raises(MembershipError):
+            player.finish()
+
+
+class _StubNetwork:
+    def __init__(self):
+        self.simulator = Simulator()
+        self.metrics = MetricsRegistry()
+
+
+class TestChurnInjector:
+    def test_one_pending_event_at_a_time(self):
+        network = _StubNetwork()
+        calls = RecordingCallbacks()
+        stream = [ev(1.0, JOIN, seq=0), ev(2.0, JOIN, site="b", seq=1),
+                  ev(3.0, LEAVE, seq=0), ev(4.0, LEAVE, site="b", seq=1)]
+        injector = ChurnInjector(network, stream, on_first=calls.on_first,
+                                 on_last=calls.on_last)
+        assert injector.arm() is True
+        # Only the first event is queued; the rest chain as each fires.
+        assert network.simulator.pending == 1
+        network.simulator.run()
+        assert injector.events_applied == 4
+        assert injector.exhausted
+        assert calls.first == [(0, "a"), (0, "b")]
+        assert calls.last == [(0, "a"), (0, "b")]
+
+    def test_empty_stream(self):
+        injector = ChurnInjector(_StubNetwork(), [])
+        assert injector.arm() is False
+        assert injector.exhausted
+
+    def test_time_offset_shifts_virtual_time(self):
+        network = _StubNetwork()
+        seen = []
+        injector = ChurnInjector(
+            network, [ev(1.0, JOIN)], time_offset=10.0,
+            on_first=lambda event: seen.append(network.simulator.now),
+        )
+        injector.arm()
+        network.simulator.run()
+        assert seen == [11.0]
+
+    def test_counts_into_network_metrics_by_default(self):
+        network = _StubNetwork()
+        injector = ChurnInjector(network, [ev(1.0, JOIN, hosts=5)])
+        injector.arm()
+        network.simulator.run()
+        names = {name: instrument.value
+                 for name, _, instrument in network.metrics.collect("churn.")}
+        assert names["churn.hosts.join"] == 5.0

@@ -1,0 +1,96 @@
+"""Unit tests for the membership ledger (repro.workload.membership)."""
+
+import pytest
+
+from repro.errors import MembershipError
+from repro.workload import MembershipLedger
+
+
+class TestCountedSessions:
+    def test_first_and_last_session_are_edges(self):
+        ledger = MembershipLedger()
+        assert ledger.add("g", "m") is True       # join edge
+        assert ledger.add("g", "m") is False      # absorbed overlap
+        assert ledger.remove("g", "m") is False   # still one session
+        assert ledger.remove("g", "m") is True    # leave edge
+        assert not ledger.has_members("g")
+
+    def test_leave_without_join_raises(self):
+        ledger = MembershipLedger()
+        with pytest.raises(MembershipError):
+            ledger.remove("g", "m")
+
+    def test_host_weights_aggregate(self):
+        ledger = MembershipLedger()
+        ledger.add("g", "m", hosts=50)
+        ledger.add("g", "m", hosts=50)
+        ledger.add("g", "n", hosts=10)
+        assert ledger.weight("g") == 110
+        assert ledger.sessions("g") == 3
+        ledger.remove("g", "m", hosts=50)
+        assert ledger.weight("g") == 60
+
+    def test_groups_independent(self):
+        ledger = MembershipLedger()
+        ledger.add("g1", "m")
+        ledger.add("g2", "m")
+        assert ledger.remove("g1", "m") is True
+        assert ledger.has_members("g2")
+
+    def test_totals(self):
+        ledger = MembershipLedger()
+        ledger.add("g1", "m", hosts=5)
+        ledger.add("g1", "n", hosts=5)
+        ledger.add("g2", "m", hosts=2)
+        assert ledger.totals() == (2, 3, 12)
+        assert len(ledger) == 2
+
+
+class TestPresence:
+    def test_report_is_idempotent(self):
+        ledger = MembershipLedger()
+        assert ledger.report("g", "h", now=1.0) is True
+        assert ledger.report("g", "h", now=2.0) is False
+        assert ledger.member_hosts("g") == ["h"]
+
+    def test_withdraw(self):
+        ledger = MembershipLedger()
+        ledger.report("g", "h", now=0.0)
+        assert ledger.withdraw("g", "h") is True
+        assert ledger.withdraw("g", "h") is False
+        assert not ledger.has_members("g")
+
+    def test_expire_drops_stale_members(self):
+        ledger = MembershipLedger()
+        ledger.report("g1", "h1", now=0.0)
+        ledger.report("g1", "h2", now=90.0)
+        ledger.report("g2", "h1", now=0.0)
+        emptied = ledger.expire(now=100.0, horizon=50.0)
+        assert emptied == ["g2"]
+        assert ledger.member_hosts("g1") == ["h2"]
+
+    def test_presence_view(self):
+        ledger = MembershipLedger()
+        ledger.report("g", "h", now=3.0)
+        assert ledger.presence() == {"g": {"h": 3.0}}
+
+
+class TestIntrospection:
+    def test_sorted_accessors(self):
+        ledger = MembershipLedger()
+        for member in ("c", "a", "b"):
+            ledger.add("g", member)
+        assert ledger.member_hosts("g") == ["a", "b", "c"]
+        ledger.add("f", "x")
+        assert ledger.groups() == ["f", "g"]
+
+    def test_empty_group_answers(self):
+        ledger = MembershipLedger()
+        assert ledger.member_hosts("nope") == []
+        assert ledger.sessions("nope") == 0
+        assert ledger.weight("nope") == 0
+
+    def test_repr(self):
+        ledger = MembershipLedger()
+        ledger.add("g", "m", hosts=7)
+        assert "hosts=7" in repr(ledger)

@@ -1,0 +1,146 @@
+"""Unit tests for the churn model components (repro.workload.model)."""
+
+import math
+import random
+
+import pytest
+
+from repro.workload import (
+    ChurnModel,
+    DiurnalCurve,
+    FlashCrowd,
+    RegionalDeparture,
+    SessionDuration,
+    ZipfPopularity,
+)
+from repro.workload.model import MIN_SESSION, WorkloadError
+
+
+class TestDiurnalCurve:
+    def test_peak_and_trough(self):
+        curve = DiurnalCurve(peak=2.0, trough=0.5, period=100.0,
+                             peak_time=25.0)
+        assert curve.multiplier(25.0) == pytest.approx(2.0)
+        assert curve.multiplier(75.0) == pytest.approx(0.5)
+
+    def test_bounded_everywhere(self):
+        curve = DiurnalCurve(peak=1.5, trough=0.5, period=86_400.0)
+        for t in range(0, 200_000, 7_919):
+            assert 0.5 <= curve.multiplier(float(t)) <= 1.5
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            DiurnalCurve(period=0.0)
+        with pytest.raises(WorkloadError):
+            DiurnalCurve(peak=0.5, trough=1.5)
+
+
+class TestFlashCrowd:
+    def test_shape(self):
+        crowd = FlashCrowd(time=100.0, magnitude=4.0, rise=20.0,
+                           decay=50.0)
+        assert crowd.boost(99.9) == 0.0
+        assert crowd.boost(110.0) == pytest.approx(2.0)  # half the ramp
+        assert crowd.boost(120.0) == pytest.approx(4.0)  # full magnitude
+        assert crowd.boost(170.0) == pytest.approx(4.0 * math.exp(-1.0))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            FlashCrowd(time=-1.0)
+        with pytest.raises(WorkloadError):
+            FlashCrowd(time=0.0, magnitude=0.0)
+
+
+class TestRegionalDeparture:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RegionalDeparture(time=1.0, sites=())
+        with pytest.raises(WorkloadError):
+            RegionalDeparture(time=1.0, sites=(1,), fraction=0.0)
+        RegionalDeparture(time=1.0, sites=(1,), fraction=1.0)
+
+
+class TestSessionDuration:
+    @pytest.mark.parametrize("kind", SessionDuration.KINDS)
+    def test_samples_clamped(self, kind):
+        session = SessionDuration(kind=kind, scale=10.0, cap=50.0)
+        rng = random.Random("session-test")
+        for _ in range(200):
+            value = session.sample(rng)
+            assert MIN_SESSION <= value <= 50.0
+
+    def test_fixed_is_fixed(self):
+        session = SessionDuration(kind="fixed", scale=7.0)
+        assert session.sample(random.Random(1)) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            SessionDuration(kind="weibull")
+        with pytest.raises(WorkloadError):
+            SessionDuration(scale=0.0)
+
+
+class TestZipfPopularity:
+    def test_cdf_tops_out_at_one(self):
+        pop = ZipfPopularity(1000, exponent=1.0)
+        assert pop._cdf[-1] == 1.0
+
+    def test_head_dominates(self):
+        pop = ZipfPopularity(100, exponent=1.0)
+        assert pop.share(0) > pop.share(1) > pop.share(50)
+        assert sum(pop.share(c) for c in range(100)) == pytest.approx(1.0)
+
+    def test_uniform_when_exponent_zero(self):
+        pop = ZipfPopularity(10, exponent=0.0)
+        assert pop.share(0) == pytest.approx(pop.share(9))
+
+    def test_sampling_matches_shares(self):
+        pop = ZipfPopularity(10, exponent=1.0)
+        rng = random.Random("zipf-test")
+        draws = [pop.sample(rng) for _ in range(5_000)]
+        assert all(0 <= c < 10 for c in draws)
+        head = draws.count(0) / len(draws)
+        assert head == pytest.approx(pop.share(0), abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfPopularity(0)
+        with pytest.raises(WorkloadError):
+            ZipfPopularity(10, exponent=-1.0)
+
+
+class TestChurnModel:
+    def test_rate_composes_diurnal_and_flash(self):
+        model = ChurnModel(
+            channels=10, base_rate=100.0,
+            diurnal=DiurnalCurve(peak=2.0, trough=1.0, period=100.0),
+            flash_crowds=(FlashCrowd(time=0.0, magnitude=3.0, rise=10.0,
+                                     decay=10.0),),
+        )
+        # At t=10 the diurnal is near-peak-adjacent and the flash is at
+        # full magnitude; rate must never exceed the envelope.
+        for t in (0.0, 5.0, 10.0, 50.0, 99.0):
+            assert model.rate(t) <= model.peak_rate() + 1e-9
+
+    def test_peak_rate_is_envelope(self):
+        model = ChurnModel(channels=5, base_rate=10.0)
+        assert model.peak_rate() == pytest.approx(10.0)
+
+    def test_describe_deterministic(self):
+        model = ChurnModel(
+            channels=3, base_rate=1.0,
+            diurnal=DiurnalCurve(),
+            flash_crowds=(FlashCrowd(time=5.0),),
+            departures=(RegionalDeparture(time=9.0, sites=("a",)),),
+            host_scale=4,
+        )
+        assert model.describe() == model.describe()
+        assert "3 channels" in model.describe()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ChurnModel(channels=0, base_rate=1.0)
+        with pytest.raises(WorkloadError):
+            ChurnModel(channels=1, base_rate=0.0)
+        with pytest.raises(WorkloadError):
+            ChurnModel(channels=1, base_rate=1.0, host_scale=0)
