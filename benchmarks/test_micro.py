@@ -219,6 +219,34 @@ def test_link_transmit_batched(benchmark):
     assert network.simulator.events_executed < 1_000
 
 
+def test_link_transmit_disabled_flow(benchmark):
+    """The flow-telemetry guard: the default (disabled) flow plane must
+    keep ``link.transmit`` at the batched benchmark's speed (compare
+    against ``test_link_transmit_batched`` in the same run) and record
+    nothing — the disabled path is one attribute check in the transmit
+    tap, not a utilization-cell update or a record allocation."""
+    from repro.netsim.network import Network
+    from repro.netsim.packet import Packet
+    from repro.topology.paper import fig2_topology
+
+    def run():
+        network = Network(fig2_topology())
+        a, b = network.links()[0].endpoints()
+        link = network.link_between(a, b)
+        packet = Packet(src=network.address_of(a),
+                        dst=network.address_of(b), payload=None)
+        for _ in range(1_000):
+            link.transmit(a, packet)
+        network.run()
+        return network
+
+    network = benchmark(run)
+    flow = network.flow
+    assert not flow.enabled
+    assert len(flow) == 0 and flow.dropped == 0
+    assert flow.util_rows() == []
+
+
 def test_workload_stream_generation(benchmark):
     """10k churn events drawn from a 1k-channel Zipf model — the
     stream-generation half of the churn engine, no protocol work.

@@ -107,7 +107,8 @@ class HbhReceiverAgent(Agent):
                 return False
             now = self.node.network.simulator.now
             key = (payload.stream_id, payload.sequence)
-            if key not in self._seen:  # first copy wins; duplicates dropped
+            first_copy = key not in self._seen
+            if first_copy:  # first copy wins; duplicates dropped
                 self._seen.add(key)
                 self.deliveries.append(Delivery(
                     stream_id=payload.stream_id,
@@ -115,6 +116,13 @@ class HbhReceiverAgent(Agent):
                     received_at=now,
                     delay=now - payload.sent_at,
                 ))
+            flow = self.node.network.flow
+            if flow.enabled:
+                flow.record_delivery(
+                    now, "hbh", str(self.channel), self.node.node_id,
+                    now - payload.sent_at, stream=payload.stream_id,
+                    sequence=payload.sequence, duplicate=not first_copy,
+                )
             causal = self.node.network.causal
             if causal.enabled and packet.span_id is not None:
                 causal.finish(

@@ -38,12 +38,15 @@ from repro.obs.registry import MetricsRegistry
 
 def build_tasks(config: SweepConfig, tracer=None,
                 profile: bool = False,
-                timeline: bool = False) -> List[CellTask]:
+                timeline: bool = False,
+                flows: bool = False,
+                flow_sample: int = 1) -> List[CellTask]:
     """One :class:`CellTask` per cell, in deterministic sweep order.
 
-    Timeline cells are ``cacheable=False``: their event stream is part
-    of the payload the caller archives, and a cached payload from a
-    non-timeline sweep would silently drop it.
+    Timeline and flow-telemetry cells are ``cacheable=False``: their
+    event/record streams are part of the payload the caller archives,
+    and a cached payload from a sweep without them would silently drop
+    them.
     """
     from repro.experiments.harness import run_seed
 
@@ -56,20 +59,22 @@ def build_tasks(config: SweepConfig, tracer=None,
             if traced:
                 def local_fn(config=config, group_size=group_size,
                              run_index=run_index, tracer=tracer,
-                             timeline=timeline):
+                             timeline=timeline, flows=flows,
+                             flow_sample=flow_sample):
                     return execute_cell(config, group_size, run_index,
                                         profile=False, tracer=tracer,
-                                        timeline=timeline)
+                                        timeline=timeline, flows=flows,
+                                        flow_sample=flow_sample)
             tasks.append(CellTask(
                 key=cell_digest(config, group_size, run_index, fingerprint),
                 fn=execute_cell,
                 args=(config, group_size, run_index, profile, None,
-                      timeline),
+                      timeline, flows, flow_sample),
                 describe=(
                     f"config={config.name} n={group_size} run={run_index} "
                     f"seed={run_seed(config, group_size, run_index)}"
                 ),
-                cacheable=not timeline,
+                cacheable=not (timeline or flows),
                 in_process=traced,
                 local_fn=local_fn,
             ))
@@ -89,6 +94,8 @@ def run_sweep(
     backend: Optional[str] = None,
     bus=None,
     timeline: bool = False,
+    flows: bool = False,
+    flow_sample: int = 1,
 ):
     """Run one figure's sweep through the execution engine.
 
@@ -103,8 +110,11 @@ def run_sweep(
     every cell under a fresh tree-dynamics timeline (uncacheable; see
     :func:`build_tasks`) and merges the event streams — annotated with
     ``n``/``run`` — onto ``SweepResult.timeline_events`` in run-index
-    order.  Everything else — ``progress``, ``metrics``, ``tracer`` —
-    keeps the serial harness's contract.
+    order.  ``flows=True`` does the same for data-plane flow telemetry:
+    sampled records (annotated with ``n``/``run``) merge onto
+    ``SweepResult.flow_records`` and utilization rows fold onto
+    ``SweepResult.flow_util``.  Everything else — ``progress``,
+    ``metrics``, ``tracer`` — keeps the serial harness's contract.
     """
     from repro.experiments.harness import SweepPoint, SweepResult
 
@@ -127,7 +137,8 @@ def run_sweep(
     # serial backend profiles in-place exactly like the old harness.
     profile = PROFILER.enabled and effective_backend == "process"
     tasks = build_tasks(config, tracer=tracer, profile=profile,
-                        timeline=timeline)
+                        timeline=timeline, flows=flows,
+                        flow_sample=flow_sample)
 
     counts: Dict[int, int] = {n: 0 for n in config.group_sizes}
 
@@ -154,6 +165,7 @@ def run_sweep(
     # Deterministic merge: payloads arrive in task order (group size
     # major, run index minor), so this loop is the serial loop.
     result = SweepResult(config=config, metrics=metrics)
+    util_rows: List[dict] = []
     index = 0
     for group_size in config.group_sizes:
         batches: Dict[str, List[DataDistribution]] = {
@@ -169,6 +181,11 @@ def run_sweep(
                 result.timeline_events.append(
                     dict(event, n=group_size, run=run_index)
                 )
+            for record in payload.get("flows") or ():
+                result.flow_records.append(
+                    dict(record, n=group_size, run=run_index)
+                )
+            util_rows.extend(payload.get("flow_util") or ())
             for name in config.protocols:
                 batches[name].append(
                     DataDistribution.from_dict(payload["distributions"][name])
@@ -179,6 +196,10 @@ def run_sweep(
                 protocol=name,
                 summary=summarize(batches[name]),
             ))
+    if util_rows:
+        from repro.obs.flow import merge_util_rows
+
+        result.flow_util = merge_util_rows(util_rows)
     result.elapsed_seconds = time.monotonic() - started
     result.exec_stats = executor.stats
     return result

@@ -17,7 +17,8 @@ import time
 from typing import Optional
 
 from repro.experiments.config import SweepConfig
-from repro.experiments.harness import run_single
+from repro.experiments.harness import run_seed, run_single
+from repro.obs.flow import FlowTelemetry
 from repro.obs.profiling import PROFILER
 from repro.obs.registry import MetricsRegistry
 from repro.obs.timeline import ConvergenceMonitor, TreeTimeline
@@ -29,7 +30,8 @@ PAYLOAD_FORMAT = 1
 
 def execute_cell(config: SweepConfig, group_size: int, run_index: int,
                  profile: bool = False, tracer=None,
-                 timeline: bool = False) -> dict:
+                 timeline: bool = False, flows: bool = False,
+                 flow_sample: int = 1) -> dict:
     """Run one Monte-Carlo cell and return its picklable payload.
 
     The payload carries everything the parent needs to reassemble a
@@ -48,6 +50,14 @@ def execute_cell(config: SweepConfig, group_size: int, run_index: int,
     raw event dicts ride back on ``payload["timeline"]`` for the
     parent's run-index-ordered archive merge.
 
+    ``flows=True`` runs the cell under a fresh per-cell
+    :class:`~repro.obs.flow.FlowTelemetry` (1-in-``flow_sample``
+    sampling, salted from the cell's :func:`run_seed` so the sampled
+    subset is identical in any worker layout): ``flow.*`` SLO metrics
+    land in the cell's snapshot, sampled records ride back on
+    ``payload["flows"]`` and utilization rows on
+    ``payload["flow_util"]``.
+
     ``seconds`` is wall clock and intentionally *not* part of the
     deterministic content — the executor reports it as
     ``exec.run.seconds`` but never merges it into the sweep result.
@@ -57,6 +67,11 @@ def execute_cell(config: SweepConfig, group_size: int, run_index: int,
     if timeline:
         tree_timeline = TreeTimeline(enabled=True, registry=registry)
         tree_timeline.attach_monitor(ConvergenceMonitor(registry))
+    flow = None
+    if flows:
+        flow = FlowTelemetry(enabled=True, sample_every=flow_sample,
+                             registry=registry,
+                             seed=run_seed(config, group_size, run_index))
     if profile:
         PROFILER.reset()
         PROFILER.enable()
@@ -65,7 +80,7 @@ def execute_cell(config: SweepConfig, group_size: int, run_index: int,
         with PROFILER.span("harness.run_single"):
             distributions = run_single(config, group_size, run_index,
                                        metrics=registry, tracer=tracer,
-                                       timeline=tree_timeline)
+                                       timeline=tree_timeline, flow=flow)
     finally:
         if profile:
             PROFILER.disable()
@@ -82,6 +97,8 @@ def execute_cell(config: SweepConfig, group_size: int, run_index: int,
         "profile": PROFILER.tree().snapshot() if profile else None,
         "timeline": (tree_timeline.event_dicts()
                      if tree_timeline is not None else None),
+        "flows": flow.record_dicts() if flow is not None else None,
+        "flow_util": flow.util_rows() if flow is not None else None,
         "seconds": seconds,
     }
 

@@ -53,6 +53,15 @@ def _write_timeline(events, path: str) -> None:
     print(f"wrote {count} timeline events to {path}", file=sys.stderr)
 
 
+def _write_flows(records, path: str) -> None:
+    """Archive sampled flow-record dicts as JSONL (sorted keys, so the
+    file is byte-identical across --jobs and PYTHONHASHSEED)."""
+    from repro.obs.timeline import write_events_jsonl
+
+    count = write_events_jsonl(records, path)
+    print(f"wrote {count} flow records to {path}", file=sys.stderr)
+
+
 def _exec_summary(result: SweepResult) -> None:
     """One stderr line on what the execution engine did (CI greps for
     the 'cache hits' text)."""
@@ -229,7 +238,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=sorted(FIGURE_METRICS) + ["all", "claims", "ablations",
                                           "report", "baseline", "bench",
                                           "faults", "explain", "timeline",
-                                          "churn"],
+                                          "churn", "flows"],
         help="figure to regenerate, 'all' for every figure, 'claims' to "
              "check the paper's quantitative claims, 'ablations' for "
              "the asymmetry/unicast-cloud/RP/connectivity sweeps, "
@@ -244,7 +253,9 @@ def main(argv: Optional[List[str]] = None) -> int:
              "of a fault scenario's tree dynamics, or 'churn' to replay "
              "a mass-membership workload (repro.workload) and sweep "
              "control load, tree churn and convergence latency per "
-             "protocol",
+             "protocol, or 'flows' for a data-plane telemetry report "
+             "over a churn scenario (link heatmap, top-K hot links, "
+             "per-channel delivery SLOs)",
     )
     parser.add_argument(
         "--runs", type=int, default=None,
@@ -332,19 +343,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--scenario", default=None,
-        help="with 'faults'/'explain'/'churn': which named scenario to "
-             "replay (faults default flap-storm, explain default fig2, "
-             "churn default iptv-primetime; see the SCENARIOS table of "
-             "repro.experiments.faults / repro.experiments.churn)",
+        help="with 'faults'/'explain'/'churn'/'flows': which named "
+             "scenario to replay (faults default flap-storm, explain "
+             "default fig2, churn/flows default iptv-primetime; see the "
+             "SCENARIOS table of repro.experiments.faults / "
+             "repro.experiments.churn)",
     )
     parser.add_argument(
         "--events", type=int, default=None,
-        help="with 'churn': override the scenario's global event-stream "
-             "limit (counted before channel sharding)",
+        help="with 'churn'/'flows': override the scenario's global "
+             "event-stream limit (counted before channel sharding; "
+             "'flows' defaults to a 20k-event prefix to stay "
+             "interactive)",
     )
     parser.add_argument(
         "--channels", type=int, default=None,
-        help="with 'churn': override the scenario's channel count",
+        help="with 'churn'/'flows': override the scenario's channel "
+             "count",
     )
     parser.add_argument(
         "--stream-out", default="", metavar="JSONL",
@@ -376,6 +391,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--flight-out", default="",
         help="with 'explain'/'faults': dump the per-channel flight "
              "recorder rings as JSONL here",
+    )
+    parser.add_argument(
+        "--flows-out", default="",
+        help="archive sampled data-plane flow records as JSONL here "
+             "(figure sweeps, 'faults', 'churn' and 'flows' run every "
+             "cell under the flow-telemetry plane when set); "
+             "byte-identical across --jobs values and PYTHONHASHSEED",
+    )
+    parser.add_argument(
+        "--flow-sample", type=int, default=1, metavar="N",
+        help="with --flows-out/'flows': deterministic 1-in-N flow "
+             "sampling (default 1 = every flow; the sampled subset is "
+             "seed-derived, not load-dependent)",
     )
     parser.add_argument(
         "--timeline-out", default="",
@@ -474,7 +502,9 @@ def _dispatch(args, tracer, flight, bus=None) -> int:
         if args.scenario == "all":
             payloads = run_scenarios(seed=args.seed, jobs=args.jobs,
                                      bus=bus,
-                                     timeline=bool(args.timeline_out))
+                                     timeline=bool(args.timeline_out),
+                                     flows=bool(args.flows_out),
+                                     flow_sample=args.flow_sample)
             for payload in payloads:
                 print(payload["text"])
                 print()
@@ -485,21 +515,38 @@ def _dispatch(args, tracer, flight, bus=None) -> int:
                      for event in payload["timeline"] or ()),
                     args.timeline_out,
                 )
+            if args.flows_out:
+                _write_flows(
+                    [dict(record, scenario=payload["scenario"])
+                     for payload in payloads
+                     for record in payload["flows"] or ()],
+                    args.flows_out,
+                )
             failures = sum(1 for p in payloads if not p["recovered"])
             print(f"{len(payloads) - failures}/{len(payloads)} scenarios "
                   f"recovered")
             return 0 if failures == 0 else 1
-        timeline = registry = None
+        timeline = registry = flow = None
         if args.timeline_out:
             registry = MetricsRegistry()
             timeline = scenario_timeline(registry)
+        if args.flows_out:
+            from repro.obs.flow import FlowTelemetry
+
+            # run_scenario adopts its own registry when flow.registry
+            # is None, so the timeline-less path needs no registry here.
+            flow = FlowTelemetry(enabled=True,
+                                 sample_every=args.flow_sample,
+                                 registry=registry, seed=args.seed)
         result, registry = run_scenario(args.scenario or "flap-storm",
                                         seed=args.seed, registry=registry,
                                         tracer=tracer, flight=flight,
-                                        timeline=timeline)
+                                        timeline=timeline, flow=flow)
         print(render_result(result, registry))
         if timeline is not None:
             _write_timeline(timeline.event_dicts(), args.timeline_out)
+        if flow is not None:
+            _write_flows(flow.record_dicts(), args.flows_out)
         return 0 if result.recovered else 1
     if args.target == "churn":
         from pathlib import Path
@@ -524,7 +571,9 @@ def _dispatch(args, tracer, flight, bus=None) -> int:
         payloads = run_churn(scenario, protocols=protocols,
                              seed=args.seed, jobs=args.jobs, bus=bus,
                              events=args.events, channels=args.channels,
-                             timeline=bool(args.timeline_out))
+                             timeline=bool(args.timeline_out),
+                             flows=bool(args.flows_out),
+                             flow_sample=args.flow_sample)
         print(render_report(payloads, scenario, args.seed))
         if args.timeline_out:
             _write_timeline(
@@ -532,10 +581,39 @@ def _dispatch(args, tracer, flight, bus=None) -> int:
                  for event in payload["timeline"] or ()],
                 args.timeline_out,
             )
+        if args.flows_out:
+            from repro.experiments.flows import merged_records
+
+            _write_flows(merged_records(payloads), args.flows_out)
         if args.save:
             Path(args.save).write_text(
                 archive_text(payloads, scenario, args.seed))
             print(f"archived churn run to {args.save}", file=sys.stderr)
+        return 0
+    if args.target == "flows":
+        from pathlib import Path
+
+        from repro.experiments.churn import archive_text
+        from repro.experiments.flows import (
+            merged_records,
+            render_flow_report,
+            run_flows,
+        )
+
+        scenario = args.scenario or "iptv-primetime"
+        protocols = ([p.strip() for p in args.protocols.split(",")
+                      if p.strip()] if args.protocols else None)
+        payloads = run_flows(scenario, protocols=protocols,
+                             seed=args.seed, jobs=args.jobs, bus=bus,
+                             events=args.events, channels=args.channels,
+                             flow_sample=args.flow_sample)
+        print(render_flow_report(payloads, scenario, args.seed))
+        if args.flows_out:
+            _write_flows(merged_records(payloads), args.flows_out)
+        if args.save:
+            Path(args.save).write_text(
+                archive_text(payloads, scenario, args.seed))
+            print(f"archived flows run to {args.save}", file=sys.stderr)
         return 0
     if args.target == "timeline":
         from repro.experiments.faults import (
@@ -602,10 +680,14 @@ def _dispatch(args, tracer, flight, bus=None) -> int:
             result = run_sweep(config, progress=progress, tracer=tracer,
                                jobs=args.jobs, cache_dir=cache_dir,
                                resume=args.resume, bus=bus,
-                               timeline=bool(args.timeline_out))
+                               timeline=bool(args.timeline_out),
+                               flows=bool(args.flows_out),
+                               flow_sample=args.flow_sample)
             _exec_summary(result)
             if args.timeline_out:
                 _write_timeline(result.timeline_events, args.timeline_out)
+            if args.flows_out:
+                _write_flows(result.flow_records, args.flows_out)
         if args.save:
             # Canonical form: archives diff clean across --jobs values.
             save_result(result, args.save, canonical=True)

@@ -30,6 +30,7 @@ across ``--jobs`` values, which CI asserts.
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -270,8 +271,11 @@ class _FaultBridge:
 
 def _churn_cell(scenario_name: str, protocol: str, shard: int,
                 shard_count: int, seed: int, events: Optional[int],
-                channels: Optional[int], want_timeline: bool) -> dict:
+                channels: Optional[int], want_timeline: bool,
+                flows: bool = False, flow_sample: int = 1) -> dict:
     """One (protocol, shard) replay — module-level, picklable."""
+    from repro.obs.flow import FlowTelemetry
+
     scenario = get_scenario(scenario_name)
     n_channels = channels or scenario.channels
     limit = events or scenario.events
@@ -281,6 +285,15 @@ def _churn_cell(scenario_name: str, protocol: str, shard: int,
     routing = shared_routing(topology)
     registry = MetricsRegistry()
     labels = {"protocol": protocol, "scenario": scenario_name}
+    flow = None
+    if flows:
+        # crc32 of the cell coordinates (never ``hash()``): every
+        # worker layout derives the identical sampling salt.
+        flow = FlowTelemetry(
+            enabled=True, sample_every=flow_sample, registry=registry,
+            seed=zlib.crc32(
+                f"{scenario_name}/{protocol}/{shard}/{seed}".encode()),
+        )
 
     schedule = build_schedule(scenario, sites, seed, n_channels)
     stream: Iterable = schedule.events(
@@ -340,6 +353,7 @@ def _churn_cell(scenario_name: str, protocol: str, shard: int,
         if instance.receivers:
             distribution = instance.distribute_data()
             instance.record_metrics(registry, distribution)
+            instance.record_flow(flow, distribution, t=now)
 
     checked = violations = 0
     for index in sorted(runs)[:ORACLE_CAP]:
@@ -368,7 +382,7 @@ def _churn_cell(scenario_name: str, protocol: str, shard: int,
     for index in sorted(runs):
         runs[index].finish_timeline()
 
-    return {
+    payload = {
         "scenario": scenario_name,
         "protocol": protocol,
         "shard": shard,
@@ -379,6 +393,16 @@ def _churn_cell(scenario_name: str, protocol: str, shard: int,
         "metrics": digest_registry(registry),
         "timeline": timeline_events,
     }
+    if flow is not None:
+        # SLO rows are computed cell-side: the digest pools histograms
+        # across label sets, which would destroy the per-channel
+        # resolution the scoreboard needs.  Shards partition the
+        # channel space, so concatenating cells in task order never
+        # collides.
+        payload["flows"] = flow.record_dicts()
+        payload["flow_util"] = flow.util_rows()
+        payload["slo"] = flow.slo_rows()
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -453,10 +477,17 @@ def run_churn(scenario_name: str = "iptv-primetime",
               seed: int = 1, jobs: int = 1, bus=None,
               events: Optional[int] = None,
               channels: Optional[int] = None,
-              timeline: bool = False) -> List[dict]:
+              timeline: bool = False,
+              flows: bool = False,
+              flow_sample: int = 1) -> List[dict]:
     """Run one churn scenario as ``protocols x SHARD_COUNT`` executor
     cells; returns payloads in task order (the determinism anchor:
-    payload content is independent of ``jobs``)."""
+    payload content is independent of ``jobs``).  ``flows=True`` runs
+    every cell under a per-cell
+    :class:`~repro.obs.flow.FlowTelemetry` (1-in-``flow_sample``
+    deterministic sampling): payloads gain ``flows`` (sampled
+    records), ``flow_util`` (link utilization rows) and ``slo``
+    (per-channel scoreboard rows) — the ``experiments flows`` report."""
     from repro.exec.executor import CellTask, SweepExecutor
 
     get_scenario(scenario_name)
@@ -473,7 +504,7 @@ def run_churn(scenario_name: str = "iptv-primetime",
             key=f"churn:{scenario_name}:{protocol}:{shard}:{seed}",
             fn=_churn_cell,
             args=(scenario_name, protocol, shard, SHARD_COUNT, seed,
-                  events, channels, timeline),
+                  events, channels, timeline, flows, flow_sample),
             describe=(f"scenario={scenario_name} protocol={protocol} "
                       f"shard={shard}/{SHARD_COUNT}"),
             cacheable=False,

@@ -226,7 +226,7 @@ def scenario_timeline(registry: MetricsRegistry) -> TreeTimeline:
 
 def run_scenario(name: str, seed: int = 1,
                  registry: Optional[MetricsRegistry] = None,
-                 tracer=None, flight=None, timeline=None
+                 tracer=None, flight=None, timeline=None, flow=None
                  ) -> Tuple[FaultRunResult, MetricsRegistry]:
     """Run one named scenario; returns the result and the registry the
     ``fault.*`` / ``recovery.*`` metrics landed in.
@@ -239,7 +239,11 @@ def run_scenario(name: str, seed: int = 1,
     tree dynamics live; its convergence digest lands on
     :attr:`FaultRunResult.convergence`.  The settle run it needs after
     the last probe happens *after* all probes, so rendered output is
-    byte-identical with and without a timeline.
+    byte-identical with and without a timeline.  A ``flow``
+    (:class:`~repro.obs.flow.FlowTelemetry`) rides the network's live
+    transmit/delivery taps for the utilization series and digests every
+    probe's distribution (``util=False`` — the live tap already saw the
+    crossings) for sampled records and per-channel SLO metrics.
     """
     try:
         scenario = SCENARIOS[name]
@@ -256,6 +260,10 @@ def run_scenario(name: str, seed: int = 1,
         network.causal = tracer
     if timeline is not None:
         network.timeline = timeline
+    if flow is not None:
+        network.flow = flow
+        if flow.registry is None:
+            flow.registry = registry
     channel = HbhChannel(network, source_node=scenario.source, timing=FAST)
     monitor = timeline.monitor if timeline is not None else None
     if monitor is not None:
@@ -264,6 +272,11 @@ def run_scenario(name: str, seed: int = 1,
         channel.join(receiver)
     channel.converge(periods=8)
     baseline = channel.measure_data()
+    if flow is not None and flow.enabled:
+        flow.observe_distribution("hbh", str(channel.channel), baseline,
+                                  routing=network.routing,
+                                  source=scenario.source,
+                                  t=network.simulator.now, util=False)
     if not baseline.complete:
         raise ExperimentError(
             f"scenario {name!r}: channel failed to converge before "
@@ -293,6 +306,12 @@ def run_scenario(name: str, seed: int = 1,
     # settle period, so each loop iteration is one probe interval.
     while True:
         distribution = channel.measure_data(settle_periods=1.0)
+        if flow is not None and flow.enabled:
+            flow.observe_distribution("hbh", str(channel.channel),
+                                      distribution,
+                                      routing=network.routing,
+                                      source=scenario.source,
+                                      t=simulator.now, util=False)
         probe = Probe(
             time=simulator.now,
             delivered=len(distribution.delivered),
@@ -332,12 +351,19 @@ def run_scenario(name: str, seed: int = 1,
     return result, registry
 
 
-def _scenario_cell(name: str, seed: int, timeline: bool = False) -> dict:
+def _scenario_cell(name: str, seed: int, timeline: bool = False,
+                   flows: bool = False, flow_sample: int = 1) -> dict:
     """One scenario as an executor cell (module-level, picklable)."""
+    from repro.obs.flow import FlowTelemetry
+
     registry = MetricsRegistry()
     tree_timeline = scenario_timeline(registry) if timeline else None
+    flow = None
+    if flows:
+        flow = FlowTelemetry(enabled=True, sample_every=flow_sample,
+                             registry=registry, seed=seed)
     result, registry = run_scenario(name, seed=seed, registry=registry,
-                                    timeline=tree_timeline)
+                                    timeline=tree_timeline, flow=flow)
     return {
         "scenario": name,
         "seed": seed,
@@ -347,12 +373,15 @@ def _scenario_cell(name: str, seed: int, timeline: bool = False) -> dict:
         "timeline": (tree_timeline.event_dicts()
                      if tree_timeline is not None else None),
         "convergence": result.convergence,
+        "flows": flow.record_dicts() if flow is not None else None,
+        "flow_util": flow.util_rows() if flow is not None else None,
     }
 
 
 def run_scenarios(names: Optional[List[str]] = None, seed: int = 1,
                   jobs: int = 1, bus=None,
-                  timeline: bool = False) -> List[dict]:
+                  timeline: bool = False, flows: bool = False,
+                  flow_sample: int = 1) -> List[dict]:
     """Run several scenarios through the execution engine.
 
     ``names`` defaults to every registered scenario (the CLI's
@@ -362,7 +391,9 @@ def run_scenarios(names: Optional[List[str]] = None, seed: int = 1,
     output), its ``recovered`` verdict and its metrics snapshot.
     ``timeline=True`` adds each scenario's tree-dynamics event stream
     (``payload["timeline"]``) and convergence digest
-    (``payload["convergence"]``).  A ``bus``
+    (``payload["convergence"]``); ``flows=True`` adds its sampled flow
+    records (``payload["flows"]``) and per-link utilization series
+    (``payload["flow_util"]``).  A ``bus``
     (:class:`~repro.obs.bus.TelemetryBus`) receives live per-scenario
     telemetry exactly as sweeps do.  Scenarios are not content
     addressed — they take seconds and their determinism is asserted by
@@ -381,7 +412,7 @@ def run_scenarios(names: Optional[List[str]] = None, seed: int = 1,
         CellTask(
             key=f"fault:{name}:{seed}",
             fn=_scenario_cell,
-            args=(name, seed, timeline),
+            args=(name, seed, timeline, flows, flow_sample),
             describe=f"scenario={name} seed={seed}",
             cacheable=False,
         )

@@ -1,0 +1,126 @@
+"""The flows experiment: a data-plane telemetry report over churn.
+
+``experiments flows`` replays a named mass-membership workload
+(:mod:`repro.experiments.churn`) with every cell running under a
+:class:`~repro.obs.flow.FlowTelemetry`, then renders the data-plane
+story the control-plane churn report cannot tell: which links carry
+the copies (ASCII link heatmap + top-K hot links) and what each
+channel's subscribers actually experienced (the per-channel SLO
+scoreboard — delivery-delay percentiles, loss/duplication rates, path
+stretch vs unicast shortest path, traffic concentration).
+
+Determinism: cells fold in task order, utilization rows merge by
+sorted string key, and sampling salts derive from cell coordinates via
+``crc32`` — the rendered report and the ``--flows-out`` archive are
+byte-identical across ``--jobs`` values and ``PYTHONHASHSEED``.
+
+The full ``iptv-primetime`` stream is a million events; replaying all
+of it just to draw a heatmap would take minutes, so the flows target
+caps the stream at :data:`FLOWS_DEFAULT_EVENTS` unless ``--events``
+overrides it.  The cap is applied *before* channel sharding, exactly
+like ``--events``, so a capped report is the honest prefix of the full
+workload — not a different workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.churn import get_scenario, run_churn
+from repro.obs.flow import (
+    merge_util_rows,
+    render_hot_links,
+    render_link_heatmap,
+    render_slo_table,
+)
+
+#: Stream cap for the flows report when ``--events`` is absent: enough
+#: churn to populate every shard's head channels, small enough to stay
+#: interactive.  ``ci-small`` scenarios are already below it.
+FLOWS_DEFAULT_EVENTS = 20_000
+
+
+def run_flows(scenario_name: str = "iptv-primetime",
+              protocols: Optional[Sequence[str]] = None,
+              seed: int = 1, jobs: int = 1, bus=None,
+              events: Optional[int] = None,
+              channels: Optional[int] = None,
+              flow_sample: int = 1) -> List[dict]:
+    """Run one churn scenario with flow telemetry on in every cell.
+
+    Thin orchestration: delegates to :func:`run_churn` with
+    ``flows=True`` (payloads gain ``flows``/``flow_util``/``slo``) and
+    applies :data:`FLOWS_DEFAULT_EVENTS` when no explicit event cap is
+    given.  Payloads return in task order — the determinism anchor for
+    everything rendered or archived from them.
+    """
+    scenario = get_scenario(scenario_name)
+    if events is None:
+        events = min(scenario.events, FLOWS_DEFAULT_EVENTS)
+    return run_churn(scenario_name, protocols=protocols, seed=seed,
+                     jobs=jobs, bus=bus, events=events, channels=channels,
+                     flows=True, flow_sample=flow_sample)
+
+
+def merged_records(payloads: List[dict]) -> List[dict]:
+    """All sampled flow records in task order, annotated with their
+    cell's shard (record ``seq`` numbers restart per cell, so the shard
+    keeps them globally attributable)."""
+    records: List[dict] = []
+    for payload in payloads:
+        for record in payload.get("flows") or ():
+            records.append(dict(record, shard=payload["shard"]))
+    return records
+
+
+def merged_util(payloads: List[dict]) -> List[dict]:
+    """Per-link utilization rows folded across all cells."""
+    rows: List[dict] = []
+    for payload in payloads:
+        rows.extend(payload.get("flow_util") or ())
+    return merge_util_rows(rows)
+
+
+def merged_slo(payloads: List[dict]) -> List[dict]:
+    """Per-channel SLO rows across all cells, sorted by (protocol,
+    channel).  Shards partition the channel space and protocols are
+    distinct per cell, so concatenation never collides."""
+    rows: List[dict] = []
+    for payload in payloads:
+        rows.extend(payload.get("slo") or ())
+    return sorted(rows, key=lambda row: (row["protocol"], row["channel"]))
+
+
+def render_flow_report(payloads: List[dict], scenario_name: str,
+                       seed: int, top_k: int = 10) -> str:
+    """The full flows report: header, link heatmap, hot links, SLO
+    scoreboard.  Deterministic for a given (scenario, seed, events)."""
+    scenario = get_scenario(scenario_name)
+    records = merged_records(payloads)
+    util = merged_util(payloads)
+    slo = merged_slo(payloads)
+    applied = sum(p["events_applied"] for p in payloads)
+    touched = sum(p["channels_touched"] for p in payloads)
+    lines = [
+        f"== flow telemetry: scenario {scenario_name!r} (seed {seed}) ==",
+        scenario.description,
+        "",
+        f"{applied} membership events across {touched} channels "
+        f"({len(payloads)} cells); {len(records)} sampled flow records, "
+        f"{len(util)} link-utilization rows",
+        "",
+        render_link_heatmap(util, top_k=max(top_k, 12)),
+        "",
+        render_hot_links(util, k=top_k),
+        "",
+        render_slo_table(slo, top_k=top_k),
+    ]
+    return "\n".join(lines)
+
+
+def slo_by_channel(payloads: List[dict]) -> Dict[str, List[dict]]:
+    """SLO rows grouped by protocol (helper for tests/tools)."""
+    grouped: Dict[str, List[dict]] = {}
+    for row in merged_slo(payloads):
+        grouped.setdefault(row["protocol"], []).append(row)
+    return grouped

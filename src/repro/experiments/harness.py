@@ -50,6 +50,7 @@ def run_single(
     metrics: Optional[MetricsRegistry] = None,
     tracer=None,
     timeline=None,
+    flow=None,
 ) -> Dict[str, DataDistribution]:
     """One Monte-Carlo run: build, join, converge, measure.
 
@@ -62,7 +63,10 @@ def run_single(
     a ``timeline`` (:class:`~repro.obs.timeline.TreeTimeline`, with its
     monitor already attached) is shared across every protocol that
     supports the tree-dynamics timeline, and each protocol's monitor
-    windows are settled after its measurement.
+    windows are settled after its measurement.  A ``flow``
+    (:class:`~repro.obs.flow.FlowTelemetry`) digests every protocol's
+    measured distribution into sampled flow records, link utilization
+    and the per-channel SLO metrics (the CLI's ``--flows-out``).
     """
     rng = make_rng(run_seed(config, group_size, run_index))
     with PROFILER.span("harness.build_topology"):
@@ -105,6 +109,7 @@ def run_single(
         if metrics is not None:
             instance.record_metrics(metrics, distribution,
                                     converge_rounds=rounds)
+        instance.record_flow(flow, distribution)
         distributions[protocol_name] = distribution
     if metrics is not None:
         routing.export_repair_metrics(metrics)
@@ -138,6 +143,14 @@ class SweepResult:
     #: byte-identical for any ``--jobs``.  Empty unless the sweep ran
     #: with ``timeline=True``.
     timeline_events: List[dict] = field(default_factory=list)
+    #: Sampled flow records (dicts, annotated with ``n`` and ``run``),
+    #: merged in run-index order like timeline events.  Empty unless
+    #: the sweep ran with ``flows=True``.
+    flow_records: List[dict] = field(default_factory=list)
+    #: Per-link utilization rows merged across cells (see
+    #: :func:`repro.obs.flow.merge_util_rows`).  Empty unless the sweep
+    #: ran with ``flows=True``.
+    flow_util: List[dict] = field(default_factory=list)
 
     def summary(self, group_size: int, protocol: str) -> MetricSummary:
         """The cell for (group_size, protocol)."""
@@ -193,7 +206,9 @@ def run_sweep(config: SweepConfig,
               retries: int = 2,
               backend: Optional[str] = None,
               bus=None,
-              timeline: bool = False) -> SweepResult:
+              timeline: bool = False,
+              flows: bool = False,
+              flow_sample: int = 1) -> SweepResult:
     """Run the full sweep for one figure.
 
     ``progress(group_size, protocol, run_index, total_runs)`` is called
@@ -220,11 +235,20 @@ def run_sweep(config: SweepConfig,
     :attr:`SweepResult.timeline_events` (the CLI's ``--timeline-out``).
     Timeline cells bypass the run cache — their event streams are part
     of the result, not just their metric digests.
+
+    ``flows=True`` turns on data-plane flow telemetry in every cell
+    (1-in-``flow_sample`` deterministic sampling): the per-channel SLO
+    metrics (``flow.*``) land in ``metrics``, sampled records ride on
+    :attr:`SweepResult.flow_records` merged in run-index order (the
+    CLI's ``--flows-out``) and link utilization on
+    :attr:`SweepResult.flow_util`.  Flow cells bypass the run cache
+    for the same reason timeline cells do.
     """
     from repro.exec.sweep import run_sweep as _run_sweep
 
     return _run_sweep(
         config, progress=progress, metrics=metrics, tracer=tracer,
         jobs=jobs, cache_dir=cache_dir, resume=resume, retries=retries,
-        backend=backend, bus=bus, timeline=timeline,
+        backend=backend, bus=bus, timeline=timeline, flows=flows,
+        flow_sample=flow_sample,
     )

@@ -22,6 +22,7 @@ from repro.netsim.stats import LinkCounters
 from repro.netsim.trace import Trace
 from repro.obs.causal import CausalTracer
 from repro.obs.flight import FlightRecorder
+from repro.obs.flow import DEFAULT_BUCKET, FlowTelemetry
 from repro.obs.registry import MetricsRegistry
 from repro.obs.timeline import ConvergenceMonitor, TreeTimeline
 from repro.routing.tables import shared_routing
@@ -56,6 +57,9 @@ class Network:
         #: disabled by default under the same single enabled-check
         #: fast-path rule as causal tracing.
         self.timeline = TreeTimeline(enabled=False)
+        #: Data-plane flow telemetry (see :mod:`repro.obs.flow`),
+        #: disabled by default under the same fast-path rule.
+        self.flow = FlowTelemetry(enabled=False)
         self._nodes: Dict[NodeId, Node] = {}
         self._by_address: Dict[Address, Node] = {}
         self._saved_costs: Dict = {}
@@ -274,6 +278,21 @@ class Network:
             self.timeline.attach_monitor(monitor)
         return self.timeline
 
+    def enable_flow_telemetry(self, sample_every: int = 1,
+                              maxlen: Optional[int] = 65536,
+                              seed: int = 0,
+                              bucket: float = DEFAULT_BUCKET
+                              ) -> FlowTelemetry:
+        """Turn on data-plane flow telemetry (deterministically sampled
+        flow records + per-link utilization series feeding this
+        network's registry); returns the instrument.  The transmit and
+        delivery taps consult ``flow.enabled`` before spending
+        anything."""
+        self.flow = FlowTelemetry(enabled=True, sample_every=sample_every,
+                                  maxlen=maxlen, registry=self.metrics,
+                                  seed=seed, bucket=bucket)
+        return self.flow
+
     def _on_transmit(self, link: Link, src: NodeId, dst: NodeId,
                      packet: Packet) -> None:
         self.counters.record(src, dst, self.topology.cost(src, dst),
@@ -290,6 +309,12 @@ class Network:
         causal = self.causal
         if causal.enabled and packet.span_id is not None:
             causal.hop(packet.span_id, dst)
+        flow = self.flow
+        if flow.enabled:
+            flow.record_transmit(
+                self.simulator.now, src, dst, self.topology.cost(src, dst),
+                "data" if packet.kind is PacketKind.DATA else "control",
+            )
 
     def data_tally(self):
         """Aggregate data-traffic tally (tree-cost measurement)."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.netsim.packet import PacketKind
 from repro.obs.registry import Counter, MetricsRegistry
@@ -105,6 +105,14 @@ class LinkCounters:
                  ) -> Dict[DirectedLink, int]:
         """Copy counts keyed by directed link (a plain dict snapshot)."""
         return dict(self._copies[kind])
+
+    def busiest(self, k: int = 10, kind: PacketKind = PacketKind.DATA
+                ) -> List[Tuple[DirectedLink, int]]:
+        """The ``k`` directed links carrying the most copies of
+        ``kind`` traffic, hottest first (ties broken by link string,
+        so the order is deterministic)."""
+        return sorted(self._copies[kind].items(),
+                      key=lambda item: (-item[1], str(item[0])))[:k]
 
     def reset(self) -> None:
         """Zero the per-link tallies (e.g. between control convergence

@@ -237,6 +237,34 @@ def _build_workload_generate() -> Callable[[], object]:
     return run
 
 
+def _build_flows_record() -> Callable[[], object]:
+    """50 flow-telemetry digests of a converged 8-receiver HBH
+    distribution — the per-measurement cost of the flows plane
+    (path reconstruction, per-receiver SLO metrics, utilization rows)
+    with the registry attached, as every flows cell runs it."""
+    from repro.core import static_driver
+    from repro.obs.flow import FlowTelemetry
+    from repro.routing.tables import UnicastRouting
+    from repro.topology.isp import isp_topology
+
+    topology = isp_topology(seed=3)
+    routing = UnicastRouting(topology)
+    driver = static_driver.StaticHbh(topology, 18, routing=routing)
+    for receiver in (20, 22, 25, 27, 29, 31, 33, 35):
+        driver.add_receiver(receiver)
+        driver.converge(max_rounds=80)
+    distribution = driver.distribute_data()
+
+    def run() -> int:
+        flow = FlowTelemetry(enabled=True, registry=MetricsRegistry())
+        for _ in range(50):
+            flow.observe_distribution("hbh", "<18,G>", distribution,
+                                      routing=routing, source=18)
+        return len(flow)
+
+    return run
+
+
 #: Every guarded micro-benchmark, calibration first.
 MICRO_BENCHMARKS: Tuple[BenchSpec, ...] = (
     BenchSpec("calibration", _build_calibration),
@@ -266,6 +294,10 @@ MICRO_BENCHMARKS: Tuple[BenchSpec, ...] = (
     # benches — the timed unit is mostly object construction.
     BenchSpec("workload.generate", _build_workload_generate,
               tolerance=0.30),
+    # The flows-plane measurement unit: record construction + registry
+    # observes dominate, so it is allocation-bound like the benches
+    # above and carries the same widened budget.
+    BenchSpec("flows.record", _build_flows_record, tolerance=0.30),
 )
 
 

@@ -1,0 +1,721 @@
+"""Data-plane flow telemetry: sampled flow records, link utilization
+series, and per-channel delivery SLOs.
+
+The paper's headline metrics are *traffic* metrics — tree cost is "the
+number of copies of the same packet transmitted in the network links"
+(§4.2.1) — yet until now the data plane exposed only the two aggregate
+:class:`~repro.netsim.stats.LinkCounters` tallies.  This module is the
+sFlow/IPFIX analogue for the simulated data plane:
+
+- :class:`FlowTelemetry` taps ``Network._on_transmit`` (event plane)
+  and :meth:`observe_distribution` (the uniform
+  :class:`~repro.metrics.distribution.DataDistribution` seam both
+  planes share) to produce deterministic 1-in-N sampled **flow
+  records** — channel, stream/sequence, hop path, per-hop timestamps,
+  TTL spent, outcome (``delivered``/``dropped``/``duplicated``) — kept
+  in a ring (oldest evicted first, counted in
+  :attr:`FlowTelemetry.dropped` and the ``flow.dropped`` counter) and
+  archived as sorted-key JSONL through the same
+  :func:`~repro.obs.timeline.write_events_jsonl` code path as timeline
+  events, which is what makes archives byte-identical across
+  ``--jobs``.
+- **per-link utilization series**: packet copies and weighted cost per
+  fixed sim-time bucket, split data vs control, rendered by
+  :func:`render_link_heatmap` / :func:`render_hot_links`.
+- a **per-channel SLO scoreboard** (:func:`slo_rows` +
+  :func:`render_slo_table`): delivery-delay p50/p95/p99, loss and
+  duplication rates, path stretch vs the unicast shortest path, and
+  the traffic-concentration ratio (multicast copies vs what all-unicast
+  delivery would have cost) — all fed into a
+  :class:`~repro.obs.registry.MetricsRegistry` (``flow.delay``,
+  ``flow.stretch``, ``flow.concentration``, ``link.util.*``) so they
+  export through OpenMetrics and merge across sweep workers exactly
+  like every other metric.
+
+**Determinism contract.**  Sampling must not depend on arrival order,
+process identity or ``PYTHONHASHSEED``: the sample decision for a
+(protocol, channel, receiver) triple is ``crc32`` of a string key
+mixed with a salt drawn via :func:`~repro._rand.derive_rng` (string
+seeds hash with SHA-512 — process-stable), so the *same* receivers are
+sampled in every worker layout and every hash-seed environment.
+
+The plane is **off by default and off the hot path**: owners hold a
+``FlowTelemetry(enabled=False)`` and guard every call site with the
+single ``enabled`` attribute check causal tracing and the timeline
+already pay, so benchmarked sweeps add one boolean test per
+transmission (locked by ``test_link_transmit_disabled_flow``).
+
+This module sits in the obs layer: besides the registry and the
+timeline's archival helper it imports only :mod:`repro._rand` (pure
+stdlib helpers beneath every layer), so netsim, the protocol drivers
+and the experiment harness can all instrument themselves without
+import cycles.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+from collections import deque
+
+from repro._rand import derive_rng, make_rng
+from repro.obs.registry import Counter, Histogram, MetricsRegistry
+from repro.obs.timeline import PathOrFile, write_events_jsonl
+
+NodeId = Hashable
+
+# ----------------------------------------------------------------------
+# Vocabulary (tests and the flows CLI rely on these names)
+# ----------------------------------------------------------------------
+DELIVERED = "delivered"
+DROPPED = "dropped"
+DUPLICATED = "duplicated"
+
+DATA = "data"
+CONTROL = "control"
+
+#: Default sim-time width of one utilization bucket.  The event plane
+#: stamps real sim seconds; the static planes stamp measurement time
+#: plus intra-tree propagation, so one measurement lands in one or two
+#: buckets — the heatmap degrades gracefully to a per-link bar chart.
+DEFAULT_BUCKET = 50.0
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _jsonable(value: Any) -> Any:
+    return value if isinstance(value, _SCALARS) else repr(value)
+
+
+@dataclass(frozen=True, slots=True)
+class FlowRecord:
+    """One sampled flow: how one packet fared for one receiver.
+
+    ``seq`` is the per-telemetry emission index (the deterministic
+    total order); ``t`` is the observation's sim time.  ``path`` is the
+    hop chain source..receiver (empty when unknown — e.g. the receiver
+    was never reached), ``hop_t`` the cumulative arrival time at each
+    hop, and ``ttl`` the hop count spent.  ``copies`` counts arrivals
+    at the receiver (>1 means duplicate delivery).  ``stream`` and
+    ``sequence`` identify the packet on the event plane; the static
+    planes measure one probe packet and leave them unset.
+    """
+
+    seq: int
+    t: float
+    protocol: str
+    channel: str
+    receiver: Any
+    outcome: str
+    delay: Optional[float] = None
+    stretch: Optional[float] = None
+    ttl: Optional[int] = None
+    path: Tuple[Any, ...] = ()
+    hop_t: Tuple[float, ...] = ()
+    copies: int = 1
+    stream: Optional[int] = None
+    sequence: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible projection (one JSONL line)."""
+        out: Dict[str, Any] = {
+            "seq": self.seq,
+            "t": self.t,
+            "protocol": self.protocol,
+            "channel": self.channel,
+            "receiver": _jsonable(self.receiver),
+            "outcome": self.outcome,
+        }
+        if self.delay is not None:
+            out["delay"] = self.delay
+        if self.stretch is not None:
+            out["stretch"] = self.stretch
+        if self.ttl is not None:
+            out["ttl"] = self.ttl
+        if self.path:
+            out["path"] = [_jsonable(node) for node in self.path]
+        if self.hop_t:
+            out["hop_t"] = list(self.hop_t)
+        if self.copies != 1:
+            out["copies"] = self.copies
+        if self.stream is not None:
+            out["stream"] = self.stream
+        if self.sequence is not None:
+            out["sequence"] = self.sequence
+        return out
+
+    def __str__(self) -> str:
+        delay = "" if self.delay is None else f" delay={self.delay:g}"
+        hops = "" if self.ttl is None else f" ttl={self.ttl}"
+        return (f"t={self.t:g} [{self.protocol} {self.channel}] "
+                f"{self.receiver}: {self.outcome}{delay}{hops}")
+
+
+class _UtilCell:
+    """Copies and weighted cost on one directed link in one bucket."""
+
+    __slots__ = ("src", "dst", "kind", "bucket", "copies", "cost")
+
+    def __init__(self, src: Any, dst: Any, kind: str, bucket: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.bucket = bucket
+        self.copies = 0
+        self.cost = 0.0
+
+
+def reconstruct_paths(
+    transmissions: Iterable[Tuple[NodeId, NodeId]],
+    costs: Iterable[float],
+    source: NodeId,
+) -> Tuple[Dict[NodeId, float], Dict[NodeId, NodeId]]:
+    """Earliest-arrival times and predecessor chains over the recorded
+    link crossings.
+
+    Works from the crossings alone (no topology), so it serves both
+    planes: the static drivers emit crossings in propagation order, the
+    event plane reports them as unordered per-link counts.  The result
+    is order-independent — relaxation runs to fixpoint, ties broken by
+    first-recorded predecessor — which keeps archives byte-identical
+    regardless of emission order.
+    """
+    edges = list(zip(transmissions, costs))
+    arrival: Dict[NodeId, float] = {source: 0.0}
+    pred: Dict[NodeId, NodeId] = {}
+    # Bellman-Ford-style passes: paths are at most len(edges) hops.
+    for _ in range(len(edges) + 1):
+        changed = False
+        for (src, dst), cost in edges:
+            t_src = arrival.get(src)
+            if t_src is None:
+                continue
+            t_dst = t_src + cost
+            previous = arrival.get(dst)
+            if previous is None or t_dst < previous - 1e-12:
+                arrival[dst] = t_dst
+                pred[dst] = src
+                changed = True
+        if not changed:
+            break
+    return arrival, pred
+
+
+def _path_to(pred: Mapping[NodeId, NodeId], source: NodeId,
+             receiver: NodeId) -> List[NodeId]:
+    """Walk the predecessor chain receiver -> source (empty when the
+    chain is broken or cyclic)."""
+    chain: List[NodeId] = [receiver]
+    seen = {receiver}
+    node = receiver
+    while node != source:
+        parent = pred.get(node)
+        if parent is None or parent in seen:
+            return []
+        chain.append(parent)
+        seen.add(parent)
+        node = parent
+    chain.reverse()
+    return chain
+
+
+class FlowTelemetry:
+    """Records sampled flow records and link utilization while enabled.
+
+    ``sample_every`` keeps 1-in-N (protocol, channel, receiver) flows;
+    ``maxlen`` bounds record memory like a ring buffer — the oldest
+    records are evicted first and counted in :attr:`dropped` (and,
+    when a ``registry`` is attached, the ``flow.dropped`` counter).
+    ``seed`` (int or string) feeds the sampling salt through
+    :func:`~repro._rand.derive_rng` so the sampled subset is stable
+    across processes and ``PYTHONHASHSEED`` values.
+    """
+
+    def __init__(self, enabled: bool = False, sample_every: int = 1,
+                 maxlen: Optional[int] = 65536,
+                 registry: Optional[MetricsRegistry] = None,
+                 seed: int = 0, bucket: float = DEFAULT_BUCKET) -> None:
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}")
+        if bucket <= 0:
+            raise ValueError(f"bucket width must be > 0, got {bucket}")
+        self.enabled = enabled
+        self.sample_every = int(sample_every)
+        self.maxlen = maxlen
+        self.registry = registry
+        self.bucket = float(bucket)
+        self.dropped = 0
+        self._records: Deque[FlowRecord] = deque()
+        self._next_seq = 1
+        self._salt = derive_rng(make_rng(seed), "flow.sample").getrandbits(32)
+        self._util: Dict[Tuple[str, str, str, int], _UtilCell] = {}
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sampled(self, protocol: str, channel: str, receiver: Any) -> bool:
+        """Whether this flow is in the deterministic 1-in-N sample.
+
+        The decision hashes a *string* key with ``crc32`` (never
+        ``hash()``, which ``PYTHONHASHSEED`` salts), so every worker
+        process keeps exactly the same flows.
+        """
+        if self.sample_every <= 1:
+            return True
+        key = f"{self._salt}/{protocol}/{channel}/{receiver}"
+        return zlib.crc32(key.encode()) % self.sample_every == 0
+
+    def _append(self, record: FlowRecord) -> FlowRecord:
+        self._records.append(record)
+        if self.maxlen is not None and len(self._records) > self.maxlen:
+            self._records.popleft()
+            self.dropped += 1
+            if self.registry is not None:
+                self.registry.inc("flow.dropped")
+        return record
+
+    # ------------------------------------------------------------------
+    # Event-plane taps (callers guard with ``enabled`` — slow path here)
+    # ------------------------------------------------------------------
+    def record_transmit(self, t: float, src: Any, dst: Any, cost: float,
+                        kind: str = DATA) -> None:
+        """One packet copy crossed the directed link src->dst at sim
+        time ``t`` (the ``Network._on_transmit`` tap; ``kind`` is
+        ``"data"`` or ``"control"``)."""
+        index = int(t // self.bucket)
+        key = (str(src), str(dst), kind, index)
+        cell = self._util.get(key)
+        if cell is None:
+            cell = self._util[key] = _UtilCell(
+                _jsonable(src), _jsonable(dst), kind, index)
+        cell.copies += 1
+        cell.cost += cost
+        registry = self.registry
+        if registry is not None:
+            link = f"{src}->{dst}"
+            registry.inc("link.util.copies", 1.0, link=link, kind=kind)
+            registry.inc("link.util.cost", cost, link=link, kind=kind)
+
+    def record_delivery(self, t: float, protocol: str, channel: str,
+                        receiver: Any, delay: float,
+                        stream: Optional[int] = None,
+                        sequence: Optional[int] = None,
+                        duplicate: bool = False) -> Optional[FlowRecord]:
+        """A receiver got a data packet (the receiver-agent tap).
+
+        Live deliveries feed the ``flow.delivery.delay`` histogram —
+        kept separate from ``flow.delay`` so measured distributions
+        (which also see these deliveries) are not double counted — and
+        sampled ones become flow records carrying stream/sequence (the
+        hop path is unknown at the receiver; measured records carry
+        it).
+        """
+        registry = self.registry
+        if registry is not None:
+            registry.observe("flow.delivery.delay", delay,
+                             protocol=protocol, channel=channel)
+            if duplicate:
+                registry.inc("flow.delivery.duplicates",
+                             protocol=protocol, channel=channel)
+        if not self.sampled(protocol, channel, receiver):
+            return None
+        record = FlowRecord(
+            seq=self._next_seq, t=t, protocol=protocol, channel=channel,
+            receiver=_jsonable(receiver),
+            outcome=DUPLICATED if duplicate else DELIVERED,
+            delay=delay, copies=2 if duplicate else 1,
+            stream=stream, sequence=sequence,
+        )
+        self._next_seq += 1
+        return self._append(record)
+
+    # ------------------------------------------------------------------
+    # The uniform measurement seam (both planes)
+    # ------------------------------------------------------------------
+    def observe_distribution(self, protocol: str, channel: str,
+                             distribution: Any, routing: Any = None,
+                             source: Any = None, t: float = 0.0,
+                             util: bool = True) -> List[FlowRecord]:
+        """Digest one measured
+        :class:`~repro.metrics.distribution.DataDistribution`.
+
+        Emits one flow record per sampled expected receiver (outcome,
+        delay, hop path with per-hop timestamps reconstructed from the
+        recorded link crossings), feeds the per-channel SLO metrics
+        (``flow.delay``/``flow.stretch``/``flow.concentration`` plus
+        the delivered/lost/duplicated counters) and, when ``util`` is
+        true, tallies the crossings into the utilization series at
+        ``t`` plus intra-tree propagation time.  Pass ``util=False``
+        when a live ``record_transmit`` tap already saw the crossings
+        (the event plane), or the link series would double count.
+
+        ``routing`` (a :class:`~repro.routing.tables.UnicastRouting`,
+        duck-typed to keep the obs layer leaf-clean) provides the
+        unicast shortest-path baselines for stretch and concentration;
+        without it both are skipped.  Receivers are visited in sorted
+        string order, so record emission is deterministic.
+        """
+        transmissions = list(distribution.transmissions)
+        costs = list(distribution.transmission_costs)
+        if source is None:
+            origins = ({a for a, _ in transmissions}
+                       - {b for _, b in transmissions})
+            roots = sorted(origins, key=str)
+            source = roots[0] if roots else None
+        arrival: Dict[NodeId, float] = {}
+        pred: Dict[NodeId, NodeId] = {}
+        if source is not None:
+            arrival, pred = reconstruct_paths(transmissions, costs, source)
+        delays: Dict[NodeId, float] = dict(distribution.delays)
+        arrivals: Dict[NodeId, int] = dict(distribution.arrivals)
+        expected = set(distribution.expected) | set(delays)
+        registry = self.registry
+        out: List[FlowRecord] = []
+        unicast_copies = 0
+        for receiver in sorted(expected, key=str):
+            delay = delays.get(receiver)
+            copies_got = arrivals.get(receiver, 0)
+            if delay is None:
+                outcome = DROPPED
+            elif copies_got > 1:
+                outcome = DUPLICATED
+            else:
+                outcome = DELIVERED
+            stretch: Optional[float] = None
+            if (delay is not None and routing is not None
+                    and source is not None and receiver != source):
+                try:
+                    shortest = routing.distance(source, receiver)
+                except Exception:
+                    shortest = 0.0
+                if shortest > 0:
+                    stretch = delay / shortest
+            if routing is not None and source is not None:
+                try:
+                    hops = len(routing.path_tuple(source, receiver)) - 1
+                except Exception:
+                    hops = 0
+                unicast_copies += max(hops, 0)
+            path: Tuple[Any, ...] = ()
+            hop_t: Tuple[float, ...] = ()
+            if source is not None and receiver in arrival:
+                chain = _path_to(pred, source, receiver)
+                path = tuple(chain)
+                hop_t = tuple(arrival[node] for node in chain)
+            if registry is not None:
+                if outcome == DROPPED:
+                    registry.inc("flow.lost", protocol=protocol,
+                                 channel=channel)
+                else:
+                    registry.inc("flow.delivered", protocol=protocol,
+                                 channel=channel)
+                    registry.observe("flow.delay", delay or 0.0,
+                                     protocol=protocol, channel=channel)
+                    if stretch is not None:
+                        registry.observe("flow.stretch", stretch,
+                                         protocol=protocol, channel=channel)
+                    if outcome == DUPLICATED:
+                        registry.inc("flow.duplicated", protocol=protocol,
+                                     channel=channel)
+            if self.sampled(protocol, channel, receiver):
+                record = FlowRecord(
+                    seq=self._next_seq, t=t, protocol=protocol,
+                    channel=channel, receiver=_jsonable(receiver),
+                    outcome=outcome, delay=delay, stretch=stretch,
+                    ttl=max(len(path) - 1, 0) if path else None,
+                    path=path, hop_t=hop_t, copies=copies_got,
+                )
+                self._next_seq += 1
+                out.append(self._append(record))
+        if registry is not None:
+            copies = int(distribution.copies)
+            registry.inc("flow.copies", float(copies), protocol=protocol,
+                         channel=channel)
+            if unicast_copies > 0:
+                registry.observe("flow.concentration",
+                                 copies / unicast_copies,
+                                 protocol=protocol, channel=channel)
+        if util:
+            for (src, dst), cost in zip(transmissions, costs):
+                self.record_transmit(t + arrival.get(src, 0.0), src, dst,
+                                     cost, DATA)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def records(self) -> List[FlowRecord]:
+        """All retained records, in emission order."""
+        return list(self._records)
+
+    def record_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-compatible projections of every retained record (how
+        worker processes hand flow samples back to the executor)."""
+        return [record.to_dict() for record in self._records]
+
+    def util_rows(self) -> List[Dict[str, Any]]:
+        """The utilization series as sorted JSON-compatible rows (one
+        per directed link / kind / bucket)."""
+        rows = []
+        for key in sorted(self._util):
+            cell = self._util[key]
+            rows.append({
+                "src": cell.src,
+                "dst": cell.dst,
+                "kind": cell.kind,
+                "bucket": cell.bucket,
+                "t0": cell.bucket * self.bucket,
+                "copies": cell.copies,
+                "cost": cell.cost,
+            })
+        return rows
+
+    def slo_rows(self) -> List[Dict[str, Any]]:
+        """Per-channel SLO scoreboard rows from the attached registry
+        (empty when no registry is attached)."""
+        if self.registry is None:
+            return []
+        return slo_rows(self.registry)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        """Drop retained records and the utilization series (seq keeps
+        increasing; ``dropped`` counts ring evictions, not clears)."""
+        self._records.clear()
+        self._util.clear()
+
+    # ------------------------------------------------------------------
+    # Archival
+    # ------------------------------------------------------------------
+    def to_jsonl(self, target: PathOrFile) -> int:
+        """Write the retained records as sorted-key JSON lines."""
+        return write_events_jsonl(self.record_dicts(), target)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (f"FlowTelemetry({state}, records={len(self._records)}, "
+                f"sample_every={self.sample_every}, dropped={self.dropped})")
+
+
+# ----------------------------------------------------------------------
+# SLO scoreboard (registry -> rows; merges like any other metric)
+# ----------------------------------------------------------------------
+def slo_rows(registry: MetricsRegistry) -> List[Dict[str, Any]]:
+    """Assemble the per-channel SLO scoreboard from ``flow.*`` metrics.
+
+    Works on any registry — a live one, or one merged from sweep-worker
+    snapshots in run-index order — so the scoreboard is byte-identical
+    across ``--jobs`` for free.  Rows are sorted by (protocol, channel).
+    """
+    rows: Dict[Tuple[str, str], Dict[str, Any]] = {}
+
+    def row_for(labels: Mapping[str, str]) -> Optional[Dict[str, Any]]:
+        protocol = labels.get("protocol")
+        channel = labels.get("channel")
+        if protocol is None or channel is None:
+            return None
+        key = (protocol, channel)
+        row = rows.get(key)
+        if row is None:
+            row = rows[key] = {
+                "protocol": protocol, "channel": channel,
+                "expected": 0, "delivered": 0, "lost": 0, "duplicated": 0,
+                "loss_rate": 0.0, "dup_rate": 0.0, "copies": 0,
+                "delay_p50": 0.0, "delay_p95": 0.0, "delay_p99": 0.0,
+                "stretch_p50": 0.0, "stretch_max": 0.0,
+                "concentration": 0.0,
+            }
+        return row
+
+    for name, labels, instrument in registry.collect("flow."):
+        row = row_for(labels)
+        if row is None:
+            continue
+        if name == "flow.delivered" and isinstance(instrument, Counter):
+            row["delivered"] = int(instrument.value)
+        elif name == "flow.lost" and isinstance(instrument, Counter):
+            row["lost"] = int(instrument.value)
+        elif name == "flow.duplicated" and isinstance(instrument, Counter):
+            row["duplicated"] = int(instrument.value)
+        elif name == "flow.copies" and isinstance(instrument, Counter):
+            row["copies"] = int(instrument.value)
+        elif name == "flow.delay" and isinstance(instrument, Histogram):
+            row["delay_p50"] = instrument.p50
+            row["delay_p95"] = instrument.p95
+            row["delay_p99"] = instrument.p99
+        elif name == "flow.stretch" and isinstance(instrument, Histogram):
+            row["stretch_p50"] = instrument.p50
+            row["stretch_max"] = instrument.max
+        elif name == "flow.concentration" and isinstance(instrument,
+                                                         Histogram):
+            row["concentration"] = instrument.mean
+    out = []
+    for key in sorted(rows):
+        row = rows[key]
+        expected = row["delivered"] + row["lost"]
+        row["expected"] = expected
+        if expected:
+            row["loss_rate"] = row["lost"] / expected
+            row["dup_rate"] = row["duplicated"] / expected
+        out.append(row)
+    return out
+
+
+def merge_util_rows(rows: Iterable[Mapping[str, Any]]
+                    ) -> List[Dict[str, Any]]:
+    """Fold utilization rows (e.g. from several sweep workers) by
+    (link, kind, bucket), summing copies and cost; returns sorted rows.
+    Fold order does not affect the result, so ``--jobs`` layouts agree.
+    """
+    merged: Dict[Tuple[str, str, str, int], Dict[str, Any]] = {}
+    for row in rows:
+        key = (str(row["src"]), str(row["dst"]), str(row["kind"]),
+               int(row["bucket"]))
+        cell = merged.get(key)
+        if cell is None:
+            merged[key] = dict(row)
+        else:
+            cell["copies"] += row["copies"]
+            cell["cost"] += row["cost"]
+    return [merged[key] for key in sorted(merged)]
+
+
+# ----------------------------------------------------------------------
+# Rendering (CLI reports)
+# ----------------------------------------------------------------------
+#: Intensity ramp for heatmap cells, lightest to darkest.
+HEAT_SHADES = " .:-=+*#%@"
+
+
+def _link_totals(rows: Iterable[Mapping[str, Any]]
+                 ) -> Dict[Tuple[str, str], Dict[str, float]]:
+    totals: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for row in rows:
+        key = (str(row["src"]), str(row["dst"]))
+        entry = totals.setdefault(key, {DATA: 0.0, CONTROL: 0.0, "cost": 0.0})
+        entry[str(row["kind"])] = entry.get(str(row["kind"]), 0.0) \
+            + row["copies"]
+        entry["cost"] += row["cost"]
+    return totals
+
+
+def _hot_link_order(totals: Mapping[Tuple[str, str], Mapping[str, float]]
+                    ) -> List[Tuple[str, str]]:
+    return sorted(
+        totals,
+        key=lambda key: (-(totals[key].get(DATA, 0.0)
+                           + totals[key].get(CONTROL, 0.0)), key),
+    )
+
+
+def render_link_heatmap(rows: List[Dict[str, Any]], top_k: int = 12,
+                        width: int = 48,
+                        bucket: float = DEFAULT_BUCKET) -> str:
+    """ASCII heatmap: top-K links (rows) x time buckets (columns), cell
+    intensity scaled to the busiest cell.  Data and control copies both
+    heat a cell; the per-row legend splits them out."""
+    if not rows:
+        return "link heatmap: no utilization recorded"
+    totals = _link_totals(rows)
+    order = _hot_link_order(totals)[:top_k]
+    buckets = sorted({int(row["bucket"]) for row in rows})
+    lo, hi = buckets[0], buckets[-1]
+    span = hi - lo + 1
+    group = max(1, -(-span // width))  # ceil: buckets per column
+    columns = -(-span // group)
+    cells: Dict[Tuple[Tuple[str, str], int], float] = {}
+    for row in rows:
+        key = (str(row["src"]), str(row["dst"]))
+        if key not in totals:
+            continue
+        column = (int(row["bucket"]) - lo) // group
+        cells[(key, column)] = cells.get((key, column), 0.0) + row["copies"]
+    vmax = max((cells.get((key, c), 0.0)
+                for key in order for c in range(columns)), default=0.0)
+    shades = HEAT_SHADES
+    lines = [
+        (f"link heatmap — copies per {bucket * group:g}s bucket "
+         f"(top {len(order)} of {len(totals)} links, "
+         f"t0={lo * bucket:g}s, scale {shades[1:]!r}, "
+         f"max cell={vmax:g})"),
+    ]
+    label_width = max((len(f"{a}->{b}") for a, b in order), default=4)
+    for key in order:
+        chars = []
+        for column in range(columns):
+            value = cells.get((key, column), 0.0)
+            if value <= 0 or vmax <= 0:
+                chars.append(shades[0])
+            else:
+                index = 1 + int(value / vmax * (len(shades) - 2))
+                chars.append(shades[min(index, len(shades) - 1)])
+        entry = totals[key]
+        label = f"{key[0]}->{key[1]}"
+        lines.append(
+            f"  {label:>{label_width}} |{''.join(chars)}| "
+            f"data={entry.get(DATA, 0.0):g} ctrl={entry.get(CONTROL, 0.0):g} "
+            f"cost={entry['cost']:g}"
+        )
+    return "\n".join(lines)
+
+
+def render_hot_links(rows: List[Dict[str, Any]], k: int = 10) -> str:
+    """Fixed-width top-K hot links table (by total copies)."""
+    if not rows:
+        return "hot links: no utilization recorded"
+    totals = _link_totals(rows)
+    order = _hot_link_order(totals)[:k]
+    lines = [f"top {len(order)} hot links (of {len(totals)})",
+             f"  {'rank':<5} {'link':<18} {'data':>10} {'control':>10} "
+             f"{'weighted cost':>14}"]
+    for rank, key in enumerate(order, start=1):
+        entry = totals[key]
+        lines.append(
+            f"  {rank:<5} {key[0] + '->' + key[1]:<18} "
+            f"{entry.get(DATA, 0.0):>10g} {entry.get(CONTROL, 0.0):>10g} "
+            f"{entry['cost']:>14.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_slo_table(rows: List[Dict[str, Any]], top_k: int = 10) -> str:
+    """Per-channel SLO scoreboard, grouped by protocol, top-K channels
+    by tree cost (copies) within each."""
+    if not rows:
+        return "flow SLOs: no flow metrics recorded"
+    by_protocol: Dict[str, List[Dict[str, Any]]] = {}
+    for row in rows:
+        by_protocol.setdefault(row["protocol"], []).append(row)
+    lines = []
+    for protocol in sorted(by_protocol):
+        group = sorted(by_protocol[protocol],
+                       key=lambda r: (-r["copies"], str(r["channel"])))
+        shown = group[:top_k]
+        lines.append(f"[{protocol}] per-channel delivery SLOs "
+                     f"(top {len(shown)} of {len(group)} channels by copies)")
+        lines.append(
+            f"  {'channel':<16} {'recv':>5} {'loss%':>6} {'dup%':>6} "
+            f"{'p50':>8} {'p95':>8} {'p99':>8} {'stretch':>8} "
+            f"{'conc':>6} {'copies':>7}")
+        for row in shown:
+            lines.append(
+                f"  {str(row['channel']):<16} {row['expected']:>5} "
+                f"{row['loss_rate'] * 100:>6.1f} {row['dup_rate'] * 100:>6.1f} "
+                f"{row['delay_p50']:>8.2f} {row['delay_p95']:>8.2f} "
+                f"{row['delay_p99']:>8.2f} {row['stretch_p50']:>8.2f} "
+                f"{row['concentration']:>6.2f} {row['copies']:>7}")
+    return "\n".join(lines)

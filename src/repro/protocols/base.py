@@ -142,6 +142,26 @@ class MulticastProtocol(abc.ABC):
             registry.observe("join.converge.rounds", float(converge_rounds),
                              **labels)
 
+    def record_flow(self, flow, distribution: DataDistribution,
+                    t: float = 0.0, util: bool = True) -> None:
+        """Digest one measured distribution into a
+        :class:`~repro.obs.flow.FlowTelemetry` instrument: sampled flow
+        records, per-link utilization and the per-channel SLO metrics.
+
+        Like :meth:`record_metrics`, every protocol goes through this
+        one method — the channel label, routing baselines (for path
+        stretch and the concentration ratio) and source all come from
+        the driver itself, so flow accounting stays apples-to-apples
+        across HBH, REUNITE and the PIM baselines.  Callers on the
+        event plane pass ``util=False`` when a live transmit tap
+        already tallied the crossings.
+        """
+        if flow is None or not flow.enabled:
+            return
+        flow.observe_distribution(self.name, self.channel_id(),
+                                  distribution, routing=self.routing,
+                                  source=self.source, t=t, util=util)
+
     # ------------------------------------------------------------------
     # Causal tracing (optional, default unsupported)
     # ------------------------------------------------------------------

@@ -1,0 +1,109 @@
+"""Integration tests of the data-plane flow-telemetry plane: archive
+byte-identity across worker layouts, the committed golden prefix, and
+the ``experiments flows`` CLI report."""
+
+import io
+from pathlib import Path
+
+from repro.experiments.__main__ import main
+from repro.experiments.config import SweepConfig
+from repro.experiments.flows import (
+    merged_records,
+    merged_slo,
+    merged_util,
+    render_flow_report,
+    run_flows,
+)
+from repro.experiments.harness import run_sweep
+from repro.obs.timeline import write_events_jsonl
+
+GOLDEN = Path(__file__).parent.parent / "golden" / "flow_records_prefix.jsonl"
+
+SMALL = SweepConfig(name="flows-small", topology="isp",
+                    group_sizes=(2, 4), runs=2, seed=7)
+
+
+def churn_archive(jobs: int) -> str:
+    payloads = run_flows("ci-small", seed=3, jobs=jobs)
+    buffer = io.StringIO()
+    write_events_jsonl(merged_records(payloads), buffer)
+    return buffer.getvalue()
+
+
+class TestChurnPlaneDeterminism:
+    def test_archive_byte_identical_across_jobs(self):
+        serial = churn_archive(jobs=1)
+        parallel = churn_archive(jobs=2)
+        assert serial == parallel
+        assert serial  # the archive actually has records in it
+
+    def test_report_and_slo_identical_across_jobs(self):
+        one = run_flows("ci-small", seed=3, jobs=1)
+        two = run_flows("ci-small", seed=3, jobs=2)
+        assert merged_slo(one) == merged_slo(two)
+        assert merged_util(one) == merged_util(two)
+        assert (render_flow_report(one, "ci-small", 3)
+                == render_flow_report(two, "ci-small", 3))
+
+    def test_sampling_thins_the_archive_deterministically(self):
+        full = run_flows("ci-small", seed=3, flow_sample=1)
+        sampled = run_flows("ci-small", seed=3, flow_sample=4)
+        again = run_flows("ci-small", seed=3, flow_sample=4)
+        assert merged_records(sampled) == merged_records(again)
+        kept = {(r["protocol"], r["channel"], r["receiver"])
+                for r in merged_records(sampled)}
+        universe = {(r["protocol"], r["channel"], r["receiver"])
+                    for r in merged_records(full)}
+        assert 0 < len(kept) < len(universe)
+        assert kept <= universe
+
+    def test_matches_the_committed_golden_prefix(self):
+        """The first 64 records of the ci-small seed-3 flow archive are
+        pinned byte-for-byte in ``tests/golden/flow_records_prefix.jsonl``
+        — the same file the CI flows job ``cmp``s against.  An
+        intentional change to the record vocabulary or the emission
+        order regenerates it::
+
+            PYTHONPATH=src python -m repro.experiments flows \
+                --scenario ci-small --seed 3 --flows-out /tmp/flows.jsonl
+            head -64 /tmp/flows.jsonl > tests/golden/flow_records_prefix.jsonl
+        """
+        lines = churn_archive(jobs=1).splitlines(keepends=True)
+        assert "".join(lines[:64]) == GOLDEN.read_text()
+
+
+class TestSweepPlane:
+    def test_flow_records_identical_across_jobs(self):
+        serial = run_sweep(SMALL, flows=True, jobs=1)
+        parallel = run_sweep(SMALL, flows=True, jobs=2)
+        assert serial.flow_records == parallel.flow_records
+        assert serial.flow_util == parallel.flow_util
+        assert serial.flow_records
+        # Records carry their cell coordinates for attribution.
+        assert {"n", "run"} <= set(serial.flow_records[0])
+
+    def test_flows_off_by_default(self):
+        result = run_sweep(SMALL)
+        assert result.flow_records == [] and result.flow_util == []
+
+
+class TestCli:
+    def test_flows_report_smoke(self, capsys, tmp_path):
+        out = tmp_path / "flows.jsonl"
+        code = main(["flows", "--scenario", "ci-small", "--seed", "3",
+                     "--flows-out", str(out), "--quiet"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "link heatmap" in text
+        assert "hot links" in text
+        assert "per-channel delivery SLOs" in text
+        assert out.read_text() == churn_archive(jobs=1)
+
+    def test_faults_flows_out(self, capsys, tmp_path):
+        out = tmp_path / "fault_flows.jsonl"
+        code = main(["faults", "--scenario", "flap-storm",
+                     "--flows-out", str(out), "--quiet"])
+        assert code == 0
+        content = out.read_text()
+        assert content and content.endswith("\n")
+        assert '"outcome": "delivered"' in content

@@ -141,6 +141,62 @@ class TestLinkCounters:
         assert counters.tally(PacketKind.DATA).copies == 0
         assert counters.tally(PacketKind.DATA).max_copies_on_link == 0
 
+    def test_reset_rewinds_weighted_cost_and_all_kinds(self):
+        """reset() rewinds every per-measurement tally — copy counts
+        *and* weighted cost, data *and* control — so the next
+        measurement starts from a true zero."""
+        counters = LinkCounters()
+        counters.record(0, 1, 3.0, PacketKind.DATA)
+        counters.record(1, 2, 5.0, PacketKind.CONTROL)
+        counters.reset()
+        for kind in (PacketKind.DATA, PacketKind.CONTROL):
+            tally = counters.tally(kind)
+            assert tally.copies == 0
+            assert tally.weighted_cost == 0.0
+            assert tally.links_used == 0
+        assert counters.per_link(PacketKind.DATA) == {}
+
+    def test_record_after_reset_starts_fresh(self):
+        """The fast-path aliases (_data_copies/_control_copies) must
+        stay wired to the live dicts across reset(): recording after a
+        reset lands in the queried tallies, from zero."""
+        counters = LinkCounters()
+        counters.record(0, 1, 2.0, PacketKind.DATA)
+        counters.reset()
+        counters.record(0, 1, 2.0, PacketKind.DATA)
+        counters.record(0, 1, 1.0, PacketKind.CONTROL)
+        assert counters.copies_on(0, 1) == 1
+        assert counters.copies_on(0, 1, PacketKind.CONTROL) == 1
+        assert counters.tally(PacketKind.DATA).weighted_cost == 2.0
+
+    def test_per_link_snapshot_survives_reset(self):
+        """per_link() is an independent snapshot: resetting (or
+        re-recording) afterwards cannot mutate a snapshot a caller
+        already holds — the guarantee the event-plane flow report
+        relies on when it measures a distribution post-run."""
+        counters = LinkCounters()
+        counters.record(0, 1, 1.0, PacketKind.DATA)
+        counters.record(0, 1, 1.0, PacketKind.DATA)
+        snapshot = counters.per_link()
+        counters.reset()
+        counters.record(2, 3, 1.0, PacketKind.DATA)
+        assert snapshot == {(0, 1): 2}
+
+    def test_busiest_orders_by_copies_then_link(self):
+        """busiest() ranks hottest first with a deterministic string
+        tie-break, and caps at k."""
+        counters = LinkCounters()
+        for _ in range(3):
+            counters.record(1, 2, 1.0, PacketKind.DATA)
+        for _ in range(3):
+            counters.record(0, 9, 1.0, PacketKind.DATA)
+        counters.record(5, 6, 1.0, PacketKind.DATA)
+        counters.record(0, 1, 4.0, PacketKind.CONTROL)
+        top = counters.busiest(k=2)
+        assert top == [((0, 9), 3), ((1, 2), 3)]
+        assert counters.busiest() == [((0, 9), 3), ((1, 2), 3), ((5, 6), 1)]
+        assert counters.busiest(kind=PacketKind.CONTROL) == [((0, 1), 1)]
+
     def test_empty_tally(self):
         tally = LinkCounters().tally(PacketKind.DATA)
         assert tally.copies == 0

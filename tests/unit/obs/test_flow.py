@@ -1,0 +1,387 @@
+"""Unit tests of :mod:`repro.obs.flow` — sampling determinism, ring
+eviction, distribution digestion, utilization merging, SLO assembly and
+the renderers."""
+
+import io
+import json
+
+import pytest
+
+from repro.metrics.distribution import DataDistribution
+from repro.obs.flow import (
+    DELIVERED,
+    DROPPED,
+    DUPLICATED,
+    FlowRecord,
+    FlowTelemetry,
+    merge_util_rows,
+    reconstruct_paths,
+    render_hot_links,
+    render_link_heatmap,
+    render_slo_table,
+    slo_rows,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def chain_distribution():
+    """source 0 -> 1 -> 2 (delivered) -> 3 (delivered), 4 expected but
+    never reached."""
+    distribution = DataDistribution()
+    distribution.record_hop(0, 1, 1.0)
+    distribution.record_hop(1, 2, 2.0)
+    distribution.record_hop(2, 3, 1.0)
+    distribution.record_delivery(2, 3.0)
+    distribution.record_delivery(3, 4.0)
+    distribution.expected = {2, 3, 4}
+    return distribution
+
+
+class StubRouting:
+    """Duck-typed UnicastRouting: straight-line unicast baselines."""
+
+    def __init__(self, distance, hops):
+        self._distance = distance
+        self._hops = hops
+
+    def distance(self, source, receiver):
+        return self._distance[(source, receiver)]
+
+    def path_tuple(self, source, receiver):
+        return self._hops[(source, receiver)]
+
+
+class TestSampling:
+    def test_sample_every_one_keeps_everything(self):
+        flow = FlowTelemetry(enabled=True)
+        assert flow.sampled("hbh", "<0,G>", 7)
+
+    def test_sampling_is_deterministic_across_instances(self):
+        """Same seed => identical sampled subset; the decision hashes a
+        crc32 string key, never ``hash()``."""
+        a = FlowTelemetry(enabled=True, sample_every=3, seed=42)
+        b = FlowTelemetry(enabled=True, sample_every=3, seed=42)
+        decisions_a = [a.sampled("hbh", "<0,G>", r) for r in range(100)]
+        decisions_b = [b.sampled("hbh", "<0,G>", r) for r in range(100)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_different_seeds_sample_differently(self):
+        a = FlowTelemetry(enabled=True, sample_every=4, seed=1)
+        b = FlowTelemetry(enabled=True, sample_every=4, seed=2)
+        assert ([a.sampled("hbh", "c", r) for r in range(200)]
+                != [b.sampled("hbh", "c", r) for r in range(200)])
+
+    def test_sample_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlowTelemetry(sample_every=0)
+
+    def test_bucket_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlowTelemetry(bucket=0.0)
+
+
+class TestRingEviction:
+    def test_oldest_records_evicted_and_counted(self):
+        registry = MetricsRegistry()
+        flow = FlowTelemetry(enabled=True, maxlen=2, registry=registry)
+        for t in range(4):
+            flow.record_delivery(float(t), "hbh", "c", t, delay=1.0)
+        assert len(flow) == 2
+        assert flow.dropped == 2
+        assert registry.value("flow.dropped") == 2.0
+        assert [record.receiver for record in flow.records()] == [2, 3]
+        # seq keeps the emission order even after eviction.
+        assert [record.seq for record in flow.records()] == [3, 4]
+
+    def test_unbounded_when_maxlen_none(self):
+        flow = FlowTelemetry(enabled=True, maxlen=None)
+        for t in range(100):
+            flow.record_delivery(float(t), "hbh", "c", t, delay=1.0)
+        assert len(flow) == 100 and flow.dropped == 0
+
+    def test_clear_keeps_seq_and_dropped(self):
+        flow = FlowTelemetry(enabled=True)
+        flow.record_delivery(0.0, "hbh", "c", 1, delay=1.0)
+        flow.clear()
+        assert len(flow) == 0
+        record = flow.record_delivery(1.0, "hbh", "c", 2, delay=1.0)
+        assert record.seq == 2
+
+
+class TestReconstructPaths:
+    def test_emission_order_does_not_matter(self):
+        """The same crossings in any order give the same arrival times
+        and predecessors — the property that makes static-plane and
+        event-plane archives agree."""
+        edges = [((0, 1), 1.0), ((1, 2), 2.0), ((2, 3), 1.0)]
+        forward = reconstruct_paths([e for e, _ in edges],
+                                    [c for _, c in edges], 0)
+        shuffled = list(reversed(edges))
+        backward = reconstruct_paths([e for e, _ in shuffled],
+                                     [c for _, c in shuffled], 0)
+        assert forward == backward
+        arrival, pred = forward
+        assert arrival == {0: 0.0, 1: 1.0, 2: 3.0, 3: 4.0}
+        assert pred == {1: 0, 2: 1, 3: 2}
+
+    def test_earliest_arrival_wins(self):
+        transmissions = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        costs = [1.0, 5.0, 1.0, 1.0]
+        arrival, pred = reconstruct_paths(transmissions, costs, 0)
+        assert arrival[3] == 2.0
+        assert pred[3] == 1
+
+
+class TestObserveDistribution:
+    def test_outcomes_delays_paths(self):
+        flow = FlowTelemetry(enabled=True)
+        records = flow.observe_distribution("hbh", "<0,G>",
+                                            chain_distribution(), source=0)
+        by_receiver = {record.receiver: record for record in records}
+        assert by_receiver[2].outcome == DELIVERED
+        assert by_receiver[2].delay == 3.0
+        assert by_receiver[2].path == (0, 1, 2)
+        assert by_receiver[2].hop_t == (0.0, 1.0, 3.0)
+        assert by_receiver[2].ttl == 2
+        assert by_receiver[3].path == (0, 1, 2, 3)
+        assert by_receiver[4].outcome == DROPPED
+        assert by_receiver[4].delay is None
+        assert by_receiver[4].path == ()
+
+    def test_source_inferred_from_crossings(self):
+        flow = FlowTelemetry(enabled=True)
+        records = flow.observe_distribution("hbh", "c",
+                                            chain_distribution())
+        delivered = [r for r in records if r.outcome == DELIVERED]
+        assert all(record.path[0] == 0 for record in delivered)
+
+    def test_duplicate_delivery_marked(self):
+        distribution = chain_distribution()
+        distribution.record_delivery(2, 5.0)  # second copy, later
+        flow = FlowTelemetry(enabled=True)
+        records = flow.observe_distribution("reunite", "c", distribution,
+                                            source=0)
+        record = {r.receiver: r for r in records}[2]
+        assert record.outcome == DUPLICATED
+        assert record.copies == 2
+        assert record.delay == 3.0  # first copy's delay is kept
+
+    def test_stretch_and_concentration_need_routing(self):
+        registry = MetricsRegistry()
+        flow = FlowTelemetry(enabled=True, registry=registry)
+        routing = StubRouting(
+            distance={(0, 2): 3.0, (0, 3): 2.0, (0, 4): 1.0},
+            hops={(0, 2): (0, 1, 2), (0, 3): (0, 1, 2, 3), (0, 4): (0, 4)},
+        )
+        records = flow.observe_distribution("hbh", "c",
+                                            chain_distribution(),
+                                            routing=routing, source=0)
+        by_receiver = {record.receiver: record for record in records}
+        assert by_receiver[2].stretch == pytest.approx(1.0)
+        assert by_receiver[3].stretch == pytest.approx(2.0)
+        assert by_receiver[4].stretch is None  # never delivered
+        # concentration = multicast copies / all-unicast copies
+        # = 3 transmissions / (2 + 3 + 1) unicast hops.
+        histogram = registry.histogram("flow.concentration",
+                                       protocol="hbh", channel="c")
+        assert histogram.mean == pytest.approx(3 / 6)
+
+    def test_registry_slo_metrics(self):
+        registry = MetricsRegistry()
+        flow = FlowTelemetry(enabled=True, registry=registry)
+        flow.observe_distribution("hbh", "c", chain_distribution(),
+                                  source=0)
+        assert registry.value("flow.delivered", protocol="hbh",
+                              channel="c") == 2.0
+        assert registry.value("flow.lost", protocol="hbh",
+                              channel="c") == 1.0
+        assert registry.value("flow.copies", protocol="hbh",
+                              channel="c") == 3.0
+        delays = registry.histogram("flow.delay", protocol="hbh",
+                                    channel="c")
+        assert sorted(delays.values()) == [3.0, 4.0]
+
+    def test_util_series_from_distribution(self):
+        flow = FlowTelemetry(enabled=True, bucket=10.0)
+        flow.observe_distribution("hbh", "c", chain_distribution(),
+                                  source=0, t=25.0)
+        rows = flow.util_rows()
+        assert [(row["src"], row["dst"]) for row in rows] \
+            == [(0, 1), (1, 2), (2, 3)]
+        assert all(row["kind"] == "data" and row["copies"] == 1
+                   for row in rows)
+        # Crossings are stamped t + arrival(src): 25, 26, 28 — the
+        # first two share bucket 2, the last lands in bucket 2 too.
+        assert {row["bucket"] for row in rows} == {2}
+
+    def test_util_false_skips_link_series(self):
+        """The event plane's live tap already saw the crossings; the
+        measurement pass must not double count them."""
+        flow = FlowTelemetry(enabled=True)
+        flow.observe_distribution("hbh", "c", chain_distribution(),
+                                  source=0, util=False)
+        assert flow.util_rows() == []
+
+    def test_sampled_subset_of_receivers(self):
+        flow = FlowTelemetry(enabled=True, sample_every=2, seed=5)
+        distribution = DataDistribution()
+        for receiver in range(1, 21):
+            distribution.record_hop(0, receiver, 1.0)
+            distribution.record_delivery(receiver, 1.0)
+        distribution.expected = set(range(1, 21))
+        records = flow.observe_distribution("hbh", "c", distribution,
+                                            source=0)
+        kept = {record.receiver for record in records}
+        expected = {r for r in range(1, 21) if flow.sampled("hbh", "c", r)}
+        assert kept == expected
+        assert 0 < len(kept) < 20
+
+
+class TestRecordDelivery:
+    def test_live_delivery_record(self):
+        registry = MetricsRegistry()
+        flow = FlowTelemetry(enabled=True, registry=registry)
+        record = flow.record_delivery(10.0, "hbh", "c", 7, delay=2.5,
+                                      stream=3, sequence=8)
+        assert record.outcome == DELIVERED
+        assert record.stream == 3 and record.sequence == 8
+        delays = registry.histogram("flow.delivery.delay",
+                                    protocol="hbh", channel="c")
+        assert delays.values() == [2.5]
+
+    def test_duplicate_delivery(self):
+        registry = MetricsRegistry()
+        flow = FlowTelemetry(enabled=True, registry=registry)
+        record = flow.record_delivery(10.0, "hbh", "c", 7, delay=2.5,
+                                      duplicate=True)
+        assert record.outcome == DUPLICATED and record.copies == 2
+        assert registry.value("flow.delivery.duplicates", protocol="hbh",
+                              channel="c") == 1.0
+
+
+class TestJsonl:
+    def test_round_trip_sorted_keys(self):
+        flow = FlowTelemetry(enabled=True)
+        flow.observe_distribution("hbh", "<0,G>", chain_distribution(),
+                                  source=0)
+        buffer = io.StringIO()
+        count = flow.to_jsonl(buffer)
+        lines = buffer.getvalue().splitlines()
+        assert count == len(lines) == len(flow)
+        for line in lines:
+            parsed = json.loads(line)
+            assert list(parsed) == sorted(parsed)
+        assert buffer.getvalue().endswith("\n")
+
+    def test_to_dict_omits_unset_fields(self):
+        record = FlowRecord(seq=1, t=0.0, protocol="hbh", channel="c",
+                            receiver=2, outcome=DROPPED, copies=0)
+        out = record.to_dict()
+        assert "delay" not in out and "path" not in out
+        assert out["copies"] == 0  # non-default copies is kept
+
+
+class TestUtilMerge:
+    def test_merge_sums_matching_cells(self):
+        rows = [
+            {"src": 0, "dst": 1, "kind": "data", "bucket": 0, "t0": 0.0,
+             "copies": 2, "cost": 4.0},
+            {"src": 0, "dst": 1, "kind": "data", "bucket": 0, "t0": 0.0,
+             "copies": 3, "cost": 6.0},
+            {"src": 0, "dst": 1, "kind": "control", "bucket": 0,
+             "t0": 0.0, "copies": 1, "cost": 1.0},
+        ]
+        merged = merge_util_rows(rows)
+        assert len(merged) == 2
+        data = [row for row in merged if row["kind"] == "data"][0]
+        assert data["copies"] == 5 and data["cost"] == 10.0
+
+    def test_merge_order_independent(self):
+        rows = [
+            {"src": 0, "dst": 1, "kind": "data", "bucket": 1, "t0": 50.0,
+             "copies": 1, "cost": 1.0},
+            {"src": 2, "dst": 3, "kind": "data", "bucket": 0, "t0": 0.0,
+             "copies": 1, "cost": 1.0},
+        ]
+        assert merge_util_rows(rows) == merge_util_rows(reversed(rows))
+
+
+class TestSloRows:
+    def build_registry(self):
+        registry = MetricsRegistry()
+        flow = FlowTelemetry(enabled=True, registry=registry)
+        flow.observe_distribution("hbh", "<0,G>", chain_distribution(),
+                                  source=0)
+        return registry
+
+    def test_rows_from_registry(self):
+        rows = slo_rows(self.build_registry())
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["protocol"] == "hbh" and row["channel"] == "<0,G>"
+        assert row["expected"] == 3
+        assert row["delivered"] == 2 and row["lost"] == 1
+        assert row["loss_rate"] == pytest.approx(1 / 3)
+        assert row["delay_p50"] == 3.0 and row["delay_p99"] == 4.0
+        assert row["copies"] == 3
+
+    def test_rows_survive_snapshot_merge(self):
+        """SLO rows built from a registry merged from worker snapshots
+        equal rows built live — the property that makes the scoreboard
+        --jobs-proof."""
+        live = self.build_registry()
+        merged = MetricsRegistry()
+        merged.merge_snapshot(live.snapshot())
+        assert slo_rows(merged) == slo_rows(live)
+
+    def test_series_without_channel_labels_ignored(self):
+        registry = MetricsRegistry()
+        registry.inc("flow.dropped")  # no protocol/channel labels
+        assert slo_rows(registry) == []
+
+
+class TestRenderers:
+    def util_rows(self):
+        flow = FlowTelemetry(enabled=True)
+        flow.observe_distribution("hbh", "c", chain_distribution(),
+                                  source=0)
+        flow.record_transmit(10.0, 0, 1, 1.0, kind="control")
+        return flow.util_rows()
+
+    def test_heatmap_lists_links_and_legend(self):
+        text = render_link_heatmap(self.util_rows())
+        assert "link heatmap" in text
+        assert "0->1" in text and "ctrl=1" in text
+
+    def test_hot_links_ranks(self):
+        text = render_hot_links(self.util_rows(), k=2)
+        assert text.splitlines()[0].startswith("top 2 hot links")
+        assert "0->1" in text
+
+    def test_slo_table_groups_by_protocol(self):
+        registry = MetricsRegistry()
+        flow = FlowTelemetry(enabled=True, registry=registry)
+        flow.observe_distribution("hbh", "c", chain_distribution(),
+                                  source=0)
+        flow.observe_distribution("reunite", "c", chain_distribution(),
+                                  source=0)
+        text = render_slo_table(flow.slo_rows())
+        assert "[hbh]" in text and "[reunite]" in text
+        assert "loss%" in text
+
+    def test_empty_inputs(self):
+        assert "no utilization" in render_link_heatmap([])
+        assert "no utilization" in render_hot_links([])
+        assert "no flow metrics" in render_slo_table([])
+
+
+class TestDisabledPlane:
+    def test_disabled_default(self):
+        flow = FlowTelemetry()
+        assert not flow.enabled
+        assert len(flow) == 0 and flow.dropped == 0
+
+    def test_repr(self):
+        assert "disabled" in repr(FlowTelemetry())
+        assert "enabled" in repr(FlowTelemetry(enabled=True))
